@@ -1,0 +1,52 @@
+//! Table 3 companion benchmark: cost of the short update transaction at each
+//! isolation level on each scheme. The optimistic scheme pays for validation
+//! (repeating reads and scans), the pessimistic scheme for record and bucket
+//! locks, the single-version scheme for key locks — this benchmark makes
+//! those per-transaction costs visible. `repro table3` produces the full
+//! throughput table.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use mmdb_bench::dispatch_engine;
+use mmdb_bench::Scheme;
+use mmdb_common::isolation::IsolationLevel;
+use mmdb_workload::Homogeneous;
+
+fn bench_isolation_levels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("isolation/r10w2_txn");
+    let levels = [IsolationLevel::ReadCommitted, IsolationLevel::RepeatableRead, IsolationLevel::Serializable];
+    for scheme in Scheme::ALL {
+        for level in levels {
+            let id = BenchmarkId::new(scheme.label(), level.label());
+            group.bench_function(id, |b| {
+                let workload = Homogeneous { rows: 20_000, isolation: level, ..Default::default() };
+                scheme.with_engine(Duration::from_millis(500), |factory| {
+                    dispatch_engine!(factory, |engine| {
+                        let table = workload.setup(engine).unwrap();
+                        let mut rng = StdRng::seed_from_u64(7);
+                        b.iter(|| std::hint::black_box(workload.run_one(engine, table, &mut rng)));
+                    })
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(15)
+        .warm_up_time(Duration::from_millis(150))
+        .measurement_time(Duration::from_millis(600))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_isolation_levels
+}
+criterion_main!(benches);

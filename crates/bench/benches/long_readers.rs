@@ -1,0 +1,93 @@
+//! Figure 8/9 companion benchmark.
+//!
+//! Two effects drive those figures:
+//!
+//! 1. the cost of the long read-only query itself (thousands of point reads
+//!    in one transaction), and
+//! 2. whether a concurrently open long reader blocks short updates — it does
+//!    on the single-version engine (shared locks held to commit), and does
+//!    not on the multiversion engines (snapshot reads).
+//!
+//! This benchmark measures (1) per scheme and (2) on the multiversion engine
+//! (the 1V case would simply measure the lock timeout). The full sweep is
+//! produced by `repro fig8` / `repro fig9`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use mmdb_bench::dispatch_engine;
+use mmdb_bench::Scheme;
+use mmdb_common::engine::{Engine, EngineTxn};
+use mmdb_common::isolation::IsolationLevel;
+use mmdb_common::row::rowbuf;
+use mmdb_common::IndexId;
+use mmdb_workload::{Homogeneous, LongReaderMix};
+
+const ROWS: u64 = 20_000;
+
+fn bench_long_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("long_readers/scan_10pct");
+    group.sample_size(10);
+    for scheme in Scheme::ALL {
+        let iso = match scheme {
+            Scheme::OneV => IsolationLevel::Serializable,
+            _ => IsolationLevel::SnapshotIsolation,
+        };
+        group.bench_with_input(BenchmarkId::new("long_read_txn", scheme.label()), &scheme, |b, &scheme| {
+            let mix = LongReaderMix::new(ROWS, 1, iso);
+            scheme.with_engine(Duration::from_millis(500), |factory| {
+                dispatch_engine!(factory, |engine| {
+                    let table = mix.base.setup(engine).unwrap();
+                    let mut rng = StdRng::seed_from_u64(21);
+                    b.iter(|| std::hint::black_box(mix.run_long_reader(engine, table, &mut rng)));
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_update_under_open_snapshot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("long_readers/update_with_open_reader");
+    for scheme in [Scheme::MvO, Scheme::MvL] {
+        group.bench_with_input(BenchmarkId::new("update", scheme.label()), &scheme, |b, &scheme| {
+            let workload = Homogeneous { rows: ROWS, ..Default::default() };
+            scheme.with_engine(Duration::from_millis(500), |factory| {
+                dispatch_engine!(factory, |engine| {
+                    let table = workload.setup(engine).unwrap();
+                    // An open snapshot reader that has touched part of the table.
+                    let mut reader = engine.begin(IsolationLevel::SnapshotIsolation);
+                    for key in 0..(ROWS / 10) {
+                        reader.read(table, IndexId(0), key).unwrap();
+                    }
+                    let mut key = 0u64;
+                    b.iter(|| {
+                        key = (key + 13) % (ROWS / 10);
+                        let mut txn = engine.begin(IsolationLevel::ReadCommitted);
+                        txn.update(table, IndexId(0), key, rowbuf::keyed_row(key, 16, 5)).unwrap();
+                        txn.commit().unwrap()
+                    });
+                    reader.commit().unwrap();
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(150))
+        .measurement_time(Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_long_scan, bench_update_under_open_snapshot
+}
+criterion_main!(benches);

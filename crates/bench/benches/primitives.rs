@@ -1,0 +1,122 @@
+//! Micro-benchmarks of the engine primitives: tagged-word encoding, hashing,
+//! timestamp allocation, visibility checks and point operations. These are
+//! the per-operation costs underlying every figure in the paper.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use mmdb_common::clock::GlobalClock;
+use mmdb_common::hash::{bucket_of, mix64};
+use mmdb_common::ids::{Timestamp, TxnId};
+use mmdb_common::row::rowbuf;
+use mmdb_common::word::{BeginWord, EndWord, LockWord};
+use mmdb_core::check_visibility;
+use mmdb_storage::txn_table::TxnTable;
+use mmdb_storage::version::Version;
+
+fn bench_words(c: &mut Criterion) {
+    let mut group = c.benchmark_group("primitives/words");
+    group.bench_function("begin_word_roundtrip", |b| {
+        b.iter(|| {
+            let w = BeginWord::Timestamp(Timestamp(std::hint::black_box(123456)));
+            std::hint::black_box(BeginWord::decode(w.encode()))
+        })
+    });
+    group.bench_function("lock_word_roundtrip", |b| {
+        b.iter(|| {
+            let lock = LockWord { no_more_read_locks: false, read_lock_count: 3, writer: Some(TxnId(77)) };
+            std::hint::black_box(EndWord::decode(EndWord::Lock(lock).encode()))
+        })
+    });
+    group.finish();
+}
+
+fn bench_hash_and_clock(c: &mut Criterion) {
+    let mut group = c.benchmark_group("primitives/hash_clock");
+    group.bench_function("mix64", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            std::hint::black_box(mix64(x))
+        })
+    });
+    group.bench_function("bucket_of", |b| {
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            std::hint::black_box(bucket_of(x, 1_000_003))
+        })
+    });
+    group.bench_function("next_timestamp", |b| {
+        let clock = GlobalClock::new();
+        b.iter(|| std::hint::black_box(clock.next_timestamp()))
+    });
+    group.finish();
+}
+
+fn bench_visibility(c: &mut Criterion) {
+    let mut group = c.benchmark_group("primitives/visibility");
+    let txns = TxnTable::new();
+    let committed = Version::new_committed(Timestamp(10), rowbuf::keyed_row(1, 16, 0), vec![1]);
+    group.bench_function("committed_version", |b| {
+        b.iter(|| std::hint::black_box(check_visibility(&committed, Timestamp(50), TxnId(9), &txns)))
+    });
+    group.finish();
+}
+
+fn bench_engine_point_ops(c: &mut Criterion) {
+    use mmdb_common::engine::{Engine, EngineTxn};
+    use mmdb_common::row::TableSpec;
+    use mmdb_common::{IndexId, IsolationLevel};
+    use mmdb_core::{MvConfig, MvEngine};
+
+    let engine = MvEngine::optimistic(MvConfig::default());
+    let table = engine.create_table(TableSpec::keyed_u64("bench", 200_000)).unwrap();
+    engine.populate(table, (0..100_000u64).map(|k| rowbuf::keyed_row(k, 16, 1))).unwrap();
+
+    let mut group = c.benchmark_group("primitives/engine_ops");
+    let mut key = 0u64;
+    group.bench_function("mvo_point_read_rc", |b| {
+        b.iter_batched(
+            || {
+                key = (key + 7919) % 100_000;
+                (engine.begin(IsolationLevel::ReadCommitted), key)
+            },
+            |(mut txn, key)| {
+                std::hint::black_box(txn.read(table, IndexId(0), key).unwrap());
+                txn.commit().unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let mut key = 0u64;
+    group.bench_function("mvo_point_update_rc", |b| {
+        b.iter_batched(
+            || {
+                key = (key + 7919) % 100_000;
+                (engine.begin(IsolationLevel::ReadCommitted), key)
+            },
+            |(mut txn, key)| {
+                txn.update(table, IndexId(0), key, rowbuf::keyed_row(key, 16, 9)).unwrap();
+                txn.commit().unwrap()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_words, bench_hash_and_clock, bench_visibility, bench_engine_point_ops
+}
+criterion_main!(benches);

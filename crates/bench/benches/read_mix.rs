@@ -1,0 +1,66 @@
+//! Figure 6/7 companion benchmark: cost of a short read-only transaction vs
+//! a short update transaction on each scheme. The multiversion engines serve
+//! read-only transactions from a snapshot with no locking or validation; the
+//! single-version engine still has to take (and release) read locks. The full
+//! read-only-ratio sweep is produced by `repro fig6` / `repro fig7`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use mmdb_bench::dispatch_engine;
+use mmdb_bench::Scheme;
+use mmdb_common::isolation::IsolationLevel;
+use mmdb_workload::Homogeneous;
+
+fn bench_read_only_vs_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("read_mix");
+    for scheme in Scheme::ALL {
+        // Read-only transactions: the paper runs them under snapshot
+        // isolation on the MV engines (consistent view, no locks); the 1V
+        // engine uses read committed short locks.
+        let read_only_iso = match scheme {
+            Scheme::OneV => IsolationLevel::ReadCommitted,
+            _ => IsolationLevel::SnapshotIsolation,
+        };
+        group.bench_with_input(BenchmarkId::new("read_only_r10", scheme.label()), &scheme, |b, &scheme| {
+            let workload = Homogeneous { rows: 20_000, ..Default::default() };
+            scheme.with_engine(Duration::from_millis(500), |factory| {
+                dispatch_engine!(factory, |engine| {
+                    let table = workload.setup(engine).unwrap();
+                    let mut rng = StdRng::seed_from_u64(11);
+                    b.iter(|| {
+                        std::hint::black_box(workload.run_one_with(engine, table, &mut rng, 10, 0, read_only_iso))
+                    });
+                })
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("update_r10w2", scheme.label()), &scheme, |b, &scheme| {
+            let workload = Homogeneous { rows: 20_000, ..Default::default() };
+            scheme.with_engine(Duration::from_millis(500), |factory| {
+                dispatch_engine!(factory, |engine| {
+                    let table = workload.setup(engine).unwrap();
+                    let mut rng = StdRng::seed_from_u64(12);
+                    b.iter(|| std::hint::black_box(workload.run_one(engine, table, &mut rng)));
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(15)
+        .warm_up_time(Duration::from_millis(150))
+        .measurement_time(Duration::from_millis(600))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_read_only_vs_update
+}
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Figure 4/5 companion benchmark: per-transaction latency of the paper's
+//! short update transaction (R=10, W=2) on each scheme, at low contention
+//! (large table) and at a hotspot (1,000-row table). The full multi-threaded
+//! sweep is produced by `repro fig4` / `repro fig5`; this benchmark tracks
+//! the single-transaction cost that drives those curves.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use mmdb_bench::dispatch_engine;
+use mmdb_bench::Scheme;
+use mmdb_workload::Homogeneous;
+
+fn bench_short_update_txn(c: &mut Criterion) {
+    for (group_name, rows) in [("scalability/low_contention", 50_000u64), ("scalability/hotspot", 1_000u64)] {
+        let mut group = c.benchmark_group(group_name);
+        let workload = Homogeneous { rows, ..Default::default() };
+        for scheme in Scheme::ALL {
+            group.bench_with_input(BenchmarkId::new("r10w2_txn", scheme.label()), &scheme, |b, &scheme| {
+                scheme.with_engine(Duration::from_millis(500), |factory| {
+                    dispatch_engine!(factory, |engine| {
+                        let table = workload.setup(engine).unwrap();
+                        let mut rng = StdRng::seed_from_u64(42);
+                        b.iter(|| std::hint::black_box(workload.run_one(engine, table, &mut rng)));
+                    })
+                });
+            });
+        }
+        group.finish();
+    }
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_short_update_txn
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Table 4 companion benchmark: latency of one transaction of the standard
+//! TATP mix on each scheme. `repro table4` produces the full multi-threaded
+//! throughput table.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use mmdb_bench::dispatch_engine;
+use mmdb_bench::Scheme;
+use mmdb_workload::Tatp;
+
+fn bench_tatp_mix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tatp/mix_txn");
+    let tatp = Tatp::new(5_000);
+    for scheme in Scheme::ALL {
+        group.bench_with_input(BenchmarkId::new("txn", scheme.label()), &scheme, |b, &scheme| {
+            scheme.with_engine(Duration::from_millis(500), |factory| {
+                dispatch_engine!(factory, |engine| {
+                    let tables = tatp.setup(engine).unwrap();
+                    let mut rng = StdRng::seed_from_u64(31);
+                    b.iter(|| std::hint::black_box(tatp.run_one(engine, tables, &mut rng)));
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(15)
+        .warm_up_time(Duration::from_millis(150))
+        .measurement_time(Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_tatp_mix
+}
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! `repro` — regenerate the paper's evaluation tables and figures.
+//!
+//! ```text
+//! cargo run -p mmdb-bench --release --bin repro -- [options] <experiment>...
+//!
+//! experiments: fig4 fig5 table3 fig6 fig7 fig8 fig9 table4 ablation all
+//!
+//! options:
+//!   --quick              CI-sized run (tiny tables, short intervals)
+//!   --rows N             low-contention table size        [default 1000000]
+//!   --hot-rows N         hotspot table size               [default 1000]
+//!   --mpl N              multiprogramming level           [default 24]
+//!   --threads a,b,c      thread counts for fig4/fig5      [default 1,2,4,6,8,12,16,20,24]
+//!   --duration-ms MS     measurement interval per point   [default 1000]
+//!   --subscribers N      TATP subscribers                 [default 200000]
+//! ```
+
+use std::time::Duration;
+
+use mmdb_bench::experiments::{self, ExpConfig, SeriesTable};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [--quick] [--rows N] [--hot-rows N] [--mpl N] [--threads a,b,c] \
+         [--duration-ms MS] [--subscribers N] <fig4|fig5|table3|fig6|fig7|fig8|fig9|table4|ablation|all>..."
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> (ExpConfig, Vec<String>) {
+    let mut cfg = ExpConfig::standard();
+    let mut experiments = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => cfg = ExpConfig::quick(),
+            "--rows" => cfg.rows = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--hot-rows" => cfg.hot_rows = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--mpl" => cfg.mpl = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--threads" => {
+                let list = args.next().unwrap_or_else(|| usage());
+                cfg.threads = list.split(',').filter_map(|s| s.trim().parse().ok()).collect();
+                if cfg.threads.is_empty() {
+                    usage();
+                }
+            }
+            "--duration-ms" => {
+                let ms: u64 = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                cfg.duration = Duration::from_millis(ms);
+            }
+            "--subscribers" => {
+                cfg.subscribers = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+            }
+            "--help" | "-h" => usage(),
+            name if !name.starts_with('-') => experiments.push(name.to_string()),
+            _ => usage(),
+        }
+    }
+    if experiments.is_empty() {
+        usage();
+    }
+    (cfg, experiments)
+}
+
+fn print_table(table: &SeriesTable) {
+    print!("{}", table.to_markdown());
+}
+
+fn main() {
+    let (cfg, requested) = parse_args();
+    println!("# mmdb experiment reproduction");
+    println!();
+    println!(
+        "configuration: rows={} hot_rows={} mpl={} duration={:?} subscribers={} threads={:?}",
+        cfg.rows, cfg.hot_rows, cfg.mpl, cfg.duration, cfg.subscribers, cfg.threads
+    );
+    println!();
+
+    for name in requested {
+        match name.as_str() {
+            "fig4" => print_table(&experiments::fig4(&cfg)),
+            "fig5" => print_table(&experiments::fig5(&cfg)),
+            "table3" => print_table(&experiments::table3(&cfg)),
+            "fig6" => print_table(&experiments::fig6(&cfg)),
+            "fig7" => print_table(&experiments::fig7(&cfg)),
+            "fig8" => print_table(&experiments::fig8(&cfg)),
+            "fig9" => print_table(&experiments::fig9(&cfg)),
+            "fig8+9" | "longreaders" => {
+                let (f8, f9) = experiments::fig8_and_fig9(&cfg);
+                print_table(&f8);
+                print_table(&f9);
+            }
+            "table4" => print_table(&experiments::table4(&cfg)),
+            "ablation" => {
+                print_table(&experiments::ablation_validation_cost(&cfg));
+                print_table(&experiments::ablation_gc(&cfg));
+            }
+            "all" => {
+                for table in experiments::run_all(&cfg) {
+                    print_table(&table);
+                }
+            }
+            other => {
+                eprintln!("unknown experiment: {other}");
+                usage();
+            }
+        }
+    }
+}

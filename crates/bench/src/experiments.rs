@@ -1,0 +1,471 @@
+//! The paper's experiments (§5), one function per table/figure.
+//!
+//! Every function sweeps the relevant parameter, runs the workload against
+//! all three schemes through the generic driver, and returns a
+//! [`SeriesTable`] whose rows correspond to the series the paper plots.
+//! Absolute numbers depend on the host; the *shape* (which scheme wins,
+//! roughly by how much, and where the curves cross) is what reproduces the
+//! paper — see `EXPERIMENTS.md` for the recorded comparison.
+
+use std::time::Duration;
+
+use mmdb_common::engine::Engine;
+use mmdb_common::isolation::IsolationLevel;
+
+use mmdb_workload::driver::{run_for, DriverReport, TxnKind};
+use mmdb_workload::heterogeneous::{LongReaderMix, ReadMix};
+use mmdb_workload::homogeneous::Homogeneous;
+use mmdb_workload::tatp::Tatp;
+
+use crate::dispatch_engine;
+use crate::scheme::Scheme;
+
+/// Parameters shared by all experiments.
+#[derive(Debug, Clone)]
+pub struct ExpConfig {
+    /// Rows in the low-contention table (the paper uses 10,000,000).
+    pub rows: u64,
+    /// Rows in the hotspot table (the paper uses 1,000).
+    pub hot_rows: u64,
+    /// Thread counts swept by the scalability experiments.
+    pub threads: Vec<usize>,
+    /// Multiprogramming level for the fixed-MPL experiments (paper: 24).
+    pub mpl: usize,
+    /// Measurement interval per data point.
+    pub duration: Duration,
+    /// TATP subscriber count (the paper uses 20,000,000).
+    pub subscribers: u64,
+    /// Lock / wait timeout used to break deadlocks and bound waits.
+    pub lock_timeout: Duration,
+}
+
+impl ExpConfig {
+    /// Laptop-scale defaults: a 1,000,000-row table, 24-thread MPL, one
+    /// second per data point, 200,000 TATP subscribers.
+    pub fn standard() -> ExpConfig {
+        ExpConfig {
+            rows: 1_000_000,
+            hot_rows: 1_000,
+            threads: vec![1, 2, 4, 6, 8, 12, 16, 20, 24],
+            mpl: 24,
+            duration: Duration::from_secs(1),
+            subscribers: 200_000,
+            lock_timeout: Duration::from_millis(500),
+        }
+    }
+
+    /// CI-sized configuration: tiny tables and very short intervals so the
+    /// full suite runs in well under a minute.
+    pub fn quick() -> ExpConfig {
+        ExpConfig {
+            rows: 20_000,
+            hot_rows: 500,
+            threads: vec![1, 2, 4],
+            mpl: 4,
+            duration: Duration::from_millis(200),
+            subscribers: 2_000,
+            lock_timeout: Duration::from_millis(100),
+        }
+    }
+}
+
+/// A result table: one row per scheme (or scheme/level), one column per swept
+/// parameter value.
+#[derive(Debug, Clone)]
+pub struct SeriesTable {
+    /// Experiment title (e.g. "Figure 4: scalability under low contention").
+    pub title: String,
+    /// Label of the swept parameter.
+    pub x_label: String,
+    /// Values of the swept parameter.
+    pub xs: Vec<String>,
+    /// (series label, value per x) rows.
+    pub rows: Vec<(String, Vec<f64>)>,
+    /// Unit of the cell values.
+    pub unit: String,
+}
+
+impl SeriesTable {
+    /// Render as a GitHub-flavoured markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {}\n\n", self.title));
+        out.push_str(&format!("Values are {}.\n\n", self.unit));
+        out.push_str(&format!("| {} |", self.x_label));
+        for x in &self.xs {
+            out.push_str(&format!(" {x} |"));
+        }
+        out.push('\n');
+        out.push_str("|---|");
+        for _ in &self.xs {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for (label, values) in &self.rows {
+            out.push_str(&format!("| {label} |"));
+            for v in values {
+                if *v >= 1000.0 {
+                    out.push_str(&format!(" {:.0} |", v));
+                } else {
+                    out.push_str(&format!(" {:.2} |", v));
+                }
+            }
+            out.push('\n');
+        }
+        out.push('\n');
+        out
+    }
+
+    /// Look a cell up by series label and column index (used by tests and by
+    /// the shape checks in `repro --check`).
+    pub fn value(&self, series: &str, column: usize) -> Option<f64> {
+        self.rows.iter().find(|(l, _)| l == series).and_then(|(_, vs)| vs.get(column)).copied()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Generic per-scheme runners
+// ---------------------------------------------------------------------
+
+fn run_homogeneous_on<E: Engine>(
+    engine: &E,
+    workload: &Homogeneous,
+    threads: usize,
+    duration: Duration,
+) -> DriverReport {
+    let table = workload.setup(engine).expect("setup homogeneous workload");
+    run_for(engine, threads, duration, |e, rng, _| workload.run_one(e, table, rng))
+}
+
+fn run_read_mix_on<E: Engine>(engine: &E, mix: &ReadMix, threads: usize, duration: Duration) -> DriverReport {
+    let table = mix.base.setup(engine).expect("setup read mix");
+    run_for(engine, threads, duration, |e, rng, _| mix.run_one(e, table, rng))
+}
+
+fn run_long_readers_on<E: Engine>(
+    engine: &E,
+    mix: &LongReaderMix,
+    threads: usize,
+    duration: Duration,
+) -> DriverReport {
+    let table = mix.base.setup(engine).expect("setup long-reader mix");
+    run_for(engine, threads, duration, |e, rng, worker| mix.run_one(e, table, rng, worker))
+}
+
+fn run_tatp_on<E: Engine>(engine: &E, tatp: &Tatp, threads: usize, duration: Duration) -> DriverReport {
+    let tables = tatp.setup(engine).expect("setup TATP");
+    run_for(engine, threads, duration, |e, rng, _| tatp.run_one(e, tables, rng))
+}
+
+fn scalability(cfg: &ExpConfig, rows: u64, title: &str) -> SeriesTable {
+    let workload = Homogeneous { rows, ..Default::default() };
+    let mut table = SeriesTable {
+        title: title.to_string(),
+        x_label: "threads".into(),
+        xs: cfg.threads.iter().map(|t| t.to_string()).collect(),
+        rows: Vec::new(),
+        unit: "committed transactions / second".into(),
+    };
+    for scheme in Scheme::ALL {
+        let mut series = Vec::with_capacity(cfg.threads.len());
+        for &threads in &cfg.threads {
+            let tps = scheme.with_engine(cfg.lock_timeout, |factory| {
+                dispatch_engine!(factory, |engine| {
+                    run_homogeneous_on(engine, &workload, threads, cfg.duration).tps()
+                })
+            });
+            series.push(tps);
+        }
+        table.rows.push((scheme.label().to_string(), series));
+    }
+    table
+}
+
+/// **Figure 4** — scalability under low contention: R=10 W=2 transactions on
+/// a large table at Read Committed, sweeping the multiprogramming level.
+pub fn fig4(cfg: &ExpConfig) -> SeriesTable {
+    scalability(cfg, cfg.rows, "Figure 4: scalability under low contention (R=10, W=2, read committed)")
+}
+
+/// **Figure 5** — scalability under high contention: the same transaction on
+/// a 1,000-row hotspot table.
+pub fn fig5(cfg: &ExpConfig) -> SeriesTable {
+    scalability(cfg, cfg.hot_rows, "Figure 5: scalability under high contention (hotspot table)")
+}
+
+/// **Table 3** — throughput at higher isolation levels (fixed MPL), plus the
+/// percentage drop relative to Read Committed.
+pub fn table3(cfg: &ExpConfig) -> SeriesTable {
+    let levels = [IsolationLevel::ReadCommitted, IsolationLevel::RepeatableRead, IsolationLevel::Serializable];
+    let mut table = SeriesTable {
+        title: "Table 3: throughput at higher isolation levels (MPL = 24 in the paper)".into(),
+        x_label: "scheme".into(),
+        xs: vec!["RC tx/s".into(), "RR tx/s".into(), "RR % drop".into(), "SER tx/s".into(), "SER % drop".into()],
+        rows: Vec::new(),
+        unit: "committed transactions / second (and % drop vs read committed)".into(),
+    };
+    for scheme in Scheme::ALL {
+        let mut tps = Vec::new();
+        for level in levels {
+            let workload = Homogeneous { rows: cfg.rows, isolation: level, ..Default::default() };
+            let t = scheme.with_engine(cfg.lock_timeout, |factory| {
+                dispatch_engine!(factory, |engine| {
+                    run_homogeneous_on(engine, &workload, cfg.mpl, cfg.duration).tps()
+                })
+            });
+            tps.push(t);
+        }
+        let drop_of = |x: f64| if tps[0] > 0.0 { (1.0 - x / tps[0]) * 100.0 } else { 0.0 };
+        table.rows.push((
+            scheme.label().to_string(),
+            vec![tps[0], tps[1], drop_of(tps[1]), tps[2], drop_of(tps[2])],
+        ));
+    }
+    table
+}
+
+fn read_mix(cfg: &ExpConfig, rows: u64, title: &str) -> SeriesTable {
+    let fractions = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0];
+    let mut table = SeriesTable {
+        title: title.to_string(),
+        x_label: "read-only fraction".into(),
+        xs: fractions.iter().map(|f| format!("{:.0}%", f * 100.0)).collect(),
+        rows: Vec::new(),
+        unit: "committed transactions / second".into(),
+    };
+    for scheme in Scheme::ALL {
+        let mut series = Vec::new();
+        for &fraction in &fractions {
+            let mix = ReadMix::new(rows, fraction);
+            let tps = scheme.with_engine(cfg.lock_timeout, |factory| {
+                dispatch_engine!(factory, |engine| {
+                    run_read_mix_on(engine, &mix, cfg.mpl, cfg.duration).tps()
+                })
+            });
+            series.push(tps);
+        }
+        table.rows.push((scheme.label().to_string(), series));
+    }
+    table
+}
+
+/// **Figure 6** — impact of short read-only transactions, low contention.
+pub fn fig6(cfg: &ExpConfig) -> SeriesTable {
+    read_mix(cfg, cfg.rows, "Figure 6: impact of short read-only transactions (low contention)")
+}
+
+/// **Figure 7** — impact of short read-only transactions, hotspot table.
+pub fn fig7(cfg: &ExpConfig) -> SeriesTable {
+    read_mix(cfg, cfg.hot_rows, "Figure 7: impact of short read-only transactions (high contention)")
+}
+
+/// Shared runner for Figures 8 and 9: returns (update throughput, long-read
+/// row throughput) per scheme and per long-reader count.
+fn long_readers(cfg: &ExpConfig) -> (SeriesTable, SeriesTable) {
+    let mut counts: Vec<usize> = vec![0, 1, 2, 4, 6, 12, 18, 24];
+    counts.retain(|&c| c <= cfg.mpl);
+    if *counts.last().unwrap_or(&0) != cfg.mpl {
+        counts.push(cfg.mpl);
+    }
+    let xs: Vec<String> = counts.iter().map(|c| c.to_string()).collect();
+    let mut updates = SeriesTable {
+        title: "Figure 8: update throughput with concurrent long read-only transactions".into(),
+        x_label: "long readers (of MPL)".into(),
+        xs: xs.clone(),
+        rows: Vec::new(),
+        unit: "committed update transactions / second".into(),
+    };
+    let mut reads = SeriesTable {
+        title: "Figure 9: read throughput of the long read-only transactions".into(),
+        x_label: "long readers (of MPL)".into(),
+        xs,
+        rows: Vec::new(),
+        unit: "rows read / second by long readers".into(),
+    };
+    for scheme in Scheme::ALL {
+        // Transactionally consistent read-only queries: snapshot isolation on
+        // the multiversion engines (no locking/validation for read-only
+        // transactions, §3.4); the single-version engine must take
+        // serializable read locks.
+        let long_iso = match scheme {
+            Scheme::OneV => IsolationLevel::Serializable,
+            _ => IsolationLevel::SnapshotIsolation,
+        };
+        let mut update_series = Vec::new();
+        let mut read_series = Vec::new();
+        for &long in &counts {
+            let mix = LongReaderMix::new(cfg.rows, long, long_iso);
+            let report = scheme.with_engine(cfg.lock_timeout, |factory| {
+                dispatch_engine!(factory, |engine| {
+                    run_long_readers_on(engine, &mix, cfg.mpl, cfg.duration)
+                })
+            });
+            update_series.push(report.tps_of(TxnKind::Update));
+            read_series.push(report.read_rate_of(TxnKind::LongRead));
+        }
+        updates.rows.push((scheme.label().to_string(), update_series));
+        reads.rows.push((scheme.label().to_string(), read_series));
+    }
+    (updates, reads)
+}
+
+/// **Figure 8** — update throughput as long read-only transactions are added.
+pub fn fig8(cfg: &ExpConfig) -> SeriesTable {
+    long_readers(cfg).0
+}
+
+/// **Figure 9** — read throughput of the long read-only transactions in the
+/// same experiment.
+pub fn fig9(cfg: &ExpConfig) -> SeriesTable {
+    long_readers(cfg).1
+}
+
+/// **Figures 8 & 9** from a single run (avoids running the sweep twice).
+pub fn fig8_and_fig9(cfg: &ExpConfig) -> (SeriesTable, SeriesTable) {
+    long_readers(cfg)
+}
+
+/// **Table 4** — TATP throughput per scheme at the fixed MPL.
+pub fn table4(cfg: &ExpConfig) -> SeriesTable {
+    let tatp = Tatp::new(cfg.subscribers);
+    let mut table = SeriesTable {
+        title: "Table 4: TATP results".into(),
+        x_label: "scheme".into(),
+        xs: vec!["transactions / second".into(), "abort rate".into()],
+        rows: Vec::new(),
+        unit: "committed TATP transactions / second".into(),
+    };
+    for scheme in Scheme::ALL {
+        let report = scheme.with_engine(cfg.lock_timeout, |factory| {
+            dispatch_engine!(factory, |engine| run_tatp_on(engine, &tatp, cfg.mpl, cfg.duration))
+        });
+        table.rows.push((scheme.label().to_string(), vec![report.tps(), report.abort_rate()]));
+    }
+    table
+}
+
+/// Ablation: cost of higher isolation for MV/O as the read set grows
+/// (validation is O(|ReadSet|)). Sweeps the reads-per-transaction parameter
+/// and reports committed transactions per second at Serializable vs Read
+/// Committed on the optimistic engine.
+pub fn ablation_validation_cost(cfg: &ExpConfig) -> SeriesTable {
+    let read_counts = [2usize, 10, 50, 200];
+    let mut table = SeriesTable {
+        title: "Ablation: optimistic validation cost vs read-set size (MV/O)".into(),
+        x_label: "reads per transaction".into(),
+        xs: read_counts.iter().map(|r| r.to_string()).collect(),
+        rows: Vec::new(),
+        unit: "committed transactions / second".into(),
+    };
+    for (label, iso) in [("MV/O read committed", IsolationLevel::ReadCommitted), ("MV/O serializable", IsolationLevel::Serializable)] {
+        let mut series = Vec::new();
+        for &reads in &read_counts {
+            let workload = Homogeneous { rows: cfg.rows, reads, writes: 2, isolation: iso };
+            let tps = Scheme::MvO.with_engine(cfg.lock_timeout, |factory| {
+                dispatch_engine!(factory, |engine| {
+                    run_homogeneous_on(engine, &workload, cfg.mpl, cfg.duration).tps()
+                })
+            });
+            series.push(tps);
+        }
+        table.rows.push((label.to_string(), series));
+    }
+    table
+}
+
+/// Ablation: effect of cooperative garbage collection on version counts.
+/// Runs an update-heavy workload with GC enabled vs disabled and reports the
+/// number of versions left in the table afterwards.
+pub fn ablation_gc(cfg: &ExpConfig) -> SeriesTable {
+    use mmdb_common::engine::Engine as _;
+    let rows = cfg.hot_rows.max(500);
+    let mut table = SeriesTable {
+        title: "Ablation: cooperative garbage collection (MV/O, update-heavy hotspot)".into(),
+        x_label: "configuration".into(),
+        xs: vec!["versions after run".into(), "versions reclaimed".into()],
+        rows: Vec::new(),
+        unit: "version counts".into(),
+    };
+    for (label, gc_every) in [("GC enabled (every 128 commits)", 128u64), ("GC disabled", 0u64)] {
+        let engine = mmdb_core::MvEngine::optimistic(mmdb_core::MvConfig::default().with_gc_every(gc_every));
+        let workload = Homogeneous { rows, ..Default::default() };
+        let t = workload.setup(&engine).expect("setup");
+        let _ = run_for(&engine, cfg.mpl.min(8), cfg.duration, |e, rng, _| workload.run_one(e, t, rng));
+        let after = engine.version_count(t).expect("count") as f64;
+        let reclaimed = engine.stats().snapshot().versions_collected as f64;
+        table.rows.push((label.to_string(), vec![after, reclaimed]));
+    }
+    table
+}
+
+/// Run every experiment and return the rendered tables in paper order.
+pub fn run_all(cfg: &ExpConfig) -> Vec<SeriesTable> {
+    let mut out = vec![fig4(cfg), fig5(cfg), table3(cfg), fig6(cfg), fig7(cfg)];
+    let (f8, f9) = fig8_and_fig9(cfg);
+    out.push(f8);
+    out.push(f9);
+    out.push(table4(cfg));
+    out.push(ablation_validation_cost(cfg));
+    out.push(ablation_gc(cfg));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExpConfig {
+        ExpConfig {
+            rows: 2_000,
+            hot_rows: 200,
+            threads: vec![1, 2],
+            mpl: 2,
+            duration: Duration::from_millis(80),
+            subscribers: 300,
+            lock_timeout: Duration::from_millis(50),
+        }
+    }
+
+    #[test]
+    fn fig4_produces_three_series() {
+        let table = fig4(&tiny());
+        assert_eq!(table.rows.len(), 3);
+        assert_eq!(table.xs.len(), 2);
+        for (_, series) in &table.rows {
+            assert!(series.iter().all(|&v| v > 0.0), "every scheme commits something: {table:?}");
+        }
+        let md = table.to_markdown();
+        assert!(md.contains("| 1V |") && md.contains("| MV/O |") && md.contains("| MV/L |"));
+    }
+
+    #[test]
+    fn table3_reports_drops() {
+        let t = table3(&tiny());
+        assert_eq!(t.xs.len(), 5);
+        for (_, series) in &t.rows {
+            assert_eq!(series.len(), 5);
+        }
+        assert!(t.value("MV/O", 0).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn long_reader_experiment_reports_both_series() {
+        let (f8, f9) = fig8_and_fig9(&tiny());
+        assert_eq!(f8.rows.len(), 3);
+        assert_eq!(f9.rows.len(), 3);
+        // With zero long readers there is no long-read throughput.
+        for (_, series) in &f9.rows {
+            assert_eq!(series[0], 0.0);
+        }
+    }
+
+    #[test]
+    fn table4_runs_tatp_on_all_schemes() {
+        let t = table4(&tiny());
+        assert_eq!(t.rows.len(), 3);
+        for (_, series) in &t.rows {
+            assert!(series[0] > 0.0, "TATP throughput must be positive: {t:?}");
+            assert!(series[1] < 0.5, "TATP abort rate should be small: {t:?}");
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! # mmdb-bench
+//!
+//! Experiment harness reproducing every table and figure of the paper's
+//! evaluation (§5). The `repro` binary drives the functions in
+//! [`experiments`]; the Criterion benchmarks under `benches/` exercise the
+//! same code paths at micro scale.
+//!
+//! All experiments compare the three concurrency-control schemes the paper
+//! evaluates: single-version locking (**1V**), pessimistic multiversioning
+//! (**MV/L**) and optimistic multiversioning (**MV/O**).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod scheme;
+
+pub use experiments::ExpConfig;
+pub use scheme::Scheme;

@@ -1,0 +1,138 @@
+//! The three concurrency-control schemes under comparison, and a small
+//! dispatch helper so experiments can be written once against the generic
+//! [`Engine`](mmdb_common::engine::Engine) trait.
+
+use std::time::Duration;
+
+use mmdb_core::{MvConfig, MvEngine};
+use mmdb_onev::{SvConfig, SvEngine};
+
+/// One of the paper's three concurrency-control schemes.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Scheme {
+    /// Single-version locking (the baseline, "1V").
+    OneV,
+    /// Multiversion pessimistic locking ("MV/L").
+    MvL,
+    /// Multiversion optimistic validation ("MV/O").
+    MvO,
+}
+
+impl Scheme {
+    /// All three schemes in the order the paper reports them.
+    pub const ALL: [Scheme; 3] = [Scheme::OneV, Scheme::MvL, Scheme::MvO];
+
+    /// Display label used in the result tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scheme::OneV => "1V",
+            Scheme::MvL => "MV/L",
+            Scheme::MvO => "MV/O",
+        }
+    }
+
+    /// Run `f` with a freshly constructed engine of this scheme.
+    ///
+    /// Engines are created per measurement point so that every data point
+    /// starts from an identical, unfragmented database.
+    pub fn with_engine<R>(
+        self,
+        lock_timeout: Duration,
+        f: impl FnOnce(&dyn ErasedFactory) -> R,
+    ) -> R {
+        match self {
+            Scheme::OneV => {
+                let engine = SvEngine::new(SvConfig::default().with_lock_timeout(lock_timeout));
+                f(&SvFactory(engine))
+            }
+            Scheme::MvL => {
+                let engine = MvEngine::pessimistic(MvConfig::default().with_wait_timeout(lock_timeout));
+                f(&MvFactory(engine))
+            }
+            Scheme::MvO => {
+                let engine = MvEngine::optimistic(MvConfig::default().with_wait_timeout(lock_timeout));
+                f(&MvFactory(engine))
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Scheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Object-safe access to a concrete engine. Experiments downcast to the
+/// concrete type through the two accessors; exactly one of them returns
+/// `Some`.
+pub trait ErasedFactory {
+    /// The multiversion engine, if this scheme is MV/O or MV/L.
+    fn mv(&self) -> Option<&MvEngine>;
+    /// The single-version engine, if this scheme is 1V.
+    fn sv(&self) -> Option<&SvEngine>;
+}
+
+struct MvFactory(MvEngine);
+struct SvFactory(SvEngine);
+
+impl ErasedFactory for MvFactory {
+    fn mv(&self) -> Option<&MvEngine> {
+        Some(&self.0)
+    }
+    fn sv(&self) -> Option<&SvEngine> {
+        None
+    }
+}
+
+impl ErasedFactory for SvFactory {
+    fn mv(&self) -> Option<&MvEngine> {
+        None
+    }
+    fn sv(&self) -> Option<&SvEngine> {
+        Some(&self.0)
+    }
+}
+
+/// Dispatch a generic experiment body over whichever engine the factory
+/// holds. `body` is written once, generically over `Engine`.
+#[macro_export]
+macro_rules! dispatch_engine {
+    ($factory:expr, |$engine:ident| $body:expr) => {
+        if let Some($engine) = $factory.mv() {
+            $body
+        } else if let Some($engine) = $factory.sv() {
+            $body
+        } else {
+            unreachable!("factory holds exactly one engine")
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmdb_common::engine::Engine;
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(Scheme::OneV.label(), "1V");
+        assert_eq!(Scheme::MvL.label(), "MV/L");
+        assert_eq!(Scheme::MvO.label(), "MV/O");
+        assert_eq!(Scheme::ALL.len(), 3);
+    }
+
+    #[test]
+    fn with_engine_builds_the_right_kind() {
+        for scheme in Scheme::ALL {
+            scheme.with_engine(Duration::from_millis(100), |factory| {
+                let label = dispatch_engine!(factory, |engine| engine.label());
+                match scheme {
+                    Scheme::OneV => assert_eq!(label, "1V"),
+                    Scheme::MvL => assert_eq!(label, "MV/L"),
+                    Scheme::MvO => assert_eq!(label, "MV/O"),
+                }
+            });
+        }
+    }
+}

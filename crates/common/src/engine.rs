@@ -1,0 +1,282 @@
+//! The engine abstraction.
+//!
+//! The paper evaluates three concurrency-control schemes — single-version
+//! locking ("1V"), pessimistic multiversioning ("MV/L") and optimistic
+//! multiversioning ("MV/O") — on identical workloads. To let the workload
+//! generators and the experiment harness be written once, all three engines
+//! implement the [`Engine`] / [`EngineTxn`] traits defined here.
+//!
+//! The traits expose exactly the operations the paper's workloads need:
+//! create a table with hash indexes, begin a transaction at an isolation
+//! level, point reads and equality scans through an index, insert / update /
+//! delete, commit and abort.
+
+use crate::error::Result;
+use crate::ids::{IndexId, Key, TableId, Timestamp, TxnId};
+use crate::isolation::IsolationLevel;
+use crate::row::{Row, TableSpec};
+use crate::stats::EngineStats;
+
+/// A transaction handle. Obtained from [`Engine::begin`]; consumed by
+/// [`EngineTxn::commit`] or [`EngineTxn::abort`].
+///
+/// Transactions are not `Sync`: one thread drives a transaction at a time
+/// (the paper's execution model — a transaction is a single thread of
+/// control that never blocks during normal processing).
+pub trait EngineTxn: Send {
+    /// The engine-assigned transaction identifier.
+    fn id(&self) -> TxnId;
+
+    /// The isolation level this transaction runs at.
+    fn isolation(&self) -> IsolationLevel;
+
+    /// Insert a new row. The row must satisfy every index's key extractor.
+    fn insert(&mut self, table: TableId, row: Row) -> Result<()>;
+
+    /// Point lookup through an index: returns the (at most one, for unique
+    /// indexes) visible row with the given key.
+    fn read(&mut self, table: TableId, index: IndexId, key: Key) -> Result<Option<Row>>;
+
+    /// Equality scan through an index: returns every visible row whose index
+    /// key equals `key` (non-unique indexes may return several).
+    fn scan_key(&mut self, table: TableId, index: IndexId, key: Key) -> Result<Vec<Row>>;
+
+    /// Replace the visible row with key `key` (located through `index`) by
+    /// `new_row`. Returns `Ok(false)` if no visible row matched.
+    fn update(&mut self, table: TableId, index: IndexId, key: Key, new_row: Row) -> Result<bool>;
+
+    /// Delete the visible row with key `key`. Returns `Ok(false)` if no
+    /// visible row matched.
+    fn delete(&mut self, table: TableId, index: IndexId, key: Key) -> Result<bool>;
+
+    /// Commit. On success returns the commit (end) timestamp.
+    ///
+    /// The transaction is consumed whether or not the commit succeeds; on
+    /// error it has already been aborted and cleaned up.
+    fn commit(self) -> Result<Timestamp>;
+
+    /// Abort and roll back.
+    fn abort(self);
+}
+
+/// A concurrency-control engine instance: owns tables, the clock, statistics
+/// and any background machinery (garbage collection, deadlock detection).
+pub trait Engine: Send + Sync + 'static {
+    /// Concrete transaction type.
+    type Txn: EngineTxn;
+
+    /// Create a table and return its identifier.
+    fn create_table(&self, spec: TableSpec) -> Result<TableId>;
+
+    /// Begin a transaction at the given isolation level.
+    fn begin(&self, isolation: IsolationLevel) -> Self::Txn;
+
+    /// Event counters for this engine.
+    fn stats(&self) -> &EngineStats;
+
+    /// Short label used in reports ("1V", "MV/O", "MV/L").
+    fn label(&self) -> &'static str;
+
+    /// Cooperative maintenance hook (garbage collection step, etc.). Worker
+    /// threads call this periodically between transactions; engines that need
+    /// no maintenance use the default no-op.
+    fn maintenance(&self) {}
+}
+
+/// Convenience helpers layered on any [`EngineTxn`].
+pub trait EngineTxnExt: EngineTxn + Sized {
+    /// Read-modify-write: read the row with `key`, apply `f`, and write the
+    /// result back. Returns `Ok(false)` if the row does not exist.
+    fn modify<F>(&mut self, table: TableId, index: IndexId, key: Key, f: F) -> Result<bool>
+    where
+        F: FnOnce(&[u8]) -> Row,
+    {
+        match self.read(table, index, key)? {
+            Some(row) => {
+                let new_row = f(&row);
+                self.update(table, index, key, new_row)
+            }
+            None => Ok(false),
+        }
+    }
+}
+
+impl<T: EngineTxn + Sized> EngineTxnExt for T {}
+
+#[cfg(test)]
+mod tests {
+    //! A tiny single-threaded reference engine implementing the traits. It
+    //! exists to (a) prove the traits are implementable and ergonomic and (b)
+    //! serve as a behavioural oracle in other crates' tests.
+    use super::*;
+    use crate::error::MmdbError;
+    use crate::row::rowbuf;
+    use crate::row::KeySpec;
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Arc, Mutex};
+
+    #[derive(Default)]
+    struct Inner {
+        tables: Vec<(TableSpec, HashMap<(u32, u64), Vec<Row>>)>,
+    }
+
+    /// Trivially serialized (one big mutex) reference engine.
+    pub struct TrivialEngine {
+        inner: Arc<Mutex<Inner>>,
+        stats: EngineStats,
+        next_txn: AtomicU64,
+        next_ts: AtomicU64,
+    }
+
+    impl TrivialEngine {
+        pub fn new() -> Self {
+            TrivialEngine {
+                inner: Arc::new(Mutex::new(Inner::default())),
+                stats: EngineStats::new(),
+                next_txn: AtomicU64::new(1),
+                next_ts: AtomicU64::new(1),
+            }
+        }
+    }
+
+    pub struct TrivialTxn {
+        id: TxnId,
+        iso: IsolationLevel,
+        inner: Arc<Mutex<Inner>>,
+        end_ts: Timestamp,
+    }
+
+    impl Engine for TrivialEngine {
+        type Txn = TrivialTxn;
+
+        fn create_table(&self, spec: TableSpec) -> Result<TableId> {
+            let mut g = self.inner.lock().unwrap();
+            g.tables.push((spec, HashMap::new()));
+            Ok(TableId(g.tables.len() as u32 - 1))
+        }
+
+        fn begin(&self, isolation: IsolationLevel) -> TrivialTxn {
+            TrivialTxn {
+                id: TxnId(self.next_txn.fetch_add(1, Ordering::Relaxed)),
+                iso: isolation,
+                inner: Arc::clone(&self.inner),
+                end_ts: Timestamp(self.next_ts.fetch_add(1, Ordering::Relaxed)),
+            }
+        }
+
+        fn stats(&self) -> &EngineStats {
+            &self.stats
+        }
+
+        fn label(&self) -> &'static str {
+            "trivial"
+        }
+    }
+
+    impl TrivialTxn {
+        fn key_for(spec: &TableSpec, index: IndexId, row: &[u8]) -> Result<u64> {
+            spec.indexes
+                .get(index.0 as usize)
+                .ok_or(MmdbError::IndexNotFound(TableId(0), index))?
+                .key
+                .key_of(row)
+        }
+    }
+
+    impl EngineTxn for TrivialTxn {
+        fn id(&self) -> TxnId {
+            self.id
+        }
+        fn isolation(&self) -> IsolationLevel {
+            self.iso
+        }
+        fn insert(&mut self, table: TableId, row: Row) -> Result<()> {
+            let mut g = self.inner.lock().unwrap();
+            let (spec, data) = g.tables.get_mut(table.0 as usize).ok_or(MmdbError::TableNotFound(table))?;
+            for (i, _idx) in spec.indexes.iter().enumerate() {
+                let key = Self::key_for(spec, IndexId(i as u32), &row)?;
+                data.entry((i as u32, key)).or_default().push(row.clone());
+            }
+            Ok(())
+        }
+        fn read(&mut self, table: TableId, index: IndexId, key: Key) -> Result<Option<Row>> {
+            Ok(self.scan_key(table, index, key)?.into_iter().next())
+        }
+        fn scan_key(&mut self, table: TableId, index: IndexId, key: Key) -> Result<Vec<Row>> {
+            let g = self.inner.lock().unwrap();
+            let (_, data) = g.tables.get(table.0 as usize).ok_or(MmdbError::TableNotFound(table))?;
+            Ok(data.get(&(index.0, key)).cloned().unwrap_or_default())
+        }
+        fn update(&mut self, table: TableId, index: IndexId, key: Key, new_row: Row) -> Result<bool> {
+            let existed = self.delete(table, index, key)?;
+            if existed {
+                self.insert(table, new_row)?;
+            }
+            Ok(existed)
+        }
+        fn delete(&mut self, table: TableId, index: IndexId, key: Key) -> Result<bool> {
+            let mut g = self.inner.lock().unwrap();
+            let (spec, data) = g.tables.get_mut(table.0 as usize).ok_or(MmdbError::TableNotFound(table))?;
+            let victim = match data.get_mut(&(index.0, key)).and_then(|v| v.pop()) {
+                Some(r) => r,
+                None => return Ok(false),
+            };
+            // Remove from the other indexes too.
+            for (i, _) in spec.indexes.iter().enumerate() {
+                if i as u32 == index.0 {
+                    continue;
+                }
+                let k = Self::key_for(spec, IndexId(i as u32), &victim)?;
+                if let Some(rows) = data.get_mut(&(i as u32, k)) {
+                    if let Some(pos) = rows.iter().position(|r| r == &victim) {
+                        rows.remove(pos);
+                    }
+                }
+            }
+            Ok(true)
+        }
+        fn commit(self) -> Result<Timestamp> {
+            Ok(self.end_ts)
+        }
+        fn abort(self) {}
+    }
+
+    #[test]
+    fn trivial_engine_basic_crud() {
+        let engine = TrivialEngine::new();
+        let spec = TableSpec::keyed_u64("t", 16).with_index(crate::row::IndexSpec {
+            name: "fill".into(),
+            key: KeySpec::BytesAt { offset: 8, len: 1 },
+            buckets: 16,
+            unique: false,
+        });
+        let t = engine.create_table(spec).unwrap();
+
+        let mut txn = engine.begin(IsolationLevel::ReadCommitted);
+        txn.insert(t, rowbuf::keyed_row(1, 16, 0xAA)).unwrap();
+        txn.insert(t, rowbuf::keyed_row(2, 16, 0xAA)).unwrap();
+        assert_eq!(txn.read(t, IndexId(0), 1).unwrap().map(|r| rowbuf::key_of(&r)), Some(1));
+        assert_eq!(txn.scan_key(t, IndexId(1), crate::hash::hash_bytes(&[0xAA])).unwrap().len(), 2);
+        assert!(txn.update(t, IndexId(0), 1, rowbuf::keyed_row(1, 16, 0xBB)).unwrap());
+        assert_eq!(txn.read(t, IndexId(0), 1).unwrap().map(|r| rowbuf::fill_of(&r)), Some(0xBB));
+        assert!(txn.delete(t, IndexId(0), 2).unwrap());
+        assert!(!txn.delete(t, IndexId(0), 2).unwrap());
+        txn.commit().unwrap();
+    }
+
+    #[test]
+    fn modify_helper_reads_then_writes() {
+        let engine = TrivialEngine::new();
+        let t = engine.create_table(TableSpec::keyed_u64("t", 4)).unwrap();
+        let mut txn = engine.begin(IsolationLevel::ReadCommitted);
+        txn.insert(t, rowbuf::keyed_row(7, 16, 1)).unwrap();
+        let changed = txn
+            .modify(t, IndexId(0), 7, |old| rowbuf::keyed_row(rowbuf::key_of(old), 16, rowbuf::fill_of(old) + 1))
+            .unwrap();
+        assert!(changed);
+        assert_eq!(txn.read(t, IndexId(0), 7).unwrap().map(|r| rowbuf::fill_of(&r)), Some(2));
+        assert!(!txn.modify(t, IndexId(0), 999, |old| Row::copy_from_slice(old)).unwrap());
+        txn.commit().unwrap();
+    }
+}

@@ -1,0 +1,186 @@
+//! Error type shared across the engines.
+//!
+//! Most variants correspond to a reason the paper gives for aborting a
+//! transaction (write-write conflict, validation failure, commit-dependency
+//! cascade, lock-count saturation, deadlock, ...). The workload driver treats
+//! [`MmdbError::is_retryable`] errors as ordinary aborts and retries the
+//! transaction, which mirrors how the paper's experiments count only
+//! committed transactions in throughput.
+
+use std::fmt;
+
+use crate::ids::{IndexId, TableId, TxnId};
+
+/// Result alias used throughout the workspace.
+pub type Result<T> = std::result::Result<T, MmdbError>;
+
+/// Errors produced by the storage engines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MmdbError {
+    /// A write-write conflict: the version a transaction tried to update was
+    /// already write-locked (or superseded) by another transaction. The
+    /// first-writer-wins rule (§2.6) forces the second writer to abort.
+    WriteWriteConflict {
+        /// Transaction that lost the conflict.
+        txn: TxnId,
+        /// Transaction that currently owns the version, when known.
+        holder: Option<TxnId>,
+    },
+    /// Optimistic read validation failed: a version read during normal
+    /// processing is no longer visible as of the end of the transaction.
+    ReadValidationFailed,
+    /// Optimistic phantom validation failed: repeating a scan found a version
+    /// that came into existence during the transaction's lifetime.
+    PhantomDetected,
+    /// A commit dependency was resolved negatively: a transaction this one
+    /// speculatively depended on aborted, so this one must abort too
+    /// (cascaded abort, §2.7).
+    CommitDependencyFailed,
+    /// The transaction was told to abort by another transaction setting its
+    /// `AbortNow` flag, or aborted itself on user request.
+    Aborted,
+    /// A pessimistic read lock could not be acquired because the version's
+    /// read-lock count is saturated or its `NoMoreReadLocks` flag is set.
+    ReadLockUnavailable,
+    /// A wait-for dependency could not be installed because the target
+    /// transaction's `NoMoreWaitFors` flag is set (starvation prevention).
+    WaitForRefused,
+    /// Deadlock detected among pessimistic transactions; this transaction was
+    /// chosen as the victim.
+    DeadlockVictim,
+    /// A single-version lock request timed out (the 1V engine breaks
+    /// deadlocks with timeouts).
+    LockTimeout {
+        /// Table whose lock partition timed out.
+        table: TableId,
+    },
+    /// The requested table does not exist.
+    TableNotFound(TableId),
+    /// The requested index does not exist on the table.
+    IndexNotFound(TableId, IndexId),
+    /// An insert would create a duplicate in a unique index.
+    DuplicateKey {
+        /// Table that rejected the insert.
+        table: TableId,
+        /// Index on which the duplicate was found.
+        index: IndexId,
+    },
+    /// A row did not contain enough bytes for the key extractor of an index.
+    RowTooShort {
+        /// Number of bytes required by the extractor.
+        needed: usize,
+        /// Number of bytes actually present.
+        actual: usize,
+    },
+    /// An operation was attempted on a transaction that has already finished.
+    TransactionClosed,
+    /// Internal invariant violation; indicates a bug rather than a user or
+    /// workload condition.
+    Internal(&'static str),
+}
+
+impl MmdbError {
+    /// True when the error is a concurrency-control abort that a workload
+    /// driver should treat as a normal, retryable outcome rather than a bug.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            MmdbError::WriteWriteConflict { .. }
+                | MmdbError::ReadValidationFailed
+                | MmdbError::PhantomDetected
+                | MmdbError::CommitDependencyFailed
+                | MmdbError::Aborted
+                | MmdbError::ReadLockUnavailable
+                | MmdbError::WaitForRefused
+                | MmdbError::DeadlockVictim
+                | MmdbError::LockTimeout { .. }
+        )
+    }
+
+    /// Short machine-friendly label for statistics buckets.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            MmdbError::WriteWriteConflict { .. } => "write_write_conflict",
+            MmdbError::ReadValidationFailed => "read_validation_failed",
+            MmdbError::PhantomDetected => "phantom_detected",
+            MmdbError::CommitDependencyFailed => "commit_dependency_failed",
+            MmdbError::Aborted => "aborted",
+            MmdbError::ReadLockUnavailable => "read_lock_unavailable",
+            MmdbError::WaitForRefused => "wait_for_refused",
+            MmdbError::DeadlockVictim => "deadlock_victim",
+            MmdbError::LockTimeout { .. } => "lock_timeout",
+            MmdbError::TableNotFound(_) => "table_not_found",
+            MmdbError::IndexNotFound(_, _) => "index_not_found",
+            MmdbError::DuplicateKey { .. } => "duplicate_key",
+            MmdbError::RowTooShort { .. } => "row_too_short",
+            MmdbError::TransactionClosed => "transaction_closed",
+            MmdbError::Internal(_) => "internal",
+        }
+    }
+}
+
+impl fmt::Display for MmdbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MmdbError::WriteWriteConflict { txn, holder } => match holder {
+                Some(h) => write!(f, "write-write conflict: {txn} lost to {h}"),
+                None => write!(f, "write-write conflict: {txn} lost to a concurrent writer"),
+            },
+            MmdbError::ReadValidationFailed => write!(f, "read validation failed: a read version is no longer visible at commit time"),
+            MmdbError::PhantomDetected => write!(f, "phantom detected: a repeated scan returned new versions"),
+            MmdbError::CommitDependencyFailed => write!(f, "a transaction this one speculatively depended on aborted"),
+            MmdbError::Aborted => write!(f, "transaction aborted"),
+            MmdbError::ReadLockUnavailable => write!(f, "read lock unavailable (count saturated or NoMoreReadLocks set)"),
+            MmdbError::WaitForRefused => write!(f, "wait-for dependency refused (NoMoreWaitFors set)"),
+            MmdbError::DeadlockVictim => write!(f, "chosen as deadlock victim"),
+            MmdbError::LockTimeout { table } => write!(f, "lock wait timed out on table {table:?}"),
+            MmdbError::TableNotFound(t) => write!(f, "table {t:?} not found"),
+            MmdbError::IndexNotFound(t, i) => write!(f, "index {i:?} not found on table {t:?}"),
+            MmdbError::DuplicateKey { table, index } => write!(f, "duplicate key in unique index {index:?} of table {table:?}"),
+            MmdbError::RowTooShort { needed, actual } => write!(f, "row too short for key extractor: need {needed} bytes, have {actual}"),
+            MmdbError::TransactionClosed => write!(f, "transaction already committed or aborted"),
+            MmdbError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MmdbError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retryable_classification() {
+        assert!(MmdbError::WriteWriteConflict { txn: TxnId(1), holder: None }.is_retryable());
+        assert!(MmdbError::ReadValidationFailed.is_retryable());
+        assert!(MmdbError::PhantomDetected.is_retryable());
+        assert!(MmdbError::DeadlockVictim.is_retryable());
+        assert!(MmdbError::LockTimeout { table: TableId(0) }.is_retryable());
+        assert!(!MmdbError::TableNotFound(TableId(1)).is_retryable());
+        assert!(!MmdbError::Internal("x").is_retryable());
+        assert!(!MmdbError::TransactionClosed.is_retryable());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = MmdbError::WriteWriteConflict { txn: TxnId(4), holder: Some(TxnId(9)) };
+        let s = e.to_string();
+        assert!(s.contains("Txn(4)") && s.contains("Txn(9)"));
+        assert_eq!(e.kind(), "write_write_conflict");
+    }
+
+    #[test]
+    fn kinds_are_distinct_for_abort_reasons() {
+        let kinds = [
+            MmdbError::ReadValidationFailed.kind(),
+            MmdbError::PhantomDetected.kind(),
+            MmdbError::CommitDependencyFailed.kind(),
+            MmdbError::DeadlockVictim.kind(),
+        ];
+        let mut dedup = kinds.to_vec();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), kinds.len());
+    }
+}

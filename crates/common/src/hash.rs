@@ -1,0 +1,90 @@
+//! Hashing helpers for mapping keys to hash-index buckets.
+//!
+//! The paper sizes its hash tables so there are no collisions and hashes on
+//! the index key; we use a cheap, well-mixing multiplicative hash
+//! (Stafford/SplitMix64 finalizer) which is more than good enough for bucket
+//! selection and costs a handful of instructions — important because every
+//! read and write goes through it.
+
+/// Mix a 64-bit key into a well-distributed 64-bit hash (SplitMix64 finalizer).
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Map a key to a bucket slot given a bucket count.
+///
+/// `bucket_count` does not need to be a power of two; we use the high bits of
+/// the mixed hash via the widening-multiply trick which avoids an expensive
+/// modulo on the hot path.
+#[inline]
+pub fn bucket_of(key: u64, bucket_count: usize) -> usize {
+    debug_assert!(bucket_count > 0);
+    let h = mix64(key);
+    // Multiply-shift range reduction: (h * n) >> 64.
+    (((h as u128) * (bucket_count as u128)) >> 64) as usize
+}
+
+/// Hash an arbitrary byte slice to a 64-bit key (FNV-1a followed by a final
+/// mix). Used by [`crate::row::KeySpec::BytesAt`] extractors, e.g. for string
+/// keys like TATP's `sub_nbr`.
+#[inline]
+pub fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    mix64(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn mix_is_deterministic_and_spreads() {
+        assert_eq!(mix64(42), mix64(42));
+        assert_ne!(mix64(1), mix64(2));
+        // Sequential keys should land in mostly distinct hash values.
+        let distinct: HashSet<u64> = (0..10_000u64).map(mix64).collect();
+        assert_eq!(distinct.len(), 10_000);
+    }
+
+    #[test]
+    fn bucket_of_in_range() {
+        for n in [1usize, 2, 3, 17, 1024, 1_000_003] {
+            for k in 0..1000u64 {
+                assert!(bucket_of(k, n) < n, "bucket out of range for n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_distribution_is_roughly_uniform() {
+        let n = 64;
+        let mut counts = vec![0usize; n];
+        let samples = 64_000u64;
+        for k in 0..samples {
+            counts[bucket_of(k, n)] += 1;
+        }
+        let expected = samples as usize / n;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                c > expected / 2 && c < expected * 2,
+                "bucket {i} has skewed count {c} (expected ~{expected})"
+            );
+        }
+    }
+
+    #[test]
+    fn hash_bytes_differs_on_content() {
+        assert_ne!(hash_bytes(b"hello"), hash_bytes(b"hellp"));
+        assert_eq!(hash_bytes(b""), hash_bytes(b""));
+        assert_ne!(hash_bytes(b"a"), hash_bytes(b"aa"));
+    }
+}

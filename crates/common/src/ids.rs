@@ -1,0 +1,126 @@
+//! Strongly-typed identifiers and timestamp constants.
+//!
+//! The paper stores timestamps and transaction IDs in the same 64-bit version
+//! header fields, distinguished by a tag bit (§2.3). To make that encoding
+//! safe we keep timestamps to 63 bits and transaction IDs to 54 bits (the
+//! width of the `WriteLock` sub-field of the pessimistic record lock,
+//! §4.1.1), and wrap both in newtypes so they cannot be confused in APIs.
+
+use std::fmt;
+
+/// A logical commit/begin timestamp drawn from the global monotonic counter.
+///
+/// Valid timestamps occupy 63 bits; the maximum value [`INFINITY_TS`] denotes
+/// "infinity" (a version that is still the latest, i.e. has not been
+/// superseded).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp(pub u64);
+
+/// Largest representable timestamp, used as "infinity" in version End fields.
+pub const INFINITY_TS: Timestamp = Timestamp((1u64 << 63) - 1);
+
+/// Transaction identifier. Limited to 54 bits so it fits in the `WriteLock`
+/// sub-field of the pessimistic lock word (§4.1.1).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxnId(pub u64);
+
+/// Largest representable transaction ID (54 bits, all ones is reserved as the
+/// "no writer" sentinel inside lock words).
+pub const MAX_TXN_ID: u64 = (1u64 << 54) - 2;
+
+/// Identifier of a table within a database.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TableId(pub u32);
+
+/// Identifier of an index within a table (dense, starting at 0).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct IndexId(pub u32);
+
+/// A 64-bit index key produced by a [`crate::row::KeySpec`] extractor.
+pub type Key = u64;
+
+impl Timestamp {
+    /// The zero timestamp: earlier than every timestamp the clock hands out.
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// Returns true if this timestamp is the "infinity" sentinel.
+    #[inline]
+    pub fn is_infinity(self) -> bool {
+        self == INFINITY_TS
+    }
+
+    /// Raw 63-bit value.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl TxnId {
+    /// Raw 54-bit value.
+    #[inline]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Debug for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_infinity() {
+            write!(f, "Ts(inf)")
+        } else {
+            write!(f, "Ts({})", self.0)
+        }
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl fmt::Debug for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Txn({})", self.0)
+    }
+}
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn infinity_is_largest() {
+        assert!(Timestamp(0) < INFINITY_TS);
+        assert!(Timestamp(u64::MAX >> 1) <= INFINITY_TS);
+        assert!(INFINITY_TS.is_infinity());
+        assert!(!Timestamp(17).is_infinity());
+    }
+
+    #[test]
+    fn timestamp_ordering_matches_raw() {
+        assert!(Timestamp(3) < Timestamp(4));
+        assert_eq!(Timestamp(5), Timestamp(5));
+        assert_eq!(Timestamp(9).raw(), 9);
+    }
+
+    #[test]
+    fn txn_id_bounds() {
+        assert!(MAX_TXN_ID < (1 << 54));
+        assert_eq!(TxnId(42).raw(), 42);
+    }
+
+    #[test]
+    fn debug_formatting() {
+        assert_eq!(format!("{:?}", Timestamp(7)), "Ts(7)");
+        assert_eq!(format!("{:?}", INFINITY_TS), "Ts(inf)");
+        assert_eq!(format!("{}", TxnId(3)), "Txn(3)");
+    }
+}

@@ -1,0 +1,50 @@
+//! # mmdb-common
+//!
+//! Shared primitives for the `mmdb` main-memory database, a reproduction of
+//! *"High-Performance Concurrency Control Mechanisms for Main-Memory
+//! Databases"* (Larson et al., VLDB 2011).
+//!
+//! This crate is dependency-light and holds everything the storage engines,
+//! workload generators and benchmark harness need to agree on:
+//!
+//! * [`word`] — the tagged 64-bit `Begin`/`End` words stored in every version
+//!   header. A word holds either a commit timestamp or transaction metadata
+//!   (a transaction ID, and for the pessimistic scheme an embedded record
+//!   lock with `NoMoreReadLocks` / `ReadLockCount` / `WriteLock` sub-fields).
+//! * [`clock`] — the global monotonic timestamp counter and transaction-ID
+//!   allocator. Acquiring a timestamp is a single atomic increment, the only
+//!   critical section in the whole system (paper §6).
+//! * [`ids`] — strongly-typed identifiers ([`TxnId`], [`Timestamp`],
+//!   [`TableId`], [`IndexId`]).
+//! * [`isolation`] — isolation levels and the optimistic/pessimistic
+//!   concurrency mode selector.
+//! * [`row`] — byte rows, key extraction specifications and table/index
+//!   schemas.
+//! * [`engine`] — the [`Engine`](engine::Engine)/[`EngineTxn`](engine::EngineTxn)
+//!   abstraction the three engines (MV/O, MV/L, 1V) implement, so workloads
+//!   and experiments are written once.
+//! * [`error`] — the shared error type.
+//! * [`hash`] — the multiplicative hash used to map keys to buckets.
+//! * [`stats`] — lightweight atomic counters used by engines to report
+//!   aborts, validation failures, waits, and garbage-collection activity.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod clock;
+pub mod engine;
+pub mod error;
+pub mod hash;
+pub mod ids;
+pub mod isolation;
+pub mod row;
+pub mod stats;
+pub mod word;
+
+pub use clock::GlobalClock;
+pub use engine::{Engine, EngineTxn};
+pub use error::{MmdbError, Result};
+pub use ids::{IndexId, Key, TableId, Timestamp, TxnId, INFINITY_TS, MAX_TXN_ID};
+pub use isolation::{ConcurrencyMode, IsolationLevel};
+pub use row::{IndexSpec, KeySpec, Row, TableSpec};
+pub use word::{BeginWord, EndWord, LockWord};

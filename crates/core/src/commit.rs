@@ -1,0 +1,374 @@
+//! Preparation, commit, abort and postprocessing (§2.4 steps 3–5, §3.2–§3.3,
+//! §4.3.2–§4.3.3).
+//!
+//! The flow at the end of a transaction:
+//!
+//! 1. **End of normal processing** — a pessimistic transaction releases its
+//!    read locks and bucket locks and then waits until its `WaitForCounter`
+//!    reaches zero (§4.3.1). Optimistic transactions normally have no
+//!    wait-for dependencies, but can acquire them in mixed mode (§4.5).
+//! 2. **Precommit** — acquire the end timestamp, switch to Preparing, and
+//!    release outgoing wait-for dependencies (drain the WaitingTxnList).
+//! 3. **Validation** (optimistic only) — re-check visibility of every read
+//!    version as of the end timestamp, and repeat every registered scan to
+//!    look for phantoms (§3.2, Figure 3).
+//! 4. **Commit dependencies** — wait until `CommitDepCounter` is zero or the
+//!    `AbortNow` flag forces a cascaded abort (§2.7).
+//! 5. **Logging** — write the new versions / delete keys to the redo log
+//!    (asynchronously; the transaction does not wait for I/O).
+//! 6. **Postprocessing** — propagate the end timestamp into the Begin/End
+//!    fields of the written versions (or make them invisible after an
+//!    abort), hand old versions to the garbage collector, resolve dependents
+//!    and leave the transaction table.
+
+use mmdb_common::error::{MmdbError, Result};
+use mmdb_common::ids::{IndexId, Timestamp};
+use mmdb_common::isolation::ConcurrencyMode;
+use mmdb_common::stats::EngineStats;
+use mmdb_common::word::{BeginWord, EndWord};
+use mmdb_common::INFINITY_TS;
+
+use mmdb_storage::gc::GcItem;
+use mmdb_storage::log::{LogOp, LogRecord};
+use mmdb_storage::txn_table::TxnState;
+
+use crate::txn::MvTransaction;
+use crate::visibility::check_visibility;
+
+impl MvTransaction {
+    // ------------------------------------------------------------------
+    // Lock release and the pre-precommit wait
+    // ------------------------------------------------------------------
+
+    /// Release all read locks and bucket locks held by this transaction.
+    pub(crate) fn release_locks(&mut self) {
+        let read_locks = std::mem::take(&mut self.read_locks);
+        for ptr in read_locks {
+            self.release_read_lock(ptr);
+        }
+        let bucket_locks = std::mem::take(&mut self.bucket_locks);
+        for lock in bucket_locks {
+            if let Ok(table) = self.inner.store.table(lock.table) {
+                if let Ok(locks) = table.bucket_locks(lock.index) {
+                    locks.unlock(lock.bucket, self.handle.id());
+                }
+            }
+        }
+    }
+
+    /// §4.3.1: when a transaction reaches the end of normal processing it
+    /// releases its read and bucket locks and then waits for its outstanding
+    /// wait-for dependencies before it may precommit.
+    fn end_normal_processing(&mut self) -> Result<()> {
+        self.release_locks();
+        // No further incoming wait-for dependencies may be added: otherwise a
+        // stream of new readers could postpone the precommit forever.
+        self.handle.close_wait_fors();
+        if self.handle.wait_for_count() > 0 {
+            EngineStats::bump(&self.stats().commit_waits);
+            let handle = &self.handle;
+            let done = handle.wait_until(
+                || handle.wait_for_count() <= 0 || handle.abort_requested(),
+                self.inner.config.wait_timeout,
+            );
+            if self.handle.abort_requested() {
+                return Err(MmdbError::Aborted);
+            }
+            if !done {
+                EngineStats::bump(&self.stats().deadlock_aborts);
+                return Err(MmdbError::DeadlockVictim);
+            }
+        }
+        Ok(())
+    }
+
+    /// Release outgoing wait-for dependencies: every transaction in our
+    /// WaitingTxnList gets one of its wait-for dependencies released
+    /// (§4.2.2).
+    fn release_outgoing_wait_fors(&self) {
+        for waiter in self.handle.take_waiting_txns() {
+            if let Some(w) = self.inner.store.txns().get(waiter) {
+                w.release_wait_for();
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Optimistic validation (§3.2)
+    // ------------------------------------------------------------------
+
+    /// Read validation: every version in the ReadSet must still be visible as
+    /// of the end timestamp. Versions we ourselves superseded or deleted pass
+    /// (our own writes cannot invalidate our reads).
+    fn validate_reads(&mut self, end_ts: Timestamp) -> Result<()> {
+        let entries = std::mem::take(&mut self.read_set);
+        for entry in &entries {
+            let version = entry.version.get();
+            if version.end_word().writer() == Some(self.handle.id()) {
+                continue;
+            }
+            let vis = check_visibility(version, end_ts, self.handle.id(), self.inner.store.txns());
+            let visible = self.resolve_visibility(version, vis, end_ts)?;
+            if !visible {
+                EngineStats::bump(&self.stats().validation_failures);
+                self.read_set = entries;
+                return Err(MmdbError::ReadValidationFailed);
+            }
+        }
+        self.read_set = entries;
+        Ok(())
+    }
+
+    /// Phantom validation: repeat every registered scan and fail if a version
+    /// that came into existence during our lifetime is visible at the end
+    /// timestamp (Figure 3, case V4).
+    fn validate_scans(&mut self, end_ts: Timestamp) -> Result<()> {
+        let begin_ts = self.handle.begin_ts();
+        let scans = std::mem::take(&mut self.scan_set);
+        let me = self.handle.id();
+        for scan in &scans {
+            let table = self.inner.store.table(scan.table)?;
+            let guard = crossbeam::epoch::pin();
+            let candidates: Vec<mmdb_storage::table::VersionPtr> = table
+                .candidates(scan.index, scan.key, &guard)?
+                .map(|v| {
+                    mmdb_storage::table::VersionPtr::from_shared(crossbeam::epoch::Shared::from(
+                        v as *const mmdb_storage::version::Version,
+                    ))
+                })
+                .collect();
+            for ptr in candidates {
+                let version = ptr.get();
+                // Our own inserts/updates are not phantoms.
+                if version.begin_word().as_txn() == Some(me) {
+                    continue;
+                }
+                let at_end = check_visibility(version, end_ts, me, self.inner.store.txns());
+                let visible_at_end = self.resolve_visibility(version, at_end, end_ts)?;
+                if !visible_at_end {
+                    continue;
+                }
+                let at_begin = check_visibility(version, begin_ts, me, self.inner.store.txns());
+                if !at_begin.visible {
+                    EngineStats::bump(&self.stats().phantom_failures);
+                    self.scan_set = scans;
+                    return Err(MmdbError::PhantomDetected);
+                }
+            }
+        }
+        self.scan_set = scans;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Commit
+    // ------------------------------------------------------------------
+
+    pub(crate) fn do_commit(&mut self) -> Result<Timestamp> {
+        if self.finished {
+            return Err(MmdbError::TransactionClosed);
+        }
+        if let Some(err) = self.must_abort.clone() {
+            self.finish_abort(&err);
+            return Err(err);
+        }
+        if self.handle.abort_requested() {
+            let err = MmdbError::CommitDependencyFailed;
+            self.finish_abort(&err);
+            return Err(err);
+        }
+
+        // Step 1: wind down normal processing (locks, wait-for dependencies).
+        if let Err(err) = self.end_normal_processing() {
+            self.finish_abort(&err);
+            return Err(err);
+        }
+
+        // Step 2: precommit — acquire the end timestamp and enter Preparing.
+        let end_ts = self.inner.store.clock().next_timestamp();
+        self.handle.set_end_ts(end_ts);
+        self.handle.set_state(TxnState::Preparing);
+        self.release_outgoing_wait_fors();
+
+        // Step 3: validation (optimistic only; locks make it unnecessary for
+        // pessimistic transactions, §4.3.2).
+        if self.handle.mode() == ConcurrencyMode::Optimistic {
+            let iso = self.handle.isolation();
+            if iso.requires_read_stability() {
+                if let Err(err) = self.validate_reads(end_ts) {
+                    self.finish_abort(&err);
+                    return Err(err);
+                }
+            }
+            if iso.requires_phantom_protection() {
+                if let Err(err) = self.validate_scans(end_ts) {
+                    self.finish_abort(&err);
+                    return Err(err);
+                }
+            }
+        }
+
+        // Step 4: wait for outstanding commit dependencies (§2.7).
+        if self.handle.commit_dep_count() > 0 {
+            EngineStats::bump(&self.stats().commit_waits);
+            let handle = &self.handle;
+            let done = handle.wait_until(
+                || handle.commit_dep_count() <= 0 || handle.abort_requested(),
+                self.inner.config.wait_timeout,
+            );
+            if self.handle.abort_requested() {
+                let err = MmdbError::CommitDependencyFailed;
+                self.finish_abort(&err);
+                return Err(err);
+            }
+            if !done {
+                EngineStats::bump(&self.stats().deadlock_aborts);
+                let err = MmdbError::DeadlockVictim;
+                self.finish_abort(&err);
+                return Err(err);
+            }
+        }
+        if self.handle.abort_requested() {
+            let err = MmdbError::CommitDependencyFailed;
+            self.finish_abort(&err);
+            return Err(err);
+        }
+
+        // Step 5: write the redo log record (asynchronous, §5).
+        if !self.write_set.is_empty() {
+            let record = self.build_log_record(end_ts);
+            EngineStats::bump(&self.stats().log_records);
+            EngineStats::add(&self.stats().log_bytes, record.byte_size());
+            self.inner.store.logger().append(record);
+        }
+
+        // Step 6: the transaction is committed.
+        self.handle.set_state(TxnState::Committed);
+        EngineStats::bump(&self.stats().commits);
+
+        // Step 7: postprocessing — propagate the end timestamp, retire old
+        // versions, resolve dependents, leave the transaction table.
+        self.postprocess_commit(end_ts);
+        self.resolve_dependents(true);
+        self.handle.set_state(TxnState::Terminated);
+        self.inner.store.txns().remove(self.handle.id());
+        self.finished = true;
+
+        self.inner.after_commit();
+        Ok(end_ts)
+    }
+
+    fn build_log_record(&self, end_ts: Timestamp) -> LogRecord {
+        let mut ops = Vec::with_capacity(self.write_set.len());
+        for entry in &self.write_set {
+            match (&entry.new, entry.delete_key) {
+                (Some(new), _) => ops.push(LogOp::Write { table: entry.table, row: new.get().data().clone() }),
+                (None, Some(key)) => ops.push(LogOp::Delete { table: entry.table, key }),
+                (None, None) => {}
+            }
+        }
+        LogRecord { end_ts, ops }
+    }
+
+    fn postprocess_commit(&mut self, end_ts: Timestamp) {
+        for entry in &self.write_set {
+            if let Some(new) = &entry.new {
+                new.get().set_begin(BeginWord::Timestamp(end_ts));
+            }
+            if let Some(old) = &entry.old {
+                old.get().set_end(EndWord::Timestamp(end_ts));
+                self.inner.store.enqueue_garbage(GcItem {
+                    table: entry.table,
+                    version: *old,
+                    reclaimable_at: end_ts,
+                });
+            }
+        }
+    }
+
+    /// Inform every transaction in our CommitDepSet of our outcome (§2.7).
+    fn resolve_dependents(&self, committed: bool) {
+        for dependent in self.handle.resolve_commit_dependents(committed) {
+            if let Some(d) = self.inner.store.txns().get(dependent) {
+                d.resolve_incoming_commit_dep(committed);
+                if !committed {
+                    EngineStats::bump(&self.stats().cascaded_aborts);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Abort
+    // ------------------------------------------------------------------
+
+    /// User- or drop-initiated abort.
+    pub(crate) fn do_user_abort(&mut self) {
+        if self.finished {
+            return;
+        }
+        self.finish_abort(&MmdbError::Aborted);
+    }
+
+    /// Common abort path: undo version changes, release locks and
+    /// dependencies, record statistics, leave the transaction table.
+    pub(crate) fn finish_abort(&mut self, reason: &MmdbError) {
+        if self.finished {
+            return;
+        }
+        self.handle.set_state(TxnState::Aborted);
+        EngineStats::bump(&self.stats().aborts);
+        if matches!(reason, MmdbError::CommitDependencyFailed) {
+            EngineStats::bump(&self.stats().cascaded_aborts);
+        }
+
+        // Undo the write set (§3.3): new versions become invisible (Begin =
+        // infinity) and are handed to the garbage collector; old versions get
+        // their End field reset to infinity unless another transaction has
+        // already noticed the abort and re-locked them.
+        let retire_at = self.inner.store.clock().next_timestamp();
+        let me = self.handle.id();
+        for entry in &self.write_set {
+            if let Some(new) = &entry.new {
+                new.get().set_begin(BeginWord::Timestamp(INFINITY_TS));
+                new.get().set_end(EndWord::Timestamp(INFINITY_TS));
+                self.inner.store.enqueue_garbage(GcItem {
+                    table: entry.table,
+                    version: *new,
+                    reclaimable_at: retire_at,
+                });
+            }
+            if let Some(old) = &entry.old {
+                let _ = old.get().update_end(|word| match word {
+                    EndWord::Lock(lock) if lock.writer == Some(me) => {
+                        if lock.read_lock_count > 0 {
+                            Some(EndWord::Lock(mmdb_common::word::LockWord {
+                                writer: None,
+                                ..lock
+                            }))
+                        } else {
+                            Some(EndWord::Timestamp(INFINITY_TS))
+                        }
+                    }
+                    // Someone else already re-locked or finalized it.
+                    _ => None,
+                });
+            }
+        }
+
+        // Locks, wait-for dependencies, commit dependents.
+        self.release_locks();
+        self.release_outgoing_wait_fors();
+        self.resolve_dependents(false);
+
+        self.handle.set_state(TxnState::Terminated);
+        self.inner.store.txns().remove(self.handle.id());
+        self.finished = true;
+    }
+
+    /// Primary-index id used when logging deletes.
+    #[allow(dead_code)]
+    pub(crate) fn primary_index() -> IndexId {
+        IndexId(0)
+    }
+}

@@ -1,0 +1,102 @@
+//! Engine configuration.
+
+use std::time::Duration;
+
+use mmdb_common::isolation::ConcurrencyMode;
+
+/// Configuration of the multiversion engine.
+#[derive(Debug, Clone)]
+pub struct MvConfig {
+    /// Default concurrency mode for transactions started through the generic
+    /// [`Engine::begin`](mmdb_common::engine::Engine::begin) entry point.
+    /// Individual transactions can override it via
+    /// [`MvEngine::begin_with`](crate::engine::MvEngine::begin_with) — the two
+    /// schemes coexist (§4.5).
+    pub default_mode: ConcurrencyMode,
+    /// Upper bound on the time a transaction will wait for outstanding
+    /// wait-for or commit dependencies before giving up and aborting. This is
+    /// a safety net (the deadlock detector normally resolves cycles first).
+    pub wait_timeout: Duration,
+    /// Run a cooperative garbage-collection step after this many commits on a
+    /// worker thread (0 disables cooperative collection; call
+    /// [`MvEngine::collect_garbage`](crate::engine::MvEngine::collect_garbage)
+    /// manually instead).
+    pub gc_every_n_commits: u64,
+    /// Maximum number of versions examined per garbage-collection step.
+    pub gc_batch: usize,
+    /// How often the background deadlock detector wakes up.
+    pub deadlock_interval: Duration,
+    /// Whether to run the background deadlock detector thread. Wait-for
+    /// dependencies (pessimistic scheme) can deadlock; with the detector
+    /// disabled, cycles are broken only by `wait_timeout`.
+    pub deadlock_detector: bool,
+}
+
+impl Default for MvConfig {
+    fn default() -> Self {
+        MvConfig {
+            default_mode: ConcurrencyMode::Optimistic,
+            wait_timeout: Duration::from_secs(2),
+            gc_every_n_commits: 128,
+            gc_batch: 256,
+            deadlock_interval: Duration::from_millis(5),
+            deadlock_detector: true,
+        }
+    }
+}
+
+impl MvConfig {
+    /// Configuration whose default transactions run the optimistic scheme.
+    pub fn optimistic() -> Self {
+        MvConfig { default_mode: ConcurrencyMode::Optimistic, ..Default::default() }
+    }
+
+    /// Configuration whose default transactions run the pessimistic scheme.
+    pub fn pessimistic() -> Self {
+        MvConfig { default_mode: ConcurrencyMode::Pessimistic, ..Default::default() }
+    }
+
+    /// Builder-style override of the wait timeout.
+    pub fn with_wait_timeout(mut self, timeout: Duration) -> Self {
+        self.wait_timeout = timeout;
+        self
+    }
+
+    /// Builder-style override of the cooperative GC frequency.
+    pub fn with_gc_every(mut self, commits: u64) -> Self {
+        self.gc_every_n_commits = commits;
+        self
+    }
+
+    /// Builder-style toggle for the deadlock detector.
+    pub fn with_deadlock_detector(mut self, enabled: bool) -> Self {
+        self.deadlock_detector = enabled;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = MvConfig::default();
+        assert_eq!(c.default_mode, ConcurrencyMode::Optimistic);
+        assert!(c.wait_timeout > Duration::from_millis(100));
+        assert!(c.gc_batch > 0);
+        assert!(c.deadlock_detector);
+    }
+
+    #[test]
+    fn builders_override() {
+        let c = MvConfig::pessimistic()
+            .with_wait_timeout(Duration::from_millis(50))
+            .with_gc_every(1)
+            .with_deadlock_detector(false);
+        assert_eq!(c.default_mode, ConcurrencyMode::Pessimistic);
+        assert_eq!(c.wait_timeout, Duration::from_millis(50));
+        assert_eq!(c.gc_every_n_commits, 1);
+        assert!(!c.deadlock_detector);
+    }
+}

@@ -1,0 +1,250 @@
+//! The multiversion engine: public entry point tying the storage substrate
+//! and the two concurrency-control schemes together.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+use std::thread::JoinHandle;
+
+use mmdb_common::engine::Engine;
+use mmdb_common::error::Result;
+use mmdb_common::ids::TableId;
+use mmdb_common::isolation::{ConcurrencyMode, IsolationLevel};
+use mmdb_common::row::{Row, TableSpec};
+use mmdb_common::stats::EngineStats;
+
+use mmdb_storage::log::RedoLogger;
+use mmdb_storage::store::MvStore;
+use mmdb_storage::txn_table::TxnHandle;
+
+use crate::config::MvConfig;
+use crate::deadlock;
+use crate::txn::MvTransaction;
+
+/// Shared engine internals (store + configuration + background machinery).
+pub(crate) struct MvInner {
+    pub(crate) store: MvStore,
+    pub(crate) config: MvConfig,
+    /// Commits since the last cooperative garbage-collection step.
+    commits_since_gc: AtomicU64,
+    /// Tells the background deadlock detector to stop.
+    stop: AtomicBool,
+}
+
+impl MvInner {
+    /// Cooperative maintenance performed by the committing thread itself: a
+    /// bounded garbage-collection step every `gc_every_n_commits` commits.
+    pub(crate) fn after_commit(&self) {
+        let every = self.config.gc_every_n_commits;
+        if every == 0 {
+            return;
+        }
+        let n = self.commits_since_gc.fetch_add(1, Ordering::Relaxed) + 1;
+        if n % every == 0 {
+            self.store.collect_garbage(self.config.gc_batch);
+        }
+    }
+}
+
+/// The multiversion engine ("MV/O" or "MV/L" depending on the default mode,
+/// with per-transaction overrides).
+///
+/// Cloning is cheap (an `Arc` clone) and all clones share the same database.
+#[derive(Clone)]
+pub struct MvEngine {
+    inner: Arc<MvInner>,
+    /// Join handle of the deadlock detector (shared; joined on last drop).
+    detector: Option<Arc<DetectorHandle>>,
+}
+
+struct DetectorHandle {
+    inner: Weak<MvInner>,
+    thread: parking_lot::Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Drop for DetectorHandle {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.upgrade() {
+            inner.stop.store(true, Ordering::Release);
+        }
+        if let Some(handle) = self.thread.lock().take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl MvEngine {
+    /// Create an engine with the given configuration and a discarding logger.
+    pub fn new(config: MvConfig) -> MvEngine {
+        Self::with_logger(config, Arc::new(mmdb_storage::log::NullLogger::new()))
+    }
+
+    /// Create an engine whose default transactions run optimistically (MV/O).
+    pub fn optimistic(mut config: MvConfig) -> MvEngine {
+        config.default_mode = ConcurrencyMode::Optimistic;
+        Self::new(config)
+    }
+
+    /// Create an engine whose default transactions run pessimistically (MV/L).
+    pub fn pessimistic(mut config: MvConfig) -> MvEngine {
+        config.default_mode = ConcurrencyMode::Pessimistic;
+        Self::new(config)
+    }
+
+    /// Create an engine writing redo records to `logger`.
+    pub fn with_logger(config: MvConfig, logger: Arc<dyn RedoLogger>) -> MvEngine {
+        let inner = Arc::new(MvInner {
+            store: MvStore::new(logger),
+            config: config.clone(),
+            commits_since_gc: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+        });
+        let detector = if config.deadlock_detector {
+            let weak = Arc::downgrade(&inner);
+            let interval = config.deadlock_interval;
+            let thread = std::thread::Builder::new()
+                .name("mmdb-deadlock-detector".into())
+                .spawn(move || loop {
+                    std::thread::sleep(interval);
+                    let Some(inner) = weak.upgrade() else { break };
+                    if inner.stop.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let victims = deadlock::detect_and_resolve(&inner.store);
+                    if victims > 0 {
+                        EngineStats::add(&inner.store.stats().deadlock_aborts, victims as u64);
+                    }
+                })
+                .expect("spawn deadlock detector");
+            Some(Arc::new(DetectorHandle {
+                inner: Arc::downgrade(&inner),
+                thread: parking_lot::Mutex::new(Some(thread)),
+            }))
+        } else {
+            None
+        };
+        MvEngine { inner, detector }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &MvConfig {
+        &self.inner.config
+    }
+
+    /// Direct access to the underlying store (diagnostics, tests).
+    pub fn store(&self) -> &MvStore {
+        &self.inner.store
+    }
+
+    /// Begin a transaction with an explicit concurrency mode, overriding the
+    /// engine default. Optimistic and pessimistic transactions may run
+    /// concurrently against the same database (§4.5).
+    pub fn begin_with(&self, mode: ConcurrencyMode, isolation: IsolationLevel) -> MvTransaction {
+        let store = &self.inner.store;
+        let id = store.clock().next_txn_id();
+        let begin_ts = store.clock().next_timestamp();
+        let handle = TxnHandle::new(id, begin_ts, mode, isolation);
+        store.txns().register(Arc::clone(&handle));
+        MvTransaction::new(Arc::clone(&self.inner), handle)
+    }
+
+    /// Bulk-load committed rows outside of any transaction (initial database
+    /// population).
+    pub fn populate<I>(&self, table: TableId, rows: I) -> Result<usize>
+    where
+        I: IntoIterator<Item = Row>,
+    {
+        self.inner.store.populate(table, rows)
+    }
+
+    /// Run a bounded garbage-collection step now. Returns the number of
+    /// versions reclaimed.
+    pub fn collect_garbage(&self) -> usize {
+        self.inner.store.collect_garbage(self.inner.config.gc_batch)
+    }
+
+    /// Number of versions currently reachable in `table`'s primary index
+    /// (diagnostic).
+    pub fn version_count(&self, table: TableId) -> Result<usize> {
+        Ok(self.inner.store.table(table)?.version_count())
+    }
+
+    /// Replay redo-log records into this (freshly created) engine.
+    ///
+    /// The paper's engines log each committed transaction's new versions and
+    /// deleted keys together with its end timestamp, and note that "commit
+    /// ordering is determined by transaction end timestamps" (§3.2). Recovery
+    /// therefore sorts the records by end timestamp and re-applies them in
+    /// that order: a `Write` op upserts the row by primary key, a `Delete` op
+    /// removes it. Tables must have been re-created (same IDs) before
+    /// replaying.
+    ///
+    /// Returns the number of log records applied.
+    pub fn replay_log<I>(&self, records: I) -> Result<usize>
+    where
+        I: IntoIterator<Item = mmdb_storage::log::LogRecord>,
+    {
+        use mmdb_common::engine::{Engine as _, EngineTxn as _};
+        use mmdb_common::ids::IndexId;
+        use mmdb_storage::log::LogOp;
+
+        let mut records: Vec<_> = records.into_iter().collect();
+        records.sort_by_key(|r| r.end_ts);
+        let mut applied = 0;
+        for record in records {
+            let mut txn = self.begin(IsolationLevel::ReadCommitted);
+            for op in record.ops {
+                match op {
+                    LogOp::Write { table, row } => {
+                        let key = self.inner.store.table(table)?.key_of(IndexId(0), &row)?;
+                        if !txn.update(table, IndexId(0), key, row.clone())? {
+                            txn.insert(table, row)?;
+                        }
+                    }
+                    LogOp::Delete { table, key } => {
+                        txn.delete(table, IndexId(0), key)?;
+                    }
+                }
+            }
+            txn.commit()?;
+            applied += 1;
+        }
+        Ok(applied)
+    }
+}
+
+impl Engine for MvEngine {
+    type Txn = MvTransaction;
+
+    fn create_table(&self, spec: TableSpec) -> Result<TableId> {
+        self.inner.store.create_table(spec)
+    }
+
+    fn begin(&self, isolation: IsolationLevel) -> MvTransaction {
+        self.begin_with(self.inner.config.default_mode, isolation)
+    }
+
+    fn stats(&self) -> &EngineStats {
+        self.inner.store.stats()
+    }
+
+    fn label(&self) -> &'static str {
+        match self.inner.config.default_mode {
+            ConcurrencyMode::Optimistic => "MV/O",
+            ConcurrencyMode::Pessimistic => "MV/L",
+        }
+    }
+
+    fn maintenance(&self) {
+        self.inner.store.collect_garbage(self.inner.config.gc_batch);
+    }
+}
+
+impl std::fmt::Debug for MvEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MvEngine")
+            .field("mode", &self.inner.config.default_mode)
+            .field("store", &self.inner.store)
+            .field("detector", &self.detector.is_some())
+            .finish()
+    }
+}

@@ -1,0 +1,728 @@
+//! The multiversion transaction: shared infrastructure and the normal
+//! processing phase (§2.4 step 2, §3.1, §4.3.1).
+//!
+//! One [`MvTransaction`] type serves both concurrency-control schemes; the
+//! [`ConcurrencyMode`] chosen at `begin` decides which extra steps run:
+//!
+//! * **Optimistic (MV/O, §3)** — reads and scans are recorded in the ReadSet
+//!   and ScanSet for validation at commit; no locks are taken.
+//! * **Pessimistic (MV/L, §4)** — reads of latest versions take record read
+//!   locks, serializable scans take bucket locks, and eager updates/inserts
+//!   install wait-for dependencies instead of blocking.
+//!
+//! Both modes use the same visibility logic, the same write-lock installation
+//! (a CAS on the version's End word) and the same commit-dependency machinery
+//! for speculative reads, which is what makes them mutually compatible
+//! (§4.5).
+
+use std::sync::Arc;
+
+use crossbeam::epoch;
+
+use mmdb_common::engine::EngineTxn;
+use mmdb_common::error::{MmdbError, Result};
+use mmdb_common::ids::{IndexId, Key, TableId, Timestamp, TxnId};
+use mmdb_common::isolation::{ConcurrencyMode, IsolationLevel};
+use mmdb_common::row::Row;
+use mmdb_common::stats::EngineStats;
+use mmdb_common::word::{EndWord, LockWord};
+
+use mmdb_storage::table::{Table, VersionPtr};
+use mmdb_storage::txn_table::{DepRegistration, TxnHandle};
+use mmdb_storage::version::Version;
+
+use crate::engine::MvInner;
+use crate::visibility::{check_updatable, check_visibility, Updatability, Visibility};
+
+/// A pointer to a version the transaction read (checked again during
+/// optimistic validation).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ReadEntry {
+    pub version: VersionPtr,
+}
+
+/// A recorded index scan, sufficient to repeat it during validation
+/// (§3.1 "Start scan": index plus search predicate — here an equality
+/// predicate on the index key).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ScanEntry {
+    pub table: TableId,
+    pub index: IndexId,
+    pub key: Key,
+}
+
+/// A recorded write: the old version (update/delete) and/or the new version
+/// (insert/update), plus what to put in the redo log.
+#[derive(Debug, Clone)]
+pub(crate) struct WriteEntry {
+    pub table: TableId,
+    /// Old version superseded or deleted by this transaction, if any.
+    pub old: Option<VersionPtr>,
+    /// New version created by this transaction, if any.
+    pub new: Option<VersionPtr>,
+    /// Primary-index key logged for deletes.
+    pub delete_key: Option<Key>,
+}
+
+/// A bucket lock held by a serializable pessimistic transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct BucketLockRef {
+    pub table: TableId,
+    pub index: IndexId,
+    pub bucket: usize,
+}
+
+/// A transaction against the multiversion engine.
+///
+/// Obtained from [`MvEngine::begin`](crate::engine::MvEngine::begin) or
+/// [`MvEngine::begin_with`](crate::engine::MvEngine::begin_with); finished
+/// with [`EngineTxn::commit`] or [`EngineTxn::abort`]. Dropping an unfinished
+/// transaction aborts it.
+pub struct MvTransaction {
+    pub(crate) inner: Arc<MvInner>,
+    pub(crate) handle: Arc<TxnHandle>,
+    pub(crate) read_set: Vec<ReadEntry>,
+    pub(crate) scan_set: Vec<ScanEntry>,
+    pub(crate) write_set: Vec<WriteEntry>,
+    /// Versions read-locked by this (pessimistic) transaction.
+    pub(crate) read_locks: Vec<VersionPtr>,
+    /// Buckets locked by this (serializable pessimistic) transaction.
+    pub(crate) bucket_locks: Vec<BucketLockRef>,
+    /// Set when an operation failed in a way that forces an abort
+    /// (first-writer-wins conflicts, failed dependencies, ...). `commit`
+    /// refuses to proceed once set.
+    pub(crate) must_abort: Option<MmdbError>,
+    /// True once commit/abort processing has run.
+    pub(crate) finished: bool,
+}
+
+impl MvTransaction {
+    pub(crate) fn new(inner: Arc<MvInner>, handle: Arc<TxnHandle>) -> MvTransaction {
+        MvTransaction {
+            inner,
+            handle,
+            read_set: Vec::new(),
+            scan_set: Vec::new(),
+            write_set: Vec::new(),
+            read_locks: Vec::new(),
+            bucket_locks: Vec::new(),
+            must_abort: None,
+            finished: false,
+        }
+    }
+
+    /// The transaction's concurrency mode (optimistic or pessimistic).
+    pub fn mode(&self) -> ConcurrencyMode {
+        self.handle.mode()
+    }
+
+    /// The transaction's begin timestamp.
+    pub fn begin_ts(&self) -> Timestamp {
+        self.handle.begin_ts()
+    }
+
+    #[inline]
+    pub(crate) fn me(&self) -> TxnId {
+        self.handle.id()
+    }
+
+    #[inline]
+    pub(crate) fn stats(&self) -> &EngineStats {
+        self.inner.store.stats()
+    }
+
+    /// The logical read time (§2.5, §3.4, §4.3.1): read-committed reads "now"
+    /// so it always sees the latest committed version; snapshot isolation
+    /// reads as of the begin time; the serializable / repeatable-read rules
+    /// differ between the two schemes (the optimistic scheme reads as of the
+    /// begin time and validates, the pessimistic scheme reads the latest
+    /// version and locks it).
+    pub(crate) fn read_time(&self) -> Timestamp {
+        let iso = self.handle.isolation();
+        match self.handle.mode() {
+            ConcurrencyMode::Optimistic => {
+                if iso.optimistic_reads_at_begin() {
+                    self.handle.begin_ts()
+                } else {
+                    self.inner.store.clock().now()
+                }
+            }
+            ConcurrencyMode::Pessimistic => {
+                if iso == IsolationLevel::SnapshotIsolation {
+                    self.handle.begin_ts()
+                } else {
+                    self.inner.store.clock().now()
+                }
+            }
+        }
+    }
+
+    /// Record a fatal (abort-forcing) error and return it.
+    pub(crate) fn fail(&mut self, err: MmdbError) -> MmdbError {
+        if self.must_abort.is_none() {
+            self.must_abort = Some(err.clone());
+        }
+        err
+    }
+
+    fn ensure_open(&self) -> Result<()> {
+        if self.finished {
+            return Err(MmdbError::TransactionClosed);
+        }
+        if self.handle.abort_requested() {
+            return Err(MmdbError::Aborted);
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Commit dependencies (§2.7)
+    // ------------------------------------------------------------------
+
+    /// Take a commit dependency on `target` because we speculatively read
+    /// (`speculative_visible == true`) or speculatively ignored (`false`)
+    /// `version` at read time `rt`.
+    pub(crate) fn take_commit_dependency(
+        &mut self,
+        target: TxnId,
+        version: &Version,
+        speculative_visible: bool,
+        rt: Timestamp,
+    ) -> Result<()> {
+        EngineStats::bump(&self.stats().commit_dependencies);
+        self.handle.add_incoming_commit_dep();
+        match self.inner.store.txns().get(target) {
+            Some(t) => match t.add_commit_dependent(self.me()) {
+                DepRegistration::Registered => Ok(()),
+                DepRegistration::AlreadyCommitted => {
+                    self.handle.resolve_incoming_commit_dep(true);
+                    Ok(())
+                }
+                DepRegistration::AlreadyAborted => {
+                    self.handle.resolve_incoming_commit_dep(true); // rebalance the counter...
+                    self.handle.request_abort(); // ...but the speculation failed
+                    Err(self.fail(MmdbError::CommitDependencyFailed))
+                }
+            },
+            None => {
+                // The target terminated and finalized the version's fields;
+                // decide from what the field says now.
+                let ok = if speculative_visible {
+                    match version.begin_word().as_timestamp() {
+                        Some(ts) => !ts.is_infinity() && ts <= rt,
+                        None => false,
+                    }
+                } else {
+                    match version.end_word().as_timestamp() {
+                        Some(ts) => ts <= rt,
+                        None => false,
+                    }
+                };
+                self.handle.resolve_incoming_commit_dep(true);
+                if ok {
+                    Ok(())
+                } else {
+                    self.handle.request_abort();
+                    Err(self.fail(MmdbError::CommitDependencyFailed))
+                }
+            }
+        }
+    }
+
+    /// Interpret a visibility outcome, taking any required commit dependency.
+    /// Returns whether the version is visible.
+    pub(crate) fn resolve_visibility(
+        &mut self,
+        version: &Version,
+        vis: Visibility,
+        rt: Timestamp,
+    ) -> Result<bool> {
+        if let Some(dep) = vis.dependency {
+            self.take_commit_dependency(dep, version, vis.visible, rt)?;
+        }
+        Ok(vis.visible)
+    }
+
+    // ------------------------------------------------------------------
+    // Pessimistic record locks (§4.1.1, §4.2.1)
+    // ------------------------------------------------------------------
+
+    /// Acquire a read lock on `version` (which the caller determined to be a
+    /// latest version visible to us). Installs a wait-for dependency on the
+    /// version's write locker if we are the first reader (§4.2.1).
+    ///
+    /// If the version has been finalized to a committed end timestamp in the
+    /// meantime (another writer committed between our visibility check and
+    /// the lock attempt), the read is no longer stable and the transaction
+    /// aborts — the pessimistic scheme has no validation step that could
+    /// catch the stale read later.
+    pub(crate) fn acquire_read_lock(&mut self, version: &Version, ptr: VersionPtr) -> Result<()> {
+        let outcome = version.update_end(|word| match word {
+            EndWord::Timestamp(ts) if ts.is_infinity() => {
+                Some(EndWord::Lock(LockWord::EMPTY.with_extra_reader().expect("0 < max")))
+            }
+            // Superseded by a committed transaction after our visibility
+            // check: signal "stop" and abort below.
+            EndWord::Timestamp(_) => None,
+            EndWord::Lock(lock) => {
+                if lock.no_more_read_locks {
+                    None
+                } else {
+                    lock.with_extra_reader().map(EndWord::Lock)
+                }
+            }
+        });
+
+        match outcome {
+            Ok((before, _after)) => {
+                if let EndWord::Lock(before_lock) = before {
+                    if before_lock.read_lock_count == 0 {
+                        if let Some(writer) = before_lock.writer {
+                            // First read lock on a write-locked version: the
+                            // writer must now wait for us (§4.2.1).
+                            if !self.install_wait_for_on(writer) {
+                                // The writer no longer accepts dependencies;
+                                // undo our read lock and abort (the paper's
+                                // starvation rule).
+                                self.undo_read_lock(version);
+                                return Err(self.fail(MmdbError::ReadLockUnavailable));
+                            }
+                        }
+                    }
+                }
+                self.read_locks.push(ptr);
+                self.handle.record_read_lock(ptr);
+                Ok(())
+            }
+            Err(_observed) => {
+                // Either the version was superseded while we were looking
+                // (stale read — no lock can make it stable any more) or the
+                // read-lock count is saturated / closed. The paper aborts the
+                // reader in the latter cases; we abort in both.
+                EngineStats::bump(&self.stats().write_conflicts);
+                Err(self.fail(MmdbError::ReadLockUnavailable))
+            }
+        }
+    }
+
+    /// Undo a read-lock acquisition whose wait-for installation failed. Sets
+    /// `NoMoreReadLocks` so the counter cannot oscillate around zero while
+    /// the writer is precommitting.
+    fn undo_read_lock(&self, version: &Version) {
+        let _ = version.update_end(|word| match word {
+            EndWord::Lock(lock) if lock.read_lock_count > 0 => {
+                let mut new = lock.with_reader_released();
+                new.no_more_read_locks = true;
+                Some(EndWord::Lock(new))
+            }
+            _ => None,
+        });
+    }
+
+    /// Release one read lock (end of normal processing, §4.3.1). If we are
+    /// the last reader of a write-locked version we also release the writer's
+    /// wait-for dependency (§4.2.1).
+    pub(crate) fn release_read_lock(&self, ptr: VersionPtr) {
+        let version = ptr.get();
+        let outcome = version.update_end(|word| match word {
+            EndWord::Lock(lock) if lock.read_lock_count > 0 => {
+                let mut new = lock.with_reader_released();
+                if new.read_lock_count == 0 && new.writer.is_some() {
+                    // Prevent further read locks: the writer is about to be
+                    // released and new read locks could not delay it anyway.
+                    new.no_more_read_locks = true;
+                }
+                Some(EndWord::Lock(new))
+            }
+            // Already finalized to a timestamp (the writer committed and
+            // postprocessed) or the lock vanished: nothing to release.
+            _ => None,
+        });
+        if let Ok((EndWord::Lock(before), EndWord::Lock(after))) = outcome {
+            if before.read_lock_count == 1 && after.read_lock_count == 0 {
+                if let Some(writer) = before.writer {
+                    if let Some(w) = self.inner.store.txns().get(writer) {
+                        w.release_wait_for();
+                    }
+                }
+            }
+        }
+        self.handle.forget_read_lock(ptr);
+    }
+
+    /// Install a wait-for dependency *on ourselves* held by `holder`: we may
+    /// not precommit until `holder` completes. Registers us in nobody's list
+    /// — the dependency is released by whoever owns the triggering resource
+    /// (see callers). Returns false if our own counter may no longer grow.
+    pub(crate) fn self_wait_on_version(&mut self) -> bool {
+        EngineStats::bump(&self.stats().wait_for_dependencies);
+        self.handle.try_add_wait_for()
+    }
+
+    /// Make `target` wait for us: increments `target`'s WaitForCounter and
+    /// remembers it in our WaitingTxnList so our precommit releases it.
+    /// Returns false if `target` no longer accepts wait-for dependencies.
+    pub(crate) fn impose_wait_for_on(&mut self, target: TxnId) -> bool {
+        let Some(t) = self.inner.store.txns().get(target) else {
+            // Target already terminated: nothing to delay.
+            return true;
+        };
+        if !t.try_add_wait_for() {
+            return false;
+        }
+        EngineStats::bump(&self.stats().wait_for_dependencies);
+        self.handle.add_waiting_txn(target);
+        true
+    }
+
+    /// Make ourselves wait for `holder` (bucket-lock case, §4.2.2): increment
+    /// our WaitForCounter and register in `holder`'s WaitingTxnList so that
+    /// `holder`'s precommit releases us.
+    pub(crate) fn wait_for_holder(&mut self, holder: TxnId) -> Result<()> {
+        if holder == self.me() {
+            return Ok(());
+        }
+        let Some(h) = self.inner.store.txns().get(holder) else {
+            return Ok(());
+        };
+        if !self.handle.try_add_wait_for() {
+            return Err(self.fail(MmdbError::WaitForRefused));
+        }
+        EngineStats::bump(&self.stats().wait_for_dependencies);
+        if !h.add_waiting_txn(self.me()) {
+            // Holder already completed; no need to wait after all.
+            self.handle.release_wait_for();
+        }
+        Ok(())
+    }
+
+    /// Install a wait-for dependency on `writer` on behalf of ourselves as a
+    /// first reader (§4.2.1): `writer` may not precommit until we release our
+    /// read lock. The release happens through the lock word (last reader
+    /// decrements), so the writer is *not* added to our WaitingTxnList.
+    fn install_wait_for_on(&mut self, writer: TxnId) -> bool {
+        let Some(w) = self.inner.store.txns().get(writer) else {
+            // Writer terminated; it has already precommitted, nothing to delay.
+            return true;
+        };
+        EngineStats::bump(&self.stats().wait_for_dependencies);
+        w.try_add_wait_for()
+    }
+
+    // ------------------------------------------------------------------
+    // Write-lock installation and new-version linking
+    // ------------------------------------------------------------------
+
+    /// Install our write lock on `version`, which the updatability check said
+    /// was updatable with End word `observed`. Preserves any read-lock bits
+    /// (both schemes honor read locks, §4.5). On success, if the version was
+    /// read-locked we take a wait-for dependency on it (eager update,
+    /// §4.2.1).
+    pub(crate) fn install_write_lock(&mut self, version: &Version, observed: EndWord) -> Result<()> {
+        let new_word = match observed {
+            EndWord::Timestamp(ts) if ts.is_infinity() => EndWord::Lock(LockWord::write_locked(self.me())),
+            EndWord::Lock(lock) => EndWord::Lock(lock.with_writer(self.me())),
+            EndWord::Timestamp(_) => {
+                return Err(self.fail(MmdbError::WriteWriteConflict { txn: self.me(), holder: None }))
+            }
+        };
+        if !version.cas_end(observed, new_word) {
+            EngineStats::bump(&self.stats().write_conflicts);
+            return Err(self.fail(MmdbError::WriteWriteConflict { txn: self.me(), holder: version.write_locker() }));
+        }
+        if let EndWord::Lock(lock) = observed {
+            if lock.read_lock_count > 0 {
+                // Eager update of a read-locked version: we cannot precommit
+                // until the read locks drain. The last reader to release
+                // decrements our counter (§4.2.1).
+                self.self_wait_on_version();
+            }
+        }
+        Ok(())
+    }
+
+    /// Honor bucket locks when adding a new version to the indexes (§4.2.2):
+    /// for every locked bucket the new version lands in, wait for every
+    /// lock-holding (serializable) transaction.
+    pub(crate) fn honor_bucket_locks(&mut self, table: &Table, keys: &[Key]) -> Result<()> {
+        for (slot, key) in keys.iter().enumerate() {
+            let index = IndexId(slot as u32);
+            let locks = table.bucket_locks(index)?;
+            let bucket = table.bucket_of(index, *key)?;
+            if locks.is_locked(bucket) {
+                for holder in locks.holders(bucket) {
+                    self.wait_for_holder(holder)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Register a serializable scan for later validation (optimistic) or take
+    /// the bucket lock (pessimistic).
+    pub(crate) fn register_scan(&mut self, table: &Table, index: IndexId, key: Key) -> Result<()> {
+        if !self.handle.isolation().requires_phantom_protection() {
+            return Ok(());
+        }
+        match self.handle.mode() {
+            ConcurrencyMode::Optimistic => {
+                let entry = ScanEntry { table: table.id(), index, key };
+                if !self.scan_set.contains(&entry) {
+                    self.scan_set.push(entry);
+                }
+            }
+            ConcurrencyMode::Pessimistic => {
+                let bucket = table.bucket_of(index, key)?;
+                if table.bucket_locks(index)?.lock(bucket, self.me()) {
+                    self.bucket_locks.push(BucketLockRef { table: table.id(), index, bucket });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Normal-processing operations
+    // ------------------------------------------------------------------
+
+    /// Core of `read`/`scan_key`: find the versions visible at the read time
+    /// whose `index` key equals `key`. If `single` is set, stop at the first
+    /// visible version (unique-index point lookup).
+    fn scan_visible(
+        &mut self,
+        table_id: TableId,
+        index: IndexId,
+        key: Key,
+        single: bool,
+    ) -> Result<Vec<(VersionPtr, Row)>> {
+        self.ensure_open()?;
+        let table = self.inner.store.table(table_id)?;
+        let rt = self.read_time();
+        let iso = self.handle.isolation();
+        let mode = self.handle.mode();
+        self.register_scan(&table, index, key)?;
+
+        let guard = epoch::pin();
+        let mut out = Vec::new();
+        // Collect candidate pointers first so we do not hold the iterator
+        // borrow while taking dependencies (which needs `&mut self`).
+        let candidates: Vec<VersionPtr> = table
+            .candidates(index, key, &guard)?
+            .map(|v| VersionPtr::from_shared(crossbeam::epoch::Shared::from(v as *const Version)))
+            .collect();
+
+        for ptr in candidates {
+            let version = ptr.get();
+            let vis = check_visibility(version, rt, self.me(), self.inner.store.txns());
+
+            if !vis.visible
+                && mode == ConcurrencyMode::Pessimistic
+                && iso.requires_phantom_protection()
+            {
+                // §4.3.1: an invisible version write-locked by a still-active
+                // transaction is a potential phantom; delay that updater's
+                // precommit until we are done.
+                if let Some(writer) = version.end_word().writer() {
+                    if writer != self.me() && vis.dependency.is_none() {
+                        if !self.impose_wait_for_on(writer) {
+                            return Err(self.fail(MmdbError::WaitForRefused));
+                        }
+                    }
+                }
+            }
+
+            let visible = self.resolve_visibility(version, vis, rt)?;
+            if !visible {
+                continue;
+            }
+
+            // Reads at repeatable-read or serializable need read stability.
+            if iso.requires_read_stability() {
+                match mode {
+                    ConcurrencyMode::Optimistic => self.read_set.push(ReadEntry { version: ptr }),
+                    ConcurrencyMode::Pessimistic => {
+                        // Updates and deletes only ever touch latest versions,
+                        // so only latest versions need read locks. A visible
+                        // version at the pessimistic read time ("now") is the
+                        // latest unless a writer just superseded it, in which
+                        // case `acquire_read_lock` aborts us.
+                        self.acquire_read_lock(version, ptr)?;
+                    }
+                }
+            }
+
+            out.push((ptr, version.data().clone()));
+            if single {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Locate the version this transaction should update or delete: the
+    /// visible version with the given key. Pessimistic transactions (and
+    /// read-committed optimistic ones) see the latest committed version,
+    /// which is the one that must be updatable.
+    fn find_update_target(
+        &mut self,
+        table_id: TableId,
+        index: IndexId,
+        key: Key,
+    ) -> Result<Option<VersionPtr>> {
+        // Updates never read-lock the target (the write lock supersedes it)
+        // and never register the lookup as a scan for phantom purposes; the
+        // write itself is what must be protected. We therefore do a bare
+        // visibility pass here instead of reusing `scan_visible`.
+        self.ensure_open()?;
+        let table = self.inner.store.table(table_id)?;
+        let rt = self.read_time();
+        let guard = epoch::pin();
+        let candidates: Vec<VersionPtr> = table
+            .candidates(index, key, &guard)?
+            .map(|v| VersionPtr::from_shared(crossbeam::epoch::Shared::from(v as *const Version)))
+            .collect();
+        for ptr in candidates {
+            let version = ptr.get();
+            let vis = check_visibility(version, rt, self.me(), self.inner.store.txns());
+            if self.resolve_visibility(version, vis, rt)? {
+                return Ok(Some(ptr));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Create, register and link a new version carrying `row`.
+    fn add_new_version(&mut self, table: &Table, row: Row, old: Option<VersionPtr>, delete_key: Option<Key>) -> Result<VersionPtr> {
+        let keys = table.keys_of(&row)?;
+        // Respect bucket locks before the version becomes reachable.
+        self.honor_bucket_locks(table, &keys)?;
+        let owned = table.make_version(self.me(), row)?;
+        let guard = epoch::pin();
+        let ptr = table.link_version(owned, &guard);
+        EngineStats::bump(&self.stats().versions_created);
+        self.write_set.push(WriteEntry { table: table.id(), old, new: Some(ptr), delete_key });
+        Ok(ptr)
+    }
+
+    /// Enforce uniqueness for `insert` on every unique index of the table.
+    fn check_unique(&mut self, table: &Table, keys: &[Key]) -> Result<()> {
+        let rt = self.inner.store.clock().now();
+        let guard = epoch::pin();
+        for (slot, key) in keys.iter().enumerate() {
+            let index = IndexId(slot as u32);
+            if !table.is_unique(index)? {
+                continue;
+            }
+            let candidates: Vec<VersionPtr> = table
+                .candidates(index, *key, &guard)?
+                .map(|v| VersionPtr::from_shared(crossbeam::epoch::Shared::from(v as *const Version)))
+                .collect();
+            for ptr in candidates {
+                let version = ptr.get();
+                let vis = check_visibility(version, rt, self.me(), self.inner.store.txns());
+                if self.resolve_visibility(version, vis, rt)? {
+                    return Err(MmdbError::DuplicateKey { table: table.id(), index });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl EngineTxn for MvTransaction {
+    fn id(&self) -> TxnId {
+        self.handle.id()
+    }
+
+    fn isolation(&self) -> IsolationLevel {
+        self.handle.isolation()
+    }
+
+    fn insert(&mut self, table_id: TableId, row: Row) -> Result<()> {
+        self.ensure_open()?;
+        let table = self.inner.store.table(table_id)?;
+        let keys = table.keys_of(&row)?;
+        self.check_unique(&table, &keys)?;
+        self.add_new_version(&table, row, None, None)?;
+        Ok(())
+    }
+
+    fn read(&mut self, table: TableId, index: IndexId, key: Key) -> Result<Option<Row>> {
+        Ok(self.scan_visible(table, index, key, true)?.into_iter().map(|(_, row)| row).next())
+    }
+
+    fn scan_key(&mut self, table: TableId, index: IndexId, key: Key) -> Result<Vec<Row>> {
+        Ok(self.scan_visible(table, index, key, false)?.into_iter().map(|(_, row)| row).collect())
+    }
+
+    fn update(&mut self, table_id: TableId, index: IndexId, key: Key, new_row: Row) -> Result<bool> {
+        self.ensure_open()?;
+        let table = self.inner.store.table(table_id)?;
+        let Some(old_ptr) = self.find_update_target(table_id, index, key)? else {
+            return Ok(false);
+        };
+        let old = old_ptr.get();
+        // §2.6 / §3.1 "Check updatability" then "Update version".
+        match check_updatable(old, self.me(), self.inner.store.txns()) {
+            Updatability::Updatable { observed } => {
+                self.install_write_lock(old, observed)?;
+            }
+            Updatability::Conflict { holder } => {
+                EngineStats::bump(&self.stats().write_conflicts);
+                return Err(self.fail(MmdbError::WriteWriteConflict { txn: self.me(), holder }));
+            }
+        }
+        self.add_new_version(&table, new_row, Some(old_ptr), None)?;
+        Ok(true)
+    }
+
+    fn delete(&mut self, table_id: TableId, index: IndexId, key: Key) -> Result<bool> {
+        self.ensure_open()?;
+        let table = self.inner.store.table(table_id)?;
+        let Some(old_ptr) = self.find_update_target(table_id, index, key)? else {
+            return Ok(false);
+        };
+        let old = old_ptr.get();
+        match check_updatable(old, self.me(), self.inner.store.txns()) {
+            Updatability::Updatable { observed } => {
+                self.install_write_lock(old, observed)?;
+            }
+            Updatability::Conflict { holder } => {
+                EngineStats::bump(&self.stats().write_conflicts);
+                return Err(self.fail(MmdbError::WriteWriteConflict { txn: self.me(), holder }));
+            }
+        }
+        let delete_key = table.key_of(IndexId(0), old.data())?;
+        self.write_set.push(WriteEntry { table: table.id(), old: Some(old_ptr), new: None, delete_key: Some(delete_key) });
+        Ok(true)
+    }
+
+    fn commit(mut self) -> Result<Timestamp> {
+        self.do_commit()
+    }
+
+    fn abort(mut self) {
+        self.do_user_abort();
+    }
+}
+
+impl Drop for MvTransaction {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.do_user_abort();
+        }
+    }
+}
+
+impl std::fmt::Debug for MvTransaction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MvTransaction")
+            .field("id", &self.handle.id())
+            .field("mode", &self.handle.mode())
+            .field("isolation", &self.handle.isolation())
+            .field("begin_ts", &self.handle.begin_ts())
+            .field("reads", &self.read_set.len())
+            .field("writes", &self.write_set.len())
+            .finish()
+    }
+}

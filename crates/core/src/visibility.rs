@@ -1,0 +1,432 @@
+//! Version visibility and updatability (§2.5, §2.6 and Tables 1 & 2).
+//!
+//! A read specifies a logical read time `RT`; only versions whose valid time
+//! overlaps `RT` are visible. The complication is that a version's Begin or
+//! End field may hold a transaction ID rather than a timestamp, in which case
+//! the outcome depends on that transaction's state and end timestamp — and we
+//! must never block while finding out. When the other transaction is in the
+//! Preparing state the outcome is decided *speculatively* and the reader
+//! acquires a commit dependency instead of waiting.
+
+use mmdb_common::ids::{Timestamp, TxnId};
+use mmdb_common::word::{BeginWord, EndWord};
+
+use mmdb_storage::txn_table::{TxnState, TxnTable};
+use mmdb_storage::version::Version;
+
+/// Outcome of a visibility test.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Visibility {
+    /// Is the version visible at the requested read time?
+    pub visible: bool,
+    /// If `Some`, the outcome is speculative: it holds only if the named
+    /// transaction commits, so the reader must take a commit dependency on it
+    /// before relying on the outcome (§2.7).
+    pub dependency: Option<TxnId>,
+}
+
+impl Visibility {
+    const VISIBLE: Visibility = Visibility { visible: true, dependency: None };
+    const INVISIBLE: Visibility = Visibility { visible: false, dependency: None };
+
+    fn speculative(visible: bool, dep: TxnId) -> Visibility {
+        Visibility { visible, dependency: Some(dep) }
+    }
+}
+
+/// Outcome of an updatability test (§2.6).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Updatability {
+    /// The version is the latest and can be updated; the CAS that installs
+    /// the write lock should expect the End word observed here.
+    Updatable {
+        /// The End word observed during the test.
+        observed: EndWord,
+    },
+    /// Another (not aborted) transaction already superseded or write-locked
+    /// the version: a write-write conflict under first-writer-wins.
+    Conflict {
+        /// The conflicting transaction, when identifiable.
+        holder: Option<TxnId>,
+    },
+}
+
+/// How many times visibility re-reads a field whose owning transaction has
+/// terminated before concluding something is wrong. Termination finalizes the
+/// field first, so one or two retries always suffice in practice.
+const MAX_REREADS: u32 = 64;
+
+/// Check whether `version` is visible to transaction `me` at read time `rt`.
+///
+/// `me` identifies the reading transaction so its own writes resolve correctly.
+pub fn check_visibility(
+    version: &Version,
+    rt: Timestamp,
+    me: TxnId,
+    txns: &TxnTable,
+) -> Visibility {
+    // ---- Step 1: the Begin field (Table 1). ----
+    let mut begin_dep: Option<TxnId> = None;
+    let mut rereads = 0;
+    loop {
+        match version.begin_word() {
+            BeginWord::Timestamp(bts) => {
+                if bts > rt {
+                    // Not yet born at the read time (also covers aborted
+                    // versions whose Begin was set to infinity).
+                    return Visibility::INVISIBLE;
+                }
+                break;
+            }
+            BeginWord::Txn(tb) if tb == me => {
+                // My own uncommitted version: visible only if it is my latest
+                // (End still infinity / not superseded by me).
+                return match version.end_word() {
+                    EndWord::Timestamp(ts) if ts.is_infinity() => Visibility::VISIBLE,
+                    EndWord::Lock(lock) if lock.writer.is_none() => Visibility::VISIBLE,
+                    _ => Visibility::INVISIBLE,
+                };
+            }
+            BeginWord::Txn(tb) => match txns.get(tb) {
+                None => {
+                    // TB terminated and was removed: it has finalized the
+                    // Begin field, so re-read it.
+                    rereads += 1;
+                    if rereads > MAX_REREADS {
+                        return Visibility::INVISIBLE;
+                    }
+                    std::hint::spin_loop();
+                    continue;
+                }
+                Some(tb_handle) => {
+                    let (state, end) = tb_handle.state_and_end();
+                    match state {
+                        TxnState::Active => return Visibility::INVISIBLE,
+                        TxnState::Preparing => {
+                            let Some(ts) = end else { continue };
+                            if ts > rt {
+                                return Visibility::INVISIBLE;
+                            }
+                            // Speculatively readable: proceed, remembering the
+                            // dependency on TB committing.
+                            begin_dep = Some(tb);
+                            break;
+                        }
+                        TxnState::Committed => {
+                            let Some(ts) = end else { continue };
+                            if ts > rt {
+                                return Visibility::INVISIBLE;
+                            }
+                            break;
+                        }
+                        TxnState::Aborted => return Visibility::INVISIBLE,
+                        TxnState::Terminated => {
+                            rereads += 1;
+                            if rereads > MAX_REREADS {
+                                return Visibility::INVISIBLE;
+                            }
+                            continue;
+                        }
+                    }
+                }
+            },
+        }
+    }
+
+    // ---- Step 2: the End field (Table 2). ----
+    let mut rereads = 0;
+    loop {
+        match version.end_word() {
+            EndWord::Timestamp(ets) => {
+                return if rt < ets {
+                    Visibility { visible: true, dependency: begin_dep }
+                } else {
+                    Visibility::INVISIBLE
+                };
+            }
+            EndWord::Lock(lock) => {
+                let Some(te) = lock.writer else {
+                    // Read locks only — the version is still the latest.
+                    return Visibility { visible: true, dependency: begin_dep };
+                };
+                if te == me {
+                    // I superseded or deleted this version myself; my reads
+                    // must observe my newer version instead.
+                    return Visibility::INVISIBLE;
+                }
+                match txns.get(te) {
+                    None => {
+                        rereads += 1;
+                        if rereads > MAX_REREADS {
+                            return Visibility { visible: true, dependency: begin_dep };
+                        }
+                        std::hint::spin_loop();
+                        continue;
+                    }
+                    Some(te_handle) => {
+                        let (state, end) = te_handle.state_and_end();
+                        match state {
+                            // TE's update is uncommitted: V is still the
+                            // latest committed version, hence visible.
+                            TxnState::Active => {
+                                return Visibility { visible: true, dependency: begin_dep }
+                            }
+                            TxnState::Preparing => {
+                                let Some(ts) = end else { continue };
+                                if ts > rt {
+                                    // Whatever TE does, V remains visible at rt.
+                                    return Visibility { visible: true, dependency: begin_dep };
+                                }
+                                // TS < RT: if TE commits V is invisible; if TE
+                                // aborts it stays visible. Speculatively ignore.
+                                return Visibility::speculative(false, te);
+                            }
+                            TxnState::Committed => {
+                                let Some(ts) = end else { continue };
+                                return if rt < ts {
+                                    Visibility { visible: true, dependency: begin_dep }
+                                } else {
+                                    Visibility::INVISIBLE
+                                };
+                            }
+                            TxnState::Aborted => {
+                                return Visibility { visible: true, dependency: begin_dep }
+                            }
+                            TxnState::Terminated => {
+                                rereads += 1;
+                                if rereads > MAX_REREADS {
+                                    return Visibility { visible: true, dependency: begin_dep };
+                                }
+                                continue;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Check whether `version` may be updated (or deleted) by transaction `me`
+/// (§2.6): it must be the latest version — End equal to infinity, carrying
+/// only read locks, or write-locked by a transaction that has aborted.
+pub fn check_updatable(version: &Version, me: TxnId, txns: &TxnTable) -> Updatability {
+    let mut rereads = 0;
+    loop {
+        let observed = version.end_word();
+        match observed {
+            EndWord::Timestamp(ts) if ts.is_infinity() => {
+                return Updatability::Updatable { observed };
+            }
+            EndWord::Timestamp(_) => {
+                // Already superseded by a committed transaction.
+                return Updatability::Conflict { holder: None };
+            }
+            EndWord::Lock(lock) => match lock.writer {
+                None => return Updatability::Updatable { observed },
+                Some(holder) if holder == me => {
+                    // Updating the same version twice within one transaction:
+                    // the caller should be operating on its own newer version
+                    // instead; report a conflict to keep first-writer-wins
+                    // semantics simple.
+                    return Updatability::Conflict { holder: Some(holder) };
+                }
+                Some(holder) => match txns.get(holder) {
+                    // The holder aborted: the version is still the latest
+                    // committed one and may be re-locked.
+                    Some(h) if h.state() == TxnState::Aborted => {
+                        return Updatability::Updatable { observed }
+                    }
+                    Some(_) => return Updatability::Conflict { holder: Some(holder) },
+                    None => {
+                        // Holder terminated: it finalized the End field
+                        // (commit) or reset it (abort) — re-read.
+                        rereads += 1;
+                        if rereads > MAX_REREADS {
+                            return Updatability::Conflict { holder: Some(holder) };
+                        }
+                        std::hint::spin_loop();
+                        continue;
+                    }
+                },
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmdb_common::ids::INFINITY_TS;
+    use mmdb_common::isolation::{ConcurrencyMode, IsolationLevel};
+    use mmdb_common::row::rowbuf;
+    use mmdb_common::word::LockWord;
+    use mmdb_storage::txn_table::TxnHandle;
+
+    fn committed_version(begin: u64, end: Option<u64>) -> Version {
+        let v = Version::new_committed(Timestamp(begin), rowbuf::keyed_row(1, 16, 0), vec![1]);
+        if let Some(e) = end {
+            v.set_end(EndWord::Timestamp(Timestamp(e)));
+        }
+        v
+    }
+
+    fn register(txns: &TxnTable, id: u64, begin: u64, state: TxnState, end: Option<u64>) {
+        let h = TxnHandle::new(TxnId(id), Timestamp(begin), ConcurrencyMode::Optimistic, IsolationLevel::Serializable);
+        if let Some(e) = end {
+            h.set_end_ts(Timestamp(e));
+        }
+        h.set_state(state);
+        txns.register(h);
+    }
+
+    const ME: TxnId = TxnId(500);
+
+    #[test]
+    fn plain_timestamps_define_a_window() {
+        let txns = TxnTable::new();
+        let v = committed_version(10, Some(20));
+        assert!(!check_visibility(&v, Timestamp(5), ME, &txns).visible);
+        assert!(check_visibility(&v, Timestamp(10), ME, &txns).visible);
+        assert!(check_visibility(&v, Timestamp(15), ME, &txns).visible);
+        assert!(!check_visibility(&v, Timestamp(20), ME, &txns).visible);
+        assert!(!check_visibility(&v, Timestamp(25), ME, &txns).visible);
+    }
+
+    #[test]
+    fn latest_version_visible_from_begin_onwards() {
+        let txns = TxnTable::new();
+        let v = committed_version(10, None);
+        assert!(check_visibility(&v, Timestamp(1_000_000), ME, &txns).visible);
+        assert!(!check_visibility(&v, Timestamp(9), ME, &txns).visible);
+    }
+
+    #[test]
+    fn own_uncommitted_version_visible_only_to_creator() {
+        let txns = TxnTable::new();
+        let v = Version::new(ME, rowbuf::keyed_row(1, 16, 0), vec![1]);
+        assert!(check_visibility(&v, Timestamp(100), ME, &txns).visible);
+        // Another transaction (begin word holds an ID of an Active txn).
+        register(&txns, ME.0, 50, TxnState::Active, None);
+        assert!(!check_visibility(&v, Timestamp(100), TxnId(7), &txns).visible);
+    }
+
+    #[test]
+    fn own_superseded_version_is_invisible_to_creator() {
+        let txns = TxnTable::new();
+        // I created it *and* then updated it (write lock by me): invisible.
+        let v = Version::new(ME, rowbuf::keyed_row(1, 16, 0), vec![1]);
+        v.set_end(EndWord::write_locked(ME));
+        assert!(!check_visibility(&v, Timestamp(100), ME, &txns).visible);
+    }
+
+    #[test]
+    fn begin_id_of_preparing_txn_is_speculative(){
+        let txns = TxnTable::new();
+        register(&txns, 9, 50, TxnState::Preparing, Some(60));
+        let v = Version::new(TxnId(9), rowbuf::keyed_row(1, 16, 0), vec![1]);
+        // Read time after TB's end timestamp: speculatively visible.
+        let vis = check_visibility(&v, Timestamp(70), ME, &txns);
+        assert!(vis.visible);
+        assert_eq!(vis.dependency, Some(TxnId(9)));
+        // Read time before TB's end timestamp: plain invisible.
+        let vis = check_visibility(&v, Timestamp(55), ME, &txns);
+        assert!(!vis.visible);
+        assert_eq!(vis.dependency, None);
+    }
+
+    #[test]
+    fn begin_id_of_committed_txn_uses_its_end_ts() {
+        let txns = TxnTable::new();
+        register(&txns, 9, 50, TxnState::Committed, Some(60));
+        let v = Version::new(TxnId(9), rowbuf::keyed_row(1, 16, 0), vec![1]);
+        assert!(check_visibility(&v, Timestamp(61), ME, &txns).visible);
+        assert!(!check_visibility(&v, Timestamp(59), ME, &txns).visible);
+        // No dependency: the outcome is certain.
+        assert_eq!(check_visibility(&v, Timestamp(61), ME, &txns).dependency, None);
+    }
+
+    #[test]
+    fn begin_id_of_aborted_txn_is_garbage() {
+        let txns = TxnTable::new();
+        register(&txns, 9, 50, TxnState::Aborted, None);
+        let v = Version::new(TxnId(9), rowbuf::keyed_row(1, 16, 0), vec![1]);
+        assert!(!check_visibility(&v, Timestamp(100), ME, &txns).visible);
+    }
+
+    #[test]
+    fn end_id_of_active_txn_keeps_version_visible() {
+        let txns = TxnTable::new();
+        register(&txns, 9, 50, TxnState::Active, None);
+        let v = committed_version(10, None);
+        v.set_end(EndWord::write_locked(TxnId(9)));
+        let vis = check_visibility(&v, Timestamp(100), ME, &txns);
+        assert!(vis.visible);
+        assert_eq!(vis.dependency, None);
+    }
+
+    #[test]
+    fn end_id_of_preparing_txn_splits_on_read_time() {
+        let txns = TxnTable::new();
+        register(&txns, 9, 50, TxnState::Preparing, Some(60));
+        let v = committed_version(10, None);
+        v.set_end(EndWord::write_locked(TxnId(9)));
+        // RT < TS: visible regardless of TE's outcome, no dependency.
+        let vis = check_visibility(&v, Timestamp(55), ME, &txns);
+        assert!(vis.visible);
+        assert_eq!(vis.dependency, None);
+        // RT > TS: speculatively ignore with a dependency on TE.
+        let vis = check_visibility(&v, Timestamp(70), ME, &txns);
+        assert!(!vis.visible);
+        assert_eq!(vis.dependency, Some(TxnId(9)));
+    }
+
+    #[test]
+    fn end_id_of_aborted_txn_means_visible() {
+        let txns = TxnTable::new();
+        register(&txns, 9, 50, TxnState::Aborted, Some(60));
+        let v = committed_version(10, None);
+        v.set_end(EndWord::write_locked(TxnId(9)));
+        assert!(check_visibility(&v, Timestamp(100), ME, &txns).visible);
+    }
+
+    #[test]
+    fn read_locked_version_is_visible() {
+        let txns = TxnTable::new();
+        let v = committed_version(10, None);
+        v.set_end(EndWord::Lock(LockWord::EMPTY.with_extra_reader().unwrap()));
+        assert!(check_visibility(&v, Timestamp(50), ME, &txns).visible);
+    }
+
+    #[test]
+    fn updatability_rules() {
+        let txns = TxnTable::new();
+        // Latest (infinity): updatable.
+        let v = committed_version(10, None);
+        assert!(matches!(check_updatable(&v, ME, &txns), Updatability::Updatable { .. }));
+        // Superseded by a committed version: conflict.
+        let v = committed_version(10, Some(20));
+        assert!(matches!(check_updatable(&v, ME, &txns), Updatability::Conflict { .. }));
+        // Write-locked by an active transaction: conflict identifying the holder.
+        register(&txns, 9, 50, TxnState::Active, None);
+        let v = committed_version(10, None);
+        v.set_end(EndWord::write_locked(TxnId(9)));
+        assert_eq!(check_updatable(&v, ME, &txns), Updatability::Conflict { holder: Some(TxnId(9)) });
+        // Write-locked by an aborted transaction: updatable again.
+        register(&txns, 11, 50, TxnState::Aborted, None);
+        let v = committed_version(10, None);
+        v.set_end(EndWord::write_locked(TxnId(11)));
+        assert!(matches!(check_updatable(&v, ME, &txns), Updatability::Updatable { .. }));
+        // Read-locked only: updatable (eager update).
+        let v = committed_version(10, None);
+        v.set_end(EndWord::Lock(LockWord::EMPTY.with_extra_reader().unwrap()));
+        assert!(matches!(check_updatable(&v, ME, &txns), Updatability::Updatable { .. }));
+    }
+
+    #[test]
+    fn infinity_begin_means_never_visible() {
+        let txns = TxnTable::new();
+        let v = committed_version(INFINITY_TS.raw(), None);
+        assert!(!check_visibility(&v, Timestamp(u64::MAX >> 2), ME, &txns).visible);
+    }
+}

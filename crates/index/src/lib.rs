@@ -1,0 +1,33 @@
+//! # mmdb-index
+//!
+//! Latch-free chained hash index used by the mmdb multiversion storage
+//! engine, plus the bucket-lock table the pessimistic scheme uses for
+//! phantom protection.
+//!
+//! The paper (§2.1): *"Our prototype currently supports only hash indexes
+//! which are implemented using lock-free hash tables. A table can have many
+//! indexes, and records are always accessed via an index lookup."* Versions
+//! that hash to the same bucket are linked together through a per-index
+//! pointer embedded in the version itself (the `Hash ptr` field of Figure 1).
+//!
+//! This crate provides that structure generically:
+//!
+//! * [`ChainNode`] — implemented by the storage engine's version type; a node
+//!   carries one intrusive next-pointer per index of its table.
+//! * [`HashIndex`] — a fixed-size bucket array of lock-free singly-linked
+//!   chains. Insertion is a CAS push at the bucket head; lookups traverse
+//!   under a `crossbeam_epoch` guard and never block; garbage versions are
+//!   unlinked with a CAS on the predecessor pointer (serialized per index by
+//!   the garbage collector) and reclaimed through the epoch mechanism.
+//! * [`BucketLockTable`] — the serializable-scan bucket locks of §4.1.2:
+//!   a lock count per bucket (fast "is it locked?" checks) plus a lock list
+//!   stored in a sharded side table keyed by bucket number.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bucket_lock;
+pub mod chain;
+
+pub use bucket_lock::BucketLockTable;
+pub use chain::{BucketIter, ChainNode, HashIndex};

@@ -1,0 +1,444 @@
+//! The single-version locking engine (1V) and its transactions.
+//!
+//! Records are updated in place; concurrency control is strict two-phase
+//! locking over the partitioned per-hash-key lock tables embedded in each
+//! index, with timeouts to break deadlocks (§5 of the paper). Because a lock
+//! covers every record with the same hash key, equality scans are
+//! automatically protected against phantoms, so Serializable costs no more
+//! than Repeatable Read.
+//!
+//! Isolation levels:
+//!
+//! * **ReadCommitted** — shared locks are released right after each read
+//!   (cursor stability); exclusive locks are held to commit.
+//! * **RepeatableRead / Serializable** — shared locks are held to commit.
+//! * **SnapshotIsolation** — a single-version engine has no snapshots to
+//!   offer; it is treated as RepeatableRead (this limitation is exactly what
+//!   motivates the multiversion schemes).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::RwLock;
+
+use mmdb_common::clock::GlobalClock;
+use mmdb_common::engine::{Engine, EngineTxn};
+use mmdb_common::error::{MmdbError, Result};
+use mmdb_common::ids::{IndexId, Key, TableId, Timestamp, TxnId};
+use mmdb_common::isolation::IsolationLevel;
+use mmdb_common::row::{Row, TableSpec};
+use mmdb_common::stats::EngineStats;
+
+use mmdb_storage::log::{LogOp, LogRecord, NullLogger, RedoLogger};
+
+use crate::lock::{LockGrant, LockMode};
+use crate::table::SvTable;
+
+/// Configuration of the single-version engine.
+#[derive(Debug, Clone)]
+pub struct SvConfig {
+    /// How long a lock request waits before it is treated as a deadlock and
+    /// the requesting transaction aborts.
+    pub lock_timeout: Duration,
+}
+
+impl Default for SvConfig {
+    fn default() -> Self {
+        SvConfig { lock_timeout: Duration::from_millis(500) }
+    }
+}
+
+impl SvConfig {
+    /// Builder-style override of the lock timeout.
+    pub fn with_lock_timeout(mut self, timeout: Duration) -> Self {
+        self.lock_timeout = timeout;
+        self
+    }
+}
+
+struct SvInner {
+    tables: RwLock<Vec<Arc<SvTable>>>,
+    clock: GlobalClock,
+    logger: Arc<dyn RedoLogger>,
+    stats: EngineStats,
+    config: SvConfig,
+    next_txn: AtomicU64,
+}
+
+/// The single-version locking engine ("1V").
+#[derive(Clone)]
+pub struct SvEngine {
+    inner: Arc<SvInner>,
+}
+
+impl SvEngine {
+    /// Create an engine with a discarding logger.
+    pub fn new(config: SvConfig) -> SvEngine {
+        Self::with_logger(config, Arc::new(NullLogger::new()))
+    }
+
+    /// Create an engine writing redo records to `logger`.
+    pub fn with_logger(config: SvConfig, logger: Arc<dyn RedoLogger>) -> SvEngine {
+        SvEngine {
+            inner: Arc::new(SvInner {
+                tables: RwLock::new(Vec::new()),
+                clock: GlobalClock::new(),
+                logger,
+                stats: EngineStats::new(),
+                config,
+                next_txn: AtomicU64::new(1),
+            }),
+        }
+    }
+
+    /// The engine configuration.
+    pub fn config(&self) -> &SvConfig {
+        &self.inner.config
+    }
+
+    fn table(&self, id: TableId) -> Result<Arc<SvTable>> {
+        self.inner.tables.read().get(id.0 as usize).cloned().ok_or(MmdbError::TableNotFound(id))
+    }
+
+    /// Bulk-load rows outside any transaction (initial population).
+    pub fn populate<I>(&self, table: TableId, rows: I) -> Result<usize>
+    where
+        I: IntoIterator<Item = Row>,
+    {
+        let table = self.table(table)?;
+        let mut n = 0;
+        for row in rows {
+            table.insert_row(row)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Number of rows in `table` (diagnostic).
+    pub fn row_count(&self, table: TableId) -> Result<usize> {
+        Ok(self.table(table)?.row_count())
+    }
+}
+
+impl Engine for SvEngine {
+    type Txn = SvTransaction;
+
+    fn create_table(&self, spec: TableSpec) -> Result<TableId> {
+        let mut tables = self.inner.tables.write();
+        let id = TableId(tables.len() as u32);
+        tables.push(Arc::new(SvTable::new(id, spec)?));
+        Ok(id)
+    }
+
+    fn begin(&self, isolation: IsolationLevel) -> SvTransaction {
+        SvTransaction {
+            inner: Arc::clone(&self.inner),
+            id: TxnId(self.inner.next_txn.fetch_add(1, Ordering::Relaxed)),
+            isolation,
+            held_locks: Vec::new(),
+            undo: Vec::new(),
+            log_ops: Vec::new(),
+            finished: false,
+            must_abort: false,
+        }
+    }
+
+    fn stats(&self) -> &EngineStats {
+        &self.inner.stats
+    }
+
+    fn label(&self) -> &'static str {
+        "1V"
+    }
+}
+
+impl std::fmt::Debug for SvEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SvEngine").field("tables", &self.inner.tables.read().len()).finish()
+    }
+}
+
+/// An undo-log entry for in-place changes.
+#[derive(Debug, Clone)]
+enum UndoOp {
+    /// Undo an insert by deleting the row again.
+    Insert { table: TableId, pk: Key },
+    /// Undo an update by restoring the old image.
+    Update { table: TableId, pk: Key, old: Row },
+    /// Undo a delete by re-inserting the old image.
+    Delete { table: TableId, old: Row },
+}
+
+/// A transaction against the single-version engine.
+pub struct SvTransaction {
+    inner: Arc<SvInner>,
+    id: TxnId,
+    isolation: IsolationLevel,
+    /// Locks held until commit/abort: (table, index, bucket).
+    held_locks: Vec<(TableId, IndexId, usize)>,
+    undo: Vec<UndoOp>,
+    log_ops: Vec<LogOp>,
+    finished: bool,
+    must_abort: bool,
+}
+
+impl SvTransaction {
+    fn table(&self, id: TableId) -> Result<Arc<SvTable>> {
+        self.inner.tables.read().get(id.0 as usize).cloned().ok_or(MmdbError::TableNotFound(id))
+    }
+
+    fn holds_lock(&self, table: TableId, index: IndexId, bucket: usize) -> bool {
+        self.held_locks.iter().any(|&(t, i, b)| t == table && i == index && b == bucket)
+    }
+
+    /// Acquire a lock, remembering it for release at end of transaction.
+    /// Returns the grant so read-committed readers can decide to release
+    /// immediately.
+    fn lock(&mut self, table: &SvTable, index: IndexId, bucket: usize, mode: LockMode) -> Result<LockGrant> {
+        let grant = table
+            .lock_table(index)?
+            .lock_for(bucket)
+            .acquire(self.id, mode, self.inner.config.lock_timeout);
+        match grant {
+            Some(grant) => {
+                if grant == LockGrant::Acquired && !self.holds_lock(table.id(), index, bucket) {
+                    self.held_locks.push((table.id(), index, bucket));
+                }
+                Ok(grant)
+            }
+            None => {
+                EngineStats::bump(&self.inner.stats.deadlock_aborts);
+                self.must_abort = true;
+                Err(MmdbError::LockTimeout { table: table.id() })
+            }
+        }
+    }
+
+    /// Drop a lock immediately (cursor stability for read-committed reads).
+    fn unlock_now(&mut self, table: &SvTable, index: IndexId, bucket: usize) -> Result<()> {
+        table.lock_table(index)?.lock_for(bucket).release(self.id);
+        if let Some(pos) = self.held_locks.iter().position(|&(t, i, b)| t == table.id() && i == index && b == bucket) {
+            self.held_locks.swap_remove(pos);
+        }
+        Ok(())
+    }
+
+    /// Acquire exclusive locks on every index bucket `row` maps to (writers
+    /// must block readers on every access path to prevent dirty reads).
+    fn lock_row_exclusive(&mut self, table: &SvTable, row: &[u8]) -> Result<()> {
+        let keys = table.keys_of(row)?;
+        // Canonical order reduces (but cannot eliminate) deadlocks; timeouts
+        // break the rest.
+        let mut targets: Vec<(IndexId, usize)> = Vec::with_capacity(keys.len());
+        for (slot, key) in keys.iter().enumerate() {
+            let index = IndexId(slot as u32);
+            targets.push((index, table.bucket_of_key(index, *key)?));
+        }
+        targets.sort_unstable_by_key(|&(i, b)| (i.0, b));
+        for (index, bucket) in targets {
+            self.lock(table, index, bucket, LockMode::Exclusive)?;
+        }
+        Ok(())
+    }
+
+    fn release_all_locks(&mut self) {
+        let held = std::mem::take(&mut self.held_locks);
+        for (table_id, index, bucket) in held {
+            if let Ok(table) = self.table(table_id) {
+                if let Ok(locks) = table.lock_table(index) {
+                    locks.lock_for(bucket).release(self.id);
+                }
+            }
+        }
+    }
+
+    fn rollback(&mut self) {
+        // Undo in reverse order.
+        let undo = std::mem::take(&mut self.undo);
+        for op in undo.into_iter().rev() {
+            match op {
+                UndoOp::Insert { table, pk } => {
+                    if let Ok(t) = self.table(table) {
+                        let _ = t.delete_row(pk);
+                    }
+                }
+                UndoOp::Update { table, pk, old } => {
+                    if let Ok(t) = self.table(table) {
+                        let _ = t.update_row(pk, old);
+                    }
+                }
+                UndoOp::Delete { table, old } => {
+                    if let Ok(t) = self.table(table) {
+                        let _ = t.insert_row(old);
+                    }
+                }
+            }
+        }
+    }
+
+    fn finish(&mut self, committed: bool) {
+        if self.finished {
+            return;
+        }
+        if committed {
+            EngineStats::bump(&self.inner.stats.commits);
+        } else {
+            self.rollback();
+            EngineStats::bump(&self.inner.stats.aborts);
+        }
+        self.release_all_locks();
+        self.finished = true;
+    }
+
+    fn ensure_open(&self) -> Result<()> {
+        if self.finished {
+            return Err(MmdbError::TransactionClosed);
+        }
+        Ok(())
+    }
+
+    /// Shared-lock behaviour for reads at this isolation level: `None` means
+    /// "no lock at all" (never used — even read committed takes short locks),
+    /// `Some(true)` means keep until commit, `Some(false)` means release
+    /// right after the read.
+    fn hold_read_locks(&self) -> bool {
+        !matches!(self.isolation, IsolationLevel::ReadCommitted)
+    }
+}
+
+impl EngineTxn for SvTransaction {
+    fn id(&self) -> TxnId {
+        self.id
+    }
+
+    fn isolation(&self) -> IsolationLevel {
+        self.isolation
+    }
+
+    fn insert(&mut self, table_id: TableId, row: Row) -> Result<()> {
+        self.ensure_open()?;
+        let table = self.table(table_id)?;
+        self.lock_row_exclusive(&table, &row)?;
+        let keys = table.keys_of(&row)?;
+        // Uniqueness under the exclusive locks.
+        for (slot, key) in keys.iter().enumerate() {
+            let index = IndexId(slot as u32);
+            if table.is_unique(index)? && !table.lookup(index, *key)?.is_empty() {
+                return Err(MmdbError::DuplicateKey { table: table_id, index });
+            }
+        }
+        table.insert_row(row.clone())?;
+        EngineStats::bump(&self.inner.stats.versions_created);
+        self.undo.push(UndoOp::Insert { table: table_id, pk: keys[0] });
+        self.log_ops.push(LogOp::Write { table: table_id, row });
+        Ok(())
+    }
+
+    fn read(&mut self, table: TableId, index: IndexId, key: Key) -> Result<Option<Row>> {
+        Ok(self.scan_key(table, index, key)?.into_iter().next())
+    }
+
+    fn scan_key(&mut self, table_id: TableId, index: IndexId, key: Key) -> Result<Vec<Row>> {
+        self.ensure_open()?;
+        let table = self.table(table_id)?;
+        let bucket = table.bucket_of_key(index, key)?;
+        let grant = self.lock(&table, index, bucket, LockMode::Shared)?;
+        let rows = table.lookup(index, key)?;
+        if !self.hold_read_locks() && grant == LockGrant::Acquired {
+            // Cursor stability: the lock only had to be held for the duration
+            // of the read itself.
+            self.unlock_now(&table, index, bucket)?;
+        }
+        Ok(rows)
+    }
+
+    fn update(&mut self, table_id: TableId, index: IndexId, key: Key, new_row: Row) -> Result<bool> {
+        self.ensure_open()?;
+        let table = self.table(table_id)?;
+        // Lock the access path, find the target, then lock the row across all
+        // of its indexes (old and new keys) before modifying anything.
+        let bucket = table.bucket_of_key(index, key)?;
+        self.lock(&table, index, bucket, LockMode::Exclusive)?;
+        let Some(target) = table.lookup(index, key)?.into_iter().next() else {
+            return Ok(false);
+        };
+        self.lock_row_exclusive(&table, &target)?;
+        self.lock_row_exclusive(&table, &new_row)?;
+        let pk = table.key_of(IndexId(0), &target)?;
+        let new_pk = table.key_of(IndexId(0), &new_row)?;
+        if new_pk != pk {
+            // Updating the primary key is modelled as delete + insert.
+            let old = table.delete_row(pk)?.ok_or(MmdbError::Internal("locked row vanished"))?;
+            self.undo.push(UndoOp::Delete { table: table_id, old });
+            table.insert_row(new_row.clone())?;
+            self.undo.push(UndoOp::Insert { table: table_id, pk: new_pk });
+        } else {
+            let old = table
+                .update_row(pk, new_row.clone())?
+                .ok_or(MmdbError::Internal("locked row vanished"))?;
+            self.undo.push(UndoOp::Update { table: table_id, pk, old });
+        }
+        EngineStats::bump(&self.inner.stats.versions_created);
+        self.log_ops.push(LogOp::Write { table: table_id, row: new_row });
+        Ok(true)
+    }
+
+    fn delete(&mut self, table_id: TableId, index: IndexId, key: Key) -> Result<bool> {
+        self.ensure_open()?;
+        let table = self.table(table_id)?;
+        let bucket = table.bucket_of_key(index, key)?;
+        self.lock(&table, index, bucket, LockMode::Exclusive)?;
+        let Some(target) = table.lookup(index, key)?.into_iter().next() else {
+            return Ok(false);
+        };
+        self.lock_row_exclusive(&table, &target)?;
+        let pk = table.key_of(IndexId(0), &target)?;
+        let old = table.delete_row(pk)?.ok_or(MmdbError::Internal("locked row vanished"))?;
+        self.undo.push(UndoOp::Delete { table: table_id, old });
+        self.log_ops.push(LogOp::Delete { table: table_id, key: pk });
+        Ok(true)
+    }
+
+    fn commit(mut self) -> Result<Timestamp> {
+        if self.finished {
+            return Err(MmdbError::TransactionClosed);
+        }
+        if self.must_abort {
+            self.finish(false);
+            return Err(MmdbError::Aborted);
+        }
+        let ts = self.inner.clock.next_timestamp();
+        if !self.log_ops.is_empty() {
+            let record = LogRecord { end_ts: ts, ops: std::mem::take(&mut self.log_ops) };
+            EngineStats::bump(&self.inner.stats.log_records);
+            EngineStats::add(&self.inner.stats.log_bytes, record.byte_size());
+            self.inner.logger.append(record);
+        }
+        self.finish(true);
+        Ok(ts)
+    }
+
+    fn abort(mut self) {
+        self.finish(false);
+    }
+}
+
+impl Drop for SvTransaction {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.finish(false);
+        }
+    }
+}
+
+impl std::fmt::Debug for SvTransaction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SvTransaction")
+            .field("id", &self.id)
+            .field("isolation", &self.isolation)
+            .field("locks", &self.held_locks.len())
+            .field("undo", &self.undo.len())
+            .finish()
+    }
+}

@@ -1,0 +1,239 @@
+//! # mmdb-onev
+//!
+//! The single-version locking engine ("1V") the paper uses as its baseline:
+//! records updated in place, strict two-phase locking over a partitioned
+//! per-hash-key lock table embedded in every index (no central lock manager),
+//! and timeout-based deadlock handling.
+//!
+//! The engine implements the same [`Engine`](mmdb_common::engine::Engine) /
+//! [`EngineTxn`](mmdb_common::engine::EngineTxn) traits as the multiversion
+//! engine, so the workload generators and the experiment harness drive both
+//! through identical code.
+//!
+//! ```
+//! use mmdb_common::engine::{Engine, EngineTxn};
+//! use mmdb_common::row::rowbuf;
+//! use mmdb_common::{IndexId, IsolationLevel, TableSpec};
+//! use mmdb_onev::{SvConfig, SvEngine};
+//!
+//! let engine = SvEngine::new(SvConfig::default());
+//! let table = engine.create_table(TableSpec::keyed_u64("accounts", 64)).unwrap();
+//! engine.populate(table, (0..10u64).map(|k| rowbuf::keyed_row(k, 16, 1))).unwrap();
+//!
+//! let mut txn = engine.begin(IsolationLevel::Serializable);
+//! assert!(txn.update(table, IndexId(0), 3, rowbuf::keyed_row(3, 16, 9)).unwrap());
+//! txn.commit().unwrap();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod engine;
+pub mod lock;
+pub mod table;
+
+pub use engine::{SvConfig, SvEngine, SvTransaction};
+pub use lock::{KeyLock, LockGrant, LockMode, LockTable};
+pub use table::SvTable;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmdb_common::engine::{Engine, EngineTxn};
+    use mmdb_common::error::MmdbError;
+    use mmdb_common::ids::IndexId;
+    use mmdb_common::isolation::IsolationLevel;
+    use mmdb_common::row::{rowbuf, TableSpec};
+    use std::time::Duration;
+
+    fn engine() -> (SvEngine, mmdb_common::ids::TableId) {
+        let engine = SvEngine::new(SvConfig::default().with_lock_timeout(Duration::from_millis(100)));
+        let t = engine.create_table(TableSpec::keyed_u64("t", 256)).unwrap();
+        engine.populate(t, (0..100u64).map(|k| rowbuf::keyed_row(k, 16, 1))).unwrap();
+        (engine, t)
+    }
+
+    #[test]
+    fn crud_roundtrip() {
+        let (engine, t) = engine();
+        let mut txn = engine.begin(IsolationLevel::Serializable);
+        assert_eq!(txn.read(t, IndexId(0), 5).unwrap().map(|r| rowbuf::fill_of(&r)), Some(1));
+        assert!(txn.update(t, IndexId(0), 5, rowbuf::keyed_row(5, 16, 10)).unwrap());
+        assert_eq!(txn.read(t, IndexId(0), 5).unwrap().map(|r| rowbuf::fill_of(&r)), Some(10));
+        txn.insert(t, rowbuf::keyed_row(1000, 16, 3)).unwrap();
+        assert!(txn.delete(t, IndexId(0), 7).unwrap());
+        txn.commit().unwrap();
+
+        let mut check = engine.begin(IsolationLevel::ReadCommitted);
+        assert_eq!(check.read(t, IndexId(0), 5).unwrap().map(|r| rowbuf::fill_of(&r)), Some(10));
+        assert_eq!(check.read(t, IndexId(0), 1000).unwrap().map(|r| rowbuf::fill_of(&r)), Some(3));
+        assert!(check.read(t, IndexId(0), 7).unwrap().is_none());
+        check.commit().unwrap();
+        assert_eq!(engine.row_count(t).unwrap(), 100);
+    }
+
+    #[test]
+    fn abort_rolls_back_in_place_changes() {
+        let (engine, t) = engine();
+        let mut txn = engine.begin(IsolationLevel::Serializable);
+        txn.update(t, IndexId(0), 5, rowbuf::keyed_row(5, 16, 10)).unwrap();
+        txn.insert(t, rowbuf::keyed_row(1000, 16, 3)).unwrap();
+        txn.delete(t, IndexId(0), 7).unwrap();
+        txn.abort();
+
+        let mut check = engine.begin(IsolationLevel::ReadCommitted);
+        assert_eq!(check.read(t, IndexId(0), 5).unwrap().map(|r| rowbuf::fill_of(&r)), Some(1));
+        assert!(check.read(t, IndexId(0), 1000).unwrap().is_none());
+        assert_eq!(check.read(t, IndexId(0), 7).unwrap().map(|r| rowbuf::fill_of(&r)), Some(1));
+        check.commit().unwrap();
+        assert_eq!(engine.row_count(t).unwrap(), 100);
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let (engine, t) = engine();
+        let mut txn = engine.begin(IsolationLevel::ReadCommitted);
+        assert!(matches!(
+            txn.insert(t, rowbuf::keyed_row(5, 16, 3)).unwrap_err(),
+            MmdbError::DuplicateKey { .. }
+        ));
+        txn.abort();
+    }
+
+    #[test]
+    fn writers_block_writers_until_commit() {
+        let (engine, t) = engine();
+        let mut t1 = engine.begin(IsolationLevel::ReadCommitted);
+        assert!(t1.update(t, IndexId(0), 10, rowbuf::keyed_row(10, 16, 2)).unwrap());
+
+        // A concurrent writer on the same key times out (deadlock-by-timeout).
+        let engine2 = engine.clone();
+        let blocked = std::thread::spawn(move || {
+            let mut t2 = engine2.begin(IsolationLevel::ReadCommitted);
+            let r = t2.update(t, IndexId(0), 10, rowbuf::keyed_row(10, 16, 3));
+            t2.abort();
+            r
+        });
+        let err = blocked.join().unwrap().unwrap_err();
+        assert!(matches!(err, MmdbError::LockTimeout { .. }));
+        t1.commit().unwrap();
+
+        let mut check = engine.begin(IsolationLevel::ReadCommitted);
+        assert_eq!(check.read(t, IndexId(0), 10).unwrap().map(|r| rowbuf::fill_of(&r)), Some(2));
+        check.commit().unwrap();
+    }
+
+    #[test]
+    fn repeatable_read_holds_locks_and_blocks_writers() {
+        let (engine, t) = engine();
+        let mut reader = engine.begin(IsolationLevel::RepeatableRead);
+        assert!(reader.read(t, IndexId(0), 20).unwrap().is_some());
+
+        // Writer cannot acquire the exclusive lock while the reader holds S.
+        let engine2 = engine.clone();
+        let writer = std::thread::spawn(move || {
+            let mut w = engine2.begin(IsolationLevel::ReadCommitted);
+            let r = w.update(t, IndexId(0), 20, rowbuf::keyed_row(20, 16, 9));
+            match r {
+                Ok(_) => w.commit().map(|_| ()),
+                Err(e) => {
+                    w.abort();
+                    Err(e)
+                }
+            }
+        });
+        let result = writer.join().unwrap();
+        assert!(matches!(result, Err(MmdbError::LockTimeout { .. })), "{result:?}");
+        reader.commit().unwrap();
+    }
+
+    #[test]
+    fn read_committed_releases_read_locks_immediately() {
+        let (engine, t) = engine();
+        let mut reader = engine.begin(IsolationLevel::ReadCommitted);
+        assert!(reader.read(t, IndexId(0), 20).unwrap().is_some());
+
+        // Because the reader released its lock, a writer can proceed even
+        // though the reader is still open.
+        let mut writer = engine.begin(IsolationLevel::ReadCommitted);
+        assert!(writer.update(t, IndexId(0), 20, rowbuf::keyed_row(20, 16, 9)).unwrap());
+        writer.commit().unwrap();
+
+        // The open read-committed reader now sees the new value.
+        assert_eq!(reader.read(t, IndexId(0), 20).unwrap().map(|r| rowbuf::fill_of(&r)), Some(9));
+        reader.commit().unwrap();
+    }
+
+    #[test]
+    fn serializable_prevents_phantoms_via_key_locks() {
+        let (engine, t) = engine();
+        let mut scanner = engine.begin(IsolationLevel::Serializable);
+        // Scan a key that does not exist: the hash-key lock is now held.
+        assert!(scanner.read(t, IndexId(0), 5000).unwrap().is_none());
+
+        // An insert of that key must wait (and here: time out).
+        let engine2 = engine.clone();
+        let inserter = std::thread::spawn(move || {
+            let mut ins = engine2.begin(IsolationLevel::ReadCommitted);
+            let r = ins.insert(t, rowbuf::keyed_row(5000, 16, 1));
+            ins.abort();
+            r
+        });
+        let result = inserter.join().unwrap();
+        assert!(matches!(result, Err(MmdbError::LockTimeout { .. })), "{result:?}");
+
+        // Repeating the scan still finds nothing: no phantom.
+        assert!(scanner.read(t, IndexId(0), 5000).unwrap().is_none());
+        scanner.commit().unwrap();
+    }
+
+    #[test]
+    fn lost_update_prevented_by_exclusive_locks() {
+        let (engine, t) = engine();
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(2));
+        let mut handles = Vec::new();
+        for _ in 0..2 {
+            let engine = engine.clone();
+            let barrier = std::sync::Arc::clone(&barrier);
+            handles.push(std::thread::spawn(move || {
+                barrier.wait();
+                let mut done = false;
+                while !done {
+                    let mut txn = engine.begin(IsolationLevel::RepeatableRead);
+                    let outcome: Result<(), MmdbError> = (|| {
+                        let row = txn.read(t, IndexId(0), 42)?.expect("row exists");
+                        let next = rowbuf::keyed_row(42, 16, rowbuf::fill_of(&row) + 1);
+                        txn.update(t, IndexId(0), 42, next)?;
+                        Ok(())
+                    })();
+                    match outcome {
+                        Ok(()) => {
+                            if txn.commit().is_ok() {
+                                done = true;
+                            }
+                        }
+                        Err(_) => txn.abort(),
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut check = engine.begin(IsolationLevel::ReadCommitted);
+        assert_eq!(check.read(t, IndexId(0), 42).unwrap().map(|r| rowbuf::fill_of(&r)), Some(3));
+        check.commit().unwrap();
+    }
+
+    #[test]
+    fn drop_without_commit_aborts() {
+        let (engine, t) = engine();
+        {
+            let mut txn = engine.begin(IsolationLevel::ReadCommitted);
+            txn.update(t, IndexId(0), 9, rowbuf::keyed_row(9, 16, 100)).unwrap();
+        }
+        let mut check = engine.begin(IsolationLevel::ReadCommitted);
+        assert_eq!(check.read(t, IndexId(0), 9).unwrap().map(|r| rowbuf::fill_of(&r)), Some(1));
+        check.commit().unwrap();
+    }
+}

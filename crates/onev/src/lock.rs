@@ -1,0 +1,262 @@
+//! The partitioned lock table embedded in every index.
+//!
+//! The paper's single-version engine (§5): *"The implementation is optimized
+//! for main-memory databases and does not use a central lock manager, as this
+//! can become a bottleneck. Instead, we embed a lock table in every index and
+//! assign each hash key to a lock in this partitioned lock table. A lock
+//! covers all records with the same hash key which automatically protects
+//! against phantoms. We use timeouts to detect and break deadlocks."*
+//!
+//! Each [`KeyLock`] is a shared/exclusive lock with owner tracking, lock
+//! upgrade (S→X by the sole shared holder) and timeout-based waiting.
+
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use mmdb_common::ids::TxnId;
+
+/// Lock modes.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum LockMode {
+    /// Shared (read) access; compatible with other shared holders.
+    Shared,
+    /// Exclusive (write) access; incompatible with everything else.
+    Exclusive,
+}
+
+#[derive(Debug, Default)]
+struct LockState {
+    /// Current holders and their strongest granted mode.
+    holders: Vec<(TxnId, LockMode)>,
+}
+
+impl LockState {
+    fn mode_of(&self, txn: TxnId) -> Option<LockMode> {
+        self.holders.iter().find(|(t, _)| *t == txn).map(|(_, m)| *m)
+    }
+
+    /// Can `txn` be granted `mode` right now?
+    fn grantable(&self, txn: TxnId, mode: LockMode) -> bool {
+        match mode {
+            LockMode::Shared => self
+                .holders
+                .iter()
+                .all(|(t, m)| *t == txn || *m == LockMode::Shared),
+            LockMode::Exclusive => self.holders.iter().all(|(t, _)| *t == txn),
+        }
+    }
+
+    fn grant(&mut self, txn: TxnId, mode: LockMode) {
+        match self.holders.iter_mut().find(|(t, _)| *t == txn) {
+            Some(entry) => {
+                if mode == LockMode::Exclusive {
+                    entry.1 = LockMode::Exclusive;
+                }
+            }
+            None => self.holders.push((txn, mode)),
+        }
+    }
+}
+
+/// Outcome of a lock acquisition.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum LockGrant {
+    /// The lock was newly acquired (the caller must remember to release it).
+    Acquired,
+    /// The transaction already held the lock at a sufficient mode.
+    AlreadyHeld,
+    /// The transaction upgraded an existing shared lock to exclusive.
+    Upgraded,
+}
+
+/// A single shared/exclusive lock guarding one hash key (bucket).
+#[derive(Debug, Default)]
+pub struct KeyLock {
+    state: Mutex<LockState>,
+    cv: Condvar,
+}
+
+impl KeyLock {
+    /// Create an uncontended lock.
+    pub fn new() -> KeyLock {
+        KeyLock::default()
+    }
+
+    /// Acquire the lock in `mode` for `txn`, waiting at most `timeout`.
+    /// Returns `None` on timeout (the caller treats this as a deadlock and
+    /// aborts).
+    pub fn acquire(&self, txn: TxnId, mode: LockMode, timeout: Duration) -> Option<LockGrant> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.state.lock();
+        loop {
+            let held = state.mode_of(txn);
+            match (held, mode) {
+                (Some(LockMode::Exclusive), _) => return Some(LockGrant::AlreadyHeld),
+                (Some(LockMode::Shared), LockMode::Shared) => return Some(LockGrant::AlreadyHeld),
+                _ => {}
+            }
+            if state.grantable(txn, mode) {
+                state.grant(txn, mode);
+                return Some(match (held, mode) {
+                    (Some(LockMode::Shared), LockMode::Exclusive) => LockGrant::Upgraded,
+                    _ => LockGrant::Acquired,
+                });
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let wait = self.cv.wait_for(&mut state, deadline - now);
+            if wait.timed_out() && !state.grantable(txn, mode) {
+                return None;
+            }
+        }
+    }
+
+    /// Release whatever `txn` holds on this lock. Idempotent.
+    pub fn release(&self, txn: TxnId) {
+        let mut state = self.state.lock();
+        if let Some(pos) = state.holders.iter().position(|(t, _)| *t == txn) {
+            state.holders.swap_remove(pos);
+            drop(state);
+            self.cv.notify_all();
+        }
+    }
+
+    /// Downgrade an exclusive lock to shared (unused by the engine but handy
+    /// for tests and future cursor support).
+    pub fn downgrade(&self, txn: TxnId) {
+        let mut state = self.state.lock();
+        if let Some(entry) = state.holders.iter_mut().find(|(t, _)| *t == txn) {
+            entry.1 = LockMode::Shared;
+            drop(state);
+            self.cv.notify_all();
+        }
+    }
+
+    /// Current number of holders (diagnostics).
+    pub fn holder_count(&self) -> usize {
+        self.state.lock().holders.len()
+    }
+
+    /// Mode currently held by `txn`, if any.
+    pub fn mode_of(&self, txn: TxnId) -> Option<LockMode> {
+        self.state.lock().mode_of(txn)
+    }
+}
+
+/// A partitioned lock table: one [`KeyLock`] per bucket of an index.
+#[derive(Debug)]
+pub struct LockTable {
+    locks: Box<[KeyLock]>,
+}
+
+impl LockTable {
+    /// Create a lock table covering `buckets` partitions.
+    pub fn new(buckets: usize) -> LockTable {
+        LockTable { locks: (0..buckets.max(1)).map(|_| KeyLock::new()).collect::<Vec<_>>().into_boxed_slice() }
+    }
+
+    /// The lock guarding `bucket`.
+    #[inline]
+    pub fn lock_for(&self, bucket: usize) -> &KeyLock {
+        &self.locks[bucket % self.locks.len()]
+    }
+
+    /// Number of partitions.
+    pub fn partitions(&self) -> usize {
+        self.locks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    const T1: TxnId = TxnId(1);
+    const T2: TxnId = TxnId(2);
+    const SHORT: Duration = Duration::from_millis(30);
+    const LONG: Duration = Duration::from_secs(5);
+
+    #[test]
+    fn shared_locks_are_compatible() {
+        let lock = KeyLock::new();
+        assert_eq!(lock.acquire(T1, LockMode::Shared, LONG), Some(LockGrant::Acquired));
+        assert_eq!(lock.acquire(T2, LockMode::Shared, LONG), Some(LockGrant::Acquired));
+        assert_eq!(lock.holder_count(), 2);
+        lock.release(T1);
+        lock.release(T2);
+        assert_eq!(lock.holder_count(), 0);
+    }
+
+    #[test]
+    fn exclusive_conflicts_and_times_out() {
+        let lock = KeyLock::new();
+        assert_eq!(lock.acquire(T1, LockMode::Exclusive, LONG), Some(LockGrant::Acquired));
+        assert_eq!(lock.acquire(T2, LockMode::Shared, SHORT), None);
+        assert_eq!(lock.acquire(T2, LockMode::Exclusive, SHORT), None);
+        lock.release(T1);
+        assert_eq!(lock.acquire(T2, LockMode::Exclusive, SHORT), Some(LockGrant::Acquired));
+    }
+
+    #[test]
+    fn reacquisition_is_idempotent() {
+        let lock = KeyLock::new();
+        assert_eq!(lock.acquire(T1, LockMode::Shared, LONG), Some(LockGrant::Acquired));
+        assert_eq!(lock.acquire(T1, LockMode::Shared, LONG), Some(LockGrant::AlreadyHeld));
+        assert_eq!(lock.acquire(T1, LockMode::Exclusive, LONG), Some(LockGrant::Upgraded));
+        assert_eq!(lock.acquire(T1, LockMode::Shared, LONG), Some(LockGrant::AlreadyHeld));
+        assert_eq!(lock.holder_count(), 1);
+    }
+
+    #[test]
+    fn upgrade_waits_for_other_readers() {
+        let lock = Arc::new(KeyLock::new());
+        assert_eq!(lock.acquire(T1, LockMode::Shared, LONG), Some(LockGrant::Acquired));
+        assert_eq!(lock.acquire(T2, LockMode::Shared, LONG), Some(LockGrant::Acquired));
+        // T1 cannot upgrade while T2 holds shared.
+        assert_eq!(lock.acquire(T1, LockMode::Exclusive, SHORT), None);
+        // Release T2 in the background; the upgrade then succeeds.
+        let l2 = Arc::clone(&lock);
+        let releaser = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            l2.release(T2);
+        });
+        assert_eq!(lock.acquire(T1, LockMode::Exclusive, LONG), Some(LockGrant::Upgraded));
+        releaser.join().unwrap();
+    }
+
+    #[test]
+    fn waiting_reader_wakes_on_release() {
+        let lock = Arc::new(KeyLock::new());
+        assert_eq!(lock.acquire(T1, LockMode::Exclusive, LONG), Some(LockGrant::Acquired));
+        let l2 = Arc::clone(&lock);
+        let reader = std::thread::spawn(move || l2.acquire(T2, LockMode::Shared, LONG));
+        std::thread::sleep(Duration::from_millis(20));
+        lock.release(T1);
+        assert_eq!(reader.join().unwrap(), Some(LockGrant::Acquired));
+    }
+
+    #[test]
+    fn lock_table_partitions() {
+        let table = LockTable::new(8);
+        assert_eq!(table.partitions(), 8);
+        assert_eq!(table.lock_for(3).acquire(T1, LockMode::Exclusive, LONG), Some(LockGrant::Acquired));
+        // A different partition is unaffected.
+        assert_eq!(table.lock_for(4).acquire(T2, LockMode::Exclusive, SHORT), Some(LockGrant::Acquired));
+        // The same partition (mod size) conflicts.
+        assert_eq!(table.lock_for(11).acquire(T2, LockMode::Shared, SHORT), None);
+    }
+
+    #[test]
+    fn downgrade_lets_readers_in() {
+        let lock = KeyLock::new();
+        lock.acquire(T1, LockMode::Exclusive, LONG).unwrap();
+        assert_eq!(lock.acquire(T2, LockMode::Shared, SHORT), None);
+        lock.downgrade(T1);
+        assert_eq!(lock.acquire(T2, LockMode::Shared, SHORT), Some(LockGrant::Acquired));
+        assert_eq!(lock.mode_of(T1), Some(LockMode::Shared));
+    }
+}

@@ -1,0 +1,39 @@
+//! # mmdb-storage
+//!
+//! The multiversion storage substrate of mmdb: versions with tagged
+//! Begin/End words, tables of latch-free hash indexes, the global transaction
+//! table, cooperative garbage collection and asynchronous redo logging.
+//!
+//! This crate implements §2 of *"High-Performance Concurrency Control
+//! Mechanisms for Main-Memory Databases"* (Larson et al., VLDB 2011) minus
+//! the visibility logic and the concurrency-control schemes themselves, which
+//! live in `mmdb-core` and are layered on top of [`MvStore`].
+//!
+//! Module map:
+//!
+//! * [`version`] — the version record (Figure 1): Begin/End atomics, payload,
+//!   per-index chain pointers.
+//! * [`table`] — tables: per-index [`mmdb_index::HashIndex`] +
+//!   [`mmdb_index::BucketLockTable`], key extraction, version linking.
+//! * [`txn_table`] — transaction handles (state machine, commit-dependency
+//!   and wait-for-dependency bookkeeping) and the global transaction table.
+//! * [`gc`] — the garbage queue feeding cooperative collection.
+//! * [`log`] — non-blocking redo logging (null / in-memory / file).
+//! * [`store`] — [`MvStore`], the bundle shared by all transactions.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod gc;
+pub mod log;
+pub mod store;
+pub mod table;
+pub mod txn_table;
+pub mod version;
+
+pub use gc::{GcItem, GcQueue};
+pub use log::{FileLogger, LogOp, LogRecord, MemoryLogger, NullLogger, RedoLogger};
+pub use store::MvStore;
+pub use table::{Table, VersionPtr};
+pub use txn_table::{DepRegistration, TxnHandle, TxnState, TxnTable};
+pub use version::Version;

@@ -1,0 +1,294 @@
+//! The multiversion store: tables + clock + transaction table + garbage
+//! queue + redo log, bundled behind one handle shared by every transaction.
+//!
+//! The store is purely structural: it knows nothing about optimistic or
+//! pessimistic concurrency control. The `mmdb-core` crate layers the paper's
+//! two CC schemes on top of it.
+
+use std::sync::Arc;
+
+use crossbeam::epoch;
+use parking_lot::RwLock;
+
+use mmdb_common::clock::GlobalClock;
+use mmdb_common::error::{MmdbError, Result};
+use mmdb_common::ids::TableId;
+use mmdb_common::row::{Row, TableSpec};
+use mmdb_common::stats::EngineStats;
+
+use crate::gc::{GcItem, GcQueue};
+use crate::log::{NullLogger, RedoLogger};
+use crate::table::Table;
+use crate::txn_table::TxnTable;
+
+/// Shared multiversion storage state.
+pub struct MvStore {
+    clock: GlobalClock,
+    tables: RwLock<Vec<Arc<Table>>>,
+    txns: TxnTable,
+    gc: GcQueue,
+    logger: Arc<dyn RedoLogger>,
+    stats: EngineStats,
+}
+
+impl Default for MvStore {
+    fn default() -> Self {
+        Self::new(Arc::new(NullLogger::new()))
+    }
+}
+
+impl MvStore {
+    /// Create a store writing redo records to `logger`.
+    pub fn new(logger: Arc<dyn RedoLogger>) -> MvStore {
+        MvStore {
+            clock: GlobalClock::new(),
+            tables: RwLock::new(Vec::new()),
+            txns: TxnTable::new(),
+            gc: GcQueue::new(),
+            logger,
+            stats: EngineStats::new(),
+        }
+    }
+
+    /// The global clock.
+    #[inline]
+    pub fn clock(&self) -> &GlobalClock {
+        &self.clock
+    }
+
+    /// The transaction table.
+    #[inline]
+    pub fn txns(&self) -> &TxnTable {
+        &self.txns
+    }
+
+    /// Engine statistics counters.
+    #[inline]
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// The redo logger.
+    #[inline]
+    pub fn logger(&self) -> &Arc<dyn RedoLogger> {
+        &self.logger
+    }
+
+    /// The garbage queue.
+    #[inline]
+    pub fn gc_queue(&self) -> &GcQueue {
+        &self.gc
+    }
+
+    /// Create a table.
+    pub fn create_table(&self, spec: TableSpec) -> Result<TableId> {
+        let mut tables = self.tables.write();
+        let id = TableId(tables.len() as u32);
+        tables.push(Arc::new(Table::new(id, spec)?));
+        Ok(id)
+    }
+
+    /// Look up a table.
+    pub fn table(&self, id: TableId) -> Result<Arc<Table>> {
+        self.tables
+            .read()
+            .get(id.0 as usize)
+            .cloned()
+            .ok_or(MmdbError::TableNotFound(id))
+    }
+
+    /// Number of tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.read().len()
+    }
+
+    /// Bulk-load committed rows into a table, bypassing concurrency control.
+    /// Intended for initial database population (workload setup) before any
+    /// transactions run.
+    pub fn populate<I>(&self, table_id: TableId, rows: I) -> Result<usize>
+    where
+        I: IntoIterator<Item = Row>,
+    {
+        let table = self.table(table_id)?;
+        let ts = self.clock.next_timestamp();
+        let guard = epoch::pin();
+        let mut n = 0;
+        for row in rows {
+            let version = table.make_committed_version(ts, row)?;
+            table.link_version(version, &guard);
+            n += 1;
+        }
+        EngineStats::add(&self.stats.versions_created, n as u64);
+        Ok(n)
+    }
+
+    /// Enqueue an obsolete version for collection.
+    pub fn enqueue_garbage(&self, item: GcItem) {
+        self.gc.push(item);
+    }
+
+    /// Run one bounded garbage-collection step: examine up to `limit` queued
+    /// items, reclaim the ones whose end timestamp lies below the visibility
+    /// watermark, and requeue the rest. Returns the number reclaimed.
+    ///
+    /// Any thread may call this at any time (cooperative collection); unlinks
+    /// are serialized per table via the table's GC lock.
+    pub fn collect_garbage(&self, limit: usize) -> usize {
+        let budget = limit.min(self.gc.len());
+        if budget == 0 {
+            return 0;
+        }
+        // Versions are reclaimable when every registered transaction began
+        // after their retirement timestamp. With no active transactions,
+        // everything already queued is reclaimable.
+        let watermark = self.txns.min_active_begin().unwrap_or_else(|| self.clock.now());
+        let guard = epoch::pin();
+        let mut reclaimed = 0;
+        let mut requeue = Vec::new();
+        for _ in 0..budget {
+            let Some(item) = self.gc.pop() else { break };
+            if item.reclaimable_at < watermark {
+                if let Ok(table) = self.table(item.table) {
+                    let shared = item.version.as_shared(&guard);
+                    let _gc_lock = table.gc_guard();
+                    table.unlink_version(shared, &guard);
+                    // SAFETY: the version is unreachable from every index and
+                    // no active transaction can still hold an interest in it
+                    // (watermark rule); the epoch machinery delays the actual
+                    // free until all current readers unpin.
+                    unsafe { guard.defer_destroy(shared) };
+                    reclaimed += 1;
+                }
+            } else {
+                requeue.push(item);
+            }
+        }
+        for item in requeue {
+            self.gc.push(item);
+        }
+        if reclaimed > 0 {
+            EngineStats::add(&self.stats.versions_collected, reclaimed as u64);
+        }
+        EngineStats::bump(&self.stats.gc_passes);
+        reclaimed
+    }
+}
+
+impl std::fmt::Debug for MvStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MvStore")
+            .field("tables", &self.table_count())
+            .field("active_txns", &self.txns.len())
+            .field("gc_pending", &self.gc.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::MemoryLogger;
+    use crate::table::VersionPtr;
+    use mmdb_common::ids::{IndexId, Timestamp, TxnId};
+    use mmdb_common::isolation::{ConcurrencyMode, IsolationLevel};
+    use mmdb_common::row::rowbuf;
+    use mmdb_common::word::{BeginWord, EndWord};
+
+    fn store_with_table(rows: u64) -> (MvStore, TableId) {
+        let store = MvStore::new(Arc::new(MemoryLogger::new()));
+        let t = store.create_table(TableSpec::keyed_u64("t", 128)).unwrap();
+        store
+            .populate(t, (0..rows).map(|k| rowbuf::keyed_row(k, 16, 1)))
+            .unwrap();
+        (store, t)
+    }
+
+    #[test]
+    fn create_and_populate() {
+        let (store, t) = store_with_table(100);
+        assert_eq!(store.table_count(), 1);
+        let table = store.table(t).unwrap();
+        assert_eq!(table.version_count(), 100);
+        assert!(store.table(TableId(7)).is_err());
+        let guard = epoch::pin();
+        let hits: Vec<_> = table.candidates(IndexId(0), 42, &guard).unwrap().collect();
+        assert_eq!(hits.len(), 1);
+        assert!(matches!(hits[0].begin_word(), BeginWord::Timestamp(_)));
+        assert!(hits[0].end_word().is_latest());
+    }
+
+    #[test]
+    fn gc_respects_watermark() {
+        let (store, t) = store_with_table(10);
+        let table = store.table(t).unwrap();
+
+        // Simulate an update: retire version for key 3 at timestamp `retire_ts`.
+        let guard = epoch::pin();
+        let old = {
+            let mut it = table.candidates(IndexId(0), 3, &guard).unwrap();
+            VersionPtr::from_shared(crossbeam::epoch::Shared::from(
+                it.next().unwrap() as *const _,
+            ))
+        };
+        let retire_ts = store.clock().next_timestamp();
+        old.get().set_end(EndWord::Timestamp(retire_ts));
+        store.enqueue_garbage(GcItem { table: t, version: old, reclaimable_at: retire_ts });
+
+        // An "active" transaction that began before retirement blocks collection.
+        let blocker = crate::txn_table::TxnHandle::new(
+            TxnId(999),
+            Timestamp(retire_ts.raw() - 1),
+            ConcurrencyMode::Optimistic,
+            IsolationLevel::Serializable,
+        );
+        store.txns().register(Arc::clone(&blocker));
+        assert_eq!(store.collect_garbage(16), 0);
+        assert_eq!(store.gc_queue().len(), 1, "item must be requeued");
+        assert_eq!(table.version_count(), 10);
+
+        // Once the blocker goes away (and a newer transaction exists), the
+        // version is reclaimed.
+        store.txns().remove(TxnId(999));
+        let newer = crate::txn_table::TxnHandle::new(
+            TxnId(1000),
+            store.clock().next_timestamp(),
+            ConcurrencyMode::Optimistic,
+            IsolationLevel::Serializable,
+        );
+        store.txns().register(newer);
+        assert_eq!(store.collect_garbage(16), 1);
+        assert_eq!(store.gc_queue().len(), 0);
+        assert_eq!(table.version_count(), 9);
+        assert_eq!(store.stats().snapshot().versions_collected, 1);
+    }
+
+    #[test]
+    fn gc_with_no_active_transactions_reclaims_everything_queued() {
+        let (store, t) = store_with_table(5);
+        let table = store.table(t).unwrap();
+        let guard = epoch::pin();
+        for key in 0..5u64 {
+            let ptr = {
+                let mut it = table.candidates(IndexId(0), key, &guard).unwrap();
+                VersionPtr::from_shared(crossbeam::epoch::Shared::from(
+                    it.next().unwrap() as *const _,
+                ))
+            };
+            let ts = store.clock().next_timestamp();
+            ptr.get().set_end(EndWord::Timestamp(ts));
+            store.enqueue_garbage(GcItem { table: t, version: ptr, reclaimable_at: ts });
+        }
+        // Bounded step: only collect 2 at a time.
+        assert_eq!(store.collect_garbage(2), 2);
+        assert_eq!(store.collect_garbage(16), 3);
+        assert_eq!(table.version_count(), 0);
+    }
+
+    #[test]
+    fn populate_validates_rows() {
+        let store = MvStore::default();
+        let t = store.create_table(TableSpec::keyed_u64("t", 8)).unwrap();
+        let bad = Row::from(vec![1u8, 2]);
+        assert!(store.populate(t, vec![bad]).is_err());
+    }
+}

@@ -1,0 +1,351 @@
+//! Tables: a named collection of versions reachable through one or more
+//! latch-free hash indexes.
+//!
+//! There is no direct access to records except through an index (§2.1). A
+//! table therefore consists only of its index structures; the versions
+//! themselves are heap allocations threaded through every index chain.
+
+use crossbeam::epoch::{Guard, Owned, Shared};
+use parking_lot::Mutex;
+
+use mmdb_common::error::{MmdbError, Result};
+use mmdb_common::ids::{IndexId, Key, TableId};
+use mmdb_common::row::{Row, TableSpec};
+
+use mmdb_index::{BucketLockTable, HashIndex};
+
+use crate::version::Version;
+
+/// A stable, `Send + Sync` pointer to a [`Version`].
+///
+/// Transactions keep these in their read/write/scan sets. The pointer stays
+/// valid for as long as the version has not been reclaimed by the garbage
+/// collector, and the collector only reclaims versions that (a) have a
+/// committed end timestamp older than the begin timestamp of every active
+/// transaction and (b) have been unlinked from every index. Both conditions
+/// guarantee no live transaction still holds an interest in the version, so
+/// dereferencing through a [`VersionPtr`] held by an active transaction is
+/// sound. See `gc.rs` for the watermark computation.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct VersionPtr(*const Version);
+
+// SAFETY: Version is Send + Sync and the reclamation protocol above
+// guarantees the pointee outlives every transaction that stored the pointer.
+unsafe impl Send for VersionPtr {}
+unsafe impl Sync for VersionPtr {}
+
+impl VersionPtr {
+    /// Wrap a shared pointer obtained under an epoch guard.
+    pub fn from_shared(shared: Shared<'_, Version>) -> VersionPtr {
+        VersionPtr(shared.as_raw())
+    }
+
+    /// Reconstruct an epoch `Shared` (for unlinking / deferred destruction).
+    pub fn as_shared<'g>(&self, _guard: &'g Guard) -> Shared<'g, Version> {
+        Shared::from(self.0)
+    }
+
+    /// Dereference. Sound per the reclamation protocol described on the type.
+    #[inline]
+    pub fn get(&self) -> &Version {
+        unsafe { &*self.0 }
+    }
+
+    /// Raw address (used as a map key for dedup).
+    #[inline]
+    pub fn addr(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A table: spec + one latch-free hash index and one bucket-lock table per
+/// declared index.
+pub struct Table {
+    id: TableId,
+    spec: TableSpec,
+    indexes: Vec<HashIndex<Version>>,
+    bucket_locks: Vec<BucketLockTable>,
+    /// Serializes garbage-collection unlinks on this table (see the
+    /// concurrency contract of [`HashIndex::unlink`]).
+    gc_lock: Mutex<()>,
+}
+
+impl Table {
+    /// Create a table from its spec.
+    pub fn new(id: TableId, spec: TableSpec) -> Result<Table> {
+        if spec.indexes.is_empty() {
+            return Err(MmdbError::Internal("a table needs at least one index"));
+        }
+        let indexes = spec
+            .indexes
+            .iter()
+            .enumerate()
+            .map(|(slot, idx)| HashIndex::new(slot, idx.buckets.max(1)))
+            .collect();
+        let bucket_locks = spec.indexes.iter().map(|idx| BucketLockTable::new(idx.buckets.max(1))).collect();
+        Ok(Table { id, spec, indexes, bucket_locks, gc_lock: Mutex::new(()) })
+    }
+
+    /// Table identifier.
+    #[inline]
+    pub fn id(&self) -> TableId {
+        self.id
+    }
+
+    /// Table spec (indexes, key extractors).
+    #[inline]
+    pub fn spec(&self) -> &TableSpec {
+        &self.spec
+    }
+
+    /// Number of indexes.
+    #[inline]
+    pub fn index_count(&self) -> usize {
+        self.indexes.len()
+    }
+
+    /// Resolve an index id, or error.
+    fn index(&self, index: IndexId) -> Result<&HashIndex<Version>> {
+        self.indexes.get(index.0 as usize).ok_or(MmdbError::IndexNotFound(self.id, index))
+    }
+
+    /// The bucket-lock table of an index (pessimistic phantom protection).
+    pub fn bucket_locks(&self, index: IndexId) -> Result<&BucketLockTable> {
+        self.bucket_locks.get(index.0 as usize).ok_or(MmdbError::IndexNotFound(self.id, index))
+    }
+
+    /// Extract the key of `row` under every index of this table (index order).
+    pub fn keys_of(&self, row: &[u8]) -> Result<Vec<Key>> {
+        self.spec.indexes.iter().map(|idx| idx.key.key_of(row)).collect()
+    }
+
+    /// Extract the key of `row` under one index.
+    pub fn key_of(&self, index: IndexId, row: &[u8]) -> Result<Key> {
+        self.spec
+            .indexes
+            .get(index.0 as usize)
+            .ok_or(MmdbError::IndexNotFound(self.id, index))?
+            .key
+            .key_of(row)
+    }
+
+    /// Whether an index was declared unique.
+    pub fn is_unique(&self, index: IndexId) -> Result<bool> {
+        Ok(self
+            .spec
+            .indexes
+            .get(index.0 as usize)
+            .ok_or(MmdbError::IndexNotFound(self.id, index))?
+            .unique)
+    }
+
+    /// Bucket that `key` hashes to in `index`.
+    pub fn bucket_of(&self, index: IndexId, key: Key) -> Result<usize> {
+        Ok(self.index(index)?.bucket_of_key(key))
+    }
+
+    /// Allocate a version for `row` (keys extracted per the spec).
+    pub fn make_version(&self, creator: mmdb_common::ids::TxnId, row: Row) -> Result<Owned<Version>> {
+        let keys = self.keys_of(&row)?;
+        Ok(Owned::new(Version::new(creator, row, keys)))
+    }
+
+    /// Allocate an already-committed version for `row` (bulk loading).
+    pub fn make_committed_version(
+        &self,
+        begin: mmdb_common::ids::Timestamp,
+        row: Row,
+    ) -> Result<Owned<Version>> {
+        let keys = self.keys_of(&row)?;
+        Ok(Owned::new(Version::new_committed(begin, row, keys)))
+    }
+
+    /// Link a version into every index of the table and return a stable
+    /// pointer to it.
+    pub fn link_version<'g>(&self, version: Owned<Version>, guard: &'g Guard) -> VersionPtr {
+        let shared = version.into_shared(guard);
+        for index in &self.indexes {
+            index.insert(shared, guard);
+        }
+        VersionPtr::from_shared(shared)
+    }
+
+    /// Iterate over every version in the bucket `key` hashes to under
+    /// `index`, filtered down to versions whose key actually equals `key`
+    /// (the paper's "check predicate" step for the search predicate).
+    pub fn candidates<'a, 'g: 'a>(
+        &'a self,
+        index: IndexId,
+        key: Key,
+        guard: &'g Guard,
+    ) -> Result<impl Iterator<Item = &'g Version> + 'a> {
+        let idx = self.index(index)?;
+        let slot = idx.slot();
+        Ok(idx
+            .iter_key(key, guard)
+            .map(|shared| unsafe { shared.deref() })
+            .filter(move |v| v.index_key(slot) == key))
+    }
+
+    /// Iterate over every version in the table via `index` (full scan).
+    pub fn scan_versions<'a, 'g: 'a>(
+        &'a self,
+        index: IndexId,
+        guard: &'g Guard,
+    ) -> Result<impl Iterator<Item = &'g Version> + 'a> {
+        let idx = self.index(index)?;
+        Ok(idx.iter_all(guard).map(|shared| unsafe { shared.deref() }))
+    }
+
+    /// Unlink `version` from every index. Must only be called by the garbage
+    /// collector while holding [`Table::gc_guard`]. Returns true if the
+    /// version was found in (and removed from) the primary index.
+    pub fn unlink_version<'g>(&self, version: Shared<'g, Version>, guard: &'g Guard) -> bool {
+        let mut removed_primary = false;
+        for (slot, index) in self.indexes.iter().enumerate() {
+            let removed = index.unlink(version, guard);
+            if slot == 0 {
+                removed_primary = removed;
+            }
+        }
+        removed_primary
+    }
+
+    /// Acquire the per-table garbage-collection lock (serializes unlinks).
+    pub fn gc_guard(&self) -> parking_lot::MutexGuard<'_, ()> {
+        self.gc_lock.lock()
+    }
+
+    /// Number of versions currently linked in the primary index (diagnostic;
+    /// walks every chain).
+    pub fn version_count(&self) -> usize {
+        let guard = crossbeam::epoch::pin();
+        self.indexes[0].iter_all(&guard).count()
+    }
+}
+
+impl Drop for Table {
+    fn drop(&mut self) {
+        // Exclusive access: free every version still linked. Versions that
+        // were unlinked earlier are owned by the epoch collector already.
+        let guard = crossbeam::epoch::pin();
+        let drained = self.indexes[0].drain_exclusive(&guard);
+        for shared in drained {
+            unsafe {
+                drop(shared.into_owned());
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Table")
+            .field("id", &self.id)
+            .field("name", &self.spec.name)
+            .field("indexes", &self.indexes.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam::epoch;
+    use mmdb_common::ids::{Timestamp, TxnId};
+    use mmdb_common::row::{rowbuf, IndexSpec, KeySpec};
+
+    fn two_index_spec() -> TableSpec {
+        TableSpec::keyed_u64("accounts", 64).with_index(IndexSpec {
+            name: "by_fill".into(),
+            key: KeySpec::BytesAt { offset: 8, len: 1 },
+            buckets: 16,
+            unique: false,
+        })
+    }
+
+    #[test]
+    fn link_and_lookup_through_both_indexes() {
+        let table = Table::new(TableId(0), two_index_spec()).unwrap();
+        let guard = epoch::pin();
+        for k in 0..20u64 {
+            let row = rowbuf::keyed_row(k, 16, (k % 4) as u8);
+            let v = table.make_committed_version(Timestamp(1), row).unwrap();
+            table.link_version(v, &guard);
+        }
+        // Primary lookups.
+        for k in 0..20u64 {
+            let hits: Vec<_> = table.candidates(IndexId(0), k, &guard).unwrap().collect();
+            assert_eq!(hits.len(), 1);
+            assert_eq!(rowbuf::key_of(hits[0].data()), k);
+        }
+        // Secondary: fill byte 2 → keys 2, 6, 10, 14, 18.
+        let fill_key = mmdb_common::hash::hash_bytes(&[2u8]);
+        let hits: Vec<_> = table.candidates(IndexId(1), fill_key, &guard).unwrap().collect();
+        assert_eq!(hits.len(), 5);
+        // Full scan sees everything.
+        assert_eq!(table.scan_versions(IndexId(0), &guard).unwrap().count(), 20);
+        assert_eq!(table.version_count(), 20);
+    }
+
+    #[test]
+    fn keys_of_matches_spec_order() {
+        let table = Table::new(TableId(3), two_index_spec()).unwrap();
+        let row = rowbuf::keyed_row(9, 16, 7);
+        let keys = table.keys_of(&row).unwrap();
+        assert_eq!(keys[0], 9);
+        assert_eq!(keys[1], mmdb_common::hash::hash_bytes(&[7u8]));
+        assert_eq!(table.key_of(IndexId(0), &row).unwrap(), 9);
+        assert!(table.key_of(IndexId(5), &row).is_err());
+        assert!(table.is_unique(IndexId(0)).unwrap());
+        assert!(!table.is_unique(IndexId(1)).unwrap());
+    }
+
+    #[test]
+    fn unlink_removes_from_every_index() {
+        let table = Table::new(TableId(0), two_index_spec()).unwrap();
+        let guard = epoch::pin();
+        let ptr = table
+            .link_version(
+                table.make_committed_version(Timestamp(1), rowbuf::keyed_row(5, 16, 1)).unwrap(),
+                &guard,
+            );
+        table.link_version(
+            table.make_committed_version(Timestamp(1), rowbuf::keyed_row(6, 16, 1)).unwrap(),
+            &guard,
+        );
+        {
+            let _g = table.gc_guard();
+            assert!(table.unlink_version(ptr.as_shared(&guard), &guard));
+        }
+        assert_eq!(table.candidates(IndexId(0), 5, &guard).unwrap().count(), 0);
+        let fill_key = mmdb_common::hash::hash_bytes(&[1u8]);
+        assert_eq!(table.candidates(IndexId(1), fill_key, &guard).unwrap().count(), 1);
+        // The unlinked allocation still has to be freed exactly once.
+        unsafe { guard.defer_destroy(ptr.as_shared(&guard)) };
+    }
+
+    #[test]
+    fn version_ptr_roundtrip() {
+        let table = Table::new(TableId(0), TableSpec::keyed_u64("t", 8)).unwrap();
+        let guard = epoch::pin();
+        let ptr = table
+            .link_version(table.make_version(TxnId(1), rowbuf::keyed_row(1, 16, 0)).unwrap(), &guard);
+        assert_eq!(rowbuf::key_of(ptr.get().data()), 1);
+        assert_eq!(ptr.as_shared(&guard).as_raw() as usize, ptr.addr());
+    }
+
+    #[test]
+    fn rejects_table_without_indexes() {
+        let spec = TableSpec { name: "empty".into(), indexes: vec![] };
+        assert!(Table::new(TableId(0), spec).is_err());
+    }
+
+    #[test]
+    fn row_not_matching_spec_is_rejected() {
+        let table = Table::new(TableId(0), TableSpec::keyed_u64("t", 8)).unwrap();
+        let short = Row::from(vec![1u8, 2, 3]);
+        assert!(matches!(table.keys_of(&short), Err(MmdbError::RowTooShort { .. })));
+        assert!(table.make_version(TxnId(1), short).is_err());
+    }
+}

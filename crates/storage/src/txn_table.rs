@@ -1,0 +1,637 @@
+//! The transaction table and per-transaction shared state.
+//!
+//! Every in-flight transaction is represented by a [`TxnHandle`] registered
+//! in the global [`TxnTable`]. Other transactions look handles up by ID when
+//! they find a transaction ID in a version's Begin or End field (visibility
+//! checks, §2.5), when they register commit dependencies (§2.7), and when
+//! they install or release wait-for dependencies (§4.2).
+//!
+//! A handle carries exactly the per-transaction fields the paper describes:
+//!
+//! * `State` — Active, Preparing, Committed, Aborted (plus Terminated once
+//!   postprocessing finished and the entry is about to disappear).
+//! * `BeginTs` / `EndTs`.
+//! * `CommitDepCounter`, `AbortNow`, `CommitDepSet` (§2.7).
+//! * `WaitForCounter`, `NoMoreWaitFors`, `WaitingTxnList` (§4.2).
+//!
+//! The handle also owns a condition variable so a transaction can sleep while
+//! it waits for its outstanding dependencies to resolve — the only place the
+//! paper allows a transaction to wait (never during normal processing).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex, RwLock};
+
+use mmdb_common::ids::{Timestamp, TxnId};
+use mmdb_common::isolation::{ConcurrencyMode, IsolationLevel};
+
+use crate::table::VersionPtr;
+
+/// Lifecycle states of a transaction (Figure 2 of the paper).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum TxnState {
+    /// Normal processing; the transaction has a begin timestamp only.
+    Active = 0,
+    /// The transaction has acquired its end timestamp and is validating /
+    /// waiting for dependencies / writing its log record.
+    Preparing = 1,
+    /// The commit is durable and visible; postprocessing may still be
+    /// propagating timestamps into versions.
+    Committed = 2,
+    /// The transaction aborted; its new versions are garbage.
+    Aborted = 3,
+    /// Postprocessing finished; the handle is about to leave the table.
+    Terminated = 4,
+}
+
+impl TxnState {
+    fn from_u8(v: u8) -> TxnState {
+        match v {
+            0 => TxnState::Active,
+            1 => TxnState::Preparing,
+            2 => TxnState::Committed,
+            3 => TxnState::Aborted,
+            _ => TxnState::Terminated,
+        }
+    }
+
+    /// Has the transaction reached a final outcome (committed or aborted)?
+    pub fn is_final(self) -> bool {
+        matches!(self, TxnState::Committed | TxnState::Aborted | TxnState::Terminated)
+    }
+}
+
+/// Outcome reported when registering a commit dependency on a transaction
+/// that may already have finished.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum DepRegistration {
+    /// The dependency was registered; the target will report its outcome.
+    Registered,
+    /// The target has already committed; no dependency is needed.
+    AlreadyCommitted,
+    /// The target has already aborted; the dependent must abort too.
+    AlreadyAborted,
+}
+
+/// Commit-dependency set of a transaction: the transactions that depend on
+/// *this* transaction committing, plus a latch that records whether the set
+/// has already been resolved (so late registrations are answered directly).
+#[derive(Debug, Default)]
+struct CommitDepSet {
+    /// `Some(true)` once resolved by commit, `Some(false)` once resolved by
+    /// abort.
+    resolved: Option<bool>,
+    waiters: Vec<TxnId>,
+}
+
+/// Wait-for list of a transaction: the transactions whose `WaitForCounter`
+/// this transaction will decrement when it completes its normal processing
+/// and releases its read/bucket locks.
+#[derive(Debug, Default)]
+struct WaitingTxnList {
+    released: bool,
+    waiters: Vec<TxnId>,
+}
+
+/// Shared, concurrently accessible state of one transaction.
+#[derive(Debug)]
+pub struct TxnHandle {
+    id: TxnId,
+    begin_ts: Timestamp,
+    mode: ConcurrencyMode,
+    isolation: IsolationLevel,
+    state: AtomicU8,
+    /// End timestamp; 0 means "not yet acquired".
+    end_ts: AtomicU64,
+
+    // --- Commit dependencies (§2.7) ---
+    /// Number of unresolved commit dependencies this transaction still has.
+    commit_dep_counter: AtomicI64,
+    /// Set by other transactions to force this one to abort.
+    abort_now: AtomicBool,
+    /// Transactions that depend on this one committing.
+    commit_dep_set: Mutex<CommitDepSet>,
+
+    // --- Wait-for dependencies (§4.2) ---
+    /// Incoming wait-for dependencies this transaction is still waiting on.
+    wait_for_counter: AtomicI64,
+    /// When set the transaction accepts no more incoming wait-for
+    /// dependencies (starvation prevention).
+    no_more_wait_fors: AtomicBool,
+    /// Transactions waiting on this one to complete normal processing.
+    waiting_txn_list: Mutex<WaitingTxnList>,
+    /// Versions this transaction currently holds read locks on. Mirrors the
+    /// transaction's private ReadSet so the deadlock detector can derive the
+    /// *implicit* wait-for edges of §4.4 (an updater of a read-locked version
+    /// waits on every reader of that version).
+    read_lock_versions: Mutex<Vec<VersionPtr>>,
+
+    // --- Sleeping / wakeup ---
+    wait_lock: Mutex<()>,
+    wait_cv: Condvar,
+}
+
+impl TxnHandle {
+    /// Create a handle for a transaction that just acquired `begin_ts`.
+    pub fn new(id: TxnId, begin_ts: Timestamp, mode: ConcurrencyMode, isolation: IsolationLevel) -> Arc<TxnHandle> {
+        Arc::new(TxnHandle {
+            id,
+            begin_ts,
+            mode,
+            isolation,
+            state: AtomicU8::new(TxnState::Active as u8),
+            end_ts: AtomicU64::new(0),
+            commit_dep_counter: AtomicI64::new(0),
+            abort_now: AtomicBool::new(false),
+            commit_dep_set: Mutex::new(CommitDepSet::default()),
+            wait_for_counter: AtomicI64::new(0),
+            no_more_wait_fors: AtomicBool::new(false),
+            waiting_txn_list: Mutex::new(WaitingTxnList::default()),
+            read_lock_versions: Mutex::new(Vec::new()),
+            wait_lock: Mutex::new(()),
+            wait_cv: Condvar::new(),
+        })
+    }
+
+    /// Transaction ID.
+    #[inline]
+    pub fn id(&self) -> TxnId {
+        self.id
+    }
+
+    /// Begin timestamp.
+    #[inline]
+    pub fn begin_ts(&self) -> Timestamp {
+        self.begin_ts
+    }
+
+    /// Concurrency mode (optimistic / pessimistic) the transaction runs in.
+    #[inline]
+    pub fn mode(&self) -> ConcurrencyMode {
+        self.mode
+    }
+
+    /// Isolation level the transaction runs at.
+    #[inline]
+    pub fn isolation(&self) -> IsolationLevel {
+        self.isolation
+    }
+
+    /// Current lifecycle state.
+    #[inline]
+    pub fn state(&self) -> TxnState {
+        TxnState::from_u8(self.state.load(Ordering::Acquire))
+    }
+
+    /// Transition to a new state and wake anyone sleeping on this handle.
+    pub fn set_state(&self, state: TxnState) {
+        self.state.store(state as u8, Ordering::Release);
+        self.notify();
+    }
+
+    /// End timestamp, if the transaction has precommitted.
+    #[inline]
+    pub fn end_ts(&self) -> Option<Timestamp> {
+        match self.end_ts.load(Ordering::Acquire) {
+            0 => None,
+            raw => Some(Timestamp(raw)),
+        }
+    }
+
+    /// Record the end timestamp acquired at precommit.
+    pub fn set_end_ts(&self, ts: Timestamp) {
+        self.end_ts.store(ts.raw(), Ordering::Release);
+    }
+
+    /// Atomically read the state and end timestamp. The paper's visibility
+    /// rules need both; reading the state *after* the timestamp guarantees
+    /// that if we observe Preparing/Committed the timestamp we read is the
+    /// final one (the end timestamp is always written before the state
+    /// switches to Preparing).
+    pub fn state_and_end(&self) -> (TxnState, Option<Timestamp>) {
+        let ts = self.end_ts();
+        let state = self.state();
+        // If the state advanced past Active after we read a missing
+        // timestamp, re-read the timestamp: it must be set by now.
+        if ts.is_none() && state != TxnState::Active {
+            (state, self.end_ts())
+        } else {
+            (state, ts)
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Commit dependencies (§2.7)
+    // ------------------------------------------------------------------
+
+    /// The `AbortNow` flag.
+    #[inline]
+    pub fn abort_requested(&self) -> bool {
+        self.abort_now.load(Ordering::Acquire)
+    }
+
+    /// Ask this transaction to abort (set `AbortNow`) and wake it.
+    pub fn request_abort(&self) {
+        self.abort_now.store(true, Ordering::Release);
+        self.notify();
+    }
+
+    /// Number of unresolved commit dependencies.
+    #[inline]
+    pub fn commit_dep_count(&self) -> i64 {
+        self.commit_dep_counter.load(Ordering::Acquire)
+    }
+
+    /// Note that this transaction has taken one more commit dependency.
+    pub fn add_incoming_commit_dep(&self) {
+        self.commit_dep_counter.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Resolve one incoming commit dependency. If the dependency committed,
+    /// the counter is decremented (waking the transaction when it reaches
+    /// zero); if it aborted, `AbortNow` is set.
+    pub fn resolve_incoming_commit_dep(&self, dependency_committed: bool) {
+        if dependency_committed {
+            let prev = self.commit_dep_counter.fetch_sub(1, Ordering::AcqRel);
+            if prev <= 1 {
+                self.notify();
+            }
+        } else {
+            self.request_abort();
+        }
+    }
+
+    /// Register `dependent` in this transaction's CommitDepSet. If the set
+    /// was already resolved the outcome is returned instead, and the caller
+    /// must resolve the dependent directly.
+    pub fn add_commit_dependent(&self, dependent: TxnId) -> DepRegistration {
+        let mut set = self.commit_dep_set.lock();
+        match set.resolved {
+            Some(true) => DepRegistration::AlreadyCommitted,
+            Some(false) => DepRegistration::AlreadyAborted,
+            None => {
+                set.waiters.push(dependent);
+                DepRegistration::Registered
+            }
+        }
+    }
+
+    /// Resolve this transaction's CommitDepSet with the final outcome,
+    /// returning the dependents that must now be informed. Subsequent
+    /// registrations are answered directly from the recorded outcome.
+    pub fn resolve_commit_dependents(&self, committed: bool) -> Vec<TxnId> {
+        let mut set = self.commit_dep_set.lock();
+        set.resolved = Some(committed);
+        std::mem::take(&mut set.waiters)
+    }
+
+    // ------------------------------------------------------------------
+    // Wait-for dependencies (§4.2)
+    // ------------------------------------------------------------------
+
+    /// Number of incoming wait-for dependencies still outstanding.
+    #[inline]
+    pub fn wait_for_count(&self) -> i64 {
+        self.wait_for_counter.load(Ordering::Acquire)
+    }
+
+    /// The `NoMoreWaitFors` flag.
+    #[inline]
+    pub fn no_more_wait_fors(&self) -> bool {
+        self.no_more_wait_fors.load(Ordering::Acquire)
+    }
+
+    /// Stop accepting incoming wait-for dependencies (called when the
+    /// transaction reaches the end of normal processing and starts waiting,
+    /// so new readers cannot postpone its precommit forever).
+    pub fn close_wait_fors(&self) {
+        self.no_more_wait_fors.store(true, Ordering::Release);
+    }
+
+    /// Try to add one incoming wait-for dependency to this transaction.
+    /// Fails (returns `false`) if the transaction no longer accepts them.
+    pub fn try_add_wait_for(&self) -> bool {
+        if self.no_more_wait_fors() {
+            return false;
+        }
+        self.wait_for_counter.fetch_add(1, Ordering::AcqRel);
+        // Re-check: if the flag was set concurrently the counter may now be
+        // ignored by the waiter, so undo and fail.
+        if self.no_more_wait_fors() {
+            self.release_wait_for();
+            return false;
+        }
+        true
+    }
+
+    /// Release one incoming wait-for dependency, waking the transaction if it
+    /// was the last one.
+    pub fn release_wait_for(&self) {
+        let prev = self.wait_for_counter.fetch_sub(1, Ordering::AcqRel);
+        if prev <= 1 {
+            self.notify();
+        }
+    }
+
+    /// Register `waiter` in this transaction's WaitingTxnList: when this
+    /// transaction completes its normal processing it will release one
+    /// wait-for dependency of `waiter`. Returns `false` if the list was
+    /// already drained (the caller then need not wait at all).
+    pub fn add_waiting_txn(&self, waiter: TxnId) -> bool {
+        let mut list = self.waiting_txn_list.lock();
+        if list.released {
+            return false;
+        }
+        list.waiters.push(waiter);
+        true
+    }
+
+    /// Drain the WaitingTxnList (at precommit or abort); the caller must
+    /// release one wait-for dependency of every returned transaction.
+    pub fn take_waiting_txns(&self) -> Vec<TxnId> {
+        let mut list = self.waiting_txn_list.lock();
+        list.released = true;
+        std::mem::take(&mut list.waiters)
+    }
+
+    /// Snapshot of the WaitingTxnList (deadlock detection reads the explicit
+    /// wait-for edges without draining them).
+    pub fn peek_waiting_txns(&self) -> Vec<TxnId> {
+        self.waiting_txn_list.lock().waiters.clone()
+    }
+
+    /// Record that this transaction read-locked `version` (deadlock-detector
+    /// mirror of the ReadSet).
+    pub fn record_read_lock(&self, version: VersionPtr) {
+        self.read_lock_versions.lock().push(version);
+    }
+
+    /// Forget a recorded read lock (called when the lock is released).
+    pub fn forget_read_lock(&self, version: VersionPtr) {
+        let mut set = self.read_lock_versions.lock();
+        if let Some(pos) = set.iter().position(|v| *v == version) {
+            set.swap_remove(pos);
+        }
+    }
+
+    /// Snapshot of the versions this transaction currently holds read locks
+    /// on (used to build implicit wait-for edges during deadlock detection).
+    pub fn read_locked_versions(&self) -> Vec<VersionPtr> {
+        self.read_lock_versions.lock().clone()
+    }
+
+    // ------------------------------------------------------------------
+    // Sleeping
+    // ------------------------------------------------------------------
+
+    /// Wake any thread sleeping on this handle.
+    pub fn notify(&self) {
+        let _guard = self.wait_lock.lock();
+        self.wait_cv.notify_all();
+    }
+
+    /// Sleep until `done()` returns true or `timeout` elapses. Returns the
+    /// final value of `done()`.
+    ///
+    /// Used for the two sanctioned waits: "wait for outstanding wait-for
+    /// dependencies before precommit" and "wait for outstanding commit
+    /// dependencies before commit".
+    pub fn wait_until<F: Fn() -> bool>(&self, done: F, timeout: Duration) -> bool {
+        if done() {
+            return true;
+        }
+        let deadline = Instant::now() + timeout;
+        let mut guard = self.wait_lock.lock();
+        loop {
+            if done() {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return done();
+            }
+            // Bounded sleep so a missed notification can never hang a thread.
+            let chunk = (deadline - now).min(Duration::from_millis(2));
+            self.wait_cv.wait_for(&mut guard, chunk);
+        }
+    }
+}
+
+/// Number of shards in the transaction table.
+const TXN_SHARDS: usize = 64;
+
+/// The global transaction table: transaction ID → handle.
+pub struct TxnTable {
+    shards: Box<[RwLock<HashMap<u64, Arc<TxnHandle>>>]>,
+}
+
+impl Default for TxnTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TxnTable {
+    /// Create an empty table.
+    pub fn new() -> TxnTable {
+        TxnTable {
+            shards: (0..TXN_SHARDS).map(|_| RwLock::new(HashMap::new())).collect::<Vec<_>>().into_boxed_slice(),
+        }
+    }
+
+    #[inline]
+    fn shard(&self, id: TxnId) -> &RwLock<HashMap<u64, Arc<TxnHandle>>> {
+        &self.shards[(id.0 as usize) % TXN_SHARDS]
+    }
+
+    /// Register a handle.
+    pub fn register(&self, handle: Arc<TxnHandle>) {
+        self.shard(handle.id()).write().insert(handle.id().0, handle);
+    }
+
+    /// Look a transaction up. Returns `None` if it has terminated and been
+    /// removed — per the paper that means its version timestamps have been
+    /// finalized, so callers re-read the version field.
+    pub fn get(&self, id: TxnId) -> Option<Arc<TxnHandle>> {
+        self.shard(id).read().get(&id.0).cloned()
+    }
+
+    /// Remove a terminated transaction.
+    pub fn remove(&self, id: TxnId) {
+        self.shard(id).write().remove(&id.0);
+    }
+
+    /// Number of registered (non-terminated) transactions.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// True when no transactions are registered.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.read().is_empty())
+    }
+
+    /// Minimum begin timestamp over all registered transactions. This is the
+    /// garbage-collection watermark: a version whose end timestamp is older
+    /// than this can no longer be visible to anyone.
+    pub fn min_active_begin(&self) -> Option<Timestamp> {
+        let mut min: Option<Timestamp> = None;
+        for shard in self.shards.iter() {
+            for handle in shard.read().values() {
+                let b = handle.begin_ts();
+                min = Some(match min {
+                    Some(m) if m <= b => m,
+                    _ => b,
+                });
+            }
+        }
+        min
+    }
+
+    /// Snapshot of every registered handle (deadlock detection, diagnostics).
+    pub fn snapshot(&self) -> Vec<Arc<TxnHandle>> {
+        let mut out = Vec::new();
+        for shard in self.shards.iter() {
+            out.extend(shard.read().values().cloned());
+        }
+        out
+    }
+}
+
+impl std::fmt::Debug for TxnTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TxnTable").field("len", &self.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn handle(id: u64, begin: u64) -> Arc<TxnHandle> {
+        TxnHandle::new(TxnId(id), Timestamp(begin), ConcurrencyMode::Optimistic, IsolationLevel::Serializable)
+    }
+
+    #[test]
+    fn lifecycle_states() {
+        let h = handle(1, 10);
+        assert_eq!(h.state(), TxnState::Active);
+        assert_eq!(h.end_ts(), None);
+        h.set_end_ts(Timestamp(20));
+        h.set_state(TxnState::Preparing);
+        assert_eq!(h.state_and_end(), (TxnState::Preparing, Some(Timestamp(20))));
+        h.set_state(TxnState::Committed);
+        assert!(h.state().is_final());
+    }
+
+    #[test]
+    fn commit_dep_register_and_resolve() {
+        let target = handle(1, 10);
+        let dependent = handle(2, 11);
+
+        dependent.add_incoming_commit_dep();
+        assert_eq!(target.add_commit_dependent(dependent.id()), DepRegistration::Registered);
+        assert_eq!(dependent.commit_dep_count(), 1);
+
+        let waiters = target.resolve_commit_dependents(true);
+        assert_eq!(waiters, vec![TxnId(2)]);
+        dependent.resolve_incoming_commit_dep(true);
+        assert_eq!(dependent.commit_dep_count(), 0);
+        assert!(!dependent.abort_requested());
+    }
+
+    #[test]
+    fn commit_dep_after_resolution_is_answered_directly() {
+        let target = handle(1, 10);
+        target.resolve_commit_dependents(true);
+        assert_eq!(target.add_commit_dependent(TxnId(9)), DepRegistration::AlreadyCommitted);
+
+        let aborted = handle(3, 12);
+        aborted.resolve_commit_dependents(false);
+        assert_eq!(aborted.add_commit_dependent(TxnId(9)), DepRegistration::AlreadyAborted);
+    }
+
+    #[test]
+    fn abort_cascades_through_abort_now() {
+        let dependent = handle(2, 11);
+        dependent.add_incoming_commit_dep();
+        dependent.resolve_incoming_commit_dep(false);
+        assert!(dependent.abort_requested());
+    }
+
+    #[test]
+    fn wait_for_counter_and_flag() {
+        let t = handle(5, 20);
+        assert!(t.try_add_wait_for());
+        assert!(t.try_add_wait_for());
+        assert_eq!(t.wait_for_count(), 2);
+        t.release_wait_for();
+        t.release_wait_for();
+        assert_eq!(t.wait_for_count(), 0);
+
+        t.close_wait_fors();
+        assert!(!t.try_add_wait_for(), "NoMoreWaitFors must refuse new dependencies");
+        assert_eq!(t.wait_for_count(), 0);
+    }
+
+    #[test]
+    fn waiting_txn_list_drains_once() {
+        let t = handle(5, 20);
+        assert!(t.add_waiting_txn(TxnId(8)));
+        assert!(t.add_waiting_txn(TxnId(9)));
+        assert_eq!(t.peek_waiting_txns().len(), 2);
+        let drained = t.take_waiting_txns();
+        assert_eq!(drained, vec![TxnId(8), TxnId(9)]);
+        assert!(!t.add_waiting_txn(TxnId(10)), "registrations after release are refused");
+        assert!(t.take_waiting_txns().is_empty());
+    }
+
+    #[test]
+    fn wait_until_returns_when_woken() {
+        let t = handle(1, 1);
+        t.add_incoming_commit_dep();
+        let t2 = Arc::clone(&t);
+        let waker = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            t2.resolve_incoming_commit_dep(true);
+        });
+        let ok = t.wait_until(|| t.commit_dep_count() == 0, Duration::from_secs(5));
+        waker.join().unwrap();
+        assert!(ok);
+    }
+
+    #[test]
+    fn wait_until_times_out() {
+        let t = handle(1, 1);
+        t.add_incoming_commit_dep();
+        let ok = t.wait_until(|| t.commit_dep_count() == 0, Duration::from_millis(30));
+        assert!(!ok);
+    }
+
+    #[test]
+    fn txn_table_register_lookup_remove() {
+        let table = TxnTable::new();
+        assert!(table.is_empty());
+        for i in 1..=100u64 {
+            table.register(handle(i, i + 1000));
+        }
+        assert_eq!(table.len(), 100);
+        assert_eq!(table.get(TxnId(37)).unwrap().id(), TxnId(37));
+        assert!(table.get(TxnId(999)).is_none());
+        assert_eq!(table.min_active_begin(), Some(Timestamp(1001)));
+        table.remove(TxnId(1));
+        assert_eq!(table.len(), 99);
+        assert_eq!(table.min_active_begin(), Some(Timestamp(1002)));
+        assert_eq!(table.snapshot().len(), 99);
+    }
+
+    #[test]
+    fn min_active_begin_empty_is_none() {
+        let table = TxnTable::new();
+        assert_eq!(table.min_active_begin(), None);
+    }
+}

@@ -1,0 +1,286 @@
+//! Record versions.
+//!
+//! A version is the unit of storage in the multiversion engine (Figure 1 of
+//! the paper): a header consisting of the `Begin` and `End` words plus one
+//! hash-chain pointer per index of the table, followed by the payload.
+//!
+//! * `Begin` holds either the commit timestamp of the creating transaction or
+//!   (while that transaction is still in flight) its transaction ID.
+//! * `End` holds either the commit timestamp of the transaction that
+//!   superseded/deleted the version, "infinity" if it is still the latest, or
+//!   transaction metadata (a write lock, and under the pessimistic scheme
+//!   read-lock state as well).
+//!
+//! Both words are single atomics; all state transitions are CAS loops so
+//! readers never block.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crossbeam::epoch::Atomic;
+
+use mmdb_common::ids::{Key, Timestamp, TxnId};
+use mmdb_common::row::Row;
+use mmdb_common::word::{BeginWord, EndWord, LockWord};
+
+use mmdb_index::ChainNode;
+
+/// One version of a record.
+pub struct Version {
+    /// Tagged Begin word (timestamp or creating-transaction ID).
+    begin: AtomicU64,
+    /// Tagged End word (timestamp, or lock word carrying writer/readers).
+    end: AtomicU64,
+    /// Index keys of this version, one per index of the table, extracted once
+    /// at creation time so chain traversal never re-parses the payload.
+    keys: Box<[Key]>,
+    /// Intrusive hash-chain pointers, one per index of the table.
+    nexts: Box<[Atomic<Version>]>,
+    /// The payload bytes. Immutable: updates create a new version.
+    data: Row,
+}
+
+impl Version {
+    /// Create a version owned by in-flight transaction `creator`, not yet
+    /// linked into any index. The `End` word starts at infinity ("latest").
+    pub fn new(creator: TxnId, data: Row, keys: Vec<Key>) -> Version {
+        let n = keys.len();
+        Version {
+            begin: AtomicU64::new(BeginWord::Txn(creator).encode()),
+            end: AtomicU64::new(EndWord::LATEST.encode()),
+            keys: keys.into_boxed_slice(),
+            nexts: (0..n).map(|_| Atomic::null()).collect::<Vec<_>>().into_boxed_slice(),
+            data,
+        }
+    }
+
+    /// Create an already-committed version (used when populating a database
+    /// outside any transaction, e.g. workload loading).
+    pub fn new_committed(begin: Timestamp, data: Row, keys: Vec<Key>) -> Version {
+        let v = Version::new(TxnId(0), data, keys);
+        v.begin.store(BeginWord::Timestamp(begin).encode(), Ordering::Release);
+        v
+    }
+
+    /// Payload bytes.
+    #[inline]
+    pub fn data(&self) -> &Row {
+        &self.data
+    }
+
+    /// Number of indexes this version participates in.
+    #[inline]
+    pub fn index_count(&self) -> usize {
+        self.keys.len()
+    }
+
+    // ---- Begin word ----
+
+    /// Load and decode the Begin word.
+    #[inline]
+    pub fn begin_word(&self) -> BeginWord {
+        BeginWord::decode(self.begin.load(Ordering::Acquire))
+    }
+
+    /// Store a Begin word unconditionally (used during postprocessing when
+    /// the owning transaction replaces its ID with its end timestamp, and
+    /// when an aborted transaction poisons its new versions with infinity).
+    #[inline]
+    pub fn set_begin(&self, word: BeginWord) {
+        self.begin.store(word.encode(), Ordering::Release);
+    }
+
+    /// Replace the Begin word only if it still contains `expected`.
+    #[inline]
+    pub fn cas_begin(&self, expected: BeginWord, new: BeginWord) -> bool {
+        self.begin
+            .compare_exchange(expected.encode(), new.encode(), Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    // ---- End word ----
+
+    /// Load and decode the End word.
+    #[inline]
+    pub fn end_word(&self) -> EndWord {
+        EndWord::decode(self.end.load(Ordering::Acquire))
+    }
+
+    /// Load the raw End word (hot paths that only need the tag bit).
+    #[inline]
+    pub fn end_raw(&self) -> u64 {
+        self.end.load(Ordering::Acquire)
+    }
+
+    /// Store an End word unconditionally (postprocessing).
+    #[inline]
+    pub fn set_end(&self, word: EndWord) {
+        self.end.store(word.encode(), Ordering::Release);
+    }
+
+    /// Replace the End word only if it still contains `expected`.
+    ///
+    /// This is the fundamental "install a write lock" operation (§2.6): a
+    /// transaction updates a version by CAS-ing the End word from
+    /// "infinity" (or an aborted writer's lock) to its own transaction ID.
+    /// Failure means another writer sneaked in — a write-write conflict.
+    #[inline]
+    pub fn cas_end(&self, expected: EndWord, new: EndWord) -> bool {
+        self.end
+            .compare_exchange(expected.encode(), new.encode(), Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// CAS on the raw End word; returns the observed value on failure.
+    #[inline]
+    pub fn cas_end_raw(&self, expected: u64, new: u64) -> Result<(), u64> {
+        self.end
+            .compare_exchange(expected, new, Ordering::AcqRel, Ordering::Acquire)
+            .map(|_| ())
+            .map_err(|observed| observed)
+    }
+
+    /// Run a CAS loop transforming the End word's lock state. `f` receives
+    /// the current decoded word and returns the desired new word, or `None`
+    /// to stop without modifying (the observed word is then returned as the
+    /// error value).
+    ///
+    /// Used by the pessimistic scheme for read-lock acquisition/release,
+    /// where several sub-fields of the word must change atomically.
+    pub fn update_end<F>(&self, mut f: F) -> Result<(EndWord, EndWord), EndWord>
+    where
+        F: FnMut(EndWord) -> Option<EndWord>,
+    {
+        let mut current = self.end.load(Ordering::Acquire);
+        loop {
+            let decoded = EndWord::decode(current);
+            let Some(new) = f(decoded) else {
+                return Err(decoded);
+            };
+            match self
+                .end
+                .compare_exchange_weak(current, new.encode(), Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return Ok((decoded, new)),
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// Convenience: the transaction currently holding the write lock, if any.
+    #[inline]
+    pub fn write_locker(&self) -> Option<TxnId> {
+        self.end_word().writer()
+    }
+
+    /// Convenience: decoded lock word if the End field holds one.
+    #[inline]
+    pub fn lock_word(&self) -> Option<LockWord> {
+        self.end_word().as_lock()
+    }
+
+    /// The key of this version under index `slot`.
+    #[inline]
+    pub fn index_key(&self, slot: usize) -> Key {
+        self.keys[slot]
+    }
+}
+
+impl ChainNode for Version {
+    #[inline]
+    fn next_ptr(&self, slot: usize) -> &Atomic<Version> {
+        &self.nexts[slot]
+    }
+
+    #[inline]
+    fn key(&self, slot: usize) -> Key {
+        self.keys[slot]
+    }
+}
+
+impl std::fmt::Debug for Version {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Version")
+            .field("begin", &self.begin_word())
+            .field("end", &self.end_word())
+            .field("keys", &self.keys)
+            .field("len", &self.data.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmdb_common::ids::INFINITY_TS;
+    use mmdb_common::row::rowbuf;
+
+    fn version() -> Version {
+        Version::new(TxnId(42), rowbuf::keyed_row(7, 16, 1), vec![7, 99])
+    }
+
+    #[test]
+    fn new_version_is_owned_and_latest() {
+        let v = version();
+        assert_eq!(v.begin_word(), BeginWord::Txn(TxnId(42)));
+        assert_eq!(v.end_word(), EndWord::Timestamp(INFINITY_TS));
+        assert!(v.end_word().is_latest());
+        assert_eq!(v.index_count(), 2);
+        assert_eq!(v.index_key(0), 7);
+        assert_eq!(v.index_key(1), 99);
+        assert_eq!(rowbuf::key_of(v.data()), 7);
+    }
+
+    #[test]
+    fn committed_version_has_timestamp_begin() {
+        let v = Version::new_committed(Timestamp(5), rowbuf::keyed_row(1, 16, 0), vec![1]);
+        assert_eq!(v.begin_word(), BeginWord::Timestamp(Timestamp(5)));
+    }
+
+    #[test]
+    fn cas_end_installs_write_lock_once() {
+        let v = version();
+        assert!(v.cas_end(EndWord::LATEST, EndWord::write_locked(TxnId(1))));
+        // Second writer loses (first-writer-wins).
+        assert!(!v.cas_end(EndWord::LATEST, EndWord::write_locked(TxnId(2))));
+        assert_eq!(v.write_locker(), Some(TxnId(1)));
+    }
+
+    #[test]
+    fn postprocessing_finalizes_timestamps() {
+        let v = version();
+        v.cas_end(EndWord::LATEST, EndWord::write_locked(TxnId(9)));
+        v.set_begin(BeginWord::Timestamp(Timestamp(100)));
+        v.set_end(EndWord::Timestamp(Timestamp(200)));
+        assert_eq!(v.begin_word().as_timestamp(), Some(Timestamp(100)));
+        assert_eq!(v.end_word().as_timestamp(), Some(Timestamp(200)));
+    }
+
+    #[test]
+    fn update_end_loop_applies_transformation() {
+        let v = version();
+        // Acquire three read locks.
+        for expected in 1..=3u8 {
+            let (_, new) = v
+                .update_end(|w| match w {
+                    EndWord::Timestamp(ts) if ts.is_infinity() => {
+                        Some(EndWord::Lock(LockWord::EMPTY.with_extra_reader().unwrap()))
+                    }
+                    EndWord::Lock(l) => Some(EndWord::Lock(l.with_extra_reader().unwrap())),
+                    _ => None,
+                })
+                .unwrap();
+            assert_eq!(new.as_lock().unwrap().read_lock_count, expected);
+        }
+        // A transformation returning None leaves the word untouched.
+        let err = v.update_end(|_| None).unwrap_err();
+        assert_eq!(err.as_lock().unwrap().read_lock_count, 3);
+    }
+
+    #[test]
+    fn cas_begin_only_replaces_expected() {
+        let v = version();
+        assert!(!v.cas_begin(BeginWord::Txn(TxnId(7)), BeginWord::Timestamp(Timestamp(1))));
+        assert!(v.cas_begin(BeginWord::Txn(TxnId(42)), BeginWord::Timestamp(Timestamp(1))));
+        assert_eq!(v.begin_word().as_timestamp(), Some(Timestamp(1)));
+    }
+}

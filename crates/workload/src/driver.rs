@@ -1,0 +1,261 @@
+//! Multi-threaded benchmark driver.
+//!
+//! The paper's experiments fix a multiprogramming level (number of
+//! concurrently active transactions), run a workload mix for a fixed wall
+//! clock interval, and report committed transactions per second (plus
+//! ancillary measures such as abort rates and read throughput). This module
+//! provides that harness for any [`Engine`] implementation.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use mmdb_common::engine::Engine;
+use mmdb_common::stats::StatsSnapshot;
+
+/// Classification of a transaction executed by a worker; used to report
+/// separate throughput series (e.g. update vs long-read throughput in the
+/// long-reader experiment).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum TxnKind {
+    /// A short update transaction (R reads + W writes).
+    Update,
+    /// A short read-only transaction.
+    ReadOnly,
+    /// A long read-only (operational reporting) transaction.
+    LongRead,
+    /// A TATP transaction (any of the seven types).
+    Tatp,
+}
+
+impl TxnKind {
+    const COUNT: usize = 4;
+    fn index(self) -> usize {
+        match self {
+            TxnKind::Update => 0,
+            TxnKind::ReadOnly => 1,
+            TxnKind::LongRead => 2,
+            TxnKind::Tatp => 3,
+        }
+    }
+}
+
+/// Outcome of one transaction attempt executed by a worker.
+#[derive(Copy, Clone, Debug)]
+pub struct TxnOutcome {
+    /// What kind of transaction this was.
+    pub kind: TxnKind,
+    /// Whether it committed.
+    pub committed: bool,
+    /// Row reads it performed (counted even if it later aborted).
+    pub reads: u64,
+    /// Row writes it performed.
+    pub writes: u64,
+}
+
+impl TxnOutcome {
+    /// A committed transaction of `kind` with the given operation counts.
+    pub fn committed(kind: TxnKind, reads: u64, writes: u64) -> TxnOutcome {
+        TxnOutcome { kind, committed: true, reads, writes }
+    }
+
+    /// An aborted transaction of `kind`.
+    pub fn aborted(kind: TxnKind, reads: u64, writes: u64) -> TxnOutcome {
+        TxnOutcome { kind, committed: false, reads, writes }
+    }
+}
+
+/// Aggregated result of a driver run.
+#[derive(Debug, Clone)]
+pub struct DriverReport {
+    /// Wall-clock duration of the measurement interval.
+    pub duration: Duration,
+    /// Number of worker threads (the multiprogramming level).
+    pub threads: usize,
+    /// Committed transactions, total and per kind.
+    pub committed: u64,
+    /// Aborted transaction attempts, total and per kind.
+    pub aborted: u64,
+    committed_by_kind: [u64; TxnKind::COUNT],
+    aborted_by_kind: [u64; TxnKind::COUNT],
+    reads_by_kind: [u64; TxnKind::COUNT],
+    /// Total row reads performed.
+    pub reads: u64,
+    /// Total row writes performed.
+    pub writes: u64,
+    /// Difference of the engine's statistics counters over the interval.
+    pub engine_delta: StatsSnapshot,
+}
+
+impl DriverReport {
+    /// Committed transactions per second.
+    pub fn tps(&self) -> f64 {
+        self.committed as f64 / self.duration.as_secs_f64()
+    }
+
+    /// Committed transactions per second for one kind.
+    pub fn tps_of(&self, kind: TxnKind) -> f64 {
+        self.committed_by_kind[kind.index()] as f64 / self.duration.as_secs_f64()
+    }
+
+    /// Committed transaction count for one kind.
+    pub fn committed_of(&self, kind: TxnKind) -> u64 {
+        self.committed_by_kind[kind.index()]
+    }
+
+    /// Aborted transaction count for one kind.
+    pub fn aborted_of(&self, kind: TxnKind) -> u64 {
+        self.aborted_by_kind[kind.index()]
+    }
+
+    /// Row reads per second performed by one kind of transaction.
+    pub fn read_rate_of(&self, kind: TxnKind) -> f64 {
+        self.reads_by_kind[kind.index()] as f64 / self.duration.as_secs_f64()
+    }
+
+    /// Fraction of attempts that aborted.
+    pub fn abort_rate(&self) -> f64 {
+        let total = self.committed + self.aborted;
+        if total == 0 {
+            0.0
+        } else {
+            self.aborted as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Default)]
+struct WorkerTally {
+    committed: [u64; TxnKind::COUNT],
+    aborted: [u64; TxnKind::COUNT],
+    reads: [u64; TxnKind::COUNT],
+    writes: u64,
+}
+
+/// Run `body` repeatedly on `threads` worker threads for `duration`.
+///
+/// `body(engine, rng, worker_index)` must execute exactly one transaction
+/// (begin → commit/abort) and report its [`TxnOutcome`]. The worker index
+/// lets a workload assign roles to threads (e.g. the first `k` workers are
+/// long readers).
+pub fn run_for<E, F>(engine: &E, threads: usize, duration: Duration, body: F) -> DriverReport
+where
+    E: Engine,
+    F: Fn(&E, &mut StdRng, usize) -> TxnOutcome + Send + Sync,
+{
+    assert!(threads > 0, "at least one worker thread is required");
+    let stop = AtomicBool::new(false);
+    let before = engine.stats().snapshot();
+    let start = Instant::now();
+
+    let tallies: Vec<WorkerTally> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for worker in 0..threads {
+            let body = &body;
+            let stop = &stop;
+            handles.push(scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0xC0FFEE ^ (worker as u64).wrapping_mul(0x9E3779B97F4A7C15));
+                let mut tally = WorkerTally::default();
+                while !stop.load(Ordering::Relaxed) {
+                    let outcome = body(engine, &mut rng, worker);
+                    let slot = outcome.kind.index();
+                    if outcome.committed {
+                        tally.committed[slot] += 1;
+                    } else {
+                        tally.aborted[slot] += 1;
+                    }
+                    tally.reads[slot] += outcome.reads;
+                    tally.writes += outcome.writes;
+                }
+                tally
+            }));
+        }
+        // The scope owner doubles as the timer.
+        let deadline = start + duration;
+        while Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5).min(duration));
+        }
+        stop.store(true, Ordering::Relaxed);
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    });
+
+    let elapsed = start.elapsed();
+    let after = engine.stats().snapshot();
+
+    let mut committed_by_kind = [0u64; TxnKind::COUNT];
+    let mut aborted_by_kind = [0u64; TxnKind::COUNT];
+    let mut reads_by_kind = [0u64; TxnKind::COUNT];
+    let mut writes = 0u64;
+    for tally in &tallies {
+        for i in 0..TxnKind::COUNT {
+            committed_by_kind[i] += tally.committed[i];
+            aborted_by_kind[i] += tally.aborted[i];
+            reads_by_kind[i] += tally.reads[i];
+        }
+        writes += tally.writes;
+    }
+
+    DriverReport {
+        duration: elapsed,
+        threads,
+        committed: committed_by_kind.iter().sum(),
+        aborted: aborted_by_kind.iter().sum(),
+        committed_by_kind,
+        aborted_by_kind,
+        reads: reads_by_kind.iter().sum(),
+        reads_by_kind,
+        writes,
+        engine_delta: after.delta_since(&before),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmdb_common::engine::EngineTxn;
+    use mmdb_common::isolation::IsolationLevel;
+    use mmdb_common::row::{rowbuf, TableSpec};
+    use mmdb_core::{MvConfig, MvEngine};
+    use rand::Rng;
+
+    #[test]
+    fn driver_counts_commits_and_reads() {
+        let engine = MvEngine::optimistic(MvConfig::default());
+        let table = engine.create_table(TableSpec::keyed_u64("t", 1024)).unwrap();
+        engine.populate(table, (0..1000u64).map(|k| rowbuf::keyed_row(k, 16, 1))).unwrap();
+
+        let report = run_for(&engine, 3, Duration::from_millis(200), |engine, rng, _worker| {
+            let mut txn = engine.begin(IsolationLevel::ReadCommitted);
+            let mut reads = 0;
+            for _ in 0..5 {
+                let key = rng.gen_range(0..1000u64);
+                if txn.read(table, mmdb_common::ids::IndexId(0), key).unwrap().is_some() {
+                    reads += 1;
+                }
+            }
+            match txn.commit() {
+                Ok(_) => TxnOutcome::committed(TxnKind::ReadOnly, reads, 0),
+                Err(_) => TxnOutcome::aborted(TxnKind::ReadOnly, reads, 0),
+            }
+        });
+
+        assert!(report.committed > 0, "some transactions must commit");
+        assert_eq!(report.committed, report.committed_of(TxnKind::ReadOnly));
+        assert_eq!(report.committed_of(TxnKind::Update), 0);
+        assert_eq!(report.reads, report.committed * 5);
+        assert!(report.tps() > 0.0);
+        assert!(report.duration >= Duration::from_millis(200));
+        assert_eq!(report.engine_delta.commits, report.committed);
+    }
+
+    #[test]
+    fn outcome_constructors() {
+        let ok = TxnOutcome::committed(TxnKind::Update, 10, 2);
+        assert!(ok.committed);
+        let bad = TxnOutcome::aborted(TxnKind::LongRead, 3, 0);
+        assert!(!bad.committed);
+        assert_eq!(bad.kind, TxnKind::LongRead);
+    }
+}

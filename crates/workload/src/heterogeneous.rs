@@ -1,0 +1,207 @@
+//! Heterogeneous workload mixes of §5.2.
+//!
+//! * [`ReadMix`] — short update transactions (R=10, W=2) mixed with short
+//!   read-only transactions (R=10, W=0) in a configurable ratio
+//!   (Figures 6 and 7).
+//! * [`LongReaderMix`] — a fixed number of worker threads run long,
+//!   transactionally consistent read-only queries touching 10 % of the table
+//!   while the remaining workers run short update transactions
+//!   (Figures 8 and 9).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use mmdb_common::engine::{Engine, EngineTxn};
+use mmdb_common::ids::{IndexId, TableId};
+use mmdb_common::isolation::IsolationLevel;
+
+use crate::driver::{TxnKind, TxnOutcome};
+use crate::homogeneous::Homogeneous;
+
+/// Mix of short update and short read-only transactions (Figures 6 & 7).
+#[derive(Debug, Clone)]
+pub struct ReadMix {
+    /// The base homogeneous workload (table size, R, W, isolation).
+    pub base: Homogeneous,
+    /// Fraction of transactions that are read-only (0.0 ..= 1.0).
+    pub read_only_fraction: f64,
+}
+
+impl ReadMix {
+    /// Create a mix over `rows` rows with the given read-only fraction.
+    pub fn new(rows: u64, read_only_fraction: f64) -> ReadMix {
+        ReadMix { base: Homogeneous { rows, ..Default::default() }, read_only_fraction }
+    }
+
+    /// Execute one transaction of the mix.
+    pub fn run_one<E: Engine>(&self, engine: &E, table: TableId, rng: &mut StdRng) -> TxnOutcome {
+        let read_only = rng.gen::<f64>() < self.read_only_fraction;
+        if read_only {
+            self.base
+                .run_one_with(engine, table, rng, self.base.reads, 0, self.base.isolation)
+        } else {
+            self.base.run_one(engine, table, rng)
+        }
+    }
+}
+
+/// Long read-only reporting queries concurrent with short updates
+/// (Figures 8 & 9).
+#[derive(Debug, Clone)]
+pub struct LongReaderMix {
+    /// The base homogeneous workload used by the short update transactions.
+    pub base: Homogeneous,
+    /// How many of the worker threads run long readers (0 ..= threads).
+    pub long_readers: usize,
+    /// Rows each long reader touches per transaction (the paper reads 10 %
+    /// of the table: R = N/10).
+    pub reads_per_long_txn: u64,
+    /// Isolation level for the long readers. The paper runs them as
+    /// transactionally consistent read-only queries: on the multiversion
+    /// engines that is snapshot isolation (a consistent snapshot with no
+    /// locking or validation, §3.4/§5.2.1); the single-version engine has to
+    /// use serializable locking, which is exactly why it suffers.
+    pub long_reader_isolation: IsolationLevel,
+}
+
+impl LongReaderMix {
+    /// Standard configuration over `rows` rows with `long_readers` reporting
+    /// threads, reading 10 % of the table per query.
+    pub fn new(rows: u64, long_readers: usize, long_reader_isolation: IsolationLevel) -> LongReaderMix {
+        LongReaderMix {
+            base: Homogeneous { rows, ..Default::default() },
+            long_readers,
+            reads_per_long_txn: (rows / 10).max(1),
+            long_reader_isolation,
+        }
+    }
+
+    /// Execute one transaction for worker `worker`: the first
+    /// `self.long_readers` workers run long read-only queries, the rest run
+    /// short updates.
+    pub fn run_one<E: Engine>(&self, engine: &E, table: TableId, rng: &mut StdRng, worker: usize) -> TxnOutcome {
+        if worker < self.long_readers {
+            self.run_long_reader(engine, table, rng)
+        } else {
+            self.base.run_one(engine, table, rng)
+        }
+    }
+
+    /// One long read-only transaction touching `reads_per_long_txn` rows.
+    /// Reads walk a random contiguous key range (wrapping), which models an
+    /// operational reporting query scanning a slice of the table.
+    pub fn run_long_reader<E: Engine>(&self, engine: &E, table: TableId, rng: &mut StdRng) -> TxnOutcome {
+        let mut txn = engine.begin(self.long_reader_isolation);
+        let start = rng.gen_range(0..self.base.rows);
+        let mut reads = 0u64;
+        let result: mmdb_common::error::Result<()> = (|| {
+            for i in 0..self.reads_per_long_txn {
+                let key = (start + i) % self.base.rows;
+                if txn.read(table, IndexId(0), key)?.is_some() {
+                    reads += 1;
+                }
+            }
+            Ok(())
+        })();
+        match result {
+            Ok(()) => match txn.commit() {
+                Ok(_) => TxnOutcome::committed(TxnKind::LongRead, reads, 0),
+                Err(_) => TxnOutcome::aborted(TxnKind::LongRead, reads, 0),
+            },
+            Err(_) => {
+                txn.abort();
+                TxnOutcome::aborted(TxnKind::LongRead, reads, 0)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::run_for;
+    use mmdb_core::{MvConfig, MvEngine};
+    use mmdb_onev::{SvConfig, SvEngine};
+    use rand::SeedableRng;
+    use std::time::Duration;
+
+    #[test]
+    fn read_mix_ratio_is_respected() {
+        let mix = ReadMix::new(500, 1.0);
+        let engine = MvEngine::optimistic(MvConfig::default());
+        let table = mix.base.setup(&engine).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            let o = mix.run_one(&engine, table, &mut rng);
+            assert_eq!(o.kind, TxnKind::ReadOnly);
+            assert_eq!(o.writes, 0);
+        }
+        let all_updates = ReadMix::new(500, 0.0);
+        for _ in 0..10 {
+            let o = all_updates.run_one(&engine, table, &mut rng);
+            assert_eq!(o.kind, TxnKind::Update);
+        }
+    }
+
+    #[test]
+    fn long_reader_touches_ten_percent() {
+        let mix = LongReaderMix::new(1_000, 1, IsolationLevel::SnapshotIsolation);
+        assert_eq!(mix.reads_per_long_txn, 100);
+        let engine = MvEngine::optimistic(MvConfig::default());
+        let table = mix.base.setup(&engine).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let o = mix.run_long_reader(&engine, table, &mut rng);
+        assert!(o.committed);
+        assert_eq!(o.reads, 100);
+        assert_eq!(o.kind, TxnKind::LongRead);
+    }
+
+    #[test]
+    fn worker_roles_split_between_long_readers_and_updaters() {
+        let mix = LongReaderMix::new(400, 1, IsolationLevel::SnapshotIsolation);
+        let engine = MvEngine::pessimistic(MvConfig::default());
+        let table = mix.base.setup(&engine).unwrap();
+        let report = run_for(&engine, 2, Duration::from_millis(150), |e, rng, worker| {
+            mix.run_one(e, table, rng, worker)
+        });
+        assert!(report.committed_of(TxnKind::LongRead) > 0, "worker 0 ran long readers");
+        assert!(report.committed_of(TxnKind::Update) > 0, "worker 1 ran updates");
+        assert!(report.read_rate_of(TxnKind::LongRead) > 0.0);
+    }
+
+    #[test]
+    fn single_version_engine_suffers_under_long_readers() {
+        // Deterministic version of the qualitative Fig. 8 effect: while a
+        // serializable 1V reader holds shared locks on part of the table, an
+        // update of one of those rows cannot get its exclusive lock and times
+        // out, whereas the multiversion engine lets the same update commit.
+        use mmdb_common::engine::EngineTxn;
+        use mmdb_common::row::rowbuf;
+
+        let rows = 300u64;
+        let sv = SvEngine::new(SvConfig::default().with_lock_timeout(Duration::from_millis(20)));
+        let table = Homogeneous { rows, ..Default::default() }.setup(&sv).unwrap();
+        let mut long_reader = sv.begin(IsolationLevel::Serializable);
+        for key in 0..30u64 {
+            assert!(long_reader.read(table, IndexId(0), key).unwrap().is_some());
+        }
+        let mut updater = sv.begin(IsolationLevel::ReadCommitted);
+        let result = updater.update(table, IndexId(0), 5, rowbuf::keyed_row(5, 16, 9));
+        assert!(matches!(result, Err(mmdb_common::MmdbError::LockTimeout { .. })), "{result:?}");
+        updater.abort();
+        long_reader.commit().unwrap();
+
+        // The multiversion engine is unaffected: the long reader runs under
+        // snapshot isolation and takes no locks.
+        let mv = MvEngine::optimistic(MvConfig::default());
+        let table = Homogeneous { rows, ..Default::default() }.setup(&mv).unwrap();
+        let mut long_reader = mv.begin(IsolationLevel::SnapshotIsolation);
+        for key in 0..30u64 {
+            assert!(long_reader.read(table, IndexId(0), key).unwrap().is_some());
+        }
+        let mut updater = mv.begin(IsolationLevel::ReadCommitted);
+        assert!(updater.update(table, IndexId(0), 5, rowbuf::keyed_row(5, 16, 9)).unwrap());
+        updater.commit().unwrap();
+        long_reader.commit().unwrap();
+    }
+}

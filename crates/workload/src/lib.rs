@@ -1,0 +1,27 @@
+//! # mmdb-workload
+//!
+//! Workload generators and the multi-threaded benchmark driver used to
+//! reproduce the paper's evaluation (§5):
+//!
+//! * [`homogeneous`] — the parameterized R-reads/W-writes workload of §5.1
+//!   (scalability at low and high contention, isolation-level sweeps).
+//! * [`heterogeneous`] — the read-only mixes of §5.2: short read-only
+//!   transactions (Figures 6–7) and long reporting readers (Figures 8–9).
+//! * [`tatp`] — the TATP telecom benchmark of §5.3 (Table 4).
+//! * [`driver`] — a fixed-duration, fixed-multiprogramming-level driver that
+//!   runs any of the above against any [`Engine`](mmdb_common::engine::Engine)
+//!   implementation and reports committed-transaction throughput, abort rates
+//!   and per-class read rates.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod driver;
+pub mod heterogeneous;
+pub mod homogeneous;
+pub mod tatp;
+
+pub use driver::{run_for, DriverReport, TxnKind, TxnOutcome};
+pub use heterogeneous::{LongReaderMix, ReadMix};
+pub use homogeneous::Homogeneous;
+pub use tatp::{Tatp, TatpTables};

@@ -1,0 +1,573 @@
+//! The TATP benchmark (§5.3).
+//!
+//! TATP (Telecommunication Application Transaction Processing) models a
+//! home-location-register database: four tables, two indexes each, and a mix
+//! of seven short transactions — 80 % queries, 16 % updates, 2 % inserts and
+//! 2 % deletes — with subscriber IDs drawn from the benchmark's non-uniform
+//! distribution. The paper sizes the database at 20 million subscribers; the
+//! subscriber count here is a parameter (the harness defaults to a
+//! laptop-scale 200,000 and documents the substitution).
+//!
+//! Rows are packed into fixed little-endian layouts (see the `layout` module)
+//! so the same byte-row engines used by the synthetic workloads can run TATP
+//! unchanged.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use mmdb_common::engine::{Engine, EngineTxn};
+use mmdb_common::error::Result;
+use mmdb_common::ids::{IndexId, TableId};
+use mmdb_common::isolation::IsolationLevel;
+use mmdb_common::row::{IndexSpec, KeySpec, Row, TableSpec};
+
+use crate::driver::{TxnKind, TxnOutcome};
+
+/// Table handles of a populated TATP database.
+#[derive(Debug, Clone, Copy)]
+pub struct TatpTables {
+    /// SUBSCRIBER table.
+    pub subscriber: TableId,
+    /// ACCESS_INFO table.
+    pub access_info: TableId,
+    /// SPECIAL_FACILITY table.
+    pub special_facility: TableId,
+    /// CALL_FORWARDING table.
+    pub call_forwarding: TableId,
+}
+
+/// Fixed binary layouts of the four TATP tables.
+pub mod layout {
+    /// SUBSCRIBER row: `s_id (8) | sub_nbr (16) | bit_1..10 (10) |
+    /// hex_1..10 (10) | byte2_1..10 (10) | msc_location (4) | vlr_location (4)`.
+    pub const SUBSCRIBER_LEN: usize = 62;
+    /// Offset of `sub_nbr` within a SUBSCRIBER row.
+    pub const SUB_NBR_OFFSET: usize = 8;
+    /// Length of the `sub_nbr` field.
+    pub const SUB_NBR_LEN: usize = 16;
+    /// Offset of `bit_1`.
+    pub const BIT1_OFFSET: usize = 24;
+    /// Offset of `vlr_location`.
+    pub const VLR_OFFSET: usize = 58;
+
+    /// ACCESS_INFO row: `pk (8) | s_id (8) | ai_type (1) | data1 (1) |
+    /// data2 (1) | data3 (3) | data4 (5)`.
+    pub const ACCESS_INFO_LEN: usize = 27;
+
+    /// SPECIAL_FACILITY row: `pk (8) | s_id (8) | sf_type (1) | is_active (1)
+    /// | error_cntrl (1) | data_a (1) | data_b (5)`.
+    pub const SPECIAL_FACILITY_LEN: usize = 25;
+    /// Offset of `is_active`.
+    pub const SF_IS_ACTIVE_OFFSET: usize = 17;
+    /// Offset of `data_a`.
+    pub const SF_DATA_A_OFFSET: usize = 19;
+
+    /// CALL_FORWARDING row: `pk (8) | group key (8) | s_id (8) | sf_type (1)
+    /// | start_time (1) | end_time (1) | numberx (16)`.
+    pub const CALL_FORWARDING_LEN: usize = 43;
+    /// Offset of `start_time`.
+    pub const CF_START_OFFSET: usize = 25;
+    /// Offset of `end_time`.
+    pub const CF_END_OFFSET: usize = 26;
+}
+
+/// TATP workload generator.
+#[derive(Debug, Clone)]
+pub struct Tatp {
+    /// Number of subscribers.
+    pub subscribers: u64,
+    /// Isolation level (the paper runs TATP at Read Committed).
+    pub isolation: IsolationLevel,
+}
+
+impl Default for Tatp {
+    fn default() -> Self {
+        Tatp { subscribers: 200_000, isolation: IsolationLevel::ReadCommitted }
+    }
+}
+
+impl Tatp {
+    /// Create a TATP workload for `subscribers` subscribers.
+    pub fn new(subscribers: u64) -> Tatp {
+        Tatp { subscribers, ..Default::default() }
+    }
+
+    /// The `A` constant of TATP's non-uniform subscriber-ID distribution.
+    fn nurand_a(&self) -> u64 {
+        match self.subscribers {
+            0..=1_000_000 => 65_535,
+            1_000_001..=10_000_000 => 1_048_575,
+            _ => 2_097_151,
+        }
+    }
+
+    /// Non-uniform random subscriber ID in `1..=subscribers`.
+    pub fn random_s_id(&self, rng: &mut StdRng) -> u64 {
+        let a = self.nurand_a();
+        let x = rng.gen_range(0..=a);
+        let y = rng.gen_range(1..=self.subscribers);
+        ((x | y) % self.subscribers) + 1
+    }
+
+    // ---- row builders ----
+
+    fn sub_nbr_of(s_id: u64) -> [u8; layout::SUB_NBR_LEN] {
+        let mut out = [b'0'; layout::SUB_NBR_LEN];
+        let s = format!("{s_id:015}");
+        out[..15].copy_from_slice(s.as_bytes());
+        out[15] = 0;
+        out
+    }
+
+    fn subscriber_row(s_id: u64, rng: &mut StdRng) -> Row {
+        let mut v = vec![0u8; layout::SUBSCRIBER_LEN];
+        v[0..8].copy_from_slice(&s_id.to_le_bytes());
+        v[layout::SUB_NBR_OFFSET..layout::SUB_NBR_OFFSET + layout::SUB_NBR_LEN]
+            .copy_from_slice(&Self::sub_nbr_of(s_id));
+        for i in 0..10 {
+            v[layout::BIT1_OFFSET + i] = rng.gen_range(0..=1);
+            v[34 + i] = rng.gen_range(0..16);
+            v[44 + i] = rng.gen::<u8>();
+        }
+        v[54..58].copy_from_slice(&rng.gen::<u32>().to_le_bytes());
+        v[layout::VLR_OFFSET..layout::VLR_OFFSET + 4].copy_from_slice(&rng.gen::<u32>().to_le_bytes());
+        Row::from(v)
+    }
+
+    fn access_info_row(s_id: u64, ai_type: u8, rng: &mut StdRng) -> Row {
+        let mut v = vec![0u8; layout::ACCESS_INFO_LEN];
+        let pk = s_id * 4 + (ai_type as u64 - 1);
+        v[0..8].copy_from_slice(&pk.to_le_bytes());
+        v[8..16].copy_from_slice(&s_id.to_le_bytes());
+        v[16] = ai_type;
+        v[17] = rng.gen();
+        v[18] = rng.gen();
+        for b in &mut v[19..27] {
+            *b = rng.gen_range(b'A'..=b'Z');
+        }
+        Row::from(v)
+    }
+
+    fn special_facility_row(s_id: u64, sf_type: u8, is_active: bool, rng: &mut StdRng) -> Row {
+        let mut v = vec![0u8; layout::SPECIAL_FACILITY_LEN];
+        let pk = s_id * 4 + (sf_type as u64 - 1);
+        v[0..8].copy_from_slice(&pk.to_le_bytes());
+        v[8..16].copy_from_slice(&s_id.to_le_bytes());
+        v[16] = sf_type;
+        v[layout::SF_IS_ACTIVE_OFFSET] = is_active as u8;
+        v[18] = rng.gen();
+        v[layout::SF_DATA_A_OFFSET] = rng.gen();
+        for b in &mut v[20..25] {
+            *b = rng.gen_range(b'A'..=b'Z');
+        }
+        Row::from(v)
+    }
+
+    fn call_forwarding_row(s_id: u64, sf_type: u8, start_time: u8, end_time: u8, rng: &mut StdRng) -> Row {
+        let mut v = vec![0u8; layout::CALL_FORWARDING_LEN];
+        let pk = Self::cf_pk(s_id, sf_type, start_time);
+        let group = Self::cf_group(s_id, sf_type);
+        v[0..8].copy_from_slice(&pk.to_le_bytes());
+        v[8..16].copy_from_slice(&group.to_le_bytes());
+        v[16..24].copy_from_slice(&s_id.to_le_bytes());
+        v[24] = sf_type;
+        v[layout::CF_START_OFFSET] = start_time;
+        v[layout::CF_END_OFFSET] = end_time;
+        for b in &mut v[27..42] {
+            *b = rng.gen_range(b'0'..=b'9');
+        }
+        Row::from(v)
+    }
+
+    /// Primary key of a CALL_FORWARDING row.
+    pub fn cf_pk(s_id: u64, sf_type: u8, start_time: u8) -> u64 {
+        s_id * 12 + (sf_type as u64 - 1) * 3 + (start_time as u64 / 8)
+    }
+
+    /// Group key (s_id, sf_type) shared by CALL_FORWARDING and
+    /// SPECIAL_FACILITY secondary lookups.
+    pub fn cf_group(s_id: u64, sf_type: u8) -> u64 {
+        s_id * 4 + (sf_type as u64 - 1)
+    }
+
+    /// Primary key of a SPECIAL_FACILITY row.
+    pub fn sf_pk(s_id: u64, sf_type: u8) -> u64 {
+        s_id * 4 + (sf_type as u64 - 1)
+    }
+
+    /// Primary key of an ACCESS_INFO row.
+    pub fn ai_pk(s_id: u64, ai_type: u8) -> u64 {
+        s_id * 4 + (ai_type as u64 - 1)
+    }
+
+    // ---- schema & population ----
+
+    /// Create the four tables.
+    pub fn create_tables<E: Engine>(&self, engine: &E) -> Result<TatpTables> {
+        let n = self.subscribers as usize;
+        let subscriber = engine.create_table(
+            TableSpec {
+                name: "subscriber".into(),
+                indexes: vec![
+                    IndexSpec::unique_u64("s_id", 0, n.max(16)),
+                    IndexSpec {
+                        name: "sub_nbr".into(),
+                        key: KeySpec::BytesAt { offset: layout::SUB_NBR_OFFSET, len: layout::SUB_NBR_LEN },
+                        buckets: n.max(16),
+                        unique: true,
+                    },
+                ],
+            },
+        )?;
+        let access_info = engine.create_table(TableSpec {
+            name: "access_info".into(),
+            indexes: vec![
+                IndexSpec::unique_u64("pk", 0, (n * 3).max(16)),
+                IndexSpec::multi_u64("by_s_id", 8, n.max(16)),
+            ],
+        })?;
+        let special_facility = engine.create_table(TableSpec {
+            name: "special_facility".into(),
+            indexes: vec![
+                IndexSpec::unique_u64("pk", 0, (n * 3).max(16)),
+                IndexSpec::multi_u64("by_s_id", 8, n.max(16)),
+            ],
+        })?;
+        let call_forwarding = engine.create_table(TableSpec {
+            name: "call_forwarding".into(),
+            indexes: vec![
+                IndexSpec::unique_u64("pk", 0, (n * 4).max(16)),
+                IndexSpec::multi_u64("by_group", 8, (n * 4).max(16)),
+            ],
+        })?;
+        Ok(TatpTables { subscriber, access_info, special_facility, call_forwarding })
+    }
+
+    /// Create and populate the database. Returns the table handles.
+    pub fn setup<E: Engine>(&self, engine: &E) -> Result<TatpTables> {
+        let tables = self.create_tables(engine)?;
+        let mut rng: StdRng = rand::SeedableRng::seed_from_u64(0x7A7B_5EED);
+        let mut s_id = 1u64;
+        while s_id <= self.subscribers {
+            let chunk_end = (s_id + 2_000).min(self.subscribers + 1);
+            let mut txn = engine.begin(IsolationLevel::ReadCommitted);
+            for s in s_id..chunk_end {
+                self.populate_subscriber(&mut txn, tables, s, &mut rng)?;
+            }
+            txn.commit()?;
+            s_id = chunk_end;
+        }
+        Ok(tables)
+    }
+
+    fn populate_subscriber<T: EngineTxn>(&self, txn: &mut T, tables: TatpTables, s_id: u64, rng: &mut StdRng) -> Result<()> {
+        txn.insert(tables.subscriber, Self::subscriber_row(s_id, rng))?;
+
+        let mut types = [1u8, 2, 3, 4];
+        types.shuffle(rng);
+        let ai_count = rng.gen_range(1..=4usize);
+        for &ai_type in &types[..ai_count] {
+            txn.insert(tables.access_info, Self::access_info_row(s_id, ai_type, rng))?;
+        }
+
+        types.shuffle(rng);
+        let sf_count = rng.gen_range(1..=4usize);
+        for &sf_type in &types[..sf_count] {
+            let is_active = rng.gen_range(0..100) < 85;
+            txn.insert(tables.special_facility, Self::special_facility_row(s_id, sf_type, is_active, rng))?;
+            let mut starts = [0u8, 8, 16];
+            starts.shuffle(rng);
+            let cf_count = rng.gen_range(0..=3usize);
+            for &start in &starts[..cf_count] {
+                let end = start + rng.gen_range(1..=8);
+                txn.insert(
+                    tables.call_forwarding,
+                    Self::call_forwarding_row(s_id, sf_type, start, end, rng),
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    // ---- the seven transactions ----
+
+    /// Execute one transaction of the standard TATP mix.
+    pub fn run_one<E: Engine>(&self, engine: &E, tables: TatpTables, rng: &mut StdRng) -> TxnOutcome {
+        let dice = rng.gen_range(0..100u32);
+        let result = if dice < 35 {
+            self.get_subscriber_data(engine, tables, rng)
+        } else if dice < 45 {
+            self.get_new_destination(engine, tables, rng)
+        } else if dice < 80 {
+            self.get_access_data(engine, tables, rng)
+        } else if dice < 82 {
+            self.update_subscriber_data(engine, tables, rng)
+        } else if dice < 96 {
+            self.update_location(engine, tables, rng)
+        } else if dice < 98 {
+            self.insert_call_forwarding(engine, tables, rng)
+        } else {
+            self.delete_call_forwarding(engine, tables, rng)
+        };
+        match result {
+            Ok((reads, writes)) => TxnOutcome::committed(TxnKind::Tatp, reads, writes),
+            Err(_) => TxnOutcome::aborted(TxnKind::Tatp, 0, 0),
+        }
+    }
+
+    fn finish<T: EngineTxn>(txn: T, reads: u64, writes: u64) -> Result<(u64, u64)> {
+        txn.commit()?;
+        Ok((reads, writes))
+    }
+
+    /// GET_SUBSCRIBER_DATA (35 %): read one subscriber row by `s_id`.
+    pub fn get_subscriber_data<E: Engine>(&self, engine: &E, tables: TatpTables, rng: &mut StdRng) -> Result<(u64, u64)> {
+        let s_id = self.random_s_id(rng);
+        let mut txn = engine.begin(self.isolation);
+        let found = run_or_abort(&mut txn, |txn| txn.read(tables.subscriber, IndexId(0), s_id))?;
+        Self::finish(txn, found.is_some() as u64, 0)
+    }
+
+    /// GET_NEW_DESTINATION (10 %): read SPECIAL_FACILITY and the matching
+    /// CALL_FORWARDING rows, filtering on activity and time window.
+    pub fn get_new_destination<E: Engine>(&self, engine: &E, tables: TatpTables, rng: &mut StdRng) -> Result<(u64, u64)> {
+        let s_id = self.random_s_id(rng);
+        let sf_type = rng.gen_range(1..=4u8);
+        let start_time = [0u8, 8, 16][rng.gen_range(0..3usize)];
+        let mut txn = engine.begin(self.isolation);
+        let mut reads = 0u64;
+        let sf = run_or_abort(&mut txn, |txn| txn.read(tables.special_facility, IndexId(0), Self::sf_pk(s_id, sf_type)))?;
+        reads += 1;
+        let active = sf.map(|row| row[layout::SF_IS_ACTIVE_OFFSET] == 1).unwrap_or(false);
+        if active {
+            let cfs = run_or_abort(&mut txn, |txn| {
+                txn.scan_key(tables.call_forwarding, IndexId(1), Self::cf_group(s_id, sf_type))
+            })?;
+            reads += cfs.len() as u64;
+            let _matches = cfs
+                .iter()
+                .filter(|row| row[layout::CF_START_OFFSET] <= start_time && start_time < row[layout::CF_END_OFFSET])
+                .count();
+        }
+        Self::finish(txn, reads, 0)
+    }
+
+    /// GET_ACCESS_DATA (35 %): read one ACCESS_INFO row.
+    pub fn get_access_data<E: Engine>(&self, engine: &E, tables: TatpTables, rng: &mut StdRng) -> Result<(u64, u64)> {
+        let s_id = self.random_s_id(rng);
+        let ai_type = rng.gen_range(1..=4u8);
+        let mut txn = engine.begin(self.isolation);
+        let found = run_or_abort(&mut txn, |txn| txn.read(tables.access_info, IndexId(0), Self::ai_pk(s_id, ai_type)))?;
+        Self::finish(txn, found.is_some() as u64, 0)
+    }
+
+    /// UPDATE_SUBSCRIBER_DATA (2 %): flip `bit_1` of a subscriber and update
+    /// `data_a` of one of its special facilities.
+    pub fn update_subscriber_data<E: Engine>(&self, engine: &E, tables: TatpTables, rng: &mut StdRng) -> Result<(u64, u64)> {
+        let s_id = self.random_s_id(rng);
+        let sf_type = rng.gen_range(1..=4u8);
+        let bit: u8 = rng.gen_range(0..=1);
+        let data_a: u8 = rng.gen();
+        let mut txn = engine.begin(self.isolation);
+        let mut writes = 0u64;
+        let mut reads = 0u64;
+
+        let sub = run_or_abort(&mut txn, |txn| txn.read(tables.subscriber, IndexId(0), s_id))?;
+        reads += 1;
+        if let Some(row) = sub {
+            let mut new = row.to_vec();
+            new[layout::BIT1_OFFSET] = bit;
+            if run_or_abort(&mut txn, |txn| txn.update(tables.subscriber, IndexId(0), s_id, Row::from(new)))? {
+                writes += 1;
+            }
+        }
+        let sf_key = Self::sf_pk(s_id, sf_type);
+        let sf = run_or_abort(&mut txn, |txn| txn.read(tables.special_facility, IndexId(0), sf_key))?;
+        reads += 1;
+        if let Some(row) = sf {
+            let mut new = row.to_vec();
+            new[layout::SF_DATA_A_OFFSET] = data_a;
+            if run_or_abort(&mut txn, |txn| txn.update(tables.special_facility, IndexId(0), sf_key, Row::from(new)))? {
+                writes += 1;
+            }
+        }
+        Self::finish(txn, reads, writes)
+    }
+
+    /// UPDATE_LOCATION (14 %): look a subscriber up by `sub_nbr` (secondary
+    /// index) and update its `vlr_location`.
+    pub fn update_location<E: Engine>(&self, engine: &E, tables: TatpTables, rng: &mut StdRng) -> Result<(u64, u64)> {
+        let s_id = self.random_s_id(rng);
+        let new_location: u32 = rng.gen();
+        let sub_nbr = Self::sub_nbr_of(s_id);
+        let key = mmdb_common::hash::hash_bytes(&sub_nbr);
+        let mut txn = engine.begin(self.isolation);
+        let sub = run_or_abort(&mut txn, |txn| txn.read(tables.subscriber, IndexId(1), key))?;
+        let mut writes = 0u64;
+        if let Some(row) = sub {
+            let mut new = row.to_vec();
+            new[layout::VLR_OFFSET..layout::VLR_OFFSET + 4].copy_from_slice(&new_location.to_le_bytes());
+            let pk = u64::from_le_bytes(row[0..8].try_into().expect("row has s_id"));
+            if run_or_abort(&mut txn, |txn| txn.update(tables.subscriber, IndexId(0), pk, Row::from(new)))? {
+                writes += 1;
+            }
+        }
+        Self::finish(txn, 1, writes)
+    }
+
+    /// INSERT_CALL_FORWARDING (2 %): read the subscriber by `sub_nbr`, read
+    /// its special facilities and insert a CALL_FORWARDING row (a no-op if an
+    /// identical window already exists).
+    pub fn insert_call_forwarding<E: Engine>(&self, engine: &E, tables: TatpTables, rng: &mut StdRng) -> Result<(u64, u64)> {
+        let s_id = self.random_s_id(rng);
+        let sf_type = rng.gen_range(1..=4u8);
+        let start_time = [0u8, 8, 16][rng.gen_range(0..3usize)];
+        let end_time = start_time + rng.gen_range(1..=8u8);
+        let mut txn = engine.begin(self.isolation);
+        let mut reads = 0u64;
+        let mut writes = 0u64;
+
+        let sub_nbr = Self::sub_nbr_of(s_id);
+        let _sub = run_or_abort(&mut txn, |txn| {
+            txn.read(tables.subscriber, IndexId(1), mmdb_common::hash::hash_bytes(&sub_nbr))
+        })?;
+        reads += 1;
+        let sfs = run_or_abort(&mut txn, |txn| txn.scan_key(tables.special_facility, IndexId(1), s_id))?;
+        reads += sfs.len() as u64;
+        let has_sf = sfs.iter().any(|row| row[16] == sf_type);
+        if has_sf {
+            // Only insert if this forwarding window does not already exist;
+            // TATP counts an existing row as an expected logical failure, not
+            // an abort.
+            let pk = Self::cf_pk(s_id, sf_type, start_time);
+            let existing = run_or_abort(&mut txn, |txn| txn.read(tables.call_forwarding, IndexId(0), pk))?;
+            reads += 1;
+            if existing.is_none() {
+                let row = Self::call_forwarding_row(s_id, sf_type, start_time, end_time, rng);
+                run_or_abort(&mut txn, |txn| txn.insert(tables.call_forwarding, row.clone()))?;
+                writes += 1;
+            }
+        }
+        Self::finish(txn, reads, writes)
+    }
+
+    /// DELETE_CALL_FORWARDING (2 %): delete one CALL_FORWARDING row.
+    pub fn delete_call_forwarding<E: Engine>(&self, engine: &E, tables: TatpTables, rng: &mut StdRng) -> Result<(u64, u64)> {
+        let s_id = self.random_s_id(rng);
+        let sf_type = rng.gen_range(1..=4u8);
+        let start_time = [0u8, 8, 16][rng.gen_range(0..3usize)];
+        let mut txn = engine.begin(self.isolation);
+        let sub_nbr = Self::sub_nbr_of(s_id);
+        let _sub = run_or_abort(&mut txn, |txn| {
+            txn.read(tables.subscriber, IndexId(1), mmdb_common::hash::hash_bytes(&sub_nbr))
+        })?;
+        let deleted = run_or_abort(&mut txn, |txn| {
+            txn.delete(tables.call_forwarding, IndexId(0), Self::cf_pk(s_id, sf_type, start_time))
+        })?;
+        Self::finish(txn, 1, deleted as u64)
+    }
+}
+
+/// Run `op` against `txn`. On error the caller propagates it and drops the
+/// transaction, which aborts it.
+fn run_or_abort<T, R>(txn: &mut T, op: impl FnOnce(&mut T) -> Result<R>) -> Result<R>
+where
+    T: EngineTxn,
+{
+    op(txn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mmdb_core::{MvConfig, MvEngine};
+    use mmdb_onev::{SvConfig, SvEngine};
+    use rand::SeedableRng;
+
+    fn small() -> Tatp {
+        Tatp { subscribers: 200, ..Default::default() }
+    }
+
+    #[test]
+    fn nurand_is_in_range() {
+        let tatp = small();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let s = tatp.random_s_id(&mut rng);
+            assert!((1..=200).contains(&s));
+        }
+    }
+
+    #[test]
+    fn row_layouts_have_declared_lengths() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(Tatp::subscriber_row(5, &mut rng).len(), layout::SUBSCRIBER_LEN);
+        assert_eq!(Tatp::access_info_row(5, 2, &mut rng).len(), layout::ACCESS_INFO_LEN);
+        assert_eq!(Tatp::special_facility_row(5, 1, true, &mut rng).len(), layout::SPECIAL_FACILITY_LEN);
+        assert_eq!(Tatp::call_forwarding_row(5, 1, 8, 12, &mut rng).len(), layout::CALL_FORWARDING_LEN);
+    }
+
+    #[test]
+    fn keys_are_consistent() {
+        assert_ne!(Tatp::sf_pk(10, 1), Tatp::sf_pk(10, 2));
+        assert_ne!(Tatp::cf_pk(10, 1, 0), Tatp::cf_pk(10, 1, 8));
+        assert_eq!(Tatp::cf_group(10, 3), Tatp::sf_pk(10, 3));
+        assert_ne!(Tatp::ai_pk(7, 1), Tatp::ai_pk(8, 1));
+    }
+
+    #[test]
+    fn setup_and_mix_on_mv_engine() {
+        let tatp = small();
+        let engine = MvEngine::optimistic(MvConfig::default());
+        let tables = tatp.setup(&engine).unwrap();
+        let mut txn = engine.begin(IsolationLevel::ReadCommitted);
+        assert!(txn.read(tables.subscriber, IndexId(0), 1).unwrap().is_some());
+        assert!(txn.read(tables.subscriber, IndexId(0), 200).unwrap().is_some());
+        assert!(txn.read(tables.subscriber, IndexId(0), 201).unwrap().is_none());
+        txn.commit().unwrap();
+
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut committed = 0;
+        for _ in 0..300 {
+            if tatp.run_one(&engine, tables, &mut rng).committed {
+                committed += 1;
+            }
+        }
+        assert!(committed >= 295, "almost all single-threaded TATP txns commit, got {committed}");
+    }
+
+    #[test]
+    fn setup_and_mix_on_1v_engine() {
+        let tatp = small();
+        let engine = SvEngine::new(SvConfig::default());
+        let tables = tatp.setup(&engine).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut committed = 0;
+        for _ in 0..200 {
+            if tatp.run_one(&engine, tables, &mut rng).committed {
+                committed += 1;
+            }
+        }
+        assert!(committed >= 195, "got {committed}");
+    }
+
+    #[test]
+    fn update_location_changes_vlr() {
+        let tatp = small();
+        let engine = MvEngine::optimistic(MvConfig::default());
+        let tables = tatp.setup(&engine).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        tatp.update_location(&engine, tables, &mut rng).unwrap();
+        // The subscriber row should still be unique and readable through both
+        // indexes afterwards.
+        let mut txn = engine.begin(IsolationLevel::ReadCommitted);
+        for s_id in 1..=200u64 {
+            let by_pk = txn.read(tables.subscriber, IndexId(0), s_id).unwrap().unwrap();
+            let key = mmdb_common::hash::hash_bytes(&Tatp::sub_nbr_of(s_id));
+            let by_nbr = txn.read(tables.subscriber, IndexId(1), key).unwrap().unwrap();
+            assert_eq!(by_pk, by_nbr);
+        }
+        txn.commit().unwrap();
+    }
+}

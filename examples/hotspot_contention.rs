@@ -1,0 +1,51 @@
+//! Hotspot contention: compare the three concurrency-control schemes on the
+//! paper's high-contention workload (Figure 5) — R=10 reads and W=2 writes
+//! per transaction against a table of only 1,000 rows.
+//!
+//! Single-version locking suffers from lock waits and timeouts, the
+//! optimistic scheme from validation failures and write-write conflicts, and
+//! the pessimistic multiversion scheme from wait-for dependencies; this
+//! example prints throughput and the abort breakdown for each.
+//!
+//! Run with: `cargo run --release --example hotspot_contention`
+
+use std::time::Duration;
+
+use mmdb::prelude::*;
+use mmdb::workload::{run_for, Homogeneous};
+
+fn report<E: Engine>(engine: &E, rows: u64, threads: usize, duration: Duration) {
+    let workload = Homogeneous { rows, ..Default::default() };
+    let table = workload.setup(engine).expect("populate hotspot table");
+    let report = run_for(engine, threads, duration, |e, rng, _| workload.run_one(e, table, rng));
+    let delta = &report.engine_delta;
+    println!(
+        "{:4}  {:>9.0} tx/s   abort rate {:>5.1}%   write-conflicts {:>6}   validation failures {:>5}   deadlock/timeout aborts {:>5}",
+        engine.label(),
+        report.tps(),
+        report.abort_rate() * 100.0,
+        delta.write_conflicts,
+        delta.validation_failures,
+        delta.deadlock_aborts,
+    );
+}
+
+fn main() {
+    let rows = 1_000u64;
+    let threads = 8;
+    let duration = Duration::from_millis(1500);
+    println!("hotspot workload: R=10 W=2 on {rows} rows, {threads} worker threads, {duration:?} per engine\n");
+
+    let onev = SvEngine::new(SvConfig::default().with_lock_timeout(Duration::from_millis(50)));
+    report(&onev, rows, threads, duration);
+
+    let mvl = MvEngine::pessimistic(MvConfig::default());
+    report(&mvl, rows, threads, duration);
+
+    let mvo = MvEngine::optimistic(MvConfig::default());
+    report(&mvo, rows, threads, duration);
+
+    println!("\nThe multiversion schemes keep committing under contention; the 1V engine");
+    println!("spends its time waiting on hash-key locks (and aborting on timeouts), which");
+    println!("is the paper's \"single-version locking is fragile\" observation.");
+}

@@ -1,0 +1,52 @@
+//! Operational reporting while OLTP keeps running (Figures 8 & 9 in
+//! miniature): a long, transactionally consistent read-only query scans 10 %
+//! of the table while short update transactions keep arriving.
+//!
+//! On the multiversion engines the long reader runs against a snapshot and
+//! the writers barely notice it. On the single-version engine the long reader
+//! holds shared locks on everything it has read, so writers pile up behind it
+//! (or time out).
+//!
+//! Run with: `cargo run --release --example long_readers`
+
+use std::time::Duration;
+
+use mmdb::prelude::*;
+use mmdb::workload::{run_for, LongReaderMix, TxnKind};
+
+fn run_mix<E: Engine>(engine: &E, long_reader_isolation: IsolationLevel) {
+    let rows = 50_000u64;
+    let mix = LongReaderMix::new(rows, 1, long_reader_isolation);
+    let table = mix.base.setup(engine).expect("populate table");
+    let threads = 4; // one long reader + three updaters
+    let report = run_for(engine, threads, Duration::from_millis(1500), |e, rng, worker| {
+        mix.run_one(e, table, rng, worker)
+    });
+    println!(
+        "{:4}  update throughput {:>9.0} tx/s   long-read row rate {:>10.0} rows/s   update aborts {:>6}",
+        engine.label(),
+        report.tps_of(TxnKind::Update),
+        report.read_rate_of(TxnKind::LongRead),
+        report.aborted_of(TxnKind::Update),
+    );
+}
+
+fn main() {
+    println!("one long reader scanning 10% of a 50k-row table + three update workers\n");
+
+    // The single-version engine has no snapshots: a transactionally
+    // consistent reporting query must hold shared locks (serializable).
+    let onev = SvEngine::new(SvConfig::default().with_lock_timeout(Duration::from_millis(100)));
+    run_mix(&onev, IsolationLevel::Serializable);
+
+    // The multiversion engines serve the same query from a snapshot.
+    let mvl = MvEngine::pessimistic(MvConfig::default());
+    run_mix(&mvl, IsolationLevel::SnapshotIsolation);
+
+    let mvo = MvEngine::optimistic(MvConfig::default());
+    run_mix(&mvo, IsolationLevel::SnapshotIsolation);
+
+    println!("\nThe 1V update throughput collapses as soon as one long reader is present,");
+    println!("while both multiversion schemes keep updating at nearly full speed — the");
+    println!("paper's headline robustness result (Figure 8).");
+}

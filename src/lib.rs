@@ -1,0 +1,69 @@
+//! # mmdb — main-memory database concurrency control
+//!
+//! A from-scratch Rust implementation of the concurrency-control mechanisms
+//! described in *"High-Performance Concurrency Control Mechanisms for
+//! Main-Memory Databases"* (Larson, Blanas, Diaconu, Freedman, Patel,
+//! Zwilling — VLDB 2011), the paper that laid the foundation for SQL Server
+//! Hekaton.
+//!
+//! This facade crate re-exports the workspace members so applications can
+//! depend on a single crate:
+//!
+//! * [`mmdb_core`] (re-exported as [`core`]) — the paper's contribution: a
+//!   multiversion storage engine with two interchangeable concurrency-control
+//!   schemes, optimistic (**MV/O**) and pessimistic (**MV/L**), selectable per
+//!   transaction.
+//! * [`mmdb_onev`] (re-exported as [`onev`]) — the single-version locking
+//!   baseline (**1V**) the paper compares against.
+//! * [`mmdb_workload`] (re-exported as [`workload`]) — workload generators
+//!   (homogeneous, heterogeneous, TATP) and the multi-threaded driver used to
+//!   reproduce the paper's evaluation.
+//! * [`mmdb_common`] (re-exported as [`common`]) — shared primitives: tagged
+//!   timestamp words, the global clock, isolation levels, the `Engine` trait.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mmdb::prelude::*;
+//!
+//! // A multiversion database whose transactions default to the optimistic scheme.
+//! let engine = MvEngine::optimistic(MvConfig::default());
+//! let accounts = engine
+//!     .create_table(TableSpec::keyed_u64("accounts", 1024))
+//!     .unwrap();
+//!
+//! // Populate.
+//! let mut setup = engine.begin(IsolationLevel::ReadCommitted);
+//! for account in 0..10u64 {
+//!     setup.insert(accounts, rowbuf::keyed_row(account, 16, 100)).unwrap();
+//! }
+//! setup.commit().unwrap();
+//!
+//! // A serializable read-modify-write transaction.
+//! let mut txn = engine.begin(IsolationLevel::Serializable);
+//! let row = txn.read(accounts, IndexId(0), 3).unwrap().expect("row exists");
+//! let new_balance = rowbuf::fill_of(&row) + 1;
+//! txn.update(accounts, IndexId(0), 3, rowbuf::keyed_row(3, 16, new_balance)).unwrap();
+//! txn.commit().unwrap();
+//! ```
+//!
+//! See the `examples/` directory for larger scenarios (bank transfers,
+//! hotspot contention, long-running readers, TATP) and `DESIGN.md` for the
+//! mapping from paper sections to modules.
+
+pub use mmdb_common as common;
+pub use mmdb_core as core;
+pub use mmdb_onev as onev;
+pub use mmdb_workload as workload;
+
+/// Convenient glob-import of the most frequently used types.
+pub mod prelude {
+    pub use mmdb_common::engine::{Engine, EngineTxn, EngineTxnExt};
+    pub use mmdb_common::row::rowbuf;
+    pub use mmdb_common::{
+        ConcurrencyMode, IndexId, IndexSpec, IsolationLevel, Key, KeySpec, MmdbError, Result, Row,
+        TableId, TableSpec, Timestamp, TxnId,
+    };
+    pub use mmdb_core::{MvConfig, MvEngine};
+    pub use mmdb_onev::{SvConfig, SvEngine};
+}
