@@ -21,35 +21,46 @@ use mmdb_workload::Homogeneous;
 fn bench_validation_cost(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation/validation_read_set");
     let engine = MvEngine::optimistic(MvConfig::default());
-    let workload = Homogeneous { rows: 20_000, ..Default::default() };
+    let workload = Homogeneous {
+        rows: 20_000,
+        ..Default::default()
+    };
     let table = workload.setup(&engine).unwrap();
     for reads in [10usize, 100, 400] {
-        group.bench_with_input(BenchmarkId::new("serializable_reads", reads), &reads, |b, &reads| {
-            let mut rng = StdRng::seed_from_u64(41);
-            b.iter(|| {
-                std::hint::black_box(workload.run_one_with(
-                    &engine,
-                    table,
-                    &mut rng,
-                    reads,
-                    0,
-                    IsolationLevel::Serializable,
-                ))
-            });
-        });
-        group.bench_with_input(BenchmarkId::new("read_committed_reads", reads), &reads, |b, &reads| {
-            let mut rng = StdRng::seed_from_u64(42);
-            b.iter(|| {
-                std::hint::black_box(workload.run_one_with(
-                    &engine,
-                    table,
-                    &mut rng,
-                    reads,
-                    0,
-                    IsolationLevel::ReadCommitted,
-                ))
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("serializable_reads", reads),
+            &reads,
+            |b, &reads| {
+                let mut rng = StdRng::seed_from_u64(41);
+                b.iter(|| {
+                    std::hint::black_box(workload.run_one_with(
+                        &engine,
+                        table,
+                        &mut rng,
+                        reads,
+                        0,
+                        IsolationLevel::Serializable,
+                    ))
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("read_committed_reads", reads),
+            &reads,
+            |b, &reads| {
+                let mut rng = StdRng::seed_from_u64(42);
+                b.iter(|| {
+                    std::hint::black_box(workload.run_one_with(
+                        &engine,
+                        table,
+                        &mut rng,
+                        reads,
+                        0,
+                        IsolationLevel::ReadCommitted,
+                    ))
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -61,15 +72,20 @@ fn bench_gc_step(c: &mut Criterion) {
     // then collects them, measuring the steady-state cost of keeping the
     // version chains short.
     let engine = MvEngine::optimistic(MvConfig::default().with_gc_every(0));
-    let table = engine.create_table(TableSpec::keyed_u64("gc", 2_048)).unwrap();
-    engine.populate(table, (0..1_024u64).map(|k| rowbuf::keyed_row(k, 16, 1))).unwrap();
+    let table = engine
+        .create_table(TableSpec::keyed_u64("gc", 2_048))
+        .unwrap();
+    engine
+        .populate(table, (0..1_024u64).map(|k| rowbuf::keyed_row(k, 16, 1)))
+        .unwrap();
     group.bench_function("retire_and_collect_64_versions", |b| {
         let mut round = 0u8;
         b.iter(|| {
             round = round.wrapping_add(1);
             let mut txn = engine.begin(IsolationLevel::ReadCommitted);
             for key in 0..64u64 {
-                txn.update(table, IndexId(0), key, rowbuf::keyed_row(key, 16, round)).unwrap();
+                txn.update(table, IndexId(0), key, rowbuf::keyed_row(key, 16, round))
+                    .unwrap();
             }
             txn.commit().unwrap();
             std::hint::black_box(engine.collect_garbage())
@@ -80,13 +96,21 @@ fn bench_gc_step(c: &mut Criterion) {
 
 fn bench_bucket_lock_overhead(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation/bucket_locks");
-    let workload = Homogeneous { rows: 20_000, ..Default::default() };
-    for (label, iso) in [("mvl_rc_scan", IsolationLevel::ReadCommitted), ("mvl_serializable_scan", IsolationLevel::Serializable)] {
+    let workload = Homogeneous {
+        rows: 20_000,
+        ..Default::default()
+    };
+    for (label, iso) in [
+        ("mvl_rc_scan", IsolationLevel::ReadCommitted),
+        ("mvl_serializable_scan", IsolationLevel::Serializable),
+    ] {
         group.bench_function(label, |b| {
             let engine = MvEngine::pessimistic(MvConfig::default());
             let table = workload.setup(&engine).unwrap();
             let mut rng = StdRng::seed_from_u64(43);
-            b.iter(|| std::hint::black_box(workload.run_one_with(&engine, table, &mut rng, 10, 0, iso)));
+            b.iter(|| {
+                std::hint::black_box(workload.run_one_with(&engine, table, &mut rng, 10, 0, iso))
+            });
         });
     }
     group.finish();

@@ -18,12 +18,20 @@ use mmdb_workload::Homogeneous;
 
 fn bench_isolation_levels(c: &mut Criterion) {
     let mut group = c.benchmark_group("isolation/r10w2_txn");
-    let levels = [IsolationLevel::ReadCommitted, IsolationLevel::RepeatableRead, IsolationLevel::Serializable];
+    let levels = [
+        IsolationLevel::ReadCommitted,
+        IsolationLevel::RepeatableRead,
+        IsolationLevel::Serializable,
+    ];
     for scheme in Scheme::ALL {
         for level in levels {
             let id = BenchmarkId::new(scheme.label(), level.label());
             group.bench_function(id, |b| {
-                let workload = Homogeneous { rows: 20_000, isolation: level, ..Default::default() };
+                let workload = Homogeneous {
+                    rows: 20_000,
+                    isolation: level,
+                    ..Default::default()
+                };
                 scheme.with_engine(Duration::from_millis(500), |factory| {
                     dispatch_engine!(factory, |engine| {
                         let table = workload.setup(engine).unwrap();

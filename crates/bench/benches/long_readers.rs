@@ -36,16 +36,22 @@ fn bench_long_scan(c: &mut Criterion) {
             Scheme::OneV => IsolationLevel::Serializable,
             _ => IsolationLevel::SnapshotIsolation,
         };
-        group.bench_with_input(BenchmarkId::new("long_read_txn", scheme.label()), &scheme, |b, &scheme| {
-            let mix = LongReaderMix::new(ROWS, 1, iso);
-            scheme.with_engine(Duration::from_millis(500), |factory| {
-                dispatch_engine!(factory, |engine| {
-                    let table = mix.base.setup(engine).unwrap();
-                    let mut rng = StdRng::seed_from_u64(21);
-                    b.iter(|| std::hint::black_box(mix.run_long_reader(engine, table, &mut rng)));
-                })
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("long_read_txn", scheme.label()),
+            &scheme,
+            |b, &scheme| {
+                let mix = LongReaderMix::new(ROWS, 1, iso);
+                scheme.with_engine(Duration::from_millis(500), |factory| {
+                    dispatch_engine!(factory, |engine| {
+                        let table = mix.base.setup(engine).unwrap();
+                        let mut rng = StdRng::seed_from_u64(21);
+                        b.iter(|| {
+                            std::hint::black_box(mix.run_long_reader(engine, table, &mut rng))
+                        });
+                    })
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -53,27 +59,35 @@ fn bench_long_scan(c: &mut Criterion) {
 fn bench_update_under_open_snapshot(c: &mut Criterion) {
     let mut group = c.benchmark_group("long_readers/update_with_open_reader");
     for scheme in [Scheme::MvO, Scheme::MvL] {
-        group.bench_with_input(BenchmarkId::new("update", scheme.label()), &scheme, |b, &scheme| {
-            let workload = Homogeneous { rows: ROWS, ..Default::default() };
-            scheme.with_engine(Duration::from_millis(500), |factory| {
-                dispatch_engine!(factory, |engine| {
-                    let table = workload.setup(engine).unwrap();
-                    // An open snapshot reader that has touched part of the table.
-                    let mut reader = engine.begin(IsolationLevel::SnapshotIsolation);
-                    for key in 0..(ROWS / 10) {
-                        reader.read(table, IndexId(0), key).unwrap();
-                    }
-                    let mut key = 0u64;
-                    b.iter(|| {
-                        key = (key + 13) % (ROWS / 10);
-                        let mut txn = engine.begin(IsolationLevel::ReadCommitted);
-                        txn.update(table, IndexId(0), key, rowbuf::keyed_row(key, 16, 5)).unwrap();
-                        txn.commit().unwrap()
-                    });
-                    reader.commit().unwrap();
-                })
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("update", scheme.label()),
+            &scheme,
+            |b, &scheme| {
+                let workload = Homogeneous {
+                    rows: ROWS,
+                    ..Default::default()
+                };
+                scheme.with_engine(Duration::from_millis(500), |factory| {
+                    dispatch_engine!(factory, |engine| {
+                        let table = workload.setup(engine).unwrap();
+                        // An open snapshot reader that has touched part of the table.
+                        let mut reader = engine.begin(IsolationLevel::SnapshotIsolation);
+                        for key in 0..(ROWS / 10) {
+                            reader.read(table, IndexId(0), key).unwrap();
+                        }
+                        let mut key = 0u64;
+                        b.iter(|| {
+                            key = (key + 13) % (ROWS / 10);
+                            let mut txn = engine.begin(IsolationLevel::ReadCommitted);
+                            txn.update(table, IndexId(0), key, rowbuf::keyed_row(key, 16, 5))
+                                .unwrap();
+                            txn.commit().unwrap()
+                        });
+                        reader.commit().unwrap();
+                    })
+                });
+            },
+        );
     }
     group.finish();
 }

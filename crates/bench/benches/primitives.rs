@@ -25,7 +25,11 @@ fn bench_words(c: &mut Criterion) {
     });
     group.bench_function("lock_word_roundtrip", |b| {
         b.iter(|| {
-            let lock = LockWord { no_more_read_locks: false, read_lock_count: 3, writer: Some(TxnId(77)) };
+            let lock = LockWord {
+                no_more_read_locks: false,
+                read_lock_count: 3,
+                writer: Some(TxnId(77)),
+            };
             std::hint::black_box(EndWord::decode(EndWord::Lock(lock).encode()))
         })
     });
@@ -60,7 +64,9 @@ fn bench_visibility(c: &mut Criterion) {
     let txns = TxnTable::new();
     let committed = Version::new_committed(Timestamp(10), rowbuf::keyed_row(1, 16, 0), vec![1]);
     group.bench_function("committed_version", |b| {
-        b.iter(|| std::hint::black_box(check_visibility(&committed, Timestamp(50), TxnId(9), &txns)))
+        b.iter(|| {
+            std::hint::black_box(check_visibility(&committed, Timestamp(50), TxnId(9), &txns))
+        })
     });
     group.finish();
 }
@@ -72,8 +78,12 @@ fn bench_engine_point_ops(c: &mut Criterion) {
     use mmdb_core::{MvConfig, MvEngine};
 
     let engine = MvEngine::optimistic(MvConfig::default());
-    let table = engine.create_table(TableSpec::keyed_u64("bench", 200_000)).unwrap();
-    engine.populate(table, (0..100_000u64).map(|k| rowbuf::keyed_row(k, 16, 1))).unwrap();
+    let table = engine
+        .create_table(TableSpec::keyed_u64("bench", 200_000))
+        .unwrap();
+    engine
+        .populate(table, (0..100_000u64).map(|k| rowbuf::keyed_row(k, 16, 1)))
+        .unwrap();
 
     let mut group = c.benchmark_group("primitives/engine_ops");
     let mut key = 0u64;
@@ -98,7 +108,8 @@ fn bench_engine_point_ops(c: &mut Criterion) {
                 (engine.begin(IsolationLevel::ReadCommitted), key)
             },
             |(mut txn, key)| {
-                txn.update(table, IndexId(0), key, rowbuf::keyed_row(key, 16, 9)).unwrap();
+                txn.update(table, IndexId(0), key, rowbuf::keyed_row(key, 16, 9))
+                    .unwrap();
                 txn.commit().unwrap()
             },
             BatchSize::SmallInput,

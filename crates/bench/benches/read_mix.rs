@@ -25,28 +25,49 @@ fn bench_read_only_vs_update(c: &mut Criterion) {
             Scheme::OneV => IsolationLevel::ReadCommitted,
             _ => IsolationLevel::SnapshotIsolation,
         };
-        group.bench_with_input(BenchmarkId::new("read_only_r10", scheme.label()), &scheme, |b, &scheme| {
-            let workload = Homogeneous { rows: 20_000, ..Default::default() };
-            scheme.with_engine(Duration::from_millis(500), |factory| {
-                dispatch_engine!(factory, |engine| {
-                    let table = workload.setup(engine).unwrap();
-                    let mut rng = StdRng::seed_from_u64(11);
-                    b.iter(|| {
-                        std::hint::black_box(workload.run_one_with(engine, table, &mut rng, 10, 0, read_only_iso))
-                    });
-                })
-            });
-        });
-        group.bench_with_input(BenchmarkId::new("update_r10w2", scheme.label()), &scheme, |b, &scheme| {
-            let workload = Homogeneous { rows: 20_000, ..Default::default() };
-            scheme.with_engine(Duration::from_millis(500), |factory| {
-                dispatch_engine!(factory, |engine| {
-                    let table = workload.setup(engine).unwrap();
-                    let mut rng = StdRng::seed_from_u64(12);
-                    b.iter(|| std::hint::black_box(workload.run_one(engine, table, &mut rng)));
-                })
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("read_only_r10", scheme.label()),
+            &scheme,
+            |b, &scheme| {
+                let workload = Homogeneous {
+                    rows: 20_000,
+                    ..Default::default()
+                };
+                scheme.with_engine(Duration::from_millis(500), |factory| {
+                    dispatch_engine!(factory, |engine| {
+                        let table = workload.setup(engine).unwrap();
+                        let mut rng = StdRng::seed_from_u64(11);
+                        b.iter(|| {
+                            std::hint::black_box(workload.run_one_with(
+                                engine,
+                                table,
+                                &mut rng,
+                                10,
+                                0,
+                                read_only_iso,
+                            ))
+                        });
+                    })
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("update_r10w2", scheme.label()),
+            &scheme,
+            |b, &scheme| {
+                let workload = Homogeneous {
+                    rows: 20_000,
+                    ..Default::default()
+                };
+                scheme.with_engine(Duration::from_millis(500), |factory| {
+                    dispatch_engine!(factory, |engine| {
+                        let table = workload.setup(engine).unwrap();
+                        let mut rng = StdRng::seed_from_u64(12);
+                        b.iter(|| std::hint::black_box(workload.run_one(engine, table, &mut rng)));
+                    })
+                });
+            },
+        );
     }
     group.finish();
 }

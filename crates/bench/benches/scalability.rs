@@ -15,19 +15,31 @@ use mmdb_bench::Scheme;
 use mmdb_workload::Homogeneous;
 
 fn bench_short_update_txn(c: &mut Criterion) {
-    for (group_name, rows) in [("scalability/low_contention", 50_000u64), ("scalability/hotspot", 1_000u64)] {
+    for (group_name, rows) in [
+        ("scalability/low_contention", 50_000u64),
+        ("scalability/hotspot", 1_000u64),
+    ] {
         let mut group = c.benchmark_group(group_name);
-        let workload = Homogeneous { rows, ..Default::default() };
+        let workload = Homogeneous {
+            rows,
+            ..Default::default()
+        };
         for scheme in Scheme::ALL {
-            group.bench_with_input(BenchmarkId::new("r10w2_txn", scheme.label()), &scheme, |b, &scheme| {
-                scheme.with_engine(Duration::from_millis(500), |factory| {
-                    dispatch_engine!(factory, |engine| {
-                        let table = workload.setup(engine).unwrap();
-                        let mut rng = StdRng::seed_from_u64(42);
-                        b.iter(|| std::hint::black_box(workload.run_one(engine, table, &mut rng)));
-                    })
-                });
-            });
+            group.bench_with_input(
+                BenchmarkId::new("r10w2_txn", scheme.label()),
+                &scheme,
+                |b, &scheme| {
+                    scheme.with_engine(Duration::from_millis(500), |factory| {
+                        dispatch_engine!(factory, |engine| {
+                            let table = workload.setup(engine).unwrap();
+                            let mut rng = StdRng::seed_from_u64(42);
+                            b.iter(|| {
+                                std::hint::black_box(workload.run_one(engine, table, &mut rng))
+                            });
+                        })
+                    });
+                },
+            );
         }
         group.finish();
     }

@@ -16,15 +16,19 @@ fn bench_tatp_mix(c: &mut Criterion) {
     let mut group = c.benchmark_group("tatp/mix_txn");
     let tatp = Tatp::new(5_000);
     for scheme in Scheme::ALL {
-        group.bench_with_input(BenchmarkId::new("txn", scheme.label()), &scheme, |b, &scheme| {
-            scheme.with_engine(Duration::from_millis(500), |factory| {
-                dispatch_engine!(factory, |engine| {
-                    let tables = tatp.setup(engine).unwrap();
-                    let mut rng = StdRng::seed_from_u64(31);
-                    b.iter(|| std::hint::black_box(tatp.run_one(engine, tables, &mut rng)));
-                })
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("txn", scheme.label()),
+            &scheme,
+            |b, &scheme| {
+                scheme.with_engine(Duration::from_millis(500), |factory| {
+                    dispatch_engine!(factory, |engine| {
+                        let tables = tatp.setup(engine).unwrap();
+                        let mut rng = StdRng::seed_from_u64(31);
+                        b.iter(|| std::hint::black_box(tatp.run_one(engine, tables, &mut rng)));
+                    })
+                });
+            },
+        );
     }
     group.finish();
 }

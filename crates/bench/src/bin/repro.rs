@@ -34,22 +34,46 @@ fn parse_args() -> (ExpConfig, Vec<String>) {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => cfg = ExpConfig::quick(),
-            "--rows" => cfg.rows = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
-            "--hot-rows" => cfg.hot_rows = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
-            "--mpl" => cfg.mpl = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()),
+            "--rows" => {
+                cfg.rows = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--hot-rows" => {
+                cfg.hot_rows = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--mpl" => {
+                cfg.mpl = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
             "--threads" => {
                 let list = args.next().unwrap_or_else(|| usage());
-                cfg.threads = list.split(',').filter_map(|s| s.trim().parse().ok()).collect();
+                cfg.threads = list
+                    .split(',')
+                    .filter_map(|s| s.trim().parse().ok())
+                    .collect();
                 if cfg.threads.is_empty() {
                     usage();
                 }
             }
             "--duration-ms" => {
-                let ms: u64 = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+                let ms: u64 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
                 cfg.duration = Duration::from_millis(ms);
             }
             "--subscribers" => {
-                cfg.subscribers = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| usage())
+                cfg.subscribers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
             }
             "--help" | "-h" => usage(),
             name if !name.starts_with('-') => experiments.push(name.to_string()),

@@ -119,7 +119,11 @@ impl SeriesTable {
     /// Look a cell up by series label and column index (used by tests and by
     /// the shape checks in `repro --check`).
     pub fn value(&self, series: &str, column: usize) -> Option<f64> {
-        self.rows.iter().find(|(l, _)| l == series).and_then(|(_, vs)| vs.get(column)).copied()
+        self.rows
+            .iter()
+            .find(|(l, _)| l == series)
+            .and_then(|(_, vs)| vs.get(column))
+            .copied()
     }
 }
 
@@ -134,12 +138,21 @@ fn run_homogeneous_on<E: Engine>(
     duration: Duration,
 ) -> DriverReport {
     let table = workload.setup(engine).expect("setup homogeneous workload");
-    run_for(engine, threads, duration, |e, rng, _| workload.run_one(e, table, rng))
+    run_for(engine, threads, duration, |e, rng, _| {
+        workload.run_one(e, table, rng)
+    })
 }
 
-fn run_read_mix_on<E: Engine>(engine: &E, mix: &ReadMix, threads: usize, duration: Duration) -> DriverReport {
+fn run_read_mix_on<E: Engine>(
+    engine: &E,
+    mix: &ReadMix,
+    threads: usize,
+    duration: Duration,
+) -> DriverReport {
     let table = mix.base.setup(engine).expect("setup read mix");
-    run_for(engine, threads, duration, |e, rng, _| mix.run_one(e, table, rng))
+    run_for(engine, threads, duration, |e, rng, _| {
+        mix.run_one(e, table, rng)
+    })
 }
 
 fn run_long_readers_on<E: Engine>(
@@ -149,16 +162,28 @@ fn run_long_readers_on<E: Engine>(
     duration: Duration,
 ) -> DriverReport {
     let table = mix.base.setup(engine).expect("setup long-reader mix");
-    run_for(engine, threads, duration, |e, rng, worker| mix.run_one(e, table, rng, worker))
+    run_for(engine, threads, duration, |e, rng, worker| {
+        mix.run_one(e, table, rng, worker)
+    })
 }
 
-fn run_tatp_on<E: Engine>(engine: &E, tatp: &Tatp, threads: usize, duration: Duration) -> DriverReport {
+fn run_tatp_on<E: Engine>(
+    engine: &E,
+    tatp: &Tatp,
+    threads: usize,
+    duration: Duration,
+) -> DriverReport {
     let tables = tatp.setup(engine).expect("setup TATP");
-    run_for(engine, threads, duration, |e, rng, _| tatp.run_one(e, tables, rng))
+    run_for(engine, threads, duration, |e, rng, _| {
+        tatp.run_one(e, tables, rng)
+    })
 }
 
 fn scalability(cfg: &ExpConfig, rows: u64, title: &str) -> SeriesTable {
-    let workload = Homogeneous { rows, ..Default::default() };
+    let workload = Homogeneous {
+        rows,
+        ..Default::default()
+    };
     let mut table = SeriesTable {
         title: title.to_string(),
         x_label: "threads".into(),
@@ -184,30 +209,52 @@ fn scalability(cfg: &ExpConfig, rows: u64, title: &str) -> SeriesTable {
 /// **Figure 4** — scalability under low contention: R=10 W=2 transactions on
 /// a large table at Read Committed, sweeping the multiprogramming level.
 pub fn fig4(cfg: &ExpConfig) -> SeriesTable {
-    scalability(cfg, cfg.rows, "Figure 4: scalability under low contention (R=10, W=2, read committed)")
+    scalability(
+        cfg,
+        cfg.rows,
+        "Figure 4: scalability under low contention (R=10, W=2, read committed)",
+    )
 }
 
 /// **Figure 5** — scalability under high contention: the same transaction on
 /// a 1,000-row hotspot table.
 pub fn fig5(cfg: &ExpConfig) -> SeriesTable {
-    scalability(cfg, cfg.hot_rows, "Figure 5: scalability under high contention (hotspot table)")
+    scalability(
+        cfg,
+        cfg.hot_rows,
+        "Figure 5: scalability under high contention (hotspot table)",
+    )
 }
 
 /// **Table 3** — throughput at higher isolation levels (fixed MPL), plus the
 /// percentage drop relative to Read Committed.
 pub fn table3(cfg: &ExpConfig) -> SeriesTable {
-    let levels = [IsolationLevel::ReadCommitted, IsolationLevel::RepeatableRead, IsolationLevel::Serializable];
+    let levels = [
+        IsolationLevel::ReadCommitted,
+        IsolationLevel::RepeatableRead,
+        IsolationLevel::Serializable,
+    ];
     let mut table = SeriesTable {
         title: "Table 3: throughput at higher isolation levels (MPL = 24 in the paper)".into(),
         x_label: "scheme".into(),
-        xs: vec!["RC tx/s".into(), "RR tx/s".into(), "RR % drop".into(), "SER tx/s".into(), "SER % drop".into()],
+        xs: vec![
+            "RC tx/s".into(),
+            "RR tx/s".into(),
+            "RR % drop".into(),
+            "SER tx/s".into(),
+            "SER % drop".into(),
+        ],
         rows: Vec::new(),
         unit: "committed transactions / second (and % drop vs read committed)".into(),
     };
     for scheme in Scheme::ALL {
         let mut tps = Vec::new();
         for level in levels {
-            let workload = Homogeneous { rows: cfg.rows, isolation: level, ..Default::default() };
+            let workload = Homogeneous {
+                rows: cfg.rows,
+                isolation: level,
+                ..Default::default()
+            };
             let t = scheme.with_engine(cfg.lock_timeout, |factory| {
                 dispatch_engine!(factory, |engine| {
                     run_homogeneous_on(engine, &workload, cfg.mpl, cfg.duration).tps()
@@ -215,7 +262,13 @@ pub fn table3(cfg: &ExpConfig) -> SeriesTable {
             });
             tps.push(t);
         }
-        let drop_of = |x: f64| if tps[0] > 0.0 { (1.0 - x / tps[0]) * 100.0 } else { 0.0 };
+        let drop_of = |x: f64| {
+            if tps[0] > 0.0 {
+                (1.0 - x / tps[0]) * 100.0
+            } else {
+                0.0
+            }
+        };
         table.rows.push((
             scheme.label().to_string(),
             vec![tps[0], tps[1], drop_of(tps[1]), tps[2], drop_of(tps[2])],
@@ -229,7 +282,10 @@ fn read_mix(cfg: &ExpConfig, rows: u64, title: &str) -> SeriesTable {
     let mut table = SeriesTable {
         title: title.to_string(),
         x_label: "read-only fraction".into(),
-        xs: fractions.iter().map(|f| format!("{:.0}%", f * 100.0)).collect(),
+        xs: fractions
+            .iter()
+            .map(|f| format!("{:.0}%", f * 100.0))
+            .collect(),
         rows: Vec::new(),
         unit: "committed transactions / second".into(),
     };
@@ -251,12 +307,20 @@ fn read_mix(cfg: &ExpConfig, rows: u64, title: &str) -> SeriesTable {
 
 /// **Figure 6** — impact of short read-only transactions, low contention.
 pub fn fig6(cfg: &ExpConfig) -> SeriesTable {
-    read_mix(cfg, cfg.rows, "Figure 6: impact of short read-only transactions (low contention)")
+    read_mix(
+        cfg,
+        cfg.rows,
+        "Figure 6: impact of short read-only transactions (low contention)",
+    )
 }
 
 /// **Figure 7** — impact of short read-only transactions, hotspot table.
 pub fn fig7(cfg: &ExpConfig) -> SeriesTable {
-    read_mix(cfg, cfg.hot_rows, "Figure 7: impact of short read-only transactions (high contention)")
+    read_mix(
+        cfg,
+        cfg.hot_rows,
+        "Figure 7: impact of short read-only transactions (high contention)",
+    )
 }
 
 /// Shared runner for Figures 8 and 9: returns (update throughput, long-read
@@ -303,7 +367,9 @@ fn long_readers(cfg: &ExpConfig) -> (SeriesTable, SeriesTable) {
             update_series.push(report.tps_of(TxnKind::Update));
             read_series.push(report.read_rate_of(TxnKind::LongRead));
         }
-        updates.rows.push((scheme.label().to_string(), update_series));
+        updates
+            .rows
+            .push((scheme.label().to_string(), update_series));
         reads.rows.push((scheme.label().to_string(), read_series));
     }
     (updates, reads)
@@ -337,9 +403,17 @@ pub fn table4(cfg: &ExpConfig) -> SeriesTable {
     };
     for scheme in Scheme::ALL {
         let report = scheme.with_engine(cfg.lock_timeout, |factory| {
-            dispatch_engine!(factory, |engine| run_tatp_on(engine, &tatp, cfg.mpl, cfg.duration))
+            dispatch_engine!(factory, |engine| run_tatp_on(
+                engine,
+                &tatp,
+                cfg.mpl,
+                cfg.duration
+            ))
         });
-        table.rows.push((scheme.label().to_string(), vec![report.tps(), report.abort_rate()]));
+        table.rows.push((
+            scheme.label().to_string(),
+            vec![report.tps(), report.abort_rate()],
+        ));
     }
     table
 }
@@ -357,10 +431,18 @@ pub fn ablation_validation_cost(cfg: &ExpConfig) -> SeriesTable {
         rows: Vec::new(),
         unit: "committed transactions / second".into(),
     };
-    for (label, iso) in [("MV/O read committed", IsolationLevel::ReadCommitted), ("MV/O serializable", IsolationLevel::Serializable)] {
+    for (label, iso) in [
+        ("MV/O read committed", IsolationLevel::ReadCommitted),
+        ("MV/O serializable", IsolationLevel::Serializable),
+    ] {
         let mut series = Vec::new();
         for &reads in &read_counts {
-            let workload = Homogeneous { rows: cfg.rows, reads, writes: 2, isolation: iso };
+            let workload = Homogeneous {
+                rows: cfg.rows,
+                reads,
+                writes: 2,
+                isolation: iso,
+            };
             let tps = Scheme::MvO.with_engine(cfg.lock_timeout, |factory| {
                 dispatch_engine!(factory, |engine| {
                     run_homogeneous_on(engine, &workload, cfg.mpl, cfg.duration).tps()
@@ -386,11 +468,20 @@ pub fn ablation_gc(cfg: &ExpConfig) -> SeriesTable {
         rows: Vec::new(),
         unit: "version counts".into(),
     };
-    for (label, gc_every) in [("GC enabled (every 128 commits)", 128u64), ("GC disabled", 0u64)] {
-        let engine = mmdb_core::MvEngine::optimistic(mmdb_core::MvConfig::default().with_gc_every(gc_every));
-        let workload = Homogeneous { rows, ..Default::default() };
+    for (label, gc_every) in [
+        ("GC enabled (every 128 commits)", 128u64),
+        ("GC disabled", 0u64),
+    ] {
+        let engine =
+            mmdb_core::MvEngine::optimistic(mmdb_core::MvConfig::default().with_gc_every(gc_every));
+        let workload = Homogeneous {
+            rows,
+            ..Default::default()
+        };
         let t = workload.setup(&engine).expect("setup");
-        let _ = run_for(&engine, cfg.mpl.min(8), cfg.duration, |e, rng, _| workload.run_one(e, t, rng));
+        let _ = run_for(&engine, cfg.mpl.min(8), cfg.duration, |e, rng, _| {
+            workload.run_one(e, t, rng)
+        });
         let after = engine.version_count(t).expect("count") as f64;
         let reclaimed = engine.stats().snapshot().versions_collected as f64;
         table.rows.push((label.to_string(), vec![after, reclaimed]));
@@ -432,7 +523,10 @@ mod tests {
         assert_eq!(table.rows.len(), 3);
         assert_eq!(table.xs.len(), 2);
         for (_, series) in &table.rows {
-            assert!(series.iter().all(|&v| v > 0.0), "every scheme commits something: {table:?}");
+            assert!(
+                series.iter().all(|&v| v > 0.0),
+                "every scheme commits something: {table:?}"
+            );
         }
         let md = table.to_markdown();
         assert!(md.contains("| 1V |") && md.contains("| MV/O |") && md.contains("| MV/L |"));

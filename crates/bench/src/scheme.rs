@@ -46,11 +46,13 @@ impl Scheme {
                 f(&SvFactory(engine))
             }
             Scheme::MvL => {
-                let engine = MvEngine::pessimistic(MvConfig::default().with_wait_timeout(lock_timeout));
+                let engine =
+                    MvEngine::pessimistic(MvConfig::default().with_wait_timeout(lock_timeout));
                 f(&MvFactory(engine))
             }
             Scheme::MvO => {
-                let engine = MvEngine::optimistic(MvConfig::default().with_wait_timeout(lock_timeout));
+                let engine =
+                    MvEngine::optimistic(MvConfig::default().with_wait_timeout(lock_timeout));
                 f(&MvFactory(engine))
             }
         }

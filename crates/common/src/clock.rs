@@ -131,10 +131,15 @@ mod tests {
         for _ in 0..4 {
             let clock = Arc::clone(&clock);
             handles.push(std::thread::spawn(move || {
-                (0..1000).map(|_| clock.next_timestamp().raw()).collect::<Vec<_>>()
+                (0..1000)
+                    .map(|_| clock.next_timestamp().raw())
+                    .collect::<Vec<_>>()
             }));
         }
-        let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let mut all: Vec<u64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
         let n = all.len();
         all.sort_unstable();
         all.dedup();

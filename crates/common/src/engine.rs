@@ -116,9 +116,12 @@ mod tests {
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::{Arc, Mutex};
 
+    /// Rows of one table, keyed by (index slot, index key).
+    type IndexedRows = HashMap<(u32, u64), Vec<Row>>;
+
     #[derive(Default)]
     struct Inner {
-        tables: Vec<(TableSpec, HashMap<(u32, u64), Vec<Row>>)>,
+        tables: Vec<(TableSpec, IndexedRows)>,
     }
 
     /// Trivially serialized (one big mutex) reference engine.
@@ -193,7 +196,10 @@ mod tests {
         }
         fn insert(&mut self, table: TableId, row: Row) -> Result<()> {
             let mut g = self.inner.lock().unwrap();
-            let (spec, data) = g.tables.get_mut(table.0 as usize).ok_or(MmdbError::TableNotFound(table))?;
+            let (spec, data) = g
+                .tables
+                .get_mut(table.0 as usize)
+                .ok_or(MmdbError::TableNotFound(table))?;
             for (i, _idx) in spec.indexes.iter().enumerate() {
                 let key = Self::key_for(spec, IndexId(i as u32), &row)?;
                 data.entry((i as u32, key)).or_default().push(row.clone());
@@ -205,10 +211,19 @@ mod tests {
         }
         fn scan_key(&mut self, table: TableId, index: IndexId, key: Key) -> Result<Vec<Row>> {
             let g = self.inner.lock().unwrap();
-            let (_, data) = g.tables.get(table.0 as usize).ok_or(MmdbError::TableNotFound(table))?;
+            let (_, data) = g
+                .tables
+                .get(table.0 as usize)
+                .ok_or(MmdbError::TableNotFound(table))?;
             Ok(data.get(&(index.0, key)).cloned().unwrap_or_default())
         }
-        fn update(&mut self, table: TableId, index: IndexId, key: Key, new_row: Row) -> Result<bool> {
+        fn update(
+            &mut self,
+            table: TableId,
+            index: IndexId,
+            key: Key,
+            new_row: Row,
+        ) -> Result<bool> {
             let existed = self.delete(table, index, key)?;
             if existed {
                 self.insert(table, new_row)?;
@@ -217,7 +232,10 @@ mod tests {
         }
         fn delete(&mut self, table: TableId, index: IndexId, key: Key) -> Result<bool> {
             let mut g = self.inner.lock().unwrap();
-            let (spec, data) = g.tables.get_mut(table.0 as usize).ok_or(MmdbError::TableNotFound(table))?;
+            let (spec, data) = g
+                .tables
+                .get_mut(table.0 as usize)
+                .ok_or(MmdbError::TableNotFound(table))?;
             let victim = match data.get_mut(&(index.0, key)).and_then(|v| v.pop()) {
                 Some(r) => r,
                 None => return Ok(false),
@@ -256,10 +274,27 @@ mod tests {
         let mut txn = engine.begin(IsolationLevel::ReadCommitted);
         txn.insert(t, rowbuf::keyed_row(1, 16, 0xAA)).unwrap();
         txn.insert(t, rowbuf::keyed_row(2, 16, 0xAA)).unwrap();
-        assert_eq!(txn.read(t, IndexId(0), 1).unwrap().map(|r| rowbuf::key_of(&r)), Some(1));
-        assert_eq!(txn.scan_key(t, IndexId(1), crate::hash::hash_bytes(&[0xAA])).unwrap().len(), 2);
-        assert!(txn.update(t, IndexId(0), 1, rowbuf::keyed_row(1, 16, 0xBB)).unwrap());
-        assert_eq!(txn.read(t, IndexId(0), 1).unwrap().map(|r| rowbuf::fill_of(&r)), Some(0xBB));
+        assert_eq!(
+            txn.read(t, IndexId(0), 1)
+                .unwrap()
+                .map(|r| rowbuf::key_of(&r)),
+            Some(1)
+        );
+        assert_eq!(
+            txn.scan_key(t, IndexId(1), crate::hash::hash_bytes(&[0xAA]))
+                .unwrap()
+                .len(),
+            2
+        );
+        assert!(txn
+            .update(t, IndexId(0), 1, rowbuf::keyed_row(1, 16, 0xBB))
+            .unwrap());
+        assert_eq!(
+            txn.read(t, IndexId(0), 1)
+                .unwrap()
+                .map(|r| rowbuf::fill_of(&r)),
+            Some(0xBB)
+        );
         assert!(txn.delete(t, IndexId(0), 2).unwrap());
         assert!(!txn.delete(t, IndexId(0), 2).unwrap());
         txn.commit().unwrap();
@@ -272,11 +307,20 @@ mod tests {
         let mut txn = engine.begin(IsolationLevel::ReadCommitted);
         txn.insert(t, rowbuf::keyed_row(7, 16, 1)).unwrap();
         let changed = txn
-            .modify(t, IndexId(0), 7, |old| rowbuf::keyed_row(rowbuf::key_of(old), 16, rowbuf::fill_of(old) + 1))
+            .modify(t, IndexId(0), 7, |old| {
+                rowbuf::keyed_row(rowbuf::key_of(old), 16, rowbuf::fill_of(old) + 1)
+            })
             .unwrap();
         assert!(changed);
-        assert_eq!(txn.read(t, IndexId(0), 7).unwrap().map(|r| rowbuf::fill_of(&r)), Some(2));
-        assert!(!txn.modify(t, IndexId(0), 999, |old| Row::copy_from_slice(old)).unwrap());
+        assert_eq!(
+            txn.read(t, IndexId(0), 7)
+                .unwrap()
+                .map(|r| rowbuf::fill_of(&r)),
+            Some(2)
+        );
+        assert!(!txn
+            .modify(t, IndexId(0), 999, Row::copy_from_slice)
+            .unwrap());
         txn.commit().unwrap();
     }
 }

@@ -126,18 +126,37 @@ impl fmt::Display for MmdbError {
                 Some(h) => write!(f, "write-write conflict: {txn} lost to {h}"),
                 None => write!(f, "write-write conflict: {txn} lost to a concurrent writer"),
             },
-            MmdbError::ReadValidationFailed => write!(f, "read validation failed: a read version is no longer visible at commit time"),
-            MmdbError::PhantomDetected => write!(f, "phantom detected: a repeated scan returned new versions"),
-            MmdbError::CommitDependencyFailed => write!(f, "a transaction this one speculatively depended on aborted"),
+            MmdbError::ReadValidationFailed => write!(
+                f,
+                "read validation failed: a read version is no longer visible at commit time"
+            ),
+            MmdbError::PhantomDetected => {
+                write!(f, "phantom detected: a repeated scan returned new versions")
+            }
+            MmdbError::CommitDependencyFailed => write!(
+                f,
+                "a transaction this one speculatively depended on aborted"
+            ),
             MmdbError::Aborted => write!(f, "transaction aborted"),
-            MmdbError::ReadLockUnavailable => write!(f, "read lock unavailable (count saturated or NoMoreReadLocks set)"),
-            MmdbError::WaitForRefused => write!(f, "wait-for dependency refused (NoMoreWaitFors set)"),
+            MmdbError::ReadLockUnavailable => write!(
+                f,
+                "read lock unavailable (count saturated or NoMoreReadLocks set)"
+            ),
+            MmdbError::WaitForRefused => {
+                write!(f, "wait-for dependency refused (NoMoreWaitFors set)")
+            }
             MmdbError::DeadlockVictim => write!(f, "chosen as deadlock victim"),
             MmdbError::LockTimeout { table } => write!(f, "lock wait timed out on table {table:?}"),
             MmdbError::TableNotFound(t) => write!(f, "table {t:?} not found"),
             MmdbError::IndexNotFound(t, i) => write!(f, "index {i:?} not found on table {t:?}"),
-            MmdbError::DuplicateKey { table, index } => write!(f, "duplicate key in unique index {index:?} of table {table:?}"),
-            MmdbError::RowTooShort { needed, actual } => write!(f, "row too short for key extractor: need {needed} bytes, have {actual}"),
+            MmdbError::DuplicateKey { table, index } => write!(
+                f,
+                "duplicate key in unique index {index:?} of table {table:?}"
+            ),
+            MmdbError::RowTooShort { needed, actual } => write!(
+                f,
+                "row too short for key extractor: need {needed} bytes, have {actual}"
+            ),
             MmdbError::TransactionClosed => write!(f, "transaction already committed or aborted"),
             MmdbError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
@@ -152,7 +171,11 @@ mod tests {
 
     #[test]
     fn retryable_classification() {
-        assert!(MmdbError::WriteWriteConflict { txn: TxnId(1), holder: None }.is_retryable());
+        assert!(MmdbError::WriteWriteConflict {
+            txn: TxnId(1),
+            holder: None
+        }
+        .is_retryable());
         assert!(MmdbError::ReadValidationFailed.is_retryable());
         assert!(MmdbError::PhantomDetected.is_retryable());
         assert!(MmdbError::DeadlockVictim.is_retryable());
@@ -164,7 +187,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = MmdbError::WriteWriteConflict { txn: TxnId(4), holder: Some(TxnId(9)) };
+        let e = MmdbError::WriteWriteConflict {
+            txn: TxnId(4),
+            holder: Some(TxnId(9)),
+        };
         let s = e.to_string();
         assert!(s.contains("Txn(4)") && s.contains("Txn(9)"));
         assert_eq!(e.kind(), "write_write_conflict");

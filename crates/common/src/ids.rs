@@ -113,7 +113,7 @@ mod tests {
 
     #[test]
     fn txn_id_bounds() {
-        assert!(MAX_TXN_ID < (1 << 54));
+        assert_eq!(MAX_TXN_ID, (1u64 << 54) - 2);
         assert_eq!(TxnId(42).raw(), 42);
     }
 

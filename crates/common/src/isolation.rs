@@ -1,7 +1,5 @@
 //! Isolation levels and concurrency-mode selection.
 
-use serde::{Deserialize, Serialize};
-
 /// Transaction isolation levels supported by all three engines (§2, §3.4).
 ///
 /// The multiversion engines implement them exactly as the paper describes:
@@ -21,7 +19,7 @@ use serde::{Deserialize, Serialize};
 /// short read locks and treats SnapshotIsolation as RepeatableRead (it has no
 /// snapshots to offer — this is exactly the limitation that motivates
 /// multiversioning).
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum IsolationLevel {
     /// Only read committed data; each read sees the latest committed version.
     ReadCommitted,
@@ -37,7 +35,10 @@ impl IsolationLevel {
     /// Does this level require read stability (read locks / read validation)?
     #[inline]
     pub fn requires_read_stability(self) -> bool {
-        matches!(self, IsolationLevel::RepeatableRead | IsolationLevel::Serializable)
+        matches!(
+            self,
+            IsolationLevel::RepeatableRead | IsolationLevel::Serializable
+        )
     }
 
     /// Does this level require phantom avoidance (bucket locks / rescans)?
@@ -82,7 +83,7 @@ impl IsolationLevel {
 /// The paper's two schemes are mutually compatible (§4.5): optimistic and
 /// pessimistic transactions may run concurrently against the same database,
 /// so the mode is a per-transaction property rather than a per-database one.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub enum ConcurrencyMode {
     /// Validation-based scheme of §3 ("MV/O").
     Optimistic,

@@ -7,7 +7,6 @@
 //! packs its typed records into fixed layouts and declares the key offsets).
 
 use bytes::Bytes;
-use serde::{Deserialize, Serialize};
 
 use crate::error::{MmdbError, Result};
 use crate::hash::hash_bytes;
@@ -19,7 +18,7 @@ use crate::ids::Key;
 pub type Row = Bytes;
 
 /// How an index derives its 64-bit key from a row payload.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum KeySpec {
     /// Read a little-endian `u64` at the given byte offset.
     U64At(usize),
@@ -44,7 +43,9 @@ impl KeySpec {
                     needed: end,
                     actual: row.len(),
                 })?;
-                Ok(u64::from_le_bytes(slice.try_into().expect("slice is 8 bytes")))
+                Ok(u64::from_le_bytes(
+                    slice.try_into().expect("slice is 8 bytes"),
+                ))
             }
             KeySpec::U32At(offset) => {
                 let end = offset + 4;
@@ -76,7 +77,7 @@ impl KeySpec {
 }
 
 /// Declaration of one index on a table.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct IndexSpec {
     /// Human-readable name (used in error messages and reports).
     pub name: String,
@@ -92,19 +93,29 @@ pub struct IndexSpec {
 impl IndexSpec {
     /// Convenience constructor for a unique index on a `u64` field.
     pub fn unique_u64(name: impl Into<String>, offset: usize, buckets: usize) -> Self {
-        IndexSpec { name: name.into(), key: KeySpec::U64At(offset), buckets, unique: true }
+        IndexSpec {
+            name: name.into(),
+            key: KeySpec::U64At(offset),
+            buckets,
+            unique: true,
+        }
     }
 
     /// Convenience constructor for a non-unique index on a `u64` field.
     pub fn multi_u64(name: impl Into<String>, offset: usize, buckets: usize) -> Self {
-        IndexSpec { name: name.into(), key: KeySpec::U64At(offset), buckets, unique: false }
+        IndexSpec {
+            name: name.into(),
+            key: KeySpec::U64At(offset),
+            buckets,
+            unique: false,
+        }
     }
 }
 
 /// Declaration of a table: a name plus one or more indexes. Index 0 is the
 /// primary index (every row must be reachable through every index — there is
 /// no direct access to records except via an index, §2.1).
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TableSpec {
     /// Human-readable table name.
     pub name: String,
@@ -163,7 +174,10 @@ mod tests {
     #[test]
     fn u64_extraction() {
         let row = rowbuf::keyed_row(0xDEAD_BEEF_0102_0304, 16, 7);
-        assert_eq!(KeySpec::U64At(0).key_of(&row).unwrap(), 0xDEAD_BEEF_0102_0304);
+        assert_eq!(
+            KeySpec::U64At(0).key_of(&row).unwrap(),
+            0xDEAD_BEEF_0102_0304
+        );
         assert_eq!(rowbuf::key_of(&row), 0xDEAD_BEEF_0102_0304);
         assert_eq!(rowbuf::fill_of(&row), 7);
         assert_eq!(row.len(), 24);
@@ -189,14 +203,23 @@ mod tests {
     fn short_row_is_rejected() {
         let row = vec![0u8; 4];
         let err = KeySpec::U64At(0).key_of(&row).unwrap_err();
-        assert!(matches!(err, MmdbError::RowTooShort { needed: 8, actual: 4 }));
+        assert!(matches!(
+            err,
+            MmdbError::RowTooShort {
+                needed: 8,
+                actual: 4
+            }
+        ));
         assert_eq!(KeySpec::U64At(16).min_row_len(), 24);
     }
 
     #[test]
     fn table_spec_builder() {
-        let spec = TableSpec::keyed_u64("accounts", 1024)
-            .with_index(IndexSpec::multi_u64("by_branch", 8, 256));
+        let spec = TableSpec::keyed_u64("accounts", 1024).with_index(IndexSpec::multi_u64(
+            "by_branch",
+            8,
+            256,
+        ));
         assert_eq!(spec.indexes.len(), 2);
         assert!(spec.indexes[0].unique);
         assert!(!spec.indexes[1].unique);

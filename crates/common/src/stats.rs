@@ -175,7 +175,11 @@ mod tests {
 
     #[test]
     fn abort_rate() {
-        let snap = StatsSnapshot { commits: 75, aborts: 25, ..Default::default() };
+        let snap = StatsSnapshot {
+            commits: 75,
+            aborts: 25,
+            ..Default::default()
+        };
         assert!((snap.abort_rate() - 0.25).abs() < 1e-9);
         assert_eq!(StatsSnapshot::default().abort_rate(), 0.0);
     }

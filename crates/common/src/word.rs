@@ -181,7 +181,10 @@ impl LockWord {
     /// Panics in debug builds if no read locks are held.
     #[inline]
     pub fn with_reader_released(self) -> Self {
-        debug_assert!(self.read_lock_count > 0, "releasing a read lock that is not held");
+        debug_assert!(
+            self.read_lock_count > 0,
+            "releasing a read lock that is not held"
+        );
         LockWord {
             read_lock_count: self.read_lock_count.saturating_sub(1),
             ..self
@@ -365,12 +368,19 @@ mod tests {
             l = l.with_extra_reader().expect("below max");
             assert_eq!(l.read_lock_count, i + 1);
         }
-        assert!(l.with_extra_reader().is_none(), "256th reader must be refused");
+        assert!(
+            l.with_extra_reader().is_none(),
+            "256th reader must be refused"
+        );
     }
 
     #[test]
     fn lock_word_release_reader() {
-        let l = LockWord::EMPTY.with_extra_reader().unwrap().with_extra_reader().unwrap();
+        let l = LockWord::EMPTY
+            .with_extra_reader()
+            .unwrap()
+            .with_extra_reader()
+            .unwrap();
         let l = l.with_reader_released();
         assert_eq!(l.read_lock_count, 1);
     }
@@ -401,6 +411,157 @@ mod tests {
         assert_eq!(w.as_timestamp(), Some(Timestamp(42)));
         assert_eq!(w.writer(), None);
         assert!(raw::is_timestamp(w.encode()));
+    }
+
+    // ---- tag-flip edge cases (timestamp ↔ txn-id forms) ----
+
+    #[test]
+    fn tag_bit_separates_timestamp_and_txn_forms() {
+        // The all-ones 63-bit timestamp (infinity) must still decode as a
+        // timestamp — its tag bit is clear.
+        let inf = BeginWord::Timestamp(INFINITY_TS);
+        assert!(raw::is_timestamp(inf.encode()));
+        assert_eq!(BeginWord::decode(inf.encode()), inf);
+        // The same low bits with the tag set decode as a transaction ID, not
+        // a timestamp: a txn id of 0 is raw CONTENT_TAG alone.
+        let t0 = BeginWord::Txn(TxnId(0));
+        assert!(!raw::is_timestamp(t0.encode()));
+        assert_eq!(t0.encode(), 1u64 << 63);
+        assert_eq!(BeginWord::decode(t0.encode()), t0);
+        // Timestamp 0 and txn 0 share low bits but differ by the tag.
+        assert_ne!(BeginWord::Timestamp(Timestamp(0)).encode(), t0.encode());
+    }
+
+    #[test]
+    fn same_numeric_value_roundtrips_through_both_forms() {
+        for v in [0u64, 1, 1234, MAX_TXN_ID] {
+            let as_ts = BeginWord::Timestamp(Timestamp(v));
+            let as_txn = BeginWord::Txn(TxnId(v));
+            assert_ne!(as_ts.encode(), as_txn.encode(), "tag must disambiguate {v}");
+            assert_eq!(
+                BeginWord::decode(as_ts.encode()).as_timestamp(),
+                Some(Timestamp(v))
+            );
+            assert_eq!(BeginWord::decode(as_txn.encode()).as_txn(), Some(TxnId(v)));
+        }
+    }
+
+    #[test]
+    fn end_word_tag_flip_between_lock_and_timestamp() {
+        // Finalizing a version flips Lock → Timestamp; the raw words must
+        // land on opposite sides of the tag bit.
+        let locked = EndWord::write_locked(TxnId(5));
+        let finalized = EndWord::Timestamp(Timestamp(500));
+        assert!(!raw::is_timestamp(locked.encode()));
+        assert!(raw::is_timestamp(finalized.encode()));
+        assert_eq!(raw::infinity(), INFINITY_TS.0);
+        assert_eq!(raw::timestamp(Timestamp(500)), 500);
+        assert_eq!(EndWord::decode(raw::infinity()), EndWord::LATEST);
+    }
+
+    // ---- lock-word sub-field edge cases ----
+
+    #[test]
+    fn writer_id_zero_is_distinct_from_no_writer() {
+        // WriteLock sub-field: all-ones is the NO_WRITER sentinel; txn id 0
+        // is a real writer and must not collapse into it.
+        let with_zero = LockWord::write_locked(TxnId(0));
+        let without = LockWord::EMPTY;
+        assert_ne!(
+            EndWord::Lock(with_zero).encode(),
+            EndWord::Lock(without).encode()
+        );
+        assert_eq!(
+            EndWord::decode(EndWord::Lock(with_zero).encode()).writer(),
+            Some(TxnId(0))
+        );
+        assert_eq!(
+            EndWord::decode(EndWord::Lock(without).encode()).writer(),
+            None
+        );
+    }
+
+    #[test]
+    fn max_txn_id_writer_does_not_overflow_into_sentinel() {
+        // MAX_TXN_ID is the largest *encodable* writer; the all-ones value
+        // one above it is reserved as NO_WRITER.
+        let l = LockWord::write_locked(TxnId(MAX_TXN_ID));
+        let decoded = EndWord::decode(EndWord::Lock(l).encode());
+        assert_eq!(decoded.writer(), Some(TxnId(MAX_TXN_ID)));
+        assert_eq!(
+            MAX_TXN_ID + 1,
+            (1u64 << 54) - 1,
+            "sentinel sits directly above MAX_TXN_ID"
+        );
+    }
+
+    #[test]
+    fn saturated_reader_count_roundtrips_and_refuses_more() {
+        let l = LockWord {
+            no_more_read_locks: false,
+            read_lock_count: MAX_READ_LOCKS,
+            writer: None,
+        };
+        let decoded = EndWord::decode(EndWord::Lock(l).encode())
+            .as_lock()
+            .unwrap();
+        assert_eq!(decoded.read_lock_count, MAX_READ_LOCKS);
+        assert!(
+            decoded.with_extra_reader().is_none(),
+            "saturation must refuse reader 256"
+        );
+        // Releasing one reader reopens exactly one slot.
+        let released = decoded.with_reader_released();
+        assert_eq!(released.read_lock_count, MAX_READ_LOCKS - 1);
+        assert_eq!(
+            released.with_extra_reader().unwrap().read_lock_count,
+            MAX_READ_LOCKS
+        );
+    }
+
+    #[test]
+    fn reader_count_never_bleeds_into_adjacent_fields() {
+        // A full reader count with no flag and no writer must leave the
+        // NoMoreReadLocks bit clear and the writer sentinel intact.
+        let l = LockWord {
+            no_more_read_locks: false,
+            read_lock_count: u8::MAX,
+            writer: None,
+        };
+        let decoded = EndWord::decode(EndWord::Lock(l).encode())
+            .as_lock()
+            .unwrap();
+        assert!(!decoded.no_more_read_locks);
+        assert_eq!(decoded.writer, None);
+        // And the converse: flag + writer with zero readers.
+        let l = LockWord {
+            no_more_read_locks: true,
+            read_lock_count: 0,
+            writer: Some(TxnId(MAX_TXN_ID)),
+        };
+        let decoded = EndWord::decode(EndWord::Lock(l).encode())
+            .as_lock()
+            .unwrap();
+        assert!(decoded.no_more_read_locks);
+        assert_eq!(decoded.read_lock_count, 0);
+        assert_eq!(decoded.writer, Some(TxnId(MAX_TXN_ID)));
+    }
+
+    #[test]
+    fn no_more_read_locks_survives_reader_transitions() {
+        let l = LockWord {
+            no_more_read_locks: true,
+            read_lock_count: 3,
+            writer: Some(TxnId(9)),
+        };
+        let bumped = l.with_extra_reader().unwrap();
+        assert!(bumped.no_more_read_locks);
+        let released = bumped.with_reader_released().with_reader_released();
+        assert!(released.no_more_read_locks);
+        assert_eq!(released.writer, Some(TxnId(9)));
+        let relocked = released.with_writer(TxnId(11));
+        assert!(relocked.no_more_read_locks);
+        assert_eq!(relocked.writer, Some(TxnId(11)));
     }
 
     proptest! {

@@ -57,10 +57,15 @@ impl MvTransaction {
     }
 
     /// §4.3.1: when a transaction reaches the end of normal processing it
-    /// releases its read and bucket locks and then waits for its outstanding
-    /// wait-for dependencies before it may precommit.
+    /// waits for its outstanding wait-for dependencies before it may
+    /// precommit. Read and bucket locks are *not* released yet: they must be
+    /// held until the end timestamp is acquired so that any writer blocked on
+    /// them precommits strictly after us — otherwise a blocked writer could
+    /// draw an earlier end timestamp than the reader that delayed it, and
+    /// commit-timestamp order would no longer be a valid serialization order
+    /// (caught by the cross-engine differential tests). Cycles this wait can
+    /// form while locks are held are broken by the deadlock detector.
     fn end_normal_processing(&mut self) -> Result<()> {
-        self.release_locks();
         // No further incoming wait-for dependencies may be added: otherwise a
         // stream of new readers could postpone the precommit forever.
         self.handle.close_wait_fors();
@@ -185,9 +190,18 @@ impl MvTransaction {
         }
 
         // Step 2: precommit — acquire the end timestamp and enter Preparing.
+        // The pending marker makes the draw-then-publish pair observable as
+        // one atomic step: without it, a thread preempted between the two
+        // looks like a plain Active transaction while its timestamp is
+        // already ordered in the past (see `TxnHandle::begin_precommit`).
+        self.handle.begin_precommit();
         let end_ts = self.inner.store.clock().next_timestamp();
         self.handle.set_end_ts(end_ts);
         self.handle.set_state(TxnState::Preparing);
+        // Only now release read/bucket locks and outgoing wait-for
+        // dependencies: every transaction we delayed obtains an end timestamp
+        // later than ours, so its position in the serial order is after us.
+        self.release_locks();
         self.release_outgoing_wait_fors();
 
         // Step 3: validation (optimistic only; locks make it unnecessary for
@@ -262,8 +276,14 @@ impl MvTransaction {
         let mut ops = Vec::with_capacity(self.write_set.len());
         for entry in &self.write_set {
             match (&entry.new, entry.delete_key) {
-                (Some(new), _) => ops.push(LogOp::Write { table: entry.table, row: new.get().data().clone() }),
-                (None, Some(key)) => ops.push(LogOp::Delete { table: entry.table, key }),
+                (Some(new), _) => ops.push(LogOp::Write {
+                    table: entry.table,
+                    row: new.get().data().clone(),
+                }),
+                (None, Some(key)) => ops.push(LogOp::Delete {
+                    table: entry.table,
+                    key,
+                }),
                 (None, None) => {}
             }
         }

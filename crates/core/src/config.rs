@@ -48,12 +48,18 @@ impl Default for MvConfig {
 impl MvConfig {
     /// Configuration whose default transactions run the optimistic scheme.
     pub fn optimistic() -> Self {
-        MvConfig { default_mode: ConcurrencyMode::Optimistic, ..Default::default() }
+        MvConfig {
+            default_mode: ConcurrencyMode::Optimistic,
+            ..Default::default()
+        }
     }
 
     /// Configuration whose default transactions run the pessimistic scheme.
     pub fn pessimistic() -> Self {
-        MvConfig { default_mode: ConcurrencyMode::Pessimistic, ..Default::default() }
+        MvConfig {
+            default_mode: ConcurrencyMode::Pessimistic,
+            ..Default::default()
+        }
     }
 
     /// Builder-style override of the wait timeout.

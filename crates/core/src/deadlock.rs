@@ -97,7 +97,11 @@ impl WaitForGraph {
             on_stack: bool,
         }
 
-        let mut state: HashMap<TxnId, NodeState> = self.nodes.iter().map(|&n| (n, NodeState::default())).collect();
+        let mut state: HashMap<TxnId, NodeState> = self
+            .nodes
+            .iter()
+            .map(|&n| (n, NodeState::default()))
+            .collect();
         let mut index = 0usize;
         let mut stack: Vec<TxnId> = Vec::new();
         let mut sccs: Vec<Vec<TxnId>> = Vec::new();

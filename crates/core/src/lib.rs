@@ -66,7 +66,9 @@ mod tests {
             ConcurrencyMode::Pessimistic => MvEngine::pessimistic(MvConfig::default()),
         };
         let table = engine.create_table(TableSpec::keyed_u64("t", 256)).unwrap();
-        engine.populate(table, (0..100u64).map(|k| rowbuf::keyed_row(k, 16, 1))).unwrap();
+        engine
+            .populate(table, (0..100u64).map(|k| rowbuf::keyed_row(k, 16, 1)))
+            .unwrap();
         (engine, table)
     }
 
@@ -79,13 +81,30 @@ mod tests {
         for mode in both_modes() {
             let (engine, t) = engine(mode);
             let mut txn = engine.begin(IsolationLevel::Serializable);
-            assert_eq!(txn.read(t, IndexId(0), 5).unwrap().map(|r| rowbuf::fill_of(&r)), Some(1));
-            txn.update(t, IndexId(0), 5, rowbuf::keyed_row(5, 16, 99)).unwrap();
-            assert_eq!(txn.read(t, IndexId(0), 5).unwrap().map(|r| rowbuf::fill_of(&r)), Some(99));
+            assert_eq!(
+                txn.read(t, IndexId(0), 5)
+                    .unwrap()
+                    .map(|r| rowbuf::fill_of(&r)),
+                Some(1)
+            );
+            txn.update(t, IndexId(0), 5, rowbuf::keyed_row(5, 16, 99))
+                .unwrap();
+            assert_eq!(
+                txn.read(t, IndexId(0), 5)
+                    .unwrap()
+                    .map(|r| rowbuf::fill_of(&r)),
+                Some(99)
+            );
             txn.commit().unwrap();
 
             let mut check = engine.begin(IsolationLevel::ReadCommitted);
-            assert_eq!(check.read(t, IndexId(0), 5).unwrap().map(|r| rowbuf::fill_of(&r)), Some(99));
+            assert_eq!(
+                check
+                    .read(t, IndexId(0), 5)
+                    .unwrap()
+                    .map(|r| rowbuf::fill_of(&r)),
+                Some(99)
+            );
             check.commit().unwrap();
         }
     }
@@ -95,12 +114,19 @@ mod tests {
         for mode in both_modes() {
             let (engine, t) = engine(mode);
             let mut txn = engine.begin(IsolationLevel::Serializable);
-            txn.update(t, IndexId(0), 5, rowbuf::keyed_row(5, 16, 99)).unwrap();
+            txn.update(t, IndexId(0), 5, rowbuf::keyed_row(5, 16, 99))
+                .unwrap();
             txn.insert(t, rowbuf::keyed_row(1000, 16, 7)).unwrap();
             txn.abort();
 
             let mut check = engine.begin(IsolationLevel::ReadCommitted);
-            assert_eq!(check.read(t, IndexId(0), 5).unwrap().map(|r| rowbuf::fill_of(&r)), Some(1));
+            assert_eq!(
+                check
+                    .read(t, IndexId(0), 5)
+                    .unwrap()
+                    .map(|r| rowbuf::fill_of(&r)),
+                Some(1)
+            );
             assert!(check.read(t, IndexId(0), 1000).unwrap().is_none());
             check.commit().unwrap();
         }
@@ -115,7 +141,12 @@ mod tests {
             txn.commit().unwrap();
 
             let mut txn = engine.begin(IsolationLevel::ReadCommitted);
-            assert_eq!(txn.read(t, IndexId(0), 500).unwrap().map(|r| rowbuf::fill_of(&r)), Some(42));
+            assert_eq!(
+                txn.read(t, IndexId(0), 500)
+                    .unwrap()
+                    .map(|r| rowbuf::fill_of(&r)),
+                Some(42)
+            );
             assert!(txn.delete(t, IndexId(0), 500).unwrap());
             assert!(txn.read(t, IndexId(0), 500).unwrap().is_none());
             txn.commit().unwrap();
@@ -144,14 +175,27 @@ mod tests {
             let (engine, t) = engine(mode);
             let mut t1 = engine.begin(IsolationLevel::ReadCommitted);
             let mut t2 = engine.begin(IsolationLevel::ReadCommitted);
-            assert!(t1.update(t, IndexId(0), 10, rowbuf::keyed_row(10, 16, 2)).unwrap());
-            let err = t2.update(t, IndexId(0), 10, rowbuf::keyed_row(10, 16, 3)).unwrap_err();
-            assert!(matches!(err, MmdbError::WriteWriteConflict { .. }), "{mode:?}: {err:?}");
+            assert!(t1
+                .update(t, IndexId(0), 10, rowbuf::keyed_row(10, 16, 2))
+                .unwrap());
+            let err = t2
+                .update(t, IndexId(0), 10, rowbuf::keyed_row(10, 16, 3))
+                .unwrap_err();
+            assert!(
+                matches!(err, MmdbError::WriteWriteConflict { .. }),
+                "{mode:?}: {err:?}"
+            );
             t2.abort();
             t1.commit().unwrap();
 
             let mut check = engine.begin(IsolationLevel::ReadCommitted);
-            assert_eq!(check.read(t, IndexId(0), 10).unwrap().map(|r| rowbuf::fill_of(&r)), Some(2));
+            assert_eq!(
+                check
+                    .read(t, IndexId(0), 10)
+                    .unwrap()
+                    .map(|r| rowbuf::fill_of(&r)),
+                Some(2)
+            );
             check.commit().unwrap();
         }
     }
@@ -162,20 +206,39 @@ mod tests {
             let (engine, t) = engine(mode);
             let mut snapshot = engine.begin(IsolationLevel::SnapshotIsolation);
             // Touch the snapshot so its begin time is pinned by a read.
-            assert_eq!(snapshot.read(t, IndexId(0), 3).unwrap().map(|r| rowbuf::fill_of(&r)), Some(1));
+            assert_eq!(
+                snapshot
+                    .read(t, IndexId(0), 3)
+                    .unwrap()
+                    .map(|r| rowbuf::fill_of(&r)),
+                Some(1)
+            );
 
             // A later writer commits a change.
             let mut writer = engine.begin(IsolationLevel::ReadCommitted);
-            writer.update(t, IndexId(0), 3, rowbuf::keyed_row(3, 16, 77)).unwrap();
+            writer
+                .update(t, IndexId(0), 3, rowbuf::keyed_row(3, 16, 77))
+                .unwrap();
             writer.commit().unwrap();
 
             // The snapshot still sees the old value; a read-committed reader
             // sees the new one.
-            assert_eq!(snapshot.read(t, IndexId(0), 3).unwrap().map(|r| rowbuf::fill_of(&r)), Some(1));
+            assert_eq!(
+                snapshot
+                    .read(t, IndexId(0), 3)
+                    .unwrap()
+                    .map(|r| rowbuf::fill_of(&r)),
+                Some(1)
+            );
             snapshot.commit().unwrap();
 
             let mut rc = engine.begin(IsolationLevel::ReadCommitted);
-            assert_eq!(rc.read(t, IndexId(0), 3).unwrap().map(|r| rowbuf::fill_of(&r)), Some(77));
+            assert_eq!(
+                rc.read(t, IndexId(0), 3)
+                    .unwrap()
+                    .map(|r| rowbuf::fill_of(&r)),
+                Some(77)
+            );
             rc.commit().unwrap();
         }
     }
@@ -187,7 +250,9 @@ mod tests {
         assert!(reader.read(t, IndexId(0), 20).unwrap().is_some());
 
         let mut writer = engine.begin(IsolationLevel::ReadCommitted);
-        writer.update(t, IndexId(0), 20, rowbuf::keyed_row(20, 16, 9)).unwrap();
+        writer
+            .update(t, IndexId(0), 20, rowbuf::keyed_row(20, 16, 9))
+            .unwrap();
         writer.commit().unwrap();
 
         let err = reader.commit().unwrap_err();
@@ -218,8 +283,11 @@ mod tests {
         // The writer eagerly updates but must wait for the reader at commit.
         let engine2 = engine.clone();
         let writer_thread = std::thread::spawn(move || {
-            let mut writer = engine2.begin_with(ConcurrencyMode::Pessimistic, IsolationLevel::ReadCommitted);
-            writer.update(t, IndexId(0), 30, rowbuf::keyed_row(30, 16, 55)).unwrap();
+            let mut writer =
+                engine2.begin_with(ConcurrencyMode::Pessimistic, IsolationLevel::ReadCommitted);
+            writer
+                .update(t, IndexId(0), 30, rowbuf::keyed_row(30, 16, 55))
+                .unwrap();
             writer.commit()
         });
 
@@ -227,10 +295,19 @@ mod tests {
         std::thread::sleep(std::time::Duration::from_millis(50));
         reader.commit().unwrap();
         let commit_result = writer_thread.join().unwrap();
-        assert!(commit_result.is_ok(), "writer should commit after the read lock drains: {commit_result:?}");
+        assert!(
+            commit_result.is_ok(),
+            "writer should commit after the read lock drains: {commit_result:?}"
+        );
 
         let mut check = engine.begin(IsolationLevel::ReadCommitted);
-        assert_eq!(check.read(t, IndexId(0), 30).unwrap().map(|r| rowbuf::fill_of(&r)), Some(55));
+        assert_eq!(
+            check
+                .read(t, IndexId(0), 30)
+                .unwrap()
+                .map(|r| rowbuf::fill_of(&r)),
+            Some(55)
+        );
         check.commit().unwrap();
     }
 
@@ -239,14 +316,28 @@ mod tests {
         let (engine, t) = engine(ConcurrencyMode::Optimistic);
         let mut opt = engine.begin_with(ConcurrencyMode::Optimistic, IsolationLevel::Serializable);
         let mut pes = engine.begin_with(ConcurrencyMode::Pessimistic, IsolationLevel::Serializable);
-        opt.update(t, IndexId(0), 40, rowbuf::keyed_row(40, 16, 2)).unwrap();
-        pes.update(t, IndexId(0), 41, rowbuf::keyed_row(41, 16, 3)).unwrap();
+        opt.update(t, IndexId(0), 40, rowbuf::keyed_row(40, 16, 2))
+            .unwrap();
+        pes.update(t, IndexId(0), 41, rowbuf::keyed_row(41, 16, 3))
+            .unwrap();
         opt.commit().unwrap();
         pes.commit().unwrap();
 
         let mut check = engine.begin(IsolationLevel::ReadCommitted);
-        assert_eq!(check.read(t, IndexId(0), 40).unwrap().map(|r| rowbuf::fill_of(&r)), Some(2));
-        assert_eq!(check.read(t, IndexId(0), 41).unwrap().map(|r| rowbuf::fill_of(&r)), Some(3));
+        assert_eq!(
+            check
+                .read(t, IndexId(0), 40)
+                .unwrap()
+                .map(|r| rowbuf::fill_of(&r)),
+            Some(2)
+        );
+        assert_eq!(
+            check
+                .read(t, IndexId(0), 41)
+                .unwrap()
+                .map(|r| rowbuf::fill_of(&r)),
+            Some(3)
+        );
         check.commit().unwrap();
     }
 
@@ -257,7 +348,8 @@ mod tests {
         for round in 0..5u8 {
             let mut txn = engine.begin(IsolationLevel::ReadCommitted);
             for key in 0..20u64 {
-                txn.update(t, IndexId(0), key, rowbuf::keyed_row(key, 16, round + 2)).unwrap();
+                txn.update(t, IndexId(0), key, rowbuf::keyed_row(key, 16, round + 2))
+                    .unwrap();
             }
             txn.commit().unwrap();
         }
@@ -272,7 +364,13 @@ mod tests {
         // Data is intact after collection.
         let mut check = engine.begin(IsolationLevel::ReadCommitted);
         for key in 0..20u64 {
-            assert_eq!(check.read(t, IndexId(0), key).unwrap().map(|r| rowbuf::fill_of(&r)), Some(6));
+            assert_eq!(
+                check
+                    .read(t, IndexId(0), key)
+                    .unwrap()
+                    .map(|r| rowbuf::fill_of(&r)),
+                Some(6)
+            );
         }
         check.commit().unwrap();
     }
@@ -282,11 +380,18 @@ mod tests {
         let (engine, t) = engine(ConcurrencyMode::Optimistic);
         {
             let mut txn = engine.begin(IsolationLevel::ReadCommitted);
-            txn.update(t, IndexId(0), 50, rowbuf::keyed_row(50, 16, 123)).unwrap();
+            txn.update(t, IndexId(0), 50, rowbuf::keyed_row(50, 16, 123))
+                .unwrap();
             // Dropped without commit.
         }
         let mut check = engine.begin(IsolationLevel::ReadCommitted);
-        assert_eq!(check.read(t, IndexId(0), 50).unwrap().map(|r| rowbuf::fill_of(&r)), Some(1));
+        assert_eq!(
+            check
+                .read(t, IndexId(0), 50)
+                .unwrap()
+                .map(|r| rowbuf::fill_of(&r)),
+            Some(1)
+        );
         check.commit().unwrap();
         assert!(engine.stats().snapshot().aborts >= 1);
     }
@@ -296,7 +401,8 @@ mod tests {
         let (engine, t) = engine(ConcurrencyMode::Optimistic);
         let before = engine.stats().snapshot();
         let mut ok = engine.begin(IsolationLevel::ReadCommitted);
-        ok.update(t, IndexId(0), 60, rowbuf::keyed_row(60, 16, 2)).unwrap();
+        ok.update(t, IndexId(0), 60, rowbuf::keyed_row(60, 16, 2))
+            .unwrap();
         ok.commit().unwrap();
         let bad = engine.begin(IsolationLevel::ReadCommitted);
         bad.abort();

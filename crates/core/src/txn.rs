@@ -25,10 +25,10 @@ use mmdb_common::ids::{IndexId, Key, TableId, Timestamp, TxnId};
 use mmdb_common::isolation::{ConcurrencyMode, IsolationLevel};
 use mmdb_common::row::Row;
 use mmdb_common::stats::EngineStats;
-use mmdb_common::word::{EndWord, LockWord};
+use mmdb_common::word::{BeginWord, EndWord, LockWord};
 
 use mmdb_storage::table::{Table, VersionPtr};
-use mmdb_storage::txn_table::{DepRegistration, TxnHandle};
+use mmdb_storage::txn_table::{DepRegistration, TxnHandle, TxnState};
 use mmdb_storage::version::Version;
 
 use crate::engine::MvInner;
@@ -258,9 +258,9 @@ impl MvTransaction {
     /// catch the stale read later.
     pub(crate) fn acquire_read_lock(&mut self, version: &Version, ptr: VersionPtr) -> Result<()> {
         let outcome = version.update_end(|word| match word {
-            EndWord::Timestamp(ts) if ts.is_infinity() => {
-                Some(EndWord::Lock(LockWord::EMPTY.with_extra_reader().expect("0 < max")))
-            }
+            EndWord::Timestamp(ts) if ts.is_infinity() => Some(EndWord::Lock(
+                LockWord::EMPTY.with_extra_reader().expect("0 < max"),
+            )),
             // Superseded by a committed transaction after our visibility
             // check: signal "stop" and abort below.
             EndWord::Timestamp(_) => None,
@@ -363,6 +363,13 @@ impl MvTransaction {
     /// remembers it in our WaitingTxnList so our precommit releases it.
     /// Returns false if `target` no longer accepts wait-for dependencies.
     pub(crate) fn impose_wait_for_on(&mut self, target: TxnId) -> bool {
+        if self.handle.waiting_txns_contain(target) {
+            // Already delayed by us (e.g. it waits on our bucket lock, or a
+            // previous scan found the same pending version). One wait-for
+            // suffices, and re-registering could be refused spuriously once
+            // the target has closed its wait-fors for its own precommit wait.
+            return true;
+        }
         let Some(t) = self.inner.store.txns().get(target) else {
             // Target already terminated: nothing to delay.
             return true;
@@ -413,29 +420,78 @@ impl MvTransaction {
     // Write-lock installation and new-version linking
     // ------------------------------------------------------------------
 
-    /// Install our write lock on `version`, which the updatability check said
-    /// was updatable with End word `observed`. Preserves any read-lock bits
-    /// (both schemes honor read locks, §4.5). On success, if the version was
-    /// read-locked we take a wait-for dependency on it (eager update,
-    /// §4.2.1).
-    pub(crate) fn install_write_lock(&mut self, version: &Version, observed: EndWord) -> Result<()> {
+    /// Install our write lock on the version `ptr` points at, which the
+    /// updatability check said was updatable with End word `observed`.
+    /// Preserves any read-lock bits (both schemes honor read locks, §4.5).
+    ///
+    /// If we hold read locks on the version ourselves they are *upgraded*:
+    /// released immediately, because the write lock now guarantees the read's
+    /// stability (first-writer-wins — nobody else can supersede the version).
+    /// If other transactions still hold read locks after the upgrade, we take
+    /// a wait-for dependency: we cannot precommit until their locks drain,
+    /// and the last reader to release decrements our counter (§4.2.1).
+    pub(crate) fn install_write_lock(&mut self, ptr: VersionPtr, observed: EndWord) -> Result<()> {
+        let version = ptr.get();
         let new_word = match observed {
-            EndWord::Timestamp(ts) if ts.is_infinity() => EndWord::Lock(LockWord::write_locked(self.me())),
+            EndWord::Timestamp(ts) if ts.is_infinity() => {
+                EndWord::Lock(LockWord::write_locked(self.me()))
+            }
             EndWord::Lock(lock) => EndWord::Lock(lock.with_writer(self.me())),
             EndWord::Timestamp(_) => {
-                return Err(self.fail(MmdbError::WriteWriteConflict { txn: self.me(), holder: None }))
+                return Err(self.fail(MmdbError::WriteWriteConflict {
+                    txn: self.me(),
+                    holder: None,
+                }))
             }
         };
         if !version.cas_end(observed, new_word) {
             EngineStats::bump(&self.stats().write_conflicts);
-            return Err(self.fail(MmdbError::WriteWriteConflict { txn: self.me(), holder: version.write_locker() }));
+            return Err(self.fail(MmdbError::WriteWriteConflict {
+                txn: self.me(),
+                holder: version.write_locker(),
+            }));
         }
         if let EndWord::Lock(lock) = observed {
-            if lock.read_lock_count > 0 {
-                // Eager update of a read-locked version: we cannot precommit
-                // until the read locks drain. The last reader to release
-                // decrements our counter (§4.2.1).
+            let own = self.read_locks.iter().filter(|p| **p == ptr).count() as u8;
+            let others = lock.read_lock_count.saturating_sub(own);
+            if others > 0 {
+                // Eager update of a version read-locked by others: we cannot
+                // precommit until their locks drain. Register the wait-for
+                // *before* touching the lock word, so the decrement fired by
+                // the drain-to-zero transition (release_read_lock, which sees
+                // our writer bit after the CAS above) always pairs with this
+                // registration — registering afterwards can leave the counter
+                // permanently at -1 when the last reader drains in between,
+                // silently absorbing one future wait-for dependency.
                 self.self_wait_on_version();
+            }
+            if own > 0 {
+                // Upgrade: drop our own read locks — the write lock now
+                // guarantees the read's stability, and waiting on our own
+                // read lock would deadlock us with ourselves.
+                self.read_locks.retain(|p| *p != ptr);
+                for _ in 0..own {
+                    self.handle.forget_read_lock(ptr);
+                }
+                let removed = version.update_end(|word| match word {
+                    EndWord::Lock(l) if l.read_lock_count >= own => {
+                        let mut upgraded = l;
+                        upgraded.read_lock_count -= own;
+                        Some(EndWord::Lock(upgraded))
+                    }
+                    _ => None,
+                });
+                if others > 0 {
+                    if let Ok((_, after)) = removed {
+                        let left = after.as_lock().map(|l| l.read_lock_count).unwrap_or(0);
+                        if left == 0 {
+                            // Our own removal (not a reader's release) brought
+                            // the count to zero, so the drain-to-zero wake-up
+                            // never fires: undo the registration ourselves.
+                            self.handle.release_wait_for();
+                        }
+                    }
+                }
             }
         }
         Ok(())
@@ -466,7 +522,11 @@ impl MvTransaction {
         }
         match self.handle.mode() {
             ConcurrencyMode::Optimistic => {
-                let entry = ScanEntry { table: table.id(), index, key };
+                let entry = ScanEntry {
+                    table: table.id(),
+                    index,
+                    key,
+                };
                 if !self.scan_set.contains(&entry) {
                     self.scan_set.push(entry);
                 }
@@ -474,7 +534,11 @@ impl MvTransaction {
             ConcurrencyMode::Pessimistic => {
                 let bucket = table.bucket_of(index, key)?;
                 if table.bucket_locks(index)?.lock(bucket, self.me()) {
-                    self.bucket_locks.push(BucketLockRef { table: table.id(), index, bucket });
+                    self.bucket_locks.push(BucketLockRef {
+                        table: table.id(),
+                        index,
+                        bucket,
+                    });
                 }
             }
         }
@@ -511,22 +575,27 @@ impl MvTransaction {
             .map(|v| VersionPtr::from_shared(crossbeam::epoch::Shared::from(v as *const Version)))
             .collect();
 
-        for ptr in candidates {
+        for &ptr in &candidates {
             let version = ptr.get();
             let vis = check_visibility(version, rt, self.me(), self.inner.store.txns());
 
             if !vis.visible
                 && mode == ConcurrencyMode::Pessimistic
                 && iso.requires_phantom_protection()
+                && vis.dependency.is_none()
             {
-                // §4.3.1: an invisible version write-locked by a still-active
-                // transaction is a potential phantom; delay that updater's
-                // precommit until we are done.
-                if let Some(writer) = version.end_word().writer() {
-                    if writer != self.me() && vis.dependency.is_none() {
-                        if !self.impose_wait_for_on(writer) {
-                            return Err(self.fail(MmdbError::WaitForRefused));
-                        }
+                // §4.3.1: an invisible version owned by a still-active
+                // transaction is a potential phantom — whether it is being
+                // *deleted/updated* (transaction ID in the End field) or being
+                // *created* (transaction ID in the Begin field). Delay that
+                // transaction's precommit until we are done, so it serializes
+                // after us and our scan result stays exact at our end
+                // timestamp.
+                let end_writer = version.end_word().writer();
+                let begin_creator = version.begin_word().as_txn();
+                for owner in [end_writer, begin_creator].into_iter().flatten() {
+                    if owner != self.me() && !self.impose_wait_for_on(owner) {
+                        return Err(self.fail(MmdbError::WaitForRefused));
                     }
                 }
             }
@@ -569,30 +638,74 @@ impl MvTransaction {
         index: IndexId,
         key: Key,
     ) -> Result<Option<VersionPtr>> {
-        // Updates never read-lock the target (the write lock supersedes it)
-        // and never register the lookup as a scan for phantom purposes; the
-        // write itself is what must be protected. We therefore do a bare
-        // visibility pass here instead of reusing `scan_visible`.
+        // Updates never read-lock the target (the write lock supersedes it).
+        // A lookup that *finds* its row needs no phantom protection either —
+        // the write lock keeps that row stable. Only a *miss* is
+        // phantom-sensitive: "key absent" is an observation a serializable
+        // transaction relies on, so on a miss we register the lookup
+        // (optimistic ScanSet / pessimistic bucket lock) and look again under
+        // that protection. Registering unconditionally would make every pair
+        // of same-bucket serializable updaters delay each other's precommit
+        // for no reason (each waits on the other's bucket lock), turning
+        // routine disjoint-key updates into deadlock-victim aborts.
         self.ensure_open()?;
         let table = self.inner.store.table(table_id)?;
         let rt = self.read_time();
-        let guard = epoch::pin();
-        let candidates: Vec<VersionPtr> = table
-            .candidates(index, key, &guard)?
-            .map(|v| VersionPtr::from_shared(crossbeam::epoch::Shared::from(v as *const Version)))
-            .collect();
-        for ptr in candidates {
-            let version = ptr.get();
-            let vis = check_visibility(version, rt, self.me(), self.inner.store.txns());
-            if self.resolve_visibility(version, vis, rt)? {
-                return Ok(Some(ptr));
+        let iso = self.handle.isolation();
+        let mode = self.handle.mode();
+        let mut registered = false;
+        loop {
+            // Candidates are re-collected each pass: a version may have been
+            // linked between the unprotected miss and the protected retry.
+            let guard = epoch::pin();
+            let candidates: Vec<VersionPtr> = table
+                .candidates(index, key, &guard)?
+                .map(|v| {
+                    VersionPtr::from_shared(crossbeam::epoch::Shared::from(v as *const Version))
+                })
+                .collect();
+            for ptr in candidates {
+                let version = ptr.get();
+                let vis = check_visibility(version, rt, self.me(), self.inner.store.txns());
+                if registered
+                    && !vis.visible
+                    && mode == ConcurrencyMode::Pessimistic
+                    && iso.requires_phantom_protection()
+                    && vis.dependency.is_none()
+                {
+                    // Same potential-phantom rule as in `scan_visible`: an
+                    // invisible version owned by a live transaction (pending
+                    // insert of this key, or a pending delete whose abort
+                    // would resurrect it) must serialize after our "not
+                    // found" observation.
+                    let end_writer = version.end_word().writer();
+                    let begin_creator = version.begin_word().as_txn();
+                    for owner in [end_writer, begin_creator].into_iter().flatten() {
+                        if owner != self.me() && !self.impose_wait_for_on(owner) {
+                            return Err(self.fail(MmdbError::WaitForRefused));
+                        }
+                    }
+                }
+                if self.resolve_visibility(version, vis, rt)? {
+                    return Ok(Some(ptr));
+                }
             }
+            if registered || !iso.requires_phantom_protection() {
+                return Ok(None);
+            }
+            self.register_scan(&table, index, key)?;
+            registered = true;
         }
-        Ok(None)
     }
 
     /// Create, register and link a new version carrying `row`.
-    fn add_new_version(&mut self, table: &Table, row: Row, old: Option<VersionPtr>, delete_key: Option<Key>) -> Result<VersionPtr> {
+    fn add_new_version(
+        &mut self,
+        table: &Table,
+        row: Row,
+        old: Option<VersionPtr>,
+        delete_key: Option<Key>,
+    ) -> Result<VersionPtr> {
         let keys = table.keys_of(&row)?;
         // Respect bucket locks before the version becomes reachable.
         self.honor_bucket_locks(table, &keys)?;
@@ -600,7 +713,12 @@ impl MvTransaction {
         let guard = epoch::pin();
         let ptr = table.link_version(owned, &guard);
         EngineStats::bump(&self.stats().versions_created);
-        self.write_set.push(WriteEntry { table: table.id(), old, new: Some(ptr), delete_key });
+        self.write_set.push(WriteEntry {
+            table: table.id(),
+            old,
+            new: Some(ptr),
+            delete_key,
+        });
         Ok(ptr)
     }
 
@@ -615,13 +733,126 @@ impl MvTransaction {
             }
             let candidates: Vec<VersionPtr> = table
                 .candidates(index, *key, &guard)?
-                .map(|v| VersionPtr::from_shared(crossbeam::epoch::Shared::from(v as *const Version)))
+                .map(|v| {
+                    VersionPtr::from_shared(crossbeam::epoch::Shared::from(v as *const Version))
+                })
                 .collect();
             for ptr in candidates {
                 let version = ptr.get();
                 let vis = check_visibility(version, rt, self.me(), self.inner.store.txns());
                 if self.resolve_visibility(version, vis, rt)? {
-                    return Err(MmdbError::DuplicateKey { table: table.id(), index });
+                    // A committed (or committing) duplicate: the constraint
+                    // violation is real and permanent.
+                    return Err(MmdbError::DuplicateKey {
+                        table: table.id(),
+                        index,
+                    });
+                }
+                if let Some(holder) = self.pending_unique_conflict(version) {
+                    // A racing inserter that has not committed yet: the
+                    // outcome is unresolved (it may still abort), so report a
+                    // retryable conflict rather than a permanent duplicate.
+                    EngineStats::bump(&self.stats().write_conflicts);
+                    return Err(self.fail(MmdbError::WriteWriteConflict {
+                        txn: self.me(),
+                        holder: Some(holder),
+                    }));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Does this same-key version — though not visible to us — doom our
+    /// insert under uniqueness? Returns the creator when the version is being
+    /// inserted by another live transaction: unless that transaction aborts,
+    /// its version becomes a committed duplicate, so the first inserter wins
+    /// and we must not proceed (a visibility-only check would let two
+    /// concurrent inserters of one key both commit, which the differential
+    /// tests catch as a non-serializable outcome).
+    fn pending_unique_conflict(&self, version: &Version) -> Option<TxnId> {
+        let mut rereads = 0;
+        loop {
+            match version.begin_word() {
+                // Our own (the caller filters what it wants before this) or a
+                // committed / aborted version: visibility already judged it.
+                BeginWord::Timestamp(_) => return None,
+                BeginWord::Txn(tb) if tb == self.me() => return None,
+                BeginWord::Txn(tb) => match self.inner.store.txns().get(tb) {
+                    Some(h) => {
+                        return (!matches!(h.state(), TxnState::Aborted | TxnState::Terminated))
+                            .then_some(tb)
+                    }
+                    None => {
+                        // Terminated and removed: the Begin field is being
+                        // finalized — re-read it.
+                        rereads += 1;
+                        if rereads > 64 {
+                            return None;
+                        }
+                        std::hint::spin_loop();
+                    }
+                },
+            }
+        }
+    }
+
+    /// Re-verify uniqueness after our new version is linked. Two inserters
+    /// of the same key can both pass `check_unique` before either version is
+    /// reachable; once both are linked, at least one of them is guaranteed to
+    /// observe the other here (bucket chains are published with
+    /// acquire/release ordering) and gives way. When both observe each other,
+    /// both abort with a *retryable* conflict — safe, and a retry of either
+    /// resolves the race.
+    fn verify_unique_after_link(
+        &mut self,
+        table: &Table,
+        keys: &[Key],
+        mine: VersionPtr,
+    ) -> Result<()> {
+        let rt = self.inner.store.clock().now();
+        let guard = epoch::pin();
+        for (slot, key) in keys.iter().enumerate() {
+            let index = IndexId(slot as u32);
+            if !table.is_unique(index)? {
+                continue;
+            }
+            let candidates: Vec<VersionPtr> = table
+                .candidates(index, *key, &guard)?
+                .map(|v| {
+                    VersionPtr::from_shared(crossbeam::epoch::Shared::from(v as *const Version))
+                })
+                .collect();
+            for ptr in candidates {
+                if ptr == mine {
+                    continue;
+                }
+                let version = ptr.get();
+                // Versions we superseded or deleted ourselves are expected.
+                if version.end_word().writer() == Some(self.me()) {
+                    continue;
+                }
+                let vis = check_visibility(version, rt, self.me(), self.inner.store.txns());
+                if vis.visible && vis.dependency.is_none() {
+                    // A duplicate committed between our check and our link.
+                    EngineStats::bump(&self.stats().write_conflicts);
+                    return Err(self.fail(MmdbError::DuplicateKey {
+                        table: table.id(),
+                        index,
+                    }));
+                }
+                if let Some(holder) = self.pending_unique_conflict(version) {
+                    // A racing inserter: both of us may land here and both
+                    // give way (symmetric, safe — no tie-break can let one
+                    // side proceed soundly, because the winner may already
+                    // have passed its own re-verification without seeing us).
+                    // The conflict is retryable: no version of the key has
+                    // committed.
+                    EngineStats::bump(&self.stats().write_conflicts);
+                    return Err(self.fail(MmdbError::WriteWriteConflict {
+                        txn: self.me(),
+                        holder: Some(holder),
+                    }));
                 }
             }
         }
@@ -643,19 +874,36 @@ impl EngineTxn for MvTransaction {
         let table = self.inner.store.table(table_id)?;
         let keys = table.keys_of(&row)?;
         self.check_unique(&table, &keys)?;
-        self.add_new_version(&table, row, None, None)?;
+        let new_ptr = self.add_new_version(&table, row, None, None)?;
+        // Close the check-then-link race between concurrent inserters of the
+        // same key: now that our version is reachable, look again.
+        self.verify_unique_after_link(&table, &keys, new_ptr)?;
         Ok(())
     }
 
     fn read(&mut self, table: TableId, index: IndexId, key: Key) -> Result<Option<Row>> {
-        Ok(self.scan_visible(table, index, key, true)?.into_iter().map(|(_, row)| row).next())
+        Ok(self
+            .scan_visible(table, index, key, true)?
+            .into_iter()
+            .map(|(_, row)| row)
+            .next())
     }
 
     fn scan_key(&mut self, table: TableId, index: IndexId, key: Key) -> Result<Vec<Row>> {
-        Ok(self.scan_visible(table, index, key, false)?.into_iter().map(|(_, row)| row).collect())
+        Ok(self
+            .scan_visible(table, index, key, false)?
+            .into_iter()
+            .map(|(_, row)| row)
+            .collect())
     }
 
-    fn update(&mut self, table_id: TableId, index: IndexId, key: Key, new_row: Row) -> Result<bool> {
+    fn update(
+        &mut self,
+        table_id: TableId,
+        index: IndexId,
+        key: Key,
+        new_row: Row,
+    ) -> Result<bool> {
         self.ensure_open()?;
         let table = self.inner.store.table(table_id)?;
         let Some(old_ptr) = self.find_update_target(table_id, index, key)? else {
@@ -665,11 +913,14 @@ impl EngineTxn for MvTransaction {
         // §2.6 / §3.1 "Check updatability" then "Update version".
         match check_updatable(old, self.me(), self.inner.store.txns()) {
             Updatability::Updatable { observed } => {
-                self.install_write_lock(old, observed)?;
+                self.install_write_lock(old_ptr, observed)?;
             }
             Updatability::Conflict { holder } => {
                 EngineStats::bump(&self.stats().write_conflicts);
-                return Err(self.fail(MmdbError::WriteWriteConflict { txn: self.me(), holder }));
+                return Err(self.fail(MmdbError::WriteWriteConflict {
+                    txn: self.me(),
+                    holder,
+                }));
             }
         }
         self.add_new_version(&table, new_row, Some(old_ptr), None)?;
@@ -685,15 +936,23 @@ impl EngineTxn for MvTransaction {
         let old = old_ptr.get();
         match check_updatable(old, self.me(), self.inner.store.txns()) {
             Updatability::Updatable { observed } => {
-                self.install_write_lock(old, observed)?;
+                self.install_write_lock(old_ptr, observed)?;
             }
             Updatability::Conflict { holder } => {
                 EngineStats::bump(&self.stats().write_conflicts);
-                return Err(self.fail(MmdbError::WriteWriteConflict { txn: self.me(), holder }));
+                return Err(self.fail(MmdbError::WriteWriteConflict {
+                    txn: self.me(),
+                    holder,
+                }));
             }
         }
         let delete_key = table.key_of(IndexId(0), old.data())?;
-        self.write_set.push(WriteEntry { table: table.id(), old: Some(old_ptr), new: None, delete_key: Some(delete_key) });
+        self.write_set.push(WriteEntry {
+            table: table.id(),
+            old: Some(old_ptr),
+            new: None,
+            delete_key: Some(delete_key),
+        });
         Ok(true)
     }
 

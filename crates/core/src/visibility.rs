@@ -11,7 +11,7 @@
 use mmdb_common::ids::{Timestamp, TxnId};
 use mmdb_common::word::{BeginWord, EndWord};
 
-use mmdb_storage::txn_table::{TxnState, TxnTable};
+use mmdb_storage::txn_table::{EndTs, TxnState, TxnTable};
 use mmdb_storage::version::Version;
 
 /// Outcome of a visibility test.
@@ -26,11 +26,20 @@ pub struct Visibility {
 }
 
 impl Visibility {
-    const VISIBLE: Visibility = Visibility { visible: true, dependency: None };
-    const INVISIBLE: Visibility = Visibility { visible: false, dependency: None };
+    const VISIBLE: Visibility = Visibility {
+        visible: true,
+        dependency: None,
+    };
+    const INVISIBLE: Visibility = Visibility {
+        visible: false,
+        dependency: None,
+    };
 
     fn speculative(visible: bool, dep: TxnId) -> Visibility {
-        Visibility { visible, dependency: Some(dep) }
+        Visibility {
+            visible,
+            dependency: Some(dep),
+        }
     }
 }
 
@@ -101,9 +110,28 @@ pub fn check_visibility(
                 Some(tb_handle) => {
                     let (state, end) = tb_handle.state_and_end();
                     match state {
-                        TxnState::Active => return Visibility::INVISIBLE,
-                        TxnState::Preparing => {
-                            let Some(ts) = end else { continue };
+                        // Plain Active (no end timestamp drawn, none pending):
+                        // TB's writes are simply uncommitted.
+                        TxnState::Active if end == EndTs::None => return Visibility::INVISIBLE,
+                        // A transaction whose end timestamp is drawn (or being
+                        // drawn right now) is logically preparing even if its
+                        // state still reads Active: `do_commit` publishes the
+                        // timestamp and flips the state in separate stores,
+                        // and a preemption can stretch that window
+                        // arbitrarily. Treating it as plain Active made
+                        // committed-any-moment versions invisible while their
+                        // superseded predecessors were already finalized —
+                        // reads of permanently-present keys transiently
+                        // returned nothing (caught by the concurrency stress
+                        // tests).
+                        TxnState::Active | TxnState::Preparing => {
+                            let EndTs::At(ts) = end else {
+                                // Pending (or Preparing published out of
+                                // order): the timestamp appears within a few
+                                // instructions — re-read.
+                                std::hint::spin_loop();
+                                continue;
+                            };
                             if ts > rt {
                                 return Visibility::INVISIBLE;
                             }
@@ -113,7 +141,10 @@ pub fn check_visibility(
                             break;
                         }
                         TxnState::Committed => {
-                            let Some(ts) = end else { continue };
+                            let EndTs::At(ts) = end else {
+                                std::hint::spin_loop();
+                                continue;
+                            };
                             if ts > rt {
                                 return Visibility::INVISIBLE;
                             }
@@ -139,7 +170,10 @@ pub fn check_visibility(
         match version.end_word() {
             EndWord::Timestamp(ets) => {
                 return if rt < ets {
-                    Visibility { visible: true, dependency: begin_dep }
+                    Visibility {
+                        visible: true,
+                        dependency: begin_dep,
+                    }
                 } else {
                     Visibility::INVISIBLE
                 };
@@ -147,7 +181,10 @@ pub fn check_visibility(
             EndWord::Lock(lock) => {
                 let Some(te) = lock.writer else {
                     // Read locks only — the version is still the latest.
-                    return Visibility { visible: true, dependency: begin_dep };
+                    return Visibility {
+                        visible: true,
+                        dependency: begin_dep,
+                    };
                 };
                 if te == me {
                     // I superseded or deleted this version myself; my reads
@@ -158,7 +195,10 @@ pub fn check_visibility(
                     None => {
                         rereads += 1;
                         if rereads > MAX_REREADS {
-                            return Visibility { visible: true, dependency: begin_dep };
+                            return Visibility {
+                                visible: true,
+                                dependency: begin_dep,
+                            };
                         }
                         std::hint::spin_loop();
                         continue;
@@ -166,36 +206,62 @@ pub fn check_visibility(
                     Some(te_handle) => {
                         let (state, end) = te_handle.state_and_end();
                         match state {
-                            // TE's update is uncommitted: V is still the
-                            // latest committed version, hence visible.
-                            TxnState::Active => {
-                                return Visibility { visible: true, dependency: begin_dep }
+                            // TE's update is uncommitted and TE has not yet
+                            // precommitted: V is still the latest committed
+                            // version, hence visible.
+                            TxnState::Active if end == EndTs::None => {
+                                return Visibility {
+                                    visible: true,
+                                    dependency: begin_dep,
+                                }
                             }
-                            TxnState::Preparing => {
-                                let Some(ts) = end else { continue };
+                            // An end timestamp (drawn or being drawn) means TE
+                            // is logically preparing even while its state
+                            // still reads Active (see the Begin-field twin of
+                            // this arm above).
+                            TxnState::Active | TxnState::Preparing => {
+                                let EndTs::At(ts) = end else {
+                                    std::hint::spin_loop();
+                                    continue;
+                                };
                                 if ts > rt {
                                     // Whatever TE does, V remains visible at rt.
-                                    return Visibility { visible: true, dependency: begin_dep };
+                                    return Visibility {
+                                        visible: true,
+                                        dependency: begin_dep,
+                                    };
                                 }
                                 // TS < RT: if TE commits V is invisible; if TE
                                 // aborts it stays visible. Speculatively ignore.
                                 return Visibility::speculative(false, te);
                             }
                             TxnState::Committed => {
-                                let Some(ts) = end else { continue };
+                                let EndTs::At(ts) = end else {
+                                    std::hint::spin_loop();
+                                    continue;
+                                };
                                 return if rt < ts {
-                                    Visibility { visible: true, dependency: begin_dep }
+                                    Visibility {
+                                        visible: true,
+                                        dependency: begin_dep,
+                                    }
                                 } else {
                                     Visibility::INVISIBLE
                                 };
                             }
                             TxnState::Aborted => {
-                                return Visibility { visible: true, dependency: begin_dep }
+                                return Visibility {
+                                    visible: true,
+                                    dependency: begin_dep,
+                                }
                             }
                             TxnState::Terminated => {
                                 rereads += 1;
                                 if rereads > MAX_REREADS {
-                                    return Visibility { visible: true, dependency: begin_dep };
+                                    return Visibility {
+                                        visible: true,
+                                        dependency: begin_dep,
+                                    };
                                 }
                                 continue;
                             }
@@ -229,7 +295,9 @@ pub fn check_updatable(version: &Version, me: TxnId, txns: &TxnTable) -> Updatab
                     // the caller should be operating on its own newer version
                     // instead; report a conflict to keep first-writer-wins
                     // semantics simple.
-                    return Updatability::Conflict { holder: Some(holder) };
+                    return Updatability::Conflict {
+                        holder: Some(holder),
+                    };
                 }
                 Some(holder) => match txns.get(holder) {
                     // The holder aborted: the version is still the latest
@@ -237,13 +305,19 @@ pub fn check_updatable(version: &Version, me: TxnId, txns: &TxnTable) -> Updatab
                     Some(h) if h.state() == TxnState::Aborted => {
                         return Updatability::Updatable { observed }
                     }
-                    Some(_) => return Updatability::Conflict { holder: Some(holder) },
+                    Some(_) => {
+                        return Updatability::Conflict {
+                            holder: Some(holder),
+                        }
+                    }
                     None => {
                         // Holder terminated: it finalized the End field
                         // (commit) or reset it (abort) — re-read.
                         rereads += 1;
                         if rereads > MAX_REREADS {
-                            return Updatability::Conflict { holder: Some(holder) };
+                            return Updatability::Conflict {
+                                holder: Some(holder),
+                            };
                         }
                         std::hint::spin_loop();
                         continue;
@@ -272,7 +346,12 @@ mod tests {
     }
 
     fn register(txns: &TxnTable, id: u64, begin: u64, state: TxnState, end: Option<u64>) {
-        let h = TxnHandle::new(TxnId(id), Timestamp(begin), ConcurrencyMode::Optimistic, IsolationLevel::Serializable);
+        let h = TxnHandle::new(
+            TxnId(id),
+            Timestamp(begin),
+            ConcurrencyMode::Optimistic,
+            IsolationLevel::Serializable,
+        );
         if let Some(e) = end {
             h.set_end_ts(Timestamp(e));
         }
@@ -321,7 +400,7 @@ mod tests {
     }
 
     #[test]
-    fn begin_id_of_preparing_txn_is_speculative(){
+    fn begin_id_of_preparing_txn_is_speculative() {
         let txns = TxnTable::new();
         register(&txns, 9, 50, TxnState::Preparing, Some(60));
         let v = Version::new(TxnId(9), rowbuf::keyed_row(1, 16, 0), vec![1]);
@@ -343,7 +422,10 @@ mod tests {
         assert!(check_visibility(&v, Timestamp(61), ME, &txns).visible);
         assert!(!check_visibility(&v, Timestamp(59), ME, &txns).visible);
         // No dependency: the outcome is certain.
-        assert_eq!(check_visibility(&v, Timestamp(61), ME, &txns).dependency, None);
+        assert_eq!(
+            check_visibility(&v, Timestamp(61), ME, &txns).dependency,
+            None
+        );
     }
 
     #[test]
@@ -403,24 +485,41 @@ mod tests {
         let txns = TxnTable::new();
         // Latest (infinity): updatable.
         let v = committed_version(10, None);
-        assert!(matches!(check_updatable(&v, ME, &txns), Updatability::Updatable { .. }));
+        assert!(matches!(
+            check_updatable(&v, ME, &txns),
+            Updatability::Updatable { .. }
+        ));
         // Superseded by a committed version: conflict.
         let v = committed_version(10, Some(20));
-        assert!(matches!(check_updatable(&v, ME, &txns), Updatability::Conflict { .. }));
+        assert!(matches!(
+            check_updatable(&v, ME, &txns),
+            Updatability::Conflict { .. }
+        ));
         // Write-locked by an active transaction: conflict identifying the holder.
         register(&txns, 9, 50, TxnState::Active, None);
         let v = committed_version(10, None);
         v.set_end(EndWord::write_locked(TxnId(9)));
-        assert_eq!(check_updatable(&v, ME, &txns), Updatability::Conflict { holder: Some(TxnId(9)) });
+        assert_eq!(
+            check_updatable(&v, ME, &txns),
+            Updatability::Conflict {
+                holder: Some(TxnId(9))
+            }
+        );
         // Write-locked by an aborted transaction: updatable again.
         register(&txns, 11, 50, TxnState::Aborted, None);
         let v = committed_version(10, None);
         v.set_end(EndWord::write_locked(TxnId(11)));
-        assert!(matches!(check_updatable(&v, ME, &txns), Updatability::Updatable { .. }));
+        assert!(matches!(
+            check_updatable(&v, ME, &txns),
+            Updatability::Updatable { .. }
+        ));
         // Read-locked only: updatable (eager update).
         let v = committed_version(10, None);
         v.set_end(EndWord::Lock(LockWord::EMPTY.with_extra_reader().unwrap()));
-        assert!(matches!(check_updatable(&v, ME, &txns), Updatability::Updatable { .. }));
+        assert!(matches!(
+            check_updatable(&v, ME, &txns),
+            Updatability::Updatable { .. }
+        ));
     }
 
     #[test]
@@ -428,5 +527,298 @@ mod tests {
         let txns = TxnTable::new();
         let v = committed_version(INFINITY_TS.raw(), None);
         assert!(!check_visibility(&v, Timestamp(u64::MAX >> 2), ME, &txns).visible);
+    }
+
+    // -----------------------------------------------------------------
+    // Table 1, row by row: the Begin field holds value B; the reading
+    // transaction T checks visibility at read time RT.
+    // -----------------------------------------------------------------
+
+    /// Table 1 row 1 — B is a timestamp: V is visible iff B ≤ RT (End field
+    /// permitting). Boundary: equality counts as visible.
+    #[test]
+    fn table1_begin_timestamp_boundaries() {
+        let txns = TxnTable::new();
+        let v = committed_version(10, None);
+        assert!(!check_visibility(&v, Timestamp(9), ME, &txns).visible);
+        assert!(
+            check_visibility(&v, Timestamp(10), ME, &txns).visible,
+            "B == RT is visible"
+        );
+        assert!(check_visibility(&v, Timestamp(11), ME, &txns).visible);
+    }
+
+    /// Table 1 row 2 — B holds the ID of transaction TB and TB is Active and
+    /// TB == T: visible only if the End field is infinity (T's own latest
+    /// write); invisible once T superseded it itself.
+    #[test]
+    fn table1_begin_own_active_txn() {
+        let txns = TxnTable::new();
+        let own = Version::new(ME, rowbuf::keyed_row(1, 16, 0), vec![1]);
+        assert!(check_visibility(&own, Timestamp(1), ME, &txns).visible);
+        let superseded = Version::new(ME, rowbuf::keyed_row(1, 16, 0), vec![1]);
+        superseded.set_end(EndWord::write_locked(ME));
+        assert!(!check_visibility(&superseded, Timestamp(1), ME, &txns).visible);
+    }
+
+    /// Table 1 row 3 — TB is Active and TB ≠ T: never visible, regardless of
+    /// read time.
+    #[test]
+    fn table1_begin_other_active_txn() {
+        let txns = TxnTable::new();
+        register(&txns, 9, 50, TxnState::Active, None);
+        let v = Version::new(TxnId(9), rowbuf::keyed_row(1, 16, 0), vec![1]);
+        assert!(!check_visibility(&v, Timestamp(u64::MAX >> 2), ME, &txns).visible);
+    }
+
+    /// Table 1 row 4 — TB is Preparing with end timestamp TS: if TS ≤ RT the
+    /// version is *speculatively* visible (commit dependency on TB); if
+    /// TS > RT it is plainly invisible. Covered value-by-value in
+    /// `begin_id_of_preparing_txn_is_speculative`; here the TS == RT boundary.
+    #[test]
+    fn table1_begin_preparing_boundary() {
+        let txns = TxnTable::new();
+        register(&txns, 9, 50, TxnState::Preparing, Some(60));
+        let v = Version::new(TxnId(9), rowbuf::keyed_row(1, 16, 0), vec![1]);
+        let vis = check_visibility(&v, Timestamp(60), ME, &txns);
+        assert!(vis.visible, "TS == RT: speculatively visible");
+        assert_eq!(vis.dependency, Some(TxnId(9)));
+    }
+
+    /// Table 1 row 5 — TB is Committed with end timestamp TS: treated as if B
+    /// were the timestamp TS (visible iff TS ≤ RT), with no dependency.
+    #[test]
+    fn table1_begin_committed_boundary() {
+        let txns = TxnTable::new();
+        register(&txns, 9, 50, TxnState::Committed, Some(60));
+        let v = Version::new(TxnId(9), rowbuf::keyed_row(1, 16, 0), vec![1]);
+        let at_ts = check_visibility(&v, Timestamp(60), ME, &txns);
+        assert!(at_ts.visible, "TS == RT is visible");
+        assert_eq!(at_ts.dependency, None);
+        assert!(!check_visibility(&v, Timestamp(59), ME, &txns).visible);
+    }
+
+    /// Table 1 row 6 — TB is Aborted: the version is garbage, never visible.
+    /// (Covered by `begin_id_of_aborted_txn_is_garbage`; restated here for
+    /// the table audit.)
+    #[test]
+    fn table1_begin_aborted() {
+        let txns = TxnTable::new();
+        register(&txns, 9, 50, TxnState::Aborted, Some(60));
+        let v = Version::new(TxnId(9), rowbuf::keyed_row(1, 16, 0), vec![1]);
+        assert!(!check_visibility(&v, Timestamp(1_000), ME, &txns).visible);
+    }
+
+    /// Table 1 row 7 — TB is Terminated (or gone from the transaction
+    /// table): TB has finalized the Begin field, so the checker re-reads it.
+    /// When the field genuinely never changes (stale ID), the checker gives
+    /// up after bounded re-reads and reports invisible rather than spinning.
+    #[test]
+    fn table1_begin_terminated_rereads_then_fails_closed() {
+        let txns = TxnTable::new();
+        let v = Version::new(TxnId(424_242), rowbuf::keyed_row(1, 16, 0), vec![1]);
+        assert!(!check_visibility(&v, Timestamp(1_000), ME, &txns).visible);
+    }
+
+    // -----------------------------------------------------------------
+    // Table 2, row by row: the End field holds value E.
+    // -----------------------------------------------------------------
+
+    /// Table 2 row 1 — E is a timestamp: V is visible iff RT < E. Boundary:
+    /// RT == E is invisible (the superseding version takes over at E), and
+    /// E = infinity means "still latest".
+    #[test]
+    fn table2_end_timestamp_boundaries() {
+        let txns = TxnTable::new();
+        let v = committed_version(10, Some(20));
+        assert!(check_visibility(&v, Timestamp(19), ME, &txns).visible);
+        assert!(
+            !check_visibility(&v, Timestamp(20), ME, &txns).visible,
+            "RT == E is invisible"
+        );
+        let latest = committed_version(10, None);
+        assert!(check_visibility(&latest, Timestamp(u64::MAX >> 2), ME, &txns).visible);
+    }
+
+    /// Table 2 row 2 — E holds the ID of transaction TE and TE == T: T
+    /// superseded or deleted V itself, so V is invisible to T (T must see its
+    /// own newer version instead).
+    #[test]
+    fn table2_end_own_txn() {
+        let txns = TxnTable::new();
+        let v = committed_version(10, None);
+        v.set_end(EndWord::write_locked(ME));
+        assert!(!check_visibility(&v, Timestamp(100), ME, &txns).visible);
+    }
+
+    /// Table 2 row 3 — TE is Active and TE ≠ T: TE's update is uncommitted,
+    /// so V remains the latest committed version and is visible. (Also
+    /// covered by `end_id_of_active_txn_keeps_version_visible`.)
+    #[test]
+    fn table2_end_other_active_txn() {
+        let txns = TxnTable::new();
+        register(&txns, 9, 50, TxnState::Active, None);
+        let v = committed_version(10, None);
+        v.set_end(EndWord::write_locked(TxnId(9)));
+        let vis = check_visibility(&v, Timestamp(1_000), ME, &txns);
+        assert!(vis.visible);
+        assert_eq!(vis.dependency, None);
+    }
+
+    /// Table 2 row 4 — TE is Preparing with end timestamp TS: RT < TS means V
+    /// is visible whatever TE does; RT ≥ TS means speculatively ignore V with
+    /// a commit dependency on TE. Boundary: TS == RT takes the speculative
+    /// branch.
+    #[test]
+    fn table2_end_preparing_boundary() {
+        let txns = TxnTable::new();
+        register(&txns, 9, 50, TxnState::Preparing, Some(60));
+        let v = committed_version(10, None);
+        v.set_end(EndWord::write_locked(TxnId(9)));
+        let vis = check_visibility(&v, Timestamp(60), ME, &txns);
+        assert!(!vis.visible, "TS == RT: speculatively ignored");
+        assert_eq!(vis.dependency, Some(TxnId(9)));
+    }
+
+    /// Table 2 row 5 — TE is Committed with end timestamp TS: treated as if E
+    /// were TS (visible iff RT < TS), no dependency.
+    #[test]
+    fn table2_end_committed_boundary() {
+        let txns = TxnTable::new();
+        register(&txns, 9, 50, TxnState::Committed, Some(60));
+        let v = committed_version(10, None);
+        v.set_end(EndWord::write_locked(TxnId(9)));
+        assert!(check_visibility(&v, Timestamp(59), ME, &txns).visible);
+        let at_ts = check_visibility(&v, Timestamp(60), ME, &txns);
+        assert!(!at_ts.visible, "RT == TS is invisible");
+        assert_eq!(at_ts.dependency, None);
+    }
+
+    /// Table 2 row 6 — TE is Aborted: the lock evaporates; V is still the
+    /// latest committed version and visible. (Also covered by
+    /// `end_id_of_aborted_txn_means_visible`.)
+    #[test]
+    fn table2_end_aborted() {
+        let txns = TxnTable::new();
+        register(&txns, 9, 50, TxnState::Aborted, None);
+        let v = committed_version(10, None);
+        v.set_end(EndWord::write_locked(TxnId(9)));
+        assert!(check_visibility(&v, Timestamp(1_000), ME, &txns).visible);
+    }
+
+    /// Table 2 row 7 — TE is Terminated / gone: TE finalized the End field,
+    /// so the checker re-reads; with a genuinely stale writer ID it fails
+    /// *open* (the version stays visible — a committed writer would have
+    /// finalized the field to a timestamp, an aborted one would have cleared
+    /// it).
+    #[test]
+    fn table2_end_terminated_rereads_then_stays_visible() {
+        let txns = TxnTable::new();
+        let v = committed_version(10, None);
+        v.set_end(EndWord::write_locked(TxnId(424_242)));
+        assert!(check_visibility(&v, Timestamp(1_000), ME, &txns).visible);
+    }
+
+    /// Table 2 addendum — a read-locked version without a writer is simply
+    /// the latest version; the lock word carries no visibility information.
+    #[test]
+    fn table2_read_locks_do_not_affect_visibility() {
+        let txns = TxnTable::new();
+        let v = committed_version(10, None);
+        v.set_end(EndWord::Lock(
+            LockWord::EMPTY
+                .with_extra_reader()
+                .unwrap()
+                .with_extra_reader()
+                .unwrap(),
+        ));
+        assert!(check_visibility(&v, Timestamp(50), ME, &txns).visible);
+        assert!(
+            !check_visibility(&v, Timestamp(9), ME, &txns).visible,
+            "Begin still gates"
+        );
+    }
+
+    // -----------------------------------------------------------------
+    // §2.6 updatability — the remaining holder states beyond
+    // `updatability_rules`.
+    // -----------------------------------------------------------------
+
+    /// A Preparing holder still counts as a conflict (its commit is the
+    /// likely outcome; first-writer-wins).
+    #[test]
+    fn updatability_preparing_holder_conflicts() {
+        let txns = TxnTable::new();
+        register(&txns, 9, 50, TxnState::Preparing, Some(60));
+        let v = committed_version(10, None);
+        v.set_end(EndWord::write_locked(TxnId(9)));
+        assert_eq!(
+            check_updatable(&v, ME, &txns),
+            Updatability::Conflict {
+                holder: Some(TxnId(9))
+            }
+        );
+    }
+
+    /// Updating a version we already write-locked ourselves is reported as a
+    /// conflict: the caller must operate on its own newer version instead.
+    #[test]
+    fn updatability_own_write_lock_conflicts() {
+        let txns = TxnTable::new();
+        let v = committed_version(10, None);
+        v.set_end(EndWord::write_locked(ME));
+        assert_eq!(
+            check_updatable(&v, ME, &txns),
+            Updatability::Conflict { holder: Some(ME) }
+        );
+    }
+
+    /// A transaction whose end timestamp is published while its state still
+    /// reads Active (the `do_commit` window between `set_end_ts` and
+    /// `set_state(Preparing)`) must be treated as Preparing: its versions are
+    /// speculatively visible/ignorable by timestamp, never plain-Active.
+    #[test]
+    fn active_with_published_end_ts_is_treated_as_preparing() {
+        let txns = TxnTable::new();
+        // Register an Active transaction that has drawn end timestamp 60.
+        let h = TxnHandle::new(
+            TxnId(9),
+            Timestamp(50),
+            ConcurrencyMode::Optimistic,
+            IsolationLevel::Serializable,
+        );
+        h.set_end_ts(Timestamp(60));
+        txns.register(h); // state stays Active
+                          // Table 1: its new version is speculatively visible past ts 60 ...
+        let v = Version::new(TxnId(9), rowbuf::keyed_row(1, 16, 0), vec![1]);
+        let vis = check_visibility(&v, Timestamp(70), ME, &txns);
+        assert!(vis.visible);
+        assert_eq!(vis.dependency, Some(TxnId(9)));
+        // ... and plainly invisible before it.
+        assert!(!check_visibility(&v, Timestamp(55), ME, &txns).visible);
+        // Table 2: a version it is superseding splits on the read time.
+        let old = committed_version(10, None);
+        old.set_end(EndWord::write_locked(TxnId(9)));
+        assert!(check_visibility(&old, Timestamp(55), ME, &txns).visible);
+        let vis = check_visibility(&old, Timestamp(70), ME, &txns);
+        assert!(
+            !vis.visible,
+            "speculatively ignored past the drawn timestamp"
+        );
+        assert_eq!(vis.dependency, Some(TxnId(9)));
+    }
+
+    /// The observed End word returned on the updatable path is exactly what
+    /// the caller must CAS against (read locks included).
+    #[test]
+    fn updatability_reports_observed_word_for_cas() {
+        let txns = TxnTable::new();
+        let v = committed_version(10, None);
+        let word = EndWord::Lock(LockWord::EMPTY.with_extra_reader().unwrap());
+        v.set_end(word);
+        match check_updatable(&v, ME, &txns) {
+            Updatability::Updatable { observed } => assert_eq!(observed, word),
+            other => panic!("expected updatable, got {other:?}"),
+        }
     }
 }

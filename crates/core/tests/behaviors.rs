@@ -20,8 +20,12 @@ fn engine_with_rows(mode: ConcurrencyMode, rows: u64) -> (MvEngine, mmdb_common:
         ConcurrencyMode::Optimistic => MvEngine::optimistic(MvConfig::default()),
         ConcurrencyMode::Pessimistic => MvEngine::pessimistic(MvConfig::default()),
     };
-    let table = engine.create_table(TableSpec::keyed_u64("t", (rows as usize).max(16))).unwrap();
-    engine.populate(table, (0..rows).map(|k| rowbuf::keyed_row(k, FILLER, 1))).unwrap();
+    let table = engine
+        .create_table(TableSpec::keyed_u64("t", (rows as usize).max(16)))
+        .unwrap();
+    engine
+        .populate(table, (0..rows).map(|k| rowbuf::keyed_row(k, FILLER, 1)))
+        .unwrap();
     (engine, table)
 }
 
@@ -38,11 +42,14 @@ fn read_committed_never_fails_validation() {
 
     // Another transaction overwrites the row we read and commits.
     let mut writer = engine.begin(IsolationLevel::ReadCommitted);
-    writer.update(t, IndexId(0), 7, rowbuf::keyed_row(7, FILLER, 99)).unwrap();
+    writer
+        .update(t, IndexId(0), 7, rowbuf::keyed_row(7, FILLER, 99))
+        .unwrap();
     writer.commit().unwrap();
 
     // Read committed does not track reads, so commit succeeds.
-    txn.update(t, IndexId(0), 8, rowbuf::keyed_row(8, FILLER, 2)).unwrap();
+    txn.update(t, IndexId(0), 8, rowbuf::keyed_row(8, FILLER, 2))
+        .unwrap();
     txn.commit().expect("read committed has no read validation");
 }
 
@@ -57,13 +64,15 @@ fn repeatable_read_validates_reads_but_not_phantoms() {
     let mut ins = engine.begin(IsolationLevel::ReadCommitted);
     ins.insert(t, rowbuf::keyed_row(999, FILLER, 5)).unwrap();
     ins.commit().unwrap();
-    rr.commit().expect("repeatable read does not detect phantoms");
+    rr.commit()
+        .expect("repeatable read does not detect phantoms");
 
     // Read-stability scenario: RR must still detect a changed read.
     let mut rr = engine.begin(IsolationLevel::RepeatableRead);
     assert!(rr.read(t, IndexId(0), 3).unwrap().is_some());
     let mut w = engine.begin(IsolationLevel::ReadCommitted);
-    w.update(t, IndexId(0), 3, rowbuf::keyed_row(3, FILLER, 7)).unwrap();
+    w.update(t, IndexId(0), 3, rowbuf::keyed_row(3, FILLER, 7))
+        .unwrap();
     w.commit().unwrap();
     assert_eq!(rr.commit().unwrap_err(), MmdbError::ReadValidationFailed);
 }
@@ -76,8 +85,12 @@ fn snapshot_isolation_skips_all_tracking_but_keeps_first_writer_wins() {
     assert!(a.read(t, IndexId(0), 1).unwrap().is_some());
     assert!(b.read(t, IndexId(0), 1).unwrap().is_some());
     // Concurrent writes to the same row: the second writer loses immediately.
-    assert!(a.update(t, IndexId(0), 1, rowbuf::keyed_row(1, FILLER, 2)).unwrap());
-    let err = b.update(t, IndexId(0), 1, rowbuf::keyed_row(1, FILLER, 3)).unwrap_err();
+    assert!(a
+        .update(t, IndexId(0), 1, rowbuf::keyed_row(1, FILLER, 2))
+        .unwrap());
+    let err = b
+        .update(t, IndexId(0), 1, rowbuf::keyed_row(1, FILLER, 3))
+        .unwrap_err();
     assert!(matches!(err, MmdbError::WriteWriteConflict { .. }));
     b.abort();
     a.commit().unwrap();
@@ -121,14 +134,19 @@ fn eager_update_of_read_locked_version_waits_for_reader() {
     // The writer performs its update during normal processing without
     // blocking (eager update) ...
     let mut writer = engine.begin(IsolationLevel::ReadCommitted);
-    assert!(writer.update(t, IndexId(0), 2, rowbuf::keyed_row(2, FILLER, 9)).unwrap());
+    assert!(writer
+        .update(t, IndexId(0), 2, rowbuf::keyed_row(2, FILLER, 9))
+        .unwrap());
 
     // ... but its commit can only complete after the reader releases its
     // read lock. Run the commit on another thread and make sure it finishes
     // only after we let the reader go.
     let handle = std::thread::spawn(move || writer.commit());
     std::thread::sleep(Duration::from_millis(100));
-    assert!(!handle.is_finished(), "writer must wait for the read lock to drain");
+    assert!(
+        !handle.is_finished(),
+        "writer must wait for the read lock to drain"
+    );
     reader.commit().unwrap();
     assert!(handle.join().unwrap().is_ok());
 }
@@ -142,11 +160,17 @@ fn serializable_pessimistic_scans_prevent_phantoms_via_wait_for() {
 
     // The inserter may insert eagerly but cannot commit before the scanner
     // finishes (wait-for dependency on the bucket lock).
-    let mut inserter = engine.begin_with(ConcurrencyMode::Pessimistic, IsolationLevel::ReadCommitted);
-    inserter.insert(t, rowbuf::keyed_row(777, FILLER, 1)).unwrap();
+    let mut inserter =
+        engine.begin_with(ConcurrencyMode::Pessimistic, IsolationLevel::ReadCommitted);
+    inserter
+        .insert(t, rowbuf::keyed_row(777, FILLER, 1))
+        .unwrap();
     let inserter_thread = std::thread::spawn(move || inserter.commit());
     std::thread::sleep(Duration::from_millis(100));
-    assert!(!inserter_thread.is_finished(), "inserter must wait for the bucket lock holder");
+    assert!(
+        !inserter_thread.is_finished(),
+        "inserter must wait for the bucket lock holder"
+    );
 
     // The scanner repeats its scan and still sees nothing (no phantom), then
     // commits, releasing the inserter.
@@ -175,7 +199,9 @@ fn speculative_read_of_preparing_writer_creates_commit_dependency() {
     assert!(reader_hold.read(t, IndexId(0), 5).unwrap().is_some());
 
     let mut writer = engine.begin(IsolationLevel::ReadCommitted);
-    writer.update(t, IndexId(0), 5, rowbuf::keyed_row(5, FILLER, 42)).unwrap();
+    writer
+        .update(t, IndexId(0), 5, rowbuf::keyed_row(5, FILLER, 42))
+        .unwrap();
     let writer_thread = std::thread::spawn(move || writer.commit());
     std::thread::sleep(Duration::from_millis(50));
 
@@ -183,14 +209,25 @@ fn speculative_read_of_preparing_writer_creates_commit_dependency() {
     // version while the writer is still active/waiting: it must see the old
     // value, not block, and not error.
     let mut rc = engine.begin(IsolationLevel::ReadCommitted);
-    assert_eq!(rc.read(t, IndexId(0), 5).unwrap().map(|r| rowbuf::fill_of(&r)), Some(1));
+    assert_eq!(
+        rc.read(t, IndexId(0), 5)
+            .unwrap()
+            .map(|r| rowbuf::fill_of(&r)),
+        Some(1)
+    );
     rc.commit().unwrap();
 
     reader_hold.commit().unwrap();
     writer_thread.join().unwrap().unwrap();
 
     let mut after = engine.begin(IsolationLevel::ReadCommitted);
-    assert_eq!(after.read(t, IndexId(0), 5).unwrap().map(|r| rowbuf::fill_of(&r)), Some(42));
+    assert_eq!(
+        after
+            .read(t, IndexId(0), 5)
+            .unwrap()
+            .map(|r| rowbuf::fill_of(&r)),
+        Some(42)
+    );
     after.commit().unwrap();
 }
 
@@ -198,14 +235,21 @@ fn speculative_read_of_preparing_writer_creates_commit_dependency() {
 fn abort_now_flag_cascades_into_commit_failure() {
     let (engine, t) = engine_with_rows(ConcurrencyMode::Optimistic, 10);
     let mut txn = engine.begin(IsolationLevel::ReadCommitted);
-    txn.update(t, IndexId(0), 1, rowbuf::keyed_row(1, FILLER, 9)).unwrap();
+    txn.update(t, IndexId(0), 1, rowbuf::keyed_row(1, FILLER, 9))
+        .unwrap();
     // Simulate a dependency abort: another party sets our AbortNow flag.
     engine.store().txns().get(txn.id()).unwrap().request_abort();
     let err = txn.commit().unwrap_err();
     assert_eq!(err, MmdbError::CommitDependencyFailed);
     // The write is rolled back.
     let mut check = engine.begin(IsolationLevel::ReadCommitted);
-    assert_eq!(check.read(t, IndexId(0), 1).unwrap().map(|r| rowbuf::fill_of(&r)), Some(1));
+    assert_eq!(
+        check
+            .read(t, IndexId(0), 1)
+            .unwrap()
+            .map(|r| rowbuf::fill_of(&r)),
+        Some(1)
+    );
     check.commit().unwrap();
 }
 
@@ -217,17 +261,30 @@ fn abort_now_flag_cascades_into_commit_failure() {
 fn gc_never_reclaims_versions_visible_to_an_open_snapshot() {
     let (engine, t) = engine_with_rows(ConcurrencyMode::Optimistic, 20);
     let mut snapshot = engine.begin(IsolationLevel::SnapshotIsolation);
-    assert_eq!(snapshot.read(t, IndexId(0), 3).unwrap().map(|r| rowbuf::fill_of(&r)), Some(1));
+    assert_eq!(
+        snapshot
+            .read(t, IndexId(0), 3)
+            .unwrap()
+            .map(|r| rowbuf::fill_of(&r)),
+        Some(1)
+    );
 
     // Overwrite row 3 five times, committing each time, and try to collect.
     for fill in 2..=6u8 {
         let mut w = engine.begin(IsolationLevel::ReadCommitted);
-        w.update(t, IndexId(0), 3, rowbuf::keyed_row(3, FILLER, fill)).unwrap();
+        w.update(t, IndexId(0), 3, rowbuf::keyed_row(3, FILLER, fill))
+            .unwrap();
         w.commit().unwrap();
         engine.collect_garbage();
     }
     // The open snapshot must still see its original version.
-    assert_eq!(snapshot.read(t, IndexId(0), 3).unwrap().map(|r| rowbuf::fill_of(&r)), Some(1));
+    assert_eq!(
+        snapshot
+            .read(t, IndexId(0), 3)
+            .unwrap()
+            .map(|r| rowbuf::fill_of(&r)),
+        Some(1)
+    );
     snapshot.commit().unwrap();
 
     // After the snapshot ends, the superseded versions become collectible.
@@ -235,9 +292,18 @@ fn gc_never_reclaims_versions_visible_to_an_open_snapshot() {
     for _ in 0..10 {
         reclaimed += engine.collect_garbage();
     }
-    assert!(reclaimed >= 4, "old versions of row 3 must eventually be reclaimed, got {reclaimed}");
+    assert!(
+        reclaimed >= 4,
+        "old versions of row 3 must eventually be reclaimed, got {reclaimed}"
+    );
     let mut check = engine.begin(IsolationLevel::ReadCommitted);
-    assert_eq!(check.read(t, IndexId(0), 3).unwrap().map(|r| rowbuf::fill_of(&r)), Some(6));
+    assert_eq!(
+        check
+            .read(t, IndexId(0), 3)
+            .unwrap()
+            .map(|r| rowbuf::fill_of(&r)),
+        Some(6)
+    );
     check.commit().unwrap();
 }
 
@@ -248,11 +314,21 @@ fn version_chains_grow_and_shrink_as_expected() {
     for round in 0..3u8 {
         let mut txn = engine.begin(IsolationLevel::ReadCommitted);
         for key in 0..8u64 {
-            txn.update(t, IndexId(0), key, rowbuf::keyed_row(key, FILLER, round + 2)).unwrap();
+            txn.update(
+                t,
+                IndexId(0),
+                key,
+                rowbuf::keyed_row(key, FILLER, round + 2),
+            )
+            .unwrap();
         }
         txn.commit().unwrap();
     }
-    assert_eq!(engine.version_count(t).unwrap(), 32, "8 live + 24 superseded");
+    assert_eq!(
+        engine.version_count(t).unwrap(),
+        32,
+        "8 live + 24 superseded"
+    );
     while engine.collect_garbage() > 0 {}
     assert_eq!(engine.version_count(t).unwrap(), 8);
 
@@ -274,19 +350,28 @@ fn version_chains_grow_and_shrink_as_expected() {
 fn optimistic_writer_waits_for_pessimistic_read_lock() {
     let engine = MvEngine::optimistic(MvConfig::default());
     let t = engine.create_table(TableSpec::keyed_u64("t", 32)).unwrap();
-    engine.populate(t, (0..8u64).map(|k| rowbuf::keyed_row(k, FILLER, 1))).unwrap();
+    engine
+        .populate(t, (0..8u64).map(|k| rowbuf::keyed_row(k, FILLER, 1)))
+        .unwrap();
 
     // A pessimistic repeatable-read transaction read-locks row 1.
-    let mut pess_reader = engine.begin_with(ConcurrencyMode::Pessimistic, IsolationLevel::RepeatableRead);
+    let mut pess_reader =
+        engine.begin_with(ConcurrencyMode::Pessimistic, IsolationLevel::RepeatableRead);
     assert!(pess_reader.read(t, IndexId(0), 1).unwrap().is_some());
 
     // An optimistic writer updates the same row eagerly but must not commit
     // before the read lock is released.
-    let mut opt_writer = engine.begin_with(ConcurrencyMode::Optimistic, IsolationLevel::ReadCommitted);
-    assert!(opt_writer.update(t, IndexId(0), 1, rowbuf::keyed_row(1, FILLER, 50)).unwrap());
+    let mut opt_writer =
+        engine.begin_with(ConcurrencyMode::Optimistic, IsolationLevel::ReadCommitted);
+    assert!(opt_writer
+        .update(t, IndexId(0), 1, rowbuf::keyed_row(1, FILLER, 50))
+        .unwrap());
     let writer_thread = std::thread::spawn(move || opt_writer.commit());
     std::thread::sleep(Duration::from_millis(100));
-    assert!(!writer_thread.is_finished(), "optimistic writers honor pessimistic read locks (§4.5)");
+    assert!(
+        !writer_thread.is_finished(),
+        "optimistic writers honor pessimistic read locks (§4.5)"
+    );
 
     pess_reader.commit().unwrap();
     assert!(writer_thread.join().unwrap().is_ok());
@@ -302,7 +387,10 @@ fn replaying_the_redo_log_rebuilds_the_database() {
     use mmdb_storage::{MemoryLogger, RedoLogger};
 
     let logger = Arc::new(MemoryLogger::new());
-    let engine = MvEngine::with_logger(MvConfig::default(), Arc::clone(&logger) as Arc<dyn RedoLogger>);
+    let engine = MvEngine::with_logger(
+        MvConfig::default(),
+        Arc::clone(&logger) as Arc<dyn RedoLogger>,
+    );
     let t = engine.create_table(TableSpec::keyed_u64("t", 64)).unwrap();
 
     // All data arrives through logged transactions (populate bypasses the log).
@@ -315,22 +403,28 @@ fn replaying_the_redo_log_rebuilds_the_database() {
     // A mix of updates, deletes, an aborted transaction and a second update
     // of the same key (later timestamp must win on replay).
     let mut txn = engine.begin(IsolationLevel::ReadCommitted);
-    txn.update(t, IndexId(0), 3, rowbuf::keyed_row(3, FILLER, 7)).unwrap();
+    txn.update(t, IndexId(0), 3, rowbuf::keyed_row(3, FILLER, 7))
+        .unwrap();
     txn.delete(t, IndexId(0), 4).unwrap();
     txn.commit().unwrap();
 
     let mut aborted = engine.begin(IsolationLevel::ReadCommitted);
-    aborted.update(t, IndexId(0), 5, rowbuf::keyed_row(5, FILLER, 99)).unwrap();
+    aborted
+        .update(t, IndexId(0), 5, rowbuf::keyed_row(5, FILLER, 99))
+        .unwrap();
     aborted.abort();
 
     let mut txn = engine.begin(IsolationLevel::ReadCommitted);
-    txn.update(t, IndexId(0), 3, rowbuf::keyed_row(3, FILLER, 9)).unwrap();
+    txn.update(t, IndexId(0), 3, rowbuf::keyed_row(3, FILLER, 9))
+        .unwrap();
     txn.insert(t, rowbuf::keyed_row(100, FILLER, 2)).unwrap();
     txn.commit().unwrap();
 
     // Recover into a fresh engine with the same table layout.
     let recovered = MvEngine::optimistic(MvConfig::default());
-    let t2 = recovered.create_table(TableSpec::keyed_u64("t", 64)).unwrap();
+    let t2 = recovered
+        .create_table(TableSpec::keyed_u64("t", 64))
+        .unwrap();
     assert_eq!(t2, t, "table ids must match for replay");
     let applied = recovered.replay_log(logger.records()).unwrap();
     assert_eq!(applied, 3, "only committed transactions are in the log");
@@ -365,7 +459,11 @@ fn random_forced_aborts_leave_the_database_consistent() {
             scope.spawn(move || {
                 let mut rng = StdRng::seed_from_u64(w);
                 for i in 0..200u64 {
-                    let mode = if rng.gen_bool(0.5) { ConcurrencyMode::Optimistic } else { ConcurrencyMode::Pessimistic };
+                    let mode = if rng.gen_bool(0.5) {
+                        ConcurrencyMode::Optimistic
+                    } else {
+                        ConcurrencyMode::Pessimistic
+                    };
                     let mut txn = engine.begin_with(mode, IsolationLevel::Serializable);
                     let key = rng.gen_range(0..32u64);
                     let _ = txn.read(t, IndexId(0), key);
@@ -373,7 +471,9 @@ fn random_forced_aborts_leave_the_database_consistent() {
                     if rng.gen_bool(0.3) {
                         // Forced abort, sometimes even via the AbortNow flag.
                         if rng.gen_bool(0.5) {
-                            engine.store().txns().get(txn.id()).map(|h| h.request_abort());
+                            if let Some(h) = engine.store().txns().get(txn.id()) {
+                                h.request_abort()
+                            }
                         }
                         txn.abort();
                     } else {
@@ -388,7 +488,10 @@ fn random_forced_aborts_leave_the_database_consistent() {
     while engine.collect_garbage() > 0 {}
     let mut check = engine.begin(IsolationLevel::ReadCommitted);
     for key in 0..32u64 {
-        assert!(check.read(t, IndexId(0), key).unwrap().is_some(), "key {key} lost");
+        assert!(
+            check.read(t, IndexId(0), key).unwrap().is_some(),
+            "key {key} lost"
+        );
     }
     check.commit().unwrap();
     assert_eq!(engine.version_count(t).unwrap(), 32);

@@ -22,20 +22,29 @@ use mmdb_common::ids::TxnId;
 /// Number of shards for the lock-list side table.
 const LIST_SHARDS: usize = 32;
 
+/// One shard of the `LockList` map: bucket number → lock-holding transactions.
+type LockListShard = Mutex<HashMap<usize, Vec<TxnId>>>;
+
 /// Bucket-lock table for one hash index.
 pub struct BucketLockTable {
     /// `LockCount` per bucket: number of serializable transactions currently
     /// holding a lock on the bucket.
     counts: Box<[AtomicU32]>,
     /// `LockList` per locked bucket, sharded by bucket number.
-    lists: Box<[Mutex<HashMap<usize, Vec<TxnId>>>]>,
+    lists: Box<[LockListShard]>,
 }
 
 impl BucketLockTable {
     /// Create a lock table covering `bucket_count` buckets.
     pub fn new(bucket_count: usize) -> Self {
-        let counts = (0..bucket_count).map(|_| AtomicU32::new(0)).collect::<Vec<_>>().into_boxed_slice();
-        let lists = (0..LIST_SHARDS).map(|_| Mutex::new(HashMap::new())).collect::<Vec<_>>().into_boxed_slice();
+        let counts = (0..bucket_count)
+            .map(|_| AtomicU32::new(0))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        let lists = (0..LIST_SHARDS)
+            .map(|_| Mutex::new(HashMap::new()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
         BucketLockTable { counts, lists }
     }
 
@@ -108,7 +117,9 @@ impl BucketLockTable {
 
 impl std::fmt::Debug for BucketLockTable {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let locked: usize = (0..self.counts.len()).filter(|&b| self.is_locked(b)).count();
+        let locked: usize = (0..self.counts.len())
+            .filter(|&b| self.is_locked(b))
+            .count();
         f.debug_struct("BucketLockTable")
             .field("buckets", &self.counts.len())
             .field("locked_buckets", &locked)
@@ -151,7 +162,10 @@ mod tests {
     fn relocking_is_idempotent() {
         let table = BucketLockTable::new(4);
         assert!(table.lock(1, TxnId(7)));
-        assert!(!table.lock(1, TxnId(7)), "second lock by same txn must not double-count");
+        assert!(
+            !table.lock(1, TxnId(7)),
+            "second lock by same txn must not double-count"
+        );
         assert_eq!(table.lock_count(1), 1);
         table.unlock(1, TxnId(7));
         assert_eq!(table.lock_count(1), 0);

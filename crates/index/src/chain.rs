@@ -51,7 +51,10 @@ impl<N: ChainNode> HashIndex<N> {
     /// Panics if `bucket_count` is zero.
     pub fn new(slot: usize, bucket_count: usize) -> Self {
         assert!(bucket_count > 0, "hash index needs at least one bucket");
-        let buckets = (0..bucket_count).map(|_| Atomic::null()).collect::<Vec<_>>().into_boxed_slice();
+        let buckets = (0..bucket_count)
+            .map(|_| Atomic::null())
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
         HashIndex { slot, buckets }
     }
 
@@ -84,8 +87,16 @@ impl<N: ChainNode> HashIndex<N> {
         let head = &self.buckets[bucket];
         let mut current = head.load(Ordering::Acquire, guard);
         loop {
-            node_ref.next_ptr(self.slot).store(current, Ordering::Release);
-            match head.compare_exchange_weak(current, node, Ordering::AcqRel, Ordering::Acquire, guard) {
+            node_ref
+                .next_ptr(self.slot)
+                .store(current, Ordering::Release);
+            match head.compare_exchange_weak(
+                current,
+                node,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+                guard,
+            ) {
                 Ok(_) => return,
                 Err(err) => current = err.current,
             }
@@ -134,8 +145,16 @@ impl<N: ChainNode> HashIndex<N> {
                     return false;
                 }
                 if current == target {
-                    let next = target_ref.next_ptr(self.slot).load(Ordering::Acquire, guard);
-                    match link.compare_exchange(current, next, Ordering::AcqRel, Ordering::Acquire, guard) {
+                    let next = target_ref
+                        .next_ptr(self.slot)
+                        .load(Ordering::Acquire, guard);
+                    match link.compare_exchange(
+                        current,
+                        next,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                        guard,
+                    ) {
                         Ok(_) => return true,
                         // An insert landed on this link (only possible at the
                         // bucket head); retry from the top.
@@ -152,7 +171,10 @@ impl<N: ChainNode> HashIndex<N> {
     /// Iterate over all buckets, yielding every node in the index.
     /// Used for full-table scans ("to scan a table, one simply scans all
     /// buckets of any index on the table", §2.1) and by destructors.
-    pub fn iter_all<'a, 'g: 'a>(&'a self, guard: &'g Guard) -> impl Iterator<Item = Shared<'g, N>> + 'a
+    pub fn iter_all<'a, 'g: 'a>(
+        &'a self,
+        guard: &'g Guard,
+    ) -> impl Iterator<Item = Shared<'g, N>> + 'a
     where
         N: 'g,
     {
@@ -169,7 +191,9 @@ impl<N: ChainNode> HashIndex<N> {
             b.store(Shared::null(), Ordering::Release);
             while !current.is_null() {
                 out.push(current);
-                current = unsafe { current.deref() }.next_ptr(self.slot).load(Ordering::Acquire, guard);
+                current = unsafe { current.deref() }
+                    .next_ptr(self.slot)
+                    .load(Ordering::Acquire, guard);
             }
         }
         out
@@ -214,7 +238,12 @@ mod tests {
 
     impl TestNode {
         fn new(pk: u64, sk: u64, payload: u64) -> Owned<TestNode> {
-            Owned::new(TestNode { pk, sk, payload, nexts: [Atomic::null(), Atomic::null()] })
+            Owned::new(TestNode {
+                pk,
+                sk,
+                payload,
+                nexts: [Atomic::null(), Atomic::null()],
+            })
         }
     }
 
@@ -313,7 +342,10 @@ mod tests {
         for i in 0..50u64 {
             index.insert(TestNode::new(i, 0, i).into_shared(&guard), &guard);
         }
-        let mut seen: Vec<u64> = index.iter_all(&guard).map(|n| unsafe { n.deref() }.payload).collect();
+        let mut seen: Vec<u64> = index
+            .iter_all(&guard)
+            .map(|n| unsafe { n.deref() }.payload)
+            .collect();
         seen.sort_unstable();
         assert_eq!(seen, (0..50).collect::<Vec<_>>());
     }
@@ -381,7 +413,10 @@ mod tests {
         unlinker.join().unwrap();
 
         let guard = epoch::pin();
-        let payloads: Vec<u64> = index.iter_all(&guard).map(|n| unsafe { n.deref() }.payload).collect();
+        let payloads: Vec<u64> = index
+            .iter_all(&guard)
+            .map(|n| unsafe { n.deref() }.payload)
+            .collect();
         assert_eq!(payloads.len(), 2000);
         assert!(!payloads.contains(&900_999));
     }

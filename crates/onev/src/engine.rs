@@ -45,7 +45,9 @@ pub struct SvConfig {
 
 impl Default for SvConfig {
     fn default() -> Self {
-        SvConfig { lock_timeout: Duration::from_millis(500) }
+        SvConfig {
+            lock_timeout: Duration::from_millis(500),
+        }
     }
 }
 
@@ -98,7 +100,12 @@ impl SvEngine {
     }
 
     fn table(&self, id: TableId) -> Result<Arc<SvTable>> {
-        self.inner.tables.read().get(id.0 as usize).cloned().ok_or(MmdbError::TableNotFound(id))
+        self.inner
+            .tables
+            .read()
+            .get(id.0 as usize)
+            .cloned()
+            .ok_or(MmdbError::TableNotFound(id))
     }
 
     /// Bulk-load rows outside any transaction (initial population).
@@ -155,7 +162,9 @@ impl Engine for SvEngine {
 
 impl std::fmt::Debug for SvEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SvEngine").field("tables", &self.inner.tables.read().len()).finish()
+        f.debug_struct("SvEngine")
+            .field("tables", &self.inner.tables.read().len())
+            .finish()
     }
 }
 
@@ -185,21 +194,35 @@ pub struct SvTransaction {
 
 impl SvTransaction {
     fn table(&self, id: TableId) -> Result<Arc<SvTable>> {
-        self.inner.tables.read().get(id.0 as usize).cloned().ok_or(MmdbError::TableNotFound(id))
+        self.inner
+            .tables
+            .read()
+            .get(id.0 as usize)
+            .cloned()
+            .ok_or(MmdbError::TableNotFound(id))
     }
 
     fn holds_lock(&self, table: TableId, index: IndexId, bucket: usize) -> bool {
-        self.held_locks.iter().any(|&(t, i, b)| t == table && i == index && b == bucket)
+        self.held_locks
+            .iter()
+            .any(|&(t, i, b)| t == table && i == index && b == bucket)
     }
 
     /// Acquire a lock, remembering it for release at end of transaction.
     /// Returns the grant so read-committed readers can decide to release
     /// immediately.
-    fn lock(&mut self, table: &SvTable, index: IndexId, bucket: usize, mode: LockMode) -> Result<LockGrant> {
-        let grant = table
-            .lock_table(index)?
-            .lock_for(bucket)
-            .acquire(self.id, mode, self.inner.config.lock_timeout);
+    fn lock(
+        &mut self,
+        table: &SvTable,
+        index: IndexId,
+        bucket: usize,
+        mode: LockMode,
+    ) -> Result<LockGrant> {
+        let grant = table.lock_table(index)?.lock_for(bucket).acquire(
+            self.id,
+            mode,
+            self.inner.config.lock_timeout,
+        );
         match grant {
             Some(grant) => {
                 if grant == LockGrant::Acquired && !self.holds_lock(table.id(), index, bucket) {
@@ -218,7 +241,11 @@ impl SvTransaction {
     /// Drop a lock immediately (cursor stability for read-committed reads).
     fn unlock_now(&mut self, table: &SvTable, index: IndexId, bucket: usize) -> Result<()> {
         table.lock_table(index)?.lock_for(bucket).release(self.id);
-        if let Some(pos) = self.held_locks.iter().position(|&(t, i, b)| t == table.id() && i == index && b == bucket) {
+        if let Some(pos) = self
+            .held_locks
+            .iter()
+            .position(|&(t, i, b)| t == table.id() && i == index && b == bucket)
+        {
             self.held_locks.swap_remove(pos);
         }
         Ok(())
@@ -325,13 +352,22 @@ impl EngineTxn for SvTransaction {
         for (slot, key) in keys.iter().enumerate() {
             let index = IndexId(slot as u32);
             if table.is_unique(index)? && !table.lookup(index, *key)?.is_empty() {
-                return Err(MmdbError::DuplicateKey { table: table_id, index });
+                return Err(MmdbError::DuplicateKey {
+                    table: table_id,
+                    index,
+                });
             }
         }
         table.insert_row(row.clone())?;
         EngineStats::bump(&self.inner.stats.versions_created);
-        self.undo.push(UndoOp::Insert { table: table_id, pk: keys[0] });
-        self.log_ops.push(LogOp::Write { table: table_id, row });
+        self.undo.push(UndoOp::Insert {
+            table: table_id,
+            pk: keys[0],
+        });
+        self.log_ops.push(LogOp::Write {
+            table: table_id,
+            row,
+        });
         Ok(())
     }
 
@@ -353,7 +389,13 @@ impl EngineTxn for SvTransaction {
         Ok(rows)
     }
 
-    fn update(&mut self, table_id: TableId, index: IndexId, key: Key, new_row: Row) -> Result<bool> {
+    fn update(
+        &mut self,
+        table_id: TableId,
+        index: IndexId,
+        key: Key,
+        new_row: Row,
+    ) -> Result<bool> {
         self.ensure_open()?;
         let table = self.table(table_id)?;
         // Lock the access path, find the target, then lock the row across all
@@ -369,18 +411,33 @@ impl EngineTxn for SvTransaction {
         let new_pk = table.key_of(IndexId(0), &new_row)?;
         if new_pk != pk {
             // Updating the primary key is modelled as delete + insert.
-            let old = table.delete_row(pk)?.ok_or(MmdbError::Internal("locked row vanished"))?;
-            self.undo.push(UndoOp::Delete { table: table_id, old });
+            let old = table
+                .delete_row(pk)?
+                .ok_or(MmdbError::Internal("locked row vanished"))?;
+            self.undo.push(UndoOp::Delete {
+                table: table_id,
+                old,
+            });
             table.insert_row(new_row.clone())?;
-            self.undo.push(UndoOp::Insert { table: table_id, pk: new_pk });
+            self.undo.push(UndoOp::Insert {
+                table: table_id,
+                pk: new_pk,
+            });
         } else {
             let old = table
                 .update_row(pk, new_row.clone())?
                 .ok_or(MmdbError::Internal("locked row vanished"))?;
-            self.undo.push(UndoOp::Update { table: table_id, pk, old });
+            self.undo.push(UndoOp::Update {
+                table: table_id,
+                pk,
+                old,
+            });
         }
         EngineStats::bump(&self.inner.stats.versions_created);
-        self.log_ops.push(LogOp::Write { table: table_id, row: new_row });
+        self.log_ops.push(LogOp::Write {
+            table: table_id,
+            row: new_row,
+        });
         Ok(true)
     }
 
@@ -394,9 +451,17 @@ impl EngineTxn for SvTransaction {
         };
         self.lock_row_exclusive(&table, &target)?;
         let pk = table.key_of(IndexId(0), &target)?;
-        let old = table.delete_row(pk)?.ok_or(MmdbError::Internal("locked row vanished"))?;
-        self.undo.push(UndoOp::Delete { table: table_id, old });
-        self.log_ops.push(LogOp::Delete { table: table_id, key: pk });
+        let old = table
+            .delete_row(pk)?
+            .ok_or(MmdbError::Internal("locked row vanished"))?;
+        self.undo.push(UndoOp::Delete {
+            table: table_id,
+            old,
+        });
+        self.log_ops.push(LogOp::Delete {
+            table: table_id,
+            key: pk,
+        });
         Ok(true)
     }
 
@@ -410,7 +475,10 @@ impl EngineTxn for SvTransaction {
         }
         let ts = self.inner.clock.next_timestamp();
         if !self.log_ops.is_empty() {
-            let record = LogRecord { end_ts: ts, ops: std::mem::take(&mut self.log_ops) };
+            let record = LogRecord {
+                end_ts: ts,
+                ops: std::mem::take(&mut self.log_ops),
+            };
             EngineStats::bump(&self.inner.stats.log_records);
             EngineStats::add(&self.inner.stats.log_bytes, record.byte_size());
             self.inner.logger.append(record);

@@ -47,9 +47,12 @@ mod tests {
     use std::time::Duration;
 
     fn engine() -> (SvEngine, mmdb_common::ids::TableId) {
-        let engine = SvEngine::new(SvConfig::default().with_lock_timeout(Duration::from_millis(100)));
+        let engine =
+            SvEngine::new(SvConfig::default().with_lock_timeout(Duration::from_millis(100)));
         let t = engine.create_table(TableSpec::keyed_u64("t", 256)).unwrap();
-        engine.populate(t, (0..100u64).map(|k| rowbuf::keyed_row(k, 16, 1))).unwrap();
+        engine
+            .populate(t, (0..100u64).map(|k| rowbuf::keyed_row(k, 16, 1)))
+            .unwrap();
         (engine, t)
     }
 
@@ -57,16 +60,40 @@ mod tests {
     fn crud_roundtrip() {
         let (engine, t) = engine();
         let mut txn = engine.begin(IsolationLevel::Serializable);
-        assert_eq!(txn.read(t, IndexId(0), 5).unwrap().map(|r| rowbuf::fill_of(&r)), Some(1));
-        assert!(txn.update(t, IndexId(0), 5, rowbuf::keyed_row(5, 16, 10)).unwrap());
-        assert_eq!(txn.read(t, IndexId(0), 5).unwrap().map(|r| rowbuf::fill_of(&r)), Some(10));
+        assert_eq!(
+            txn.read(t, IndexId(0), 5)
+                .unwrap()
+                .map(|r| rowbuf::fill_of(&r)),
+            Some(1)
+        );
+        assert!(txn
+            .update(t, IndexId(0), 5, rowbuf::keyed_row(5, 16, 10))
+            .unwrap());
+        assert_eq!(
+            txn.read(t, IndexId(0), 5)
+                .unwrap()
+                .map(|r| rowbuf::fill_of(&r)),
+            Some(10)
+        );
         txn.insert(t, rowbuf::keyed_row(1000, 16, 3)).unwrap();
         assert!(txn.delete(t, IndexId(0), 7).unwrap());
         txn.commit().unwrap();
 
         let mut check = engine.begin(IsolationLevel::ReadCommitted);
-        assert_eq!(check.read(t, IndexId(0), 5).unwrap().map(|r| rowbuf::fill_of(&r)), Some(10));
-        assert_eq!(check.read(t, IndexId(0), 1000).unwrap().map(|r| rowbuf::fill_of(&r)), Some(3));
+        assert_eq!(
+            check
+                .read(t, IndexId(0), 5)
+                .unwrap()
+                .map(|r| rowbuf::fill_of(&r)),
+            Some(10)
+        );
+        assert_eq!(
+            check
+                .read(t, IndexId(0), 1000)
+                .unwrap()
+                .map(|r| rowbuf::fill_of(&r)),
+            Some(3)
+        );
         assert!(check.read(t, IndexId(0), 7).unwrap().is_none());
         check.commit().unwrap();
         assert_eq!(engine.row_count(t).unwrap(), 100);
@@ -76,15 +103,28 @@ mod tests {
     fn abort_rolls_back_in_place_changes() {
         let (engine, t) = engine();
         let mut txn = engine.begin(IsolationLevel::Serializable);
-        txn.update(t, IndexId(0), 5, rowbuf::keyed_row(5, 16, 10)).unwrap();
+        txn.update(t, IndexId(0), 5, rowbuf::keyed_row(5, 16, 10))
+            .unwrap();
         txn.insert(t, rowbuf::keyed_row(1000, 16, 3)).unwrap();
         txn.delete(t, IndexId(0), 7).unwrap();
         txn.abort();
 
         let mut check = engine.begin(IsolationLevel::ReadCommitted);
-        assert_eq!(check.read(t, IndexId(0), 5).unwrap().map(|r| rowbuf::fill_of(&r)), Some(1));
+        assert_eq!(
+            check
+                .read(t, IndexId(0), 5)
+                .unwrap()
+                .map(|r| rowbuf::fill_of(&r)),
+            Some(1)
+        );
         assert!(check.read(t, IndexId(0), 1000).unwrap().is_none());
-        assert_eq!(check.read(t, IndexId(0), 7).unwrap().map(|r| rowbuf::fill_of(&r)), Some(1));
+        assert_eq!(
+            check
+                .read(t, IndexId(0), 7)
+                .unwrap()
+                .map(|r| rowbuf::fill_of(&r)),
+            Some(1)
+        );
         check.commit().unwrap();
         assert_eq!(engine.row_count(t).unwrap(), 100);
     }
@@ -104,7 +144,9 @@ mod tests {
     fn writers_block_writers_until_commit() {
         let (engine, t) = engine();
         let mut t1 = engine.begin(IsolationLevel::ReadCommitted);
-        assert!(t1.update(t, IndexId(0), 10, rowbuf::keyed_row(10, 16, 2)).unwrap());
+        assert!(t1
+            .update(t, IndexId(0), 10, rowbuf::keyed_row(10, 16, 2))
+            .unwrap());
 
         // A concurrent writer on the same key times out (deadlock-by-timeout).
         let engine2 = engine.clone();
@@ -119,7 +161,13 @@ mod tests {
         t1.commit().unwrap();
 
         let mut check = engine.begin(IsolationLevel::ReadCommitted);
-        assert_eq!(check.read(t, IndexId(0), 10).unwrap().map(|r| rowbuf::fill_of(&r)), Some(2));
+        assert_eq!(
+            check
+                .read(t, IndexId(0), 10)
+                .unwrap()
+                .map(|r| rowbuf::fill_of(&r)),
+            Some(2)
+        );
         check.commit().unwrap();
     }
 
@@ -143,7 +191,10 @@ mod tests {
             }
         });
         let result = writer.join().unwrap();
-        assert!(matches!(result, Err(MmdbError::LockTimeout { .. })), "{result:?}");
+        assert!(
+            matches!(result, Err(MmdbError::LockTimeout { .. })),
+            "{result:?}"
+        );
         reader.commit().unwrap();
     }
 
@@ -156,11 +207,19 @@ mod tests {
         // Because the reader released its lock, a writer can proceed even
         // though the reader is still open.
         let mut writer = engine.begin(IsolationLevel::ReadCommitted);
-        assert!(writer.update(t, IndexId(0), 20, rowbuf::keyed_row(20, 16, 9)).unwrap());
+        assert!(writer
+            .update(t, IndexId(0), 20, rowbuf::keyed_row(20, 16, 9))
+            .unwrap());
         writer.commit().unwrap();
 
         // The open read-committed reader now sees the new value.
-        assert_eq!(reader.read(t, IndexId(0), 20).unwrap().map(|r| rowbuf::fill_of(&r)), Some(9));
+        assert_eq!(
+            reader
+                .read(t, IndexId(0), 20)
+                .unwrap()
+                .map(|r| rowbuf::fill_of(&r)),
+            Some(9)
+        );
         reader.commit().unwrap();
     }
 
@@ -180,7 +239,10 @@ mod tests {
             r
         });
         let result = inserter.join().unwrap();
-        assert!(matches!(result, Err(MmdbError::LockTimeout { .. })), "{result:?}");
+        assert!(
+            matches!(result, Err(MmdbError::LockTimeout { .. })),
+            "{result:?}"
+        );
 
         // Repeating the scan still finds nothing: no phantom.
         assert!(scanner.read(t, IndexId(0), 5000).unwrap().is_none());
@@ -221,7 +283,13 @@ mod tests {
             h.join().unwrap();
         }
         let mut check = engine.begin(IsolationLevel::ReadCommitted);
-        assert_eq!(check.read(t, IndexId(0), 42).unwrap().map(|r| rowbuf::fill_of(&r)), Some(3));
+        assert_eq!(
+            check
+                .read(t, IndexId(0), 42)
+                .unwrap()
+                .map(|r| rowbuf::fill_of(&r)),
+            Some(3)
+        );
         check.commit().unwrap();
     }
 
@@ -230,10 +298,17 @@ mod tests {
         let (engine, t) = engine();
         {
             let mut txn = engine.begin(IsolationLevel::ReadCommitted);
-            txn.update(t, IndexId(0), 9, rowbuf::keyed_row(9, 16, 100)).unwrap();
+            txn.update(t, IndexId(0), 9, rowbuf::keyed_row(9, 16, 100))
+                .unwrap();
         }
         let mut check = engine.begin(IsolationLevel::ReadCommitted);
-        assert_eq!(check.read(t, IndexId(0), 9).unwrap().map(|r| rowbuf::fill_of(&r)), Some(1));
+        assert_eq!(
+            check
+                .read(t, IndexId(0), 9)
+                .unwrap()
+                .map(|r| rowbuf::fill_of(&r)),
+            Some(1)
+        );
         check.commit().unwrap();
     }
 }

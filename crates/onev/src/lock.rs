@@ -33,7 +33,10 @@ struct LockState {
 
 impl LockState {
     fn mode_of(&self, txn: TxnId) -> Option<LockMode> {
-        self.holders.iter().find(|(t, _)| *t == txn).map(|(_, m)| *m)
+        self.holders
+            .iter()
+            .find(|(t, _)| *t == txn)
+            .map(|(_, m)| *m)
     }
 
     /// Can `txn` be granted `mode` right now?
@@ -155,7 +158,12 @@ pub struct LockTable {
 impl LockTable {
     /// Create a lock table covering `buckets` partitions.
     pub fn new(buckets: usize) -> LockTable {
-        LockTable { locks: (0..buckets.max(1)).map(|_| KeyLock::new()).collect::<Vec<_>>().into_boxed_slice() }
+        LockTable {
+            locks: (0..buckets.max(1))
+                .map(|_| KeyLock::new())
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+        }
     }
 
     /// The lock guarding `bucket`.
@@ -183,8 +191,14 @@ mod tests {
     #[test]
     fn shared_locks_are_compatible() {
         let lock = KeyLock::new();
-        assert_eq!(lock.acquire(T1, LockMode::Shared, LONG), Some(LockGrant::Acquired));
-        assert_eq!(lock.acquire(T2, LockMode::Shared, LONG), Some(LockGrant::Acquired));
+        assert_eq!(
+            lock.acquire(T1, LockMode::Shared, LONG),
+            Some(LockGrant::Acquired)
+        );
+        assert_eq!(
+            lock.acquire(T2, LockMode::Shared, LONG),
+            Some(LockGrant::Acquired)
+        );
         assert_eq!(lock.holder_count(), 2);
         lock.release(T1);
         lock.release(T2);
@@ -194,28 +208,52 @@ mod tests {
     #[test]
     fn exclusive_conflicts_and_times_out() {
         let lock = KeyLock::new();
-        assert_eq!(lock.acquire(T1, LockMode::Exclusive, LONG), Some(LockGrant::Acquired));
+        assert_eq!(
+            lock.acquire(T1, LockMode::Exclusive, LONG),
+            Some(LockGrant::Acquired)
+        );
         assert_eq!(lock.acquire(T2, LockMode::Shared, SHORT), None);
         assert_eq!(lock.acquire(T2, LockMode::Exclusive, SHORT), None);
         lock.release(T1);
-        assert_eq!(lock.acquire(T2, LockMode::Exclusive, SHORT), Some(LockGrant::Acquired));
+        assert_eq!(
+            lock.acquire(T2, LockMode::Exclusive, SHORT),
+            Some(LockGrant::Acquired)
+        );
     }
 
     #[test]
     fn reacquisition_is_idempotent() {
         let lock = KeyLock::new();
-        assert_eq!(lock.acquire(T1, LockMode::Shared, LONG), Some(LockGrant::Acquired));
-        assert_eq!(lock.acquire(T1, LockMode::Shared, LONG), Some(LockGrant::AlreadyHeld));
-        assert_eq!(lock.acquire(T1, LockMode::Exclusive, LONG), Some(LockGrant::Upgraded));
-        assert_eq!(lock.acquire(T1, LockMode::Shared, LONG), Some(LockGrant::AlreadyHeld));
+        assert_eq!(
+            lock.acquire(T1, LockMode::Shared, LONG),
+            Some(LockGrant::Acquired)
+        );
+        assert_eq!(
+            lock.acquire(T1, LockMode::Shared, LONG),
+            Some(LockGrant::AlreadyHeld)
+        );
+        assert_eq!(
+            lock.acquire(T1, LockMode::Exclusive, LONG),
+            Some(LockGrant::Upgraded)
+        );
+        assert_eq!(
+            lock.acquire(T1, LockMode::Shared, LONG),
+            Some(LockGrant::AlreadyHeld)
+        );
         assert_eq!(lock.holder_count(), 1);
     }
 
     #[test]
     fn upgrade_waits_for_other_readers() {
         let lock = Arc::new(KeyLock::new());
-        assert_eq!(lock.acquire(T1, LockMode::Shared, LONG), Some(LockGrant::Acquired));
-        assert_eq!(lock.acquire(T2, LockMode::Shared, LONG), Some(LockGrant::Acquired));
+        assert_eq!(
+            lock.acquire(T1, LockMode::Shared, LONG),
+            Some(LockGrant::Acquired)
+        );
+        assert_eq!(
+            lock.acquire(T2, LockMode::Shared, LONG),
+            Some(LockGrant::Acquired)
+        );
         // T1 cannot upgrade while T2 holds shared.
         assert_eq!(lock.acquire(T1, LockMode::Exclusive, SHORT), None);
         // Release T2 in the background; the upgrade then succeeds.
@@ -224,14 +262,20 @@ mod tests {
             std::thread::sleep(Duration::from_millis(20));
             l2.release(T2);
         });
-        assert_eq!(lock.acquire(T1, LockMode::Exclusive, LONG), Some(LockGrant::Upgraded));
+        assert_eq!(
+            lock.acquire(T1, LockMode::Exclusive, LONG),
+            Some(LockGrant::Upgraded)
+        );
         releaser.join().unwrap();
     }
 
     #[test]
     fn waiting_reader_wakes_on_release() {
         let lock = Arc::new(KeyLock::new());
-        assert_eq!(lock.acquire(T1, LockMode::Exclusive, LONG), Some(LockGrant::Acquired));
+        assert_eq!(
+            lock.acquire(T1, LockMode::Exclusive, LONG),
+            Some(LockGrant::Acquired)
+        );
         let l2 = Arc::clone(&lock);
         let reader = std::thread::spawn(move || l2.acquire(T2, LockMode::Shared, LONG));
         std::thread::sleep(Duration::from_millis(20));
@@ -243,11 +287,20 @@ mod tests {
     fn lock_table_partitions() {
         let table = LockTable::new(8);
         assert_eq!(table.partitions(), 8);
-        assert_eq!(table.lock_for(3).acquire(T1, LockMode::Exclusive, LONG), Some(LockGrant::Acquired));
+        assert_eq!(
+            table.lock_for(3).acquire(T1, LockMode::Exclusive, LONG),
+            Some(LockGrant::Acquired)
+        );
         // A different partition is unaffected.
-        assert_eq!(table.lock_for(4).acquire(T2, LockMode::Exclusive, SHORT), Some(LockGrant::Acquired));
+        assert_eq!(
+            table.lock_for(4).acquire(T2, LockMode::Exclusive, SHORT),
+            Some(LockGrant::Acquired)
+        );
         // The same partition (mod size) conflicts.
-        assert_eq!(table.lock_for(11).acquire(T2, LockMode::Shared, SHORT), None);
+        assert_eq!(
+            table.lock_for(11).acquire(T2, LockMode::Shared, SHORT),
+            None
+        );
     }
 
     #[test]
@@ -256,7 +309,10 @@ mod tests {
         lock.acquire(T1, LockMode::Exclusive, LONG).unwrap();
         assert_eq!(lock.acquire(T2, LockMode::Shared, SHORT), None);
         lock.downgrade(T1);
-        assert_eq!(lock.acquire(T2, LockMode::Shared, SHORT), Some(LockGrant::Acquired));
+        assert_eq!(
+            lock.acquire(T2, LockMode::Shared, SHORT),
+            Some(LockGrant::Acquired)
+        );
         assert_eq!(lock.mode_of(T1), Some(LockMode::Shared));
     }
 }

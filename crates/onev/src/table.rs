@@ -15,6 +15,9 @@ use mmdb_common::row::{Row, TableSpec};
 
 use crate::lock::LockTable;
 
+/// One bucket of a secondary index: (secondary key, primary key) pairs.
+type SecondaryBucket = RwLock<Vec<(Key, Key)>>;
+
 /// A single-version table.
 pub struct SvTable {
     id: TableId,
@@ -24,7 +27,7 @@ pub struct SvTable {
     primary: Vec<RwLock<Vec<Row>>>,
     /// Secondary index structures (one per index with slot ≥ 1): bucket →
     /// (secondary key, primary key) pairs.
-    secondaries: Vec<Vec<RwLock<Vec<(Key, Key)>>>>,
+    secondaries: Vec<Vec<SecondaryBucket>>,
     /// The partitioned lock table embedded in each index.
     locks: Vec<LockTable>,
 }
@@ -36,15 +39,31 @@ impl SvTable {
             return Err(MmdbError::Internal("a table needs at least one index"));
         }
         let primary_buckets = spec.indexes[0].buckets.max(1);
-        let primary = (0..primary_buckets).map(|_| RwLock::new(Vec::new())).collect();
+        let primary = (0..primary_buckets)
+            .map(|_| RwLock::new(Vec::new()))
+            .collect();
         let secondaries = spec
             .indexes
             .iter()
             .skip(1)
-            .map(|idx| (0..idx.buckets.max(1)).map(|_| RwLock::new(Vec::new())).collect())
+            .map(|idx| {
+                (0..idx.buckets.max(1))
+                    .map(|_| RwLock::new(Vec::new()))
+                    .collect()
+            })
             .collect();
-        let locks = spec.indexes.iter().map(|idx| LockTable::new(idx.buckets.max(1))).collect();
-        Ok(SvTable { id, spec, primary, secondaries, locks })
+        let locks = spec
+            .indexes
+            .iter()
+            .map(|idx| LockTable::new(idx.buckets.max(1)))
+            .collect();
+        Ok(SvTable {
+            id,
+            spec,
+            primary,
+            secondaries,
+            locks,
+        })
     }
 
     /// Table identifier.
@@ -64,7 +83,9 @@ impl SvTable {
 
     /// The partitioned lock table of `index`.
     pub fn lock_table(&self, index: IndexId) -> Result<&LockTable> {
-        self.locks.get(index.0 as usize).ok_or(MmdbError::IndexNotFound(self.id, index))
+        self.locks
+            .get(index.0 as usize)
+            .ok_or(MmdbError::IndexNotFound(self.id, index))
     }
 
     /// Key of `row` under `index`.
@@ -79,7 +100,11 @@ impl SvTable {
 
     /// Keys of `row` under every index.
     pub fn keys_of(&self, row: &[u8]) -> Result<Vec<Key>> {
-        self.spec.indexes.iter().map(|idx| idx.key.key_of(row)).collect()
+        self.spec
+            .indexes
+            .iter()
+            .map(|idx| idx.key.key_of(row))
+            .collect()
     }
 
     /// Whether `index` was declared unique.
@@ -96,12 +121,11 @@ impl SvTable {
     pub fn bucket_of_key(&self, index: IndexId, key: Key) -> Result<usize> {
         let buckets = match index.0 as usize {
             0 => self.primary.len(),
-            i => {
-                self.secondaries
-                    .get(i - 1)
-                    .ok_or(MmdbError::IndexNotFound(self.id, index))?
-                    .len()
-            }
+            i => self
+                .secondaries
+                .get(i - 1)
+                .ok_or(MmdbError::IndexNotFound(self.id, index))?
+                .len(),
         };
         Ok(bucket_of(key, buckets))
     }
@@ -128,7 +152,12 @@ impl SvTable {
             .get(index.0 as usize - 1)
             .ok_or(MmdbError::IndexNotFound(self.id, index))?;
         let bucket = self.bucket_of_key(index, key)?;
-        let pks: Vec<Key> = sec[bucket].read().iter().filter(|(k, _)| *k == key).map(|(_, pk)| *pk).collect();
+        let pks: Vec<Key> = sec[bucket]
+            .read()
+            .iter()
+            .filter(|(k, _)| *k == key)
+            .map(|(_, pk)| *pk)
+            .collect();
         let mut out = Vec::with_capacity(pks.len());
         for pk in pks {
             if let Some(row) = self.get_by_pk(pk)? {
@@ -150,7 +179,9 @@ impl SvTable {
         self.primary[bucket].write().push(row);
         for (slot, key) in keys.iter().enumerate().skip(1) {
             let sec_bucket = self.bucket_of_key(IndexId(slot as u32), *key)?;
-            self.secondaries[slot - 1][sec_bucket].write().push((*key, pk));
+            self.secondaries[slot - 1][sec_bucket]
+                .write()
+                .push((*key, pk));
         }
         Ok(())
     }
@@ -161,7 +192,9 @@ impl SvTable {
     pub fn update_row(&self, pk: Key, new_row: Row) -> Result<Option<Row>> {
         let new_keys = self.keys_of(&new_row)?;
         if new_keys[0] != pk {
-            return Err(MmdbError::Internal("update_row must preserve the primary key"));
+            return Err(MmdbError::Internal(
+                "update_row must preserve the primary key",
+            ));
         }
         let bucket = self.bucket_of_key(IndexId(0), pk)?;
         let old = {
@@ -185,12 +218,17 @@ impl SvTable {
             let old_bucket = self.bucket_of_key(IndexId(slot as u32), old_keys[slot])?;
             {
                 let mut entries = self.secondaries[slot - 1][old_bucket].write();
-                if let Some(pos) = entries.iter().position(|(k, p)| *k == old_keys[slot] && *p == pk) {
+                if let Some(pos) = entries
+                    .iter()
+                    .position(|(k, p)| *k == old_keys[slot] && *p == pk)
+                {
                     entries.swap_remove(pos);
                 }
             }
             let new_bucket = self.bucket_of_key(IndexId(slot as u32), new_keys[slot])?;
-            self.secondaries[slot - 1][new_bucket].write().push((new_keys[slot], pk));
+            self.secondaries[slot - 1][new_bucket]
+                .write()
+                .push((new_keys[slot], pk));
         }
         Ok(Some(old_row))
     }
@@ -211,10 +249,10 @@ impl SvTable {
         };
         let Some(old_row) = old else { return Ok(None) };
         let old_keys = self.keys_of(&old_row)?;
-        for slot in 1..self.spec.indexes.len() {
-            let sec_bucket = self.bucket_of_key(IndexId(slot as u32), old_keys[slot])?;
+        for (slot, old_key) in old_keys.iter().enumerate().skip(1) {
+            let sec_bucket = self.bucket_of_key(IndexId(slot as u32), *old_key)?;
             let mut entries = self.secondaries[slot - 1][sec_bucket].write();
-            if let Some(pos) = entries.iter().position(|(k, p)| *k == old_keys[slot] && *p == pk) {
+            if let Some(pos) = entries.iter().position(|(k, p)| k == old_key && *p == pk) {
                 entries.swap_remove(pos);
             }
         }
@@ -255,7 +293,8 @@ mod tests {
     fn insert_lookup_roundtrip() {
         let t = SvTable::new(TableId(0), spec()).unwrap();
         for k in 0..50u64 {
-            t.insert_row(rowbuf::keyed_row(k, 16, (k % 5) as u8)).unwrap();
+            t.insert_row(rowbuf::keyed_row(k, 16, (k % 5) as u8))
+                .unwrap();
         }
         assert_eq!(t.row_count(), 50);
         assert_eq!(t.get_by_pk(7).unwrap().map(|r| rowbuf::key_of(&r)), Some(7));
@@ -268,14 +307,20 @@ mod tests {
     fn update_fixes_secondary_entries() {
         let t = SvTable::new(TableId(0), spec()).unwrap();
         t.insert_row(rowbuf::keyed_row(1, 16, 3)).unwrap();
-        let old = t.update_row(1, rowbuf::keyed_row(1, 16, 9)).unwrap().unwrap();
+        let old = t
+            .update_row(1, rowbuf::keyed_row(1, 16, 9))
+            .unwrap()
+            .unwrap();
         assert_eq!(rowbuf::fill_of(&old), 3);
         let fill3 = mmdb_common::hash::hash_bytes(&[3u8]);
         let fill9 = mmdb_common::hash::hash_bytes(&[9u8]);
         assert!(t.lookup(IndexId(1), fill3).unwrap().is_empty());
         assert_eq!(t.lookup(IndexId(1), fill9).unwrap().len(), 1);
         // Updating a missing key is a no-op.
-        assert!(t.update_row(555, rowbuf::keyed_row(555, 16, 1)).unwrap().is_none());
+        assert!(t
+            .update_row(555, rowbuf::keyed_row(555, 16, 1))
+            .unwrap()
+            .is_none());
     }
 
     #[test]
@@ -300,6 +345,13 @@ mod tests {
 
     #[test]
     fn rejects_empty_spec() {
-        assert!(SvTable::new(TableId(0), TableSpec { name: "x".into(), indexes: vec![] }).is_err());
+        assert!(SvTable::new(
+            TableId(0),
+            TableSpec {
+                name: "x".into(),
+                indexes: vec![]
+            }
+        )
+        .is_err());
     }
 }

@@ -43,7 +43,10 @@ pub struct GcQueue {
 impl GcQueue {
     /// Create an empty queue.
     pub fn new() -> GcQueue {
-        GcQueue { queue: SegQueue::new(), pending: AtomicUsize::new(0) }
+        GcQueue {
+            queue: SegQueue::new(),
+            pending: AtomicUsize::new(0),
+        }
     }
 
     /// Enqueue a piece of garbage.
@@ -85,7 +88,9 @@ mod tests {
         let table = Table::new(TableId(0), TableSpec::keyed_u64("t", 4)).unwrap();
         let guard = epoch::pin();
         table.link_version(
-            table.make_committed_version(Timestamp(1), rowbuf::keyed_row(1, 16, 0)).unwrap(),
+            table
+                .make_committed_version(Timestamp(1), rowbuf::keyed_row(1, 16, 0))
+                .unwrap(),
             &guard,
         )
         // NOTE: the Table is dropped here and frees the version; tests below
@@ -98,7 +103,11 @@ mod tests {
         assert!(q.is_empty());
         let ptr = some_version_ptr();
         for i in 0..10u64 {
-            q.push(GcItem { table: TableId(0), version: ptr, reclaimable_at: Timestamp(i) });
+            q.push(GcItem {
+                table: TableId(0),
+                version: ptr,
+                reclaimable_at: Timestamp(i),
+            });
         }
         assert_eq!(q.len(), 10);
         let mut seen = 0;
@@ -121,7 +130,11 @@ mod tests {
                 let q = Arc::clone(&q);
                 std::thread::spawn(move || {
                     for i in 0..500u64 {
-                        q.push(GcItem { table: TableId(1), version: ptr, reclaimable_at: Timestamp(i) });
+                        q.push(GcItem {
+                            table: TableId(1),
+                            version: ptr,
+                            reclaimable_at: Timestamp(i),
+                        });
                     }
                 })
             })

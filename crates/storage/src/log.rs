@@ -97,7 +97,8 @@ impl NullLogger {
 
 impl RedoLogger for NullLogger {
     fn append(&self, _record: LogRecord) {
-        self.count.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.count
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     }
     fn records_written(&self) -> u64 {
         self.count.load(std::sync::atomic::Ordering::Relaxed)
@@ -177,7 +178,8 @@ impl RedoLogger for FileLogger {
                 }
             }
         }
-        self.count.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        self.count
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     }
 
     fn flush(&self) {
@@ -197,7 +199,10 @@ mod tests {
         LogRecord {
             end_ts: Timestamp(ts),
             ops: (0..rows)
-                .map(|i| LogOp::Write { table: TableId(0), row: Row::from(vec![i as u8; 24]) })
+                .map(|i| LogOp::Write {
+                    table: TableId(0),
+                    row: Row::from(vec![i as u8; 24]),
+                })
                 .collect(),
         }
     }
@@ -227,7 +232,13 @@ mod tests {
 
     #[test]
     fn delete_records_are_small() {
-        let rec = LogRecord { end_ts: Timestamp(5), ops: vec![LogOp::Delete { table: TableId(3), key: 42 }] };
+        let rec = LogRecord {
+            end_ts: Timestamp(5),
+            ops: vec![LogOp::Delete {
+                table: TableId(3),
+                key: 42,
+            }],
+        };
         assert_eq!(rec.byte_size(), 24);
     }
 

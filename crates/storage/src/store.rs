@@ -12,7 +12,7 @@ use parking_lot::RwLock;
 
 use mmdb_common::clock::GlobalClock;
 use mmdb_common::error::{MmdbError, Result};
-use mmdb_common::ids::TableId;
+use mmdb_common::ids::{TableId, Timestamp};
 use mmdb_common::row::{Row, TableSpec};
 use mmdb_common::stats::EngineStats;
 
@@ -141,7 +141,28 @@ impl MvStore {
         // Versions are reclaimable when every registered transaction began
         // after their retirement timestamp. With no active transactions,
         // everything already queued is reclaimable.
-        let watermark = self.txns.min_active_begin().unwrap_or_else(|| self.clock.now());
+        //
+        // The watermark is computed race-free in three ordered steps:
+        // 1. the pending-begin check catches transactions that drew a begin
+        //    timestamp but have not registered yet;
+        // 2. `sweep_floor` (the clock *before* the sweep) bounds the begin
+        //    timestamp of any transaction that registers into an
+        //    already-visited shard while the sweep runs — the sweep can miss
+        //    it, but its begin is necessarily >= this value;
+        // 3. the shard sweep covers everything registered before the sweep
+        //    reached its shard.
+        // Skipping any one of these lets the collector reclaim a version a
+        // live snapshot still needs (observed as reads returning None under
+        // the concurrency stress tests).
+        let watermark = if self.txns.has_pending_begins() {
+            Timestamp::ZERO
+        } else {
+            let sweep_floor = self.clock.now();
+            match self.txns.min_active_begin() {
+                Some(m) => m.min(sweep_floor),
+                None => sweep_floor,
+            }
+        };
         let guard = epoch::pin();
         let mut reclaimed = 0;
         let mut requeue = Vec::new();
@@ -227,12 +248,16 @@ mod tests {
         let old = {
             let mut it = table.candidates(IndexId(0), 3, &guard).unwrap();
             VersionPtr::from_shared(crossbeam::epoch::Shared::from(
-                it.next().unwrap() as *const _,
+                it.next().unwrap() as *const _
             ))
         };
         let retire_ts = store.clock().next_timestamp();
         old.get().set_end(EndWord::Timestamp(retire_ts));
-        store.enqueue_garbage(GcItem { table: t, version: old, reclaimable_at: retire_ts });
+        store.enqueue_garbage(GcItem {
+            table: t,
+            version: old,
+            reclaimable_at: retire_ts,
+        });
 
         // An "active" transaction that began before retirement blocks collection.
         let blocker = crate::txn_table::TxnHandle::new(
@@ -271,12 +296,16 @@ mod tests {
             let ptr = {
                 let mut it = table.candidates(IndexId(0), key, &guard).unwrap();
                 VersionPtr::from_shared(crossbeam::epoch::Shared::from(
-                    it.next().unwrap() as *const _,
+                    it.next().unwrap() as *const _
                 ))
             };
             let ts = store.clock().next_timestamp();
             ptr.get().set_end(EndWord::Timestamp(ts));
-            store.enqueue_garbage(GcItem { table: t, version: ptr, reclaimable_at: ts });
+            store.enqueue_garbage(GcItem {
+                table: t,
+                version: ptr,
+                reclaimable_at: ts,
+            });
         }
         // Bounded step: only collect 2 at a time.
         assert_eq!(store.collect_garbage(2), 2);

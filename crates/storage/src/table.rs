@@ -82,8 +82,18 @@ impl Table {
             .enumerate()
             .map(|(slot, idx)| HashIndex::new(slot, idx.buckets.max(1)))
             .collect();
-        let bucket_locks = spec.indexes.iter().map(|idx| BucketLockTable::new(idx.buckets.max(1))).collect();
-        Ok(Table { id, spec, indexes, bucket_locks, gc_lock: Mutex::new(()) })
+        let bucket_locks = spec
+            .indexes
+            .iter()
+            .map(|idx| BucketLockTable::new(idx.buckets.max(1)))
+            .collect();
+        Ok(Table {
+            id,
+            spec,
+            indexes,
+            bucket_locks,
+            gc_lock: Mutex::new(()),
+        })
     }
 
     /// Table identifier.
@@ -106,17 +116,25 @@ impl Table {
 
     /// Resolve an index id, or error.
     fn index(&self, index: IndexId) -> Result<&HashIndex<Version>> {
-        self.indexes.get(index.0 as usize).ok_or(MmdbError::IndexNotFound(self.id, index))
+        self.indexes
+            .get(index.0 as usize)
+            .ok_or(MmdbError::IndexNotFound(self.id, index))
     }
 
     /// The bucket-lock table of an index (pessimistic phantom protection).
     pub fn bucket_locks(&self, index: IndexId) -> Result<&BucketLockTable> {
-        self.bucket_locks.get(index.0 as usize).ok_or(MmdbError::IndexNotFound(self.id, index))
+        self.bucket_locks
+            .get(index.0 as usize)
+            .ok_or(MmdbError::IndexNotFound(self.id, index))
     }
 
     /// Extract the key of `row` under every index of this table (index order).
     pub fn keys_of(&self, row: &[u8]) -> Result<Vec<Key>> {
-        self.spec.indexes.iter().map(|idx| idx.key.key_of(row)).collect()
+        self.spec
+            .indexes
+            .iter()
+            .map(|idx| idx.key.key_of(row))
+            .collect()
     }
 
     /// Extract the key of `row` under one index.
@@ -145,7 +163,11 @@ impl Table {
     }
 
     /// Allocate a version for `row` (keys extracted per the spec).
-    pub fn make_version(&self, creator: mmdb_common::ids::TxnId, row: Row) -> Result<Owned<Version>> {
+    pub fn make_version(
+        &self,
+        creator: mmdb_common::ids::TxnId,
+        row: Row,
+    ) -> Result<Owned<Version>> {
         let keys = self.keys_of(&row)?;
         Ok(Owned::new(Version::new(creator, row, keys)))
     }
@@ -162,7 +184,7 @@ impl Table {
 
     /// Link a version into every index of the table and return a stable
     /// pointer to it.
-    pub fn link_version<'g>(&self, version: Owned<Version>, guard: &'g Guard) -> VersionPtr {
+    pub fn link_version(&self, version: Owned<Version>, guard: &Guard) -> VersionPtr {
         let shared = version.into_shared(guard);
         for index in &self.indexes {
             index.insert(shared, guard);
@@ -281,7 +303,10 @@ mod tests {
         }
         // Secondary: fill byte 2 → keys 2, 6, 10, 14, 18.
         let fill_key = mmdb_common::hash::hash_bytes(&[2u8]);
-        let hits: Vec<_> = table.candidates(IndexId(1), fill_key, &guard).unwrap().collect();
+        let hits: Vec<_> = table
+            .candidates(IndexId(1), fill_key, &guard)
+            .unwrap()
+            .collect();
         assert_eq!(hits.len(), 5);
         // Full scan sees everything.
         assert_eq!(table.scan_versions(IndexId(0), &guard).unwrap().count(), 20);
@@ -305,13 +330,16 @@ mod tests {
     fn unlink_removes_from_every_index() {
         let table = Table::new(TableId(0), two_index_spec()).unwrap();
         let guard = epoch::pin();
-        let ptr = table
-            .link_version(
-                table.make_committed_version(Timestamp(1), rowbuf::keyed_row(5, 16, 1)).unwrap(),
-                &guard,
-            );
+        let ptr = table.link_version(
+            table
+                .make_committed_version(Timestamp(1), rowbuf::keyed_row(5, 16, 1))
+                .unwrap(),
+            &guard,
+        );
         table.link_version(
-            table.make_committed_version(Timestamp(1), rowbuf::keyed_row(6, 16, 1)).unwrap(),
+            table
+                .make_committed_version(Timestamp(1), rowbuf::keyed_row(6, 16, 1))
+                .unwrap(),
             &guard,
         );
         {
@@ -320,7 +348,13 @@ mod tests {
         }
         assert_eq!(table.candidates(IndexId(0), 5, &guard).unwrap().count(), 0);
         let fill_key = mmdb_common::hash::hash_bytes(&[1u8]);
-        assert_eq!(table.candidates(IndexId(1), fill_key, &guard).unwrap().count(), 1);
+        assert_eq!(
+            table
+                .candidates(IndexId(1), fill_key, &guard)
+                .unwrap()
+                .count(),
+            1
+        );
         // The unlinked allocation still has to be freed exactly once.
         unsafe { guard.defer_destroy(ptr.as_shared(&guard)) };
     }
@@ -329,15 +363,22 @@ mod tests {
     fn version_ptr_roundtrip() {
         let table = Table::new(TableId(0), TableSpec::keyed_u64("t", 8)).unwrap();
         let guard = epoch::pin();
-        let ptr = table
-            .link_version(table.make_version(TxnId(1), rowbuf::keyed_row(1, 16, 0)).unwrap(), &guard);
+        let ptr = table.link_version(
+            table
+                .make_version(TxnId(1), rowbuf::keyed_row(1, 16, 0))
+                .unwrap(),
+            &guard,
+        );
         assert_eq!(rowbuf::key_of(ptr.get().data()), 1);
         assert_eq!(ptr.as_shared(&guard).as_raw() as usize, ptr.addr());
     }
 
     #[test]
     fn rejects_table_without_indexes() {
-        let spec = TableSpec { name: "empty".into(), indexes: vec![] };
+        let spec = TableSpec {
+            name: "empty".into(),
+            indexes: vec![],
+        };
         assert!(Table::new(TableId(0), spec).is_err());
     }
 
@@ -345,7 +386,10 @@ mod tests {
     fn row_not_matching_spec_is_rejected() {
         let table = Table::new(TableId(0), TableSpec::keyed_u64("t", 8)).unwrap();
         let short = Row::from(vec![1u8, 2, 3]);
-        assert!(matches!(table.keys_of(&short), Err(MmdbError::RowTooShort { .. })));
+        assert!(matches!(
+            table.keys_of(&short),
+            Err(MmdbError::RowTooShort { .. })
+        ));
         assert!(table.make_version(TxnId(1), short).is_err());
     }
 }

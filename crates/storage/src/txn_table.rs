@@ -19,7 +19,7 @@
 //! paper allows a transaction to wait (never during normal processing).
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -61,8 +61,28 @@ impl TxnState {
 
     /// Has the transaction reached a final outcome (committed or aborted)?
     pub fn is_final(self) -> bool {
-        matches!(self, TxnState::Committed | TxnState::Aborted | TxnState::Terminated)
+        matches!(
+            self,
+            TxnState::Committed | TxnState::Aborted | TxnState::Terminated
+        )
     }
+}
+
+/// Sentinel stored in the end-timestamp slot while the owning thread is
+/// between drawing the timestamp and publishing it (see
+/// [`TxnHandle::begin_precommit`]).
+const END_TS_PENDING: u64 = u64::MAX;
+
+/// Observed state of a transaction's end timestamp.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum EndTs {
+    /// Precommit has not started.
+    None,
+    /// The end timestamp is being drawn right now; it will appear in a few
+    /// instructions (observers should re-read).
+    Pending,
+    /// The published end timestamp.
+    At(Timestamp),
 }
 
 /// Outcome reported when registering a commit dependency on a transaction
@@ -137,7 +157,12 @@ pub struct TxnHandle {
 
 impl TxnHandle {
     /// Create a handle for a transaction that just acquired `begin_ts`.
-    pub fn new(id: TxnId, begin_ts: Timestamp, mode: ConcurrencyMode, isolation: IsolationLevel) -> Arc<TxnHandle> {
+    pub fn new(
+        id: TxnId,
+        begin_ts: Timestamp,
+        mode: ConcurrencyMode,
+        isolation: IsolationLevel,
+    ) -> Arc<TxnHandle> {
         Arc::new(TxnHandle {
             id,
             begin_ts,
@@ -193,13 +218,38 @@ impl TxnHandle {
         self.notify();
     }
 
-    /// End timestamp, if the transaction has precommitted.
+    /// End timestamp, if the transaction has precommitted (and the
+    /// timestamp is published — a pending precommit reads as `None` here;
+    /// use [`TxnHandle::end_ts_state`] to distinguish).
     #[inline]
     pub fn end_ts(&self) -> Option<Timestamp> {
         match self.end_ts.load(Ordering::Acquire) {
-            0 => None,
+            0 | END_TS_PENDING => None,
             raw => Some(Timestamp(raw)),
         }
+    }
+
+    /// Three-state view of the end timestamp.
+    #[inline]
+    pub fn end_ts_state(&self) -> EndTs {
+        match self.end_ts.load(Ordering::Acquire) {
+            0 => EndTs::None,
+            END_TS_PENDING => EndTs::Pending,
+            raw => EndTs::At(Timestamp(raw)),
+        }
+    }
+
+    /// Announce that the end timestamp is about to be drawn. **Must** be
+    /// called before `clock.next_timestamp()` at precommit: between the
+    /// draw and [`TxnHandle::set_end_ts`] the timestamp is already ordered
+    /// in the global clock but unpublished, and a thread preempted there
+    /// would look like a plain Active transaction — readers would treat its
+    /// writes as uncommitted, then the transaction finishes committing *in
+    /// the logical past* of those readers (torn snapshots, caught by the
+    /// concurrency stress tests). With the marker set, observers know a
+    /// timestamp is coming and wait the few instructions until it appears.
+    pub fn begin_precommit(&self) {
+        self.end_ts.store(END_TS_PENDING, Ordering::Release);
     }
 
     /// Record the end timestamp acquired at precommit.
@@ -212,13 +262,13 @@ impl TxnHandle {
     /// that if we observe Preparing/Committed the timestamp we read is the
     /// final one (the end timestamp is always written before the state
     /// switches to Preparing).
-    pub fn state_and_end(&self) -> (TxnState, Option<Timestamp>) {
-        let ts = self.end_ts();
+    pub fn state_and_end(&self) -> (TxnState, EndTs) {
+        let ts = self.end_ts_state();
         let state = self.state();
         // If the state advanced past Active after we read a missing
         // timestamp, re-read the timestamp: it must be set by now.
-        if ts.is_none() && state != TxnState::Active {
-            (state, self.end_ts())
+        if !matches!(ts, EndTs::At(_)) && state != TxnState::Active {
+            (state, self.end_ts_state())
         } else {
             (state, ts)
         }
@@ -364,6 +414,12 @@ impl TxnHandle {
         self.waiting_txn_list.lock().waiters.clone()
     }
 
+    /// Is `txn` registered in this transaction's WaitingTxnList? Checked
+    /// without cloning (hot path: wait-for deduplication during scans).
+    pub fn waiting_txns_contain(&self, txn: TxnId) -> bool {
+        self.waiting_txn_list.lock().waiters.contains(&txn)
+    }
+
     /// Record that this transaction read-locked `version` (deadlock-detector
     /// mirror of the ReadSet).
     pub fn record_read_lock(&self, version: VersionPtr) {
@@ -424,9 +480,32 @@ impl TxnHandle {
 /// Number of shards in the transaction table.
 const TXN_SHARDS: usize = 64;
 
+/// One shard of the transaction table.
+type TxnShard = RwLock<HashMap<u64, Arc<TxnHandle>>>;
+
 /// The global transaction table: transaction ID → handle.
 pub struct TxnTable {
-    shards: Box<[RwLock<HashMap<u64, Arc<TxnHandle>>>]>,
+    shards: Box<[TxnShard]>,
+    /// Number of threads currently between drawing a begin timestamp and
+    /// registering the handle. While non-zero, the garbage-collection
+    /// watermark must not advance: the pending transaction's begin timestamp
+    /// may be arbitrarily old by the time it registers (the thread can be
+    /// preempted in that window), and reclaiming a version it still needs
+    /// makes its reads come up empty.
+    pending_begins: AtomicUsize,
+}
+
+/// RAII guard for the draw-timestamp → register window of `begin`. Obtained
+/// from [`TxnTable::pending_begin`]; hold it across the timestamp draw and
+/// the [`TxnTable::register`] call.
+pub struct PendingBegin<'a> {
+    table: &'a TxnTable,
+}
+
+impl Drop for PendingBegin<'_> {
+    fn drop(&mut self) {
+        self.table.pending_begins.fetch_sub(1, Ordering::AcqRel);
+    }
 }
 
 impl Default for TxnTable {
@@ -439,18 +518,39 @@ impl TxnTable {
     /// Create an empty table.
     pub fn new() -> TxnTable {
         TxnTable {
-            shards: (0..TXN_SHARDS).map(|_| RwLock::new(HashMap::new())).collect::<Vec<_>>().into_boxed_slice(),
+            shards: (0..TXN_SHARDS)
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            pending_begins: AtomicUsize::new(0),
         }
     }
 
+    /// Mark the start of a `begin` operation. The returned guard must stay
+    /// alive until the new handle is registered; while any such guard exists,
+    /// [`TxnTable::min_active_begin`] reports [`Timestamp::ZERO`] so the
+    /// garbage collector reclaims nothing.
+    pub fn pending_begin(&self) -> PendingBegin<'_> {
+        self.pending_begins.fetch_add(1, Ordering::AcqRel);
+        PendingBegin { table: self }
+    }
+
+    /// True while any thread is between drawing a begin timestamp and
+    /// registering its handle.
+    pub fn has_pending_begins(&self) -> bool {
+        self.pending_begins.load(Ordering::Acquire) > 0
+    }
+
     #[inline]
-    fn shard(&self, id: TxnId) -> &RwLock<HashMap<u64, Arc<TxnHandle>>> {
+    fn shard(&self, id: TxnId) -> &TxnShard {
         &self.shards[(id.0 as usize) % TXN_SHARDS]
     }
 
     /// Register a handle.
     pub fn register(&self, handle: Arc<TxnHandle>) {
-        self.shard(handle.id()).write().insert(handle.id().0, handle);
+        self.shard(handle.id())
+            .write()
+            .insert(handle.id().0, handle);
     }
 
     /// Look a transaction up. Returns `None` if it has terminated and been
@@ -475,10 +575,22 @@ impl TxnTable {
         self.shards.iter().all(|s| s.read().is_empty())
     }
 
-    /// Minimum begin timestamp over all registered transactions. This is the
-    /// garbage-collection watermark: a version whose end timestamp is older
-    /// than this can no longer be visible to anyone.
+    /// Minimum begin timestamp over all registered transactions.
+    ///
+    /// **Caveat for reclamation:** the shard-by-shard sweep is not atomic — a
+    /// transaction that registers into an already-visited shard while the
+    /// sweep is running is missed. Such a transaction necessarily drew its
+    /// begin timestamp after the sweep started (anything earlier is caught by
+    /// the pending-begin check), so callers using this as a garbage-collection
+    /// watermark must additionally clamp it to a clock value read *before*
+    /// the sweep (see `MvStore::collect_garbage`).
     pub fn min_active_begin(&self) -> Option<Timestamp> {
+        if self.pending_begins.load(Ordering::Acquire) > 0 {
+            // A transaction is mid-`begin`: its (possibly already drawn,
+            // arbitrarily old) timestamp is not in the table yet, so no
+            // watermark above zero is safe.
+            return Some(Timestamp::ZERO);
+        }
         let mut min: Option<Timestamp> = None;
         for shard in self.shards.iter() {
             for handle in shard.read().values() {
@@ -504,7 +616,9 @@ impl TxnTable {
 
 impl std::fmt::Debug for TxnTable {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TxnTable").field("len", &self.len()).finish()
+        f.debug_struct("TxnTable")
+            .field("len", &self.len())
+            .finish()
     }
 }
 
@@ -513,7 +627,12 @@ mod tests {
     use super::*;
 
     fn handle(id: u64, begin: u64) -> Arc<TxnHandle> {
-        TxnHandle::new(TxnId(id), Timestamp(begin), ConcurrencyMode::Optimistic, IsolationLevel::Serializable)
+        TxnHandle::new(
+            TxnId(id),
+            Timestamp(begin),
+            ConcurrencyMode::Optimistic,
+            IsolationLevel::Serializable,
+        )
     }
 
     #[test]
@@ -523,7 +642,10 @@ mod tests {
         assert_eq!(h.end_ts(), None);
         h.set_end_ts(Timestamp(20));
         h.set_state(TxnState::Preparing);
-        assert_eq!(h.state_and_end(), (TxnState::Preparing, Some(Timestamp(20))));
+        assert_eq!(
+            h.state_and_end(),
+            (TxnState::Preparing, EndTs::At(Timestamp(20)))
+        );
         h.set_state(TxnState::Committed);
         assert!(h.state().is_final());
     }
@@ -534,7 +656,10 @@ mod tests {
         let dependent = handle(2, 11);
 
         dependent.add_incoming_commit_dep();
-        assert_eq!(target.add_commit_dependent(dependent.id()), DepRegistration::Registered);
+        assert_eq!(
+            target.add_commit_dependent(dependent.id()),
+            DepRegistration::Registered
+        );
         assert_eq!(dependent.commit_dep_count(), 1);
 
         let waiters = target.resolve_commit_dependents(true);
@@ -548,11 +673,17 @@ mod tests {
     fn commit_dep_after_resolution_is_answered_directly() {
         let target = handle(1, 10);
         target.resolve_commit_dependents(true);
-        assert_eq!(target.add_commit_dependent(TxnId(9)), DepRegistration::AlreadyCommitted);
+        assert_eq!(
+            target.add_commit_dependent(TxnId(9)),
+            DepRegistration::AlreadyCommitted
+        );
 
         let aborted = handle(3, 12);
         aborted.resolve_commit_dependents(false);
-        assert_eq!(aborted.add_commit_dependent(TxnId(9)), DepRegistration::AlreadyAborted);
+        assert_eq!(
+            aborted.add_commit_dependent(TxnId(9)),
+            DepRegistration::AlreadyAborted
+        );
     }
 
     #[test]
@@ -574,7 +705,10 @@ mod tests {
         assert_eq!(t.wait_for_count(), 0);
 
         t.close_wait_fors();
-        assert!(!t.try_add_wait_for(), "NoMoreWaitFors must refuse new dependencies");
+        assert!(
+            !t.try_add_wait_for(),
+            "NoMoreWaitFors must refuse new dependencies"
+        );
         assert_eq!(t.wait_for_count(), 0);
     }
 
@@ -586,7 +720,10 @@ mod tests {
         assert_eq!(t.peek_waiting_txns().len(), 2);
         let drained = t.take_waiting_txns();
         assert_eq!(drained, vec![TxnId(8), TxnId(9)]);
-        assert!(!t.add_waiting_txn(TxnId(10)), "registrations after release are refused");
+        assert!(
+            !t.add_waiting_txn(TxnId(10)),
+            "registrations after release are refused"
+        );
         assert!(t.take_waiting_txns().is_empty());
     }
 
@@ -633,5 +770,43 @@ mod tests {
     fn min_active_begin_empty_is_none() {
         let table = TxnTable::new();
         assert_eq!(table.min_active_begin(), None);
+    }
+
+    #[test]
+    fn pending_begin_blocks_the_watermark() {
+        let table = TxnTable::new();
+        table.register(handle(1, 500));
+        assert_eq!(table.min_active_begin(), Some(Timestamp(500)));
+        {
+            let _guard = table.pending_begin();
+            assert!(table.has_pending_begins());
+            assert_eq!(
+                table.min_active_begin(),
+                Some(Timestamp::ZERO),
+                "a transaction mid-begin must pin the watermark at zero"
+            );
+        }
+        assert!(!table.has_pending_begins());
+        assert_eq!(table.min_active_begin(), Some(Timestamp(500)));
+    }
+
+    #[test]
+    fn precommit_pending_is_not_a_published_timestamp() {
+        let h = handle(1, 10);
+        assert_eq!(h.end_ts_state(), EndTs::None);
+        h.begin_precommit();
+        assert_eq!(h.end_ts_state(), EndTs::Pending);
+        assert_eq!(
+            h.end_ts(),
+            None,
+            "a pending draw must not read as a timestamp"
+        );
+        assert_eq!(h.state_and_end(), (TxnState::Active, EndTs::Pending));
+        h.set_end_ts(Timestamp(20));
+        assert_eq!(h.end_ts_state(), EndTs::At(Timestamp(20)));
+        assert_eq!(
+            h.state_and_end(),
+            (TxnState::Active, EndTs::At(Timestamp(20)))
+        );
     }
 }

@@ -48,7 +48,10 @@ impl Version {
             begin: AtomicU64::new(BeginWord::Txn(creator).encode()),
             end: AtomicU64::new(EndWord::LATEST.encode()),
             keys: keys.into_boxed_slice(),
-            nexts: (0..n).map(|_| Atomic::null()).collect::<Vec<_>>().into_boxed_slice(),
+            nexts: (0..n)
+                .map(|_| Atomic::null())
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
             data,
         }
     }
@@ -57,7 +60,8 @@ impl Version {
     /// outside any transaction, e.g. workload loading).
     pub fn new_committed(begin: Timestamp, data: Row, keys: Vec<Key>) -> Version {
         let v = Version::new(TxnId(0), data, keys);
-        v.begin.store(BeginWord::Timestamp(begin).encode(), Ordering::Release);
+        v.begin
+            .store(BeginWord::Timestamp(begin).encode(), Ordering::Release);
         v
     }
 
@@ -93,7 +97,12 @@ impl Version {
     #[inline]
     pub fn cas_begin(&self, expected: BeginWord, new: BeginWord) -> bool {
         self.begin
-            .compare_exchange(expected.encode(), new.encode(), Ordering::AcqRel, Ordering::Acquire)
+            .compare_exchange(
+                expected.encode(),
+                new.encode(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
             .is_ok()
     }
 
@@ -126,7 +135,12 @@ impl Version {
     #[inline]
     pub fn cas_end(&self, expected: EndWord, new: EndWord) -> bool {
         self.end
-            .compare_exchange(expected.encode(), new.encode(), Ordering::AcqRel, Ordering::Acquire)
+            .compare_exchange(
+                expected.encode(),
+                new.encode(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
             .is_ok()
     }
 
@@ -136,7 +150,6 @@ impl Version {
         self.end
             .compare_exchange(expected, new, Ordering::AcqRel, Ordering::Acquire)
             .map(|_| ())
-            .map_err(|observed| observed)
     }
 
     /// Run a CAS loop transforming the End word's lock state. `f` receives
@@ -156,10 +169,12 @@ impl Version {
             let Some(new) = f(decoded) else {
                 return Err(decoded);
             };
-            match self
-                .end
-                .compare_exchange_weak(current, new.encode(), Ordering::AcqRel, Ordering::Acquire)
-            {
+            match self.end.compare_exchange_weak(
+                current,
+                new.encode(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
                 Ok(_) => return Ok((decoded, new)),
                 Err(observed) => current = observed,
             }
@@ -280,7 +295,10 @@ mod tests {
     fn cas_begin_only_replaces_expected() {
         let v = version();
         assert!(!v.cas_begin(BeginWord::Txn(TxnId(7)), BeginWord::Timestamp(Timestamp(1))));
-        assert!(v.cas_begin(BeginWord::Txn(TxnId(42)), BeginWord::Timestamp(Timestamp(1))));
+        assert!(v.cas_begin(
+            BeginWord::Txn(TxnId(42)),
+            BeginWord::Timestamp(Timestamp(1))
+        ));
         assert_eq!(v.begin_word().as_timestamp(), Some(Timestamp(1)));
     }
 }

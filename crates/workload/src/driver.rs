@@ -58,12 +58,22 @@ pub struct TxnOutcome {
 impl TxnOutcome {
     /// A committed transaction of `kind` with the given operation counts.
     pub fn committed(kind: TxnKind, reads: u64, writes: u64) -> TxnOutcome {
-        TxnOutcome { kind, committed: true, reads, writes }
+        TxnOutcome {
+            kind,
+            committed: true,
+            reads,
+            writes,
+        }
     }
 
     /// An aborted transaction of `kind`.
     pub fn aborted(kind: TxnKind, reads: u64, writes: u64) -> TxnOutcome {
-        TxnOutcome { kind, committed: false, reads, writes }
+        TxnOutcome {
+            kind,
+            committed: false,
+            reads,
+            writes,
+        }
     }
 }
 
@@ -156,7 +166,9 @@ where
             let body = &body;
             let stop = &stop;
             handles.push(scope.spawn(move || {
-                let mut rng = StdRng::seed_from_u64(0xC0FFEE ^ (worker as u64).wrapping_mul(0x9E3779B97F4A7C15));
+                let mut rng = StdRng::seed_from_u64(
+                    0xC0FFEE ^ (worker as u64).wrapping_mul(0x9E3779B97F4A7C15),
+                );
                 let mut tally = WorkerTally::default();
                 while !stop.load(Ordering::Relaxed) {
                     let outcome = body(engine, &mut rng, worker);
@@ -178,7 +190,10 @@ where
             std::thread::sleep(Duration::from_millis(5).min(duration));
         }
         stop.store(true, Ordering::Relaxed);
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     });
 
     let elapsed = start.elapsed();
@@ -223,23 +238,36 @@ mod tests {
     #[test]
     fn driver_counts_commits_and_reads() {
         let engine = MvEngine::optimistic(MvConfig::default());
-        let table = engine.create_table(TableSpec::keyed_u64("t", 1024)).unwrap();
-        engine.populate(table, (0..1000u64).map(|k| rowbuf::keyed_row(k, 16, 1))).unwrap();
+        let table = engine
+            .create_table(TableSpec::keyed_u64("t", 1024))
+            .unwrap();
+        engine
+            .populate(table, (0..1000u64).map(|k| rowbuf::keyed_row(k, 16, 1)))
+            .unwrap();
 
-        let report = run_for(&engine, 3, Duration::from_millis(200), |engine, rng, _worker| {
-            let mut txn = engine.begin(IsolationLevel::ReadCommitted);
-            let mut reads = 0;
-            for _ in 0..5 {
-                let key = rng.gen_range(0..1000u64);
-                if txn.read(table, mmdb_common::ids::IndexId(0), key).unwrap().is_some() {
-                    reads += 1;
+        let report = run_for(
+            &engine,
+            3,
+            Duration::from_millis(200),
+            |engine, rng, _worker| {
+                let mut txn = engine.begin(IsolationLevel::ReadCommitted);
+                let mut reads = 0;
+                for _ in 0..5 {
+                    let key = rng.gen_range(0..1000u64);
+                    if txn
+                        .read(table, mmdb_common::ids::IndexId(0), key)
+                        .unwrap()
+                        .is_some()
+                    {
+                        reads += 1;
+                    }
                 }
-            }
-            match txn.commit() {
-                Ok(_) => TxnOutcome::committed(TxnKind::ReadOnly, reads, 0),
-                Err(_) => TxnOutcome::aborted(TxnKind::ReadOnly, reads, 0),
-            }
-        });
+                match txn.commit() {
+                    Ok(_) => TxnOutcome::committed(TxnKind::ReadOnly, reads, 0),
+                    Err(_) => TxnOutcome::aborted(TxnKind::ReadOnly, reads, 0),
+                }
+            },
+        );
 
         assert!(report.committed > 0, "some transactions must commit");
         assert_eq!(report.committed, report.committed_of(TxnKind::ReadOnly));

@@ -30,7 +30,13 @@ pub struct ReadMix {
 impl ReadMix {
     /// Create a mix over `rows` rows with the given read-only fraction.
     pub fn new(rows: u64, read_only_fraction: f64) -> ReadMix {
-        ReadMix { base: Homogeneous { rows, ..Default::default() }, read_only_fraction }
+        ReadMix {
+            base: Homogeneous {
+                rows,
+                ..Default::default()
+            },
+            read_only_fraction,
+        }
     }
 
     /// Execute one transaction of the mix.
@@ -67,9 +73,16 @@ pub struct LongReaderMix {
 impl LongReaderMix {
     /// Standard configuration over `rows` rows with `long_readers` reporting
     /// threads, reading 10 % of the table per query.
-    pub fn new(rows: u64, long_readers: usize, long_reader_isolation: IsolationLevel) -> LongReaderMix {
+    pub fn new(
+        rows: u64,
+        long_readers: usize,
+        long_reader_isolation: IsolationLevel,
+    ) -> LongReaderMix {
         LongReaderMix {
-            base: Homogeneous { rows, ..Default::default() },
+            base: Homogeneous {
+                rows,
+                ..Default::default()
+            },
             long_readers,
             reads_per_long_txn: (rows / 10).max(1),
             long_reader_isolation,
@@ -79,7 +92,13 @@ impl LongReaderMix {
     /// Execute one transaction for worker `worker`: the first
     /// `self.long_readers` workers run long read-only queries, the rest run
     /// short updates.
-    pub fn run_one<E: Engine>(&self, engine: &E, table: TableId, rng: &mut StdRng, worker: usize) -> TxnOutcome {
+    pub fn run_one<E: Engine>(
+        &self,
+        engine: &E,
+        table: TableId,
+        rng: &mut StdRng,
+        worker: usize,
+    ) -> TxnOutcome {
         if worker < self.long_readers {
             self.run_long_reader(engine, table, rng)
         } else {
@@ -90,7 +109,12 @@ impl LongReaderMix {
     /// One long read-only transaction touching `reads_per_long_txn` rows.
     /// Reads walk a random contiguous key range (wrapping), which models an
     /// operational reporting query scanning a slice of the table.
-    pub fn run_long_reader<E: Engine>(&self, engine: &E, table: TableId, rng: &mut StdRng) -> TxnOutcome {
+    pub fn run_long_reader<E: Engine>(
+        &self,
+        engine: &E,
+        table: TableId,
+        rng: &mut StdRng,
+    ) -> TxnOutcome {
         let mut txn = engine.begin(self.long_reader_isolation);
         let start = rng.gen_range(0..self.base.rows);
         let mut reads = 0u64;
@@ -164,8 +188,14 @@ mod tests {
         let report = run_for(&engine, 2, Duration::from_millis(150), |e, rng, worker| {
             mix.run_one(e, table, rng, worker)
         });
-        assert!(report.committed_of(TxnKind::LongRead) > 0, "worker 0 ran long readers");
-        assert!(report.committed_of(TxnKind::Update) > 0, "worker 1 ran updates");
+        assert!(
+            report.committed_of(TxnKind::LongRead) > 0,
+            "worker 0 ran long readers"
+        );
+        assert!(
+            report.committed_of(TxnKind::Update) > 0,
+            "worker 1 ran updates"
+        );
         assert!(report.read_rate_of(TxnKind::LongRead) > 0.0);
     }
 
@@ -180,27 +210,42 @@ mod tests {
 
         let rows = 300u64;
         let sv = SvEngine::new(SvConfig::default().with_lock_timeout(Duration::from_millis(20)));
-        let table = Homogeneous { rows, ..Default::default() }.setup(&sv).unwrap();
+        let table = Homogeneous {
+            rows,
+            ..Default::default()
+        }
+        .setup(&sv)
+        .unwrap();
         let mut long_reader = sv.begin(IsolationLevel::Serializable);
         for key in 0..30u64 {
             assert!(long_reader.read(table, IndexId(0), key).unwrap().is_some());
         }
         let mut updater = sv.begin(IsolationLevel::ReadCommitted);
         let result = updater.update(table, IndexId(0), 5, rowbuf::keyed_row(5, 16, 9));
-        assert!(matches!(result, Err(mmdb_common::MmdbError::LockTimeout { .. })), "{result:?}");
+        assert!(
+            matches!(result, Err(mmdb_common::MmdbError::LockTimeout { .. })),
+            "{result:?}"
+        );
         updater.abort();
         long_reader.commit().unwrap();
 
         // The multiversion engine is unaffected: the long reader runs under
         // snapshot isolation and takes no locks.
         let mv = MvEngine::optimistic(MvConfig::default());
-        let table = Homogeneous { rows, ..Default::default() }.setup(&mv).unwrap();
+        let table = Homogeneous {
+            rows,
+            ..Default::default()
+        }
+        .setup(&mv)
+        .unwrap();
         let mut long_reader = mv.begin(IsolationLevel::SnapshotIsolation);
         for key in 0..30u64 {
             assert!(long_reader.read(table, IndexId(0), key).unwrap().is_some());
         }
         let mut updater = mv.begin(IsolationLevel::ReadCommitted);
-        assert!(updater.update(table, IndexId(0), 5, rowbuf::keyed_row(5, 16, 9)).unwrap());
+        assert!(updater
+            .update(table, IndexId(0), 5, rowbuf::keyed_row(5, 16, 9))
+            .unwrap());
         updater.commit().unwrap();
         long_reader.commit().unwrap();
     }

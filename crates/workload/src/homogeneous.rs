@@ -33,7 +33,12 @@ pub struct Homogeneous {
 impl Default for Homogeneous {
     fn default() -> Self {
         // The paper's standard short update transaction: R=10, W=2.
-        Homogeneous { rows: 1_000_000, reads: 10, writes: 2, isolation: IsolationLevel::ReadCommitted }
+        Homogeneous {
+            rows: 1_000_000,
+            reads: 10,
+            writes: 2,
+            isolation: IsolationLevel::ReadCommitted,
+        }
     }
 }
 
@@ -43,12 +48,18 @@ pub const ROW_FILLER: usize = 16;
 impl Homogeneous {
     /// The paper's low-contention configuration (Figure 4), scaled by `rows`.
     pub fn low_contention(rows: u64) -> Homogeneous {
-        Homogeneous { rows, ..Default::default() }
+        Homogeneous {
+            rows,
+            ..Default::default()
+        }
     }
 
     /// The paper's hotspot configuration (Figure 5): N = 1,000.
     pub fn high_contention() -> Homogeneous {
-        Homogeneous { rows: 1_000, ..Default::default() }
+        Homogeneous {
+            rows: 1_000,
+            ..Default::default()
+        }
     }
 
     /// Create and populate the table; returns its id.
@@ -88,7 +99,11 @@ impl Homogeneous {
         writes: usize,
         isolation: IsolationLevel,
     ) -> TxnOutcome {
-        let kind = if writes == 0 { TxnKind::ReadOnly } else { TxnKind::Update };
+        let kind = if writes == 0 {
+            TxnKind::ReadOnly
+        } else {
+            TxnKind::Update
+        };
         let mut txn = engine.begin(isolation);
         let mut done_reads = 0u64;
         let mut done_writes = 0u64;
@@ -103,7 +118,12 @@ impl Homogeneous {
             for _ in 0..writes {
                 let key = rng.gen_range(0..self.rows);
                 let fill = rng.gen::<u8>();
-                if txn.update(table, IndexId(0), key, rowbuf::keyed_row(key, ROW_FILLER, fill))? {
+                if txn.update(
+                    table,
+                    IndexId(0),
+                    key,
+                    rowbuf::keyed_row(key, ROW_FILLER, fill),
+                )? {
                     done_writes += 1;
                 }
             }
@@ -134,7 +154,10 @@ mod tests {
 
     #[test]
     fn setup_populates_requested_rows() {
-        let workload = Homogeneous { rows: 500, ..Default::default() };
+        let workload = Homogeneous {
+            rows: 500,
+            ..Default::default()
+        };
         let engine = MvEngine::optimistic(MvConfig::default());
         let table = workload.setup(&engine).unwrap();
         let mut txn = engine.begin(IsolationLevel::ReadCommitted);
@@ -146,7 +169,12 @@ mod tests {
 
     #[test]
     fn run_one_reports_operation_counts() {
-        let workload = Homogeneous { rows: 200, reads: 5, writes: 2, ..Default::default() };
+        let workload = Homogeneous {
+            rows: 200,
+            reads: 5,
+            writes: 2,
+            ..Default::default()
+        };
         let engine = MvEngine::optimistic(MvConfig::default());
         let table = workload.setup(&engine).unwrap();
         let mut rng = StdRng::seed_from_u64(7);
@@ -159,32 +187,53 @@ mod tests {
 
     #[test]
     fn read_only_variant_is_classified_read_only() {
-        let workload = Homogeneous { rows: 100, ..Default::default() };
+        let workload = Homogeneous {
+            rows: 100,
+            ..Default::default()
+        };
         let engine = MvEngine::optimistic(MvConfig::default());
         let table = workload.setup(&engine).unwrap();
         let mut rng = StdRng::seed_from_u64(3);
-        let outcome = workload.run_one_with(&engine, table, &mut rng, 10, 0, IsolationLevel::ReadCommitted);
+        let outcome = workload.run_one_with(
+            &engine,
+            table,
+            &mut rng,
+            10,
+            0,
+            IsolationLevel::ReadCommitted,
+        );
         assert_eq!(outcome.kind, TxnKind::ReadOnly);
         assert_eq!(outcome.writes, 0);
     }
 
     #[test]
     fn works_against_all_three_engines() {
-        let workload = Homogeneous { rows: 300, reads: 4, writes: 1, ..Default::default() };
+        let workload = Homogeneous {
+            rows: 300,
+            reads: 4,
+            writes: 1,
+            ..Default::default()
+        };
 
         let mv_o = MvEngine::optimistic(MvConfig::default());
         let t = workload.setup(&mv_o).unwrap();
-        let r = run_for(&mv_o, 2, Duration::from_millis(100), |e, rng, _| workload.run_one(e, t, rng));
+        let r = run_for(&mv_o, 2, Duration::from_millis(100), |e, rng, _| {
+            workload.run_one(e, t, rng)
+        });
         assert!(r.committed > 0);
 
         let mv_l = MvEngine::pessimistic(MvConfig::default());
         let t = workload.setup(&mv_l).unwrap();
-        let r = run_for(&mv_l, 2, Duration::from_millis(100), |e, rng, _| workload.run_one(e, t, rng));
+        let r = run_for(&mv_l, 2, Duration::from_millis(100), |e, rng, _| {
+            workload.run_one(e, t, rng)
+        });
         assert!(r.committed > 0);
 
         let sv = SvEngine::new(SvConfig::default());
         let t = workload.setup(&sv).unwrap();
-        let r = run_for(&sv, 2, Duration::from_millis(100), |e, rng, _| workload.run_one(e, t, rng));
+        let r = run_for(&sv, 2, Duration::from_millis(100), |e, rng, _| {
+            workload.run_one(e, t, rng)
+        });
         assert!(r.committed > 0);
     }
 }

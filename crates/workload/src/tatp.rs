@@ -83,14 +83,20 @@ pub struct Tatp {
 
 impl Default for Tatp {
     fn default() -> Self {
-        Tatp { subscribers: 200_000, isolation: IsolationLevel::ReadCommitted }
+        Tatp {
+            subscribers: 200_000,
+            isolation: IsolationLevel::ReadCommitted,
+        }
     }
 }
 
 impl Tatp {
     /// Create a TATP workload for `subscribers` subscribers.
     pub fn new(subscribers: u64) -> Tatp {
-        Tatp { subscribers, ..Default::default() }
+        Tatp {
+            subscribers,
+            ..Default::default()
+        }
     }
 
     /// The `A` constant of TATP's non-uniform subscriber-ID distribution.
@@ -131,7 +137,8 @@ impl Tatp {
             v[44 + i] = rng.gen::<u8>();
         }
         v[54..58].copy_from_slice(&rng.gen::<u32>().to_le_bytes());
-        v[layout::VLR_OFFSET..layout::VLR_OFFSET + 4].copy_from_slice(&rng.gen::<u32>().to_le_bytes());
+        v[layout::VLR_OFFSET..layout::VLR_OFFSET + 4]
+            .copy_from_slice(&rng.gen::<u32>().to_le_bytes());
         Row::from(v)
     }
 
@@ -164,7 +171,13 @@ impl Tatp {
         Row::from(v)
     }
 
-    fn call_forwarding_row(s_id: u64, sf_type: u8, start_time: u8, end_time: u8, rng: &mut StdRng) -> Row {
+    fn call_forwarding_row(
+        s_id: u64,
+        sf_type: u8,
+        start_time: u8,
+        end_time: u8,
+        rng: &mut StdRng,
+    ) -> Row {
         let mut v = vec![0u8; layout::CALL_FORWARDING_LEN];
         let pk = Self::cf_pk(s_id, sf_type, start_time);
         let group = Self::cf_group(s_id, sf_type);
@@ -206,20 +219,21 @@ impl Tatp {
     /// Create the four tables.
     pub fn create_tables<E: Engine>(&self, engine: &E) -> Result<TatpTables> {
         let n = self.subscribers as usize;
-        let subscriber = engine.create_table(
-            TableSpec {
-                name: "subscriber".into(),
-                indexes: vec![
-                    IndexSpec::unique_u64("s_id", 0, n.max(16)),
-                    IndexSpec {
-                        name: "sub_nbr".into(),
-                        key: KeySpec::BytesAt { offset: layout::SUB_NBR_OFFSET, len: layout::SUB_NBR_LEN },
-                        buckets: n.max(16),
-                        unique: true,
+        let subscriber = engine.create_table(TableSpec {
+            name: "subscriber".into(),
+            indexes: vec![
+                IndexSpec::unique_u64("s_id", 0, n.max(16)),
+                IndexSpec {
+                    name: "sub_nbr".into(),
+                    key: KeySpec::BytesAt {
+                        offset: layout::SUB_NBR_OFFSET,
+                        len: layout::SUB_NBR_LEN,
                     },
-                ],
-            },
-        )?;
+                    buckets: n.max(16),
+                    unique: true,
+                },
+            ],
+        })?;
         let access_info = engine.create_table(TableSpec {
             name: "access_info".into(),
             indexes: vec![
@@ -241,7 +255,12 @@ impl Tatp {
                 IndexSpec::multi_u64("by_group", 8, (n * 4).max(16)),
             ],
         })?;
-        Ok(TatpTables { subscriber, access_info, special_facility, call_forwarding })
+        Ok(TatpTables {
+            subscriber,
+            access_info,
+            special_facility,
+            call_forwarding,
+        })
     }
 
     /// Create and populate the database. Returns the table handles.
@@ -261,26 +280,38 @@ impl Tatp {
         Ok(tables)
     }
 
-    fn populate_subscriber<T: EngineTxn>(&self, txn: &mut T, tables: TatpTables, s_id: u64, rng: &mut StdRng) -> Result<()> {
+    fn populate_subscriber<T: EngineTxn>(
+        &self,
+        txn: &mut T,
+        tables: TatpTables,
+        s_id: u64,
+        rng: &mut StdRng,
+    ) -> Result<()> {
         txn.insert(tables.subscriber, Self::subscriber_row(s_id, rng))?;
 
         let mut types = [1u8, 2, 3, 4];
         types.shuffle(rng);
         let ai_count = rng.gen_range(1..=4usize);
         for &ai_type in &types[..ai_count] {
-            txn.insert(tables.access_info, Self::access_info_row(s_id, ai_type, rng))?;
+            txn.insert(
+                tables.access_info,
+                Self::access_info_row(s_id, ai_type, rng),
+            )?;
         }
 
         types.shuffle(rng);
         let sf_count = rng.gen_range(1..=4usize);
         for &sf_type in &types[..sf_count] {
             let is_active = rng.gen_range(0..100) < 85;
-            txn.insert(tables.special_facility, Self::special_facility_row(s_id, sf_type, is_active, rng))?;
+            txn.insert(
+                tables.special_facility,
+                Self::special_facility_row(s_id, sf_type, is_active, rng),
+            )?;
             let mut starts = [0u8, 8, 16];
             starts.shuffle(rng);
             let cf_count = rng.gen_range(0..=3usize);
             for &start in &starts[..cf_count] {
-                let end = start + rng.gen_range(1..=8);
+                let end = start + rng.gen_range(1u8..=8);
                 txn.insert(
                     tables.call_forwarding,
                     Self::call_forwarding_row(s_id, sf_type, start, end, rng),
@@ -293,7 +324,12 @@ impl Tatp {
     // ---- the seven transactions ----
 
     /// Execute one transaction of the standard TATP mix.
-    pub fn run_one<E: Engine>(&self, engine: &E, tables: TatpTables, rng: &mut StdRng) -> TxnOutcome {
+    pub fn run_one<E: Engine>(
+        &self,
+        engine: &E,
+        tables: TatpTables,
+        rng: &mut StdRng,
+    ) -> TxnOutcome {
         let dice = rng.gen_range(0..100u32);
         let result = if dice < 35 {
             self.get_subscriber_data(engine, tables, rng)
@@ -322,49 +358,88 @@ impl Tatp {
     }
 
     /// GET_SUBSCRIBER_DATA (35 %): read one subscriber row by `s_id`.
-    pub fn get_subscriber_data<E: Engine>(&self, engine: &E, tables: TatpTables, rng: &mut StdRng) -> Result<(u64, u64)> {
+    pub fn get_subscriber_data<E: Engine>(
+        &self,
+        engine: &E,
+        tables: TatpTables,
+        rng: &mut StdRng,
+    ) -> Result<(u64, u64)> {
         let s_id = self.random_s_id(rng);
         let mut txn = engine.begin(self.isolation);
-        let found = run_or_abort(&mut txn, |txn| txn.read(tables.subscriber, IndexId(0), s_id))?;
+        let found = run_or_abort(&mut txn, |txn| {
+            txn.read(tables.subscriber, IndexId(0), s_id)
+        })?;
         Self::finish(txn, found.is_some() as u64, 0)
     }
 
     /// GET_NEW_DESTINATION (10 %): read SPECIAL_FACILITY and the matching
     /// CALL_FORWARDING rows, filtering on activity and time window.
-    pub fn get_new_destination<E: Engine>(&self, engine: &E, tables: TatpTables, rng: &mut StdRng) -> Result<(u64, u64)> {
+    pub fn get_new_destination<E: Engine>(
+        &self,
+        engine: &E,
+        tables: TatpTables,
+        rng: &mut StdRng,
+    ) -> Result<(u64, u64)> {
         let s_id = self.random_s_id(rng);
         let sf_type = rng.gen_range(1..=4u8);
         let start_time = [0u8, 8, 16][rng.gen_range(0..3usize)];
         let mut txn = engine.begin(self.isolation);
         let mut reads = 0u64;
-        let sf = run_or_abort(&mut txn, |txn| txn.read(tables.special_facility, IndexId(0), Self::sf_pk(s_id, sf_type)))?;
+        let sf = run_or_abort(&mut txn, |txn| {
+            txn.read(
+                tables.special_facility,
+                IndexId(0),
+                Self::sf_pk(s_id, sf_type),
+            )
+        })?;
         reads += 1;
-        let active = sf.map(|row| row[layout::SF_IS_ACTIVE_OFFSET] == 1).unwrap_or(false);
+        let active = sf
+            .map(|row| row[layout::SF_IS_ACTIVE_OFFSET] == 1)
+            .unwrap_or(false);
         if active {
             let cfs = run_or_abort(&mut txn, |txn| {
-                txn.scan_key(tables.call_forwarding, IndexId(1), Self::cf_group(s_id, sf_type))
+                txn.scan_key(
+                    tables.call_forwarding,
+                    IndexId(1),
+                    Self::cf_group(s_id, sf_type),
+                )
             })?;
             reads += cfs.len() as u64;
             let _matches = cfs
                 .iter()
-                .filter(|row| row[layout::CF_START_OFFSET] <= start_time && start_time < row[layout::CF_END_OFFSET])
+                .filter(|row| {
+                    row[layout::CF_START_OFFSET] <= start_time
+                        && start_time < row[layout::CF_END_OFFSET]
+                })
                 .count();
         }
         Self::finish(txn, reads, 0)
     }
 
     /// GET_ACCESS_DATA (35 %): read one ACCESS_INFO row.
-    pub fn get_access_data<E: Engine>(&self, engine: &E, tables: TatpTables, rng: &mut StdRng) -> Result<(u64, u64)> {
+    pub fn get_access_data<E: Engine>(
+        &self,
+        engine: &E,
+        tables: TatpTables,
+        rng: &mut StdRng,
+    ) -> Result<(u64, u64)> {
         let s_id = self.random_s_id(rng);
         let ai_type = rng.gen_range(1..=4u8);
         let mut txn = engine.begin(self.isolation);
-        let found = run_or_abort(&mut txn, |txn| txn.read(tables.access_info, IndexId(0), Self::ai_pk(s_id, ai_type)))?;
+        let found = run_or_abort(&mut txn, |txn| {
+            txn.read(tables.access_info, IndexId(0), Self::ai_pk(s_id, ai_type))
+        })?;
         Self::finish(txn, found.is_some() as u64, 0)
     }
 
     /// UPDATE_SUBSCRIBER_DATA (2 %): flip `bit_1` of a subscriber and update
     /// `data_a` of one of its special facilities.
-    pub fn update_subscriber_data<E: Engine>(&self, engine: &E, tables: TatpTables, rng: &mut StdRng) -> Result<(u64, u64)> {
+    pub fn update_subscriber_data<E: Engine>(
+        &self,
+        engine: &E,
+        tables: TatpTables,
+        rng: &mut StdRng,
+    ) -> Result<(u64, u64)> {
         let s_id = self.random_s_id(rng);
         let sf_type = rng.gen_range(1..=4u8);
         let bit: u8 = rng.gen_range(0..=1);
@@ -373,22 +448,30 @@ impl Tatp {
         let mut writes = 0u64;
         let mut reads = 0u64;
 
-        let sub = run_or_abort(&mut txn, |txn| txn.read(tables.subscriber, IndexId(0), s_id))?;
+        let sub = run_or_abort(&mut txn, |txn| {
+            txn.read(tables.subscriber, IndexId(0), s_id)
+        })?;
         reads += 1;
         if let Some(row) = sub {
             let mut new = row.to_vec();
             new[layout::BIT1_OFFSET] = bit;
-            if run_or_abort(&mut txn, |txn| txn.update(tables.subscriber, IndexId(0), s_id, Row::from(new)))? {
+            if run_or_abort(&mut txn, |txn| {
+                txn.update(tables.subscriber, IndexId(0), s_id, Row::from(new))
+            })? {
                 writes += 1;
             }
         }
         let sf_key = Self::sf_pk(s_id, sf_type);
-        let sf = run_or_abort(&mut txn, |txn| txn.read(tables.special_facility, IndexId(0), sf_key))?;
+        let sf = run_or_abort(&mut txn, |txn| {
+            txn.read(tables.special_facility, IndexId(0), sf_key)
+        })?;
         reads += 1;
         if let Some(row) = sf {
             let mut new = row.to_vec();
             new[layout::SF_DATA_A_OFFSET] = data_a;
-            if run_or_abort(&mut txn, |txn| txn.update(tables.special_facility, IndexId(0), sf_key, Row::from(new)))? {
+            if run_or_abort(&mut txn, |txn| {
+                txn.update(tables.special_facility, IndexId(0), sf_key, Row::from(new))
+            })? {
                 writes += 1;
             }
         }
@@ -397,7 +480,12 @@ impl Tatp {
 
     /// UPDATE_LOCATION (14 %): look a subscriber up by `sub_nbr` (secondary
     /// index) and update its `vlr_location`.
-    pub fn update_location<E: Engine>(&self, engine: &E, tables: TatpTables, rng: &mut StdRng) -> Result<(u64, u64)> {
+    pub fn update_location<E: Engine>(
+        &self,
+        engine: &E,
+        tables: TatpTables,
+        rng: &mut StdRng,
+    ) -> Result<(u64, u64)> {
         let s_id = self.random_s_id(rng);
         let new_location: u32 = rng.gen();
         let sub_nbr = Self::sub_nbr_of(s_id);
@@ -407,9 +495,12 @@ impl Tatp {
         let mut writes = 0u64;
         if let Some(row) = sub {
             let mut new = row.to_vec();
-            new[layout::VLR_OFFSET..layout::VLR_OFFSET + 4].copy_from_slice(&new_location.to_le_bytes());
+            new[layout::VLR_OFFSET..layout::VLR_OFFSET + 4]
+                .copy_from_slice(&new_location.to_le_bytes());
             let pk = u64::from_le_bytes(row[0..8].try_into().expect("row has s_id"));
-            if run_or_abort(&mut txn, |txn| txn.update(tables.subscriber, IndexId(0), pk, Row::from(new)))? {
+            if run_or_abort(&mut txn, |txn| {
+                txn.update(tables.subscriber, IndexId(0), pk, Row::from(new))
+            })? {
                 writes += 1;
             }
         }
@@ -419,7 +510,12 @@ impl Tatp {
     /// INSERT_CALL_FORWARDING (2 %): read the subscriber by `sub_nbr`, read
     /// its special facilities and insert a CALL_FORWARDING row (a no-op if an
     /// identical window already exists).
-    pub fn insert_call_forwarding<E: Engine>(&self, engine: &E, tables: TatpTables, rng: &mut StdRng) -> Result<(u64, u64)> {
+    pub fn insert_call_forwarding<E: Engine>(
+        &self,
+        engine: &E,
+        tables: TatpTables,
+        rng: &mut StdRng,
+    ) -> Result<(u64, u64)> {
         let s_id = self.random_s_id(rng);
         let sf_type = rng.gen_range(1..=4u8);
         let start_time = [0u8, 8, 16][rng.gen_range(0..3usize)];
@@ -430,10 +526,16 @@ impl Tatp {
 
         let sub_nbr = Self::sub_nbr_of(s_id);
         let _sub = run_or_abort(&mut txn, |txn| {
-            txn.read(tables.subscriber, IndexId(1), mmdb_common::hash::hash_bytes(&sub_nbr))
+            txn.read(
+                tables.subscriber,
+                IndexId(1),
+                mmdb_common::hash::hash_bytes(&sub_nbr),
+            )
         })?;
         reads += 1;
-        let sfs = run_or_abort(&mut txn, |txn| txn.scan_key(tables.special_facility, IndexId(1), s_id))?;
+        let sfs = run_or_abort(&mut txn, |txn| {
+            txn.scan_key(tables.special_facility, IndexId(1), s_id)
+        })?;
         reads += sfs.len() as u64;
         let has_sf = sfs.iter().any(|row| row[16] == sf_type);
         if has_sf {
@@ -441,11 +543,15 @@ impl Tatp {
             // TATP counts an existing row as an expected logical failure, not
             // an abort.
             let pk = Self::cf_pk(s_id, sf_type, start_time);
-            let existing = run_or_abort(&mut txn, |txn| txn.read(tables.call_forwarding, IndexId(0), pk))?;
+            let existing = run_or_abort(&mut txn, |txn| {
+                txn.read(tables.call_forwarding, IndexId(0), pk)
+            })?;
             reads += 1;
             if existing.is_none() {
                 let row = Self::call_forwarding_row(s_id, sf_type, start_time, end_time, rng);
-                run_or_abort(&mut txn, |txn| txn.insert(tables.call_forwarding, row.clone()))?;
+                run_or_abort(&mut txn, |txn| {
+                    txn.insert(tables.call_forwarding, row.clone())
+                })?;
                 writes += 1;
             }
         }
@@ -453,17 +559,30 @@ impl Tatp {
     }
 
     /// DELETE_CALL_FORWARDING (2 %): delete one CALL_FORWARDING row.
-    pub fn delete_call_forwarding<E: Engine>(&self, engine: &E, tables: TatpTables, rng: &mut StdRng) -> Result<(u64, u64)> {
+    pub fn delete_call_forwarding<E: Engine>(
+        &self,
+        engine: &E,
+        tables: TatpTables,
+        rng: &mut StdRng,
+    ) -> Result<(u64, u64)> {
         let s_id = self.random_s_id(rng);
         let sf_type = rng.gen_range(1..=4u8);
         let start_time = [0u8, 8, 16][rng.gen_range(0..3usize)];
         let mut txn = engine.begin(self.isolation);
         let sub_nbr = Self::sub_nbr_of(s_id);
         let _sub = run_or_abort(&mut txn, |txn| {
-            txn.read(tables.subscriber, IndexId(1), mmdb_common::hash::hash_bytes(&sub_nbr))
+            txn.read(
+                tables.subscriber,
+                IndexId(1),
+                mmdb_common::hash::hash_bytes(&sub_nbr),
+            )
         })?;
         let deleted = run_or_abort(&mut txn, |txn| {
-            txn.delete(tables.call_forwarding, IndexId(0), Self::cf_pk(s_id, sf_type, start_time))
+            txn.delete(
+                tables.call_forwarding,
+                IndexId(0),
+                Self::cf_pk(s_id, sf_type, start_time),
+            )
         })?;
         Self::finish(txn, 1, deleted as u64)
     }
@@ -486,7 +605,10 @@ mod tests {
     use rand::SeedableRng;
 
     fn small() -> Tatp {
-        Tatp { subscribers: 200, ..Default::default() }
+        Tatp {
+            subscribers: 200,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -502,10 +624,22 @@ mod tests {
     #[test]
     fn row_layouts_have_declared_lengths() {
         let mut rng = StdRng::seed_from_u64(2);
-        assert_eq!(Tatp::subscriber_row(5, &mut rng).len(), layout::SUBSCRIBER_LEN);
-        assert_eq!(Tatp::access_info_row(5, 2, &mut rng).len(), layout::ACCESS_INFO_LEN);
-        assert_eq!(Tatp::special_facility_row(5, 1, true, &mut rng).len(), layout::SPECIAL_FACILITY_LEN);
-        assert_eq!(Tatp::call_forwarding_row(5, 1, 8, 12, &mut rng).len(), layout::CALL_FORWARDING_LEN);
+        assert_eq!(
+            Tatp::subscriber_row(5, &mut rng).len(),
+            layout::SUBSCRIBER_LEN
+        );
+        assert_eq!(
+            Tatp::access_info_row(5, 2, &mut rng).len(),
+            layout::ACCESS_INFO_LEN
+        );
+        assert_eq!(
+            Tatp::special_facility_row(5, 1, true, &mut rng).len(),
+            layout::SPECIAL_FACILITY_LEN
+        );
+        assert_eq!(
+            Tatp::call_forwarding_row(5, 1, 8, 12, &mut rng).len(),
+            layout::CALL_FORWARDING_LEN
+        );
     }
 
     #[test]
@@ -522,9 +656,18 @@ mod tests {
         let engine = MvEngine::optimistic(MvConfig::default());
         let tables = tatp.setup(&engine).unwrap();
         let mut txn = engine.begin(IsolationLevel::ReadCommitted);
-        assert!(txn.read(tables.subscriber, IndexId(0), 1).unwrap().is_some());
-        assert!(txn.read(tables.subscriber, IndexId(0), 200).unwrap().is_some());
-        assert!(txn.read(tables.subscriber, IndexId(0), 201).unwrap().is_none());
+        assert!(txn
+            .read(tables.subscriber, IndexId(0), 1)
+            .unwrap()
+            .is_some());
+        assert!(txn
+            .read(tables.subscriber, IndexId(0), 200)
+            .unwrap()
+            .is_some());
+        assert!(txn
+            .read(tables.subscriber, IndexId(0), 201)
+            .unwrap()
+            .is_none());
         txn.commit().unwrap();
 
         let mut rng = StdRng::seed_from_u64(3);
@@ -534,7 +677,10 @@ mod tests {
                 committed += 1;
             }
         }
-        assert!(committed >= 295, "almost all single-threaded TATP txns commit, got {committed}");
+        assert!(
+            committed >= 295,
+            "almost all single-threaded TATP txns commit, got {committed}"
+        );
     }
 
     #[test]
@@ -563,9 +709,15 @@ mod tests {
         // indexes afterwards.
         let mut txn = engine.begin(IsolationLevel::ReadCommitted);
         for s_id in 1..=200u64 {
-            let by_pk = txn.read(tables.subscriber, IndexId(0), s_id).unwrap().unwrap();
+            let by_pk = txn
+                .read(tables.subscriber, IndexId(0), s_id)
+                .unwrap()
+                .unwrap();
             let key = mmdb_common::hash::hash_bytes(&Tatp::sub_nbr_of(s_id));
-            let by_nbr = txn.read(tables.subscriber, IndexId(1), key).unwrap().unwrap();
+            let by_nbr = txn
+                .read(tables.subscriber, IndexId(1), key)
+                .unwrap()
+                .unwrap();
             assert_eq!(by_pk, by_nbr);
         }
         txn.commit().unwrap();

@@ -50,15 +50,27 @@ fn run_transfers(engine: &MvEngine, mode: ConcurrencyMode, accounts: TableId) ->
 
                     let mut txn = engine.begin_with(mode, IsolationLevel::Serializable);
                     let outcome: Result<bool> = (|| {
-                        let from_row = txn.read(accounts, IndexId(0), from)?.expect("account exists");
+                        let from_row = txn
+                            .read(accounts, IndexId(0), from)?
+                            .expect("account exists");
                         let to_row = txn.read(accounts, IndexId(0), to)?.expect("account exists");
                         let from_balance = balance_of(&from_row);
                         if from_balance < amount {
                             return Ok(false);
                         }
                         let to_balance = balance_of(&to_row);
-                        txn.update(accounts, IndexId(0), from, account_row(from, from_balance - amount))?;
-                        txn.update(accounts, IndexId(0), to, account_row(to, to_balance + amount))?;
+                        txn.update(
+                            accounts,
+                            IndexId(0),
+                            from,
+                            account_row(from, from_balance - amount),
+                        )?;
+                        txn.update(
+                            accounts,
+                            IndexId(0),
+                            to,
+                            account_row(to, to_balance + amount),
+                        )?;
                         Ok(true)
                     })();
                     match outcome {
@@ -97,14 +109,20 @@ fn run_transfers(engine: &MvEngine, mode: ConcurrencyMode, accounts: TableId) ->
         });
     });
 
-    (committed.load(Ordering::Relaxed), aborted.load(Ordering::Relaxed))
+    (
+        committed.load(Ordering::Relaxed),
+        aborted.load(Ordering::Relaxed),
+    )
 }
 
 fn main() -> Result<()> {
     for mode in [ConcurrencyMode::Optimistic, ConcurrencyMode::Pessimistic] {
         let engine = MvEngine::optimistic(MvConfig::default());
         let accounts = engine.create_table(TableSpec::keyed_u64("accounts", 1024))?;
-        engine.populate(accounts, (0..ACCOUNTS).map(|id| account_row(id, INITIAL_BALANCE)))?;
+        engine.populate(
+            accounts,
+            (0..ACCOUNTS).map(|id| account_row(id, INITIAL_BALANCE)),
+        )?;
 
         let (committed, aborted) = run_transfers(&engine, mode, accounts);
 

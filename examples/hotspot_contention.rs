@@ -15,9 +15,14 @@ use mmdb::prelude::*;
 use mmdb::workload::{run_for, Homogeneous};
 
 fn report<E: Engine>(engine: &E, rows: u64, threads: usize, duration: Duration) {
-    let workload = Homogeneous { rows, ..Default::default() };
+    let workload = Homogeneous {
+        rows,
+        ..Default::default()
+    };
     let table = workload.setup(engine).expect("populate hotspot table");
-    let report = run_for(engine, threads, duration, |e, rng, _| workload.run_one(e, table, rng));
+    let report = run_for(engine, threads, duration, |e, rng, _| {
+        workload.run_one(e, table, rng)
+    });
     let delta = &report.engine_delta;
     println!(
         "{:4}  {:>9.0} tx/s   abort rate {:>5.1}%   write-conflicts {:>6}   validation failures {:>5}   deadlock/timeout aborts {:>5}",

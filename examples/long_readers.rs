@@ -19,9 +19,12 @@ fn run_mix<E: Engine>(engine: &E, long_reader_isolation: IsolationLevel) {
     let mix = LongReaderMix::new(rows, 1, long_reader_isolation);
     let table = mix.base.setup(engine).expect("populate table");
     let threads = 4; // one long reader + three updaters
-    let report = run_for(engine, threads, Duration::from_millis(1500), |e, rng, worker| {
-        mix.run_one(e, table, rng, worker)
-    });
+    let report = run_for(
+        engine,
+        threads,
+        Duration::from_millis(1500),
+        |e, rng, worker| mix.run_one(e, table, rng, worker),
+    );
     println!(
         "{:4}  update throughput {:>9.0} tx/s   long-read row rate {:>10.0} rows/s   update aborts {:>6}",
         engine.label(),

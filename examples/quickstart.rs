@@ -17,13 +17,23 @@ fn main() -> Result<()> {
 
     // Populate 100 accounts with a balance of 100 each (the balance lives in
     // the row's filler byte for this small example).
-    engine.populate(accounts, (0..100u64).map(|id| rowbuf::keyed_row(id, 16, 100)))?;
+    engine.populate(
+        accounts,
+        (0..100u64).map(|id| rowbuf::keyed_row(id, 16, 100)),
+    )?;
 
     // --- A serializable read-modify-write transaction -----------------------
     let mut txn = engine.begin(IsolationLevel::Serializable);
-    let row = txn.read(accounts, IndexId(0), 7)?.expect("account 7 exists");
+    let row = txn
+        .read(accounts, IndexId(0), 7)?
+        .expect("account 7 exists");
     let balance = rowbuf::fill_of(&row);
-    txn.update(accounts, IndexId(0), 7, rowbuf::keyed_row(7, 16, balance + 25))?;
+    txn.update(
+        accounts,
+        IndexId(0),
+        7,
+        rowbuf::keyed_row(7, 16, balance + 25),
+    )?;
     let commit_ts = txn.commit()?;
     println!("credited account 7; committed at {commit_ts}");
 

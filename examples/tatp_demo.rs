@@ -12,7 +12,9 @@ use mmdb::workload::{run_for, Tatp};
 fn run_tatp<E: Engine>(engine: &E, subscribers: u64, threads: usize, duration: Duration) {
     let tatp = Tatp::new(subscribers);
     let tables = tatp.setup(engine).expect("populate TATP database");
-    let report = run_for(engine, threads, duration, |e, rng, _| tatp.run_one(e, tables, rng));
+    let report = run_for(engine, threads, duration, |e, rng, _| {
+        tatp.run_one(e, tables, rng)
+    });
     println!(
         "{:4}  {:>9.0} TATP tx/s   abort rate {:>5.2}%   log records {:>8}",
         engine.label(),

@@ -1,0 +1,340 @@
+//! Minimal offline stand-in for the `criterion` crate.
+//!
+//! Implements the macro and type surface the benches use —
+//! [`criterion_group!`], [`criterion_main!`], [`Criterion`],
+//! benchmark groups, [`Bencher::iter`] / [`Bencher::iter_batched`],
+//! [`BenchmarkId`], [`BatchSize`] — with a simple fixed-budget measurement
+//! loop (warm-up, then timed batches) that prints the mean time per
+//! iteration. No statistical analysis, plotting or history.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver. Builder methods mirror real criterion.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of measurement samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Warm-up duration before measuring.
+    pub fn warm_up_time(mut self, t: Duration) -> Criterion {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Criterion {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Parse CLI arguments (accepted and ignored in this shim).
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Begin a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self.clone(),
+            name: name.into(),
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// Run a single free-standing benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(self, &name.into(), f);
+        self
+    }
+
+    /// Print the trailing summary (no-op in this shim).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of related benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: Criterion,
+    name: String,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Override the measurement budget for this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.measurement_time = t;
+        self
+    }
+
+    /// Override the warm-up duration for this group.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.criterion.warm_up_time = t;
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(&self.criterion, &label, f);
+        self
+    }
+
+    /// Run one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(&self.criterion, &label, |b| f(b, input));
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// A two-part benchmark identifier (`function/parameter`).
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Build from a function name and a parameter value.
+    pub fn new(function: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Build from a parameter value only.
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a printable benchmark label.
+pub trait IntoBenchmarkId {
+    /// The label.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// How much setup output to batch per timing measurement.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small routine outputs; large batches.
+    SmallInput,
+    /// Large routine outputs; batch size 1.
+    LargeInput,
+    /// Each measurement times exactly one routine call.
+    PerIteration,
+}
+
+/// Passed to the benchmark closure; runs and times the routine.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    calibrating: bool,
+}
+
+impl Bencher {
+    /// Time `routine` over this sample's iteration budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            black_box(routine());
+        }
+        self.samples.push(start.elapsed());
+    }
+
+    /// Time `routine` on values produced by `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters_per_sample {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.samples.push(total);
+    }
+
+    /// Like `iter_batched` but the routine takes the input by reference.
+    pub fn iter_batched_ref<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(&mut I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters_per_sample {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            total += start.elapsed();
+        }
+        self.samples.push(total);
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(config: &Criterion, label: &str, mut f: F) {
+    // Calibration: find an iteration count that makes one sample take
+    // roughly measurement_time / sample_size, starting from one iteration.
+    let mut bencher = Bencher {
+        iters_per_sample: 1,
+        samples: Vec::new(),
+        calibrating: true,
+    };
+    let warm_up_end = Instant::now() + config.warm_up_time;
+    let target_sample = config
+        .measurement_time
+        .div_duration_f64(Duration::from_secs(1))
+        / config.sample_size as f64;
+    loop {
+        bencher.samples.clear();
+        f(&mut bencher);
+        let took = bencher.samples.last().copied().unwrap_or(Duration::ZERO);
+        let long_enough = took.as_secs_f64() >= target_sample;
+        if (long_enough && Instant::now() >= warm_up_end) || bencher.iters_per_sample >= 1 << 30 {
+            break;
+        }
+        if !long_enough {
+            bencher.iters_per_sample *= 2;
+        }
+    }
+    bencher.calibrating = false;
+
+    // Measurement.
+    bencher.samples.clear();
+    for _ in 0..config.sample_size {
+        f(&mut bencher);
+    }
+    let iters = bencher.iters_per_sample as f64;
+    let mut per_iter: Vec<f64> = bencher
+        .samples
+        .iter()
+        .map(|d| d.as_nanos() as f64 / iters)
+        .collect();
+    per_iter.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len().max(1) as f64;
+    let median = per_iter.get(per_iter.len() / 2).copied().unwrap_or(0.0);
+    println!(
+        "{label:<60} mean {mean:>12.1} ns/iter   median {median:>12.1} ns/iter   ({} samples x {} iters)",
+        per_iter.len(),
+        bencher.iters_per_sample,
+    );
+}
+
+/// Declare a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declare the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_machinery_runs() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut group = c.benchmark_group("grp");
+        group.sample_size(2);
+        group.bench_with_input(BenchmarkId::new("param", 7), &7u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+}

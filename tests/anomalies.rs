@@ -37,9 +37,15 @@ impl Scheme {
 fn with_engine<R>(scheme: &Scheme, rows: u64, f: impl FnOnce(&dyn TestEngine, TableId) -> R) -> R {
     match scheme {
         Scheme::OneV => {
-            let engine = SvEngine::new(SvConfig::default().with_lock_timeout(std::time::Duration::from_millis(50)));
-            let t = engine.create_table(TableSpec::keyed_u64("t", rows.max(16) as usize)).unwrap();
-            engine.populate(t, (0..rows).map(|k| rowbuf::keyed_row(k, FILLER, 1))).unwrap();
+            let engine = SvEngine::new(
+                SvConfig::default().with_lock_timeout(std::time::Duration::from_millis(50)),
+            );
+            let t = engine
+                .create_table(TableSpec::keyed_u64("t", rows.max(16) as usize))
+                .unwrap();
+            engine
+                .populate(t, (0..rows).map(|k| rowbuf::keyed_row(k, FILLER, 1)))
+                .unwrap();
             f(&SvWrap(engine), t)
         }
         Scheme::MvO | Scheme::MvL => {
@@ -47,8 +53,12 @@ fn with_engine<R>(scheme: &Scheme, rows: u64, f: impl FnOnce(&dyn TestEngine, Ta
                 Scheme::MvO => MvEngine::optimistic(MvConfig::default()),
                 _ => MvEngine::pessimistic(MvConfig::default()),
             };
-            let t = engine.create_table(TableSpec::keyed_u64("t", rows.max(16) as usize)).unwrap();
-            engine.populate(t, (0..rows).map(|k| rowbuf::keyed_row(k, FILLER, 1))).unwrap();
+            let t = engine
+                .create_table(TableSpec::keyed_u64("t", rows.max(16) as usize))
+                .unwrap();
+            engine
+                .populate(t, (0..rows).map(|k| rowbuf::keyed_row(k, FILLER, 1)))
+                .unwrap();
             f(&MvWrap(engine), t)
         }
     }
@@ -86,7 +96,9 @@ impl_test_engine!(SvWrap);
 
 impl<T: EngineTxn> TestTxn for T {
     fn read_fill(&mut self, table: TableId, key: Key) -> Result<Option<u8>> {
-        Ok(self.read(table, IndexId(0), key)?.map(|r| rowbuf::fill_of(&r)))
+        Ok(self
+            .read(table, IndexId(0), key)?
+            .map(|r| rowbuf::fill_of(&r)))
     }
     fn write_fill(&mut self, table: TableId, key: Key, fill: u8) -> Result<bool> {
         self.update(table, IndexId(0), key, rowbuf::keyed_row(key, FILLER, fill))
@@ -118,7 +130,9 @@ fn dirty_reads_are_impossible_at_every_level() {
 
                 let mut reader = engine.begin_boxed(iso);
                 match reader.read_fill(t, 3) {
-                    Ok(Some(v)) => assert_eq!(v, 1, "{} @ {iso:?}: dirty read observed", scheme.label()),
+                    Ok(Some(v)) => {
+                        assert_eq!(v, 1, "{} @ {iso:?}: dirty read observed", scheme.label())
+                    }
                     Ok(None) => panic!("row must exist"),
                     Err(e) => assert!(e.is_retryable(), "unexpected error {e:?}"),
                 }
@@ -181,7 +195,12 @@ fn non_repeatable_reads_prevented_at_repeatable_read() {
                 Ok(Some(v)) => {
                     let commit = reader.commit_boxed();
                     if commit.is_ok() {
-                        assert_eq!(v, 1, "{}: committed after observing a change", scheme.label());
+                        assert_eq!(
+                            v,
+                            1,
+                            "{}: committed after observing a change",
+                            scheme.label()
+                        );
                     }
                 }
                 Ok(None) => panic!("row must exist"),
@@ -199,7 +218,11 @@ fn phantoms_prevented_at_serializable() {
     for scheme in Scheme::all() {
         with_engine(&scheme, 10, |engine, t| {
             let mut scanner = engine.begin_boxed(IsolationLevel::Serializable);
-            assert_eq!(scanner.read_fill(t, 500).unwrap(), None, "key 500 does not exist yet");
+            assert_eq!(
+                scanner.read_fill(t, 500).unwrap(),
+                None,
+                "key 500 does not exist yet"
+            );
 
             let mut inserter = engine.begin_boxed(IsolationLevel::ReadCommitted);
             let insert_result = inserter.insert_row(t, 500, 7);
@@ -211,7 +234,12 @@ fn phantoms_prevented_at_serializable() {
             let again = scanner.read_fill(t, 500).unwrap_or(None);
             let commit = scanner.commit_boxed();
             if commit.is_ok() {
-                assert_eq!(again, None, "{}: phantom observed by a committed serializable txn", scheme.label());
+                assert_eq!(
+                    again,
+                    None,
+                    "{}: phantom observed by a committed serializable txn",
+                    scheme.label()
+                );
             }
             let _ = inserter_committed;
         });
@@ -222,7 +250,8 @@ fn phantoms_prevented_at_serializable() {
 fn write_skew_prevented_at_serializable_but_allowed_under_si() {
     // Classic write skew: the invariant is fill(1) + fill(2) >= 1; each
     // transaction reads both rows and zeroes a different one.
-    for scheme in [Scheme::MvO] {
+    {
+        let scheme = Scheme::MvO;
         // Serializable: at most one of the two may commit.
         with_engine(&scheme, 10, |engine, t| {
             let mut a = engine.begin_boxed(IsolationLevel::Serializable);
@@ -250,7 +279,10 @@ fn write_skew_prevented_at_serializable_but_allowed_under_si() {
             b.write_fill(t, 2, 0).unwrap();
             let a_ok = a.commit_boxed().is_ok();
             let b_ok = b.commit_boxed().is_ok();
-            assert!(a_ok && b_ok, "snapshot isolation permits write skew (both commit)");
+            assert!(
+                a_ok && b_ok,
+                "snapshot isolation permits write skew (both commit)"
+            );
         });
     }
 }
@@ -270,7 +302,12 @@ fn read_committed_sees_only_committed_data_but_not_necessarily_repeatable() {
                 // On the MV engines the reader now sees the newer committed
                 // value (reads "as of now"); on 1V the writer only committed
                 // after the reader released its short lock, so the same holds.
-                assert_eq!(second, Some(9), "{}: read committed should see the latest committed value", scheme.label());
+                assert_eq!(
+                    second,
+                    Some(9),
+                    "{}: read committed should see the latest committed value",
+                    scheme.label()
+                );
             }
             reader.commit_boxed().unwrap();
         });

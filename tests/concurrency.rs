@@ -30,7 +30,7 @@ fn account_row(id: u64, balance: u64) -> Row {
 
 /// Transfers between accounts on all engines: the total is conserved and no
 /// transaction ever observes a negative balance.
-fn transfer_invariant_holds(run: impl Fn(&dyn Fn(usize) -> ()) -> ()) {
+fn transfer_invariant_holds(run: impl Fn(&dyn Fn(usize))) {
     let _ = run;
 }
 
@@ -43,7 +43,9 @@ fn concurrent_transfers_conserve_money_on_every_engine() {
 
     // The three engines, driven through the same generic closure.
     fn drive<E: Engine + Clone + Send + Sync + 'static>(engine: E, label: &str) {
-        let table = engine.create_table(TableSpec::keyed_u64("accounts", 256)).unwrap();
+        let table = engine
+            .create_table(TableSpec::keyed_u64("accounts", 256))
+            .unwrap();
         {
             let mut setup = engine.begin(IsolationLevel::ReadCommitted);
             for id in 0..ACCOUNTS {
@@ -64,14 +66,23 @@ fn concurrent_transfers_conserve_money_on_every_engine() {
                         let amount = rng.gen_range(1..10u64);
                         let mut txn = engine.begin(IsolationLevel::Serializable);
                         let result: Result<bool> = (|| {
-                            let Some(f) = txn.read(table, IndexId(0), from)? else { return Ok(false) };
-                            let Some(t) = txn.read(table, IndexId(0), to)? else { return Ok(false) };
+                            let Some(f) = txn.read(table, IndexId(0), from)? else {
+                                return Ok(false);
+                            };
+                            let Some(t) = txn.read(table, IndexId(0), to)? else {
+                                return Ok(false);
+                            };
                             let fb = balance_of(&f);
                             if fb < amount {
                                 return Ok(false);
                             }
                             txn.update(table, IndexId(0), from, account_row(from, fb - amount))?;
-                            txn.update(table, IndexId(0), to, account_row(to, balance_of(&t) + amount))?;
+                            txn.update(
+                                table,
+                                IndexId(0),
+                                to,
+                                account_row(to, balance_of(&t) + amount),
+                            )?;
                             Ok(true)
                         })();
                         match result {
@@ -94,12 +105,18 @@ fn concurrent_transfers_conserve_money_on_every_engine() {
             .sum();
         audit.commit().unwrap();
         assert_eq!(total, ACCOUNTS * INITIAL, "{label}: money not conserved");
-        assert!(committed.load(Ordering::Relaxed) > 0, "{label}: nothing committed");
+        assert!(
+            committed.load(Ordering::Relaxed) > 0,
+            "{label}: nothing committed"
+        );
     }
 
     drive(MvEngine::optimistic(MvConfig::default()), "MV/O");
     drive(MvEngine::pessimistic(MvConfig::default()), "MV/L");
-    drive(SvEngine::new(SvConfig::default().with_lock_timeout(Duration::from_millis(30))), "1V");
+    drive(
+        SvEngine::new(SvConfig::default().with_lock_timeout(Duration::from_millis(30))),
+        "1V",
+    );
 
     // Silence the helper that documents intent above.
     transfer_invariant_holds(|_| {});
@@ -110,22 +127,34 @@ fn mixed_optimistic_and_pessimistic_transactions_preserve_invariants() {
     const ACCOUNTS: u64 = 32;
     const INITIAL: u64 = 50;
     let engine = MvEngine::optimistic(MvConfig::default());
-    let table = engine.create_table(TableSpec::keyed_u64("accounts", 128)).unwrap();
-    engine.populate(table, (0..ACCOUNTS).map(|id| account_row(id, INITIAL))).unwrap();
+    let table = engine
+        .create_table(TableSpec::keyed_u64("accounts", 128))
+        .unwrap();
+    engine
+        .populate(table, (0..ACCOUNTS).map(|id| account_row(id, INITIAL)))
+        .unwrap();
 
     std::thread::scope(|scope| {
         for worker in 0..4usize {
             let engine = engine.clone();
             scope.spawn(move || {
-                let mode = if worker % 2 == 0 { ConcurrencyMode::Optimistic } else { ConcurrencyMode::Pessimistic };
+                let mode = if worker % 2 == 0 {
+                    ConcurrencyMode::Optimistic
+                } else {
+                    ConcurrencyMode::Pessimistic
+                };
                 let mut rng = StdRng::seed_from_u64(1000 + worker as u64);
                 for _ in 0..300 {
                     let from = rng.gen_range(0..ACCOUNTS);
                     let to = (from + 1 + rng.gen_range(0..ACCOUNTS - 1)) % ACCOUNTS;
                     let mut txn = engine.begin_with(mode, IsolationLevel::Serializable);
                     let result: Result<bool> = (|| {
-                        let Some(f) = txn.read(table, IndexId(0), from)? else { return Ok(false) };
-                        let Some(t) = txn.read(table, IndexId(0), to)? else { return Ok(false) };
+                        let Some(f) = txn.read(table, IndexId(0), from)? else {
+                            return Ok(false);
+                        };
+                        let Some(t) = txn.read(table, IndexId(0), to)? else {
+                            return Ok(false);
+                        };
                         let fb = balance_of(&f);
                         if fb == 0 {
                             return Ok(false);
@@ -158,7 +187,9 @@ fn snapshot_readers_see_stable_totals_during_heavy_updates() {
     const ROWS: u64 = 128;
     let engine = MvEngine::optimistic(MvConfig::default());
     let table = engine.create_table(TableSpec::keyed_u64("t", 512)).unwrap();
-    engine.populate(table, (0..ROWS).map(|id| account_row(id, 10))).unwrap();
+    engine
+        .populate(table, (0..ROWS).map(|id| account_row(id, 10)))
+        .unwrap();
 
     let stop = Arc::new(AtomicU64::new(0));
     std::thread::scope(|scope| {
@@ -216,7 +247,9 @@ fn redo_log_records_every_commit_in_timestamp_order() {
     let logger = Arc::new(MemoryLogger::new());
     let engine = MvEngine::with_logger(MvConfig::default(), logger.clone() as Arc<dyn RedoLogger>);
     let table = engine.create_table(TableSpec::keyed_u64("t", 64)).unwrap();
-    engine.populate(table, (0..16u64).map(|k| rowbuf::keyed_row(k, FILLER, 1))).unwrap();
+    engine
+        .populate(table, (0..16u64).map(|k| rowbuf::keyed_row(k, FILLER, 1)))
+        .unwrap();
 
     std::thread::scope(|scope| {
         for w in 0..3u64 {
@@ -226,7 +259,14 @@ fn redo_log_records_every_commit_in_timestamp_order() {
                 for _ in 0..100 {
                     let k = rng.gen_range(0..16u64);
                     let mut txn = engine.begin(IsolationLevel::ReadCommitted);
-                    let ok = txn.update(table, IndexId(0), k, rowbuf::keyed_row(k, FILLER, rng.gen())).is_ok();
+                    let ok = txn
+                        .update(
+                            table,
+                            IndexId(0),
+                            k,
+                            rowbuf::keyed_row(k, FILLER, rng.gen()),
+                        )
+                        .is_ok();
                     if ok {
                         let _ = txn.commit();
                     } else {
@@ -239,7 +279,11 @@ fn redo_log_records_every_commit_in_timestamp_order() {
 
     let records = logger.records();
     let commits = engine.stats().snapshot().commits;
-    assert_eq!(records.len() as u64, commits, "every committed writer must be logged exactly once");
+    assert_eq!(
+        records.len() as u64,
+        commits,
+        "every committed writer must be logged exactly once"
+    );
     // Log records carry strictly increasing (unique) end timestamps.
     let mut timestamps: Vec<u64> = records.iter().map(|r| r.end_ts.raw()).collect();
     let n = timestamps.len();
@@ -251,14 +295,19 @@ fn redo_log_records_every_commit_in_timestamp_order() {
     txn.delete(table, IndexId(0), 3).unwrap();
     txn.commit().unwrap();
     let last = logger.records().pop().unwrap();
-    assert!(matches!(last.ops[0], mmdb_storage::LogOp::Delete { key: 3, .. }));
+    assert!(matches!(
+        last.ops[0],
+        mmdb_storage::LogOp::Delete { key: 3, .. }
+    ));
 }
 
 #[test]
 fn cooperative_gc_keeps_version_count_bounded_under_update_load() {
     let engine = MvEngine::optimistic(MvConfig::default().with_gc_every(16));
     let table = engine.create_table(TableSpec::keyed_u64("t", 256)).unwrap();
-    engine.populate(table, (0..64u64).map(|k| rowbuf::keyed_row(k, FILLER, 1))).unwrap();
+    engine
+        .populate(table, (0..64u64).map(|k| rowbuf::keyed_row(k, FILLER, 1)))
+        .unwrap();
 
     std::thread::scope(|scope| {
         for w in 0..3u64 {
@@ -268,7 +317,15 @@ fn cooperative_gc_keeps_version_count_bounded_under_update_load() {
                 for _ in 0..500 {
                     let k = rng.gen_range(0..64u64);
                     let mut txn = engine.begin(IsolationLevel::ReadCommitted);
-                    if txn.update(table, IndexId(0), k, rowbuf::keyed_row(k, FILLER, rng.gen())).is_ok() {
+                    if txn
+                        .update(
+                            table,
+                            IndexId(0),
+                            k,
+                            rowbuf::keyed_row(k, FILLER, rng.gen()),
+                        )
+                        .is_ok()
+                    {
                         let _ = txn.commit();
                     } else {
                         txn.abort();
@@ -280,8 +337,15 @@ fn cooperative_gc_keeps_version_count_bounded_under_update_load() {
     // Let the collector finish whatever is still queued.
     while engine.collect_garbage() > 0 {}
     let stats = engine.stats().snapshot();
-    assert!(stats.versions_collected > 0, "GC must have reclaimed versions: {stats:?}");
-    assert_eq!(engine.version_count(table).unwrap(), 64, "only the live versions remain");
+    assert!(
+        stats.versions_collected > 0,
+        "GC must have reclaimed versions: {stats:?}"
+    );
+    assert_eq!(
+        engine.version_count(table).unwrap(),
+        64,
+        "only the live versions remain"
+    );
 
     // Statistics helper sanity.
     let _ = EngineStats::new();
@@ -293,9 +357,12 @@ fn reader_writer_wait_for_dependencies_resolve_without_deadlock() {
     // locks are released at the end of normal processing *before* waiting,
     // these wait-for dependencies resolve themselves and the system keeps
     // committing (no deadlock-victim storm).
-    let engine = MvEngine::pessimistic(MvConfig::default().with_wait_timeout(Duration::from_secs(5)));
+    let engine =
+        MvEngine::pessimistic(MvConfig::default().with_wait_timeout(Duration::from_secs(5)));
     let table = engine.create_table(TableSpec::keyed_u64("t", 16)).unwrap();
-    engine.populate(table, (0..2u64).map(|k| rowbuf::keyed_row(k, FILLER, 1))).unwrap();
+    engine
+        .populate(table, (0..2u64).map(|k| rowbuf::keyed_row(k, FILLER, 1)))
+        .unwrap();
 
     let committed = Arc::new(AtomicU64::new(0));
     std::thread::scope(|scope| {
@@ -308,7 +375,12 @@ fn reader_writer_wait_for_dependencies_resolve_without_deadlock() {
                     let mut txn = engine.begin(IsolationLevel::RepeatableRead);
                     let result: Result<()> = (|| {
                         txn.read(table, IndexId(0), read_key)?;
-                        txn.update(table, IndexId(0), write_key, rowbuf::keyed_row(write_key, FILLER, i as u8))?;
+                        txn.update(
+                            table,
+                            IndexId(0),
+                            write_key,
+                            rowbuf::keyed_row(write_key, FILLER, i as u8),
+                        )?;
                         Ok(())
                     })();
                     match result {
@@ -345,7 +417,9 @@ fn deadlock_detector_breaks_bucket_lock_cycles() {
             .with_deadlock_detector(true),
     );
     let table = engine.create_table(TableSpec::keyed_u64("t", 64)).unwrap();
-    engine.populate(table, (0..4u64).map(|k| rowbuf::keyed_row(k, FILLER, 1))).unwrap();
+    engine
+        .populate(table, (0..4u64).map(|k| rowbuf::keyed_row(k, FILLER, 1)))
+        .unwrap();
 
     let committed = Arc::new(AtomicU64::new(0));
     let aborted = Arc::new(AtomicU64::new(0));
@@ -362,7 +436,11 @@ fn deadlock_detector_breaks_bucket_lock_cycles() {
                 for round in 0..rounds {
                     // Fresh keys every round so uniqueness never interferes.
                     let base = 1_000 + round * 2;
-                    let (scan_key, insert_key) = if w == 0 { (base, base + 1) } else { (base + 1, base) };
+                    let (scan_key, insert_key) = if w == 0 {
+                        (base, base + 1)
+                    } else {
+                        (base + 1, base)
+                    };
                     barrier.wait();
                     let mut txn = engine.begin(IsolationLevel::Serializable);
                     let result: Result<()> = (|| {
@@ -394,7 +472,10 @@ fn deadlock_detector_breaks_bucket_lock_cycles() {
     let committed = committed.load(Ordering::Relaxed);
     let aborted = aborted.load(Ordering::Relaxed);
     assert_eq!(committed + aborted, rounds * 2);
-    assert!(committed >= rounds, "at least one transaction per round commits: {committed}");
+    assert!(
+        committed >= rounds,
+        "at least one transaction per round commits: {committed}"
+    );
     // With a 10s wait timeout, finishing quickly proves the detector (not the
     // timeout) resolved the conflicts.
     assert!(

@@ -42,7 +42,10 @@ fn op_strategy(key_space: u64) -> impl Strategy<Value = Op> {
 }
 
 fn txn_strategy(key_space: u64) -> impl Strategy<Value = TxnScript> {
-    (proptest::collection::vec(op_strategy(key_space), 1..8), any::<bool>())
+    (
+        proptest::collection::vec(op_strategy(key_space), 1..8),
+        any::<bool>(),
+    )
         .prop_map(|(ops, commit)| TxnScript { ops, commit })
 }
 
@@ -139,14 +142,24 @@ fn fresh_mv(mode: ConcurrencyMode) -> (MvEngine, TableId) {
         ConcurrencyMode::Pessimistic => MvEngine::pessimistic(MvConfig::default()),
     };
     let t = engine.create_table(TableSpec::keyed_u64("t", 128)).unwrap();
-    engine.populate(t, (0..INITIAL_ROWS).map(|k| rowbuf::keyed_row(k, FILLER, 1))).unwrap();
+    engine
+        .populate(
+            t,
+            (0..INITIAL_ROWS).map(|k| rowbuf::keyed_row(k, FILLER, 1)),
+        )
+        .unwrap();
     (engine, t)
 }
 
 fn fresh_sv() -> (SvEngine, TableId) {
     let engine = SvEngine::new(SvConfig::default());
     let t = engine.create_table(TableSpec::keyed_u64("t", 128)).unwrap();
-    engine.populate(t, (0..INITIAL_ROWS).map(|k| rowbuf::keyed_row(k, FILLER, 1))).unwrap();
+    engine
+        .populate(
+            t,
+            (0..INITIAL_ROWS).map(|k| rowbuf::keyed_row(k, FILLER, 1)),
+        )
+        .unwrap();
     (engine, t)
 }
 

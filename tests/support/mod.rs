@@ -1,0 +1,509 @@
+//! Shared infrastructure for the cross-engine differential tests.
+//!
+//! The pieces:
+//!
+//! * a **seeded workload generator** ([`generate_history`]) producing
+//!   randomized transaction scripts (insert / read / update / delete /
+//!   secondary-index scan, commit or abort) that replay identically from a
+//!   fixed seed;
+//! * a **sequential executor** ([`run_sequential`]) that applies a history to
+//!   any [`Engine`] one transaction at a time and records every observation;
+//! * a **model oracle** ([`Oracle`]) — a plain `BTreeMap` with the same
+//!   interface-level semantics, used as ground truth;
+//! * a **concurrent executor** ([`run_concurrent`]) that partitions a history
+//!   across worker threads and records, per committed transaction, its commit
+//!   timestamp and ordered observations;
+//! * a **serializability checker** ([`check_serial_equivalence`]) that
+//!   replays committed transactions in commit-timestamp order against the
+//!   model and verifies every recorded observation and the final state.
+//!
+//! Engines disagree with the oracle ⇒ the test fails with the generating
+//! seed in the panic message, so every failure reproduces deterministically.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use mmdb::prelude::*;
+
+/// Filler payload bytes appended after the 8-byte key.
+pub const FILLER: usize = 16;
+
+/// Primary (unique, key at offset 0) index.
+pub const PRIMARY: IndexId = IndexId(0);
+/// Secondary (non-unique, hashed fill byte) index.
+pub const SECONDARY: IndexId = IndexId(1);
+
+/// Table spec used by all differential tests: unique primary key plus a
+/// non-unique secondary index over the fill byte, so scans exercise
+/// multi-index maintenance.
+pub fn diff_table_spec(buckets: usize) -> TableSpec {
+    TableSpec::keyed_u64("diff", buckets).with_index(IndexSpec {
+        name: "by_fill".into(),
+        key: KeySpec::BytesAt { offset: 8, len: 1 },
+        buckets: buckets / 4 + 1,
+        unique: false,
+    })
+}
+
+/// Secondary-index key for a fill byte.
+pub fn fill_key(fill: u8) -> Key {
+    mmdb::common::hash::hash_bytes(&[fill])
+}
+
+/// One operation of a generated transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Point read of `key` through the primary index.
+    Read(u64),
+    /// Equality scan of the secondary index for this fill byte.
+    ScanFill(u8),
+    /// Insert `key` with this fill byte (skipped if the key exists).
+    Insert(u64, u8),
+    /// Update `key` to this fill byte (no-op if the key is absent).
+    Update(u64, u8),
+    /// Delete `key` (no-op if the key is absent).
+    Delete(u64),
+}
+
+/// A generated transaction: its operations and its intended outcome.
+#[derive(Debug, Clone)]
+pub struct TxnScript {
+    /// Operations, applied in order.
+    pub ops: Vec<Op>,
+    /// Commit if true, abort deliberately if false.
+    pub commit: bool,
+}
+
+/// Tuning knobs for [`generate_history`].
+#[derive(Debug, Clone, Copy)]
+pub struct HistoryParams {
+    /// Keys are drawn from `0..key_space` (reads/updates/deletes) and
+    /// `0..2 * key_space` (inserts), so both hits and misses occur.
+    pub key_space: u64,
+    /// Number of transactions to generate.
+    pub txns: usize,
+    /// Operations per transaction are drawn from `1..=max_ops`.
+    pub max_ops: usize,
+    /// Probability that a transaction deliberately aborts.
+    pub abort_probability: f64,
+}
+
+/// Fill bytes are confined to a small alphabet so secondary scans hit.
+const FILL_ALPHABET: u8 = 8;
+
+/// Generate a deterministic randomized history from `seed`.
+pub fn generate_history(seed: u64, params: HistoryParams) -> Vec<TxnScript> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..params.txns)
+        .map(|_| {
+            let op_count = rng.gen_range(1..=params.max_ops);
+            let ops = (0..op_count)
+                .map(|_| match rng.gen_range(0..10u32) {
+                    0..=2 => Op::Read(rng.gen_range(0..params.key_space)),
+                    3 => Op::ScanFill(rng.gen_range(1..=FILL_ALPHABET)),
+                    4..=5 => Op::Insert(
+                        rng.gen_range(0..params.key_space * 2),
+                        rng.gen_range(1..=FILL_ALPHABET),
+                    ),
+                    6..=8 => Op::Update(
+                        rng.gen_range(0..params.key_space),
+                        rng.gen_range(1..=FILL_ALPHABET),
+                    ),
+                    _ => Op::Delete(rng.gen_range(0..params.key_space * 2)),
+                })
+                .collect();
+            TxnScript {
+                ops,
+                commit: !rng.gen_bool(params.abort_probability),
+            }
+        })
+        .collect()
+}
+
+/// What one operation observed when it ran.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Observation {
+    /// `Read(key)` saw this fill byte (or nothing).
+    Read(u64, Option<u8>),
+    /// `ScanFill(fill)` saw exactly these primary keys (sorted).
+    Scan(u8, Vec<u64>),
+    /// `Insert(key, fill)` took effect (`false`: key already present).
+    Insert(u64, u8, bool),
+    /// `Update(key, fill)` took effect (`false`: key absent).
+    Update(u64, u8, bool),
+    /// `Delete(key)` took effect (`false`: key absent).
+    Delete(u64, bool),
+}
+
+/// The observations and outcome of one executed transaction.
+#[derive(Debug, Clone)]
+pub struct TxnRecord {
+    /// Commit timestamp when the transaction committed, `None` when it
+    /// aborted (deliberately or due to a conflict).
+    pub commit_ts: Option<u64>,
+    /// Ordered per-operation observations.
+    pub observations: Vec<Observation>,
+}
+
+/// Ground-truth model of the table: key → fill byte.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Oracle {
+    state: BTreeMap<u64, u8>,
+}
+
+impl Oracle {
+    /// Start from `initial_rows` keys, all with fill byte 1.
+    pub fn new(initial_rows: u64) -> Oracle {
+        Oracle {
+            state: (0..initial_rows).map(|k| (k, 1)).collect(),
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> &BTreeMap<u64, u8> {
+        &self.state
+    }
+
+    /// What `op` observes and does against the current state.
+    fn observe(&mut self, op: Op) -> Observation {
+        match op {
+            Op::Read(k) => Observation::Read(k, self.state.get(&k).copied()),
+            Op::ScanFill(f) => Observation::Scan(
+                f,
+                self.state
+                    .iter()
+                    .filter(|&(_, &v)| v == f)
+                    .map(|(&k, _)| k)
+                    .collect(),
+            ),
+            Op::Insert(k, f) => {
+                let fresh = !self.state.contains_key(&k);
+                if fresh {
+                    self.state.insert(k, f);
+                }
+                Observation::Insert(k, f, fresh)
+            }
+            Op::Update(k, f) => {
+                let hit = self.state.contains_key(&k);
+                if hit {
+                    self.state.insert(k, f);
+                }
+                Observation::Update(k, f, hit)
+            }
+            Op::Delete(k) => Observation::Delete(k, self.state.remove(&k).is_some()),
+        }
+    }
+
+    /// Apply a whole script, honouring its commit/abort flag, and return what
+    /// a sequential executor must observe.
+    pub fn apply_script(&mut self, script: &TxnScript) -> Vec<Observation> {
+        let mut scratch = self.clone();
+        let observations = script.ops.iter().map(|&op| scratch.observe(op)).collect();
+        if script.commit {
+            *self = scratch;
+        }
+        observations
+    }
+
+    /// Replay one committed transaction's recorded observations against the
+    /// model, asserting each one is consistent with the state at this point
+    /// of the serial order. Reads are only checked when `check_reads` is set
+    /// (they are serialization-point-exact only for serializable
+    /// transactions).
+    fn replay_committed(
+        &mut self,
+        record: &TxnRecord,
+        check_reads: bool,
+        ctx: &dyn Fn() -> String,
+    ) {
+        for obs in &record.observations {
+            match obs {
+                Observation::Read(k, seen) => {
+                    if check_reads {
+                        let model = self.state.get(k).copied();
+                        assert_eq!(
+                            *seen,
+                            model,
+                            "{}: committed txn read key {k} = {seen:?}, but the \
+                             commit-timestamp-order replay has {model:?}",
+                            ctx()
+                        );
+                    }
+                }
+                Observation::Scan(f, seen) => {
+                    if check_reads {
+                        let model: Vec<u64> = self
+                            .state
+                            .iter()
+                            .filter(|&(_, &v)| v == *f)
+                            .map(|(&k, _)| k)
+                            .collect();
+                        assert_eq!(
+                            *seen,
+                            model,
+                            "{}: committed txn scanned fill {f} and saw keys {seen:?}, but \
+                             the commit-timestamp-order replay has {model:?}",
+                            ctx()
+                        );
+                    }
+                }
+                // An ineffective write (`took_effect == false`) performed no
+                // write at all — it is a read-like observation ("key absent" /
+                // "key present"), so like reads it is only
+                // serialization-point-exact for serializable transactions and
+                // is checked only under `check_reads`.
+                Observation::Insert(k, f, took_effect) => {
+                    let fresh = !self.state.contains_key(k);
+                    if *took_effect || check_reads {
+                        assert_eq!(
+                            *took_effect,
+                            fresh,
+                            "{}: committed insert of key {k} disagrees with the serial order \
+                             (engine said effect={took_effect}, replay says fresh={fresh})",
+                            ctx()
+                        );
+                    }
+                    if *took_effect {
+                        self.state.insert(*k, *f);
+                    }
+                }
+                Observation::Update(k, f, took_effect) => {
+                    let hit = self.state.contains_key(k);
+                    if *took_effect || check_reads {
+                        assert_eq!(
+                            *took_effect,
+                            hit,
+                            "{}: committed update of key {k} disagrees with the serial order \
+                             (engine said effect={took_effect}, replay says present={hit})",
+                            ctx()
+                        );
+                    }
+                    if *took_effect {
+                        self.state.insert(*k, *f);
+                    }
+                }
+                Observation::Delete(k, took_effect) => {
+                    if *took_effect || check_reads {
+                        let hit = self.state.contains_key(k);
+                        assert_eq!(
+                            *took_effect,
+                            hit,
+                            "{}: committed delete of key {k} disagrees with the serial order \
+                             (engine said effect={took_effect}, replay says present={hit})",
+                            ctx()
+                        );
+                    }
+                    if *took_effect {
+                        self.state.remove(k);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Build a fresh engine-backed table populated with `initial_rows` rows
+/// (keys `0..initial_rows`, fill byte 1), matching [`Oracle::new`].
+pub fn populate<E>(engine: &E, table: TableId, initial_rows: u64)
+where
+    E: Engine,
+{
+    let mut setup = engine.begin(IsolationLevel::ReadCommitted);
+    for k in 0..initial_rows {
+        setup
+            .insert(table, rowbuf::keyed_row(k, FILLER, 1))
+            .expect("populate insert");
+    }
+    setup.commit().expect("populate commit");
+}
+
+/// Execute one operation inside `txn`, recording what it observed.
+fn execute_op<T: EngineTxn>(txn: &mut T, table: TableId, op: Op) -> Result<Observation> {
+    Ok(match op {
+        Op::Read(k) => {
+            Observation::Read(k, txn.read(table, PRIMARY, k)?.map(|r| rowbuf::fill_of(&r)))
+        }
+        Op::ScanFill(f) => {
+            let mut keys: Vec<u64> = txn
+                .scan_key(table, SECONDARY, fill_key(f))?
+                .iter()
+                .map(|r| rowbuf::key_of(r))
+                .collect();
+            keys.sort_unstable();
+            Observation::Scan(f, keys)
+        }
+        Op::Insert(k, f) => {
+            // Duplicate inserts are a scripted possibility; probe first so a
+            // duplicate is an observation rather than a transaction abort.
+            let fresh = txn.read(table, PRIMARY, k)?.is_none();
+            if fresh {
+                txn.insert(table, rowbuf::keyed_row(k, FILLER, f))?;
+            }
+            Observation::Insert(k, f, fresh)
+        }
+        Op::Update(k, f) => Observation::Update(
+            k,
+            f,
+            txn.update(table, PRIMARY, k, rowbuf::keyed_row(k, FILLER, f))?,
+        ),
+        Op::Delete(k) => Observation::Delete(k, txn.delete(table, PRIMARY, k)?),
+    })
+}
+
+/// Run a history sequentially (one transaction at a time). No operation or
+/// commit may fail — there is no concurrency to conflict with.
+pub fn run_sequential<E>(
+    engine: &E,
+    table: TableId,
+    isolation: IsolationLevel,
+    scripts: &[TxnScript],
+) -> Vec<TxnRecord>
+where
+    E: Engine,
+{
+    scripts
+        .iter()
+        .map(|script| {
+            let mut txn = engine.begin(isolation);
+            let observations: Vec<Observation> = script
+                .ops
+                .iter()
+                .map(|&op| {
+                    execute_op(&mut txn, table, op)
+                        .unwrap_or_else(|e| panic!("sequential op {op:?} failed: {e:?}"))
+                })
+                .collect();
+            let commit_ts = if script.commit {
+                Some(
+                    txn.commit()
+                        .expect("sequential commit cannot conflict")
+                        .raw(),
+                )
+            } else {
+                txn.abort();
+                None
+            };
+            TxnRecord {
+                commit_ts,
+                observations,
+            }
+        })
+        .collect()
+}
+
+/// Read the full visible state of the table (keys `0..bound`).
+pub fn dump<E>(engine: &E, table: TableId, bound: u64) -> BTreeMap<u64, u8>
+where
+    E: Engine,
+{
+    let mut txn = engine.begin(IsolationLevel::ReadCommitted);
+    let mut out = BTreeMap::new();
+    for k in 0..bound {
+        if let Some(row) = txn.read(table, PRIMARY, k).expect("dump read") {
+            out.insert(k, rowbuf::fill_of(&row));
+        }
+    }
+    txn.commit().expect("dump commit");
+    out
+}
+
+/// Run `threads` workers concurrently, worker `i` executing `scripts[i]`
+/// transaction by transaction against the same table. Operations or commits
+/// that fail due to conflicts abort that transaction (recorded with
+/// `commit_ts: None`); every committed transaction records its commit
+/// timestamp and ordered observations. Workers run a cooperative maintenance
+/// step every few transactions so GC interleaves with the workload.
+pub fn run_concurrent<E>(
+    engine: &E,
+    table: TableId,
+    isolation: IsolationLevel,
+    scripts: Vec<Vec<TxnScript>>,
+) -> Vec<TxnRecord>
+where
+    E: Engine,
+{
+    let records: Mutex<Vec<TxnRecord>> = Mutex::new(Vec::new());
+    let records_ref = &records;
+    std::thread::scope(|scope| {
+        for worker_scripts in scripts {
+            scope.spawn(move || {
+                let mut local = Vec::new();
+                for (i, script) in worker_scripts.iter().enumerate() {
+                    let mut txn = engine.begin(isolation);
+                    let mut observations = Vec::with_capacity(script.ops.len());
+                    let mut conflicted = false;
+                    for &op in &script.ops {
+                        match execute_op(&mut txn, table, op) {
+                            Ok(obs) => observations.push(obs),
+                            Err(_) => {
+                                conflicted = true;
+                                break;
+                            }
+                        }
+                    }
+                    let commit_ts = if conflicted || !script.commit {
+                        txn.abort();
+                        None
+                    } else {
+                        txn.commit().ok().map(|ts| ts.raw())
+                    };
+                    local.push(TxnRecord {
+                        commit_ts,
+                        observations,
+                    });
+                    if i % 8 == 7 {
+                        engine.maintenance();
+                    }
+                }
+                records_ref.lock().unwrap().extend(local);
+            });
+        }
+    });
+    records.into_inner().unwrap()
+}
+
+/// Verify that the committed transactions of a concurrent run are
+/// serializable in commit-timestamp order: replaying them against the model
+/// must reproduce every recorded observation (reads only when `check_reads`)
+/// and end in exactly `final_state`.
+pub fn check_serial_equivalence(
+    label: &str,
+    seed: u64,
+    initial_rows: u64,
+    records: &[TxnRecord],
+    final_state: &BTreeMap<u64, u8>,
+    check_reads: bool,
+) {
+    let mut committed: Vec<&TxnRecord> = records.iter().filter(|r| r.commit_ts.is_some()).collect();
+    committed.sort_by_key(|r| r.commit_ts);
+
+    // Commit timestamps come from one global fetch-add counter: no two
+    // transactions may share one.
+    for pair in committed.windows(2) {
+        assert_ne!(
+            pair[0].commit_ts, pair[1].commit_ts,
+            "[{label} seed={seed}] two transactions share a commit timestamp"
+        );
+    }
+
+    let mut oracle = Oracle::new(initial_rows);
+    for (position, record) in committed.iter().enumerate() {
+        let ctx = || {
+            format!(
+                "[{label} seed={seed}] serial position {position} (commit_ts {:?})",
+                record.commit_ts
+            )
+        };
+        oracle.replay_committed(record, check_reads, &ctx);
+    }
+    assert_eq!(
+        oracle.state(),
+        final_state,
+        "[{label} seed={seed}] final visible state diverges from the \
+         commit-timestamp-order replay of the {} committed transactions",
+        committed.len()
+    );
+}
