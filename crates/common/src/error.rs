@@ -74,6 +74,19 @@ pub enum MmdbError {
     },
     /// An operation was attempted on a transaction that has already finished.
     TransactionClosed,
+    /// A redo-log record failed to decode (bad checksum, malformed body).
+    /// Distinct from a torn tail, which recovery tolerates silently: a torn
+    /// tail is missing bytes at the end of the file, corruption is wrong
+    /// bytes inside the valid region.
+    LogCorrupt {
+        /// Byte offset of the record frame that failed to decode.
+        offset: u64,
+        /// What was wrong with it.
+        reason: &'static str,
+    },
+    /// An I/O error while writing or reading the redo log. Carries the
+    /// stringified `std::io::Error` (which is neither `Clone` nor `Eq`).
+    LogIo(String),
     /// Internal invariant violation; indicates a bug rather than a user or
     /// workload condition.
     Internal(&'static str),
@@ -114,6 +127,8 @@ impl MmdbError {
             MmdbError::DuplicateKey { .. } => "duplicate_key",
             MmdbError::RowTooShort { .. } => "row_too_short",
             MmdbError::TransactionClosed => "transaction_closed",
+            MmdbError::LogCorrupt { .. } => "log_corrupt",
+            MmdbError::LogIo(_) => "log_io",
             MmdbError::Internal(_) => "internal",
         }
     }
@@ -158,6 +173,10 @@ impl fmt::Display for MmdbError {
                 "row too short for key extractor: need {needed} bytes, have {actual}"
             ),
             MmdbError::TransactionClosed => write!(f, "transaction already committed or aborted"),
+            MmdbError::LogCorrupt { offset, reason } => {
+                write!(f, "redo log corrupt at byte offset {offset}: {reason}")
+            }
+            MmdbError::LogIo(msg) => write!(f, "redo log I/O error: {msg}"),
             MmdbError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
@@ -183,6 +202,12 @@ mod tests {
         assert!(!MmdbError::TableNotFound(TableId(1)).is_retryable());
         assert!(!MmdbError::Internal("x").is_retryable());
         assert!(!MmdbError::TransactionClosed.is_retryable());
+        assert!(!MmdbError::LogCorrupt {
+            offset: 12,
+            reason: "checksum mismatch"
+        }
+        .is_retryable());
+        assert!(!MmdbError::LogIo("disk full".into()).is_retryable());
     }
 
     #[test]

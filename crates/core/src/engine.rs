@@ -217,6 +217,31 @@ impl MvEngine {
         }
         Ok(applied)
     }
+
+    /// Recover from the framed bytes of a redo log: decode every complete
+    /// record — tolerating a torn tail left by a crash mid-append — and
+    /// replay them through [`MvEngine::replay_log`]. Tables must have been
+    /// re-created (same IDs) on this fresh engine first.
+    pub fn recover_bytes(&self, bytes: &[u8]) -> Result<mmdb_storage::log::RecoveryReport> {
+        let outcome = mmdb_storage::log::read_log_bytes(bytes)?;
+        let records_applied = self.replay_log(outcome.records)?;
+        Ok(mmdb_storage::log::RecoveryReport {
+            records_applied,
+            valid_bytes: outcome.valid_bytes,
+            torn_bytes: outcome.torn_bytes,
+        })
+    }
+
+    /// Recover from the redo-log file at `path` (see
+    /// [`MvEngine::recover_bytes`]).
+    pub fn recover_file(
+        &self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<mmdb_storage::log::RecoveryReport> {
+        let bytes =
+            std::fs::read(path).map_err(|e| mmdb_common::error::MmdbError::LogIo(e.to_string()))?;
+        self.recover_bytes(&bytes)
+    }
 }
 
 impl Engine for MvEngine {
@@ -264,8 +289,21 @@ mod snapshot_stability_stress {
     //! timestamp window at precommit. Each made reads of permanently-present
     //! keys transiently return `None` under heavy concurrent updates.
     //!
-    //! Ignored by default (runs ~40s); run with
-    //! `cargo test -p mmdb-core --lib snapshot_stability -- --ignored`.
+    //! Two entry points share one stress round:
+    //!
+    //! * [`snapshot_stability_short_deadline`] runs in CI on every push. Its
+    //!   total budget is env-tunable via `MMDB_GC_STRESS_MS` (default
+    //!   600 ms).
+    //! * [`reads_of_permanent_keys_never_return_none`] is the original long
+    //!   soak (~40 s), still ignored by default; run with
+    //!   `cargo test -p mmdb-core --lib snapshot_stability -- --ignored`.
+    //!
+    //! Each round races updaters and snapshot readers over permanent keys,
+    //! plus a delete/re-insert churner and a dedicated `collect_garbage`
+    //! hammer over a disjoint key range; after quiescing and draining GC it
+    //! asserts the **version-count watermark**: every visible key is down to
+    //! exactly one version (no watermark leak keeps superseded, deleted or
+    //! poisoned versions reachable).
 
     use super::*;
     use mmdb_common::engine::{Engine, EngineTxn};
@@ -275,71 +313,168 @@ mod snapshot_stability_stress {
     use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Arc;
 
+    const ROWS: u64 = 128;
+    /// Churn range for the delete/re-insert worker (disjoint from the
+    /// permanent keys so the stability invariant stays checkable).
+    const EXTRA: u64 = 32;
+
+    fn stress_round(round: u64, millis: u64) {
+        let engine = MvEngine::optimistic(MvConfig::default());
+        let table = engine.create_table(TableSpec::keyed_u64("t", 512)).unwrap();
+        engine
+            .populate(
+                table,
+                (0..ROWS + EXTRA).map(|id| rowbuf::keyed_row(id, 16, 1)),
+            )
+            .unwrap();
+        let stop = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|scope| {
+            for w in 0..2u64 {
+                let engine = engine.clone();
+                let stop = Arc::clone(&stop);
+                scope.spawn(move || {
+                    let mut x = w;
+                    while stop.load(Ordering::Relaxed) == 0 {
+                        x = x
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        let a = (x >> 33) % ROWS;
+                        let b = (a + 1) % ROWS;
+                        let mut txn = engine.begin(IsolationLevel::Serializable);
+                        let r: mmdb_common::error::Result<()> = (|| {
+                            let ra = txn.read(table, IndexId(0), a)?;
+                            let rb = txn.read(table, IndexId(0), b)?;
+                            let (Some(ra), Some(rb)) = (ra, rb) else {
+                                panic!("round {round}: writer read None for a permanent key (a={a}, b={b})");
+                            };
+                            let fa = rowbuf::fill_of(&ra);
+                            let fb = rowbuf::fill_of(&rb);
+                            if fa > 0 {
+                                txn.update(table, IndexId(0), a, rowbuf::keyed_row(a, 16, fa.wrapping_sub(1).max(1)))?;
+                                txn.update(table, IndexId(0), b, rowbuf::keyed_row(b, 16, fb.wrapping_add(1).max(1)))?;
+                            }
+                            Ok(())
+                        })();
+                        match r {
+                            Ok(()) => {
+                                let _ = txn.commit();
+                            }
+                            Err(_) => txn.abort(),
+                        }
+                    }
+                });
+            }
+            for _ in 0..2u64 {
+                let engine = engine.clone();
+                let stop = Arc::clone(&stop);
+                scope.spawn(move || loop {
+                    let mut txn = engine.begin(IsolationLevel::SnapshotIsolation);
+                    for id in 0..ROWS {
+                        assert!(
+                            txn.read(table, IndexId(0), id).unwrap().is_some(),
+                            "round {round}: snapshot read None for permanent key {id}"
+                        );
+                    }
+                    txn.commit().unwrap();
+                    if stop.load(Ordering::Relaxed) != 0 {
+                        break;
+                    }
+                });
+            }
+            // Delete/re-insert churner racing GC over the extra key range:
+            // deleted versions must be reclaimed without ever making a
+            // concurrent snapshot read of a *permanent* key fail, and
+            // without leaking versions past the watermark.
+            {
+                let engine = engine.clone();
+                let stop = Arc::clone(&stop);
+                scope.spawn(move || {
+                    let mut x = 0xDEC0_DE00u64 | round;
+                    while stop.load(Ordering::Relaxed) == 0 {
+                        x = x
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        let k = ROWS + (x >> 33) % EXTRA;
+                        let mut txn = engine.begin(IsolationLevel::Serializable);
+                        let r: mmdb_common::error::Result<()> = (|| {
+                            if txn.read(table, IndexId(0), k)?.is_some() {
+                                txn.delete(table, IndexId(0), k)?;
+                            } else {
+                                txn.insert(table, rowbuf::keyed_row(k, 16, 2))?;
+                            }
+                            Ok(())
+                        })();
+                        match r {
+                            Ok(()) => {
+                                let _ = txn.commit();
+                            }
+                            Err(_) => txn.abort(),
+                        }
+                    }
+                });
+            }
+            // A dedicated collector hammering GC while deletes are in
+            // flight (the cooperative after-commit step only runs every
+            // `gc_every_n_commits`; this thread makes the race constant).
+            {
+                let engine = engine.clone();
+                let stop = Arc::clone(&stop);
+                scope.spawn(move || {
+                    while stop.load(Ordering::Relaxed) == 0 {
+                        engine.collect_garbage();
+                        std::thread::yield_now();
+                    }
+                });
+            }
+            std::thread::sleep(std::time::Duration::from_millis(millis));
+            stop.store(1, Ordering::Relaxed);
+        });
+
+        // Quiesced: drain the GC queue completely, then assert the
+        // version-count watermark — exactly one reachable version per
+        // visible key, i.e. GC reclaimed every superseded, deleted and
+        // poisoned version once no transaction could need it.
+        while engine.collect_garbage() > 0 {}
+        let mut visible = 0usize;
+        let mut txn = engine.begin(IsolationLevel::SnapshotIsolation);
+        for id in 0..ROWS + EXTRA {
+            if txn.read(table, IndexId(0), id).unwrap().is_some() {
+                visible += 1;
+            }
+        }
+        txn.commit().unwrap();
+        assert!(
+            visible >= ROWS as usize,
+            "round {round}: permanent keys went missing ({visible} < {ROWS})"
+        );
+        assert_eq!(
+            engine.version_count(table).unwrap(),
+            visible,
+            "round {round}: after a full GC drain each visible key must be down to \
+             exactly one reachable version (version-count watermark leak)"
+        );
+    }
+
+    /// CI-sized variant: total budget in milliseconds comes from
+    /// `MMDB_GC_STRESS_MS` (default 600), split into short rounds.
+    #[test]
+    fn snapshot_stability_short_deadline() {
+        let budget_ms: u64 = std::env::var("MMDB_GC_STRESS_MS")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(600);
+        let round_ms = 50;
+        let rounds = (budget_ms / round_ms).max(1);
+        for round in 0..rounds {
+            stress_round(round, round_ms);
+        }
+    }
+
     #[test]
     #[ignore = "long-running stress loop; run explicitly"]
     fn reads_of_permanent_keys_never_return_none() {
-        const ROWS: u64 = 128;
         for round in 0..400u64 {
-            let engine = MvEngine::optimistic(MvConfig::default());
-            let table = engine.create_table(TableSpec::keyed_u64("t", 512)).unwrap();
-            engine
-                .populate(table, (0..ROWS).map(|id| rowbuf::keyed_row(id, 16, 1)))
-                .unwrap();
-            let stop = Arc::new(AtomicU64::new(0));
-            std::thread::scope(|scope| {
-                for w in 0..2u64 {
-                    let engine = engine.clone();
-                    let stop = Arc::clone(&stop);
-                    scope.spawn(move || {
-                        let mut x = w;
-                        while stop.load(Ordering::Relaxed) == 0 {
-                            x = x
-                                .wrapping_mul(6364136223846793005)
-                                .wrapping_add(1442695040888963407);
-                            let a = (x >> 33) % ROWS;
-                            let b = (a + 1) % ROWS;
-                            let mut txn = engine.begin(IsolationLevel::Serializable);
-                            let r: mmdb_common::error::Result<()> = (|| {
-                                let ra = txn.read(table, IndexId(0), a)?;
-                                let rb = txn.read(table, IndexId(0), b)?;
-                                let (Some(ra), Some(rb)) = (ra, rb) else {
-                                    panic!("round {round}: writer read None for a permanent key (a={a}, b={b})");
-                                };
-                                let fa = rowbuf::fill_of(&ra);
-                                let fb = rowbuf::fill_of(&rb);
-                                if fa > 0 {
-                                    txn.update(table, IndexId(0), a, rowbuf::keyed_row(a, 16, fa.wrapping_sub(1).max(1)))?;
-                                    txn.update(table, IndexId(0), b, rowbuf::keyed_row(b, 16, fb.wrapping_add(1).max(1)))?;
-                                }
-                                Ok(())
-                            })();
-                            match r {
-                                Ok(()) => {
-                                    let _ = txn.commit();
-                                }
-                                Err(_) => txn.abort(),
-                            }
-                        }
-                    });
-                }
-                for _ in 0..2u64 {
-                    let engine = engine.clone();
-                    scope.spawn(move || {
-                        for _ in 0..30 {
-                            let mut txn = engine.begin(IsolationLevel::SnapshotIsolation);
-                            for id in 0..ROWS {
-                                assert!(
-                                    txn.read(table, IndexId(0), id).unwrap().is_some(),
-                                    "round {round}: snapshot read None for permanent key {id}"
-                                );
-                            }
-                            txn.commit().unwrap();
-                        }
-                    });
-                }
-                std::thread::sleep(std::time::Duration::from_millis(100));
-                stop.store(1, Ordering::Relaxed);
-            });
+            stress_round(round, 100);
         }
     }
 }

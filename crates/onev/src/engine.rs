@@ -126,6 +126,65 @@ impl SvEngine {
     pub fn row_count(&self, table: TableId) -> Result<usize> {
         Ok(self.table(table)?.row_count())
     }
+
+    /// Replay redo-log records into this (freshly created) engine.
+    ///
+    /// Mirrors the multiversion engine's `replay_log`:
+    /// records are sorted by end timestamp — the commit order the paper
+    /// derives durability from (§3.2) — and re-applied one transaction per
+    /// record: a `Write` op upserts the row by primary key, a `Delete` op
+    /// removes it. Tables must have been re-created (same IDs) first.
+    ///
+    /// Returns the number of log records applied.
+    pub fn replay_log<I>(&self, records: I) -> Result<usize>
+    where
+        I: IntoIterator<Item = LogRecord>,
+    {
+        let mut records: Vec<_> = records.into_iter().collect();
+        records.sort_by_key(|r| r.end_ts);
+        let mut applied = 0;
+        for record in records {
+            let mut txn = self.begin(IsolationLevel::ReadCommitted);
+            for op in record.ops {
+                match op {
+                    LogOp::Write { table, row } => {
+                        let key = self.table(table)?.key_of(IndexId(0), &row)?;
+                        if !txn.update(table, IndexId(0), key, row.clone())? {
+                            txn.insert(table, row)?;
+                        }
+                    }
+                    LogOp::Delete { table, key } => {
+                        txn.delete(table, IndexId(0), key)?;
+                    }
+                }
+            }
+            txn.commit()?;
+            applied += 1;
+        }
+        Ok(applied)
+    }
+
+    /// Recover from the framed bytes of a redo log, tolerating a torn tail
+    /// left by a crash mid-append (see [`SvEngine::replay_log`]).
+    pub fn recover_bytes(&self, bytes: &[u8]) -> Result<mmdb_storage::log::RecoveryReport> {
+        let outcome = mmdb_storage::log::read_log_bytes(bytes)?;
+        let records_applied = self.replay_log(outcome.records)?;
+        Ok(mmdb_storage::log::RecoveryReport {
+            records_applied,
+            valid_bytes: outcome.valid_bytes,
+            torn_bytes: outcome.torn_bytes,
+        })
+    }
+
+    /// Recover from the redo-log file at `path` (see
+    /// [`SvEngine::recover_bytes`]).
+    pub fn recover_file(
+        &self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<mmdb_storage::log::RecoveryReport> {
+        let bytes = std::fs::read(path).map_err(|e| MmdbError::LogIo(e.to_string()))?;
+        self.recover_bytes(&bytes)
+    }
 }
 
 impl Engine for SvEngine {

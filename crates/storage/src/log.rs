@@ -1,4 +1,4 @@
-//! Redo logging.
+//! Redo logging: write side and read (recovery) side.
 //!
 //! The paper's experimental setup (§5): *"Each transaction generates log
 //! records but these are asynchronously written to durable storage;
@@ -12,9 +12,30 @@
 //! * [`NullLogger`] — drops records (pure concurrency-control measurements).
 //! * [`MemoryLogger`] — keeps records in memory; used by tests to assert
 //!   ordering and content.
-//! * [`FileLogger`] — appends length-prefixed binary records to a file
-//!   through an internal buffer; `flush` is explicit (group commit) and never
-//!   on the transaction's commit path.
+//! * [`FileLogger`] — appends framed binary records to a file through an
+//!   internal buffer; `flush` is explicit (group commit) and never on the
+//!   transaction's commit path. I/O errors are sticky and surfaced by
+//!   [`RedoLogger::flush`].
+//!
+//! ## Wire format
+//!
+//! Each record is one self-delimiting frame:
+//!
+//! ```text
+//! frame := [body_len: u32 LE] [body_len ^ LEN_CHECK: u32 LE] [body] [checksum: u64 LE]
+//! body  := [end_ts: u64 LE] [op_count: u32 LE] op*
+//! op    := 0x00 [table: u32 LE] [row_len: u32 LE] [row bytes]   (Write)
+//!        | 0x01 [table: u32 LE] [key: u64 LE]                   (Delete)
+//! ```
+//!
+//! `checksum` is [`hash_bytes`] over `body`; the length prefix carries its
+//! own XOR self-check (it is what the reader walks the file by, so it can't
+//! rely on the body checksum it locates). Together they let [`LogReader`]
+//! distinguish a **torn tail** (a crash mid-append truncated the file:
+//! fewer bytes remain than the frame promises — tolerated, the partial
+//! frame is discarded) from **corruption** inside the valid region (length
+//! self-check, checksum or structure mismatch — surfaced as
+//! [`MmdbError::LogCorrupt`]).
 
 use std::fs::File;
 use std::io::{BufWriter, Write};
@@ -22,6 +43,8 @@ use std::path::Path;
 
 use parking_lot::Mutex;
 
+use mmdb_common::error::{MmdbError, Result};
+use mmdb_common::hash::hash_bytes;
 use mmdb_common::ids::{TableId, Timestamp};
 use mmdb_common::row::Row;
 
@@ -56,7 +79,8 @@ pub struct LogRecord {
 
 impl LogRecord {
     /// Approximate serialized size in bytes (payload + 8 bytes of metadata
-    /// per record, as in the paper's I/O estimate).
+    /// per record, as in the paper's I/O estimate). The actual wire encoding
+    /// ([`encode_record`]) adds framing (length prefix + checksum) on top.
     pub fn byte_size(&self) -> u64 {
         let body: usize = self
             .ops
@@ -70,13 +94,232 @@ impl LogRecord {
     }
 }
 
+/// Serialize one record into its framed wire representation.
+pub fn encode_record(record: &LogRecord) -> Vec<u8> {
+    let mut body = Vec::with_capacity(record.byte_size() as usize + 16);
+    body.extend_from_slice(&record.end_ts.raw().to_le_bytes());
+    body.extend_from_slice(&(record.ops.len() as u32).to_le_bytes());
+    for op in &record.ops {
+        match op {
+            LogOp::Write { table, row } => {
+                body.push(0u8);
+                body.extend_from_slice(&table.0.to_le_bytes());
+                body.extend_from_slice(&(row.len() as u32).to_le_bytes());
+                body.extend_from_slice(row);
+            }
+            LogOp::Delete { table, key } => {
+                body.push(1u8);
+                body.extend_from_slice(&table.0.to_le_bytes());
+                body.extend_from_slice(&key.to_le_bytes());
+            }
+        }
+    }
+    let mut frame = Vec::with_capacity(body.len() + 16);
+    let len = body.len() as u32;
+    frame.extend_from_slice(&len.to_le_bytes());
+    frame.extend_from_slice(&(len ^ LEN_CHECK_XOR).to_le_bytes());
+    frame.extend_from_slice(&body);
+    frame.extend_from_slice(&hash_bytes(&body).to_le_bytes());
+    frame
+}
+
+/// The length prefix is what the reader walks the file by, so it carries its
+/// own redundancy: a copy XORed with this constant. Without it, a corrupted
+/// length in the middle of the file would make the rest of the log look like
+/// a torn tail and silently drop committed records; with it, any readable
+/// header whose two words disagree is surfaced as [`MmdbError::LogCorrupt`].
+const LEN_CHECK_XOR: u32 = 0x5EC0_3D1E;
+
+/// Decode one record body (the part covered by the checksum). `offset` is
+/// the frame's byte offset in the log, used for error reporting only.
+fn decode_body(body: &[u8], offset: u64) -> Result<LogRecord> {
+    let corrupt = |reason: &'static str| MmdbError::LogCorrupt { offset, reason };
+    let mut pos = 0usize;
+    let mut take = |n: usize| -> Result<&[u8]> {
+        let slice = body
+            .get(pos..pos + n)
+            .ok_or(corrupt("record body shorter than its op list requires"))?;
+        pos += n;
+        Ok(slice)
+    };
+    let end_ts = u64::from_le_bytes(take(8)?.try_into().expect("8 bytes"));
+    let op_count = u32::from_le_bytes(take(4)?.try_into().expect("4 bytes"));
+    let mut ops = Vec::with_capacity(op_count as usize);
+    for _ in 0..op_count {
+        let tag = take(1)?[0];
+        let table = TableId(u32::from_le_bytes(take(4)?.try_into().expect("4 bytes")));
+        match tag {
+            0 => {
+                let row_len = u32::from_le_bytes(take(4)?.try_into().expect("4 bytes")) as usize;
+                let row = Row::copy_from_slice(take(row_len)?);
+                ops.push(LogOp::Write { table, row });
+            }
+            1 => {
+                let key = u64::from_le_bytes(take(8)?.try_into().expect("8 bytes"));
+                ops.push(LogOp::Delete { table, key });
+            }
+            _ => return Err(corrupt("unknown op tag")),
+        }
+    }
+    if pos != body.len() {
+        return Err(corrupt("trailing bytes after the last op"));
+    }
+    Ok(LogRecord {
+        end_ts: Timestamp(end_ts),
+        ops,
+    })
+}
+
+/// Iterator-style decoder over the framed log bytes.
+///
+/// A crash truncates the log at an arbitrary byte offset, so the last frame
+/// may be incomplete. [`LogReader::next_record`] treats an incomplete frame
+/// as end-of-log ([`Ok(None)`] with [`LogReader::is_torn`] set) rather than
+/// an error; anything structurally wrong *inside* a complete frame is
+/// [`MmdbError::LogCorrupt`].
+pub struct LogReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    torn: bool,
+}
+
+impl<'a> LogReader<'a> {
+    /// Read frames from a byte buffer (e.g. the contents of a log file).
+    pub fn new(buf: &'a [u8]) -> LogReader<'a> {
+        LogReader {
+            buf,
+            pos: 0,
+            torn: false,
+        }
+    }
+
+    /// Byte offset of the next unread frame — after the final
+    /// `next_record()`, the number of cleanly decoded bytes.
+    pub fn offset(&self) -> u64 {
+        self.pos as u64
+    }
+
+    /// True once the reader has hit an incomplete trailing frame.
+    pub fn is_torn(&self) -> bool {
+        self.torn
+    }
+
+    /// Decode the next complete record. `Ok(None)` means no complete frame
+    /// remains — either a clean end of log or a torn tail (check
+    /// [`is_torn`](Self::is_torn)).
+    pub fn next_record(&mut self) -> Result<Option<LogRecord>> {
+        if self.torn {
+            return Ok(None);
+        }
+        let remaining = &self.buf[self.pos..];
+        if remaining.is_empty() {
+            return Ok(None);
+        }
+        let offset = self.pos as u64;
+        if remaining.len() < 8 {
+            self.torn = true;
+            return Ok(None);
+        }
+        let body_len = u32::from_le_bytes(remaining[0..4].try_into().expect("4 bytes"));
+        let len_check = u32::from_le_bytes(remaining[4..8].try_into().expect("4 bytes"));
+        if body_len ^ LEN_CHECK_XOR != len_check {
+            // The walk depends on the length being right; a header whose two
+            // words disagree is corruption, not a tear — treating it as a
+            // torn tail would silently drop every later committed record.
+            return Err(MmdbError::LogCorrupt {
+                offset,
+                reason: "length prefix fails its self-check",
+            });
+        }
+        let body_len = body_len as usize;
+        let frame_len = 8 + body_len + 8;
+        if remaining.len() < frame_len {
+            self.torn = true;
+            return Ok(None);
+        }
+        let body = &remaining[8..8 + body_len];
+        let stored = u64::from_le_bytes(
+            remaining[8 + body_len..frame_len]
+                .try_into()
+                .expect("8 bytes"),
+        );
+        if hash_bytes(body) != stored {
+            return Err(MmdbError::LogCorrupt {
+                offset,
+                reason: "checksum mismatch",
+            });
+        }
+        let record = decode_body(body, offset)?;
+        self.pos += frame_len;
+        Ok(Some(record))
+    }
+}
+
+/// Everything a tolerant read of a (possibly crash-truncated) log yields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogReadOutcome {
+    /// The completely written records, in append order.
+    pub records: Vec<LogRecord>,
+    /// Bytes occupied by the complete frames.
+    pub valid_bytes: u64,
+    /// Bytes discarded as a torn (incomplete) trailing frame.
+    pub torn_bytes: u64,
+}
+
+impl LogReadOutcome {
+    /// True when the log ended exactly on a frame boundary.
+    pub fn is_clean(&self) -> bool {
+        self.torn_bytes == 0
+    }
+}
+
+/// Decode every complete record from `buf`, tolerating a torn tail.
+pub fn read_log_bytes(buf: &[u8]) -> Result<LogReadOutcome> {
+    let mut reader = LogReader::new(buf);
+    let mut records = Vec::new();
+    while let Some(record) = reader.next_record()? {
+        records.push(record);
+    }
+    let valid_bytes = reader.offset();
+    Ok(LogReadOutcome {
+        records,
+        valid_bytes,
+        torn_bytes: buf.len() as u64 - valid_bytes,
+    })
+}
+
+/// Decode every complete record from the log file at `path`.
+pub fn read_log_file(path: impl AsRef<Path>) -> Result<LogReadOutcome> {
+    let bytes = std::fs::read(path).map_err(|e| MmdbError::LogIo(e.to_string()))?;
+    read_log_bytes(&bytes)
+}
+
+/// What a [`recover`](LogReadOutcome)-style replay did: how much log it
+/// consumed and how many records it applied. Returned by the engines'
+/// `recover_bytes` / `recover_file` entry points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Number of log records replayed into the engine.
+    pub records_applied: usize,
+    /// Bytes of the log occupied by complete frames.
+    pub valid_bytes: u64,
+    /// Bytes discarded as a torn trailing frame (0 on a clean shutdown).
+    pub torn_bytes: u64,
+}
+
 /// A redo-log sink. `append` must never block on I/O.
 pub trait RedoLogger: Send + Sync + 'static {
     /// Append one commit record.
     fn append(&self, record: LogRecord);
 
     /// Force buffered records towards durable storage (group commit tick).
-    fn flush(&self) {}
+    ///
+    /// Returns the first I/O error encountered by any append or flush since
+    /// the logger was created — errors are sticky, so a torn write during an
+    /// earlier (fire-and-forget) `append` is still reported here.
+    fn flush(&self) -> Result<()> {
+        Ok(())
+    }
 
     /// Number of records appended so far.
     fn records_written(&self) -> u64;
@@ -126,6 +369,16 @@ impl MemoryLogger {
     pub fn byte_size(&self) -> u64 {
         self.records.lock().iter().map(LogRecord::byte_size).sum()
     }
+
+    /// The exact bytes a [`FileLogger`] would have produced for the same
+    /// append sequence (byte-exact comparison in tests).
+    pub fn encoded_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for record in self.records.lock().iter() {
+            out.extend_from_slice(&encode_record(record));
+        }
+        out
+    }
 }
 
 impl RedoLogger for MemoryLogger {
@@ -137,12 +390,20 @@ impl RedoLogger for MemoryLogger {
     }
 }
 
-/// Logger appending binary records to a file through a buffer. Appends go to
-/// an in-memory buffer under a mutex; actual file writes happen on `flush`
-/// (called by a background ticker or at shutdown), so the commit path never
-/// waits for I/O — matching the paper's asynchronous group commit.
+/// Logger appending framed binary records to a file through a buffer.
+/// Appends go to an in-memory buffer under a mutex; actual file writes
+/// happen on `flush` (called by a background ticker or at shutdown), so the
+/// commit path never waits for I/O — matching the paper's asynchronous group
+/// commit.
+///
+/// Because appends are fire-and-forget, an I/O error cannot be returned to
+/// the committing transaction. Instead the first error is recorded and every
+/// subsequent [`flush`](RedoLogger::flush) fails with it, so the process
+/// driving group commit learns the log is torn.
 pub struct FileLogger {
     writer: Mutex<BufWriter<File>>,
+    /// First I/O error seen by any append/flush; sticky once set.
+    error: Mutex<Option<String>>,
     count: std::sync::atomic::AtomicU64,
 }
 
@@ -152,38 +413,42 @@ impl FileLogger {
         let file = File::create(path)?;
         Ok(FileLogger {
             writer: Mutex::new(BufWriter::with_capacity(1 << 20, file)),
+            error: Mutex::new(None),
             count: std::sync::atomic::AtomicU64::new(0),
         })
+    }
+
+    /// Record the first I/O error; later ones are dropped (the log is
+    /// already torn at the earliest failure point).
+    fn record_error(&self, err: std::io::Error) {
+        let mut slot = self.error.lock();
+        if slot.is_none() {
+            *slot = Some(err.to_string());
+        }
     }
 }
 
 impl RedoLogger for FileLogger {
     fn append(&self, record: LogRecord) {
+        let frame = encode_record(&record);
         let mut w = self.writer.lock();
-        // Record header: end timestamp + op count.
-        let _ = w.write_all(&record.end_ts.raw().to_le_bytes());
-        let _ = w.write_all(&(record.ops.len() as u32).to_le_bytes());
-        for op in &record.ops {
-            match op {
-                LogOp::Write { table, row } => {
-                    let _ = w.write_all(&[0u8]);
-                    let _ = w.write_all(&table.0.to_le_bytes());
-                    let _ = w.write_all(&(row.len() as u32).to_le_bytes());
-                    let _ = w.write_all(row);
-                }
-                LogOp::Delete { table, key } => {
-                    let _ = w.write_all(&[1u8]);
-                    let _ = w.write_all(&table.0.to_le_bytes());
-                    let _ = w.write_all(&key.to_le_bytes());
-                }
-            }
+        if let Err(e) = w.write_all(&frame) {
+            self.record_error(e);
         }
         self.count
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     }
 
-    fn flush(&self) {
-        let _ = self.writer.lock().flush();
+    fn flush(&self) -> Result<()> {
+        let mut w = self.writer.lock();
+        if let Err(e) = w.flush() {
+            self.record_error(e);
+        }
+        drop(w);
+        match &*self.error.lock() {
+            Some(msg) => Err(MmdbError::LogIo(msg.clone())),
+            None => Ok(()),
+        }
     }
 
     fn records_written(&self) -> u64 {
@@ -204,6 +469,22 @@ mod tests {
                     row: Row::from(vec![i as u8; 24]),
                 })
                 .collect(),
+        }
+    }
+
+    fn mixed_record(ts: u64) -> LogRecord {
+        LogRecord {
+            end_ts: Timestamp(ts),
+            ops: vec![
+                LogOp::Write {
+                    table: TableId(2),
+                    row: Row::from(vec![0xAB; 24]),
+                },
+                LogOp::Delete {
+                    table: TableId(7),
+                    key: 0xDEAD_BEEF,
+                },
+            ],
         }
     }
 
@@ -243,18 +524,173 @@ mod tests {
     }
 
     #[test]
-    fn file_logger_writes_bytes() {
+    fn encode_decode_round_trip() {
+        let records = vec![record(7, 3), mixed_record(9), record(11, 0)];
+        let mut bytes = Vec::new();
+        for r in &records {
+            bytes.extend_from_slice(&encode_record(r));
+        }
+        let outcome = read_log_bytes(&bytes).unwrap();
+        assert!(outcome.is_clean());
+        assert_eq!(outcome.valid_bytes, bytes.len() as u64);
+        assert_eq!(outcome.records, records);
+    }
+
+    #[test]
+    fn torn_tail_at_every_offset_is_tolerated() {
+        let records = vec![record(7, 3), mixed_record(9), record(11, 2)];
+        let mut bytes = Vec::new();
+        let mut boundaries = vec![0u64];
+        for r in &records {
+            bytes.extend_from_slice(&encode_record(r));
+            boundaries.push(bytes.len() as u64);
+        }
+        for cut in 0..=bytes.len() {
+            let outcome = read_log_bytes(&bytes[..cut]).unwrap_or_else(|e| {
+                panic!("cut at {cut} should be a torn tail, not corruption: {e}")
+            });
+            // Exactly the records whose frames fit below the cut survive.
+            let survivors = boundaries
+                .iter()
+                .filter(|&&b| b > 0 && b <= cut as u64)
+                .count();
+            assert_eq!(
+                outcome.records,
+                records[..survivors],
+                "wrong records for cut at {cut}"
+            );
+            assert_eq!(outcome.valid_bytes, boundaries[survivors]);
+            assert_eq!(
+                outcome.torn_bytes,
+                cut as u64 - boundaries[survivors],
+                "wrong torn byte count for cut at {cut}"
+            );
+            assert_eq!(outcome.is_clean(), cut as u64 == boundaries[survivors]);
+        }
+    }
+
+    #[test]
+    fn corruption_inside_valid_region_is_an_error() {
+        let mut bytes = encode_record(&mixed_record(9));
+        // Flip a byte in the body: frame is complete, checksum must fail.
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        let err = read_log_bytes(&bytes).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                MmdbError::LogCorrupt {
+                    offset: 0,
+                    reason: "checksum mismatch"
+                }
+            ),
+            "unexpected error: {err:?}"
+        );
+    }
+
+    #[test]
+    fn bad_op_tag_is_corruption_not_torn_tail() {
+        // Hand-build a frame with a valid checksum but an invalid op tag.
+        let mut body = Vec::new();
+        body.extend_from_slice(&5u64.to_le_bytes()); // end_ts
+        body.extend_from_slice(&1u32.to_le_bytes()); // op_count
+        body.push(9u8); // bogus tag
+        body.extend_from_slice(&0u32.to_le_bytes()); // table
+        body.extend_from_slice(&0u64.to_le_bytes()); // key
+        let mut frame = Vec::new();
+        let len = body.len() as u32;
+        frame.extend_from_slice(&len.to_le_bytes());
+        frame.extend_from_slice(&(len ^ LEN_CHECK_XOR).to_le_bytes());
+        frame.extend_from_slice(&body);
+        frame.extend_from_slice(&hash_bytes(&body).to_le_bytes());
+        let err = read_log_bytes(&frame).unwrap_err();
+        assert!(matches!(
+            err,
+            MmdbError::LogCorrupt {
+                reason: "unknown op tag",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn corrupted_length_prefix_is_corruption_not_torn_tail() {
+        // A bit-flip in a mid-file length prefix must not truncate the log
+        // silently: the reader walks the file by these lengths, so a bad
+        // one would otherwise misread every later frame as a torn tail.
+        let records = vec![record(7, 2), record(9, 1)];
+        let mut bytes = Vec::new();
+        for r in &records {
+            bytes.extend_from_slice(&encode_record(r));
+        }
+        let mut flipped = bytes.clone();
+        flipped[1] ^= 0x40; // raise record 0's body_len past the file size
+        let err = read_log_bytes(&flipped).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                MmdbError::LogCorrupt {
+                    offset: 0,
+                    reason: "length prefix fails its self-check"
+                }
+            ),
+            "unexpected outcome for a corrupted length prefix: {err:?}"
+        );
+    }
+
+    #[test]
+    fn file_logger_round_trips_through_the_reader() {
         let dir = std::env::temp_dir();
         let path = dir.join(format!("mmdb-log-test-{}.bin", std::process::id()));
+        let records = vec![record(7, 3), mixed_record(8), record(9, 1)];
         {
             let log = FileLogger::create(&path).unwrap();
-            log.append(record(7, 3));
-            log.append(record(9, 1));
-            log.flush();
-            assert_eq!(log.records_written(), 2);
+            for r in &records {
+                log.append(r.clone());
+            }
+            log.flush().unwrap();
+            assert_eq!(log.records_written(), 3);
         }
-        let len = std::fs::metadata(&path).unwrap().len();
-        assert!(len > 0, "file log should contain bytes after flush");
+        let outcome = read_log_file(&path).unwrap();
+        assert!(outcome.is_clean());
+        assert_eq!(outcome.records, records);
+        // Byte-exact parity with the in-memory logger.
+        let memory = MemoryLogger::new();
+        for r in &records {
+            memory.append(r.clone());
+        }
+        assert_eq!(std::fs::read(&path).unwrap(), memory.encoded_bytes());
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_log_file_is_a_log_io_error() {
+        let err = read_log_file("/nonexistent/mmdb-no-such-log.bin").unwrap_err();
+        assert!(matches!(err, MmdbError::LogIo(_)));
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn file_logger_io_errors_are_sticky_and_surface_in_flush() {
+        // /dev/full accepts the open but fails every write with ENOSPC,
+        // which is exactly the torn-write scenario flush must report.
+        if !std::path::Path::new("/dev/full").exists() {
+            return;
+        }
+        let log = FileLogger::create("/dev/full").unwrap();
+        log.append(record(1, 2));
+        let first = log.flush();
+        assert!(
+            matches!(first, Err(MmdbError::LogIo(_))),
+            "flush should surface the write failure, got {first:?}"
+        );
+        // The error is sticky: later flushes keep failing with the first
+        // error even if nothing new is buffered.
+        let second = log.flush();
+        assert_eq!(first, second);
+        // Appends never panic or block on the broken file.
+        log.append(record(2, 1));
+        assert_eq!(log.records_written(), 2);
+        assert!(log.flush().is_err());
     }
 }

@@ -1,9 +1,9 @@
 //! Cross-engine differential tests.
 //!
-//! The same seeded randomized histories are replayed against all three
-//! engines — optimistic multiversioning (MV/O), pessimistic multiversioning
-//! (MV/L) and the single-version locking baseline (1V) — plus a
-//! single-threaded model oracle:
+//! The same seeded randomized multi-table histories are replayed against all
+//! three engines — optimistic multiversioning (MV/O), pessimistic
+//! multiversioning (MV/L) and the single-version locking baseline (1V) —
+//! plus a single-threaded model oracle:
 //!
 //! * **Sequential equivalence**: with no concurrency, every engine must make
 //!   exactly the observations the oracle predicts (per-operation, at every
@@ -11,11 +11,14 @@
 //! * **Concurrent serializability**: with worker threads racing, whatever
 //!   subset of transactions commits must be equivalent to a serial execution
 //!   in commit-timestamp order — each committed transaction's recorded reads,
-//!   scans and write effects replay exactly, and the final state matches.
+//!   scans, read-modify-writes and write effects replay exactly, and the
+//!   final state matches.
 //! * **GC transparency**: collecting garbage never changes query results.
 //!
 //! Every history derives from a fixed seed (override with `MMDB_DIFF_SEED`
-//! to replay a specific one), so failures reproduce deterministically.
+//! to replay a specific one), so failures reproduce deterministically. On a
+//! concurrent-check failure a grep-able `MMDB-REPRO:` line is printed and
+//! the generated history is saved under `target/test-artifacts/`.
 
 mod support;
 
@@ -23,15 +26,17 @@ use std::collections::BTreeMap;
 
 use mmdb::prelude::*;
 use support::{
-    check_serial_equivalence, diff_table_spec, dump, generate_history, populate, run_concurrent,
-    run_sequential, HistoryParams, Oracle, TxnRecord,
+    check_serial_equivalence, create_diff_tables, dump, generate_history, populate, run_concurrent,
+    run_sequential, with_repro_artifacts, HistoryParams, Oracle, TxnRecord,
 };
 
+const TABLES: usize = 2;
 const KEY_SPACE: u64 = 24;
 const INITIAL_ROWS: u64 = 24;
 const DUMP_BOUND: u64 = KEY_SPACE * 2;
 
 const SEQUENTIAL_PARAMS: HistoryParams = HistoryParams {
+    tables: TABLES,
     key_space: KEY_SPACE,
     txns: 40,
     max_ops: 7,
@@ -39,6 +44,7 @@ const SEQUENTIAL_PARAMS: HistoryParams = HistoryParams {
 };
 
 const CONCURRENT_PARAMS: HistoryParams = HistoryParams {
+    tables: TABLES,
     key_space: KEY_SPACE,
     txns: 24,
     max_ops: 5,
@@ -56,25 +62,25 @@ fn seeds() -> Vec<u64> {
     }
 }
 
-fn fresh_mvo() -> (MvEngine, TableId) {
+fn fresh_mvo() -> (MvEngine, Vec<TableId>) {
     let engine = MvEngine::optimistic(MvConfig::default());
-    let table = engine.create_table(diff_table_spec(128)).unwrap();
-    populate(&engine, table, INITIAL_ROWS);
-    (engine, table)
+    let tables = create_diff_tables(&engine, TABLES, 128);
+    populate(&engine, &tables, INITIAL_ROWS);
+    (engine, tables)
 }
 
-fn fresh_mvl() -> (MvEngine, TableId) {
+fn fresh_mvl() -> (MvEngine, Vec<TableId>) {
     let engine = MvEngine::pessimistic(MvConfig::default());
-    let table = engine.create_table(diff_table_spec(128)).unwrap();
-    populate(&engine, table, INITIAL_ROWS);
-    (engine, table)
+    let tables = create_diff_tables(&engine, TABLES, 128);
+    populate(&engine, &tables, INITIAL_ROWS);
+    (engine, tables)
 }
 
-fn fresh_sv() -> (SvEngine, TableId) {
+fn fresh_sv() -> (SvEngine, Vec<TableId>) {
     let engine = SvEngine::new(SvConfig::default());
-    let table = engine.create_table(diff_table_spec(128)).unwrap();
-    populate(&engine, table, INITIAL_ROWS);
-    (engine, table)
+    let tables = create_diff_tables(&engine, TABLES, 128);
+    populate(&engine, &tables, INITIAL_ROWS);
+    (engine, tables)
 }
 
 /// Assert two sequential observation logs are identical, transaction by
@@ -108,10 +114,10 @@ fn assert_same_observations(
 /// final state.
 fn oracle_run(
     scripts: &[support::TxnScript],
-) -> (Vec<Vec<support::Observation>>, BTreeMap<u64, u8>) {
-    let mut oracle = Oracle::new(INITIAL_ROWS);
+) -> (Vec<Vec<support::Observation>>, Vec<BTreeMap<u64, u8>>) {
+    let mut oracle = Oracle::new(TABLES, INITIAL_ROWS);
     let observations = scripts.iter().map(|s| oracle.apply_script(s)).collect();
-    (observations, oracle.state().clone())
+    (observations, oracle.state().to_vec())
 }
 
 #[test]
@@ -125,9 +131,9 @@ fn sequential_histories_agree_across_engines_and_oracle() {
             let (mvl, t_mvl) = fresh_mvl();
             let (sv, t_sv) = fresh_sv();
 
-            let rec_mvo = run_sequential(&mvo, t_mvo, isolation, &scripts);
-            let rec_mvl = run_sequential(&mvl, t_mvl, isolation, &scripts);
-            let rec_sv = run_sequential(&sv, t_sv, isolation, &scripts);
+            let rec_mvo = run_sequential(&mvo, &t_mvo, isolation, &scripts);
+            let rec_mvl = run_sequential(&mvl, &t_mvl, isolation, &scripts);
+            let rec_sv = run_sequential(&sv, &t_sv, isolation, &scripts);
 
             // Engine ↔ engine.
             assert_same_observations(seed, "MV/O", &rec_mvo, "MV/L", &rec_mvl);
@@ -143,9 +149,9 @@ fn sequential_histories_agree_across_engines_and_oracle() {
 
             // Final states.
             for (label, state) in [
-                ("MV/O", dump(&mvo, t_mvo, DUMP_BOUND)),
-                ("MV/L", dump(&mvl, t_mvl, DUMP_BOUND)),
-                ("1V", dump(&sv, t_sv, DUMP_BOUND)),
+                ("MV/O", dump(&mvo, &t_mvo, DUMP_BOUND)),
+                ("MV/L", dump(&mvl, &t_mvl, DUMP_BOUND)),
+                ("1V", dump(&sv, &t_sv, DUMP_BOUND)),
             ] {
                 assert_eq!(
                     &state, &expected_state,
@@ -160,9 +166,9 @@ fn sequential_histories_agree_across_engines_and_oracle() {
 fn garbage_collection_never_changes_results() {
     for seed in seeds() {
         let scripts = generate_history(seed, SEQUENTIAL_PARAMS);
-        for (label, (engine, table)) in [("MV/O", fresh_mvo()), ("MV/L", fresh_mvl())] {
-            run_sequential(&engine, table, IsolationLevel::Serializable, &scripts);
-            let before = dump(&engine, table, DUMP_BOUND);
+        for (label, (engine, tables)) in [("MV/O", fresh_mvo()), ("MV/L", fresh_mvl())] {
+            run_sequential(&engine, &tables, IsolationLevel::Serializable, &scripts);
+            let before = dump(&engine, &tables, DUMP_BOUND);
             let mut reclaimed = 0;
             loop {
                 let n = engine.collect_garbage();
@@ -171,7 +177,7 @@ fn garbage_collection_never_changes_results() {
                     break;
                 }
             }
-            let after = dump(&engine, table, DUMP_BOUND);
+            let after = dump(&engine, &tables, DUMP_BOUND);
             assert_eq!(
                 before, after,
                 "[{label} seed={seed}] GC changed query results after reclaiming {reclaimed} versions"
@@ -197,48 +203,83 @@ fn concurrent_history(seed: u64) -> Vec<Vec<support::TxnScript>> {
     partition(generate_history(seed, total), CONCURRENT_WORKERS)
 }
 
+/// Run the concurrent serializability check for one engine, wrapped so a
+/// failure prints a grep-able repro line and saves the history.
+fn check_concurrent_serializable<E: Engine>(
+    label: &str,
+    seed: u64,
+    engine: &E,
+    tables: &[TableId],
+    isolation: IsolationLevel,
+    check_reads: bool,
+) {
+    let history = concurrent_history(seed);
+    let history_debug = format!("{history:#?}");
+    let records = run_concurrent(engine, tables, isolation, history);
+    let final_state = dump(engine, tables, DUMP_BOUND);
+    let artifact_name = format!(
+        "differential-{}-seed-{seed:#x}.history.txt",
+        label.replace(['/', ' '], "_")
+    );
+    with_repro_artifacts(
+        &format!("suite=differential engine={label} seed={seed:#x}"),
+        &[(&artifact_name, history_debug.as_bytes())],
+        || {
+            check_serial_equivalence(
+                label,
+                seed,
+                TABLES,
+                INITIAL_ROWS,
+                &records,
+                &final_state,
+                check_reads,
+            )
+        },
+    );
+}
+
 #[test]
 fn concurrent_serializable_mvo_is_serializable_by_commit_ts() {
     for seed in seeds() {
-        let (engine, table) = fresh_mvo();
-        let records = run_concurrent(
+        let (engine, tables) = fresh_mvo();
+        check_concurrent_serializable(
+            "MV/O ser",
+            seed,
             &engine,
-            table,
+            &tables,
             IsolationLevel::Serializable,
-            concurrent_history(seed),
+            true,
         );
-        let final_state = dump(&engine, table, DUMP_BOUND);
-        check_serial_equivalence("MV/O ser", seed, INITIAL_ROWS, &records, &final_state, true);
     }
 }
 
 #[test]
 fn concurrent_serializable_mvl_is_serializable_by_commit_ts() {
     for seed in seeds() {
-        let (engine, table) = fresh_mvl();
-        let records = run_concurrent(
+        let (engine, tables) = fresh_mvl();
+        check_concurrent_serializable(
+            "MV/L ser",
+            seed,
             &engine,
-            table,
+            &tables,
             IsolationLevel::Serializable,
-            concurrent_history(seed),
+            true,
         );
-        let final_state = dump(&engine, table, DUMP_BOUND);
-        check_serial_equivalence("MV/L ser", seed, INITIAL_ROWS, &records, &final_state, true);
     }
 }
 
 #[test]
 fn concurrent_serializable_sv_is_serializable_by_commit_ts() {
     for seed in seeds() {
-        let (engine, table) = fresh_sv();
-        let records = run_concurrent(
+        let (engine, tables) = fresh_sv();
+        check_concurrent_serializable(
+            "1V ser",
+            seed,
             &engine,
-            table,
+            &tables,
             IsolationLevel::Serializable,
-            concurrent_history(seed),
+            true,
         );
-        let final_state = dump(&engine, table, DUMP_BOUND);
-        check_serial_equivalence("1V ser", seed, INITIAL_ROWS, &records, &final_state, true);
     }
 }
 
@@ -248,29 +289,27 @@ fn concurrent_read_committed_write_effects_serialize() {
     // effects still serialize by commit timestamp (first-writer-wins write
     // locking), and the final state must match the replay.
     for seed in seeds() {
-        for (label, records, final_state) in [
-            {
-                let (engine, table) = fresh_mvo();
-                let records = run_concurrent(
-                    &engine,
-                    table,
-                    IsolationLevel::ReadCommitted,
-                    concurrent_history(seed),
-                );
-                ("MV/O rc", records, dump(&engine, table, DUMP_BOUND))
-            },
-            {
-                let (engine, table) = fresh_mvl();
-                let records = run_concurrent(
-                    &engine,
-                    table,
-                    IsolationLevel::ReadCommitted,
-                    concurrent_history(seed),
-                );
-                ("MV/L rc", records, dump(&engine, table, DUMP_BOUND))
-            },
-        ] {
-            check_serial_equivalence(label, seed, INITIAL_ROWS, &records, &final_state, false);
+        {
+            let (engine, tables) = fresh_mvo();
+            check_concurrent_serializable(
+                "MV/O rc",
+                seed,
+                &engine,
+                &tables,
+                IsolationLevel::ReadCommitted,
+                false,
+            );
+        }
+        {
+            let (engine, tables) = fresh_mvl();
+            check_concurrent_serializable(
+                "MV/L rc",
+                seed,
+                &engine,
+                &tables,
+                IsolationLevel::ReadCommitted,
+                false,
+            );
         }
     }
 }
@@ -280,10 +319,10 @@ fn concurrent_runs_commit_a_meaningful_fraction() {
     // Guards against the differential suite silently degenerating (e.g. an
     // engine aborting everything would make serializability checks vacuous).
     let seed = seeds()[0];
-    let (engine, table) = fresh_mvo();
+    let (engine, tables) = fresh_mvo();
     let records = run_concurrent(
         &engine,
-        table,
+        &tables,
         IsolationLevel::Serializable,
         concurrent_history(seed),
     );
@@ -312,5 +351,34 @@ fn histories_are_deterministic_for_a_seed() {
             .zip(&c)
             .any(|(x, y)| x.ops != y.ops || x.commit != y.commit),
         "different seeds should produce different histories"
+    );
+}
+
+#[test]
+fn histories_use_every_op_kind_and_every_table() {
+    // The generator must actually produce the coverage the suite claims:
+    // reads, scans, inserts, updates, read-modify-writes and deletes, spread
+    // over every table slot.
+    let scripts = generate_history(42, SEQUENTIAL_PARAMS);
+    let mut kinds = [false; 6];
+    let mut tables_seen = [false; TABLES];
+    for script in &scripts {
+        for op in &script.ops {
+            let (kind, t) = match *op {
+                support::Op::Read(t, _) => (0, t),
+                support::Op::ScanFill(t, _) => (1, t),
+                support::Op::Insert(t, _, _) => (2, t),
+                support::Op::Update(t, _, _) => (3, t),
+                support::Op::Bump(t, _, _) => (4, t),
+                support::Op::Delete(t, _) => (5, t),
+            };
+            kinds[kind] = true;
+            tables_seen[t] = true;
+        }
+    }
+    assert_eq!(kinds, [true; 6], "some op kind is never generated");
+    assert_eq!(
+        tables_seen, [true; TABLES],
+        "some table slot is never touched"
     );
 }

@@ -1,0 +1,551 @@
+//! Crash–recovery differential tests.
+//!
+//! The paper's durability story (§3.2, §5): every committed transaction
+//! emits one redo record carrying its end timestamp and after-images, and
+//! replaying the log in commit-timestamp order reconstructs the committed
+//! state. These tests drive that claim end to end for all three engines
+//! (MV/O, MV/L, 1V):
+//!
+//! 1. run a seeded concurrent multi-table history against an engine wired to
+//!    a [`FileLogger`];
+//! 2. "crash" by truncating the log bytes at randomized offsets — including
+//!    offsets in the middle of a record frame;
+//! 3. recover into a fresh engine via `recover_bytes` and assert the
+//!    recovered state equals the committed prefix the surviving log records
+//!    describe, with **every** index (primary and secondary) consistent with
+//!    a full scan.
+//!
+//! The oracle for a crash at offset X is computed from the decoded surviving
+//! records themselves (sorted by end timestamp, after-images upserted,
+//! deletes applied) — the engine's replay must drive its real transaction,
+//! index-maintenance and uniqueness machinery to the same state.
+//!
+//! Failures print a grep-able `MMDB-REPRO:` line with the seed and crash
+//! offset and save the history + log bytes under `target/test-artifacts/`.
+
+mod support;
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use mmdb::prelude::*;
+use mmdb_storage::log::{
+    read_log_bytes, FileLogger, LogOp, LogRecord, MemoryLogger, RecoveryReport, RedoLogger,
+};
+use support::{
+    assert_indexes_consistent, create_diff_tables, dump, generate_history, populate,
+    run_concurrent, run_sequential, with_repro_artifacts, HistoryParams, TxnRecord,
+};
+
+const TABLES: usize = 2;
+const KEY_SPACE: u64 = 24;
+const INITIAL_ROWS: u64 = 16;
+const DUMP_BOUND: u64 = KEY_SPACE * 2;
+const WORKERS: usize = 3;
+
+const PARAMS: HistoryParams = HistoryParams {
+    tables: TABLES,
+    key_space: KEY_SPACE,
+    txns: 20,
+    max_ops: 5,
+    abort_probability: 0.1,
+};
+
+fn seeds() -> Vec<u64> {
+    match std::env::var("MMDB_DIFF_SEED") {
+        Ok(v) => vec![v.trim().parse().expect("MMDB_DIFF_SEED must be a u64")],
+        Err(_) => vec![0x4EC0_0001, 0x4EC0_0002, 0x4EC0_0003],
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Mvo,
+    Mvl,
+    Sv,
+}
+
+const ALL_KINDS: [Kind; 3] = [Kind::Mvo, Kind::Mvl, Kind::Sv];
+
+impl Kind {
+    fn label(self) -> &'static str {
+        match self {
+            Kind::Mvo => "MV/O",
+            Kind::Mvl => "MV/L",
+            Kind::Sv => "1V",
+        }
+    }
+}
+
+/// A type-erased engine so the same test body drives all three kinds.
+enum EngineBox {
+    Mv(MvEngine),
+    Sv(SvEngine),
+}
+
+impl EngineBox {
+    fn new(kind: Kind, logger: Arc<dyn RedoLogger>) -> EngineBox {
+        match kind {
+            // Recovery targets and workload sources alike are driven by at
+            // most a few worker threads; the background deadlock detector
+            // only adds noise to these tests.
+            Kind::Mvo => EngineBox::Mv(MvEngine::with_logger(
+                MvConfig::optimistic().with_deadlock_detector(false),
+                logger,
+            )),
+            Kind::Mvl => EngineBox::Mv(MvEngine::with_logger(
+                MvConfig::pessimistic().with_deadlock_detector(false),
+                logger,
+            )),
+            Kind::Sv => EngineBox::Sv(SvEngine::with_logger(SvConfig::default(), logger)),
+        }
+    }
+
+    fn create_tables(&self) -> Vec<TableId> {
+        match self {
+            EngineBox::Mv(e) => create_diff_tables(e, TABLES, 128),
+            EngineBox::Sv(e) => create_diff_tables(e, TABLES, 128),
+        }
+    }
+
+    fn populate(&self, tables: &[TableId]) {
+        match self {
+            EngineBox::Mv(e) => populate(e, tables, INITIAL_ROWS),
+            EngineBox::Sv(e) => populate(e, tables, INITIAL_ROWS),
+        }
+    }
+
+    fn run_concurrent(&self, tables: &[TableId], scripts: Vec<Vec<support::TxnScript>>) {
+        let _: Vec<TxnRecord> = match self {
+            EngineBox::Mv(e) => run_concurrent(e, tables, IsolationLevel::Serializable, scripts),
+            EngineBox::Sv(e) => run_concurrent(e, tables, IsolationLevel::Serializable, scripts),
+        };
+    }
+
+    fn run_sequential(&self, tables: &[TableId], scripts: &[support::TxnScript]) {
+        let _: Vec<TxnRecord> = match self {
+            EngineBox::Mv(e) => run_sequential(e, tables, IsolationLevel::Serializable, scripts),
+            EngineBox::Sv(e) => run_sequential(e, tables, IsolationLevel::Serializable, scripts),
+        };
+    }
+
+    fn dump(&self, tables: &[TableId]) -> Vec<BTreeMap<u64, u8>> {
+        match self {
+            EngineBox::Mv(e) => dump(e, tables, DUMP_BOUND),
+            EngineBox::Sv(e) => dump(e, tables, DUMP_BOUND),
+        }
+    }
+
+    fn recover_bytes(&self, bytes: &[u8]) -> Result<RecoveryReport> {
+        match self {
+            EngineBox::Mv(e) => e.recover_bytes(bytes),
+            EngineBox::Sv(e) => e.recover_bytes(bytes),
+        }
+    }
+
+    fn assert_indexes_consistent(&self, label: &str, tables: &[TableId]) {
+        match self {
+            EngineBox::Mv(e) => assert_indexes_consistent(label, e, tables, DUMP_BOUND),
+            EngineBox::Sv(e) => assert_indexes_consistent(label, e, tables, DUMP_BOUND),
+        }
+    }
+}
+
+/// Replay decoded log records against plain maps: the ground truth a
+/// recovered engine must reach. After-images upsert by primary key, deletes
+/// remove, all in end-timestamp order (§3.2: "commit ordering is determined
+/// by transaction end timestamps").
+fn log_oracle(records: &[LogRecord], tables: &[TableId]) -> Vec<BTreeMap<u64, u8>> {
+    let mut sorted: Vec<&LogRecord> = records.iter().collect();
+    sorted.sort_by_key(|r| r.end_ts);
+    let mut state = vec![BTreeMap::new(); tables.len()];
+    for record in sorted {
+        for op in &record.ops {
+            match op {
+                LogOp::Write { table, row } => {
+                    let slot = tables
+                        .iter()
+                        .position(|t| t == table)
+                        .expect("logged table exists");
+                    state[slot].insert(rowbuf::key_of(row), rowbuf::fill_of(row));
+                }
+                LogOp::Delete { table, key } => {
+                    let slot = tables
+                        .iter()
+                        .position(|t| t == table)
+                        .expect("logged table exists");
+                    state[slot].remove(key);
+                }
+            }
+        }
+    }
+    state
+}
+
+/// Fresh scratch log path (the workload side of each test writes here).
+fn scratch_log(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("mmdb-recovery-{}-{tag}.log", std::process::id()))
+}
+
+/// What [`logged_concurrent_run`] yields: the log bytes, the source
+/// engine's final state, its table ids and a debug dump of the history.
+struct LoggedRun {
+    bytes: Vec<u8>,
+    final_state: Vec<BTreeMap<u64, u8>>,
+    tables: Vec<TableId>,
+    history_debug: String,
+}
+
+/// Run a seeded concurrent history on a file-logged engine of `kind`.
+fn logged_concurrent_run(kind: Kind, seed: u64) -> LoggedRun {
+    let path = scratch_log(&format!("{}-{seed:x}", kind.label().replace('/', "_")));
+    let logger = Arc::new(FileLogger::create(&path).expect("create log file"));
+    let engine = EngineBox::new(kind, logger.clone());
+    let tables = engine.create_tables();
+    engine.populate(&tables);
+
+    let total = HistoryParams {
+        txns: PARAMS.txns * WORKERS,
+        ..PARAMS
+    };
+    let history = generate_history(seed, total);
+    let history_debug = format!("{history:#?}");
+    let mut parts: Vec<Vec<support::TxnScript>> = (0..WORKERS).map(|_| Vec::new()).collect();
+    for (i, script) in history.into_iter().enumerate() {
+        parts[i % WORKERS].push(script);
+    }
+    engine.run_concurrent(&tables, parts);
+
+    logger.flush().expect("flush log");
+    let bytes = std::fs::read(&path).expect("read log file");
+    let final_state = engine.dump(&tables);
+    let _ = std::fs::remove_file(&path);
+    LoggedRun {
+        bytes,
+        final_state,
+        tables,
+        history_debug,
+    }
+}
+
+/// Crash offsets for a log of `len` bytes: the edges, a cut inside the very
+/// first frame's length prefix, a cut one byte short of the end (mid-frame
+/// by construction), and a seeded random sample — which lands mid-record
+/// with overwhelming probability since frames span hundreds of bytes.
+fn crash_offsets(seed: u64, len: usize) -> Vec<usize> {
+    let mut offsets = vec![0, 1.min(len), 2.min(len), len.saturating_sub(1), len];
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC4A5_4011);
+    for _ in 0..8 {
+        offsets.push(rng.gen_range(0..=len));
+    }
+    offsets.sort_unstable();
+    offsets.dedup();
+    offsets
+}
+
+#[test]
+fn crash_at_any_offset_recovers_the_committed_prefix() {
+    for kind in ALL_KINDS {
+        for seed in seeds() {
+            let LoggedRun {
+                bytes,
+                tables: source_tables,
+                history_debug,
+                ..
+            } = logged_concurrent_run(kind, seed);
+            assert!(
+                !bytes.is_empty(),
+                "[{} seed={seed:#x}] the run should have produced log records",
+                kind.label()
+            );
+            for offset in crash_offsets(seed, bytes.len()) {
+                let truncated = &bytes[..offset];
+                let outcome = read_log_bytes(truncated).unwrap_or_else(|e| {
+                    panic!(
+                        "[{} seed={seed:#x} crash_offset={offset}] truncation must read as \
+                         a torn tail, never corruption: {e}",
+                        kind.label()
+                    )
+                });
+                let expected = log_oracle(&outcome.records, &source_tables);
+
+                let target = EngineBox::new(kind, Arc::new(mmdb_storage::log::NullLogger::new()));
+                let tables = target.create_tables();
+                assert_eq!(
+                    tables, source_tables,
+                    "recovery target must re-create tables with the same ids"
+                );
+
+                let history_name = format!("recovery-seed-{seed:#x}.history.txt");
+                let log_name = format!("recovery-seed-{seed:#x}.log.bin");
+                with_repro_artifacts(
+                    &format!(
+                        "suite=recovery engine={} seed={seed:#x} crash_offset={offset}",
+                        kind.label()
+                    ),
+                    &[
+                        (&history_name, history_debug.as_bytes()),
+                        (&log_name, &bytes),
+                    ],
+                    || {
+                        let report = target.recover_bytes(truncated).unwrap_or_else(|e| {
+                            panic!(
+                                "[{} seed={seed:#x} crash_offset={offset}] recovery failed: {e}",
+                                kind.label()
+                            )
+                        });
+                        assert_eq!(report.records_applied, outcome.records.len());
+                        assert_eq!(report.valid_bytes, outcome.valid_bytes);
+                        assert_eq!(
+                            report.valid_bytes + report.torn_bytes,
+                            offset as u64,
+                            "every crash byte is either replayed or torn"
+                        );
+
+                        let label =
+                            format!("{} seed={seed:#x} crash_offset={offset}", kind.label());
+                        assert_eq!(
+                            target.dump(&tables),
+                            expected,
+                            "[{label}] recovered state diverges from the committed prefix \
+                             the surviving log records describe"
+                        );
+                        target.assert_indexes_consistent(&label, &tables);
+                    },
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn full_log_recovery_reconstructs_the_final_committed_state() {
+    // With no crash at all, recovery must land exactly on the state the
+    // logged engine ended in — reads served from the recovered database are
+    // indistinguishable from reads served by the original.
+    for kind in ALL_KINDS {
+        for seed in seeds() {
+            let LoggedRun {
+                bytes,
+                final_state,
+                tables: source_tables,
+                ..
+            } = logged_concurrent_run(kind, seed);
+            let outcome = read_log_bytes(&bytes).expect("flushed log decodes");
+            assert!(
+                outcome.is_clean(),
+                "[{} seed={seed:#x}] a flushed log has no torn tail",
+                kind.label()
+            );
+
+            let target = EngineBox::new(kind, Arc::new(mmdb_storage::log::NullLogger::new()));
+            let tables = target.create_tables();
+            let report = target.recover_bytes(&bytes).expect("recovery succeeds");
+            assert_eq!(report.records_applied, outcome.records.len());
+            assert_eq!(report.torn_bytes, 0);
+
+            let label = format!("{} seed={seed:#x} full-log", kind.label());
+            assert_eq!(
+                target.dump(&tables),
+                final_state,
+                "[{label}] full-log recovery diverges from the live engine's final state"
+            );
+            assert_eq!(
+                target.dump(&tables),
+                log_oracle(&outcome.records, &source_tables)
+            );
+            target.assert_indexes_consistent(&label, &tables);
+        }
+    }
+}
+
+#[test]
+fn recovery_is_cross_engine() {
+    // A log written by one engine replays into any other: the redo format
+    // carries after-images and primary keys, nothing scheme-specific. The
+    // multiversion log recovered into 1V (and vice versa) must agree.
+    let seed = seeds()[0];
+    let mv_run = logged_concurrent_run(Kind::Mvo, seed);
+    let sv_run = logged_concurrent_run(Kind::Sv, seed);
+
+    for (source_label, bytes, final_state) in [
+        ("MV/O", &mv_run.bytes, &mv_run.final_state),
+        ("1V", &sv_run.bytes, &sv_run.final_state),
+    ] {
+        for kind in ALL_KINDS {
+            let target = EngineBox::new(kind, Arc::new(mmdb_storage::log::NullLogger::new()));
+            let tables = target.create_tables();
+            target.recover_bytes(bytes).expect("cross-engine recovery");
+            let label = format!("{source_label}-log → {} seed={seed:#x}", kind.label());
+            assert_eq!(
+                &target.dump(&tables),
+                final_state,
+                "[{label}] cross-engine recovery diverged"
+            );
+            target.assert_indexes_consistent(&label, &tables);
+        }
+    }
+}
+
+#[test]
+fn recovered_engine_accepts_new_transactions() {
+    // Recovery must leave a fully functional database: uniqueness still
+    // enforced, secondary index maintained, new commits logged normally.
+    let seed = seeds()[0];
+    for kind in ALL_KINDS {
+        let LoggedRun {
+            bytes, final_state, ..
+        } = logged_concurrent_run(kind, seed);
+        let target = EngineBox::new(kind, Arc::new(mmdb_storage::log::NullLogger::new()));
+        let tables = target.create_tables();
+        target.recover_bytes(&bytes).expect("recovery succeeds");
+
+        let (engine_label, fresh_key) = (kind.label(), DUMP_BOUND + 7);
+        match &target {
+            EngineBox::Mv(e) => post_recovery_smoke(e, &tables, &final_state, fresh_key),
+            EngineBox::Sv(e) => post_recovery_smoke(e, &tables, &final_state, fresh_key),
+        }
+        target.assert_indexes_consistent(&format!("{engine_label} post-recovery writes"), &tables);
+    }
+}
+
+/// Insert a fresh key, re-insert an existing one (must be rejected), update
+/// and delete — all against the recovered database.
+fn post_recovery_smoke<E: Engine>(
+    engine: &E,
+    tables: &[TableId],
+    recovered: &[BTreeMap<u64, u8>],
+    fresh_key: u64,
+) {
+    let table = tables[0];
+    let mut txn = engine.begin(IsolationLevel::Serializable);
+    txn.insert(table, rowbuf::keyed_row(fresh_key, support::FILLER, 3))
+        .expect("insert of a fresh key succeeds after recovery");
+    if let Some((&existing, _)) = recovered[0].iter().next() {
+        let dup = txn.insert(table, rowbuf::keyed_row(existing, support::FILLER, 5));
+        assert!(
+            matches!(dup, Err(MmdbError::DuplicateKey { .. })),
+            "recovered primary index must still enforce uniqueness, got {dup:?}"
+        );
+    }
+    txn.commit().expect("post-recovery commit");
+
+    let mut txn = engine.begin(IsolationLevel::Serializable);
+    assert_eq!(
+        txn.read(table, support::PRIMARY, fresh_key)
+            .unwrap()
+            .map(|r| rowbuf::fill_of(&r)),
+        Some(3)
+    );
+    assert!(txn.delete(table, support::PRIMARY, fresh_key).unwrap());
+    txn.commit().expect("post-recovery delete commit");
+}
+
+#[test]
+fn recover_file_reads_the_log_from_disk() {
+    let seed = seeds()[0];
+    for kind in [Kind::Mvo, Kind::Sv] {
+        let LoggedRun {
+            bytes, final_state, ..
+        } = logged_concurrent_run(kind, seed);
+        let path = scratch_log(&format!("from-disk-{}", kind.label().replace('/', "_")));
+        std::fs::write(&path, &bytes).expect("write log file");
+
+        let target = EngineBox::new(kind, Arc::new(mmdb_storage::log::NullLogger::new()));
+        let tables = target.create_tables();
+        let (report, missing) = match &target {
+            EngineBox::Mv(e) => (
+                e.recover_file(&path).expect("recover from file"),
+                e.recover_file("/nonexistent/mmdb-no-such.log"),
+            ),
+            EngineBox::Sv(e) => (
+                e.recover_file(&path).expect("recover from file"),
+                e.recover_file("/nonexistent/mmdb-no-such.log"),
+            ),
+        };
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(report.torn_bytes, 0);
+        assert_eq!(
+            target.dump(&tables),
+            final_state,
+            "[{} seed={seed:#x}] file-based recovery diverged",
+            kind.label()
+        );
+        assert!(
+            matches!(missing, Err(MmdbError::LogIo(_))),
+            "a missing log file must surface as LogIo, got {missing:?}"
+        );
+    }
+}
+
+#[test]
+fn repro_artifacts_are_saved_on_failure() {
+    // The CI artifact-upload step is only as good as this wrapper: a
+    // failing check must still save its artifacts and re-raise the panic.
+    let result = std::panic::catch_unwind(|| {
+        with_repro_artifacts(
+            "suite=selftest seed=0x0 crash_offset=0",
+            &[("selftest.artifact.txt", b"payload".as_slice())],
+            || panic!("intentional"),
+        )
+    });
+    assert!(result.is_err(), "the panic must propagate");
+    let path = std::path::Path::new("target/test-artifacts/selftest.artifact.txt");
+    assert_eq!(
+        std::fs::read(path).expect("artifact must be saved"),
+        b"payload"
+    );
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn file_and_memory_loggers_agree_byte_for_byte() {
+    // The FileLogger's on-disk bytes are exactly the MemoryLogger's records
+    // passed through the wire encoding — same sequential history, two
+    // engines, two loggers, identical frames.
+    for kind in ALL_KINDS {
+        for seed in seeds() {
+            let path = scratch_log(&format!(
+                "bytes-{}-{seed:x}",
+                kind.label().replace('/', "_")
+            ));
+            let file_logger = Arc::new(FileLogger::create(&path).expect("create log file"));
+            let memory_logger = Arc::new(MemoryLogger::new());
+
+            let history = generate_history(seed, PARAMS);
+            for run in 0..2 {
+                let logger: Arc<dyn RedoLogger> = if run == 0 {
+                    file_logger.clone()
+                } else {
+                    memory_logger.clone()
+                };
+                let engine = EngineBox::new(kind, logger);
+                let tables = engine.create_tables();
+                engine.populate(&tables);
+                engine.run_sequential(&tables, &history);
+            }
+            file_logger.flush().expect("flush log");
+
+            let file_bytes = std::fs::read(&path).expect("read log file");
+            let _ = std::fs::remove_file(&path);
+            assert_eq!(
+                file_bytes,
+                memory_logger.encoded_bytes(),
+                "[{} seed={seed:#x}] file and memory logs diverge byte-for-byte",
+                kind.label()
+            );
+            assert_eq!(
+                read_log_bytes(&file_bytes)
+                    .expect("file log decodes")
+                    .records,
+                memory_logger.records(),
+                "[{} seed={seed:#x}] decoded file records diverge from memory records",
+                kind.label()
+            );
+        }
+    }
+}

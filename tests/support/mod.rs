@@ -1,24 +1,33 @@
-//! Shared infrastructure for the cross-engine differential tests.
+//! Shared infrastructure for the cross-engine differential and
+//! crash-recovery tests.
 //!
 //! The pieces:
 //!
 //! * a **seeded workload generator** ([`generate_history`]) producing
-//!   randomized transaction scripts (insert / read / update / delete /
-//!   secondary-index scan, commit or abort) that replay identically from a
-//!   fixed seed;
+//!   randomized multi-table transaction scripts (insert / read / update /
+//!   read-modify-write / delete / secondary-index scan, commit or abort)
+//!   that replay identically from a fixed seed;
 //! * a **sequential executor** ([`run_sequential`]) that applies a history to
 //!   any [`Engine`] one transaction at a time and records every observation;
-//! * a **model oracle** ([`Oracle`]) — a plain `BTreeMap` with the same
+//! * a **model oracle** ([`Oracle`]) — plain `BTreeMap`s with the same
 //!   interface-level semantics, used as ground truth;
 //! * a **concurrent executor** ([`run_concurrent`]) that partitions a history
 //!   across worker threads and records, per committed transaction, its commit
 //!   timestamp and ordered observations;
 //! * a **serializability checker** ([`check_serial_equivalence`]) that
 //!   replays committed transactions in commit-timestamp order against the
-//!   model and verifies every recorded observation and the final state.
+//!   model and verifies every recorded observation and the final state;
+//! * an **index-consistency checker** ([`assert_indexes_consistent`]) that
+//!   cross-checks every index (primary and secondary) against a full primary
+//!   dump — the post-recovery invariant;
+//! * a **failure-artifact wrapper** ([`with_repro_artifacts`]) that, when a
+//!   check panics, prints one grep-able `MMDB-REPRO:` line (seed, crash
+//!   offset, engine) and saves the generated history and log bytes under
+//!   `target/test-artifacts/` for CI to upload.
 //!
 //! Engines disagree with the oracle ⇒ the test fails with the generating
 //! seed in the panic message, so every failure reproduces deterministically.
+#![allow(dead_code)] // shared by several test binaries, each using a subset
 
 use std::collections::BTreeMap;
 use std::sync::Mutex;
@@ -38,14 +47,26 @@ pub const SECONDARY: IndexId = IndexId(1);
 
 /// Table spec used by all differential tests: unique primary key plus a
 /// non-unique secondary index over the fill byte, so scans exercise
-/// multi-index maintenance.
-pub fn diff_table_spec(buckets: usize) -> TableSpec {
-    TableSpec::keyed_u64("diff", buckets).with_index(IndexSpec {
-        name: "by_fill".into(),
+/// multi-index maintenance — and updates that change the fill byte move rows
+/// between secondary-index buckets.
+pub fn diff_table_spec(name: &str, buckets: usize) -> TableSpec {
+    TableSpec::keyed_u64(name, buckets).with_index(IndexSpec {
+        name: format!("{name}_by_fill"),
         key: KeySpec::BytesAt { offset: 8, len: 1 },
         buckets: buckets / 4 + 1,
         unique: false,
     })
+}
+
+/// Create `tables` differential tables on `engine` (slot i ↔ the i-th id).
+pub fn create_diff_tables<E: Engine>(engine: &E, tables: usize, buckets: usize) -> Vec<TableId> {
+    (0..tables)
+        .map(|i| {
+            engine
+                .create_table(diff_table_spec(&format!("diff{i}"), buckets))
+                .expect("create table")
+        })
+        .collect()
 }
 
 /// Secondary-index key for a fill byte.
@@ -53,19 +74,27 @@ pub fn fill_key(fill: u8) -> Key {
     mmdb::common::hash::hash_bytes(&[fill])
 }
 
-/// One operation of a generated transaction.
+/// One operation of a generated transaction. The first field of every
+/// variant is the **table slot** — an index into the test's `Vec<TableId>` —
+/// so one transaction can span several tables.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Op {
     /// Point read of `key` through the primary index.
-    Read(u64),
+    Read(usize, u64),
     /// Equality scan of the secondary index for this fill byte.
-    ScanFill(u8),
+    ScanFill(usize, u8),
     /// Insert `key` with this fill byte (skipped if the key exists).
-    Insert(u64, u8),
-    /// Update `key` to this fill byte (no-op if the key is absent).
-    Update(u64, u8),
+    Insert(usize, u64, u8),
+    /// Update `key` to this fill byte (no-op if the key is absent). Always
+    /// changes the secondary-indexed column when the stored fill differs.
+    Update(usize, u64, u8),
+    /// Read-modify-write: read `key`, rotate its fill byte by this delta
+    /// (staying inside the fill alphabet), write the result back. No-op if
+    /// the key is absent. The delta is never a multiple of the alphabet
+    /// size, so an effective bump always changes the indexed column.
+    Bump(usize, u64, u8),
     /// Delete `key` (no-op if the key is absent).
-    Delete(u64),
+    Delete(usize, u64),
 }
 
 /// A generated transaction: its operations and its intended outcome.
@@ -80,6 +109,8 @@ pub struct TxnScript {
 /// Tuning knobs for [`generate_history`].
 #[derive(Debug, Clone, Copy)]
 pub struct HistoryParams {
+    /// Number of tables transactions spread over.
+    pub tables: usize,
     /// Keys are drawn from `0..key_space` (reads/updates/deletes) and
     /// `0..2 * key_space` (inserts), so both hits and misses occur.
     pub key_space: u64,
@@ -92,27 +123,46 @@ pub struct HistoryParams {
 }
 
 /// Fill bytes are confined to a small alphabet so secondary scans hit.
-const FILL_ALPHABET: u8 = 8;
+pub const FILL_ALPHABET: u8 = 8;
+
+/// Rotate a fill byte by `delta` steps, staying inside `1..=FILL_ALPHABET`
+/// (the read-modify-write transform of [`Op::Bump`]).
+pub fn bump_fill(fill: u8, delta: u8) -> u8 {
+    (fill.wrapping_sub(1).wrapping_add(delta)) % FILL_ALPHABET + 1
+}
 
 /// Generate a deterministic randomized history from `seed`.
 pub fn generate_history(seed: u64, params: HistoryParams) -> Vec<TxnScript> {
+    assert!(params.tables >= 1, "history needs at least one table");
     let mut rng = StdRng::seed_from_u64(seed);
     (0..params.txns)
         .map(|_| {
             let op_count = rng.gen_range(1..=params.max_ops);
             let ops = (0..op_count)
-                .map(|_| match rng.gen_range(0..10u32) {
-                    0..=2 => Op::Read(rng.gen_range(0..params.key_space)),
-                    3 => Op::ScanFill(rng.gen_range(1..=FILL_ALPHABET)),
-                    4..=5 => Op::Insert(
-                        rng.gen_range(0..params.key_space * 2),
-                        rng.gen_range(1..=FILL_ALPHABET),
-                    ),
-                    6..=8 => Op::Update(
-                        rng.gen_range(0..params.key_space),
-                        rng.gen_range(1..=FILL_ALPHABET),
-                    ),
-                    _ => Op::Delete(rng.gen_range(0..params.key_space * 2)),
+                .map(|_| {
+                    let t = rng.gen_range(0..params.tables);
+                    match rng.gen_range(0..11u32) {
+                        0..=2 => Op::Read(t, rng.gen_range(0..params.key_space)),
+                        3 => Op::ScanFill(t, rng.gen_range(1..=FILL_ALPHABET)),
+                        4..=5 => Op::Insert(
+                            t,
+                            rng.gen_range(0..params.key_space * 2),
+                            rng.gen_range(1..=FILL_ALPHABET),
+                        ),
+                        6..=7 => Op::Update(
+                            t,
+                            rng.gen_range(0..params.key_space),
+                            rng.gen_range(1..=FILL_ALPHABET),
+                        ),
+                        8..=9 => Op::Bump(
+                            t,
+                            rng.gen_range(0..params.key_space),
+                            // Never ≡ 0 (mod alphabet): an effective bump
+                            // always moves the row to a new secondary key.
+                            rng.gen_range(1..FILL_ALPHABET),
+                        ),
+                        _ => Op::Delete(t, rng.gen_range(0..params.key_space * 2)),
+                    }
                 })
                 .collect();
             TxnScript {
@@ -123,19 +173,23 @@ pub fn generate_history(seed: u64, params: HistoryParams) -> Vec<TxnScript> {
         .collect()
 }
 
-/// What one operation observed when it ran.
+/// What one operation observed when it ran. Mirrors [`Op`]: the first field
+/// is the table slot.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Observation {
-    /// `Read(key)` saw this fill byte (or nothing).
-    Read(u64, Option<u8>),
-    /// `ScanFill(fill)` saw exactly these primary keys (sorted).
-    Scan(u8, Vec<u64>),
-    /// `Insert(key, fill)` took effect (`false`: key already present).
-    Insert(u64, u8, bool),
-    /// `Update(key, fill)` took effect (`false`: key absent).
-    Update(u64, u8, bool),
-    /// `Delete(key)` took effect (`false`: key absent).
-    Delete(u64, bool),
+    /// `Read(t, key)` saw this fill byte (or nothing).
+    Read(usize, u64, Option<u8>),
+    /// `ScanFill(t, fill)` saw exactly these primary keys (sorted).
+    Scan(usize, u8, Vec<u64>),
+    /// `Insert(t, key, fill)` took effect (`false`: key already present).
+    Insert(usize, u64, u8, bool),
+    /// `Update(t, key, fill)` took effect (`false`: key absent).
+    Update(usize, u64, u8, bool),
+    /// `Bump(t, key, delta)` wrote this new fill (`None`: key absent, no
+    /// write happened).
+    Bump(usize, u64, u8, Option<u8>),
+    /// `Delete(t, key)` took effect (`false`: key absent).
+    Delete(usize, u64, bool),
 }
 
 /// The observations and outcome of one executed transaction.
@@ -148,52 +202,63 @@ pub struct TxnRecord {
     pub observations: Vec<Observation>,
 }
 
-/// Ground-truth model of the table: key → fill byte.
+/// Ground-truth model of the database: per table, key → fill byte.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Oracle {
-    state: BTreeMap<u64, u8>,
+    state: Vec<BTreeMap<u64, u8>>,
 }
 
 impl Oracle {
-    /// Start from `initial_rows` keys, all with fill byte 1.
-    pub fn new(initial_rows: u64) -> Oracle {
+    /// Start every one of `tables` tables from `initial_rows` keys, all with
+    /// fill byte 1.
+    pub fn new(tables: usize, initial_rows: u64) -> Oracle {
         Oracle {
-            state: (0..initial_rows).map(|k| (k, 1)).collect(),
+            state: (0..tables)
+                .map(|_| (0..initial_rows).map(|k| (k, 1)).collect())
+                .collect(),
         }
     }
 
-    /// Current state.
-    pub fn state(&self) -> &BTreeMap<u64, u8> {
+    /// Current state of all tables, slot by slot.
+    pub fn state(&self) -> &[BTreeMap<u64, u8>] {
         &self.state
     }
 
     /// What `op` observes and does against the current state.
     fn observe(&mut self, op: Op) -> Observation {
         match op {
-            Op::Read(k) => Observation::Read(k, self.state.get(&k).copied()),
-            Op::ScanFill(f) => Observation::Scan(
+            Op::Read(t, k) => Observation::Read(t, k, self.state[t].get(&k).copied()),
+            Op::ScanFill(t, f) => Observation::Scan(
+                t,
                 f,
-                self.state
+                self.state[t]
                     .iter()
                     .filter(|&(_, &v)| v == f)
                     .map(|(&k, _)| k)
                     .collect(),
             ),
-            Op::Insert(k, f) => {
-                let fresh = !self.state.contains_key(&k);
+            Op::Insert(t, k, f) => {
+                let fresh = !self.state[t].contains_key(&k);
                 if fresh {
-                    self.state.insert(k, f);
+                    self.state[t].insert(k, f);
                 }
-                Observation::Insert(k, f, fresh)
+                Observation::Insert(t, k, f, fresh)
             }
-            Op::Update(k, f) => {
-                let hit = self.state.contains_key(&k);
+            Op::Update(t, k, f) => {
+                let hit = self.state[t].contains_key(&k);
                 if hit {
-                    self.state.insert(k, f);
+                    self.state[t].insert(k, f);
                 }
-                Observation::Update(k, f, hit)
+                Observation::Update(t, k, f, hit)
             }
-            Op::Delete(k) => Observation::Delete(k, self.state.remove(&k).is_some()),
+            Op::Bump(t, k, delta) => {
+                let new = self.state[t].get(&k).map(|&old| bump_fill(old, delta));
+                if let Some(new) = new {
+                    self.state[t].insert(k, new);
+                }
+                Observation::Bump(t, k, delta, new)
+            }
+            Op::Delete(t, k) => Observation::Delete(t, k, self.state[t].remove(&k).is_some()),
         }
     }
 
@@ -221,22 +286,21 @@ impl Oracle {
     ) {
         for obs in &record.observations {
             match obs {
-                Observation::Read(k, seen) => {
+                Observation::Read(t, k, seen) => {
                     if check_reads {
-                        let model = self.state.get(k).copied();
+                        let model = self.state[*t].get(k).copied();
                         assert_eq!(
                             *seen,
                             model,
-                            "{}: committed txn read key {k} = {seen:?}, but the \
+                            "{}: committed txn read table {t} key {k} = {seen:?}, but the \
                              commit-timestamp-order replay has {model:?}",
                             ctx()
                         );
                     }
                 }
-                Observation::Scan(f, seen) => {
+                Observation::Scan(t, f, seen) => {
                     if check_reads {
-                        let model: Vec<u64> = self
-                            .state
+                        let model: Vec<u64> = self.state[*t]
                             .iter()
                             .filter(|&(_, &v)| v == *f)
                             .map(|(&k, _)| k)
@@ -244,8 +308,8 @@ impl Oracle {
                         assert_eq!(
                             *seen,
                             model,
-                            "{}: committed txn scanned fill {f} and saw keys {seen:?}, but \
-                             the commit-timestamp-order replay has {model:?}",
+                            "{}: committed txn scanned table {t} fill {f} and saw keys \
+                             {seen:?}, but the commit-timestamp-order replay has {model:?}",
                             ctx()
                         );
                     }
@@ -255,49 +319,72 @@ impl Oracle {
                 // "key present"), so like reads it is only
                 // serialization-point-exact for serializable transactions and
                 // is checked only under `check_reads`.
-                Observation::Insert(k, f, took_effect) => {
-                    let fresh = !self.state.contains_key(k);
+                Observation::Insert(t, k, f, took_effect) => {
+                    let fresh = !self.state[*t].contains_key(k);
                     if *took_effect || check_reads {
                         assert_eq!(
                             *took_effect,
                             fresh,
-                            "{}: committed insert of key {k} disagrees with the serial order \
-                             (engine said effect={took_effect}, replay says fresh={fresh})",
+                            "{}: committed insert of table {t} key {k} disagrees with the \
+                             serial order (engine said effect={took_effect}, replay says \
+                             fresh={fresh})",
                             ctx()
                         );
                     }
                     if *took_effect {
-                        self.state.insert(*k, *f);
+                        self.state[*t].insert(*k, *f);
                     }
                 }
-                Observation::Update(k, f, took_effect) => {
-                    let hit = self.state.contains_key(k);
+                Observation::Update(t, k, f, took_effect) => {
+                    let hit = self.state[*t].contains_key(k);
                     if *took_effect || check_reads {
                         assert_eq!(
                             *took_effect,
                             hit,
-                            "{}: committed update of key {k} disagrees with the serial order \
-                             (engine said effect={took_effect}, replay says present={hit})",
+                            "{}: committed update of table {t} key {k} disagrees with the \
+                             serial order (engine said effect={took_effect}, replay says \
+                             present={hit})",
                             ctx()
                         );
                     }
                     if *took_effect {
-                        self.state.insert(*k, *f);
+                        self.state[*t].insert(*k, *f);
                     }
                 }
-                Observation::Delete(k, took_effect) => {
+                // A bump is a read-modify-write: the written value derives
+                // from the read, so under `check_reads` the model must agree
+                // on both presence and the derived value; otherwise the
+                // observed written value is applied as-is (like any write).
+                Observation::Bump(t, k, delta, new) => {
+                    let model_new = self.state[*t].get(k).map(|&old| bump_fill(old, *delta));
+                    if check_reads {
+                        assert_eq!(
+                            *new,
+                            model_new,
+                            "{}: committed bump of table {t} key {k} (delta {delta}) wrote \
+                             {new:?}, but the commit-timestamp-order replay derives \
+                             {model_new:?}",
+                            ctx()
+                        );
+                    }
+                    if let Some(new) = new {
+                        self.state[*t].insert(*k, *new);
+                    }
+                }
+                Observation::Delete(t, k, took_effect) => {
                     if *took_effect || check_reads {
-                        let hit = self.state.contains_key(k);
+                        let hit = self.state[*t].contains_key(k);
                         assert_eq!(
                             *took_effect,
                             hit,
-                            "{}: committed delete of key {k} disagrees with the serial order \
-                             (engine said effect={took_effect}, replay says present={hit})",
+                            "{}: committed delete of table {t} key {k} disagrees with the \
+                             serial order (engine said effect={took_effect}, replay says \
+                             present={hit})",
                             ctx()
                         );
                     }
                     if *took_effect {
-                        self.state.remove(k);
+                        self.state[*t].remove(k);
                     }
                 }
             }
@@ -305,51 +392,77 @@ impl Oracle {
     }
 }
 
-/// Build a fresh engine-backed table populated with `initial_rows` rows
-/// (keys `0..initial_rows`, fill byte 1), matching [`Oracle::new`].
-pub fn populate<E>(engine: &E, table: TableId, initial_rows: u64)
+/// Populate every table with `initial_rows` rows (keys `0..initial_rows`,
+/// fill byte 1), matching [`Oracle::new`]. Runs through ordinary committed
+/// transactions, so the population is redo-logged like any other write.
+pub fn populate<E>(engine: &E, tables: &[TableId], initial_rows: u64)
 where
     E: Engine,
 {
     let mut setup = engine.begin(IsolationLevel::ReadCommitted);
-    for k in 0..initial_rows {
-        setup
-            .insert(table, rowbuf::keyed_row(k, FILLER, 1))
-            .expect("populate insert");
+    for &table in tables {
+        for k in 0..initial_rows {
+            setup
+                .insert(table, rowbuf::keyed_row(k, FILLER, 1))
+                .expect("populate insert");
+        }
     }
     setup.commit().expect("populate commit");
 }
 
 /// Execute one operation inside `txn`, recording what it observed.
-fn execute_op<T: EngineTxn>(txn: &mut T, table: TableId, op: Op) -> Result<Observation> {
+fn execute_op<T: EngineTxn>(txn: &mut T, tables: &[TableId], op: Op) -> Result<Observation> {
     Ok(match op {
-        Op::Read(k) => {
-            Observation::Read(k, txn.read(table, PRIMARY, k)?.map(|r| rowbuf::fill_of(&r)))
-        }
-        Op::ScanFill(f) => {
+        Op::Read(t, k) => Observation::Read(
+            t,
+            k,
+            txn.read(tables[t], PRIMARY, k)?
+                .map(|r| rowbuf::fill_of(&r)),
+        ),
+        Op::ScanFill(t, f) => {
             let mut keys: Vec<u64> = txn
-                .scan_key(table, SECONDARY, fill_key(f))?
+                .scan_key(tables[t], SECONDARY, fill_key(f))?
                 .iter()
                 .map(|r| rowbuf::key_of(r))
                 .collect();
             keys.sort_unstable();
-            Observation::Scan(f, keys)
+            Observation::Scan(t, f, keys)
         }
-        Op::Insert(k, f) => {
+        Op::Insert(t, k, f) => {
             // Duplicate inserts are a scripted possibility; probe first so a
             // duplicate is an observation rather than a transaction abort.
-            let fresh = txn.read(table, PRIMARY, k)?.is_none();
+            let fresh = txn.read(tables[t], PRIMARY, k)?.is_none();
             if fresh {
-                txn.insert(table, rowbuf::keyed_row(k, FILLER, f))?;
+                txn.insert(tables[t], rowbuf::keyed_row(k, FILLER, f))?;
             }
-            Observation::Insert(k, f, fresh)
+            Observation::Insert(t, k, f, fresh)
         }
-        Op::Update(k, f) => Observation::Update(
+        Op::Update(t, k, f) => Observation::Update(
+            t,
             k,
             f,
-            txn.update(table, PRIMARY, k, rowbuf::keyed_row(k, FILLER, f))?,
+            txn.update(tables[t], PRIMARY, k, rowbuf::keyed_row(k, FILLER, f))?,
         ),
-        Op::Delete(k) => Observation::Delete(k, txn.delete(table, PRIMARY, k)?),
+        Op::Bump(t, k, delta) => {
+            // Read-modify-write: the written value depends on the read one.
+            let new = match txn.read(tables[t], PRIMARY, k)? {
+                Some(row) => {
+                    let new = bump_fill(rowbuf::fill_of(&row), delta);
+                    if txn.update(tables[t], PRIMARY, k, rowbuf::keyed_row(k, FILLER, new))? {
+                        Some(new)
+                    } else {
+                        // The row vanished between read and update (possible
+                        // only under concurrency at weak isolation; a
+                        // serializable transaction observing this will fail
+                        // validation and never commit).
+                        None
+                    }
+                }
+                None => None,
+            };
+            Observation::Bump(t, k, delta, new)
+        }
+        Op::Delete(t, k) => Observation::Delete(t, k, txn.delete(tables[t], PRIMARY, k)?),
     })
 }
 
@@ -357,7 +470,7 @@ fn execute_op<T: EngineTxn>(txn: &mut T, table: TableId, op: Op) -> Result<Obser
 /// commit may fail — there is no concurrency to conflict with.
 pub fn run_sequential<E>(
     engine: &E,
-    table: TableId,
+    tables: &[TableId],
     isolation: IsolationLevel,
     scripts: &[TxnScript],
 ) -> Vec<TxnRecord>
@@ -372,7 +485,7 @@ where
                 .ops
                 .iter()
                 .map(|&op| {
-                    execute_op(&mut txn, table, op)
+                    execute_op(&mut txn, tables, op)
                         .unwrap_or_else(|e| panic!("sequential op {op:?} failed: {e:?}"))
                 })
                 .collect();
@@ -394,31 +507,82 @@ where
         .collect()
 }
 
-/// Read the full visible state of the table (keys `0..bound`).
-pub fn dump<E>(engine: &E, table: TableId, bound: u64) -> BTreeMap<u64, u8>
+/// Read the full visible state of every table (keys `0..bound`), slot by
+/// slot.
+pub fn dump<E>(engine: &E, tables: &[TableId], bound: u64) -> Vec<BTreeMap<u64, u8>>
 where
     E: Engine,
 {
     let mut txn = engine.begin(IsolationLevel::ReadCommitted);
-    let mut out = BTreeMap::new();
-    for k in 0..bound {
-        if let Some(row) = txn.read(table, PRIMARY, k).expect("dump read") {
-            out.insert(k, rowbuf::fill_of(&row));
+    let mut out = Vec::with_capacity(tables.len());
+    for &table in tables {
+        let mut state = BTreeMap::new();
+        for k in 0..bound {
+            if let Some(row) = txn.read(table, PRIMARY, k).expect("dump read") {
+                state.insert(k, rowbuf::fill_of(&row));
+            }
         }
+        out.push(state);
     }
     txn.commit().expect("dump commit");
     out
 }
 
+/// Cross-check every index of every table against a full primary dump:
+/// for each fill byte, the secondary equality scan must return exactly the
+/// keys the primary dump assigns that fill, and each of those keys must read
+/// back through the primary index with that fill. This is the post-recovery
+/// invariant: replay rebuilt *all* access paths, not just the primary one.
+pub fn assert_indexes_consistent<E>(label: &str, engine: &E, tables: &[TableId], bound: u64)
+where
+    E: Engine,
+{
+    let states = dump(engine, tables, bound);
+    let mut txn = engine.begin(IsolationLevel::ReadCommitted);
+    for (t, (&table, state)) in tables.iter().zip(&states).enumerate() {
+        for fill in 1..=FILL_ALPHABET {
+            let mut scanned: Vec<u64> = txn
+                .scan_key(table, SECONDARY, fill_key(fill))
+                .expect("secondary scan")
+                .iter()
+                .map(|r| rowbuf::key_of(r))
+                .collect();
+            scanned.sort_unstable();
+            let expected: Vec<u64> = state
+                .iter()
+                .filter(|&(_, &v)| v == fill)
+                .map(|(&k, _)| k)
+                .collect();
+            assert_eq!(
+                scanned, expected,
+                "[{label}] table {t}: secondary index for fill {fill} disagrees with the \
+                 primary dump"
+            );
+        }
+        for (&k, &fill) in state {
+            let seen = txn
+                .read(table, PRIMARY, k)
+                .expect("primary read")
+                .map(|r| rowbuf::fill_of(&r));
+            assert_eq!(
+                seen,
+                Some(fill),
+                "[{label}] table {t}: primary index lost key {k}"
+            );
+        }
+    }
+    txn.commit().expect("consistency txn commit");
+}
+
 /// Run `threads` workers concurrently, worker `i` executing `scripts[i]`
-/// transaction by transaction against the same table. Operations or commits
+/// transaction by transaction against the same tables. Operations or commits
 /// that fail due to conflicts abort that transaction (recorded with
 /// `commit_ts: None`); every committed transaction records its commit
 /// timestamp and ordered observations. Workers run a cooperative maintenance
 /// step every few transactions so GC interleaves with the workload.
 pub fn run_concurrent<E>(
     engine: &E,
-    table: TableId,
+    tables: &[TableId],
     isolation: IsolationLevel,
     scripts: Vec<Vec<TxnScript>>,
 ) -> Vec<TxnRecord>
@@ -436,7 +600,7 @@ where
                     let mut observations = Vec::with_capacity(script.ops.len());
                     let mut conflicted = false;
                     for &op in &script.ops {
-                        match execute_op(&mut txn, table, op) {
+                        match execute_op(&mut txn, tables, op) {
                             Ok(obs) => observations.push(obs),
                             Err(_) => {
                                 conflicted = true;
@@ -468,13 +632,14 @@ where
 /// Verify that the committed transactions of a concurrent run are
 /// serializable in commit-timestamp order: replaying them against the model
 /// must reproduce every recorded observation (reads only when `check_reads`)
-/// and end in exactly `final_state`.
+/// and end in exactly `final_state` (one map per table slot).
 pub fn check_serial_equivalence(
     label: &str,
     seed: u64,
+    tables: usize,
     initial_rows: u64,
     records: &[TxnRecord],
-    final_state: &BTreeMap<u64, u8>,
+    final_state: &[BTreeMap<u64, u8>],
     check_reads: bool,
 ) {
     let mut committed: Vec<&TxnRecord> = records.iter().filter(|r| r.commit_ts.is_some()).collect();
@@ -489,7 +654,7 @@ pub fn check_serial_equivalence(
         );
     }
 
-    let mut oracle = Oracle::new(initial_rows);
+    let mut oracle = Oracle::new(tables, initial_rows);
     for (position, record) in committed.iter().enumerate() {
         let ctx = || {
             format!(
@@ -506,4 +671,37 @@ pub fn check_serial_equivalence(
          commit-timestamp-order replay of the {} committed transactions",
         committed.len()
     );
+}
+
+/// Run `check`; if it panics, print one grep-able `MMDB-REPRO:` line
+/// carrying `repro` (seed, crash offset, engine, ...), write each named
+/// artifact under `target/test-artifacts/`, and resume the panic. CI uploads
+/// that directory on failure, so the exact history and log bytes that broke
+/// the suite travel with the red build.
+pub fn with_repro_artifacts<R>(
+    repro: &str,
+    artifacts: &[(&str, &[u8])],
+    check: impl FnOnce() -> R,
+) -> R {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(check)) {
+        Ok(value) => value,
+        Err(payload) => {
+            eprintln!("MMDB-REPRO: {repro}");
+            let dir = std::path::Path::new("target").join("test-artifacts");
+            if std::fs::create_dir_all(&dir).is_ok() {
+                for (name, bytes) in artifacts {
+                    let path = dir.join(name);
+                    if let Err(e) = std::fs::write(&path, bytes) {
+                        eprintln!(
+                            "MMDB-REPRO: failed to save artifact {}: {e}",
+                            path.display()
+                        );
+                    } else {
+                        eprintln!("MMDB-REPRO: saved artifact {}", path.display());
+                    }
+                }
+            }
+            std::panic::resume_unwind(payload)
+        }
+    }
 }
