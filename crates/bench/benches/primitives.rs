@@ -64,8 +64,15 @@ fn bench_visibility(c: &mut Criterion) {
     let txns = TxnTable::new();
     let committed = Version::new_committed(Timestamp(10), rowbuf::keyed_row(1, 16, 0), vec![1]);
     group.bench_function("committed_version", |b| {
+        let guard = crossbeam::epoch::pin();
         b.iter(|| {
-            std::hint::black_box(check_visibility(&committed, Timestamp(50), TxnId(9), &txns))
+            std::hint::black_box(check_visibility(
+                &committed,
+                Timestamp(50),
+                TxnId(9),
+                &txns,
+                &guard,
+            ))
         })
     });
     group.finish();

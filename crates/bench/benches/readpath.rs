@@ -1,0 +1,108 @@
+//! Micro-benchmarks of the hot read path: materializing (`read` /
+//! `scan_key`) vs visitor (`read_with` / `scan_key_with`) APIs on a warmed
+//! MV engine, and the two transaction-table lookup variants (`get` clones an
+//! `Arc`, `get_in` borrows under an epoch guard). Same fixture and strides
+//! as the `repro perf` experiment that records `BENCH_readpath.json`
+//! (`mmdb_bench::readpath`).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mmdb_bench::readpath::{
+    registered_txn_table, warmed_mv_engine, GROUP_SIZE, GROUP_STRIDE, KEY_STRIDE, TXN_TABLE_ENTRIES,
+};
+use mmdb_common::engine::{Engine, EngineTxn};
+use mmdb_common::ids::{IndexId, TxnId};
+use mmdb_common::isolation::IsolationLevel;
+use mmdb_common::row::rowbuf;
+
+const ROWS: u64 = 65_536;
+
+fn bench_point_reads(c: &mut Criterion) {
+    let (engine, table) = warmed_mv_engine(ROWS);
+    let mut group = c.benchmark_group("readpath/point_read");
+    let mut txn = engine.begin(IsolationLevel::ReadCommitted);
+
+    let mut key = 0u64;
+    group.bench_function("materializing_read", |b| {
+        b.iter(|| {
+            key = (key.wrapping_add(KEY_STRIDE)) % ROWS;
+            std::hint::black_box(txn.read(table, IndexId(0), key).unwrap())
+        })
+    });
+    let mut key = 1u64;
+    group.bench_function("visitor_read_with", |b| {
+        b.iter(|| {
+            key = (key.wrapping_add(KEY_STRIDE)) % ROWS;
+            txn.read_with(table, IndexId(0), key, &mut |row| {
+                std::hint::black_box(rowbuf::key_of(row));
+            })
+            .unwrap()
+        })
+    });
+    txn.abort();
+    group.finish();
+}
+
+fn bench_short_scans(c: &mut Criterion) {
+    let (engine, table) = warmed_mv_engine(ROWS);
+    let mut group = c.benchmark_group("readpath/scan8");
+    let mut txn = engine.begin(IsolationLevel::ReadCommitted);
+
+    let mut g = 0u64;
+    group.bench_function("materializing_scan_key", |b| {
+        b.iter(|| {
+            g = (g.wrapping_add(GROUP_STRIDE)) % (ROWS / GROUP_SIZE);
+            std::hint::black_box(txn.scan_key(table, IndexId(1), g).unwrap().len())
+        })
+    });
+    let mut g = 1u64;
+    group.bench_function("visitor_scan_key_with", |b| {
+        b.iter(|| {
+            g = (g.wrapping_add(GROUP_STRIDE)) % (ROWS / GROUP_SIZE);
+            let mut sum = 0u64;
+            txn.scan_key_with(table, IndexId(1), g, &mut |row| sum += rowbuf::key_of(row))
+                .unwrap();
+            std::hint::black_box(sum)
+        })
+    });
+    txn.abort();
+    group.finish();
+}
+
+fn bench_txn_table_lookup(c: &mut Criterion) {
+    let txns = registered_txn_table();
+    let mut group = c.benchmark_group("readpath/txn_table");
+    let mut id = 1u64;
+    group.bench_function("get_arc_clone", |b| {
+        b.iter(|| {
+            id = id % TXN_TABLE_ENTRIES + 1;
+            std::hint::black_box(txns.get(TxnId(id)).unwrap().id())
+        })
+    });
+    let guard = crossbeam::epoch::pin();
+    let mut id = 1u64;
+    group.bench_function("get_in_guard_borrow", |b| {
+        b.iter(|| {
+            id = id % TXN_TABLE_ENTRIES + 1;
+            std::hint::black_box(txns.get_in(TxnId(id), &guard).unwrap().id())
+        })
+    });
+    drop(guard);
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_point_reads, bench_short_scans, bench_txn_table_lookup
+}
+criterion_main!(benches);

@@ -3,7 +3,7 @@
 //! ```text
 //! cargo run -p mmdb-bench --release --bin repro -- [options] <experiment>...
 //!
-//! experiments: fig4 fig5 table3 fig6 fig7 fig8 fig9 table4 ablation all
+//! experiments: fig4 fig5 table3 fig6 fig7 fig8 fig9 table4 ablation perf all
 //!              recover   (crash/replay durability smoke — not part of `all`)
 //!
 //! options:
@@ -14,24 +14,35 @@
 //!   --threads a,b,c      thread counts for fig4/fig5      [default 1,2,4,6,8,12,16,20,24]
 //!   --duration-ms MS     measurement interval per point   [default 1000]
 //!   --subscribers N      TATP subscribers                 [default 200000]
+//!   --json PATH          also write every produced table as machine-readable
+//!                        JSON (schema mmdb-bench/series-tables/v1) — the
+//!                        format behind the committed BENCH_*.json trajectory
 //! ```
 
 use std::time::Duration;
 
 use mmdb_bench::experiments::{self, ExpConfig, SeriesTable};
+use mmdb_bench::json;
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro [--quick] [--rows N] [--hot-rows N] [--mpl N] [--threads a,b,c] \
-         [--duration-ms MS] [--subscribers N] \
-         <fig4|fig5|table3|fig6|fig7|fig8|fig9|table4|ablation|recover|all>..."
+         [--duration-ms MS] [--subscribers N] [--json PATH] \
+         <fig4|fig5|table3|fig6|fig7|fig8|fig9|table4|ablation|perf|recover|all>..."
     );
     std::process::exit(2);
 }
 
-fn parse_args() -> (ExpConfig, Vec<String>) {
+struct Options {
+    cfg: ExpConfig,
+    experiments: Vec<String>,
+    json_path: Option<std::path::PathBuf>,
+}
+
+fn parse_args() -> Options {
     let mut cfg = ExpConfig::standard();
     let mut experiments = Vec::new();
+    let mut json_path = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -77,6 +88,11 @@ fn parse_args() -> (ExpConfig, Vec<String>) {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage())
             }
+            "--json" => {
+                json_path = Some(std::path::PathBuf::from(args.next().unwrap_or_else(|| {
+                    usage();
+                })))
+            }
             "--help" | "-h" => usage(),
             name if !name.starts_with('-') => experiments.push(name.to_string()),
             _ => usage(),
@@ -85,15 +101,19 @@ fn parse_args() -> (ExpConfig, Vec<String>) {
     if experiments.is_empty() {
         usage();
     }
-    (cfg, experiments)
-}
-
-fn print_table(table: &SeriesTable) {
-    print!("{}", table.to_markdown());
+    Options {
+        cfg,
+        experiments,
+        json_path,
+    }
 }
 
 fn main() {
-    let (cfg, requested) = parse_args();
+    let Options {
+        cfg,
+        experiments: requested,
+        json_path,
+    } = parse_args();
     println!("# mmdb experiment reproduction");
     println!();
     println!(
@@ -102,34 +122,56 @@ fn main() {
     );
     println!();
 
+    let mut produced: Vec<SeriesTable> = Vec::new();
+    let emit = |produced: &mut Vec<SeriesTable>, tables: Vec<SeriesTable>| {
+        for table in tables {
+            print!("{}", table.to_markdown());
+            produced.push(table);
+        }
+    };
+
     for name in requested {
         match name.as_str() {
-            "fig4" => print_table(&experiments::fig4(&cfg)),
-            "fig5" => print_table(&experiments::fig5(&cfg)),
-            "table3" => print_table(&experiments::table3(&cfg)),
-            "fig6" => print_table(&experiments::fig6(&cfg)),
-            "fig7" => print_table(&experiments::fig7(&cfg)),
-            "fig8" => print_table(&experiments::fig8(&cfg)),
-            "fig9" => print_table(&experiments::fig9(&cfg)),
+            "fig4" => emit(&mut produced, vec![experiments::fig4(&cfg)]),
+            "fig5" => emit(&mut produced, vec![experiments::fig5(&cfg)]),
+            "table3" => emit(&mut produced, vec![experiments::table3(&cfg)]),
+            "fig6" => emit(&mut produced, vec![experiments::fig6(&cfg)]),
+            "fig7" => emit(&mut produced, vec![experiments::fig7(&cfg)]),
+            "fig8" => emit(&mut produced, vec![experiments::fig8(&cfg)]),
+            "fig9" => emit(&mut produced, vec![experiments::fig9(&cfg)]),
             "fig8+9" | "longreaders" => {
                 let (f8, f9) = experiments::fig8_and_fig9(&cfg);
-                print_table(&f8);
-                print_table(&f9);
+                emit(&mut produced, vec![f8, f9]);
             }
-            "table4" => print_table(&experiments::table4(&cfg)),
+            "table4" => emit(&mut produced, vec![experiments::table4(&cfg)]),
+            "perf" => emit(&mut produced, vec![experiments::readpath_perf(&cfg)]),
             "recover" => recover_smoke(&cfg),
-            "ablation" => {
-                print_table(&experiments::ablation_validation_cost(&cfg));
-                print_table(&experiments::ablation_gc(&cfg));
-            }
-            "all" => {
-                for table in experiments::run_all(&cfg) {
-                    print_table(&table);
-                }
-            }
+            "ablation" => emit(
+                &mut produced,
+                vec![
+                    experiments::ablation_validation_cost(&cfg),
+                    experiments::ablation_gc(&cfg),
+                ],
+            ),
+            "all" => emit(&mut produced, experiments::run_all(&cfg)),
             other => {
                 eprintln!("unknown experiment: {other}");
                 usage();
+            }
+        }
+    }
+
+    if let Some(path) = json_path {
+        let document = json::tables_to_json(&cfg, &produced);
+        match std::fs::write(&path, document) {
+            Ok(()) => println!(
+                "wrote {} tables as JSON to {}",
+                produced.len(),
+                path.display()
+            ),
+            Err(e) => {
+                eprintln!("failed to write JSON to {}: {e}", path.display());
+                std::process::exit(1);
             }
         }
     }

@@ -489,7 +489,132 @@ pub fn ablation_gc(cfg: &ExpConfig) -> SeriesTable {
     table
 }
 
-/// Run every experiment and return the rendered tables in paper order.
+/// Time `op` over `iters` iterations after `iters / 8` warm-up calls and
+/// return nanoseconds per operation.
+fn ns_per_op(iters: u64, mut op: impl FnMut()) -> f64 {
+    for _ in 0..iters / 8 {
+        op();
+    }
+    let start = std::time::Instant::now();
+    for _ in 0..iters {
+        op();
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// **Read-path microbenchmark** — the perf baseline this repository's
+/// trajectory starts from (`BENCH_readpath.json`). Single-threaded ns/op of
+/// the system's hottest operations on a warmed engine:
+///
+/// * MV/O point read and short (8-row) secondary scan, through both the
+///   materializing API (`read` / `scan_key`, clones rows into
+///   `Option<Row>` / `Vec<Row>`) and the visitor API (`read_with` /
+///   `scan_key_with`, allocation-free steady state);
+/// * the 1V point read for comparison (lock-coupled, inherently allocating);
+/// * the transaction-table lookup both ways (`get` clones an `Arc`,
+///   `get_in` borrows under an epoch guard) — the per-version visibility
+///   cost of §2.5.
+pub fn readpath_perf(cfg: &ExpConfig) -> SeriesTable {
+    use mmdb_common::engine::EngineTxn as _;
+    use mmdb_common::ids::{IndexId, TxnId};
+    use mmdb_common::row::rowbuf;
+
+    use crate::readpath::{
+        registered_txn_table, warmed_mv_engine, warmed_sv_engine, GROUP_SIZE, GROUP_STRIDE,
+        KEY_STRIDE, TXN_TABLE_ENTRIES,
+    };
+
+    let rows = cfg.rows.clamp(8_192, 262_144);
+    // Iteration counts scale with the configured measurement interval so the
+    // quick/CI configuration stays fast while the standard one averages over
+    // enough operations for stable numbers.
+    let read_iters = (cfg.duration.as_millis() as u64 * 200).clamp(20_000, 400_000);
+    let scan_iters = read_iters / 5;
+    let lookup_iters = read_iters * 5;
+
+    let mut table = SeriesTable {
+        title: format!("Read path: ns/op on a warmed engine ({rows} rows, single thread)"),
+        x_label: "operation".into(),
+        xs: vec!["ns/op".into()],
+        rows: Vec::new(),
+        unit: "nanoseconds per operation".into(),
+    };
+
+    // --- MV/O ---
+    let (engine, t) = warmed_mv_engine(rows);
+    let mut txn = engine.begin(IsolationLevel::ReadCommitted);
+    let mut key = 0u64;
+    let read_mat = ns_per_op(read_iters, || {
+        key = (key.wrapping_add(KEY_STRIDE)) % rows;
+        std::hint::black_box(txn.read(t, IndexId(0), key).expect("read"));
+    });
+    let mut key = 1u64;
+    let read_vis = ns_per_op(read_iters, || {
+        key = (key.wrapping_add(KEY_STRIDE)) % rows;
+        txn.read_with(t, IndexId(0), key, &mut |row| {
+            std::hint::black_box(rowbuf::key_of(row));
+        })
+        .expect("read_with");
+    });
+    let mut group = 0u64;
+    let scan_mat = ns_per_op(scan_iters, || {
+        group = (group.wrapping_add(GROUP_STRIDE)) % (rows / GROUP_SIZE);
+        std::hint::black_box(txn.scan_key(t, IndexId(1), group).expect("scan_key").len());
+    });
+    let mut group = 1u64;
+    let scan_vis = ns_per_op(scan_iters, || {
+        group = (group.wrapping_add(GROUP_STRIDE)) % (rows / GROUP_SIZE);
+        let mut sum = 0u64;
+        txn.scan_key_with(t, IndexId(1), group, &mut |row| sum += rowbuf::key_of(row))
+            .expect("scan_key_with");
+        std::hint::black_box(sum);
+    });
+    txn.abort();
+
+    // --- 1V ---
+    let (sv, t1) = warmed_sv_engine(rows, cfg.lock_timeout);
+    let mut txn = sv.begin(IsolationLevel::ReadCommitted);
+    let mut key = 0u64;
+    let sv_read_vis = ns_per_op(read_iters, || {
+        key = (key.wrapping_add(KEY_STRIDE)) % rows;
+        txn.read_with(t1, IndexId(0), key, &mut |row| {
+            std::hint::black_box(rowbuf::key_of(row));
+        })
+        .expect("read_with");
+    });
+    txn.abort();
+
+    // --- TxnTable lookups (the §2.5 per-version visibility cost) ---
+    let txns = registered_txn_table();
+    let mut id = 1u64;
+    let get_arc = ns_per_op(lookup_iters, || {
+        id = id % TXN_TABLE_ENTRIES + 1;
+        std::hint::black_box(txns.get(TxnId(id)).expect("registered").id());
+    });
+    let guard = crossbeam::epoch::pin();
+    let mut id = 1u64;
+    let get_borrow = ns_per_op(lookup_iters, || {
+        id = id % TXN_TABLE_ENTRIES + 1;
+        std::hint::black_box(txns.get_in(TxnId(id), &guard).expect("registered").id());
+    });
+    drop(guard);
+
+    for (label, value) in [
+        ("MV/O point read (materializing `read`)", read_mat),
+        ("MV/O point read (visitor `read_with`)", read_vis),
+        ("MV/O scan x8 (materializing `scan_key`)", scan_mat),
+        ("MV/O scan x8 (visitor `scan_key_with`)", scan_vis),
+        ("1V point read (visitor `read_with`)", sv_read_vis),
+        ("TxnTable lookup (`get`, Arc clone)", get_arc),
+        ("TxnTable lookup (`get_in`, guard borrow)", get_borrow),
+    ] {
+        table.rows.push((label.to_string(), vec![value]));
+    }
+    table
+}
+
+/// Run every experiment and return the rendered tables in paper order, with
+/// the read-path microbenchmark appended.
 pub fn run_all(cfg: &ExpConfig) -> Vec<SeriesTable> {
     let mut out = vec![fig4(cfg), fig5(cfg), table3(cfg), fig6(cfg), fig7(cfg)];
     let (f8, f9) = fig8_and_fig9(cfg);
@@ -498,6 +623,7 @@ pub fn run_all(cfg: &ExpConfig) -> Vec<SeriesTable> {
     out.push(table4(cfg));
     out.push(ablation_validation_cost(cfg));
     out.push(ablation_gc(cfg));
+    out.push(readpath_perf(cfg));
     out
 }
 
@@ -551,6 +677,27 @@ mod tests {
         for (_, series) in &f9.rows {
             assert_eq!(series[0], 0.0);
         }
+    }
+
+    #[test]
+    fn readpath_perf_reports_every_series() {
+        let t = readpath_perf(&tiny());
+        assert_eq!(t.xs, vec!["ns/op".to_string()]);
+        assert_eq!(t.rows.len(), 7);
+        for (label, series) in &t.rows {
+            assert_eq!(series.len(), 1);
+            assert!(
+                series[0].is_finite() && series[0] > 0.0,
+                "{label}: ns/op must be positive: {t:?}"
+            );
+        }
+        // The lock-free borrow can never be slower than clone-the-Arc by an
+        // order of magnitude (sanity, not a perf assertion).
+        let arc = t.value("TxnTable lookup (`get`, Arc clone)", 0).unwrap();
+        let borrow = t
+            .value("TxnTable lookup (`get_in`, guard borrow)", 0)
+            .unwrap();
+        assert!(borrow < arc * 10.0, "get_in {borrow} vs get {arc}");
     }
 
     #[test]

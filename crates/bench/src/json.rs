@@ -1,0 +1,143 @@
+//! Minimal machine-readable JSON emission for experiment results.
+//!
+//! The offline build has no `serde`, so this module hand-rolls exactly the
+//! document the perf trajectory needs: the experiment configuration plus
+//! every produced [`SeriesTable`]. The
+//! schema is versioned so later PRs can evolve it without breaking
+//! consumers of the committed `BENCH_*.json` files.
+
+use crate::experiments::{ExpConfig, SeriesTable};
+
+/// Schema identifier written into every document.
+pub const SCHEMA: &str = "mmdb-bench/series-tables/v1";
+
+/// Escape a string for inclusion in a JSON document.
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Format a float as a JSON number (`null` for non-finite values).
+fn number_into(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn table_into(out: &mut String, table: &SeriesTable) {
+    out.push_str("{\"title\":");
+    escape_into(out, &table.title);
+    out.push_str(",\"x_label\":");
+    escape_into(out, &table.x_label);
+    out.push_str(",\"unit\":");
+    escape_into(out, &table.unit);
+    out.push_str(",\"xs\":[");
+    for (i, x) in table.xs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        escape_into(out, x);
+    }
+    out.push_str("],\"series\":[");
+    for (i, (label, values)) in table.rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"label\":");
+        escape_into(out, label);
+        out.push_str(",\"values\":[");
+        for (j, v) in values.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            number_into(out, *v);
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+}
+
+/// Render the configuration and result tables as one JSON document.
+pub fn tables_to_json(cfg: &ExpConfig, tables: &[SeriesTable]) -> String {
+    let mut out = String::new();
+    out.push_str("{\"schema\":");
+    escape_into(&mut out, SCHEMA);
+    out.push_str(",\"config\":{");
+    out.push_str(&format!(
+        "\"rows\":{},\"hot_rows\":{},\"mpl\":{},\"duration_ms\":{},\"subscribers\":{},\
+         \"lock_timeout_ms\":{},\"threads\":[{}]",
+        cfg.rows,
+        cfg.hot_rows,
+        cfg.mpl,
+        cfg.duration.as_millis(),
+        cfg.subscribers,
+        cfg.lock_timeout.as_millis(),
+        cfg.threads
+            .iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    ));
+    out.push_str("},\"tables\":[");
+    for (i, table) in tables.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        table_into(&mut out, table);
+    }
+    out.push_str("]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn document_shape_and_escaping() {
+        let cfg = ExpConfig {
+            rows: 10,
+            hot_rows: 2,
+            threads: vec![1, 2],
+            mpl: 2,
+            duration: Duration::from_millis(50),
+            subscribers: 5,
+            lock_timeout: Duration::from_millis(20),
+        };
+        let table = SeriesTable {
+            title: "a \"quoted\"\ntitle".into(),
+            x_label: "x".into(),
+            xs: vec!["1".into()],
+            rows: vec![("s1".into(), vec![1.5]), ("s2".into(), vec![f64::NAN])],
+            unit: "u".into(),
+        };
+        let json = tables_to_json(&cfg, &[table]);
+        assert!(json.starts_with("{\"schema\":\"mmdb-bench/series-tables/v1\""));
+        assert!(json.contains("\"rows\":10"));
+        assert!(json.contains("\"threads\":[1,2]"));
+        assert!(json.contains("a \\\"quoted\\\"\\ntitle"));
+        assert!(json.contains("\"values\":[1.5]"));
+        assert!(json.contains("\"values\":[null]"), "NaN must become null");
+        // Balanced braces/brackets (cheap well-formedness check).
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

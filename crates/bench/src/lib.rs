@@ -13,6 +13,8 @@
 #![warn(rust_2018_idioms)]
 
 pub mod experiments;
+pub mod json;
+pub mod readpath;
 pub mod scheme;
 
 pub use experiments::ExpConfig;

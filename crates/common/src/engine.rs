@@ -41,6 +41,59 @@ pub trait EngineTxn: Send {
     /// key equals `key` (non-unique indexes may return several).
     fn scan_key(&mut self, table: TableId, index: IndexId, key: Key) -> Result<Vec<Row>>;
 
+    /// Visitor-style point lookup: invoke `visit` on the visible row with the
+    /// given key (at most once) without materializing it. Returns whether a
+    /// row was found.
+    ///
+    /// This is the allocation-free read path: engines override it to hand the
+    /// caller a borrow of the stored payload instead of building an
+    /// `Option<Row>`. The default implementation delegates to [`EngineTxn::read`]
+    /// for engines that have not opted in.
+    ///
+    /// **The visitor must not call back into the engine** (no reads, writes
+    /// or transaction control from inside `visit`): engines are free to run
+    /// it while holding internal latches — the single-version engine visits
+    /// rows in place under a bucket latch — so reentrant use can deadlock.
+    /// Extract what you need into locals and continue after the call
+    /// returns.
+    fn read_with(
+        &mut self,
+        table: TableId,
+        index: IndexId,
+        key: Key,
+        visit: &mut dyn FnMut(&Row),
+    ) -> Result<bool> {
+        match self.read(table, index, key)? {
+            Some(row) => {
+                visit(&row);
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Visitor-style equality scan: invoke `visit` on every visible row whose
+    /// index key equals `key`, in index-chain order, without materializing a
+    /// `Vec`. Returns the number of rows visited.
+    ///
+    /// Like [`EngineTxn::read_with`], this is the allocation-free path;
+    /// engines override it, and the default delegates to
+    /// [`EngineTxn::scan_key`]. The same reentrancy rule applies: the
+    /// visitor must not call back into the engine.
+    fn scan_key_with(
+        &mut self,
+        table: TableId,
+        index: IndexId,
+        key: Key,
+        visit: &mut dyn FnMut(&Row),
+    ) -> Result<usize> {
+        let rows = self.scan_key(table, index, key)?;
+        for row in &rows {
+            visit(row);
+        }
+        Ok(rows.len())
+    }
+
     /// Replace the visible row with key `key` (located through `index`) by
     /// `new_row`. Returns `Ok(false)` if no visible row matched.
     fn update(&mut self, table: TableId, index: IndexId, key: Key, new_row: Row) -> Result<bool>;
@@ -297,6 +350,45 @@ mod tests {
         );
         assert!(txn.delete(t, IndexId(0), 2).unwrap());
         assert!(!txn.delete(t, IndexId(0), 2).unwrap());
+        txn.commit().unwrap();
+    }
+
+    #[test]
+    fn default_visitor_reads_delegate_to_materializing_reads() {
+        let engine = TrivialEngine::new();
+        let spec = TableSpec::keyed_u64("t", 16).with_index(crate::row::IndexSpec {
+            name: "fill".into(),
+            key: KeySpec::BytesAt { offset: 8, len: 1 },
+            buckets: 16,
+            unique: false,
+        });
+        let t = engine.create_table(spec).unwrap();
+        let mut txn = engine.begin(IsolationLevel::ReadCommitted);
+        txn.insert(t, rowbuf::keyed_row(1, 16, 0xAA)).unwrap();
+        txn.insert(t, rowbuf::keyed_row(2, 16, 0xAA)).unwrap();
+
+        let mut seen = None;
+        assert!(txn
+            .read_with(t, IndexId(0), 1, &mut |row| seen =
+                Some(rowbuf::key_of(row)))
+            .unwrap());
+        assert_eq!(seen, Some(1));
+        assert!(!txn
+            .read_with(t, IndexId(0), 99, &mut |_| panic!("no row to visit"))
+            .unwrap());
+
+        let mut keys = Vec::new();
+        let n = txn
+            .scan_key_with(
+                t,
+                IndexId(1),
+                crate::hash::hash_bytes(&[0xAA]),
+                &mut |row| keys.push(rowbuf::key_of(row)),
+            )
+            .unwrap();
+        keys.sort_unstable();
+        assert_eq!(n, 2);
+        assert_eq!(keys, vec![1, 2]);
         txn.commit().unwrap();
     }
 

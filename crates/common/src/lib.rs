@@ -20,7 +20,7 @@
 //!   concurrency mode selector.
 //! * [`row`] — byte rows, key extraction specifications and table/index
 //!   schemas.
-//! * [`engine`] — the [`Engine`](engine::Engine)/[`EngineTxn`](engine::EngineTxn)
+//! * [`engine`] — the [`Engine`]/[`EngineTxn`]
 //!   abstraction the three engines (MV/O, MV/L, 1V) implement, so workloads
 //!   and experiments are written once.
 //! * [`error`] — the shared error type.

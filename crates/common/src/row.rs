@@ -143,7 +143,34 @@ impl TableSpec {
 /// Helpers for building small fixed-layout rows used by the workload
 /// generators and examples.
 pub mod rowbuf {
-    use super::Row;
+    use super::{IndexSpec, Row, TableSpec};
+
+    /// Keys per secondary-index group of [`grouped_row`]: a short (8-row)
+    /// equality scan, the paper's short-scan shape.
+    pub const GROUP_SIZE: u64 = 8;
+
+    /// Build a 24-byte row `[pk: u64][group: u64][8 filler bytes]`, where
+    /// `group` buckets [`GROUP_SIZE`] consecutive keys. This is the shared
+    /// read-path fixture: the `repro perf` experiment, the `readpath`
+    /// criterion bench and the zero-allocation regression test all measure
+    /// exactly this shape, so it lives here once.
+    pub fn grouped_row(key: u64) -> Row {
+        let mut bytes = Vec::with_capacity(24);
+        bytes.extend_from_slice(&key.to_le_bytes());
+        bytes.extend_from_slice(&(key / GROUP_SIZE).to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 8]);
+        Row::from(bytes)
+    }
+
+    /// Table spec matching [`grouped_row`]: unique primary key plus a
+    /// non-unique `group` index.
+    pub fn grouped_spec(rows: u64) -> TableSpec {
+        TableSpec::keyed_u64("readpath", rows as usize).with_index(IndexSpec::multi_u64(
+            "group",
+            8,
+            (rows / GROUP_SIZE) as usize,
+        ))
+    }
 
     /// Build a row consisting of a `u64` key followed by `payload_len` filler
     /// bytes derived from `fill` — the paper's homogeneous workload uses

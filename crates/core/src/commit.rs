@@ -106,13 +106,20 @@ impl MvTransaction {
     /// of the end timestamp. Versions we ourselves superseded or deleted pass
     /// (our own writes cannot invalidate our reads).
     fn validate_reads(&mut self, end_ts: Timestamp) -> Result<()> {
+        let guard = crossbeam::epoch::pin();
         let entries = std::mem::take(&mut self.read_set);
         for entry in &entries {
             let version = entry.version.get();
             if version.end_word().writer() == Some(self.handle.id()) {
                 continue;
             }
-            let vis = check_visibility(version, end_ts, self.handle.id(), self.inner.store.txns());
+            let vis = check_visibility(
+                version,
+                end_ts,
+                self.handle.id(),
+                self.inner.store.txns(),
+                &guard,
+            );
             let visible = self.resolve_visibility(version, vis, end_ts)?;
             if !visible {
                 EngineStats::bump(&self.stats().validation_failures);
@@ -130,39 +137,43 @@ impl MvTransaction {
     fn validate_scans(&mut self, end_ts: Timestamp) -> Result<()> {
         let begin_ts = self.handle.begin_ts();
         let scans = std::mem::take(&mut self.scan_set);
+        let mut candidates = std::mem::take(&mut self.scratch.candidates);
         let me = self.handle.id();
-        for scan in &scans {
-            let table = self.inner.store.table(scan.table)?;
-            let guard = crossbeam::epoch::pin();
-            let candidates: Vec<mmdb_storage::table::VersionPtr> = table
-                .candidates(scan.index, scan.key, &guard)?
-                .map(|v| {
-                    mmdb_storage::table::VersionPtr::from_shared(crossbeam::epoch::Shared::from(
-                        v as *const mmdb_storage::version::Version,
-                    ))
-                })
-                .collect();
-            for ptr in candidates {
-                let version = ptr.get();
-                // Our own inserts/updates are not phantoms.
-                if version.begin_word().as_txn() == Some(me) {
-                    continue;
-                }
-                let at_end = check_visibility(version, end_ts, me, self.inner.store.txns());
-                let visible_at_end = self.resolve_visibility(version, at_end, end_ts)?;
-                if !visible_at_end {
-                    continue;
-                }
-                let at_begin = check_visibility(version, begin_ts, me, self.inner.store.txns());
-                if !at_begin.visible {
-                    EngineStats::bump(&self.stats().phantom_failures);
-                    self.scan_set = scans;
-                    return Err(MmdbError::PhantomDetected);
+        let result = (|| {
+            for scan in &scans {
+                let table = self.inner.store.table(scan.table)?;
+                let guard = crossbeam::epoch::pin();
+                candidates.clear();
+                candidates.extend(table.candidate_ptrs(scan.index, scan.key, &guard)?);
+                for ptr in candidates.iter() {
+                    let version = ptr.get();
+                    // Our own inserts/updates are not phantoms.
+                    if version.begin_word().as_txn() == Some(me) {
+                        continue;
+                    }
+                    let at_end =
+                        check_visibility(version, end_ts, me, self.inner.store.txns(), &guard);
+                    let visible_at_end = self.resolve_visibility(version, at_end, end_ts)?;
+                    if !visible_at_end {
+                        continue;
+                    }
+                    let at_begin =
+                        check_visibility(version, begin_ts, me, self.inner.store.txns(), &guard);
+                    if !at_begin.visible {
+                        EngineStats::bump(&self.stats().phantom_failures);
+                        return Err(MmdbError::PhantomDetected);
+                    }
                 }
             }
-        }
+            Ok(())
+        })();
+        // Restore the buffer *empty*: the staged VersionPtrs were only valid
+        // under the epoch guard above, and a retained pointer would be a
+        // dangling foot-gun for any future reader (capacity is what we keep).
+        candidates.clear();
+        self.scratch.candidates = candidates;
         self.scan_set = scans;
-        Ok(())
+        result
     }
 
     // ------------------------------------------------------------------

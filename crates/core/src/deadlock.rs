@@ -88,7 +88,7 @@ impl WaitForGraph {
 
     /// Find cycles: every strongly connected component with more than one
     /// node, or with a self-loop, is a deadlock candidate. Implemented with
-    /// an iterative version of Tarjan's algorithm (the paper's choice, [25]).
+    /// an iterative version of Tarjan's algorithm (the paper's choice, \[25\]).
     pub fn cycles(&self) -> Vec<Vec<TxnId>> {
         #[derive(Default, Clone)]
         struct NodeState {

@@ -72,9 +72,25 @@ pub(crate) struct BucketLockRef {
     pub bucket: usize,
 }
 
+/// Reusable per-transaction staging buffers (§2.5's "read path nearly free of
+/// overhead"): index-scan candidates are staged here before visibility
+/// checks take `&mut self`, and the buffer is **cleared, not freed** between
+/// operations, so steady-state reads and scans perform no heap allocation.
+///
+/// Usage protocol: an operation takes the buffer out of the transaction
+/// (`mem::take`), works on it as a local, and puts it back when done — so the
+/// borrow checker never sees the buffer and the transaction borrowed at once,
+/// and nested operations (which never happen on the scan paths) would simply
+/// fall back to a fresh buffer instead of corrupting state.
+#[derive(Debug, Default)]
+pub(crate) struct TxnScratch {
+    /// Candidate versions of the current index lookup.
+    pub(crate) candidates: Vec<VersionPtr>,
+}
+
 /// A transaction against the multiversion engine.
 ///
-/// Obtained from [`MvEngine::begin`](crate::engine::MvEngine::begin) or
+/// Obtained from [`Engine::begin`](mmdb_common::engine::Engine::begin) or
 /// [`MvEngine::begin_with`](crate::engine::MvEngine::begin_with); finished
 /// with [`EngineTxn::commit`] or [`EngineTxn::abort`]. Dropping an unfinished
 /// transaction aborts it.
@@ -94,6 +110,8 @@ pub struct MvTransaction {
     pub(crate) must_abort: Option<MmdbError>,
     /// True once commit/abort processing has run.
     pub(crate) finished: bool,
+    /// Reusable scan staging buffers (cleared, never freed, per operation).
+    pub(crate) scratch: TxnScratch,
 }
 
 impl MvTransaction {
@@ -108,6 +126,7 @@ impl MvTransaction {
             bucket_locks: Vec::new(),
             must_abort: None,
             finished: false,
+            scratch: TxnScratch::default(),
         }
     }
 
@@ -549,35 +568,64 @@ impl MvTransaction {
     // Normal-processing operations
     // ------------------------------------------------------------------
 
-    /// Core of `read`/`scan_key`: find the versions visible at the read time
-    /// whose `index` key equals `key`. If `single` is set, stop at the first
-    /// visible version (unique-index point lookup).
-    fn scan_visible(
+    /// Core of every read/scan: find the versions visible at the read time
+    /// whose `index` key equals `key` and hand each one's payload to `visit`
+    /// by reference. If `single` is set, stop at the first visible version
+    /// (unique-index point lookup). Returns the number of rows visited.
+    ///
+    /// This path performs **no heap allocation in steady state**: candidates
+    /// are staged in the transaction's [`TxnScratch`] (capacity reused across
+    /// operations), the visibility lookup is a lock-free borrow from the
+    /// transaction table, and nothing is materialized for the caller — the
+    /// zero-allocation regression test (`crates/core/tests/alloc_free.rs`)
+    /// pins this.
+    fn scan_visible_with(
         &mut self,
         table_id: TableId,
         index: IndexId,
         key: Key,
         single: bool,
-    ) -> Result<Vec<(VersionPtr, Row)>> {
+        visit: &mut dyn FnMut(&Row),
+    ) -> Result<usize> {
         self.ensure_open()?;
         let table = self.inner.store.table(table_id)?;
         let rt = self.read_time();
-        let iso = self.handle.isolation();
-        let mode = self.handle.mode();
         self.register_scan(&table, index, key)?;
 
         let guard = epoch::pin();
-        let mut out = Vec::new();
-        // Collect candidate pointers first so we do not hold the iterator
-        // borrow while taking dependencies (which needs `&mut self`).
-        let candidates: Vec<VersionPtr> = table
-            .candidates(index, key, &guard)?
-            .map(|v| VersionPtr::from_shared(crossbeam::epoch::Shared::from(v as *const Version)))
-            .collect();
+        // Stage candidates in the transaction-owned buffer so no iterator
+        // borrow of the table is held while taking dependencies (which needs
+        // `&mut self`). Taken out and restored around the walk; an error in
+        // between only costs the buffer's capacity.
+        let mut candidates = std::mem::take(&mut self.scratch.candidates);
+        candidates.clear();
+        let result = (|| {
+            candidates.extend(table.candidate_ptrs(index, key, &guard)?);
+            self.visit_candidates(&candidates, rt, single, &guard, visit)
+        })();
+        // Restore the buffer *empty*: the staged VersionPtrs were only valid
+        // under the epoch guard above, and a retained pointer would be a
+        // dangling foot-gun for any future reader (capacity is what we keep).
+        candidates.clear();
+        self.scratch.candidates = candidates;
+        result
+    }
 
-        for &ptr in &candidates {
+    /// Visibility walk over staged candidates (see [`Self::scan_visible_with`]).
+    fn visit_candidates(
+        &mut self,
+        candidates: &[VersionPtr],
+        rt: Timestamp,
+        single: bool,
+        guard: &epoch::Guard,
+        visit: &mut dyn FnMut(&Row),
+    ) -> Result<usize> {
+        let iso = self.handle.isolation();
+        let mode = self.handle.mode();
+        let mut visited = 0usize;
+        for &ptr in candidates {
             let version = ptr.get();
-            let vis = check_visibility(version, rt, self.me(), self.inner.store.txns());
+            let vis = check_visibility(version, rt, self.me(), self.inner.store.txns(), guard);
 
             if !vis.visible
                 && mode == ConcurrencyMode::Pessimistic
@@ -620,12 +668,13 @@ impl MvTransaction {
                 }
             }
 
-            out.push((ptr, version.data().clone()));
+            visit(version.data());
+            visited += 1;
             if single {
                 break;
             }
         }
-        Ok(out)
+        Ok(visited)
     }
 
     /// Locate the version this transaction should update or delete: the
@@ -638,6 +687,25 @@ impl MvTransaction {
         index: IndexId,
         key: Key,
     ) -> Result<Option<VersionPtr>> {
+        self.ensure_open()?;
+        let table = self.inner.store.table(table_id)?;
+        let mut candidates = std::mem::take(&mut self.scratch.candidates);
+        let result = self.find_update_target_staged(&table, index, key, &mut candidates);
+        // Restore the buffer *empty*: the staged VersionPtrs were only valid
+        // under the epoch guard above, and a retained pointer would be a
+        // dangling foot-gun for any future reader (capacity is what we keep).
+        candidates.clear();
+        self.scratch.candidates = candidates;
+        result
+    }
+
+    fn find_update_target_staged(
+        &mut self,
+        table: &Table,
+        index: IndexId,
+        key: Key,
+        candidates: &mut Vec<VersionPtr>,
+    ) -> Result<Option<VersionPtr>> {
         // Updates never read-lock the target (the write lock supersedes it).
         // A lookup that *finds* its row needs no phantom protection either —
         // the write lock keeps that row stable. Only a *miss* is
@@ -648,35 +716,29 @@ impl MvTransaction {
         // of same-bucket serializable updaters delay each other's precommit
         // for no reason (each waits on the other's bucket lock), turning
         // routine disjoint-key updates into deadlock-victim aborts.
-        self.ensure_open()?;
-        let table = self.inner.store.table(table_id)?;
         let rt = self.read_time();
         let iso = self.handle.isolation();
         let mode = self.handle.mode();
         let mut registered = false;
         loop {
-            // Candidates are re-collected each pass: a version may have been
+            // Candidates are re-staged each pass: a version may have been
             // linked between the unprotected miss and the protected retry.
             let guard = epoch::pin();
-            let candidates: Vec<VersionPtr> = table
-                .candidates(index, key, &guard)?
-                .map(|v| {
-                    VersionPtr::from_shared(crossbeam::epoch::Shared::from(v as *const Version))
-                })
-                .collect();
-            for ptr in candidates {
+            candidates.clear();
+            candidates.extend(table.candidate_ptrs(index, key, &guard)?);
+            for ptr in candidates.iter().copied() {
                 let version = ptr.get();
-                let vis = check_visibility(version, rt, self.me(), self.inner.store.txns());
+                let vis = check_visibility(version, rt, self.me(), self.inner.store.txns(), &guard);
                 if registered
                     && !vis.visible
                     && mode == ConcurrencyMode::Pessimistic
                     && iso.requires_phantom_protection()
                     && vis.dependency.is_none()
                 {
-                    // Same potential-phantom rule as in `scan_visible`: an
-                    // invisible version owned by a live transaction (pending
-                    // insert of this key, or a pending delete whose abort
-                    // would resurrect it) must serialize after our "not
+                    // Same potential-phantom rule as in `visit_candidates`:
+                    // an invisible version owned by a live transaction
+                    // (pending insert of this key, or a pending delete whose
+                    // abort would resurrect it) must serialize after our "not
                     // found" observation.
                     let end_writer = version.end_word().writer();
                     let begin_creator = version.begin_word().as_txn();
@@ -693,7 +755,7 @@ impl MvTransaction {
             if registered || !iso.requires_phantom_protection() {
                 return Ok(None);
             }
-            self.register_scan(&table, index, key)?;
+            self.register_scan(table, index, key)?;
             registered = true;
         }
     }
@@ -724,6 +786,22 @@ impl MvTransaction {
 
     /// Enforce uniqueness for `insert` on every unique index of the table.
     fn check_unique(&mut self, table: &Table, keys: &[Key]) -> Result<()> {
+        let mut candidates = std::mem::take(&mut self.scratch.candidates);
+        let result = self.check_unique_staged(table, keys, &mut candidates);
+        // Restore the buffer *empty*: the staged VersionPtrs were only valid
+        // under the epoch guard above, and a retained pointer would be a
+        // dangling foot-gun for any future reader (capacity is what we keep).
+        candidates.clear();
+        self.scratch.candidates = candidates;
+        result
+    }
+
+    fn check_unique_staged(
+        &mut self,
+        table: &Table,
+        keys: &[Key],
+        candidates: &mut Vec<VersionPtr>,
+    ) -> Result<()> {
         let rt = self.inner.store.clock().now();
         let guard = epoch::pin();
         for (slot, key) in keys.iter().enumerate() {
@@ -731,15 +809,11 @@ impl MvTransaction {
             if !table.is_unique(index)? {
                 continue;
             }
-            let candidates: Vec<VersionPtr> = table
-                .candidates(index, *key, &guard)?
-                .map(|v| {
-                    VersionPtr::from_shared(crossbeam::epoch::Shared::from(v as *const Version))
-                })
-                .collect();
-            for ptr in candidates {
+            candidates.clear();
+            candidates.extend(table.candidate_ptrs(index, *key, &guard)?);
+            for ptr in candidates.iter() {
                 let version = ptr.get();
-                let vis = check_visibility(version, rt, self.me(), self.inner.store.txns());
+                let vis = check_visibility(version, rt, self.me(), self.inner.store.txns(), &guard);
                 if self.resolve_visibility(version, vis, rt)? {
                     // A committed (or committing) duplicate: the constraint
                     // violation is real and permanent.
@@ -810,6 +884,23 @@ impl MvTransaction {
         keys: &[Key],
         mine: VersionPtr,
     ) -> Result<()> {
+        let mut candidates = std::mem::take(&mut self.scratch.candidates);
+        let result = self.verify_unique_after_link_staged(table, keys, mine, &mut candidates);
+        // Restore the buffer *empty*: the staged VersionPtrs were only valid
+        // under the epoch guard above, and a retained pointer would be a
+        // dangling foot-gun for any future reader (capacity is what we keep).
+        candidates.clear();
+        self.scratch.candidates = candidates;
+        result
+    }
+
+    fn verify_unique_after_link_staged(
+        &mut self,
+        table: &Table,
+        keys: &[Key],
+        mine: VersionPtr,
+        candidates: &mut Vec<VersionPtr>,
+    ) -> Result<()> {
         let rt = self.inner.store.clock().now();
         let guard = epoch::pin();
         for (slot, key) in keys.iter().enumerate() {
@@ -817,13 +908,9 @@ impl MvTransaction {
             if !table.is_unique(index)? {
                 continue;
             }
-            let candidates: Vec<VersionPtr> = table
-                .candidates(index, *key, &guard)?
-                .map(|v| {
-                    VersionPtr::from_shared(crossbeam::epoch::Shared::from(v as *const Version))
-                })
-                .collect();
-            for ptr in candidates {
+            candidates.clear();
+            candidates.extend(table.candidate_ptrs(index, *key, &guard)?);
+            for ptr in candidates.iter().copied() {
                 if ptr == mine {
                     continue;
                 }
@@ -832,7 +919,7 @@ impl MvTransaction {
                 if version.end_word().writer() == Some(self.me()) {
                     continue;
                 }
-                let vis = check_visibility(version, rt, self.me(), self.inner.store.txns());
+                let vis = check_visibility(version, rt, self.me(), self.inner.store.txns(), &guard);
                 if vis.visible && vis.dependency.is_none() {
                     // A duplicate committed between our check and our link.
                     EngineStats::bump(&self.stats().write_conflicts);
@@ -882,19 +969,35 @@ impl EngineTxn for MvTransaction {
     }
 
     fn read(&mut self, table: TableId, index: IndexId, key: Key) -> Result<Option<Row>> {
-        Ok(self
-            .scan_visible(table, index, key, true)?
-            .into_iter()
-            .map(|(_, row)| row)
-            .next())
+        let mut out = None;
+        self.scan_visible_with(table, index, key, true, &mut |row| out = Some(row.clone()))?;
+        Ok(out)
     }
 
     fn scan_key(&mut self, table: TableId, index: IndexId, key: Key) -> Result<Vec<Row>> {
-        Ok(self
-            .scan_visible(table, index, key, false)?
-            .into_iter()
-            .map(|(_, row)| row)
-            .collect())
+        let mut out = Vec::new();
+        self.scan_visible_with(table, index, key, false, &mut |row| out.push(row.clone()))?;
+        Ok(out)
+    }
+
+    fn read_with(
+        &mut self,
+        table: TableId,
+        index: IndexId,
+        key: Key,
+        visit: &mut dyn FnMut(&Row),
+    ) -> Result<bool> {
+        Ok(self.scan_visible_with(table, index, key, true, visit)? > 0)
+    }
+
+    fn scan_key_with(
+        &mut self,
+        table: TableId,
+        index: IndexId,
+        key: Key,
+        visit: &mut dyn FnMut(&Row),
+    ) -> Result<usize> {
+        self.scan_visible_with(table, index, key, false, visit)
     }
 
     fn update(
@@ -910,8 +1013,9 @@ impl EngineTxn for MvTransaction {
             return Ok(false);
         };
         let old = old_ptr.get();
+        let guard = epoch::pin();
         // §2.6 / §3.1 "Check updatability" then "Update version".
-        match check_updatable(old, self.me(), self.inner.store.txns()) {
+        match check_updatable(old, self.me(), self.inner.store.txns(), &guard) {
             Updatability::Updatable { observed } => {
                 self.install_write_lock(old_ptr, observed)?;
             }
@@ -934,7 +1038,8 @@ impl EngineTxn for MvTransaction {
             return Ok(false);
         };
         let old = old_ptr.get();
-        match check_updatable(old, self.me(), self.inner.store.txns()) {
+        let guard = epoch::pin();
+        match check_updatable(old, self.me(), self.inner.store.txns(), &guard) {
             Updatability::Updatable { observed } => {
                 self.install_write_lock(old_ptr, observed)?;
             }

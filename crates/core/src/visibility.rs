@@ -8,6 +8,7 @@
 //! Preparing state the outcome is decided *speculatively* and the reader
 //! acquires a commit dependency instead of waiting.
 
+use crossbeam::epoch::Guard;
 use mmdb_common::ids::{Timestamp, TxnId};
 use mmdb_common::word::{BeginWord, EndWord};
 
@@ -73,6 +74,7 @@ pub fn check_visibility(
     rt: Timestamp,
     me: TxnId,
     txns: &TxnTable,
+    guard: &Guard,
 ) -> Visibility {
     // ---- Step 1: the Begin field (Table 1). ----
     let mut begin_dep: Option<TxnId> = None;
@@ -96,7 +98,7 @@ pub fn check_visibility(
                     _ => Visibility::INVISIBLE,
                 };
             }
-            BeginWord::Txn(tb) => match txns.get(tb) {
+            BeginWord::Txn(tb) => match txns.get_in(tb, guard) {
                 None => {
                     // TB terminated and was removed: it has finalized the
                     // Begin field, so re-read it.
@@ -191,7 +193,7 @@ pub fn check_visibility(
                     // must observe my newer version instead.
                     return Visibility::INVISIBLE;
                 }
-                match txns.get(te) {
+                match txns.get_in(te, guard) {
                     None => {
                         rereads += 1;
                         if rereads > MAX_REREADS {
@@ -276,7 +278,12 @@ pub fn check_visibility(
 /// Check whether `version` may be updated (or deleted) by transaction `me`
 /// (§2.6): it must be the latest version — End equal to infinity, carrying
 /// only read locks, or write-locked by a transaction that has aborted.
-pub fn check_updatable(version: &Version, me: TxnId, txns: &TxnTable) -> Updatability {
+pub fn check_updatable(
+    version: &Version,
+    me: TxnId,
+    txns: &TxnTable,
+    guard: &Guard,
+) -> Updatability {
     let mut rereads = 0;
     loop {
         let observed = version.end_word();
@@ -299,7 +306,7 @@ pub fn check_updatable(version: &Version, me: TxnId, txns: &TxnTable) -> Updatab
                         holder: Some(holder),
                     };
                 }
-                Some(holder) => match txns.get(holder) {
+                Some(holder) => match txns.get_in(holder, guard) {
                     // The holder aborted: the version is still the latest
                     // committed one and may be re-locked.
                     Some(h) if h.state() == TxnState::Aborted => {
@@ -336,6 +343,23 @@ mod tests {
     use mmdb_common::row::rowbuf;
     use mmdb_common::word::LockWord;
     use mmdb_storage::txn_table::TxnHandle;
+
+    /// Test shorthand: pin a guard per call so the table-driven cases below
+    /// keep the paper's 4-argument shape.
+    fn check_visibility(
+        version: &Version,
+        rt: Timestamp,
+        me: TxnId,
+        txns: &TxnTable,
+    ) -> Visibility {
+        let guard = crossbeam::epoch::pin();
+        super::check_visibility(version, rt, me, txns, &guard)
+    }
+
+    fn check_updatable(version: &Version, me: TxnId, txns: &TxnTable) -> Updatability {
+        let guard = crossbeam::epoch::pin();
+        super::check_updatable(version, me, txns, &guard)
+    }
 
     fn committed_version(begin: u64, end: Option<u64>) -> Version {
         let v = Version::new_committed(Timestamp(begin), rowbuf::keyed_row(1, 16, 0), vec![1]);

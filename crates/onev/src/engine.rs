@@ -391,6 +391,29 @@ impl SvTransaction {
     fn hold_read_locks(&self) -> bool {
         !matches!(self.isolation, IsolationLevel::ReadCommitted)
     }
+
+    /// Shared core of every read/scan: lock the access path, visit the
+    /// matching rows in place (no `Vec<Row>` materialization), release the
+    /// lock immediately under cursor stability.
+    fn scan_key_core(
+        &mut self,
+        table_id: TableId,
+        index: IndexId,
+        key: Key,
+        visit: &mut dyn FnMut(&Row),
+    ) -> Result<usize> {
+        self.ensure_open()?;
+        let table = self.table(table_id)?;
+        let bucket = table.bucket_of_key(index, key)?;
+        let grant = self.lock(&table, index, bucket, LockMode::Shared)?;
+        let visited = table.visit_lookup(index, key, visit)?;
+        if !self.hold_read_locks() && grant == LockGrant::Acquired {
+            // Cursor stability: the lock only had to be held for the duration
+            // of the read itself.
+            self.unlock_now(&table, index, bucket)?;
+        }
+        Ok(visited)
+    }
 }
 
 impl EngineTxn for SvTransaction {
@@ -431,21 +454,46 @@ impl EngineTxn for SvTransaction {
     }
 
     fn read(&mut self, table: TableId, index: IndexId, key: Key) -> Result<Option<Row>> {
-        Ok(self.scan_key(table, index, key)?.into_iter().next())
+        let mut out = None;
+        self.scan_key_core(table, index, key, &mut |row| {
+            if out.is_none() {
+                out = Some(row.clone());
+            }
+        })?;
+        Ok(out)
     }
 
     fn scan_key(&mut self, table_id: TableId, index: IndexId, key: Key) -> Result<Vec<Row>> {
-        self.ensure_open()?;
-        let table = self.table(table_id)?;
-        let bucket = table.bucket_of_key(index, key)?;
-        let grant = self.lock(&table, index, bucket, LockMode::Shared)?;
-        let rows = table.lookup(index, key)?;
-        if !self.hold_read_locks() && grant == LockGrant::Acquired {
-            // Cursor stability: the lock only had to be held for the duration
-            // of the read itself.
-            self.unlock_now(&table, index, bucket)?;
-        }
-        Ok(rows)
+        let mut out = Vec::new();
+        self.scan_key_core(table_id, index, key, &mut |row| out.push(row.clone()))?;
+        Ok(out)
+    }
+
+    fn read_with(
+        &mut self,
+        table: TableId,
+        index: IndexId,
+        key: Key,
+        visit: &mut dyn FnMut(&Row),
+    ) -> Result<bool> {
+        let mut seen = false;
+        self.scan_key_core(table, index, key, &mut |row| {
+            if !seen {
+                seen = true;
+                visit(row);
+            }
+        })?;
+        Ok(seen)
+    }
+
+    fn scan_key_with(
+        &mut self,
+        table: TableId,
+        index: IndexId,
+        key: Key,
+        visit: &mut dyn FnMut(&Row),
+    ) -> Result<usize> {
+        self.scan_key_core(table, index, key, visit)
     }
 
     fn update(

@@ -170,6 +170,63 @@ impl SvTable {
         Ok(out)
     }
 
+    /// Visitor variant of [`SvTable::lookup`]: hand every matching row to
+    /// `visit` by reference instead of materializing a `Vec<Row>`.
+    ///
+    /// A primary lookup visits rows in place **under the bucket latch** — no
+    /// clone, no allocation, and therefore the visitor must not call back
+    /// into this table or its engine (see the reentrancy rule on
+    /// `EngineTxn::read_with`). A secondary lookup still stages the matching
+    /// primary keys (the secondary latch must be dropped before taking
+    /// primary latches), so it allocates one small `Vec<Key>`; the 1V read
+    /// path is inherently not allocation-free, which is exactly the contrast
+    /// the multiversion engines' zero-allocation regression test documents.
+    pub fn visit_lookup(
+        &self,
+        index: IndexId,
+        key: Key,
+        visit: &mut dyn FnMut(&Row),
+    ) -> Result<usize> {
+        if index.0 == 0 {
+            let bucket = self.bucket_of_key(IndexId(0), key)?;
+            let rows = self.primary[bucket].read();
+            for row in rows.iter() {
+                if self.key_of(IndexId(0), row)? == key {
+                    visit(row);
+                    return Ok(1);
+                }
+            }
+            return Ok(0);
+        }
+        let sec = self
+            .secondaries
+            .get(index.0 as usize - 1)
+            .ok_or(MmdbError::IndexNotFound(self.id, index))?;
+        let bucket = self.bucket_of_key(index, key)?;
+        let pks: Vec<Key> = sec[bucket]
+            .read()
+            .iter()
+            .filter(|(k, _)| *k == key)
+            .map(|(_, pk)| *pk)
+            .collect();
+        let mut visited = 0;
+        for pk in pks {
+            let bucket = self.bucket_of_key(IndexId(0), pk)?;
+            let rows = self.primary[bucket].read();
+            for row in rows.iter() {
+                if self.key_of(IndexId(0), row)? == pk {
+                    // The secondary entry may be momentarily stale; re-check.
+                    if self.key_of(index, row)? == key {
+                        visit(row);
+                        visited += 1;
+                    }
+                    break;
+                }
+            }
+        }
+        Ok(visited)
+    }
+
     /// Insert a new row (physically). The caller has already checked
     /// uniqueness under the appropriate locks.
     pub fn insert_row(&self, row: Row) -> Result<()> {

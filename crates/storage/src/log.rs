@@ -174,7 +174,7 @@ fn decode_body(body: &[u8], offset: u64) -> Result<LogRecord> {
 ///
 /// A crash truncates the log at an arbitrary byte offset, so the last frame
 /// may be incomplete. [`LogReader::next_record`] treats an incomplete frame
-/// as end-of-log ([`Ok(None)`] with [`LogReader::is_torn`] set) rather than
+/// as end-of-log (`Ok(None)` with [`LogReader::is_torn`] set) rather than
 /// an error; anything structurally wrong *inside* a complete frame is
 /// [`MmdbError::LogCorrupt`].
 pub struct LogReader<'a> {

@@ -209,6 +209,25 @@ impl Table {
             .filter(move |v| v.index_key(slot) == key))
     }
 
+    /// Like [`Table::candidates`], but yield stable [`VersionPtr`]s directly
+    /// under the caller's epoch guard. This is the hot-path variant: callers
+    /// that stage candidates in a reusable buffer (see `TxnScratch` in
+    /// `mmdb-core`) extend it straight from this iterator instead of
+    /// collecting `&Version` references and converting them afterwards.
+    pub fn candidate_ptrs<'a, 'g: 'a>(
+        &'a self,
+        index: IndexId,
+        key: Key,
+        guard: &'g Guard,
+    ) -> Result<impl Iterator<Item = VersionPtr> + 'a> {
+        let idx = self.index(index)?;
+        let slot = idx.slot();
+        Ok(idx
+            .iter_key(key, guard)
+            .filter(move |shared| unsafe { shared.deref() }.index_key(slot) == key)
+            .map(VersionPtr::from_shared))
+    }
+
     /// Iterate over every version in the table via `index` (full scan).
     pub fn scan_versions<'a, 'g: 'a>(
         &'a self,
@@ -311,6 +330,29 @@ mod tests {
         // Full scan sees everything.
         assert_eq!(table.scan_versions(IndexId(0), &guard).unwrap().count(), 20);
         assert_eq!(table.version_count(), 20);
+    }
+
+    #[test]
+    fn candidate_ptrs_matches_candidates() {
+        let table = Table::new(TableId(0), two_index_spec()).unwrap();
+        let guard = epoch::pin();
+        for k in 0..10u64 {
+            let row = rowbuf::keyed_row(k, 16, (k % 2) as u8);
+            let v = table.make_committed_version(Timestamp(1), row).unwrap();
+            table.link_version(v, &guard);
+        }
+        let by_ref: Vec<usize> = table
+            .candidates(IndexId(1), mmdb_common::hash::hash_bytes(&[1u8]), &guard)
+            .unwrap()
+            .map(|v| v as *const Version as usize)
+            .collect();
+        let by_ptr: Vec<usize> = table
+            .candidate_ptrs(IndexId(1), mmdb_common::hash::hash_bytes(&[1u8]), &guard)
+            .unwrap()
+            .map(|p| p.addr())
+            .collect();
+        assert_eq!(by_ref, by_ptr);
+        assert_eq!(by_ptr.len(), 5);
     }
 
     #[test]

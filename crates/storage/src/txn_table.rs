@@ -18,13 +18,14 @@
 //! it waits for its outstanding dependencies to resolve — the only place the
 //! paper allows a transaction to wait (never during normal processing).
 
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::{Condvar, Mutex, RwLock};
+use crossbeam::epoch::{self, Atomic, Guard, Owned};
+use parking_lot::{Condvar, Mutex};
 
+use mmdb_common::hash::mix64;
 use mmdb_common::ids::{Timestamp, TxnId};
 use mmdb_common::isolation::{ConcurrencyMode, IsolationLevel};
 
@@ -480,12 +481,99 @@ impl TxnHandle {
 /// Number of shards in the transaction table.
 const TXN_SHARDS: usize = 64;
 
-/// One shard of the transaction table.
-type TxnShard = RwLock<HashMap<u64, Arc<TxnHandle>>>;
+/// Initial slot count per shard (power of two). Grows on demand.
+const SHARD_INITIAL_SLOTS: usize = 32;
+
+/// Slot-id sentinel: never occupied.
+const SLOT_EMPTY: u64 = 0;
+/// Slot-id sentinel: previously occupied, handle removed (probes continue
+/// past it; inserts reuse it).
+const SLOT_TOMBSTONE: u64 = u64::MAX;
+
+/// One slot of a shard's open-addressed array. `id` is written last on
+/// insert (Release) so a reader that observes a matching id also observes the
+/// handle pointer; the pointed-to node carries the id again so a reader that
+/// races a remove+reuse of the slot detects the new tenant.
+struct Slot {
+    id: AtomicU64,
+    handle: Atomic<Arc<TxnHandle>>,
+}
+
+/// A shard's slot array. The whole array is one epoch-managed allocation:
+/// writers rebuild and swap it when it fills up with live entries or
+/// tombstones, readers traverse whichever array they loaded under their
+/// guard. Entries (heap nodes holding the `Arc<TxnHandle>`) are shared
+/// between the old and new array across a rebuild; only removal defers a
+/// node's destruction.
+struct SlotArray {
+    slots: Box<[Slot]>,
+}
+
+impl SlotArray {
+    fn with_capacity(capacity: usize) -> SlotArray {
+        debug_assert!(capacity.is_power_of_two());
+        SlotArray {
+            slots: (0..capacity)
+                .map(|_| Slot {
+                    id: AtomicU64::new(SLOT_EMPTY),
+                    handle: Atomic::null(),
+                })
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+        }
+    }
+
+    #[inline]
+    fn mask(&self) -> usize {
+        self.slots.len() - 1
+    }
+
+    /// Writer-side insert of a fresh id (exclusive access to mutation — the
+    /// shard write lock is held; readers may be probing concurrently).
+    /// Returns whether a tombstone was consumed.
+    fn insert(&self, id: u64, node: crossbeam::epoch::Shared<'_, Arc<TxnHandle>>) -> bool {
+        let mask = self.mask();
+        let mut idx = mix64(id) as usize & mask;
+        loop {
+            let slot = &self.slots[idx];
+            let sid = slot.id.load(Ordering::Relaxed);
+            if sid == SLOT_EMPTY || sid == SLOT_TOMBSTONE {
+                // Publish the node before the id: a reader that sees the id
+                // (Acquire) then reads a fully initialized pointer.
+                slot.handle.store(node, Ordering::Release);
+                slot.id.store(id, Ordering::Release);
+                return sid == SLOT_TOMBSTONE;
+            }
+            debug_assert_ne!(sid, id, "transaction ids are registered once");
+            idx = (idx + 1) & mask;
+        }
+    }
+}
+
+/// One shard: a write lock serializing register/remove/rebuild, plus the
+/// epoch-protected slot array that `get` traverses without any lock.
+struct Shard {
+    writer: Mutex<ShardWriter>,
+    slots: Atomic<SlotArray>,
+}
+
+/// Writer-side bookkeeping of a shard (guarded by `Shard::writer`).
+struct ShardWriter {
+    live: usize,
+    tombstones: usize,
+}
 
 /// The global transaction table: transaction ID → handle.
+///
+/// Lookups ([`TxnTable::get_in`] / [`TxnTable::get`]) are **lock-free**: they
+/// probe an open-addressed slot array under an epoch guard — no reader/writer
+/// lock, no `Arc` clone on the `get_in` path. This matters because the
+/// visibility check of §2.5 performs a lookup for every version whose Begin
+/// or End field holds a transaction id, i.e. on the hottest read path in the
+/// system. Mutations (`register`/`remove`) take a per-shard mutex; they
+/// happen twice per transaction, not per version inspected.
 pub struct TxnTable {
-    shards: Box<[TxnShard]>,
+    shards: Box<[Shard]>,
     /// Number of threads currently between drawing a begin timestamp and
     /// registering the handle. While non-zero, the garbage-collection
     /// watermark must not advance: the pending transaction's begin timestamp
@@ -519,7 +607,13 @@ impl TxnTable {
     pub fn new() -> TxnTable {
         TxnTable {
             shards: (0..TXN_SHARDS)
-                .map(|_| RwLock::new(HashMap::new()))
+                .map(|_| Shard {
+                    writer: Mutex::new(ShardWriter {
+                        live: 0,
+                        tombstones: 0,
+                    }),
+                    slots: Atomic::new(SlotArray::with_capacity(SHARD_INITIAL_SLOTS)),
+                })
                 .collect::<Vec<_>>()
                 .into_boxed_slice(),
             pending_begins: AtomicUsize::new(0),
@@ -542,37 +636,176 @@ impl TxnTable {
     }
 
     #[inline]
-    fn shard(&self, id: TxnId) -> &TxnShard {
+    fn shard(&self, id: TxnId) -> &Shard {
         &self.shards[(id.0 as usize) % TXN_SHARDS]
     }
 
     /// Register a handle.
     pub fn register(&self, handle: Arc<TxnHandle>) {
-        self.shard(handle.id())
-            .write()
-            .insert(handle.id().0, handle);
+        let id = handle.id().0;
+        debug_assert!(
+            id != SLOT_EMPTY && id != SLOT_TOMBSTONE,
+            "transaction ids must avoid the slot sentinels"
+        );
+        let shard = self.shard(handle.id());
+        let mut writer = shard.writer.lock();
+        let guard = epoch::pin();
+        let mut array = unsafe { shard.slots.load(Ordering::Acquire, &guard).deref() };
+        // Rebuild when live entries + tombstones would cross half the
+        // capacity: keeps probe chains short and recycles tombstones, so a
+        // long-running table never degrades to full-array probes.
+        if (writer.live + writer.tombstones + 1) * 2 > array.slots.len() {
+            array = Self::rebuild(shard, &mut writer, array, &guard);
+        }
+        let node = Owned::new(handle).into_shared(&guard);
+        if array.insert(id, node) {
+            writer.tombstones -= 1;
+        }
+        writer.live += 1;
     }
 
-    /// Look a transaction up. Returns `None` if it has terminated and been
-    /// removed — per the paper that means its version timestamps have been
-    /// finalized, so callers re-read the version field.
+    /// Look a transaction up without taking any lock or touching the
+    /// handle's reference count: the returned borrow lives as long as the
+    /// caller's epoch guard. This is the §2.5 visibility-path entry point —
+    /// one lookup per version whose Begin/End field holds a transaction id.
+    ///
+    /// Returns `None` if the transaction has terminated and been removed —
+    /// per the paper that means its version timestamps have been finalized,
+    /// so callers re-read the version field.
+    #[inline]
+    pub fn get_in<'g>(&self, id: TxnId, guard: &'g Guard) -> Option<&'g TxnHandle> {
+        self.get_arc_in(id, guard).map(|arc| &**arc)
+    }
+
+    fn get_arc_in<'g>(&self, id: TxnId, guard: &'g Guard) -> Option<&'g Arc<TxnHandle>> {
+        let shard = self.shard(id);
+        let array = unsafe { shard.slots.load(Ordering::Acquire, guard).deref() };
+        let mask = array.mask();
+        let mut idx = mix64(id.0) as usize & mask;
+        for _ in 0..array.slots.len() {
+            let slot = &array.slots[idx];
+            match slot.id.load(Ordering::Acquire) {
+                SLOT_EMPTY => return None,
+                sid if sid == id.0 => {
+                    let node = slot.handle.load(Ordering::Acquire, guard);
+                    match unsafe { node.as_ref() } {
+                        // Verify the tenant: between our id load and the
+                        // handle load the writer may have tombstoned the slot
+                        // and reused it for a different transaction. Ids are
+                        // never re-registered, so a mismatch means our target
+                        // was removed.
+                        Some(arc) if arc.id() == id => return Some(arc),
+                        _ => return None,
+                    }
+                }
+                _ => {}
+            }
+            idx = (idx + 1) & mask;
+        }
+        None
+    }
+
+    /// Look a transaction up, returning an owned handle (an `Arc` clone).
+    /// Use [`TxnTable::get_in`] on hot paths that only inspect the handle.
     pub fn get(&self, id: TxnId) -> Option<Arc<TxnHandle>> {
-        self.shard(id).read().get(&id.0).cloned()
+        let guard = epoch::pin();
+        self.get_arc_in(id, &guard).cloned()
     }
 
     /// Remove a terminated transaction.
     pub fn remove(&self, id: TxnId) {
-        self.shard(id).write().remove(&id.0);
+        let shard = self.shard(id);
+        let mut writer = shard.writer.lock();
+        let guard = epoch::pin();
+        let array = unsafe { shard.slots.load(Ordering::Acquire, &guard).deref() };
+        let mask = array.mask();
+        let mut idx = mix64(id.0) as usize & mask;
+        for _ in 0..array.slots.len() {
+            let slot = &array.slots[idx];
+            match slot.id.load(Ordering::Relaxed) {
+                SLOT_EMPTY => return,
+                sid if sid == id.0 => {
+                    // Tombstone the id first; the node pointer stays readable
+                    // for lookups that loaded the old id a moment ago (they
+                    // linearize before this remove). The node itself is freed
+                    // once every pinned reader drains.
+                    slot.id.store(SLOT_TOMBSTONE, Ordering::Release);
+                    let node = slot.handle.load(Ordering::Relaxed, &guard);
+                    if !node.is_null() {
+                        unsafe { guard.defer_destroy(node) };
+                    }
+                    writer.live -= 1;
+                    writer.tombstones += 1;
+                    return;
+                }
+                _ => {}
+            }
+            idx = (idx + 1) & mask;
+        }
+    }
+
+    /// Rebuild a shard's slot array (grow + drop tombstones), publish it, and
+    /// defer destruction of the old array. Caller holds the shard write lock.
+    fn rebuild<'g>(
+        shard: &Shard,
+        writer: &mut ShardWriter,
+        old: &SlotArray,
+        guard: &'g Guard,
+    ) -> &'g SlotArray {
+        let capacity = ((writer.live + 1) * 4)
+            .next_power_of_two()
+            .max(SHARD_INITIAL_SLOTS);
+        let fresh = SlotArray::with_capacity(capacity);
+        for slot in old.slots.iter() {
+            let sid = slot.id.load(Ordering::Relaxed);
+            if sid == SLOT_EMPTY || sid == SLOT_TOMBSTONE {
+                continue;
+            }
+            // The node allocation is shared with the old array; only the
+            // array itself is replaced.
+            fresh.insert(sid, slot.handle.load(Ordering::Relaxed, guard));
+        }
+        writer.tombstones = 0;
+        let published = Owned::new(fresh).into_shared(guard);
+        let old_shared = shard.slots.load(Ordering::Relaxed, guard);
+        shard.slots.store(published, Ordering::Release);
+        // SAFETY: the array is unreachable to new readers; pinned readers
+        // keep it alive until they unpin. Nodes inside are not freed here.
+        unsafe { guard.defer_destroy(old_shared) };
+        unsafe { published.deref() }
+    }
+
+    /// Walk every registered handle under one epoch pin. Not atomic with
+    /// respect to concurrent register/remove (see `min_active_begin`).
+    fn for_each_handle(&self, mut f: impl FnMut(&Arc<TxnHandle>)) {
+        let guard = epoch::pin();
+        for shard in self.shards.iter() {
+            let array = unsafe { shard.slots.load(Ordering::Acquire, &guard).deref() };
+            for slot in array.slots.iter() {
+                let sid = slot.id.load(Ordering::Acquire);
+                if sid == SLOT_EMPTY || sid == SLOT_TOMBSTONE {
+                    continue;
+                }
+                let node = slot.handle.load(Ordering::Acquire, &guard);
+                if let Some(arc) = unsafe { node.as_ref() } {
+                    if arc.id().0 == sid {
+                        f(arc);
+                    }
+                }
+            }
+        }
     }
 
     /// Number of registered (non-terminated) transactions.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.read().len()).sum()
+        let mut n = 0;
+        self.for_each_handle(|_| n += 1);
+        n
     }
 
     /// True when no transactions are registered.
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(|s| s.read().is_empty())
+        self.len() == 0
     }
 
     /// Minimum begin timestamp over all registered transactions.
@@ -592,25 +825,48 @@ impl TxnTable {
             return Some(Timestamp::ZERO);
         }
         let mut min: Option<Timestamp> = None;
-        for shard in self.shards.iter() {
-            for handle in shard.read().values() {
-                let b = handle.begin_ts();
-                min = Some(match min {
-                    Some(m) if m <= b => m,
-                    _ => b,
-                });
-            }
-        }
+        self.for_each_handle(|handle| {
+            let b = handle.begin_ts();
+            min = Some(match min {
+                Some(m) if m <= b => m,
+                _ => b,
+            });
+        });
         min
     }
 
     /// Snapshot of every registered handle (deadlock detection, diagnostics).
     pub fn snapshot(&self) -> Vec<Arc<TxnHandle>> {
         let mut out = Vec::new();
-        for shard in self.shards.iter() {
-            out.extend(shard.read().values().cloned());
-        }
+        self.for_each_handle(|handle| out.push(Arc::clone(handle)));
         out
+    }
+}
+
+impl Drop for TxnTable {
+    fn drop(&mut self) {
+        // Exclusive access: free the live nodes and every shard's current
+        // array directly. Tombstoned nodes and superseded arrays were already
+        // handed to the epoch collector at remove/rebuild time.
+        let guard = epoch::pin();
+        for shard in self.shards.iter() {
+            let array = shard.slots.load(Ordering::Acquire, &guard);
+            if let Some(slots) = unsafe { array.as_ref() } {
+                for slot in slots.slots.iter() {
+                    let sid = slot.id.load(Ordering::Relaxed);
+                    if sid == SLOT_EMPTY || sid == SLOT_TOMBSTONE {
+                        continue;
+                    }
+                    let node = slot.handle.load(Ordering::Relaxed, &guard);
+                    if !node.is_null() {
+                        unsafe { drop(node.into_owned()) };
+                    }
+                }
+            }
+            if !array.is_null() {
+                unsafe { drop(array.into_owned()) };
+            }
+        }
     }
 }
 
@@ -770,6 +1026,91 @@ mod tests {
     fn min_active_begin_empty_is_none() {
         let table = TxnTable::new();
         assert_eq!(table.min_active_begin(), None);
+    }
+
+    #[test]
+    fn get_in_borrows_under_the_callers_guard() {
+        let table = TxnTable::new();
+        table.register(handle(7, 70));
+        let guard = crossbeam::epoch::pin();
+        let borrowed = table.get_in(TxnId(7), &guard).expect("registered");
+        assert_eq!(borrowed.id(), TxnId(7));
+        assert_eq!(borrowed.begin_ts(), Timestamp(70));
+        assert!(table.get_in(TxnId(8), &guard).is_none());
+        // The borrow stays valid across a concurrent remove: the node is
+        // deferred, not freed, while our guard is pinned.
+        table.remove(TxnId(7));
+        assert_eq!(borrowed.begin_ts(), Timestamp(70));
+        assert!(table.get_in(TxnId(7), &guard).is_none());
+    }
+
+    #[test]
+    fn single_shard_churn_recycles_tombstones_and_rebuilds() {
+        // Ids congruent mod 64 all land in one shard; ten thousand
+        // register/remove cycles force tombstone reuse and several rebuilds
+        // while a handful of long-lived entries must stay findable.
+        let table = TxnTable::new();
+        let pinned: Vec<u64> = (1..=5).map(|i| i * 64).collect();
+        for &id in &pinned {
+            table.register(handle(id, id));
+        }
+        for round in 0..10_000u64 {
+            let id = 64 * (round + 100);
+            table.register(handle(id, id));
+            assert_eq!(table.get(TxnId(id)).unwrap().id(), TxnId(id));
+            table.remove(TxnId(id));
+            assert!(table.get(TxnId(id)).is_none());
+        }
+        assert_eq!(table.len(), pinned.len());
+        for &id in &pinned {
+            assert_eq!(
+                table.get(TxnId(id)).unwrap().begin_ts(),
+                Timestamp(id),
+                "long-lived entry survived churn"
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_lookups_during_register_remove_churn() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let table = Arc::new(TxnTable::new());
+        // A permanent resident every reader must always find.
+        table.register(handle(1, 11));
+        let stop = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|scope| {
+            for reader in 0..3 {
+                let table = Arc::clone(&table);
+                let stop = Arc::clone(&stop);
+                scope.spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        let guard = crossbeam::epoch::pin();
+                        let h = table
+                            .get_in(TxnId(1), &guard)
+                            .unwrap_or_else(|| panic!("reader {reader} lost the resident"));
+                        assert_eq!(h.begin_ts(), Timestamp(11));
+                    }
+                });
+            }
+            for w in 0..2u64 {
+                let table = Arc::clone(&table);
+                let stop = Arc::clone(&stop);
+                scope.spawn(move || {
+                    let mut i = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        // Writer-disjoint id streams; some share the
+                        // resident's shard (multiples of 64).
+                        let id = 2 + w + 2 * i;
+                        table.register(handle(id + 64, id));
+                        table.remove(TxnId(id + 64));
+                        i += 1;
+                    }
+                });
+            }
+            std::thread::sleep(Duration::from_millis(100));
+            stop.store(true, Ordering::Relaxed);
+        });
+        assert_eq!(table.len(), 1);
     }
 
     #[test]

@@ -121,7 +121,12 @@ impl LongReaderMix {
         let result: mmdb_common::error::Result<()> = (|| {
             for i in 0..self.reads_per_long_txn {
                 let key = (start + i) % self.base.rows;
-                if txn.read(table, IndexId(0), key)?.is_some() {
+                // Long readers are the paper's operational-reporting queries:
+                // they only aggregate, so the visitor read keeps the scan
+                // free of per-row materialization.
+                if txn.read_with(table, IndexId(0), key, &mut |row| {
+                    std::hint::black_box(mmdb_common::row::rowbuf::fill_of(row));
+                })? {
                     reads += 1;
                 }
             }

@@ -111,7 +111,11 @@ impl Homogeneous {
         let outcome: Result<()> = (|| {
             for _ in 0..reads {
                 let key = rng.gen_range(0..self.rows);
-                if txn.read(table, IndexId(0), key)?.is_some() {
+                // Visitor read: the payload is inspected in place, nothing is
+                // materialized (the hot path the paper keeps allocation-free).
+                if txn.read_with(table, IndexId(0), key, &mut |row| {
+                    std::hint::black_box(rowbuf::fill_of(row));
+                })? {
                     done_reads += 1;
                 }
             }

@@ -81,22 +81,34 @@ pub mod epoch {
 
     impl Drop for Guard {
         fn drop(&mut self) {
-            // Take the garbage bag only when this was the last pinned guard.
-            // The bag lock is held across the counter decrement so two
-            // concurrent unpins cannot both skip collection, and frees happen
-            // outside the lock so a destructor may pin again.
+            // Fast path: other guards are still pinned somewhere, so nothing
+            // can be freed yet — skip the bag lock entirely. Taking the
+            // global mutex on *every* unpin would serialize all reader
+            // threads once per operation, which is exactly the overhead the
+            // engines' lock-free read path avoids.
+            if ACTIVE_PINS.fetch_sub(1, Ordering::AcqRel) != 1 {
+                return;
+            }
+            // We observed the pin count drop to zero: try to collect. Frees
+            // happen outside the lock so a destructor may pin again.
             let mut to_free = Vec::new();
             {
                 let mut bag = GARBAGE.lock().unwrap_or_else(|p| p.into_inner());
-                if ACTIVE_PINS.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Re-check under the bag lock: a thread that pinned after our
+                // decrement may be mid-defer, and its garbage must survive.
+                // Deferral pushes under this same lock, so either we observe
+                // its pin here (and skip — that thread's own unpin collects
+                // later) or its push lands only after we release the lock.
+                if ACTIVE_PINS.load(Ordering::Acquire) == 0 {
                     std::mem::swap(&mut *bag, &mut to_free);
                 }
             }
             for g in to_free {
-                // SAFETY: zero pins were observed after this guard's
-                // decrement, so no thread can still hold a protected
-                // reference to the pointee (deferred objects are unlinked
-                // before being deferred).
+                // SAFETY: zero pins were observed under the bag lock, so
+                // every item in the taken bag was deferred by a thread that
+                // has since unpinned, no thread still holds a protected
+                // reference, and new pinners cannot reach the pointees
+                // (deferred objects are unlinked before being deferred).
                 unsafe { (g.drop_fn)(g.ptr) };
             }
         }

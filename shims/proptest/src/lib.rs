@@ -148,7 +148,7 @@ pub mod strategy {
         }
     }
 
-    /// Uniform choice between boxed alternatives ([`prop_oneof!`]).
+    /// Uniform choice between boxed alternatives (`prop_oneof!`).
     pub struct Union<T> {
         arms: Vec<BoxedStrategy<T>>,
     }
@@ -286,7 +286,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// Length specification for [`vec`].
+    /// Length specification for [`vec()`].
     #[derive(Clone, Copy, Debug)]
     pub struct SizeRange {
         min: usize,

@@ -410,28 +410,31 @@ where
     setup.commit().expect("populate commit");
 }
 
-/// Execute one operation inside `txn`, recording what it observed.
+/// Execute one operation inside `txn`, recording what it observed. Reads and
+/// scans go through the visitor API (`read_with` / `scan_key_with`), so the
+/// differential suites exercise the allocation-free path on every engine and
+/// cross-check it against the oracle.
 fn execute_op<T: EngineTxn>(txn: &mut T, tables: &[TableId], op: Op) -> Result<Observation> {
     Ok(match op {
-        Op::Read(t, k) => Observation::Read(
-            t,
-            k,
-            txn.read(tables[t], PRIMARY, k)?
-                .map(|r| rowbuf::fill_of(&r)),
-        ),
+        Op::Read(t, k) => {
+            let mut seen = None;
+            txn.read_with(tables[t], PRIMARY, k, &mut |r| {
+                seen = Some(rowbuf::fill_of(r))
+            })?;
+            Observation::Read(t, k, seen)
+        }
         Op::ScanFill(t, f) => {
-            let mut keys: Vec<u64> = txn
-                .scan_key(tables[t], SECONDARY, fill_key(f))?
-                .iter()
-                .map(|r| rowbuf::key_of(r))
-                .collect();
+            let mut keys: Vec<u64> = Vec::new();
+            txn.scan_key_with(tables[t], SECONDARY, fill_key(f), &mut |r| {
+                keys.push(rowbuf::key_of(r))
+            })?;
             keys.sort_unstable();
             Observation::Scan(t, f, keys)
         }
         Op::Insert(t, k, f) => {
             // Duplicate inserts are a scripted possibility; probe first so a
             // duplicate is an observation rather than a transaction abort.
-            let fresh = txn.read(tables[t], PRIMARY, k)?.is_none();
+            let fresh = !txn.read_with(tables[t], PRIMARY, k, &mut |_| {})?;
             if fresh {
                 txn.insert(tables[t], rowbuf::keyed_row(k, FILLER, f))?;
             }
@@ -445,9 +448,13 @@ fn execute_op<T: EngineTxn>(txn: &mut T, tables: &[TableId], op: Op) -> Result<O
         ),
         Op::Bump(t, k, delta) => {
             // Read-modify-write: the written value depends on the read one.
-            let new = match txn.read(tables[t], PRIMARY, k)? {
-                Some(row) => {
-                    let new = bump_fill(rowbuf::fill_of(&row), delta);
+            let mut old = None;
+            txn.read_with(tables[t], PRIMARY, k, &mut |r| {
+                old = Some(rowbuf::fill_of(r))
+            })?;
+            let new = match old {
+                Some(old_fill) => {
+                    let new = bump_fill(old_fill, delta);
                     if txn.update(tables[t], PRIMARY, k, rowbuf::keyed_row(k, FILLER, new))? {
                         Some(new)
                     } else {
@@ -541,12 +548,11 @@ where
     let mut txn = engine.begin(IsolationLevel::ReadCommitted);
     for (t, (&table, state)) in tables.iter().zip(&states).enumerate() {
         for fill in 1..=FILL_ALPHABET {
-            let mut scanned: Vec<u64> = txn
-                .scan_key(table, SECONDARY, fill_key(fill))
-                .expect("secondary scan")
-                .iter()
-                .map(|r| rowbuf::key_of(r))
-                .collect();
+            let mut scanned: Vec<u64> = Vec::new();
+            txn.scan_key_with(table, SECONDARY, fill_key(fill), &mut |r| {
+                scanned.push(rowbuf::key_of(r))
+            })
+            .expect("secondary scan");
             scanned.sort_unstable();
             let expected: Vec<u64> = state
                 .iter()
