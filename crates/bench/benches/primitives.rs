@@ -62,7 +62,7 @@ fn bench_hash_and_clock(c: &mut Criterion) {
 fn bench_visibility(c: &mut Criterion) {
     let mut group = c.benchmark_group("primitives/visibility");
     let txns = TxnTable::new();
-    let committed = Version::new_committed(Timestamp(10), rowbuf::keyed_row(1, 16, 0), vec![1]);
+    let committed = Version::new_committed(Timestamp(10), rowbuf::keyed_row(1, 16, 0), &[1]);
     group.bench_function("committed_version", |b| {
         let guard = crossbeam::epoch::pin();
         b.iter(|| {

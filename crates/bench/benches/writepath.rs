@@ -1,0 +1,85 @@
+//! Micro-benchmarks of the hot write path: whole warmed write transactions
+//! (begin → update → commit, and insert-then-delete pairs) on the MV engines
+//! in both concurrency modes, plus the 1V update transaction for comparison.
+//! Same fixture and strides as the `repro perf` experiment that records
+//! `BENCH_writepath.json` (`mmdb_bench::writepath`).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mmdb_bench::writepath::{grouped_row, warmed_mv_engine_with, warmed_sv_engine, KEY_STRIDE};
+use mmdb_common::engine::{Engine, EngineTxn};
+use mmdb_common::ids::IndexId;
+use mmdb_common::isolation::{ConcurrencyMode, IsolationLevel};
+
+const ROWS: u64 = 65_536;
+
+fn bench_update_txns(c: &mut Criterion) {
+    let mut group = c.benchmark_group("writepath/update_txn");
+    for (label, mode) in [
+        ("mvo_si", ConcurrencyMode::Optimistic),
+        ("mvl_si", ConcurrencyMode::Pessimistic),
+    ] {
+        let (engine, table) = warmed_mv_engine_with(mode, ROWS);
+        let mut key = 0u64;
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                key = (key.wrapping_add(KEY_STRIDE)) % ROWS;
+                let mut txn = engine.begin(IsolationLevel::SnapshotIsolation);
+                assert!(txn
+                    .update(table, IndexId(0), key, grouped_row(key))
+                    .unwrap());
+                txn.commit().unwrap()
+            })
+        });
+    }
+    {
+        let (engine, table) = warmed_sv_engine(ROWS, Duration::from_millis(500));
+        let mut key = 0u64;
+        group.bench_function("onev_rc", |b| {
+            b.iter(|| {
+                key = (key.wrapping_add(KEY_STRIDE)) % ROWS;
+                let mut txn = engine.begin(IsolationLevel::ReadCommitted);
+                assert!(txn
+                    .update(table, IndexId(0), key, grouped_row(key))
+                    .unwrap());
+                txn.commit().unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_insert_delete(c: &mut Criterion) {
+    let (engine, table) = warmed_mv_engine_with(ConcurrencyMode::Optimistic, ROWS);
+    let mut group = c.benchmark_group("writepath/insert_delete");
+    let mut k = 0u64;
+    group.bench_function("mvo_si_pair", |b| {
+        b.iter(|| {
+            k += 1;
+            let key = ROWS + k;
+            let mut txn = engine.begin(IsolationLevel::SnapshotIsolation);
+            txn.insert(table, grouped_row(key)).unwrap();
+            txn.commit().unwrap();
+            let mut txn = engine.begin(IsolationLevel::SnapshotIsolation);
+            assert!(txn.delete(table, IndexId(0), key).unwrap());
+            txn.commit().unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_update_txns, bench_insert_delete
+}
+criterion_main!(benches);

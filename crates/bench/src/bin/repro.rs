@@ -4,6 +4,7 @@
 //! cargo run -p mmdb-bench --release --bin repro -- [options] <experiment>...
 //!
 //! experiments: fig4 fig5 table3 fig6 fig7 fig8 fig9 table4 ablation perf all
+//!              perf-read perf-write   (the two perf halves individually)
 //!              recover   (crash/replay durability smoke — not part of `all`)
 //!
 //! options:
@@ -28,7 +29,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: repro [--quick] [--rows N] [--hot-rows N] [--mpl N] [--threads a,b,c] \
          [--duration-ms MS] [--subscribers N] [--json PATH] \
-         <fig4|fig5|table3|fig6|fig7|fig8|fig9|table4|ablation|perf|recover|all>..."
+         <fig4|fig5|table3|fig6|fig7|fig8|fig9|table4|ablation|perf|perf-read|perf-write|recover|all>..."
     );
     std::process::exit(2);
 }
@@ -144,7 +145,15 @@ fn main() {
                 emit(&mut produced, vec![f8, f9]);
             }
             "table4" => emit(&mut produced, vec![experiments::table4(&cfg)]),
-            "perf" => emit(&mut produced, vec![experiments::readpath_perf(&cfg)]),
+            "perf" => emit(
+                &mut produced,
+                vec![
+                    experiments::readpath_perf(&cfg),
+                    experiments::writepath_perf(&cfg),
+                ],
+            ),
+            "perf-read" => emit(&mut produced, vec![experiments::readpath_perf(&cfg)]),
+            "perf-write" => emit(&mut produced, vec![experiments::writepath_perf(&cfg)]),
             "recover" => recover_smoke(&cfg),
             "ablation" => emit(
                 &mut produced,

@@ -189,20 +189,28 @@ fn scalability(cfg: &ExpConfig, rows: u64, title: &str) -> SeriesTable {
         x_label: "threads".into(),
         xs: cfg.threads.iter().map(|t| t.to_string()).collect(),
         rows: Vec::new(),
-        unit: "committed transactions / second".into(),
+        unit: "committed transactions / second (and abort rate per scheme)".into(),
     };
+    // Throughput first, then the abort-rate companion series — the paper
+    // quotes both, and the abort rates explain the throughput cliffs under
+    // contention.
+    let mut abort_rows = Vec::new();
     for scheme in Scheme::ALL {
         let mut series = Vec::with_capacity(cfg.threads.len());
+        let mut aborts = Vec::with_capacity(cfg.threads.len());
         for &threads in &cfg.threads {
-            let tps = scheme.with_engine(cfg.lock_timeout, |factory| {
+            let report = scheme.with_engine(cfg.lock_timeout, |factory| {
                 dispatch_engine!(factory, |engine| {
-                    run_homogeneous_on(engine, &workload, threads, cfg.duration).tps()
+                    run_homogeneous_on(engine, &workload, threads, cfg.duration)
                 })
             });
-            series.push(tps);
+            series.push(report.tps());
+            aborts.push(report.abort_rate());
         }
         table.rows.push((scheme.label().to_string(), series));
+        abort_rows.push((format!("{} abort rate", scheme.label()), aborts));
     }
+    table.rows.extend(abort_rows);
     table
 }
 
@@ -239,28 +247,34 @@ pub fn table3(cfg: &ExpConfig) -> SeriesTable {
         x_label: "scheme".into(),
         xs: vec![
             "RC tx/s".into(),
+            "RC abort rate".into(),
             "RR tx/s".into(),
             "RR % drop".into(),
+            "RR abort rate".into(),
             "SER tx/s".into(),
             "SER % drop".into(),
+            "SER abort rate".into(),
         ],
         rows: Vec::new(),
-        unit: "committed transactions / second (and % drop vs read committed)".into(),
+        unit: "committed transactions / second (plus % drop vs read committed and abort rate)"
+            .into(),
     };
     for scheme in Scheme::ALL {
         let mut tps = Vec::new();
+        let mut aborts = Vec::new();
         for level in levels {
             let workload = Homogeneous {
                 rows: cfg.rows,
                 isolation: level,
                 ..Default::default()
             };
-            let t = scheme.with_engine(cfg.lock_timeout, |factory| {
+            let report = scheme.with_engine(cfg.lock_timeout, |factory| {
                 dispatch_engine!(factory, |engine| {
-                    run_homogeneous_on(engine, &workload, cfg.mpl, cfg.duration).tps()
+                    run_homogeneous_on(engine, &workload, cfg.mpl, cfg.duration)
                 })
             });
-            tps.push(t);
+            tps.push(report.tps());
+            aborts.push(report.abort_rate());
         }
         let drop_of = |x: f64| {
             if tps[0] > 0.0 {
@@ -271,7 +285,16 @@ pub fn table3(cfg: &ExpConfig) -> SeriesTable {
         };
         table.rows.push((
             scheme.label().to_string(),
-            vec![tps[0], tps[1], drop_of(tps[1]), tps[2], drop_of(tps[2])],
+            vec![
+                tps[0],
+                aborts[0],
+                tps[1],
+                drop_of(tps[1]),
+                aborts[1],
+                tps[2],
+                drop_of(tps[2]),
+                aborts[2],
+            ],
         ));
     }
     table
@@ -613,8 +636,116 @@ pub fn readpath_perf(cfg: &ExpConfig) -> SeriesTable {
     table
 }
 
+/// **Write-path microbenchmark** — the companion of [`readpath_perf`]
+/// (`BENCH_writepath.json`). Single-threaded ns per *whole warmed write
+/// transaction* on a populated engine:
+///
+/// * MV/O and MV/L single-row update transactions (begin → update → commit)
+///   at snapshot isolation — the shape the allocation-free write path pins
+///   (`crates/core/tests/alloc_free.rs`);
+/// * an MV/O insert-then-delete transaction pair (version churn through the
+///   cooperative garbage collector);
+/// * the 1V update transaction for comparison (in-place update under
+///   two-phase bucket locks).
+pub fn writepath_perf(cfg: &ExpConfig) -> SeriesTable {
+    use mmdb_common::engine::EngineTxn as _;
+    use mmdb_common::ids::IndexId;
+    use mmdb_common::isolation::ConcurrencyMode;
+
+    use crate::writepath::{grouped_row, warmed_mv_engine_with, warmed_sv_engine, KEY_STRIDE};
+
+    let rows = cfg.rows.clamp(8_192, 262_144);
+    // A whole write transaction is ~two orders of magnitude more work than a
+    // point read; scale the iteration counts down accordingly.
+    let txn_iters = (cfg.duration.as_millis() as u64 * 20).clamp(2_000, 40_000);
+
+    let mut table = SeriesTable {
+        title: format!("Write path: ns/txn on a warmed engine ({rows} rows, single thread)"),
+        x_label: "operation".into(),
+        xs: vec!["ns/txn".into()],
+        rows: Vec::new(),
+        unit: "nanoseconds per committed write transaction".into(),
+    };
+
+    let mv_update = |mode: ConcurrencyMode| {
+        let (engine, t) = warmed_mv_engine_with(mode, rows);
+        let mut key = 0u64;
+        ns_per_op(txn_iters, || {
+            key = (key.wrapping_add(KEY_STRIDE)) % rows;
+            let mut txn = engine.begin(IsolationLevel::SnapshotIsolation);
+            assert!(txn
+                .update(t, IndexId(0), key, grouped_row(key))
+                .expect("update"));
+            txn.commit().expect("commit");
+        })
+    };
+    let mvo_update = mv_update(ConcurrencyMode::Optimistic);
+    let mvl_update = mv_update(ConcurrencyMode::Pessimistic);
+
+    // Insert-then-delete: every iteration creates a fresh key above the
+    // populated range, inserts it in one transaction and deletes it in the
+    // next — steady-state version churn straight through the GC queue. The
+    // loop commits two transactions, so halve the measured time to report
+    // it in the table's per-transaction unit.
+    let (engine, t) = warmed_mv_engine_with(ConcurrencyMode::Optimistic, rows);
+    let mut k = 0u64;
+    let mvo_insert_delete = ns_per_op(txn_iters / 2, || {
+        k += 1;
+        let key = rows + k;
+        let mut txn = engine.begin(IsolationLevel::SnapshotIsolation);
+        txn.insert(t, grouped_row(key)).expect("insert");
+        txn.commit().expect("insert commit");
+        let mut txn = engine.begin(IsolationLevel::SnapshotIsolation);
+        assert!(txn.delete(t, IndexId(0), key).expect("delete"));
+        txn.commit().expect("delete commit");
+    }) / 2.0;
+
+    let (sv, t1) = warmed_sv_engine(rows, cfg.lock_timeout);
+    let mut key = 0u64;
+    let sv_update = ns_per_op(txn_iters, || {
+        key = (key.wrapping_add(KEY_STRIDE)) % rows;
+        let mut txn = sv.begin(IsolationLevel::ReadCommitted);
+        assert!(txn
+            .update(t1, IndexId(0), key, grouped_row(key))
+            .expect("update"));
+        txn.commit().expect("commit");
+    });
+
+    // The per-operation table-lookup cost (every read/scan/write resolves
+    // its table): the epoch-published catalog both ways — `table` clones an
+    // `Arc`, `table_in` borrows under an epoch guard (the hot-path variant).
+    let (engine, t) = warmed_mv_engine_with(ConcurrencyMode::Optimistic, rows);
+    let lookup_iters = txn_iters * 50;
+    let catalog_arc = ns_per_op(lookup_iters, || {
+        std::hint::black_box(engine.store().table(t).expect("published").id());
+    });
+    let guard = crossbeam::epoch::pin();
+    let catalog_borrow = ns_per_op(lookup_iters, || {
+        std::hint::black_box(engine.store().table_in(t, &guard).expect("published").id());
+    });
+    drop(guard);
+
+    for (label, value) in [
+        ("MV/O update txn (begin→update→commit, SI)", mvo_update),
+        ("MV/L update txn (begin→update→commit, SI)", mvl_update),
+        (
+            "MV/O insert+delete (ns/txn, avg over the pair, SI)",
+            mvo_insert_delete,
+        ),
+        ("1V update txn (begin→update→commit, RC)", sv_update),
+        ("Catalog table lookup (`table`, Arc clone)", catalog_arc),
+        (
+            "Catalog table lookup (`table_in`, guard borrow)",
+            catalog_borrow,
+        ),
+    ] {
+        table.rows.push((label.to_string(), vec![value]));
+    }
+    table
+}
+
 /// Run every experiment and return the rendered tables in paper order, with
-/// the read-path microbenchmark appended.
+/// the read- and write-path microbenchmarks appended.
 pub fn run_all(cfg: &ExpConfig) -> Vec<SeriesTable> {
     let mut out = vec![fig4(cfg), fig5(cfg), table3(cfg), fig6(cfg), fig7(cfg)];
     let (f8, f9) = fig8_and_fig9(cfg);
@@ -624,6 +755,7 @@ pub fn run_all(cfg: &ExpConfig) -> Vec<SeriesTable> {
     out.push(ablation_validation_cost(cfg));
     out.push(ablation_gc(cfg));
     out.push(readpath_perf(cfg));
+    out.push(writepath_perf(cfg));
     out
 }
 
@@ -644,28 +776,44 @@ mod tests {
     }
 
     #[test]
-    fn fig4_produces_three_series() {
+    fn fig4_produces_throughput_and_abort_series() {
         let table = fig4(&tiny());
-        assert_eq!(table.rows.len(), 3);
+        // Three throughput series plus three abort-rate companions.
+        assert_eq!(table.rows.len(), 6);
         assert_eq!(table.xs.len(), 2);
-        for (_, series) in &table.rows {
-            assert!(
-                series.iter().all(|&v| v > 0.0),
-                "every scheme commits something: {table:?}"
-            );
+        for (label, series) in &table.rows {
+            if label.ends_with("abort rate") {
+                assert!(
+                    series.iter().all(|&v| (0.0..=1.0).contains(&v)),
+                    "abort rates are fractions: {table:?}"
+                );
+            } else {
+                assert!(
+                    series.iter().all(|&v| v > 0.0),
+                    "every scheme commits something: {table:?}"
+                );
+            }
         }
         let md = table.to_markdown();
         assert!(md.contains("| 1V |") && md.contains("| MV/O |") && md.contains("| MV/L |"));
+        assert!(md.contains("| MV/O abort rate |"));
     }
 
     #[test]
-    fn table3_reports_drops() {
+    fn table3_reports_drops_and_abort_rates() {
         let t = table3(&tiny());
-        assert_eq!(t.xs.len(), 5);
+        assert_eq!(t.xs.len(), 8);
         for (_, series) in &t.rows {
-            assert_eq!(series.len(), 5);
+            assert_eq!(series.len(), 8);
         }
         assert!(t.value("MV/O", 0).unwrap() > 0.0);
+        // Abort-rate columns are fractions.
+        for scheme in ["1V", "MV/O", "MV/L"] {
+            for col in [1, 4, 7] {
+                let v = t.value(scheme, col).unwrap();
+                assert!((0.0..=1.0).contains(&v), "{scheme} col {col}: {v}");
+            }
+        }
     }
 
     #[test]
@@ -698,6 +846,29 @@ mod tests {
             .value("TxnTable lookup (`get_in`, guard borrow)", 0)
             .unwrap();
         assert!(borrow < arc * 10.0, "get_in {borrow} vs get {arc}");
+    }
+
+    #[test]
+    fn writepath_perf_reports_every_series() {
+        let t = writepath_perf(&tiny());
+        assert_eq!(t.xs, vec!["ns/txn".to_string()]);
+        assert_eq!(t.rows.len(), 6);
+        for (label, series) in &t.rows {
+            assert_eq!(series.len(), 1);
+            assert!(
+                series[0].is_finite() && series[0] > 0.0,
+                "{label}: ns/txn must be positive: {t:?}"
+            );
+        }
+        // The lock-free borrow can never be slower than clone-the-Arc by an
+        // order of magnitude (sanity, not a perf assertion).
+        let arc = t
+            .value("Catalog table lookup (`table`, Arc clone)", 0)
+            .unwrap();
+        let borrow = t
+            .value("Catalog table lookup (`table_in`, guard borrow)", 0)
+            .unwrap();
+        assert!(borrow < arc * 10.0, "table_in {borrow} vs table {arc}");
     }
 
     #[test]

@@ -16,6 +16,7 @@ pub mod experiments;
 pub mod json;
 pub mod readpath;
 pub mod scheme;
+pub mod writepath;
 
 pub use experiments::ExpConfig;
 pub use scheme::Scheme;

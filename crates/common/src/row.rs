@@ -112,6 +112,56 @@ impl IndexSpec {
     }
 }
 
+/// Reusable buffer for per-index key extraction (cleared, never freed).
+///
+/// The write path extracts every index key of a row at least once per
+/// insert/update (uniqueness checks, bucket locks, the version header), and
+/// a fresh `Vec<Key>` per extraction is the single largest allocation source
+/// on that path. Transactions keep one `KeyScratch` and pass it to
+/// `keys_into`-style extractors; after warmup the capacity is stable and
+/// extraction allocates nothing (pinned by `crates/core/tests/alloc_free.rs`).
+#[derive(Debug, Default)]
+pub struct KeyScratch {
+    keys: Vec<Key>,
+}
+
+impl KeyScratch {
+    /// Create an empty scratch.
+    pub fn new() -> KeyScratch {
+        KeyScratch::default()
+    }
+
+    /// The extracted keys, in index order.
+    #[inline]
+    pub fn keys(&self) -> &[Key] {
+        &self.keys
+    }
+
+    /// Clear without releasing capacity.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.keys.clear();
+    }
+
+    /// Clear, then refill from `specs` applied to `row`. Capacity is reused.
+    pub fn extract_from<'a, I>(&mut self, specs: I, row: &[u8]) -> Result<()>
+    where
+        I: IntoIterator<Item = &'a KeySpec>,
+    {
+        self.keys.clear();
+        for spec in specs {
+            self.keys.push(spec.key_of(row)?);
+        }
+        Ok(())
+    }
+
+    /// Consume the scratch, returning the keys as an owned `Vec` (compat
+    /// shim for the legacy `keys_of` API).
+    pub fn into_vec(self) -> Vec<Key> {
+        self.keys
+    }
+}
+
 /// Declaration of a table: a name plus one or more indexes. Index 0 is the
 /// primary index (every row must be reachable through every index — there is
 /// no direct access to records except via an index, §2.1).
@@ -131,6 +181,12 @@ impl TableSpec {
             name: name.into(),
             indexes: vec![IndexSpec::unique_u64("pk", 0, buckets)],
         }
+    }
+
+    /// Extract the key of `row` under every index into `scratch` (index
+    /// order, allocation-free after warmup).
+    pub fn keys_into(&self, row: &[u8], scratch: &mut KeyScratch) -> Result<()> {
+        scratch.extract_from(self.indexes.iter().map(|idx| &idx.key), row)
     }
 
     /// Add an extra index and return self (builder style).

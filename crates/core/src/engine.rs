@@ -18,7 +18,12 @@ use mmdb_storage::txn_table::TxnHandle;
 
 use crate::config::MvConfig;
 use crate::deadlock;
-use crate::txn::MvTransaction;
+use crate::txn::{MvTransaction, TxnBuffers};
+
+/// Upper bound on pooled transaction handles / buffer sets. Bounds idle
+/// memory; under higher concurrency the pools simply miss and `begin` falls
+/// back to a fresh allocation.
+const TXN_POOL_CAP: usize = 256;
 
 /// Shared engine internals (store + configuration + background machinery).
 pub(crate) struct MvInner {
@@ -28,6 +33,15 @@ pub(crate) struct MvInner {
     commits_since_gc: AtomicU64,
     /// Tells the background deadlock detector to stop.
     stop: AtomicBool,
+    /// Recycled transaction handles: a terminated transaction's handle goes
+    /// back here, and `begin` reuses it once its reference count has drained
+    /// to one (the epoch-deferred release of its transaction-table slot —
+    /// and any lingering `get` clone — keeps recycling safe: a handle still
+    /// borrowed by a lock-free lookup can never be reset). Together with
+    /// `buffers` this makes a warmed begin→commit cycle allocation-free.
+    handles: parking_lot::Mutex<Vec<Arc<TxnHandle>>>,
+    /// Recycled per-transaction buffer sets (cleared, capacity retained).
+    buffers: parking_lot::Mutex<Vec<TxnBuffers>>,
 }
 
 impl MvInner {
@@ -41,6 +55,56 @@ impl MvInner {
         let n = self.commits_since_gc.fetch_add(1, Ordering::Relaxed) + 1;
         if n.is_multiple_of(every) {
             self.store.collect_garbage(self.config.gc_batch);
+        }
+    }
+
+    /// Obtain a handle for a new transaction, recycling a pooled one when it
+    /// is exclusively ours (steady state: no allocation).
+    fn take_handle(
+        &self,
+        id: mmdb_common::ids::TxnId,
+        begin_ts: mmdb_common::ids::Timestamp,
+        mode: ConcurrencyMode,
+        isolation: IsolationLevel,
+    ) -> Arc<TxnHandle> {
+        // NB: pop in its own scope — an `if let` on `lock().pop()` would
+        // extend the guard's lifetime across the body, and the fallback path
+        // below re-locks the pool (self-deadlock).
+        let recycled = self.handles.lock().pop();
+        if let Some(mut handle) = recycled {
+            if let Some(exclusive) = Arc::get_mut(&mut handle) {
+                exclusive.reset_for(id, begin_ts, mode, isolation);
+                return handle;
+            }
+            // Still referenced elsewhere (an epoch-deferred slot release, a
+            // deadlock-detector snapshot, ...): park it at the cold end of
+            // the pool and allocate fresh.
+            let mut pool = self.handles.lock();
+            if pool.len() < TXN_POOL_CAP {
+                pool.insert(0, handle);
+            }
+        }
+        TxnHandle::new(id, begin_ts, mode, isolation)
+    }
+
+    /// Return a terminated transaction's handle to the pool.
+    pub(crate) fn return_handle(&self, handle: Arc<TxnHandle>) {
+        let mut pool = self.handles.lock();
+        if pool.len() < TXN_POOL_CAP {
+            pool.push(handle);
+        }
+    }
+
+    /// Obtain a (cleared, warmed) buffer set for a new transaction.
+    fn take_buffers(&self) -> TxnBuffers {
+        self.buffers.lock().pop().unwrap_or_default()
+    }
+
+    /// Return a cleared buffer set to the pool.
+    pub(crate) fn return_buffers(&self, bufs: TxnBuffers) {
+        let mut pool = self.buffers.lock();
+        if pool.len() < TXN_POOL_CAP {
+            pool.push(bufs);
         }
     }
 }
@@ -97,6 +161,8 @@ impl MvEngine {
             config: config.clone(),
             commits_since_gc: AtomicU64::new(0),
             stop: AtomicBool::new(false),
+            handles: parking_lot::Mutex::new(Vec::new()),
+            buffers: parking_lot::Mutex::new(Vec::new()),
         });
         let detector = if config.deadlock_detector {
             let weak = Arc::downgrade(&inner);
@@ -148,10 +214,10 @@ impl MvEngine {
         let pending = store.txns().pending_begin();
         let id = store.clock().next_txn_id();
         let begin_ts = store.clock().next_timestamp();
-        let handle = TxnHandle::new(id, begin_ts, mode, isolation);
+        let handle = self.inner.take_handle(id, begin_ts, mode, isolation);
         store.txns().register(Arc::clone(&handle));
         drop(pending);
-        MvTransaction::new(Arc::clone(&self.inner), handle)
+        MvTransaction::new(Arc::clone(&self.inner), handle, self.inner.take_buffers())
     }
 
     /// Bulk-load committed rows outside of any transaction (initial database

@@ -23,7 +23,7 @@ use mmdb_common::engine::EngineTxn;
 use mmdb_common::error::{MmdbError, Result};
 use mmdb_common::ids::{IndexId, Key, TableId, Timestamp, TxnId};
 use mmdb_common::isolation::{ConcurrencyMode, IsolationLevel};
-use mmdb_common::row::Row;
+use mmdb_common::row::{KeyScratch, Row};
 use mmdb_common::stats::EngineStats;
 use mmdb_common::word::{BeginWord, EndWord, LockWord};
 
@@ -86,6 +86,43 @@ pub(crate) struct BucketLockRef {
 pub(crate) struct TxnScratch {
     /// Candidate versions of the current index lookup.
     pub(crate) candidates: Vec<VersionPtr>,
+    /// Per-index key extraction buffer for the write path (insert/update
+    /// keys, uniqueness checks, bucket locks).
+    pub(crate) keys: KeyScratch,
+    /// Redo-record encode buffer: commit frames the transaction's write set
+    /// in place and hands `RedoLogger::append_frame` a borrow.
+    pub(crate) log_buf: Vec<u8>,
+}
+
+/// The complete recyclable buffer set of a transaction. `MvEngine` keeps a
+/// pool of these: `begin` takes a warmed set, commit/abort clears and
+/// returns it, so a steady-state transaction performs **no allocation for
+/// its private state** — the paper's "normal processing never allocates
+/// beyond the version chain itself" engineering goal, pinned by
+/// `crates/core/tests/alloc_free.rs`.
+#[derive(Debug, Default)]
+pub(crate) struct TxnBuffers {
+    pub(crate) read_set: Vec<ReadEntry>,
+    pub(crate) scan_set: Vec<ScanEntry>,
+    pub(crate) write_set: Vec<WriteEntry>,
+    pub(crate) read_locks: Vec<VersionPtr>,
+    pub(crate) bucket_locks: Vec<BucketLockRef>,
+    pub(crate) scratch: TxnScratch,
+}
+
+impl TxnBuffers {
+    /// Clear every buffer without releasing capacity. Entries are plain
+    /// copies (pointers, keys, ids) — nothing to drop.
+    pub(crate) fn clear(&mut self) {
+        self.read_set.clear();
+        self.scan_set.clear();
+        self.write_set.clear();
+        self.read_locks.clear();
+        self.bucket_locks.clear();
+        self.scratch.candidates.clear();
+        self.scratch.keys.clear();
+        self.scratch.log_buf.clear();
+    }
 }
 
 /// A transaction against the multiversion engine.
@@ -115,19 +152,39 @@ pub struct MvTransaction {
 }
 
 impl MvTransaction {
-    pub(crate) fn new(inner: Arc<MvInner>, handle: Arc<TxnHandle>) -> MvTransaction {
+    pub(crate) fn new(
+        inner: Arc<MvInner>,
+        handle: Arc<TxnHandle>,
+        bufs: TxnBuffers,
+    ) -> MvTransaction {
         MvTransaction {
             inner,
             handle,
-            read_set: Vec::new(),
-            scan_set: Vec::new(),
-            write_set: Vec::new(),
-            read_locks: Vec::new(),
-            bucket_locks: Vec::new(),
+            read_set: bufs.read_set,
+            scan_set: bufs.scan_set,
+            write_set: bufs.write_set,
+            read_locks: bufs.read_locks,
+            bucket_locks: bufs.bucket_locks,
             must_abort: None,
             finished: false,
-            scratch: TxnScratch::default(),
+            scratch: bufs.scratch,
         }
+    }
+
+    /// Return the transaction's buffers and handle to the engine pools
+    /// (called exactly once, at the end of commit or abort processing).
+    pub(crate) fn recycle(&mut self) {
+        let mut bufs = TxnBuffers {
+            read_set: std::mem::take(&mut self.read_set),
+            scan_set: std::mem::take(&mut self.scan_set),
+            write_set: std::mem::take(&mut self.write_set),
+            read_locks: std::mem::take(&mut self.read_locks),
+            bucket_locks: std::mem::take(&mut self.bucket_locks),
+            scratch: std::mem::take(&mut self.scratch),
+        };
+        bufs.clear();
+        self.inner.return_buffers(bufs);
+        self.inner.return_handle(Arc::clone(&self.handle));
     }
 
     /// The transaction's concurrency mode (optimistic or pessimistic).
@@ -588,11 +645,13 @@ impl MvTransaction {
         visit: &mut dyn FnMut(&Row),
     ) -> Result<usize> {
         self.ensure_open()?;
-        let table = self.inner.store.table(table_id)?;
-        let rt = self.read_time();
-        self.register_scan(&table, index, key)?;
-
         let guard = epoch::pin();
+        // Lock-free table resolution: a load of the epoch-published catalog
+        // slice, borrowed under our guard (no `RwLock`, no `Arc` clone).
+        let table = self.inner.store.table_in(table_id, &guard)?;
+        let rt = self.read_time();
+        self.register_scan(table, index, key)?;
+
         // Stage candidates in the transaction-owned buffer so no iterator
         // borrow of the table is held while taking dependencies (which needs
         // `&mut self`). Taken out and restored around the walk; an error in
@@ -683,14 +742,13 @@ impl MvTransaction {
     /// which is the one that must be updatable.
     fn find_update_target(
         &mut self,
-        table_id: TableId,
+        table: &Table,
         index: IndexId,
         key: Key,
     ) -> Result<Option<VersionPtr>> {
         self.ensure_open()?;
-        let table = self.inner.store.table(table_id)?;
         let mut candidates = std::mem::take(&mut self.scratch.candidates);
-        let result = self.find_update_target_staged(&table, index, key, &mut candidates);
+        let result = self.find_update_target_staged(table, index, key, &mut candidates);
         // Restore the buffer *empty*: the staged VersionPtrs were only valid
         // under the epoch guard above, and a retained pointer would be a
         // dangling foot-gun for any future reader (capacity is what we keep).
@@ -760,18 +818,22 @@ impl MvTransaction {
         }
     }
 
-    /// Create, register and link a new version carrying `row`.
+    /// Create, register and link a new version carrying `row`, whose index
+    /// keys the caller already extracted (once per write — they are shared
+    /// with uniqueness checks and bucket-lock honoring). Steady state this
+    /// allocates nothing: the version comes from the table's recycle pool
+    /// and the write set grows within retained capacity.
     fn add_new_version(
         &mut self,
         table: &Table,
         row: Row,
+        keys: &[Key],
         old: Option<VersionPtr>,
         delete_key: Option<Key>,
     ) -> Result<VersionPtr> {
-        let keys = table.keys_of(&row)?;
         // Respect bucket locks before the version becomes reachable.
-        self.honor_bucket_locks(table, &keys)?;
-        let owned = table.make_version(self.me(), row)?;
+        self.honor_bucket_locks(table, keys)?;
+        let owned = table.make_version_with(self.me(), row, keys)?;
         let guard = epoch::pin();
         let ptr = table.link_version(owned, &guard);
         EngineStats::bump(&self.stats().versions_created);
@@ -958,14 +1020,22 @@ impl EngineTxn for MvTransaction {
 
     fn insert(&mut self, table_id: TableId, row: Row) -> Result<()> {
         self.ensure_open()?;
-        let table = self.inner.store.table(table_id)?;
-        let keys = table.keys_of(&row)?;
-        self.check_unique(&table, &keys)?;
-        let new_ptr = self.add_new_version(&table, row, None, None)?;
-        // Close the check-then-link race between concurrent inserters of the
-        // same key: now that our version is reachable, look again.
-        self.verify_unique_after_link(&table, &keys, new_ptr)?;
-        Ok(())
+        let guard = epoch::pin();
+        let table = self.inner.store.table_in(table_id, &guard)?;
+        // Extract the index keys once into the reusable scratch; taken out
+        // and restored around the operation (same protocol as `candidates`).
+        let mut keys = std::mem::take(&mut self.scratch.keys);
+        let result = (|| {
+            table.keys_into(&row, &mut keys)?;
+            self.check_unique(table, keys.keys())?;
+            let new_ptr = self.add_new_version(table, row, keys.keys(), None, None)?;
+            // Close the check-then-link race between concurrent inserters of
+            // the same key: now that our version is reachable, look again.
+            self.verify_unique_after_link(table, keys.keys(), new_ptr)
+        })();
+        keys.clear();
+        self.scratch.keys = keys;
+        result
     }
 
     fn read(&mut self, table: TableId, index: IndexId, key: Key) -> Result<Option<Row>> {
@@ -1008,12 +1078,12 @@ impl EngineTxn for MvTransaction {
         new_row: Row,
     ) -> Result<bool> {
         self.ensure_open()?;
-        let table = self.inner.store.table(table_id)?;
-        let Some(old_ptr) = self.find_update_target(table_id, index, key)? else {
+        let guard = epoch::pin();
+        let table = self.inner.store.table_in(table_id, &guard)?;
+        let Some(old_ptr) = self.find_update_target(table, index, key)? else {
             return Ok(false);
         };
         let old = old_ptr.get();
-        let guard = epoch::pin();
         // §2.6 / §3.1 "Check updatability" then "Update version".
         match check_updatable(old, self.me(), self.inner.store.txns(), &guard) {
             Updatability::Updatable { observed } => {
@@ -1027,18 +1097,25 @@ impl EngineTxn for MvTransaction {
                 }));
             }
         }
-        self.add_new_version(&table, new_row, Some(old_ptr), None)?;
+        let mut keys = std::mem::take(&mut self.scratch.keys);
+        let result = (|| {
+            table.keys_into(&new_row, &mut keys)?;
+            self.add_new_version(table, new_row, keys.keys(), Some(old_ptr), None)
+        })();
+        keys.clear();
+        self.scratch.keys = keys;
+        result?;
         Ok(true)
     }
 
     fn delete(&mut self, table_id: TableId, index: IndexId, key: Key) -> Result<bool> {
         self.ensure_open()?;
-        let table = self.inner.store.table(table_id)?;
-        let Some(old_ptr) = self.find_update_target(table_id, index, key)? else {
+        let guard = epoch::pin();
+        let table = self.inner.store.table_in(table_id, &guard)?;
+        let Some(old_ptr) = self.find_update_target(table, index, key)? else {
             return Ok(false);
         };
         let old = old_ptr.get();
-        let guard = epoch::pin();
         match check_updatable(old, self.me(), self.inner.store.txns(), &guard) {
             Updatability::Updatable { observed } => {
                 self.install_write_lock(old_ptr, observed)?;

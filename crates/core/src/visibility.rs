@@ -362,7 +362,7 @@ mod tests {
     }
 
     fn committed_version(begin: u64, end: Option<u64>) -> Version {
-        let v = Version::new_committed(Timestamp(begin), rowbuf::keyed_row(1, 16, 0), vec![1]);
+        let v = Version::new_committed(Timestamp(begin), rowbuf::keyed_row(1, 16, 0), &[1]);
         if let Some(e) = end {
             v.set_end(EndWord::Timestamp(Timestamp(e)));
         }
@@ -407,7 +407,7 @@ mod tests {
     #[test]
     fn own_uncommitted_version_visible_only_to_creator() {
         let txns = TxnTable::new();
-        let v = Version::new(ME, rowbuf::keyed_row(1, 16, 0), vec![1]);
+        let v = Version::new(ME, rowbuf::keyed_row(1, 16, 0), &[1]);
         assert!(check_visibility(&v, Timestamp(100), ME, &txns).visible);
         // Another transaction (begin word holds an ID of an Active txn).
         register(&txns, ME.0, 50, TxnState::Active, None);
@@ -418,7 +418,7 @@ mod tests {
     fn own_superseded_version_is_invisible_to_creator() {
         let txns = TxnTable::new();
         // I created it *and* then updated it (write lock by me): invisible.
-        let v = Version::new(ME, rowbuf::keyed_row(1, 16, 0), vec![1]);
+        let v = Version::new(ME, rowbuf::keyed_row(1, 16, 0), &[1]);
         v.set_end(EndWord::write_locked(ME));
         assert!(!check_visibility(&v, Timestamp(100), ME, &txns).visible);
     }
@@ -427,7 +427,7 @@ mod tests {
     fn begin_id_of_preparing_txn_is_speculative() {
         let txns = TxnTable::new();
         register(&txns, 9, 50, TxnState::Preparing, Some(60));
-        let v = Version::new(TxnId(9), rowbuf::keyed_row(1, 16, 0), vec![1]);
+        let v = Version::new(TxnId(9), rowbuf::keyed_row(1, 16, 0), &[1]);
         // Read time after TB's end timestamp: speculatively visible.
         let vis = check_visibility(&v, Timestamp(70), ME, &txns);
         assert!(vis.visible);
@@ -442,7 +442,7 @@ mod tests {
     fn begin_id_of_committed_txn_uses_its_end_ts() {
         let txns = TxnTable::new();
         register(&txns, 9, 50, TxnState::Committed, Some(60));
-        let v = Version::new(TxnId(9), rowbuf::keyed_row(1, 16, 0), vec![1]);
+        let v = Version::new(TxnId(9), rowbuf::keyed_row(1, 16, 0), &[1]);
         assert!(check_visibility(&v, Timestamp(61), ME, &txns).visible);
         assert!(!check_visibility(&v, Timestamp(59), ME, &txns).visible);
         // No dependency: the outcome is certain.
@@ -456,7 +456,7 @@ mod tests {
     fn begin_id_of_aborted_txn_is_garbage() {
         let txns = TxnTable::new();
         register(&txns, 9, 50, TxnState::Aborted, None);
-        let v = Version::new(TxnId(9), rowbuf::keyed_row(1, 16, 0), vec![1]);
+        let v = Version::new(TxnId(9), rowbuf::keyed_row(1, 16, 0), &[1]);
         assert!(!check_visibility(&v, Timestamp(100), ME, &txns).visible);
     }
 
@@ -578,9 +578,9 @@ mod tests {
     #[test]
     fn table1_begin_own_active_txn() {
         let txns = TxnTable::new();
-        let own = Version::new(ME, rowbuf::keyed_row(1, 16, 0), vec![1]);
+        let own = Version::new(ME, rowbuf::keyed_row(1, 16, 0), &[1]);
         assert!(check_visibility(&own, Timestamp(1), ME, &txns).visible);
-        let superseded = Version::new(ME, rowbuf::keyed_row(1, 16, 0), vec![1]);
+        let superseded = Version::new(ME, rowbuf::keyed_row(1, 16, 0), &[1]);
         superseded.set_end(EndWord::write_locked(ME));
         assert!(!check_visibility(&superseded, Timestamp(1), ME, &txns).visible);
     }
@@ -591,7 +591,7 @@ mod tests {
     fn table1_begin_other_active_txn() {
         let txns = TxnTable::new();
         register(&txns, 9, 50, TxnState::Active, None);
-        let v = Version::new(TxnId(9), rowbuf::keyed_row(1, 16, 0), vec![1]);
+        let v = Version::new(TxnId(9), rowbuf::keyed_row(1, 16, 0), &[1]);
         assert!(!check_visibility(&v, Timestamp(u64::MAX >> 2), ME, &txns).visible);
     }
 
@@ -603,7 +603,7 @@ mod tests {
     fn table1_begin_preparing_boundary() {
         let txns = TxnTable::new();
         register(&txns, 9, 50, TxnState::Preparing, Some(60));
-        let v = Version::new(TxnId(9), rowbuf::keyed_row(1, 16, 0), vec![1]);
+        let v = Version::new(TxnId(9), rowbuf::keyed_row(1, 16, 0), &[1]);
         let vis = check_visibility(&v, Timestamp(60), ME, &txns);
         assert!(vis.visible, "TS == RT: speculatively visible");
         assert_eq!(vis.dependency, Some(TxnId(9)));
@@ -615,7 +615,7 @@ mod tests {
     fn table1_begin_committed_boundary() {
         let txns = TxnTable::new();
         register(&txns, 9, 50, TxnState::Committed, Some(60));
-        let v = Version::new(TxnId(9), rowbuf::keyed_row(1, 16, 0), vec![1]);
+        let v = Version::new(TxnId(9), rowbuf::keyed_row(1, 16, 0), &[1]);
         let at_ts = check_visibility(&v, Timestamp(60), ME, &txns);
         assert!(at_ts.visible, "TS == RT is visible");
         assert_eq!(at_ts.dependency, None);
@@ -629,7 +629,7 @@ mod tests {
     fn table1_begin_aborted() {
         let txns = TxnTable::new();
         register(&txns, 9, 50, TxnState::Aborted, Some(60));
-        let v = Version::new(TxnId(9), rowbuf::keyed_row(1, 16, 0), vec![1]);
+        let v = Version::new(TxnId(9), rowbuf::keyed_row(1, 16, 0), &[1]);
         assert!(!check_visibility(&v, Timestamp(1_000), ME, &txns).visible);
     }
 
@@ -640,7 +640,7 @@ mod tests {
     #[test]
     fn table1_begin_terminated_rereads_then_fails_closed() {
         let txns = TxnTable::new();
-        let v = Version::new(TxnId(424_242), rowbuf::keyed_row(1, 16, 0), vec![1]);
+        let v = Version::new(TxnId(424_242), rowbuf::keyed_row(1, 16, 0), &[1]);
         assert!(!check_visibility(&v, Timestamp(1_000), ME, &txns).visible);
     }
 
@@ -814,7 +814,7 @@ mod tests {
         h.set_end_ts(Timestamp(60));
         txns.register(h); // state stays Active
                           // Table 1: its new version is speculatively visible past ts 60 ...
-        let v = Version::new(TxnId(9), rowbuf::keyed_row(1, 16, 0), vec![1]);
+        let v = Version::new(TxnId(9), rowbuf::keyed_row(1, 16, 0), &[1]);
         let vis = check_visibility(&v, Timestamp(70), ME, &txns);
         assert!(vis.visible);
         assert_eq!(vis.dependency, Some(TxnId(9)));

@@ -20,16 +20,15 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::RwLock;
-
 use mmdb_common::clock::GlobalClock;
 use mmdb_common::engine::{Engine, EngineTxn};
 use mmdb_common::error::{MmdbError, Result};
 use mmdb_common::ids::{IndexId, Key, TableId, Timestamp, TxnId};
 use mmdb_common::isolation::IsolationLevel;
-use mmdb_common::row::{Row, TableSpec};
+use mmdb_common::row::{KeyScratch, Row, TableSpec};
 use mmdb_common::stats::EngineStats;
 
+use mmdb_storage::catalog::Catalog;
 use mmdb_storage::log::{LogOp, LogRecord, NullLogger, RedoLogger};
 
 use crate::lock::{LockGrant, LockMode};
@@ -60,7 +59,10 @@ impl SvConfig {
 }
 
 struct SvInner {
-    tables: RwLock<Vec<Arc<SvTable>>>,
+    /// Epoch-published append-only table registry — same lock-free
+    /// publication as the multiversion store's catalog: per-operation
+    /// lookups load the published slice without any `RwLock`.
+    tables: Catalog<SvTable>,
     clock: GlobalClock,
     logger: Arc<dyn RedoLogger>,
     stats: EngineStats,
@@ -84,7 +86,7 @@ impl SvEngine {
     pub fn with_logger(config: SvConfig, logger: Arc<dyn RedoLogger>) -> SvEngine {
         SvEngine {
             inner: Arc::new(SvInner {
-                tables: RwLock::new(Vec::new()),
+                tables: Catalog::new(),
                 clock: GlobalClock::new(),
                 logger,
                 stats: EngineStats::new(),
@@ -102,9 +104,7 @@ impl SvEngine {
     fn table(&self, id: TableId) -> Result<Arc<SvTable>> {
         self.inner
             .tables
-            .read()
             .get(id.0 as usize)
-            .cloned()
             .ok_or(MmdbError::TableNotFound(id))
     }
 
@@ -191,10 +191,11 @@ impl Engine for SvEngine {
     type Txn = SvTransaction;
 
     fn create_table(&self, spec: TableSpec) -> Result<TableId> {
-        let mut tables = self.inner.tables.write();
-        let id = TableId(tables.len() as u32);
-        tables.push(Arc::new(SvTable::new(id, spec)?));
-        Ok(id)
+        let idx = self
+            .inner
+            .tables
+            .push_with(|idx| SvTable::new(TableId(idx as u32), spec))?;
+        Ok(TableId(idx as u32))
     }
 
     fn begin(&self, isolation: IsolationLevel) -> SvTransaction {
@@ -205,6 +206,7 @@ impl Engine for SvEngine {
             held_locks: Vec::new(),
             undo: Vec::new(),
             log_ops: Vec::new(),
+            keys: KeyScratch::new(),
             finished: false,
             must_abort: false,
         }
@@ -222,7 +224,7 @@ impl Engine for SvEngine {
 impl std::fmt::Debug for SvEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SvEngine")
-            .field("tables", &self.inner.tables.read().len())
+            .field("tables", &self.inner.tables.len())
             .finish()
     }
 }
@@ -247,17 +249,21 @@ pub struct SvTransaction {
     held_locks: Vec<(TableId, IndexId, usize)>,
     undo: Vec<UndoOp>,
     log_ops: Vec<LogOp>,
+    /// Reusable per-index key extraction buffer (cleared, never freed).
+    keys: KeyScratch,
     finished: bool,
     must_abort: bool,
 }
 
 impl SvTransaction {
+    /// Resolve a table: a lock-free load of the published catalog slice (no
+    /// `RwLock` on the per-operation lookup path; the `Arc` clone remains —
+    /// unlike the MV engines, 1V does not thread epoch guards through its
+    /// operations, which is part of the documented 1V contrast).
     fn table(&self, id: TableId) -> Result<Arc<SvTable>> {
         self.inner
             .tables
-            .read()
             .get(id.0 as usize)
-            .cloned()
             .ok_or(MmdbError::TableNotFound(id))
     }
 
@@ -313,19 +319,25 @@ impl SvTransaction {
     /// Acquire exclusive locks on every index bucket `row` maps to (writers
     /// must block readers on every access path to prevent dirty reads).
     fn lock_row_exclusive(&mut self, table: &SvTable, row: &[u8]) -> Result<()> {
-        let keys = table.keys_of(row)?;
-        // Canonical order reduces (but cannot eliminate) deadlocks; timeouts
-        // break the rest.
-        let mut targets: Vec<(IndexId, usize)> = Vec::with_capacity(keys.len());
-        for (slot, key) in keys.iter().enumerate() {
-            let index = IndexId(slot as u32);
-            targets.push((index, table.bucket_of_key(index, *key)?));
-        }
-        targets.sort_unstable_by_key(|&(i, b)| (i.0, b));
-        for (index, bucket) in targets {
-            self.lock(table, index, bucket, LockMode::Exclusive)?;
-        }
-        Ok(())
+        let mut keys = std::mem::take(&mut self.keys);
+        let result = (|| {
+            table.keys_into(row, &mut keys)?;
+            // Canonical order reduces (but cannot eliminate) deadlocks;
+            // timeouts break the rest.
+            let mut targets: Vec<(IndexId, usize)> = Vec::with_capacity(keys.keys().len());
+            for (slot, key) in keys.keys().iter().enumerate() {
+                let index = IndexId(slot as u32);
+                targets.push((index, table.bucket_of_key(index, *key)?));
+            }
+            targets.sort_unstable_by_key(|&(i, b)| (i.0, b));
+            for (index, bucket) in targets {
+                self.lock(table, index, bucket, LockMode::Exclusive)?;
+            }
+            Ok(())
+        })();
+        keys.clear();
+        self.keys = keys;
+        result
     }
 
     fn release_all_locks(&mut self) {
@@ -429,28 +441,34 @@ impl EngineTxn for SvTransaction {
         self.ensure_open()?;
         let table = self.table(table_id)?;
         self.lock_row_exclusive(&table, &row)?;
-        let keys = table.keys_of(&row)?;
-        // Uniqueness under the exclusive locks.
-        for (slot, key) in keys.iter().enumerate() {
-            let index = IndexId(slot as u32);
-            if table.is_unique(index)? && !table.lookup(index, *key)?.is_empty() {
-                return Err(MmdbError::DuplicateKey {
-                    table: table_id,
-                    index,
-                });
+        let mut keys = std::mem::take(&mut self.keys);
+        let result = (|| {
+            table.keys_into(&row, &mut keys)?;
+            // Uniqueness under the exclusive locks.
+            for (slot, key) in keys.keys().iter().enumerate() {
+                let index = IndexId(slot as u32);
+                if table.is_unique(index)? && !table.lookup(index, *key)?.is_empty() {
+                    return Err(MmdbError::DuplicateKey {
+                        table: table_id,
+                        index,
+                    });
+                }
             }
-        }
-        table.insert_row(row.clone())?;
-        EngineStats::bump(&self.inner.stats.versions_created);
-        self.undo.push(UndoOp::Insert {
-            table: table_id,
-            pk: keys[0],
-        });
-        self.log_ops.push(LogOp::Write {
-            table: table_id,
-            row,
-        });
-        Ok(())
+            table.insert_row(row.clone())?;
+            EngineStats::bump(&self.inner.stats.versions_created);
+            self.undo.push(UndoOp::Insert {
+                table: table_id,
+                pk: keys.keys()[0],
+            });
+            self.log_ops.push(LogOp::Write {
+                table: table_id,
+                row,
+            });
+            Ok(())
+        })();
+        keys.clear();
+        self.keys = keys;
+        result
     }
 
     fn read(&mut self, table: TableId, index: IndexId, key: Key) -> Result<Option<Row>> {

@@ -11,7 +11,7 @@ use parking_lot::RwLock;
 use mmdb_common::error::{MmdbError, Result};
 use mmdb_common::hash::bucket_of;
 use mmdb_common::ids::{IndexId, Key, TableId};
-use mmdb_common::row::{Row, TableSpec};
+use mmdb_common::row::{KeyScratch, Row, TableSpec};
 
 use crate::lock::LockTable;
 
@@ -98,13 +98,21 @@ impl SvTable {
             .key_of(row)
     }
 
-    /// Keys of `row` under every index.
+    /// Keys of `row` under every index, extracted into `scratch` (index
+    /// order, allocation-free after warmup).
+    #[inline]
+    pub fn keys_into(&self, row: &[u8], scratch: &mut KeyScratch) -> Result<()> {
+        self.spec.keys_into(row, scratch)
+    }
+
+    /// Keys of `row` under every index. Thin compat wrapper over
+    /// [`SvTable::keys_into`] (allocates a fresh `Vec` per call — the
+    /// single-version engine's physical row operations still use it, part of
+    /// the documented 1V allocation contrast).
     pub fn keys_of(&self, row: &[u8]) -> Result<Vec<Key>> {
-        self.spec
-            .indexes
-            .iter()
-            .map(|idx| idx.key.key_of(row))
-            .collect()
+        let mut scratch = KeyScratch::new();
+        self.keys_into(row, &mut scratch)?;
+        Ok(scratch.into_vec())
     }
 
     /// Whether `index` was declared unique.

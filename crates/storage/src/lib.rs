@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod catalog;
 pub mod gc;
 pub mod log;
 pub mod store;

@@ -94,32 +94,84 @@ impl LogRecord {
     }
 }
 
-/// Serialize one record into its framed wire representation.
-pub fn encode_record(record: &LogRecord) -> Vec<u8> {
-    let mut body = Vec::with_capacity(record.byte_size() as usize + 16);
-    body.extend_from_slice(&record.end_ts.raw().to_le_bytes());
-    body.extend_from_slice(&(record.ops.len() as u32).to_le_bytes());
-    for op in &record.ops {
+/// Borrowed view of one redo op — the allocation-free input of
+/// [`encode_frame_into`]. The committing transaction derives these straight
+/// from its write set; nothing is materialized.
+#[derive(Debug, Clone, Copy)]
+pub enum LogOpRef<'a> {
+    /// A new version (insert or the "after" image of an update).
+    Write {
+        /// Table written.
+        table: TableId,
+        /// Full payload of the new version (borrowed from the version).
+        row: &'a [u8],
+    },
+    /// A delete, logged by primary key.
+    Delete {
+        /// Table written.
+        table: TableId,
+        /// Primary-index key of the deleted row.
+        key: u64,
+    },
+}
+
+/// Serialize one record into `buf` as a framed wire record (appended; the
+/// caller clears and reuses the buffer — after warmup this allocates
+/// nothing). Byte-identical to [`encode_record`] for the same ops, which is
+/// what keeps `FileLogger` streams written through either path comparable.
+pub fn encode_frame_into<'a>(
+    buf: &mut Vec<u8>,
+    end_ts: Timestamp,
+    ops: impl Iterator<Item = LogOpRef<'a>>,
+) {
+    let frame_start = buf.len();
+    // Length prefix + self-check are patched once the body size is known.
+    buf.extend_from_slice(&[0u8; 8]);
+    let body_start = buf.len();
+    buf.extend_from_slice(&end_ts.raw().to_le_bytes());
+    // Op count is patched after the ops are written.
+    let count_at = buf.len();
+    buf.extend_from_slice(&[0u8; 4]);
+    let mut op_count: u32 = 0;
+    for op in ops {
+        op_count += 1;
         match op {
-            LogOp::Write { table, row } => {
-                body.push(0u8);
-                body.extend_from_slice(&table.0.to_le_bytes());
-                body.extend_from_slice(&(row.len() as u32).to_le_bytes());
-                body.extend_from_slice(row);
+            LogOpRef::Write { table, row } => {
+                buf.push(0u8);
+                buf.extend_from_slice(&table.0.to_le_bytes());
+                buf.extend_from_slice(&(row.len() as u32).to_le_bytes());
+                buf.extend_from_slice(row);
             }
-            LogOp::Delete { table, key } => {
-                body.push(1u8);
-                body.extend_from_slice(&table.0.to_le_bytes());
-                body.extend_from_slice(&key.to_le_bytes());
+            LogOpRef::Delete { table, key } => {
+                buf.push(1u8);
+                buf.extend_from_slice(&table.0.to_le_bytes());
+                buf.extend_from_slice(&key.to_le_bytes());
             }
         }
     }
-    let mut frame = Vec::with_capacity(body.len() + 16);
-    let len = body.len() as u32;
-    frame.extend_from_slice(&len.to_le_bytes());
-    frame.extend_from_slice(&(len ^ LEN_CHECK_XOR).to_le_bytes());
-    frame.extend_from_slice(&body);
-    frame.extend_from_slice(&hash_bytes(&body).to_le_bytes());
+    buf[count_at..count_at + 4].copy_from_slice(&op_count.to_le_bytes());
+    let body_len = (buf.len() - body_start) as u32;
+    buf[frame_start..frame_start + 4].copy_from_slice(&body_len.to_le_bytes());
+    buf[frame_start + 4..frame_start + 8]
+        .copy_from_slice(&(body_len ^ LEN_CHECK_XOR).to_le_bytes());
+    let checksum = hash_bytes(&buf[body_start..]);
+    buf.extend_from_slice(&checksum.to_le_bytes());
+}
+
+/// Serialize one record into its framed wire representation.
+pub fn encode_record(record: &LogRecord) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(record.byte_size() as usize + 32);
+    encode_frame_into(
+        &mut frame,
+        record.end_ts,
+        record.ops.iter().map(|op| match op {
+            LogOp::Write { table, row } => LogOpRef::Write { table: *table, row },
+            LogOp::Delete { table, key } => LogOpRef::Delete {
+                table: *table,
+                key: *key,
+            },
+        }),
+    );
     frame
 }
 
@@ -312,6 +364,22 @@ pub trait RedoLogger: Send + Sync + 'static {
     /// Append one commit record.
     fn append(&self, record: LogRecord);
 
+    /// Append one pre-encoded record frame (the exact bytes
+    /// [`encode_frame_into`] produces). This is the hot commit path: the
+    /// transaction encodes into a reusable buffer and hands the borrow over,
+    /// so byte-sink loggers ([`FileLogger`], [`NullLogger`]) append without
+    /// any allocation. Implementations must not retain the borrow.
+    ///
+    /// The default decodes the frame and delegates to
+    /// [`RedoLogger::append`], so record-keeping loggers (and any external
+    /// implementation) keep working unchanged.
+    fn append_frame(&self, frame: &[u8]) {
+        let mut reader = LogReader::new(frame);
+        while let Ok(Some(record)) = reader.next_record() {
+            self.append(record);
+        }
+    }
+
     /// Force buffered records towards durable storage (group commit tick).
     ///
     /// Returns the first I/O error encountered by any append or flush since
@@ -340,6 +408,10 @@ impl NullLogger {
 
 impl RedoLogger for NullLogger {
     fn append(&self, _record: LogRecord) {
+        self.count
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+    fn append_frame(&self, _frame: &[u8]) {
         self.count
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     }
@@ -430,9 +502,12 @@ impl FileLogger {
 
 impl RedoLogger for FileLogger {
     fn append(&self, record: LogRecord) {
-        let frame = encode_record(&record);
+        self.append_frame(&encode_record(&record));
+    }
+
+    fn append_frame(&self, frame: &[u8]) {
         let mut w = self.writer.lock();
-        if let Err(e) = w.write_all(&frame) {
+        if let Err(e) = w.write_all(frame) {
             self.record_error(e);
         }
         self.count
@@ -636,6 +711,56 @@ mod tests {
             ),
             "unexpected outcome for a corrupted length prefix: {err:?}"
         );
+    }
+
+    #[test]
+    fn encode_frame_into_matches_encode_record_and_reuses_capacity() {
+        let records = vec![record(7, 3), mixed_record(9), record(11, 0)];
+        let mut buf = Vec::new();
+        for r in &records {
+            buf.clear();
+            encode_frame_into(
+                &mut buf,
+                r.end_ts,
+                r.ops.iter().map(|op| match op {
+                    LogOp::Write { table, row } => LogOpRef::Write { table: *table, row },
+                    LogOp::Delete { table, key } => LogOpRef::Delete {
+                        table: *table,
+                        key: *key,
+                    },
+                }),
+            );
+            assert_eq!(buf, encode_record(r), "byte-exact parity for {r:?}");
+        }
+    }
+
+    #[test]
+    fn append_frame_default_decodes_into_append() {
+        let log = MemoryLogger::new();
+        let rec = mixed_record(42);
+        log.append_frame(&encode_record(&rec));
+        assert_eq!(log.records(), vec![rec]);
+        assert_eq!(log.records_written(), 1);
+    }
+
+    #[test]
+    fn null_and_file_loggers_count_frames() {
+        let null = NullLogger::new();
+        null.append_frame(&encode_record(&record(1, 1)));
+        assert_eq!(null.records_written(), 1);
+
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("mmdb-log-frame-test-{}.bin", std::process::id()));
+        let rec = mixed_record(8);
+        {
+            let log = FileLogger::create(&path).unwrap();
+            log.append_frame(&encode_record(&rec));
+            log.flush().unwrap();
+            assert_eq!(log.records_written(), 1);
+        }
+        let outcome = read_log_file(&path).unwrap();
+        assert_eq!(outcome.records, vec![rec]);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -10,7 +10,7 @@ use parking_lot::Mutex;
 
 use mmdb_common::error::{MmdbError, Result};
 use mmdb_common::ids::{IndexId, Key, TableId};
-use mmdb_common::row::{Row, TableSpec};
+use mmdb_common::row::{KeyScratch, Row, TableSpec};
 
 use mmdb_index::{BucketLockTable, HashIndex};
 
@@ -58,6 +58,13 @@ impl VersionPtr {
     }
 }
 
+/// Upper bound on recycled versions kept per table. Reclaimed versions
+/// beyond this are freed normally, so the pool cannot pin more than a
+/// bounded amount of memory per table while still covering steady-state
+/// write rates (the pool only needs to absorb the versions in flight between
+/// GC passes).
+const VERSION_POOL_CAP: usize = 8_192;
+
 /// A table: spec + one latch-free hash index and one bucket-lock table per
 /// declared index.
 pub struct Table {
@@ -68,7 +75,25 @@ pub struct Table {
     /// Serializes garbage-collection unlinks on this table (see the
     /// concurrency contract of [`HashIndex::unlink`]).
     gc_lock: Mutex<()>,
+    /// Recycled version allocations (see [`Table::recycle_version`]): the
+    /// garbage collector feeds reclaimed versions back here through the
+    /// epoch machinery, and [`Table::make_version_with`] reuses them so a
+    /// warmed write path allocates no version headers. The critical section
+    /// is a push/pop on a capacity-retaining `Vec`; entries are exclusively
+    /// owned spares (unlinked, epoch-drained, payload dropped — nobody else
+    /// can reach them).
+    pool: Mutex<Vec<PooledVersion>>,
 }
+
+/// An exclusively owned spare version allocation held by a table's recycle
+/// pool. Wrapping the raw pointer here (instead of `unsafe impl Send/Sync`
+/// on `Table` itself) keeps the table on auto-derived thread-safety for all
+/// its other fields.
+struct PooledVersion(*mut Version);
+
+// SAFETY: a pooled version is an exclusively owned spare allocation (see
+// the pool field docs); `Version` itself is `Send + Sync`.
+unsafe impl Send for PooledVersion {}
 
 impl Table {
     /// Create a table from its spec.
@@ -93,6 +118,7 @@ impl Table {
             indexes,
             bucket_locks,
             gc_lock: Mutex::new(()),
+            pool: Mutex::new(Vec::new()),
         })
     }
 
@@ -128,13 +154,22 @@ impl Table {
             .ok_or(MmdbError::IndexNotFound(self.id, index))
     }
 
-    /// Extract the key of `row` under every index of this table (index order).
+    /// Extract the key of `row` under every index of this table into
+    /// `scratch` (index order). Allocation-free after warmup — this is the
+    /// write path's extractor; every engine caller goes through it.
+    #[inline]
+    pub fn keys_into(&self, row: &[u8], scratch: &mut KeyScratch) -> Result<()> {
+        self.spec.keys_into(row, scratch)
+    }
+
+    /// Extract the key of `row` under every index of this table (index
+    /// order). Thin test/compat wrapper over [`Table::keys_into`] — it
+    /// allocates a fresh `Vec` per call, which is exactly what the hot write
+    /// path avoids.
     pub fn keys_of(&self, row: &[u8]) -> Result<Vec<Key>> {
-        self.spec
-            .indexes
-            .iter()
-            .map(|idx| idx.key.key_of(row))
-            .collect()
+        let mut scratch = KeyScratch::new();
+        self.keys_into(row, &mut scratch)?;
+        Ok(scratch.into_vec())
     }
 
     /// Extract the key of `row` under one index.
@@ -162,14 +197,44 @@ impl Table {
         Ok(self.index(index)?.bucket_of_key(key))
     }
 
-    /// Allocate a version for `row` (keys extracted per the spec).
+    /// Obtain a version for `row` whose index keys the caller has already
+    /// extracted (via [`Table::keys_into`] — extraction happens once per
+    /// write, not once per consumer). Reuses a recycled version allocation
+    /// when the pool has one, so a warmed write path allocates nothing here.
+    pub fn make_version_with(
+        &self,
+        creator: mmdb_common::ids::TxnId,
+        row: Row,
+        keys: &[Key],
+    ) -> Result<Owned<Version>> {
+        if keys.len() != self.indexes.len() {
+            return Err(MmdbError::Internal("key count does not match the spec"));
+        }
+        // Pop in its own scope so the pool guard does not extend across the
+        // reset (if-let scrutinee temporaries live for the whole body).
+        let recycled = self.pool.lock().pop();
+        if let Some(spare) = recycled {
+            // SAFETY: pool entries are exclusively owned spare allocations
+            // of this table (same index count), originally created by
+            // `Owned::new`.
+            let mut recycled = unsafe { Owned::from_raw(spare.0) };
+            recycled.reset(creator, row, keys);
+            Ok(recycled)
+        } else {
+            Ok(Owned::new(Version::new(creator, row, keys)))
+        }
+    }
+
+    /// Allocate a version for `row` (keys extracted per the spec). Compat
+    /// wrapper over [`Table::make_version_with`] for callers without a key
+    /// scratch.
     pub fn make_version(
         &self,
         creator: mmdb_common::ids::TxnId,
         row: Row,
     ) -> Result<Owned<Version>> {
         let keys = self.keys_of(&row)?;
-        Ok(Owned::new(Version::new(creator, row, keys)))
+        self.make_version_with(creator, row, &keys)
     }
 
     /// Allocate an already-committed version for `row` (bulk loading).
@@ -179,7 +244,35 @@ impl Table {
         row: Row,
     ) -> Result<Owned<Version>> {
         let keys = self.keys_of(&row)?;
-        Ok(Owned::new(Version::new_committed(begin, row, keys)))
+        Ok(Owned::new(Version::new_committed(begin, row, &keys)))
+    }
+
+    /// Return a reclaimed version allocation to the pool (or free it when
+    /// the pool is full).
+    ///
+    /// # Safety
+    /// `raw` must be an exclusively owned version of **this** table: unlinked
+    /// from every index and past its epoch grace period (the garbage
+    /// collector defers this call through the epoch machinery), and never
+    /// recycled twice.
+    pub unsafe fn recycle_version(&self, raw: *mut Version) {
+        // SAFETY: exclusive ownership per the caller contract. Drop the
+        // payload now — a pooled spare must not pin its last row's bytes
+        // until reuse (only the header boxes are worth keeping).
+        unsafe { (*raw).clear_payload() };
+        let mut pool = self.pool.lock();
+        if pool.len() < VERSION_POOL_CAP {
+            pool.push(PooledVersion(raw));
+        } else {
+            drop(pool);
+            // SAFETY: exclusive ownership per the caller contract.
+            drop(unsafe { Box::from_raw(raw) });
+        }
+    }
+
+    /// Number of recycled version allocations currently pooled (diagnostic).
+    pub fn pooled_versions(&self) -> usize {
+        self.pool.lock().len()
     }
 
     /// Link a version into every index of the table and return a stable
@@ -274,6 +367,12 @@ impl Drop for Table {
         for shared in drained {
             unsafe {
                 drop(shared.into_owned());
+            }
+        }
+        // Pooled versions are unlinked spares owned by the table.
+        for spare in self.pool.get_mut().drain(..) {
+            unsafe {
+                drop(Box::from_raw(spare.0));
             }
         }
     }

@@ -18,7 +18,9 @@
 //! it waits for its outstanding dependencies to resolve — the only place the
 //! paper allows a transaction to wait (never during normal processing).
 
-use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{
+    AtomicBool, AtomicI64, AtomicPtr, AtomicU64, AtomicU8, AtomicUsize, Ordering,
+};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -451,6 +453,39 @@ impl TxnHandle {
         self.wait_cv.notify_all();
     }
 
+    /// Re-initialize a recycled handle for a fresh transaction. Requires
+    /// exclusive access (`Arc::get_mut` — the engine's handle pool only
+    /// recycles handles whose strong count is back to one, which the
+    /// epoch-deferred release of the transaction-table slot reference
+    /// guarantees cannot happen while any lock-free lookup still borrows the
+    /// handle). Waiter lists keep their capacity: a recycled handle's
+    /// steady-state registration allocates nothing.
+    pub fn reset_for(
+        &mut self,
+        id: TxnId,
+        begin_ts: Timestamp,
+        mode: ConcurrencyMode,
+        isolation: IsolationLevel,
+    ) {
+        self.id = id;
+        self.begin_ts = begin_ts;
+        self.mode = mode;
+        self.isolation = isolation;
+        *self.state.get_mut() = TxnState::Active as u8;
+        *self.end_ts.get_mut() = 0;
+        *self.commit_dep_counter.get_mut() = 0;
+        *self.abort_now.get_mut() = false;
+        let deps = self.commit_dep_set.get_mut();
+        deps.resolved = None;
+        deps.waiters.clear();
+        *self.wait_for_counter.get_mut() = 0;
+        *self.no_more_wait_fors.get_mut() = false;
+        let waiting = self.waiting_txn_list.get_mut();
+        waiting.released = false;
+        waiting.waiters.clear();
+        self.read_lock_versions.get_mut().clear();
+    }
+
     /// Sleep until `done()` returns true or `timeout` elapses. Returns the
     /// final value of `done()`.
     ///
@@ -490,21 +525,24 @@ const SLOT_EMPTY: u64 = 0;
 /// past it; inserts reuse it).
 const SLOT_TOMBSTONE: u64 = u64::MAX;
 
-/// One slot of a shard's open-addressed array. `id` is written last on
-/// insert (Release) so a reader that observes a matching id also observes the
-/// handle pointer; the pointed-to node carries the id again so a reader that
-/// races a remove+reuse of the slot detects the new tenant.
+/// One slot of a shard's open-addressed array. The handle pointer is a raw
+/// strong reference produced by `Arc::into_raw` — registering a transaction
+/// bumps a reference count instead of allocating a heap node, which is what
+/// keeps a warmed `begin` allocation-free. `id` is written last on insert
+/// (Release) so a reader that observes a matching id also observes the
+/// handle pointer; the pointed-to handle carries the id again so a reader
+/// that races a remove+reuse of the slot detects the new tenant.
 struct Slot {
     id: AtomicU64,
-    handle: Atomic<Arc<TxnHandle>>,
+    handle: AtomicPtr<TxnHandle>,
 }
 
 /// A shard's slot array. The whole array is one epoch-managed allocation:
 /// writers rebuild and swap it when it fills up with live entries or
 /// tombstones, readers traverse whichever array they loaded under their
-/// guard. Entries (heap nodes holding the `Arc<TxnHandle>`) are shared
-/// between the old and new array across a rebuild; only removal defers a
-/// node's destruction.
+/// guard. The strong references in the slots are *moved* into the rebuilt
+/// array (raw pointers copied, no reference-count traffic); only removal
+/// defers the release of a slot's reference.
 struct SlotArray {
     slots: Box<[Slot]>,
 }
@@ -516,7 +554,7 @@ impl SlotArray {
             slots: (0..capacity)
                 .map(|_| Slot {
                     id: AtomicU64::new(SLOT_EMPTY),
-                    handle: Atomic::null(),
+                    handle: AtomicPtr::new(std::ptr::null_mut()),
                 })
                 .collect::<Vec<_>>()
                 .into_boxed_slice(),
@@ -531,16 +569,16 @@ impl SlotArray {
     /// Writer-side insert of a fresh id (exclusive access to mutation — the
     /// shard write lock is held; readers may be probing concurrently).
     /// Returns whether a tombstone was consumed.
-    fn insert(&self, id: u64, node: crossbeam::epoch::Shared<'_, Arc<TxnHandle>>) -> bool {
+    fn insert(&self, id: u64, handle: *mut TxnHandle) -> bool {
         let mask = self.mask();
         let mut idx = mix64(id) as usize & mask;
         loop {
             let slot = &self.slots[idx];
             let sid = slot.id.load(Ordering::Relaxed);
             if sid == SLOT_EMPTY || sid == SLOT_TOMBSTONE {
-                // Publish the node before the id: a reader that sees the id
-                // (Acquire) then reads a fully initialized pointer.
-                slot.handle.store(node, Ordering::Release);
+                // Publish the handle before the id: a reader that sees the
+                // id (Acquire) then reads a fully initialized pointer.
+                slot.handle.store(handle, Ordering::Release);
                 slot.id.store(id, Ordering::Release);
                 return sid == SLOT_TOMBSTONE;
             }
@@ -549,6 +587,13 @@ impl SlotArray {
         }
     }
 }
+
+/// `Send` wrapper for the raw strong reference released by a deferred
+/// [`TxnTable::remove`].
+struct HandleRef(*const TxnHandle);
+// SAFETY: the wrapped pointer is a strong `Arc` reference; releasing it from
+// any thread is what `Arc` is for.
+unsafe impl Send for HandleRef {}
 
 /// One shard: a write lock serializing register/remove/rebuild, plus the
 /// epoch-protected slot array that `get` traverses without any lock.
@@ -640,7 +685,11 @@ impl TxnTable {
         &self.shards[(id.0 as usize) % TXN_SHARDS]
     }
 
-    /// Register a handle.
+    /// Register a handle. Steady state performs **no heap allocation**: the
+    /// slot stores a raw strong reference (`Arc::into_raw` — a refcount
+    /// bump), and removals convert their slot back to `EMPTY` whenever the
+    /// probe chain allows it, so begin/commit churn does not accumulate
+    /// tombstones toward a rebuild.
     pub fn register(&self, handle: Arc<TxnHandle>) {
         let id = handle.id().0;
         debug_assert!(
@@ -657,8 +706,7 @@ impl TxnTable {
         if (writer.live + writer.tombstones + 1) * 2 > array.slots.len() {
             array = Self::rebuild(shard, &mut writer, array, &guard);
         }
-        let node = Owned::new(handle).into_shared(&guard);
-        if array.insert(id, node) {
+        if array.insert(id, Arc::into_raw(handle) as *mut TxnHandle) {
             writer.tombstones -= 1;
         }
         writer.live += 1;
@@ -674,10 +722,6 @@ impl TxnTable {
     /// so callers re-read the version field.
     #[inline]
     pub fn get_in<'g>(&self, id: TxnId, guard: &'g Guard) -> Option<&'g TxnHandle> {
-        self.get_arc_in(id, guard).map(|arc| &**arc)
-    }
-
-    fn get_arc_in<'g>(&self, id: TxnId, guard: &'g Guard) -> Option<&'g Arc<TxnHandle>> {
         let shard = self.shard(id);
         let array = unsafe { shard.slots.load(Ordering::Acquire, guard).deref() };
         let mask = array.mask();
@@ -687,14 +731,17 @@ impl TxnTable {
             match slot.id.load(Ordering::Acquire) {
                 SLOT_EMPTY => return None,
                 sid if sid == id.0 => {
-                    let node = slot.handle.load(Ordering::Acquire, guard);
-                    match unsafe { node.as_ref() } {
+                    let ptr = slot.handle.load(Ordering::Acquire);
+                    // SAFETY: the slot's strong reference is released through
+                    // the epoch machinery, so a pointer loaded under our
+                    // guard stays valid until we unpin.
+                    match unsafe { ptr.as_ref() } {
                         // Verify the tenant: between our id load and the
                         // handle load the writer may have tombstoned the slot
                         // and reused it for a different transaction. Ids are
                         // never re-registered, so a mismatch means our target
                         // was removed.
-                        Some(arc) if arc.id() == id => return Some(arc),
+                        Some(handle) if handle.id() == id => return Some(handle),
                         _ => return None,
                     }
                 }
@@ -709,10 +756,23 @@ impl TxnTable {
     /// Use [`TxnTable::get_in`] on hot paths that only inspect the handle.
     pub fn get(&self, id: TxnId) -> Option<Arc<TxnHandle>> {
         let guard = epoch::pin();
-        self.get_arc_in(id, &guard).cloned()
+        let borrowed = self.get_in(id, &guard)?;
+        let raw = borrowed as *const TxnHandle;
+        // SAFETY: `raw` is a strong reference held by the slot, which cannot
+        // be released while we are pinned; incrementing the count and
+        // reconstructing from it yields an independent clone.
+        unsafe {
+            Arc::increment_strong_count(raw);
+            Some(Arc::from_raw(raw))
+        }
     }
 
-    /// Remove a terminated transaction.
+    /// Remove a terminated transaction. The slot's strong reference is
+    /// released through the epoch machinery so lock-free lookups that
+    /// already loaded the pointer stay sound; when the next slot in the
+    /// probe chain is empty the slot reverts to `EMPTY` instead of a
+    /// tombstone (no probe chain can pass through it), so steady-state
+    /// begin/commit churn never accumulates occupancy toward a rebuild.
     pub fn remove(&self, id: TxnId) {
         let shard = self.shard(id);
         let mut writer = shard.writer.lock();
@@ -725,17 +785,40 @@ impl TxnTable {
             match slot.id.load(Ordering::Relaxed) {
                 SLOT_EMPTY => return,
                 sid if sid == id.0 => {
-                    // Tombstone the id first; the node pointer stays readable
+                    // Mark the slot first; the handle pointer stays readable
                     // for lookups that loaded the old id a moment ago (they
-                    // linearize before this remove). The node itself is freed
-                    // once every pinned reader drains.
-                    slot.id.store(SLOT_TOMBSTONE, Ordering::Release);
-                    let node = slot.handle.load(Ordering::Relaxed, &guard);
-                    if !node.is_null() {
-                        unsafe { guard.defer_destroy(node) };
+                    // linearize before this remove). A probe for any id that
+                    // passes through this slot terminates at the next slot
+                    // anyway when that one is EMPTY, so converting to EMPTY
+                    // is indistinguishable to readers — and keeps the shard's
+                    // occupancy flat under begin/commit churn.
+                    let next_empty =
+                        array.slots[(idx + 1) & mask].id.load(Ordering::Relaxed) == SLOT_EMPTY;
+                    if next_empty {
+                        slot.id.store(SLOT_EMPTY, Ordering::Release);
+                    } else {
+                        slot.id.store(SLOT_TOMBSTONE, Ordering::Release);
+                        writer.tombstones += 1;
                     }
                     writer.live -= 1;
-                    writer.tombstones += 1;
+                    let ptr = slot.handle.load(Ordering::Relaxed);
+                    if !ptr.is_null() {
+                        let release = HandleRef(ptr);
+                        // SAFETY: releases the slot's strong reference once
+                        // every currently pinned reader (which may still
+                        // borrow the handle through `get_in`) has drained.
+                        // The closure is two words — deferred inline, no
+                        // allocation.
+                        unsafe {
+                            guard.defer_unchecked(move || {
+                                // Capture the whole wrapper (edition-2021
+                                // disjoint capture would otherwise grab the
+                                // raw, non-`Send` field).
+                                let release = release;
+                                drop(Arc::from_raw(release.0));
+                            });
+                        }
+                    }
                     return;
                 }
                 _ => {}
@@ -746,6 +829,9 @@ impl TxnTable {
 
     /// Rebuild a shard's slot array (grow + drop tombstones), publish it, and
     /// defer destruction of the old array. Caller holds the shard write lock.
+    /// The slots' strong references move to the new array (raw pointers
+    /// copied; no reference-count traffic), so destroying the old array frees
+    /// only the array itself.
     fn rebuild<'g>(
         shard: &Shard,
         writer: &mut ShardWriter,
@@ -761,23 +847,22 @@ impl TxnTable {
             if sid == SLOT_EMPTY || sid == SLOT_TOMBSTONE {
                 continue;
             }
-            // The node allocation is shared with the old array; only the
-            // array itself is replaced.
-            fresh.insert(sid, slot.handle.load(Ordering::Relaxed, guard));
+            fresh.insert(sid, slot.handle.load(Ordering::Relaxed));
         }
         writer.tombstones = 0;
         let published = Owned::new(fresh).into_shared(guard);
         let old_shared = shard.slots.load(Ordering::Relaxed, guard);
         shard.slots.store(published, Ordering::Release);
         // SAFETY: the array is unreachable to new readers; pinned readers
-        // keep it alive until they unpin. Nodes inside are not freed here.
+        // keep it alive until they unpin. The strong references moved to the
+        // new array, so freeing the old one releases nothing else.
         unsafe { guard.defer_destroy(old_shared) };
         unsafe { published.deref() }
     }
 
     /// Walk every registered handle under one epoch pin. Not atomic with
     /// respect to concurrent register/remove (see `min_active_begin`).
-    fn for_each_handle(&self, mut f: impl FnMut(&Arc<TxnHandle>)) {
+    fn for_each_handle(&self, mut f: impl FnMut(&TxnHandle)) {
         let guard = epoch::pin();
         for shard in self.shards.iter() {
             let array = unsafe { shard.slots.load(Ordering::Acquire, &guard).deref() };
@@ -786,10 +871,11 @@ impl TxnTable {
                 if sid == SLOT_EMPTY || sid == SLOT_TOMBSTONE {
                     continue;
                 }
-                let node = slot.handle.load(Ordering::Acquire, &guard);
-                if let Some(arc) = unsafe { node.as_ref() } {
-                    if arc.id().0 == sid {
-                        f(arc);
+                let ptr = slot.handle.load(Ordering::Acquire);
+                // SAFETY: as in `get_in`.
+                if let Some(handle) = unsafe { ptr.as_ref() } {
+                    if handle.id().0 == sid {
+                        f(handle);
                     }
                 }
             }
@@ -838,16 +924,24 @@ impl TxnTable {
     /// Snapshot of every registered handle (deadlock detection, diagnostics).
     pub fn snapshot(&self) -> Vec<Arc<TxnHandle>> {
         let mut out = Vec::new();
-        self.for_each_handle(|handle| out.push(Arc::clone(handle)));
+        self.for_each_handle(|handle| {
+            let raw = handle as *const TxnHandle;
+            // SAFETY: as in `get`: the slot's strong reference pins the
+            // handle while we are inside `for_each_handle`'s epoch pin.
+            unsafe {
+                Arc::increment_strong_count(raw);
+                out.push(Arc::from_raw(raw));
+            }
+        });
         out
     }
 }
 
 impl Drop for TxnTable {
     fn drop(&mut self) {
-        // Exclusive access: free the live nodes and every shard's current
-        // array directly. Tombstoned nodes and superseded arrays were already
-        // handed to the epoch collector at remove/rebuild time.
+        // Exclusive access: release the live slots' strong references and
+        // free every shard's current array directly. Removed entries and
+        // superseded arrays were already handed to the epoch collector.
         let guard = epoch::pin();
         for shard in self.shards.iter() {
             let array = shard.slots.load(Ordering::Acquire, &guard);
@@ -857,9 +951,9 @@ impl Drop for TxnTable {
                     if sid == SLOT_EMPTY || sid == SLOT_TOMBSTONE {
                         continue;
                     }
-                    let node = slot.handle.load(Ordering::Relaxed, &guard);
-                    if !node.is_null() {
-                        unsafe { drop(node.into_owned()) };
+                    let ptr = slot.handle.load(Ordering::Relaxed);
+                    if !ptr.is_null() {
+                        unsafe { drop(Arc::from_raw(ptr)) };
                     }
                 }
             }

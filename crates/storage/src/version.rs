@@ -42,13 +42,13 @@ pub struct Version {
 impl Version {
     /// Create a version owned by in-flight transaction `creator`, not yet
     /// linked into any index. The `End` word starts at infinity ("latest").
-    pub fn new(creator: TxnId, data: Row, keys: Vec<Key>) -> Version {
-        let n = keys.len();
+    pub fn new(creator: TxnId, data: Row, keys: &[Key]) -> Version {
         Version {
             begin: AtomicU64::new(BeginWord::Txn(creator).encode()),
             end: AtomicU64::new(EndWord::LATEST.encode()),
-            keys: keys.into_boxed_slice(),
-            nexts: (0..n)
+            keys: keys.to_vec().into_boxed_slice(),
+            nexts: keys
+                .iter()
                 .map(|_| Atomic::null())
                 .collect::<Vec<_>>()
                 .into_boxed_slice(),
@@ -58,17 +58,43 @@ impl Version {
 
     /// Create an already-committed version (used when populating a database
     /// outside any transaction, e.g. workload loading).
-    pub fn new_committed(begin: Timestamp, data: Row, keys: Vec<Key>) -> Version {
+    pub fn new_committed(begin: Timestamp, data: Row, keys: &[Key]) -> Version {
         let v = Version::new(TxnId(0), data, keys);
         v.begin
             .store(BeginWord::Timestamp(begin).encode(), Ordering::Release);
         v
     }
 
+    /// Re-initialize a recycled version in place for a new life owned by
+    /// `creator` — the allocation-free counterpart of [`Version::new`]: the
+    /// header boxes (`keys`, `nexts`) are overwritten, not reallocated.
+    ///
+    /// Callers must have exclusive access (the version came off a table's
+    /// free pool, i.e. it was unlinked from every index and has passed
+    /// through the epoch collector) and `keys.len()` must equal the
+    /// version's index count (guaranteed when recycling within one table).
+    pub fn reset(&mut self, creator: TxnId, data: Row, keys: &[Key]) {
+        debug_assert_eq!(keys.len(), self.keys.len(), "recycled across specs?");
+        *self.begin.get_mut() = BeginWord::Txn(creator).encode();
+        *self.end.get_mut() = EndWord::LATEST.encode();
+        self.keys.copy_from_slice(keys);
+        for next in self.nexts.iter_mut() {
+            *next = Atomic::null();
+        }
+        self.data = data;
+    }
+
     /// Payload bytes.
     #[inline]
     pub fn data(&self) -> &Row {
         &self.data
+    }
+
+    /// Drop the payload (requires exclusive access — used when the version
+    /// enters a recycle pool, so a pooled spare does not pin its last row's
+    /// bytes until reuse).
+    pub fn clear_payload(&mut self) {
+        self.data = Row::new();
     }
 
     /// Number of indexes this version participates in.
@@ -230,7 +256,7 @@ mod tests {
     use mmdb_common::row::rowbuf;
 
     fn version() -> Version {
-        Version::new(TxnId(42), rowbuf::keyed_row(7, 16, 1), vec![7, 99])
+        Version::new(TxnId(42), rowbuf::keyed_row(7, 16, 1), &[7, 99])
     }
 
     #[test]
@@ -247,7 +273,7 @@ mod tests {
 
     #[test]
     fn committed_version_has_timestamp_begin() {
-        let v = Version::new_committed(Timestamp(5), rowbuf::keyed_row(1, 16, 0), vec![1]);
+        let v = Version::new_committed(Timestamp(5), rowbuf::keyed_row(1, 16, 0), &[1]);
         assert_eq!(v.begin_word(), BeginWord::Timestamp(Timestamp(5)));
     }
 
@@ -289,6 +315,25 @@ mod tests {
         // A transformation returning None leaves the word untouched.
         let err = v.update_end(|_| None).unwrap_err();
         assert_eq!(err.as_lock().unwrap().read_lock_count, 3);
+    }
+
+    #[test]
+    fn reset_reinitializes_in_place() {
+        let mut v = version();
+        v.cas_end(EndWord::LATEST, EndWord::write_locked(TxnId(9)));
+        v.set_begin(BeginWord::Timestamp(Timestamp(100)));
+        v.reset(TxnId(77), rowbuf::keyed_row(8, 16, 2), &[8, 55]);
+        assert_eq!(v.begin_word(), BeginWord::Txn(TxnId(77)));
+        assert!(v.end_word().is_latest());
+        assert_eq!(v.index_key(0), 8);
+        assert_eq!(v.index_key(1), 55);
+        assert_eq!(rowbuf::key_of(v.data()), 8);
+        let guard = crossbeam::epoch::pin();
+        for slot in 0..2 {
+            assert!(mmdb_index::ChainNode::next_ptr(&v, slot)
+                .load(Ordering::Acquire, &guard)
+                .is_null());
+        }
     }
 
     #[test]

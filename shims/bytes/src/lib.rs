@@ -13,10 +13,14 @@ pub struct Bytes {
 }
 
 impl Bytes {
-    /// An empty buffer.
+    /// An empty buffer. Clones a process-wide shared empty allocation, so
+    /// `Bytes::new()` itself never allocates (mirrors the real crate's
+    /// non-allocating `Bytes::new`; the engines' version-recycling path
+    /// relies on this when it drops a pooled version's payload).
     pub fn new() -> Bytes {
+        static EMPTY: std::sync::OnceLock<Arc<[u8]>> = std::sync::OnceLock::new();
         Bytes {
-            data: Arc::from(&[][..]),
+            data: Arc::clone(EMPTY.get_or_init(|| Arc::from(&[][..]))),
         }
     }
 

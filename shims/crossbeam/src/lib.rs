@@ -16,27 +16,82 @@ pub mod epoch {
     //! Epoch-style protected pointers with coarse-grained reclamation.
 
     use std::marker::PhantomData;
+    use std::mem::{align_of, size_of, ManuallyDrop};
     use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
     use std::sync::Mutex;
 
-    /// One deferred destruction: a type-erased pointer plus its dropper.
+    /// Words of inline closure storage in a [`Garbage`] entry. Mirrors real
+    /// `crossbeam-epoch`'s `Deferred`: small closures (a raw pointer, a raw
+    /// pointer plus an `Arc`, ...) are stored in place so deferring them
+    /// performs **no heap allocation** — this is what keeps the engines'
+    /// steady-state transaction termination (`TxnTable::remove`) and version
+    /// recycling allocation-free. Larger closures fall back to a box.
+    const INLINE_WORDS: usize = 3;
+
+    /// One deferred call: a type-erased `FnOnce()` stored inline when it
+    /// fits, boxed otherwise.
     struct Garbage {
-        ptr: *mut u8,
-        drop_fn: unsafe fn(*mut u8),
+        data: [usize; INLINE_WORDS],
+        call: unsafe fn(*mut usize),
     }
 
-    // SAFETY: the pointee is never accessed through `Garbage` except to drop
-    // it exactly once, at a moment when no guard is pinned.
+    // SAFETY: the closure is `Send` by the bound on [`Guard::defer_unchecked`]
+    // and is invoked exactly once, at a moment when no guard is pinned.
     unsafe impl Send for Garbage {}
+
+    unsafe fn call_inline<F: FnOnce()>(data: *mut usize) {
+        unsafe { std::ptr::read(data as *mut F)() }
+    }
+
+    unsafe fn call_boxed<F: FnOnce()>(data: *mut usize) {
+        unsafe { Box::from_raw(*data as *mut F)() }
+    }
+
+    impl Garbage {
+        fn new<F: FnOnce() + Send>(f: F) -> Garbage {
+            let mut data = [0usize; INLINE_WORDS];
+            if size_of::<F>() <= size_of::<[usize; INLINE_WORDS]>()
+                && align_of::<F>() <= align_of::<usize>()
+            {
+                let f = ManuallyDrop::new(f);
+                // SAFETY: size/alignment checked above; `f` is forgotten so
+                // it is dropped exactly once, inside `call_inline`.
+                unsafe {
+                    std::ptr::copy_nonoverlapping(
+                        &*f as *const F as *const u8,
+                        data.as_mut_ptr() as *mut u8,
+                        size_of::<F>(),
+                    );
+                }
+                Garbage {
+                    data,
+                    call: call_inline::<F>,
+                }
+            } else {
+                data[0] = Box::into_raw(Box::new(f)) as usize;
+                Garbage {
+                    data,
+                    call: call_boxed::<F>,
+                }
+            }
+        }
+
+        /// Invoke the deferred closure (consumes the entry).
+        unsafe fn run(mut self) {
+            unsafe { (self.call)(self.data.as_mut_ptr()) }
+        }
+    }
 
     /// Number of currently pinned guards across all threads.
     static ACTIVE_PINS: AtomicUsize = AtomicUsize::new(0);
-    /// Deferred destructions awaiting a moment with zero pinned guards.
+    /// Deferred calls awaiting a moment with zero pinned guards.
     static GARBAGE: Mutex<Vec<Garbage>> = Mutex::new(Vec::new());
 
-    unsafe fn drop_box<T>(ptr: *mut u8) {
-        drop(unsafe { Box::from_raw(ptr as *mut T) });
-    }
+    /// `Send` wrapper for a raw pointer captured by a deferred destructor.
+    struct SendPtr<T>(*mut T);
+    // SAFETY: the pointee is only touched once, by the deferred call, at a
+    // moment when no other thread can reach it.
+    unsafe impl<T> Send for SendPtr<T> {}
 
     /// Pin the current thread, returning a guard that keeps deferred
     /// destructions at bay while it lives.
@@ -65,14 +120,30 @@ pub mod epoch {
             if ptr.is_null() {
                 return;
             }
-            let garbage = Garbage {
-                ptr: ptr.raw as *mut u8,
-                drop_fn: drop_box::<T>,
-            };
+            let raw = SendPtr(ptr.raw);
+            // SAFETY: forwarded caller contract; the closure drops the boxed
+            // allocation exactly once.
+            unsafe {
+                self.defer_unchecked(move || {
+                    let raw = raw;
+                    drop(Box::from_raw(raw.0));
+                })
+            }
+        }
+
+        /// Defer an arbitrary call until no guard is pinned anywhere. Small
+        /// closures (up to three words) are stored inline — no allocation —
+        /// mirroring real `crossbeam-epoch`'s `Deferred`.
+        ///
+        /// # Safety
+        /// Whatever the closure touches must remain valid until it runs (the
+        /// usual epoch contract: unlink before defer; readers hold a guard),
+        /// and it must be safe to run on any thread.
+        pub unsafe fn defer_unchecked<F: FnOnce() + Send>(&self, f: F) {
             GARBAGE
                 .lock()
                 .unwrap_or_else(|p| p.into_inner())
-                .push(garbage);
+                .push(Garbage::new(f));
         }
 
         /// No-op on this implementation (kept for API parity).
@@ -103,13 +174,25 @@ pub mod epoch {
                     std::mem::swap(&mut *bag, &mut to_free);
                 }
             }
-            for g in to_free {
+            for g in to_free.drain(..) {
                 // SAFETY: zero pins were observed under the bag lock, so
                 // every item in the taken bag was deferred by a thread that
                 // has since unpinned, no thread still holds a protected
                 // reference, and new pinners cannot reach the pointees
                 // (deferred objects are unlinked before being deferred).
-                unsafe { (g.drop_fn)(g.ptr) };
+                unsafe { g.run() };
+            }
+            // Hand the drained capacity back to the bag: collection cycles
+            // are frequent under low concurrency (every unpin-to-zero), and
+            // re-growing the bag from scratch each cycle would make every
+            // steady-state `defer` allocate — exactly what the engines'
+            // allocation-free paths rely on not happening.
+            if to_free.capacity() > 0 {
+                let mut bag = GARBAGE.lock().unwrap_or_else(|p| p.into_inner());
+                if bag.capacity() < to_free.capacity() {
+                    std::mem::swap(&mut *bag, &mut to_free);
+                    bag.append(&mut to_free);
+                }
             }
         }
     }
@@ -238,6 +321,20 @@ pub mod epoch {
         pub fn new(value: T) -> Owned<T> {
             Owned {
                 inner: Box::new(value),
+            }
+        }
+
+        /// Take exclusive ownership of an existing heap allocation (the
+        /// version-pool recycling path: no new allocation is performed).
+        ///
+        /// # Safety
+        /// `raw` must point to a valid allocation originating from
+        /// [`Owned::new`] / `Box`, and the caller must have exclusive access
+        /// to it (same contract as real `crossbeam-epoch`'s
+        /// `Owned::from_raw`).
+        pub unsafe fn from_raw(raw: *mut T) -> Owned<T> {
+            Owned {
+                inner: unsafe { Box::from_raw(raw) },
             }
         }
 
@@ -457,6 +554,40 @@ mod tests {
         // unless a concurrent test holds a pin — run again to be sure).
         let _ = epoch::pin();
         assert!(DROPS.load(Ordering::SeqCst) <= 1);
+    }
+
+    #[test]
+    fn defer_unchecked_runs_inline_and_boxed_closures() {
+        use std::sync::atomic::AtomicUsize;
+        static RAN: AtomicUsize = AtomicUsize::new(0);
+        {
+            let guard = epoch::pin();
+            // Inline path: a closure of one word.
+            let small = 7usize;
+            unsafe {
+                guard.defer_unchecked(move || {
+                    RAN.fetch_add(small, Ordering::SeqCst);
+                })
+            };
+            // Boxed path: a closure larger than three words.
+            let big = [1usize, 2, 3, 4, 5];
+            unsafe {
+                guard.defer_unchecked(move || {
+                    RAN.fetch_add(big.iter().sum::<usize>(), Ordering::SeqCst);
+                })
+            };
+            assert_eq!(RAN.load(Ordering::SeqCst), 0, "not run while pinned");
+        }
+        // Concurrent tests may hold pins; spin until a zero-pin crossing has
+        // run both closures (bounded so a regression still fails fast).
+        for _ in 0..10_000 {
+            drop(epoch::pin());
+            if RAN.load(Ordering::SeqCst) == 22 {
+                return;
+            }
+            std::thread::yield_now();
+        }
+        assert_eq!(RAN.load(Ordering::SeqCst), 22);
     }
 
     #[test]
