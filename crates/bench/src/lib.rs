@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod commitpath;
 pub mod experiments;
 pub mod json;
 pub mod readpath;

@@ -1,0 +1,55 @@
+//! The per-transaction durability knob.
+//!
+//! The paper's experimental setup (§5) runs *asynchronous* commit:
+//! transactions emit redo records but never wait for log I/O — durability is
+//! hardened in batches by an asynchronous group-commit tick. That is
+//! [`Durability::Async`], the default everywhere.
+//!
+//! [`Durability::Sync`] is the conventional alternative: `commit()` returns
+//! only after the transaction's redo record has reached durable storage. A
+//! per-transaction group-commit ticket (see `RedoLogger::append_frame_ticketed`
+//! and `wait_durable` in `mmdb-storage`) keeps Sync commits batched — a
+//! committer waits for the flush covering its ticket rather than forcing its
+//! own; the `perf-commit` experiment quantifies the difference against a
+//! per-transaction flush.
+
+/// When `commit()` may return relative to log durability.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Durability {
+    /// Paper-faithful asynchronous commit: the redo record is handed to the
+    /// logger and `commit()` returns immediately; durability lags by at most
+    /// one group-commit tick. A crash can lose the tail of recently reported
+    /// commits (bounded by the tick), never a prefix.
+    #[default]
+    Async,
+    /// `commit()` blocks until the transaction's redo bytes (and, because the
+    /// log is a single ordered stream, every earlier commit's bytes) are on
+    /// durable storage. Under a group-commit logger many Sync committers
+    /// share one flush.
+    Sync,
+}
+
+impl Durability {
+    /// Short label used in reports and experiment tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Durability::Async => "async",
+            Durability::Sync => "sync",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_paper_faithful_async() {
+        assert_eq!(Durability::default(), Durability::Async);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        assert_ne!(Durability::Async.label(), Durability::Sync.label());
+    }
+}

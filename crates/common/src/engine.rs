@@ -11,6 +11,7 @@
 //! level, point reads and equality scans through an index, insert / update /
 //! delete, commit and abort.
 
+use crate::durability::Durability;
 use crate::error::Result;
 use crate::ids::{IndexId, Key, TableId, Timestamp, TxnId};
 use crate::isolation::IsolationLevel;
@@ -29,6 +30,17 @@ pub trait EngineTxn: Send {
 
     /// The isolation level this transaction runs at.
     fn isolation(&self) -> IsolationLevel;
+
+    /// Choose when `commit()` may return relative to log durability
+    /// (default: the engine's configured default, normally
+    /// [`Durability::Async`] — the paper's transactions never wait for log
+    /// I/O). With [`Durability::Sync`], `commit()` blocks until the
+    /// transaction's redo bytes are on durable storage; under a group-commit
+    /// logger many Sync committers share one flush.
+    ///
+    /// The default implementation ignores the request: engines without a
+    /// redo log (or test oracles) have nothing to wait for.
+    fn set_durability(&mut self, _durability: Durability) {}
 
     /// Insert a new row. The row must satisfy every index's key extractor.
     fn insert(&mut self, table: TableId, row: Row) -> Result<()>;

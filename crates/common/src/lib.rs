@@ -18,6 +18,8 @@
 //!   [`TableId`], [`IndexId`]).
 //! * [`isolation`] — isolation levels and the optimistic/pessimistic
 //!   concurrency mode selector.
+//! * [`durability`] — the per-transaction Async/Sync commit-durability knob
+//!   (paper-faithful asynchronous commit vs wait-for-group-commit-flush).
 //! * [`row`] — byte rows, key extraction specifications and table/index
 //!   schemas.
 //! * [`engine`] — the [`Engine`]/[`EngineTxn`]
@@ -32,6 +34,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod clock;
+pub mod durability;
 pub mod engine;
 pub mod error;
 pub mod hash;
@@ -42,6 +45,7 @@ pub mod stats;
 pub mod word;
 
 pub use clock::GlobalClock;
+pub use durability::Durability;
 pub use engine::{Engine, EngineTxn};
 pub use error::{MmdbError, Result};
 pub use ids::{IndexId, Key, TableId, Timestamp, TxnId, INFINITY_TS, MAX_TXN_ID};

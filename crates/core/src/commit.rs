@@ -14,13 +14,19 @@
 //!    look for phantoms (§3.2, Figure 3).
 //! 4. **Commit dependencies** — wait until `CommitDepCounter` is zero or the
 //!    `AbortNow` flag forces a cascaded abort (§2.7).
-//! 5. **Logging** — write the new versions / delete keys to the redo log
-//!    (asynchronously; the transaction does not wait for I/O).
+//! 5. **Logging** — write the new versions / delete keys to the redo log.
+//!    With [`Durability::Async`] (the paper's model) the transaction does
+//!    not wait for I/O; with [`Durability::Sync`] it redeems the durability
+//!    ticket the append issued and blocks — still in `Preparing`, so
+//!    concurrent readers of its versions speculate through the ordinary
+//!    commit-dependency machinery — until the group-commit flush covering
+//!    its bytes completes.
 //! 6. **Postprocessing** — propagate the end timestamp into the Begin/End
 //!    fields of the written versions (or make them invisible after an
 //!    abort), hand old versions to the garbage collector, resolve dependents
 //!    and leave the transaction table.
 
+use mmdb_common::durability::Durability;
 use mmdb_common::error::{MmdbError, Result};
 use mmdb_common::ids::{IndexId, Timestamp};
 use mmdb_common::isolation::ConcurrencyMode;
@@ -29,7 +35,7 @@ use mmdb_common::word::{BeginWord, EndWord};
 use mmdb_common::INFINITY_TS;
 
 use mmdb_storage::gc::GcItem;
-use mmdb_storage::log::{encode_frame_into, LogOpRef};
+use mmdb_storage::log::{encode_frame_into, LogOpRef, Lsn};
 use mmdb_storage::txn_table::TxnState;
 
 use crate::txn::MvTransaction;
@@ -260,11 +266,25 @@ impl MvTransaction {
             return Err(err);
         }
 
-        // Step 5: write the redo log record (asynchronous, §5). The frame is
-        // encoded into the transaction's reusable buffer and handed to the
-        // logger as a borrow — steady state, logging allocates nothing.
+        // Step 5: write the redo log record (§5). The frame is encoded into
+        // the transaction's reusable buffer and handed to the logger as a
+        // borrow — steady state, logging allocates nothing. Async (the
+        // paper's model) stops here; Sync redeems the durability ticket and
+        // waits for the flush covering it. The wait happens while still in
+        // `Preparing`: a concurrent reader of our versions speculates
+        // through the ordinary commit-dependency machinery, so nothing
+        // observes "committed" before durability is confirmed. If the wait
+        // reports the log's sticky I/O error, the transaction rolls back in
+        // memory — its in-memory effects never become visible, matching the
+        // durable log, which is only trusted up to the first error anyway.
         if !self.write_set.is_empty() {
-            self.append_log_frame(end_ts);
+            let ticket = self.append_log_frame(end_ts);
+            if self.durability == Durability::Sync {
+                if let Err(err) = self.inner.store.logger().wait_durable(ticket) {
+                    self.finish_abort(&err);
+                    return Err(err);
+                }
+            }
         }
 
         // Step 6: the transaction is committed.
@@ -284,11 +304,12 @@ impl MvTransaction {
         Ok(end_ts)
     }
 
-    /// Frame the write set into the reusable encode buffer and append it.
-    /// The logged bytes are identical to what `encode_record` would produce
-    /// for the equivalent `LogRecord` (pinned by the log round-trip tests),
-    /// so recovery and the differential harness are unaffected.
-    fn append_log_frame(&mut self, end_ts: Timestamp) {
+    /// Frame the write set into the reusable encode buffer and append it,
+    /// returning the logger's durability ticket for the frame. The logged
+    /// bytes are identical to what `encode_record` would produce for the
+    /// equivalent `LogRecord` (pinned by the log round-trip tests), so
+    /// recovery and the differential harness are unaffected.
+    fn append_log_frame(&mut self, end_ts: Timestamp) -> Lsn {
         // The paper's I/O estimate (payload + 8 bytes of metadata per op,
         // + 8 per record) — same accounting `LogRecord::byte_size` reports.
         let approx: u64 = self
@@ -322,8 +343,9 @@ impl MvTransaction {
         );
         EngineStats::bump(&self.stats().log_records);
         EngineStats::add(&self.stats().log_bytes, approx);
-        self.inner.store.logger().append_frame(&buf);
+        let ticket = self.inner.store.logger().append_frame_ticketed(&buf);
         self.scratch.log_buf = buf;
+        ticket
     }
 
     fn postprocess_commit(&mut self, end_ts: Timestamp) {

@@ -2,6 +2,7 @@
 
 use std::time::Duration;
 
+use mmdb_common::durability::Durability;
 use mmdb_common::isolation::ConcurrencyMode;
 
 /// Configuration of the multiversion engine.
@@ -30,6 +31,11 @@ pub struct MvConfig {
     /// dependencies (pessimistic scheme) can deadlock; with the detector
     /// disabled, cycles are broken only by `wait_timeout`.
     pub deadlock_detector: bool,
+    /// Default commit durability for transactions started on this engine
+    /// ([`Durability::Async`] is the paper's model: commit never waits for
+    /// log I/O). Individual transactions override it via
+    /// [`MvTransaction::set_durability`](crate::txn::MvTransaction::set_durability).
+    pub durability: Durability,
 }
 
 impl Default for MvConfig {
@@ -41,6 +47,7 @@ impl Default for MvConfig {
             gc_batch: 256,
             deadlock_interval: Duration::from_millis(5),
             deadlock_detector: true,
+            durability: Durability::Async,
         }
     }
 }
@@ -79,6 +86,12 @@ impl MvConfig {
         self.deadlock_detector = enabled;
         self
     }
+
+    /// Builder-style override of the default commit durability.
+    pub fn with_durability(mut self, durability: Durability) -> Self {
+        self.durability = durability;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -92,6 +105,8 @@ mod tests {
         assert!(c.wait_timeout > Duration::from_millis(100));
         assert!(c.gc_batch > 0);
         assert!(c.deadlock_detector);
+        // Paper-faithful: transactions never wait for log I/O by default.
+        assert_eq!(c.durability, Durability::Async);
     }
 
     #[test]
@@ -99,10 +114,12 @@ mod tests {
         let c = MvConfig::pessimistic()
             .with_wait_timeout(Duration::from_millis(50))
             .with_gc_every(1)
-            .with_deadlock_detector(false);
+            .with_deadlock_detector(false)
+            .with_durability(Durability::Sync);
         assert_eq!(c.default_mode, ConcurrencyMode::Pessimistic);
         assert_eq!(c.wait_timeout, Duration::from_millis(50));
         assert_eq!(c.gc_every_n_commits, 1);
         assert!(!c.deadlock_detector);
+        assert_eq!(c.durability, Durability::Sync);
     }
 }

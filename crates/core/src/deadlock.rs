@@ -29,7 +29,7 @@ use std::sync::Arc;
 /// A snapshot of the wait-for graph.
 #[derive(Debug, Default)]
 pub struct WaitForGraph {
-    /// Adjacency: edges[a] contains b when a → b (a waits for b).
+    /// Adjacency: `edges[a]` contains `b` when a → b (a waits for b).
     edges: HashMap<TxnId, Vec<TxnId>>,
     nodes: Vec<TxnId>,
 }

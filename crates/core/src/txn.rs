@@ -19,6 +19,7 @@ use std::sync::Arc;
 
 use crossbeam::epoch;
 
+use mmdb_common::durability::Durability;
 use mmdb_common::engine::EngineTxn;
 use mmdb_common::error::{MmdbError, Result};
 use mmdb_common::ids::{IndexId, Key, TableId, Timestamp, TxnId};
@@ -149,6 +150,9 @@ pub struct MvTransaction {
     pub(crate) finished: bool,
     /// Reusable scan staging buffers (cleared, never freed, per operation).
     pub(crate) scratch: TxnScratch,
+    /// When `commit()` may return relative to log durability (§5: the
+    /// paper's transactions run `Async` and never wait for log I/O).
+    pub(crate) durability: Durability,
 }
 
 impl MvTransaction {
@@ -157,6 +161,7 @@ impl MvTransaction {
         handle: Arc<TxnHandle>,
         bufs: TxnBuffers,
     ) -> MvTransaction {
+        let durability = inner.config.durability;
         MvTransaction {
             inner,
             handle,
@@ -168,6 +173,7 @@ impl MvTransaction {
             must_abort: None,
             finished: false,
             scratch: bufs.scratch,
+            durability,
         }
     }
 
@@ -195,6 +201,24 @@ impl MvTransaction {
     /// The transaction's begin timestamp.
     pub fn begin_ts(&self) -> Timestamp {
         self.handle.begin_ts()
+    }
+
+    /// The commit durability this transaction will use (defaults to the
+    /// engine configuration's [`MvConfig::durability`](crate::config::MvConfig)).
+    pub fn durability(&self) -> Durability {
+        self.durability
+    }
+
+    /// Override when `commit()` may return relative to log durability.
+    /// [`Durability::Sync`] makes `commit()` block until this transaction's
+    /// redo bytes are on durable storage — under a
+    /// [`GroupCommitLog`](mmdb_storage::group_commit::GroupCommitLog) many
+    /// Sync committers share one flush; under a plain
+    /// [`FileLogger`](mmdb_storage::log::FileLogger) each one pays a full
+    /// per-transaction flush. If the wait reports the log's sticky I/O
+    /// error, the commit is rolled back in memory and the error returned.
+    pub fn set_durability(&mut self, durability: Durability) {
+        self.durability = durability;
     }
 
     #[inline]
@@ -1016,6 +1040,10 @@ impl EngineTxn for MvTransaction {
 
     fn isolation(&self) -> IsolationLevel {
         self.handle.isolation()
+    }
+
+    fn set_durability(&mut self, durability: Durability) {
+        MvTransaction::set_durability(self, durability);
     }
 
     fn insert(&mut self, table_id: TableId, row: Row) -> Result<()> {

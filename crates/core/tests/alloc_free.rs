@@ -426,3 +426,67 @@ fn onev_update_txns_allocate_by_design() {
          allocation-free 1V write would mean this documentation is stale"
     );
 }
+
+/// The group-commit acceptance criterion for the async path: warmed update
+/// transactions stay allocation-free when the engine logs through a
+/// `GroupCommitLog` — the commit frames its write set into the transaction's
+/// reusable encode buffer and `append_frame_ticketed` copies it into the
+/// shared batch buffer, whose capacity (pre-reserved and recycled by the
+/// flusher's buffer swap) absorbs steady-state batches without growing. The
+/// background flusher thread does the write+sync; its (zero) allocations are
+/// on its own thread and would not be counted anyway.
+#[test]
+fn warmed_async_commits_through_group_commit_log_allocate_nothing() {
+    let _serial = serial();
+    use mmdb_storage::group_commit::GroupCommitLog;
+    use mmdb_storage::log::RedoLogger as _;
+
+    let path = std::env::temp_dir().join(format!(
+        "mmdb-alloc-free-groupcommit-{}.log",
+        std::process::id()
+    ));
+    let mut config = MvConfig::optimistic();
+    config.deadlock_detector = false;
+    config.gc_every_n_commits = 0;
+    let logger = std::sync::Arc::new(
+        GroupCommitLog::with_tick(&path, std::time::Duration::from_millis(1)).unwrap(),
+    );
+    let engine = MvEngine::with_logger(config, logger.clone());
+    let table = engine.create_table(grouped_spec(ROWS)).unwrap();
+    engine.populate(table, (0..ROWS).map(grouped_row)).unwrap();
+
+    for i in 0..WARM_TXNS {
+        let key = (i * 31) % ROWS;
+        let mut txn = engine.begin(IsolationLevel::SnapshotIsolation);
+        assert!(txn
+            .update(table, IndexId(0), key, grouped_row(key))
+            .unwrap());
+        txn.commit().unwrap();
+    }
+    drain_into_pool(&engine, table, MEASURED_TXNS as usize + 1);
+
+    let keys: Vec<u64> = (0..MEASURED_TXNS).map(|i| (i * 37) % ROWS).collect();
+    let rows: Vec<Row> = keys.iter().map(|&k| grouped_row(k)).collect();
+    let allocs = count_allocations(|| {
+        for (i, &key) in keys.iter().enumerate() {
+            let mut txn = engine.begin(IsolationLevel::SnapshotIsolation);
+            assert!(txn.update(table, IndexId(0), key, rows[i].clone()).unwrap());
+            txn.commit().unwrap();
+        }
+    });
+    assert_eq!(
+        allocs, 0,
+        "warmed async commits through the group-commit log must not allocate"
+    );
+
+    // And the log really carried every frame: flush and count.
+    logger.flush().unwrap();
+    assert_eq!(
+        logger.records_written(),
+        WARM_TXNS + MEASURED_TXNS,
+        "every committed write transaction appended exactly one frame"
+    );
+    drop(engine);
+    drop(logger);
+    let _ = std::fs::remove_file(&path);
+}

@@ -496,3 +496,154 @@ fn random_forced_aborts_leave_the_database_consistent() {
     check.commit().unwrap();
     assert_eq!(engine.version_count(t).unwrap(), 32);
 }
+
+// ---------------------------------------------------------------------------
+// Commit durability (§5 + the group-commit subsystem): Async never waits for
+// log I/O, Sync returns only once the redo bytes are on durable storage, and
+// a log that can no longer confirm durability fails the Sync commit cleanly.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sync_commit_is_durable_on_return_while_async_commit_is_not_yet() {
+    use mmdb_common::durability::Durability;
+    use mmdb_storage::group_commit::GroupCommitLog;
+    use mmdb_storage::log::read_log_file;
+
+    let path = std::env::temp_dir().join(format!(
+        "mmdb-behaviors-durability-{}.log",
+        std::process::id()
+    ));
+    // Tickless log: nothing hardens unless a Sync committer (or an explicit
+    // flush) drives it — which makes the semantic difference observable.
+    let logger = Arc::new(GroupCommitLog::create(&path).unwrap());
+    let engine = MvEngine::with_logger(
+        MvConfig::optimistic().with_deadlock_detector(false),
+        logger.clone(),
+    );
+    let t = engine.create_table(TableSpec::keyed_u64("t", 16)).unwrap();
+    engine
+        .populate(t, (0..4u64).map(|k| rowbuf::keyed_row(k, FILLER, 1)))
+        .unwrap();
+
+    // Async (the default): commit returns without the frame being hardened.
+    let mut txn = engine.begin(IsolationLevel::SnapshotIsolation);
+    assert_eq!(txn.durability(), Durability::Async);
+    assert!(txn
+        .update(t, IndexId(0), 0, rowbuf::keyed_row(0, FILLER, 2))
+        .unwrap());
+    txn.commit().unwrap();
+    assert_eq!(
+        read_log_file(&path).unwrap().records.len(),
+        0,
+        "async commit must not wait for (or force) a flush"
+    );
+
+    // Sync: by the time commit returns, the bytes are on disk — both the
+    // async transaction's frame (lower LSN, same stream) and our own.
+    let mut txn = engine.begin(IsolationLevel::SnapshotIsolation);
+    txn.set_durability(Durability::Sync);
+    assert!(txn
+        .update(t, IndexId(0), 1, rowbuf::keyed_row(1, FILLER, 3))
+        .unwrap());
+    txn.commit().unwrap();
+    let records = read_log_file(&path).unwrap().records;
+    assert_eq!(
+        records.len(),
+        2,
+        "sync commit hardens every lower ticket along with its own"
+    );
+    drop(engine);
+    drop(logger);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[cfg(target_os = "linux")]
+#[test]
+fn sync_commit_on_a_failed_log_rolls_back_and_reports_log_io() {
+    use mmdb_common::durability::Durability;
+    use mmdb_storage::log::FileLogger;
+
+    if !std::path::Path::new("/dev/full").exists() {
+        return;
+    }
+    // /dev/full fails every write with ENOSPC: durability can never be
+    // confirmed, so the Sync commit must fail — and roll back in memory, so
+    // the reported outcome matches the (empty) durable log.
+    let logger = Arc::new(FileLogger::create("/dev/full").unwrap());
+    let engine =
+        MvEngine::with_logger(MvConfig::optimistic().with_deadlock_detector(false), logger);
+    let t = engine.create_table(TableSpec::keyed_u64("t", 16)).unwrap();
+    engine
+        .populate(t, (0..4u64).map(|k| rowbuf::keyed_row(k, FILLER, 1)))
+        .unwrap();
+
+    let mut txn = engine.begin(IsolationLevel::SnapshotIsolation);
+    txn.set_durability(Durability::Sync);
+    assert!(txn
+        .update(t, IndexId(0), 2, rowbuf::keyed_row(2, FILLER, 9))
+        .unwrap());
+    let result = txn.commit();
+    assert!(
+        matches!(result, Err(MmdbError::LogIo(_))),
+        "sync commit must surface the sticky log error, got {result:?}"
+    );
+
+    // The update was rolled back and the engine stays usable.
+    let mut check = engine.begin(IsolationLevel::ReadCommitted);
+    assert_eq!(
+        check
+            .read(t, IndexId(0), 2)
+            .unwrap()
+            .map(|r| rowbuf::fill_of(&r)),
+        Some(1),
+        "a sync commit that could not confirm durability must not be visible"
+    );
+    check.commit().unwrap();
+}
+
+#[test]
+fn onev_sync_commit_waits_for_the_group_commit_flush() {
+    use mmdb_common::durability::Durability;
+    use mmdb_onev::{SvConfig, SvEngine};
+    use mmdb_storage::group_commit::GroupCommitLog;
+    use mmdb_storage::log::read_log_file;
+
+    let path = std::env::temp_dir().join(format!(
+        "mmdb-behaviors-durability-1v-{}.log",
+        std::process::id()
+    ));
+    let logger = Arc::new(GroupCommitLog::create(&path).unwrap());
+    let engine = SvEngine::with_logger(
+        SvConfig::default().with_durability(Durability::Sync),
+        logger.clone(),
+    );
+    let t = engine.create_table(TableSpec::keyed_u64("t", 16)).unwrap();
+    engine
+        .populate(t, (0..4u64).map(|k| rowbuf::keyed_row(k, FILLER, 1)))
+        .unwrap();
+
+    // The engine default (from SvConfig) applies without a per-transaction
+    // override.
+    let mut txn = engine.begin(IsolationLevel::ReadCommitted);
+    assert!(txn
+        .update(t, IndexId(0), 0, rowbuf::keyed_row(0, FILLER, 7))
+        .unwrap());
+    txn.commit().unwrap();
+    assert_eq!(read_log_file(&path).unwrap().records.len(), 1);
+
+    // And a per-transaction opt-out back to Async skips the wait.
+    let mut txn = engine.begin(IsolationLevel::ReadCommitted);
+    txn.set_durability(Durability::Async);
+    assert!(txn
+        .update(t, IndexId(0), 1, rowbuf::keyed_row(1, FILLER, 8))
+        .unwrap());
+    txn.commit().unwrap();
+    assert_eq!(
+        read_log_file(&path).unwrap().records.len(),
+        1,
+        "the async transaction's frame stays buffered until the next flush"
+    );
+    drop(engine);
+    drop(logger);
+    let _ = std::fs::remove_file(&path);
+}

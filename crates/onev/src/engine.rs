@@ -21,6 +21,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use mmdb_common::clock::GlobalClock;
+use mmdb_common::durability::Durability;
 use mmdb_common::engine::{Engine, EngineTxn};
 use mmdb_common::error::{MmdbError, Result};
 use mmdb_common::ids::{IndexId, Key, TableId, Timestamp, TxnId};
@@ -29,7 +30,7 @@ use mmdb_common::row::{KeyScratch, Row, TableSpec};
 use mmdb_common::stats::EngineStats;
 
 use mmdb_storage::catalog::Catalog;
-use mmdb_storage::log::{LogOp, LogRecord, NullLogger, RedoLogger};
+use mmdb_storage::log::{encode_record, LogOp, LogRecord, NullLogger, RedoLogger};
 
 use crate::lock::{LockGrant, LockMode};
 use crate::table::SvTable;
@@ -40,12 +41,17 @@ pub struct SvConfig {
     /// How long a lock request waits before it is treated as a deadlock and
     /// the requesting transaction aborts.
     pub lock_timeout: Duration,
+    /// Default commit durability ([`Durability::Async`]: commit never waits
+    /// for log I/O, matching the paper's setup). Individual transactions
+    /// override it via [`SvTransaction::set_durability`].
+    pub durability: Durability,
 }
 
 impl Default for SvConfig {
     fn default() -> Self {
         SvConfig {
             lock_timeout: Duration::from_millis(500),
+            durability: Durability::Async,
         }
     }
 }
@@ -54,6 +60,12 @@ impl SvConfig {
     /// Builder-style override of the lock timeout.
     pub fn with_lock_timeout(mut self, timeout: Duration) -> Self {
         self.lock_timeout = timeout;
+        self
+    }
+
+    /// Builder-style override of the default commit durability.
+    pub fn with_durability(mut self, durability: Durability) -> Self {
+        self.durability = durability;
         self
     }
 }
@@ -209,6 +221,7 @@ impl Engine for SvEngine {
             keys: KeyScratch::new(),
             finished: false,
             must_abort: false,
+            durability: self.inner.config.durability,
         }
     }
 
@@ -253,6 +266,8 @@ pub struct SvTransaction {
     keys: KeyScratch,
     finished: bool,
     must_abort: bool,
+    /// When `commit()` may return relative to log durability.
+    durability: Durability,
 }
 
 impl SvTransaction {
@@ -437,6 +452,10 @@ impl EngineTxn for SvTransaction {
         self.isolation
     }
 
+    fn set_durability(&mut self, durability: Durability) {
+        self.durability = durability;
+    }
+
     fn insert(&mut self, table_id: TableId, row: Row) -> Result<()> {
         self.ensure_open()?;
         let table = self.table(table_id)?;
@@ -606,7 +625,24 @@ impl EngineTxn for SvTransaction {
             };
             EngineStats::bump(&self.inner.stats.log_records);
             EngineStats::add(&self.inner.stats.log_bytes, record.byte_size());
-            self.inner.logger.append(record);
+            match self.durability {
+                Durability::Async => self.inner.logger.append(record),
+                Durability::Sync => {
+                    // Hand the logger the encoded frame so batching loggers
+                    // issue a real ticket, then wait for the flush covering
+                    // it. On a sticky log I/O error the commit rolls back in
+                    // memory — matching the durable log, which is only
+                    // trusted up to the first error.
+                    let ticket = self
+                        .inner
+                        .logger
+                        .append_frame_ticketed(&encode_record(&record));
+                    if let Err(err) = self.inner.logger.wait_durable(ticket) {
+                        self.finish(false);
+                        return Err(err);
+                    }
+                }
+            }
         }
         self.finish(true);
         Ok(ts)

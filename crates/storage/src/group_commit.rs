@@ -1,0 +1,693 @@
+//! Group commit: a shared-buffer batched log writer.
+//!
+//! The paper's durability story (§5): *"transactions do not wait for log
+//! I/O to complete"* — commits are hardened in batches by an asynchronous
+//! group-commit tick. [`GroupCommitLog`] is that subsystem:
+//!
+//! * Committers [`append_frame`](crate::log::RedoLogger::append_frame) (or
+//!   [`append_frame_ticketed`](crate::log::RedoLogger::append_frame_ticketed))
+//!   into **one shared encode buffer** under a short mutex hold — a memcpy,
+//!   never an I/O. The ticketed variant returns an [`Lsn`]: the logical byte
+//!   offset the committer's frame ends at.
+//! * A **flusher** hardens batches: it steals the whole shared buffer (a
+//!   buffer swap, so append capacity is recycled and the steady state
+//!   allocates nothing), writes it with **one `write` + one sync** per batch
+//!   — however many transactions it contains — and only then publishes the
+//!   batch-end offset as durable. Two flusher flavors exist:
+//!   * a dedicated background thread waking every
+//!     [`tick`](GroupCommitLog::with_tick), the paper's asynchronous group
+//!     commit;
+//!   * for tickless builds ([`GroupCommitLog::create`]), a **leader-elected
+//!     inline flush**: the first [`wait_durable`] caller that finds the
+//!     flush lock free hardens the batch for everyone queued behind it —
+//!     followers just block on the ticket condvar and are covered by the
+//!     leader's single sync.
+//! * [`wait_durable`] blocks until the durable watermark covers the ticket.
+//!   Because the buffer is appended in ticket order and batches are stolen
+//!   and written whole, **a ticket is never reported durable before every
+//!   lower ticket's bytes hit the file** (asserted by the concurrency tests
+//!   below).
+//!
+//! Batch boundaries are **invisible on the wire**: the file is the exact
+//! concatenation of the appended frames, byte-identical to what a
+//! [`FileLogger`](crate::log::FileLogger) produces for the same appends.
+//! [`LogReader`](crate::log::LogReader) and recovery are therefore
+//! unaffected — a crash mid-batch is just a torn tail at some frame-interior
+//! offset, which the recovery suite exercises explicitly.
+//!
+//! I/O errors are sticky, as in [`FileLogger`](crate::log::FileLogger): the
+//! first failure poisons
+//! the log, every later [`wait_durable`]/[`flush`] reports it, and the
+//! durable watermark never advances past the last confirmed batch. A ticket
+//! confirmed durable **before** the failure still succeeds — its bytes are
+//! on the device regardless of what happened to later batches.
+//!
+//! [`wait_durable`]: crate::log::RedoLogger::wait_durable
+//! [`flush`]: crate::log::RedoLogger::flush
+
+use std::fs::File;
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+use mmdb_common::error::Result;
+
+use crate::log::{encode_record, LogRecord, Lsn, RedoLogger, StickyError};
+
+/// Initial capacity of the shared append buffer and its flush twin. Sized
+/// like `FileLogger`'s internal buffer so steady-state batches never grow
+/// the allocation (the zero-allocation commit path depends on this).
+const BUFFER_CAPACITY: usize = 1 << 20;
+
+/// How long a durability waiter sleeps before re-checking the watermark.
+/// Purely a safety net against lost wakeups or a wedged flusher — the
+/// condvar notification is the normal wake path.
+const WAIT_SLICE: Duration = Duration::from_millis(10);
+
+/// The shared append state: the group-commit buffer every committer encodes
+/// into, plus the logical end offset of the stream.
+struct AppendState {
+    /// Frames appended since the last batch was stolen.
+    buf: Vec<u8>,
+    /// Logical byte offset of the end of the stream (bytes appended ever).
+    appended: u64,
+}
+
+/// The flusher's side: the file and the swap buffer batches are stolen into.
+/// Held behind its own mutex so exactly one flusher (ticker, inline leader,
+/// or an explicit `flush()`) hardens at a time, in stream order.
+struct FlushState {
+    file: File,
+    /// Batches are swapped in here, written, cleared — capacity recycles
+    /// between the two buffers, so neither side allocates after warmup.
+    scratch: Vec<u8>,
+    /// Non-empty batches hardened so far (diagnostic: proves batching).
+    batches: u64,
+}
+
+/// State shared between committers, waiters and the flusher(s).
+struct Shared {
+    /// Append side; also the mutex paired with `durable_cv` (the durable
+    /// watermark is published under it, closing the missed-wakeup window).
+    state: Mutex<AppendState>,
+    /// Wakes `wait_durable` callers after each hardened batch (or failure).
+    durable_cv: Condvar,
+    /// Flush side; `try_lock` on this mutex is the leader election.
+    flush: Mutex<FlushState>,
+    /// Bytes confirmed on durable storage (monotone; published under
+    /// `state`).
+    durable: AtomicU64,
+    /// First I/O error, sticky for the lifetime of the log.
+    error: StickyError,
+    /// Frames appended (one per committed transaction).
+    records: AtomicU64,
+    /// Tells the background ticker to exit.
+    stop: AtomicBool,
+}
+
+impl Shared {
+    /// Harden the current batch: steal the append buffer, write + sync it,
+    /// publish the new durable watermark, wake waiters. Serialized by the
+    /// flush mutex; `harden` is the convenience wrapper that acquires it.
+    fn harden(&self) -> Result<()> {
+        let mut flush = self.flush.lock();
+        self.harden_locked(&mut flush)
+    }
+
+    fn harden_locked(&self, flush: &mut FlushState) -> Result<()> {
+        // A torn log hardens nothing more. The failed batch may have left a
+        // partial frame at the tail; writing any later batch after it would
+        // turn that recoverable torn tail into mid-stream corruption — and
+        // could durably persist frames of Sync transactions that were
+        // reported rolled back. The file is also kept cut back to the
+        // confirmed watermark (idempotent, best effort): the failing batch's
+        // bytes may already sit in the page cache, and without the truncate
+        // OS writeback could still land them on the device after the
+        // rollback was reported. Only the wakeup below survives, so waiters
+        // observe the error instead of sleeping out their safety timeout.
+        if self.error.is_set() {
+            let _ = flush.file.set_len(self.durable.load(Ordering::Acquire));
+            drop(self.state.lock());
+            self.durable_cv.notify_all();
+            return self.error.check();
+        }
+        // Steal the batch: a buffer swap under the append mutex. Committers
+        // are blocked only for the swap, never for the I/O below. The old
+        // scratch (cleared after the previous write) becomes the new append
+        // buffer, so capacity cycles between the two and neither reallocates
+        // once warmed.
+        let batch_end = {
+            let mut st = self.state.lock();
+            std::mem::swap(&mut st.buf, &mut flush.scratch);
+            st.appended
+        };
+        if !flush.scratch.is_empty() {
+            let result = flush
+                .file
+                .write_all(&flush.scratch)
+                .and_then(|()| flush.file.sync_data());
+            flush.scratch.clear();
+            if let Err(e) = result {
+                self.error.record(e);
+                // Best effort: the batch is unconfirmed, so cut the file
+                // back to the confirmed watermark — its bytes may have been
+                // written (even fully, with only the sync failing) and must
+                // not outlive a crash, or recovery would replay Sync
+                // transactions that were reported rolled back.
+                let _ = flush.file.set_len(self.durable.load(Ordering::Acquire));
+            } else {
+                flush.batches += 1;
+            }
+        }
+        match self.error.get() {
+            None => {
+                // Publish under the append mutex: a waiter holding it from
+                // watermark-check through `durable_cv.wait` cannot miss this
+                // store-then-notify.
+                let guard = self.state.lock();
+                self.durable.fetch_max(batch_end, Ordering::Release);
+                drop(guard);
+                self.durable_cv.notify_all();
+                Ok(())
+            }
+            Some(err) => {
+                // Wake waiters so they observe the sticky error instead of
+                // sleeping until their safety timeout.
+                drop(self.state.lock());
+                self.durable_cv.notify_all();
+                Err(err)
+            }
+        }
+    }
+}
+
+/// A batched redo-log writer with per-transaction durability tickets: the
+/// group-commit subsystem (see the [module docs](self)).
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use mmdb_storage::log::{read_log_file, LogOp, LogRecord, RedoLogger};
+/// use mmdb_storage::group_commit::GroupCommitLog;
+/// use mmdb_common::ids::{TableId, Timestamp};
+/// use mmdb_common::row::Row;
+///
+/// let path = std::env::temp_dir().join(format!("gc-doc-{}.log", std::process::id()));
+/// let log = Arc::new(GroupCommitLog::create(&path).unwrap());
+/// log.append(LogRecord {
+///     end_ts: Timestamp(7),
+///     ops: vec![LogOp::Write { table: TableId(0), row: Row::from(vec![0u8; 16]) }],
+/// });
+/// // Tickless log: the explicit flush (or a Sync committer's
+/// // `wait_durable`) hardens the batch.
+/// log.flush().unwrap();
+/// assert_eq!(read_log_file(&path).unwrap().records.len(), 1);
+/// # drop(log); std::fs::remove_file(&path).unwrap();
+/// ```
+pub struct GroupCommitLog {
+    shared: Arc<Shared>,
+    tick: Option<Duration>,
+    ticker: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl GroupCommitLog {
+    /// Create (truncate) a tickless group-commit log at `path`: no
+    /// background flusher runs, batches are hardened by leader-elected
+    /// inline flushes in [`wait_durable`](crate::log::RedoLogger::wait_durable),
+    /// by explicit [`flush`](crate::log::RedoLogger::flush) calls, and once
+    /// more on drop.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<GroupCommitLog> {
+        Self::new(path, None)
+    }
+
+    /// Create (truncate) a group-commit log whose dedicated background
+    /// flusher hardens the shared buffer every `tick` — the paper's
+    /// asynchronous group commit. Sync committers wait at most one tick (the
+    /// inline-leader path stays available to explicit `flush` callers);
+    /// Async committers never wait at all.
+    pub fn with_tick(path: impl AsRef<Path>, tick: Duration) -> std::io::Result<GroupCommitLog> {
+        Self::new(path, Some(tick))
+    }
+
+    fn new(path: impl AsRef<Path>, tick: Option<Duration>) -> std::io::Result<GroupCommitLog> {
+        let file = File::create(path)?;
+        let shared = Arc::new(Shared {
+            state: Mutex::new(AppendState {
+                buf: Vec::with_capacity(BUFFER_CAPACITY),
+                appended: 0,
+            }),
+            durable_cv: Condvar::new(),
+            flush: Mutex::new(FlushState {
+                file,
+                scratch: Vec::with_capacity(BUFFER_CAPACITY),
+                batches: 0,
+            }),
+            durable: AtomicU64::new(0),
+            error: StickyError::default(),
+            records: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+        });
+        let ticker = tick.map(|tick| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("mmdb-group-commit".into())
+                .spawn(move || {
+                    while !shared.stop.load(Ordering::Acquire) {
+                        std::thread::sleep(tick);
+                        // Errors are sticky and surfaced to waiters/flush
+                        // callers; the ticker itself keeps ticking so
+                        // waiters keep being woken.
+                        let _ = shared.harden();
+                    }
+                })
+                .expect("spawn group-commit flusher")
+        });
+        Ok(GroupCommitLog {
+            shared,
+            tick,
+            ticker: Mutex::new(ticker),
+        })
+    }
+
+    /// The background flusher tick, or `None` for a tickless (inline-leader)
+    /// log.
+    pub fn tick(&self) -> Option<Duration> {
+        self.tick
+    }
+
+    /// Logical end offset of everything appended so far (durable or not).
+    pub fn appended_lsn(&self) -> Lsn {
+        Lsn(self.shared.state.lock().appended)
+    }
+
+    /// Offset below which every byte is confirmed on durable storage.
+    pub fn durable_lsn(&self) -> Lsn {
+        Lsn(self.shared.durable.load(Ordering::Acquire))
+    }
+
+    /// Number of non-empty batches hardened so far. With concurrent
+    /// committers this is (much) smaller than
+    /// [`records_written`](crate::log::RedoLogger::records_written) — the
+    /// whole point of group commit, and what the mid-batch crash tests use
+    /// to prove batches really spanned multiple transactions.
+    pub fn batches_hardened(&self) -> u64 {
+        self.shared.flush.lock().batches
+    }
+}
+
+impl RedoLogger for GroupCommitLog {
+    fn append(&self, record: LogRecord) {
+        self.append_frame_ticketed(&encode_record(&record));
+    }
+
+    fn append_frame(&self, frame: &[u8]) {
+        self.append_frame_ticketed(frame);
+    }
+
+    fn append_frame_ticketed(&self, frame: &[u8]) -> Lsn {
+        let lsn = {
+            let mut st = self.shared.state.lock();
+            // A torn log buffers no further bytes — they could never be
+            // hardened (the flusher is gated on the sticky error), so
+            // keeping them would only grow the buffer without bound. The
+            // ticket still advances, stays monotone, and can never be
+            // reported durable.
+            if !self.shared.error.is_set() {
+                st.buf.extend_from_slice(frame);
+            }
+            st.appended += frame.len() as u64;
+            Lsn(st.appended)
+        };
+        self.shared.records.fetch_add(1, Ordering::Relaxed);
+        lsn
+    }
+
+    fn wait_durable(&self, upto: Lsn) -> Result<()> {
+        let shared = &*self.shared;
+        loop {
+            // Durability confirmed before (or despite) any later failure
+            // counts: the bytes are on the device.
+            if shared.durable.load(Ordering::Acquire) >= upto.0 {
+                return Ok(());
+            }
+            if let Some(err) = shared.error.get() {
+                return Err(err);
+            }
+            if self.tick.is_none() {
+                // Leader election: whoever wins the flush lock hardens the
+                // batch — which covers every committer queued so far — while
+                // the losers block on the condvar below and are woken by the
+                // leader's publish.
+                if let Some(mut flush) = shared.flush.try_lock() {
+                    let _ = shared.harden_locked(&mut flush);
+                    continue;
+                }
+            }
+            let mut st = shared.state.lock();
+            // Re-check both exit conditions under the mutex the watermark
+            // (and the error wakeup) are published under — after this point
+            // neither a publish nor a failing harden's notify can slip past
+            // the wait.
+            if shared.durable.load(Ordering::Acquire) >= upto.0 {
+                return Ok(());
+            }
+            if let Some(err) = shared.error.get() {
+                return Err(err);
+            }
+            // Timed slice, not an unbounded wait: a safety net so a wedged
+            // or shut-down flusher degrades into polling instead of hanging
+            // the committer forever.
+            shared.durable_cv.wait_for(&mut st, WAIT_SLICE);
+        }
+    }
+
+    fn flush(&self) -> Result<()> {
+        self.shared.harden()
+    }
+
+    fn records_written(&self) -> u64 {
+        self.shared.records.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for GroupCommitLog {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.ticker.lock().take() {
+            let _ = handle.join();
+        }
+        // Final harden so a cleanly dropped log leaves no torn tail.
+        let _ = self.shared.harden();
+    }
+}
+
+impl std::fmt::Debug for GroupCommitLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GroupCommitLog")
+            .field("tick", &self.tick)
+            .field("appended", &self.appended_lsn().0)
+            .field("durable", &self.durable_lsn().0)
+            .field("records", &self.records_written())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::{read_log_bytes, read_log_file, FileLogger, LogOp};
+    use mmdb_common::error::MmdbError;
+    use mmdb_common::ids::{TableId, Timestamp};
+    use mmdb_common::row::Row;
+
+    fn record(ts: u64, fill: u8) -> LogRecord {
+        LogRecord {
+            end_ts: Timestamp(ts),
+            ops: vec![LogOp::Write {
+                table: TableId(0),
+                row: Row::from(vec![fill; 24]),
+            }],
+        }
+    }
+
+    fn scratch(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("mmdb-groupcommit-{}-{tag}.log", std::process::id()))
+    }
+
+    #[test]
+    fn batched_frames_round_trip_and_boundaries_are_invisible() {
+        let path = scratch("roundtrip");
+        let records: Vec<LogRecord> = (0..10).map(|i| record(i + 1, i as u8)).collect();
+        {
+            let log = GroupCommitLog::create(&path).unwrap();
+            for r in &records[..4] {
+                log.append(r.clone());
+            }
+            log.flush().unwrap(); // batch 1: four records, one write+sync
+            for r in &records[4..] {
+                log.append(r.clone());
+            }
+            log.flush().unwrap(); // batch 2: six records
+            assert_eq!(log.records_written(), 10);
+            assert_eq!(log.batches_hardened(), 2);
+            assert_eq!(log.durable_lsn(), log.appended_lsn());
+        }
+        // The wire stream is the plain concatenation of the frames — batch
+        // boundaries left no trace, and a FileLogger produces the identical
+        // bytes for the same appends.
+        let bytes = std::fs::read(&path).unwrap();
+        let outcome = read_log_bytes(&bytes).unwrap();
+        assert!(outcome.is_clean());
+        assert_eq!(outcome.records, records);
+        let file_path = scratch("roundtrip-file");
+        {
+            let file_log = FileLogger::create(&file_path).unwrap();
+            for r in &records {
+                file_log.append(r.clone());
+            }
+            file_log.flush().unwrap();
+        }
+        assert_eq!(bytes, std::fs::read(&file_path).unwrap());
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&file_path);
+    }
+
+    #[test]
+    fn drop_hardens_the_tail() {
+        let path = scratch("drop");
+        {
+            let log = GroupCommitLog::create(&path).unwrap();
+            log.append(record(1, 0xAA));
+            // No flush, no wait: drop must harden the buffered frame.
+        }
+        assert_eq!(read_log_file(&path).unwrap().records, vec![record(1, 0xAA)]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn ticked_flusher_hardens_without_any_explicit_flush() {
+        let path = scratch("ticked");
+        let log = GroupCommitLog::with_tick(&path, Duration::from_millis(1)).unwrap();
+        let lsn = log.append_frame_ticketed(&encode_record(&record(3, 1)));
+        // The background flusher alone must advance the watermark.
+        log.wait_durable(lsn).unwrap();
+        assert!(log.durable_lsn() >= lsn);
+        assert_eq!(read_log_file(&path).unwrap().records, vec![record(3, 1)]);
+        drop(log);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn tickless_wait_durable_elects_an_inline_leader() {
+        let path = scratch("leader");
+        let log = GroupCommitLog::create(&path).unwrap();
+        let lsn = log.append_frame_ticketed(&encode_record(&record(5, 2)));
+        // No ticker exists; wait_durable itself must flush.
+        log.wait_durable(lsn).unwrap();
+        assert_eq!(read_log_file(&path).unwrap().records, vec![record(5, 2)]);
+        drop(log);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// The ordering acceptance test: racing committers against the flusher,
+    /// a ticket is never reported durable before every lower LSN's bytes are
+    /// in the file. Each committer checks the *file size on disk* right
+    /// after `wait_durable` returns — `lsn` is a byte offset, so
+    /// `file_len >= lsn` is exactly "my bytes (and everything before them)
+    /// hit the file".
+    #[test]
+    fn wait_durable_never_reports_before_lower_lsns_hit_the_file() {
+        for (tag, tick) in [
+            ("order-tickless", None),
+            ("order-ticked", Some(Duration::from_micros(200))),
+        ] {
+            let path = scratch(tag);
+            let log = Arc::new(match tick {
+                None => GroupCommitLog::create(&path).unwrap(),
+                Some(t) => GroupCommitLog::with_tick(&path, t).unwrap(),
+            });
+            const THREADS: u64 = 4;
+            const APPENDS: u64 = 64;
+            std::thread::scope(|scope| {
+                for w in 0..THREADS {
+                    let log = Arc::clone(&log);
+                    let path = path.clone();
+                    scope.spawn(move || {
+                        for i in 0..APPENDS {
+                            let rec = record(w * APPENDS + i + 1, w as u8);
+                            let lsn = log.append_frame_ticketed(&encode_record(&rec));
+                            log.wait_durable(lsn).unwrap();
+                            let len = std::fs::metadata(&path).expect("log exists").len();
+                            assert!(
+                                len >= lsn.0,
+                                "[{tag}] ticket {lsn:?} reported durable but the file \
+                                 holds only {len} bytes"
+                            );
+                        }
+                    });
+                }
+            });
+            log.flush().unwrap();
+            let outcome = read_log_file(&path).unwrap();
+            assert!(outcome.is_clean());
+            assert_eq!(outcome.records.len(), (THREADS * APPENDS) as usize);
+            assert_eq!(log.records_written(), THREADS * APPENDS);
+            drop(log);
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+
+    /// Concurrent Sync committers share flushes: far fewer hardened batches
+    /// than records. (Deterministic upper bound is impossible under
+    /// scheduling noise; the assertion is the weak one that batching
+    /// happened at all, the committed benchmark datapoint carries the
+    /// quantitative claim.)
+    #[test]
+    fn concurrent_committers_coalesce_into_batches() {
+        let path = scratch("coalesce");
+        let log = Arc::new(GroupCommitLog::create(&path).unwrap());
+        const THREADS: u64 = 4;
+        const APPENDS: u64 = 128;
+        std::thread::scope(|scope| {
+            for w in 0..THREADS {
+                let log = Arc::clone(&log);
+                scope.spawn(move || {
+                    for i in 0..APPENDS {
+                        let rec = record(w * APPENDS + i + 1, w as u8);
+                        let lsn = log.append_frame_ticketed(&encode_record(&rec));
+                        log.wait_durable(lsn).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(log.records_written(), THREADS * APPENDS);
+        assert!(
+            log.batches_hardened() < THREADS * APPENDS,
+            "every record got its own batch — group commit never coalesced \
+             ({} batches for {} records)",
+            log.batches_hardened(),
+            THREADS * APPENDS
+        );
+        drop(log);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn io_errors_are_sticky_and_propagate_through_wait_durable() {
+        // /dev/full accepts the open but fails every write with ENOSPC:
+        // the ticket can never become durable, and the error must reach the
+        // waiting committer instead of hanging or silently succeeding.
+        if !std::path::Path::new("/dev/full").exists() {
+            return;
+        }
+        let log = GroupCommitLog::create("/dev/full").unwrap();
+        let lsn = log.append_frame_ticketed(&encode_record(&record(1, 3)));
+        let first = log.wait_durable(lsn);
+        assert!(
+            matches!(first, Err(MmdbError::LogIo(_))),
+            "wait_durable must surface the write failure, got {first:?}"
+        );
+        // Sticky: later waits and flushes keep failing with the first error.
+        assert_eq!(first, log.wait_durable(lsn));
+        assert_eq!(first, log.flush());
+        // Appends after the failure never panic or block.
+        let lsn2 = log.append_frame_ticketed(&encode_record(&record(2, 4)));
+        assert!(lsn2 > lsn);
+        assert!(log.wait_durable(lsn2).is_err());
+        assert_eq!(log.durable_lsn(), Lsn::ZERO);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn ticked_log_surfaces_flusher_errors_to_waiters() {
+        if !std::path::Path::new("/dev/full").exists() {
+            return;
+        }
+        let log = GroupCommitLog::with_tick("/dev/full", Duration::from_millis(1)).unwrap();
+        let lsn = log.append_frame_ticketed(&encode_record(&record(1, 5)));
+        // The *background* flusher hits ENOSPC; the waiter must still learn
+        // about it promptly (woken by the failing harden, not the timeout).
+        let result = log.wait_durable(lsn);
+        assert!(matches!(result, Err(MmdbError::LogIo(_))), "{result:?}");
+    }
+
+    /// Once the log is torn, no later batch may be written: the failed
+    /// batch can have left a partial frame at the tail, and appending past
+    /// it would turn a recoverable torn tail into mid-stream corruption
+    /// (and durably persist frames of transactions that were reported
+    /// rolled back). Simulates the tear by recording the sticky error
+    /// directly, then drives every write path (flush, wait_durable leader,
+    /// drop) and asserts the file never grows.
+    #[test]
+    fn a_torn_log_never_writes_later_batches() {
+        let path = scratch("torn-gate");
+        let log = GroupCommitLog::create(&path).unwrap();
+        log.append(record(1, 1));
+        log.flush().unwrap();
+        let confirmed = log.durable_lsn();
+
+        log.shared
+            .error
+            .record(std::io::Error::other("simulated mid-batch tear"));
+        // Simulate the failing batch's partial progress: unconfirmed bytes
+        // that reached the file (or page cache) before the error.
+        {
+            use std::io::Write as _;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            f.write_all(b"unconfirmed partial batch").unwrap();
+        }
+        let lsn = log.append_frame_ticketed(&encode_record(&record(2, 2)));
+        assert!(lsn > confirmed, "tickets stay monotone after the tear");
+        assert!(log.flush().is_err());
+        assert!(log.wait_durable(lsn).is_err());
+        // A ticket confirmed durable before the failure still succeeds.
+        log.wait_durable(confirmed).unwrap();
+        assert_eq!(log.durable_lsn(), confirmed);
+        drop(log); // the final drop-harden must not write either
+
+        // The gated hardens truncated the unconfirmed tail back to the
+        // watermark: the file holds exactly the confirmed prefix, cleanly.
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            confirmed.0,
+            "unconfirmed bytes must be cut back to the durable watermark"
+        );
+        let outcome = read_log_file(&path).unwrap();
+        assert!(outcome.is_clean());
+        assert_eq!(
+            outcome.records,
+            vec![record(1, 1)],
+            "no bytes may reach the file after the tear"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn lsn_tickets_are_monotone_byte_offsets() {
+        let path = scratch("lsn");
+        let log = GroupCommitLog::create(&path).unwrap();
+        assert_eq!(log.appended_lsn(), Lsn::ZERO);
+        let frame = encode_record(&record(1, 0));
+        let a = log.append_frame_ticketed(&frame);
+        let b = log.append_frame_ticketed(&frame);
+        assert_eq!(a.0, frame.len() as u64);
+        assert_eq!(b.0, 2 * frame.len() as u64);
+        assert!(b > a);
+        assert_eq!(log.appended_lsn(), b);
+        assert_eq!(log.durable_lsn(), Lsn::ZERO);
+        log.flush().unwrap();
+        assert_eq!(log.durable_lsn(), b);
+        drop(log);
+        let _ = std::fs::remove_file(&path);
+    }
+}

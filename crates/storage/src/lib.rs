@@ -18,7 +18,11 @@
 //! * [`txn_table`] — transaction handles (state machine, commit-dependency
 //!   and wait-for-dependency bookkeeping) and the global transaction table.
 //! * [`gc`] — the garbage queue feeding cooperative collection.
-//! * [`log`] — non-blocking redo logging (null / in-memory / file).
+//! * [`log`] — non-blocking redo logging (null / in-memory / file) and the
+//!   durability-ticket surface ([`log::Lsn`]).
+//! * [`group_commit`] — the shared-buffer batched log writer
+//!   ([`GroupCommitLog`]): one `write`+sync per batch, per-transaction
+//!   durability tickets, background-tick or leader-elected flushing.
 //! * [`store`] — [`MvStore`], the bundle shared by all transactions.
 
 #![warn(missing_docs)]
@@ -26,6 +30,7 @@
 
 pub mod catalog;
 pub mod gc;
+pub mod group_commit;
 pub mod log;
 pub mod store;
 pub mod table;
@@ -33,7 +38,8 @@ pub mod txn_table;
 pub mod version;
 
 pub use gc::{GcItem, GcQueue};
-pub use log::{FileLogger, LogOp, LogRecord, MemoryLogger, NullLogger, RedoLogger};
+pub use group_commit::GroupCommitLog;
+pub use log::{FileLogger, LogOp, LogRecord, Lsn, MemoryLogger, NullLogger, RedoLogger};
 pub use store::MvStore;
 pub use table::{Table, VersionPtr};
 pub use txn_table::{DepRegistration, TxnHandle, TxnState, TxnTable};

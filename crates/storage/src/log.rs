@@ -38,7 +38,7 @@
 //! [`MmdbError::LogCorrupt`]).
 
 use std::fs::File;
-use std::io::{BufWriter, Write};
+use std::io::Write;
 use std::path::Path;
 
 use parking_lot::Mutex;
@@ -346,6 +346,25 @@ pub fn read_log_file(path: impl AsRef<Path>) -> Result<LogReadOutcome> {
     read_log_bytes(&bytes)
 }
 
+/// A durability ticket: the logical byte offset (within one logger's stream)
+/// up to which a committer's redo bytes extend. Issued by
+/// [`RedoLogger::append_frame_ticketed`]; redeemed by
+/// [`RedoLogger::wait_durable`], which returns once every byte at offsets
+/// `< lsn` is on durable storage.
+///
+/// Because the log is a single ordered stream, tickets are totally ordered:
+/// a ticket becoming durable implies every lower ticket is durable too. The
+/// numeric value is only meaningful within the logger that issued it;
+/// loggers without batching issue [`Lsn::ZERO`] (their `wait_durable`
+/// flushes everything regardless).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lsn(pub u64);
+
+impl Lsn {
+    /// The trivially-durable ticket (an empty log prefix).
+    pub const ZERO: Lsn = Lsn(0);
+}
+
 /// What a [`recover`](LogReadOutcome)-style replay did: how much log it
 /// consumed and how many records it applied. Returned by the engines'
 /// `recover_bytes` / `recover_file` entry points.
@@ -380,7 +399,46 @@ pub trait RedoLogger: Send + Sync + 'static {
         }
     }
 
-    /// Force buffered records towards durable storage (group commit tick).
+    /// Append one pre-encoded record frame and receive a durability ticket.
+    ///
+    /// This is the commit path of transactions that may later want to wait
+    /// for durability ([`Durability::Sync`](mmdb_common::Durability)): the
+    /// returned [`Lsn`] covers this frame and, transitively, every frame
+    /// appended before it. The append itself never blocks on I/O — batching
+    /// loggers ([`crate::group_commit::GroupCommitLog`]) stage the bytes in a
+    /// shared buffer and harden them on their next flush.
+    ///
+    /// The default delegates to [`RedoLogger::append_frame`] and issues
+    /// [`Lsn::ZERO`]: for non-batching loggers the ticket's value is
+    /// irrelevant because their [`RedoLogger::wait_durable`] flushes
+    /// everything buffered regardless.
+    fn append_frame_ticketed(&self, frame: &[u8]) -> Lsn {
+        self.append_frame(frame);
+        Lsn::ZERO
+    }
+
+    /// Block until every byte at offsets below `upto` is on durable storage.
+    ///
+    /// Ordering guarantee: a ticket is never reported durable before the
+    /// bytes of **every** lower ticket have reached the file — the log is a
+    /// single ordered stream and flushes cover prefixes.
+    ///
+    /// The default preserves the pre-ticket behavior: it simply
+    /// [`flush`](RedoLogger::flush)es, which for a [`FileLogger`] means one
+    /// write-and-sync per waiting transaction (the per-transaction-flush
+    /// baseline the `perf-commit` experiment measures group commit against).
+    ///
+    /// Errors are the logger's sticky I/O errors; once the underlying file
+    /// has failed, every subsequent wait fails. A ticket whose bytes were
+    /// already confirmed durable before the failure still succeeds.
+    fn wait_durable(&self, upto: Lsn) -> Result<()> {
+        let _ = upto;
+        self.flush()
+    }
+
+    /// Force buffered records to durable storage (the group commit tick):
+    /// buffered bytes are written **and synced** (`fdatasync`-equivalent) so
+    /// a crash of the whole machine, not just the process, cannot lose them.
     ///
     /// Returns the first I/O error encountered by any append or flush since
     /// the logger was created — errors are sticky, so a torn write during an
@@ -462,21 +520,100 @@ impl RedoLogger for MemoryLogger {
     }
 }
 
+/// First-error-wins sticky I/O error slot, shared by the file-backed
+/// loggers ([`FileLogger`], [`crate::group_commit::GroupCommitLog`]): the
+/// log is torn at the *earliest* failure point, so only the first error is
+/// retained and every later flush/wait reports it.
+#[derive(Debug, Default)]
+pub(crate) struct StickyError(Mutex<Option<String>>);
+
+impl StickyError {
+    /// Record `err` if no earlier error is held; later ones are dropped.
+    pub(crate) fn record(&self, err: std::io::Error) {
+        let mut slot = self.0.lock();
+        if slot.is_none() {
+            *slot = Some(err.to_string());
+        }
+    }
+
+    /// The held error, if any, as an [`MmdbError::LogIo`].
+    pub(crate) fn get(&self) -> Option<MmdbError> {
+        self.0.lock().as_ref().map(|m| MmdbError::LogIo(m.clone()))
+    }
+
+    /// True once an error has been recorded.
+    pub(crate) fn is_set(&self) -> bool {
+        self.0.lock().is_some()
+    }
+
+    /// `Ok(())` while clean, the held error otherwise.
+    pub(crate) fn check(&self) -> Result<()> {
+        match self.get() {
+            Some(err) => Err(err),
+            None => Ok(()),
+        }
+    }
+}
+
 /// Logger appending framed binary records to a file through a buffer.
-/// Appends go to an in-memory buffer under a mutex; actual file writes
-/// happen on `flush` (called by a background ticker or at shutdown), so the
-/// commit path never waits for I/O — matching the paper's asynchronous group
-/// commit.
+/// Appends go to an in-memory buffer under a mutex; actual file writes (and
+/// the sync that makes them durable) happen on `flush` (called by a
+/// background ticker or at shutdown), so the commit path never waits for
+/// I/O — matching the paper's asynchronous group commit. For a logger whose
+/// flush cadence is owned by the logger itself — a shared batch buffer, a
+/// background flusher tick, per-transaction durability tickets — see
+/// [`crate::group_commit::GroupCommitLog`].
 ///
 /// Because appends are fire-and-forget, an I/O error cannot be returned to
 /// the committing transaction. Instead the first error is recorded and every
 /// subsequent [`flush`](RedoLogger::flush) fails with it, so the process
-/// driving group commit learns the log is torn.
+/// driving group commit learns the log is torn. A torn log accepts and
+/// writes nothing further (dropping the logger discards, never retries, the
+/// buffered tail), and the file is cut back to the last *synced* offset —
+/// bytes past the tear must not surface after a crash, because recovery
+/// would replay them even though their transactions were never confirmed.
 pub struct FileLogger {
-    writer: Mutex<BufWriter<File>>,
+    inner: Mutex<FileBuf>,
     /// First I/O error seen by any append/flush; sticky once set.
-    error: Mutex<Option<String>>,
+    error: StickyError,
     count: std::sync::atomic::AtomicU64,
+}
+
+/// The buffered file behind a [`FileLogger`]. Hand-rolled rather than a
+/// `BufWriter` because `BufWriter::drop` retries writing residual buffered
+/// bytes — exactly what a torn log must never do.
+struct FileBuf {
+    file: File,
+    /// Frames appended since the last write to the OS.
+    buf: Vec<u8>,
+    /// File offset up to which bytes are confirmed synced (the truncation
+    /// target if a later write fails).
+    confirmed: u64,
+    /// File offset of everything handed to the OS (synced or not).
+    written: u64,
+}
+
+/// `FileLogger` spills its buffer to the OS (without syncing) past this
+/// size, bounding memory like `BufWriter` did.
+const FILE_LOGGER_SPILL: usize = 1 << 20;
+
+impl FileBuf {
+    /// Hand the buffered bytes to the OS (no sync). On failure the buffer
+    /// is discarded — the log is torn at its earliest unwritten byte and
+    /// nothing after the tear may ever reach the file.
+    fn write_buffered(&mut self, error: &StickyError) {
+        let result = self.file.write_all(&self.buf);
+        match result {
+            Ok(()) => self.written += self.buf.len() as u64,
+            Err(e) => {
+                error.record(e);
+                // Best effort: cut the file back to the synced prefix so the
+                // failing write's partial progress cannot outlive a crash.
+                let _ = self.file.set_len(self.confirmed);
+            }
+        }
+        self.buf.clear();
+    }
 }
 
 impl FileLogger {
@@ -484,19 +621,15 @@ impl FileLogger {
     pub fn create(path: impl AsRef<Path>) -> std::io::Result<FileLogger> {
         let file = File::create(path)?;
         Ok(FileLogger {
-            writer: Mutex::new(BufWriter::with_capacity(1 << 20, file)),
-            error: Mutex::new(None),
+            inner: Mutex::new(FileBuf {
+                file,
+                buf: Vec::with_capacity(FILE_LOGGER_SPILL),
+                confirmed: 0,
+                written: 0,
+            }),
+            error: StickyError::default(),
             count: std::sync::atomic::AtomicU64::new(0),
         })
-    }
-
-    /// Record the first I/O error; later ones are dropped (the log is
-    /// already torn at the earliest failure point).
-    fn record_error(&self, err: std::io::Error) {
-        let mut slot = self.error.lock();
-        if slot.is_none() {
-            *slot = Some(err.to_string());
-        }
     }
 }
 
@@ -506,24 +639,49 @@ impl RedoLogger for FileLogger {
     }
 
     fn append_frame(&self, frame: &[u8]) {
-        let mut w = self.writer.lock();
-        if let Err(e) = w.write_all(frame) {
-            self.record_error(e);
+        let mut g = self.inner.lock();
+        // A torn log accepts no further bytes (they could only land after
+        // the partial frame at the tear, where recovery must not read
+        // them); the append stays fire-and-forget — the error surfaces at
+        // the next flush.
+        if !self.error.is_set() {
+            g.buf.extend_from_slice(frame);
+            if g.buf.len() >= FILE_LOGGER_SPILL {
+                g.write_buffered(&self.error);
+            }
         }
+        drop(g);
         self.count
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     }
 
     fn flush(&self) -> Result<()> {
-        let mut w = self.writer.lock();
-        if let Err(e) = w.flush() {
-            self.record_error(e);
+        let mut g = self.inner.lock();
+        // Write the buffered bytes, then sync them to the device: flush
+        // without sync would leave "durable" records in the page cache,
+        // where a machine crash still loses them. Once the log is torn
+        // (sticky error) nothing more is written — and the file is kept cut
+        // back to the confirmed prefix (idempotent, best effort), so
+        // unconfirmed bytes cannot resurface after a crash.
+        if self.error.is_set() {
+            let confirmed = g.confirmed;
+            let _ = g.file.set_len(confirmed);
+            drop(g);
+            return self.error.check();
         }
-        drop(w);
-        match &*self.error.lock() {
-            Some(msg) => Err(MmdbError::LogIo(msg.clone())),
-            None => Ok(()),
+        g.write_buffered(&self.error);
+        if !self.error.is_set() {
+            match g.file.sync_data() {
+                Ok(()) => g.confirmed = g.written,
+                Err(e) => {
+                    self.error.record(e);
+                    let confirmed = g.confirmed;
+                    let _ = g.file.set_len(confirmed);
+                }
+            }
         }
+        drop(g);
+        self.error.check()
     }
 
     fn records_written(&self) -> u64 {
@@ -785,6 +943,48 @@ mod tests {
             memory.append(r.clone());
         }
         assert_eq!(std::fs::read(&path).unwrap(), memory.encoded_bytes());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// The torn-log contract: once the sticky error is set, the logger
+    /// writes nothing further (including on drop — no `BufWriter`-style
+    /// retry of buffered bytes) and keeps the file cut back to the last
+    /// synced offset, so unconfirmed bytes can never surface in recovery.
+    #[test]
+    fn torn_file_logger_discards_its_tail_and_truncates_to_the_synced_prefix() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("mmdb-log-torn-test-{}.bin", std::process::id()));
+        let confirmed_len;
+        {
+            let log = FileLogger::create(&path).unwrap();
+            log.append(record(1, 2));
+            log.flush().unwrap(); // confirmed prefix
+            confirmed_len = std::fs::metadata(&path).unwrap().len();
+
+            // Simulate a failed later flush whose write partially reached
+            // the file before the error stuck.
+            log.error.record(std::io::Error::other("simulated tear"));
+            {
+                let mut f = std::fs::OpenOptions::new()
+                    .append(true)
+                    .open(&path)
+                    .unwrap();
+                f.write_all(b"unconfirmed partial write").unwrap();
+            }
+            // Appends after the tear are dropped, the gated flush truncates,
+            // and the drop at the end of this scope must not write either.
+            log.append(record(2, 1));
+            assert!(log.flush().is_err());
+            assert_eq!(log.records_written(), 2);
+        }
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            confirmed_len,
+            "the file must be cut back to the synced prefix"
+        );
+        let outcome = read_log_file(&path).unwrap();
+        assert!(outcome.is_clean());
+        assert_eq!(outcome.records, vec![record(1, 2)]);
         let _ = std::fs::remove_file(&path);
     }
 

@@ -61,8 +61,8 @@ pub mod prelude {
     pub use mmdb_common::engine::{Engine, EngineTxn, EngineTxnExt};
     pub use mmdb_common::row::rowbuf;
     pub use mmdb_common::{
-        ConcurrencyMode, IndexId, IndexSpec, IsolationLevel, Key, KeySpec, MmdbError, Result, Row,
-        TableId, TableSpec, Timestamp, TxnId,
+        ConcurrencyMode, Durability, IndexId, IndexSpec, IsolationLevel, Key, KeySpec, MmdbError,
+        Result, Row, TableId, TableSpec, Timestamp, TxnId,
     };
     pub use mmdb_core::{MvConfig, MvEngine};
     pub use mmdb_onev::{SvConfig, SvEngine};

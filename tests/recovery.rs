@@ -33,6 +33,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use mmdb::prelude::*;
+use mmdb_storage::group_commit::GroupCommitLog;
 use mmdb_storage::log::{
     read_log_bytes, FileLogger, LogOp, LogRecord, MemoryLogger, RecoveryReport, RedoLogger,
 };
@@ -204,6 +205,18 @@ struct LoggedRun {
 fn logged_concurrent_run(kind: Kind, seed: u64) -> LoggedRun {
     let path = scratch_log(&format!("{}-{seed:x}", kind.label().replace('/', "_")));
     let logger = Arc::new(FileLogger::create(&path).expect("create log file"));
+    logged_concurrent_run_on(kind, seed, &path, logger)
+}
+
+/// Run a seeded concurrent history on an engine of `kind` wired to an
+/// arbitrary file-backed logger (the log file at `path` is read back and
+/// removed afterwards).
+fn logged_concurrent_run_on(
+    kind: Kind,
+    seed: u64,
+    path: &std::path::Path,
+    logger: Arc<dyn RedoLogger>,
+) -> LoggedRun {
     let engine = EngineBox::new(kind, logger.clone());
     let tables = engine.create_tables();
     engine.populate(&tables);
@@ -221,9 +234,9 @@ fn logged_concurrent_run(kind: Kind, seed: u64) -> LoggedRun {
     engine.run_concurrent(&tables, parts);
 
     logger.flush().expect("flush log");
-    let bytes = std::fs::read(&path).expect("read log file");
+    let bytes = std::fs::read(path).expect("read log file");
     let final_state = engine.dump(&tables);
-    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(path);
     LoggedRun {
         bytes,
         final_state,
@@ -548,4 +561,218 @@ fn file_and_memory_loggers_agree_byte_for_byte() {
             );
         }
     }
+}
+
+/// The group-commit tick used by the mid-batch crash tests (microseconds).
+/// Long relative to the run so batches provably span several transactions.
+const BATCH_TICK_US: u64 = 2_000;
+
+#[test]
+fn group_commit_crash_mid_batch_recovers_the_committed_prefix() {
+    // The group-commit twin of `crash_at_any_offset_recovers_the_committed_
+    // prefix`: the log is written through `GroupCommitLog`'s shared batch
+    // buffer (background flusher tick + final drop/flush harden), and the
+    // crash offsets land *inside* batches — the coalescing assertion below
+    // proves batches spanned multiple transactions, and the random offsets
+    // land mid-frame (hence mid-batch) with overwhelming probability.
+    // Batch boundaries must be invisible: truncation anywhere reads as a
+    // torn tail, and the surviving prefix replays exactly as it would for a
+    // per-transaction FileLogger stream.
+    for kind in ALL_KINDS {
+        for seed in seeds() {
+            let path = scratch_log(&format!("gc-{}-{seed:x}", kind.label().replace('/', "_")));
+            let logger = Arc::new(
+                GroupCommitLog::with_tick(&path, std::time::Duration::from_micros(BATCH_TICK_US))
+                    .expect("create group-commit log"),
+            );
+            let LoggedRun {
+                bytes,
+                tables: source_tables,
+                history_debug,
+                ..
+            } = logged_concurrent_run_on(kind, seed, &path, logger.clone());
+            assert!(
+                !bytes.is_empty(),
+                "[{} seed={seed:#x}] the run should have produced log records",
+                kind.label()
+            );
+            assert!(
+                logger.batches_hardened() < logger.records_written(),
+                "[{} seed={seed:#x}] batches ({}) must coalesce multiple records ({}) — \
+                 otherwise no crash offset can land mid-batch",
+                kind.label(),
+                logger.batches_hardened(),
+                logger.records_written()
+            );
+
+            for offset in crash_offsets(seed ^ 0xBA7C_4000, bytes.len()) {
+                let truncated = &bytes[..offset];
+                let outcome = read_log_bytes(truncated).unwrap_or_else(|e| {
+                    panic!(
+                        "[{} seed={seed:#x} crash_offset={offset}] a crash mid-batch must \
+                         read as a torn tail, never corruption: {e}",
+                        kind.label()
+                    )
+                });
+                let expected = log_oracle(&outcome.records, &source_tables);
+
+                let target = EngineBox::new(kind, Arc::new(mmdb_storage::log::NullLogger::new()));
+                let tables = target.create_tables();
+                let history_name = format!("recovery-groupcommit-seed-{seed:#x}.history.txt");
+                let log_name = format!("recovery-groupcommit-seed-{seed:#x}.log.bin");
+                with_repro_artifacts(
+                    &format!(
+                        "suite=recovery-groupcommit engine={} seed={seed:#x} \
+                         crash_offset={offset} batch_tick_us={BATCH_TICK_US}",
+                        kind.label()
+                    ),
+                    &[
+                        (&history_name, history_debug.as_bytes()),
+                        (&log_name, &bytes),
+                    ],
+                    || {
+                        let report = target.recover_bytes(truncated).unwrap_or_else(|e| {
+                            panic!(
+                                "[{} seed={seed:#x} crash_offset={offset} \
+                                 batch_tick_us={BATCH_TICK_US}] recovery failed: {e}",
+                                kind.label()
+                            )
+                        });
+                        assert_eq!(report.records_applied, outcome.records.len());
+                        assert_eq!(
+                            report.valid_bytes + report.torn_bytes,
+                            offset as u64,
+                            "every crash byte is either replayed or torn"
+                        );
+                        let label = format!(
+                            "{} seed={seed:#x} crash_offset={offset} (group commit)",
+                            kind.label()
+                        );
+                        assert_eq!(
+                            target.dump(&tables),
+                            expected,
+                            "[{label}] recovered state diverges from the committed prefix \
+                             the surviving batches describe"
+                        );
+                        target.assert_indexes_consistent(&label, &tables);
+                    },
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn group_commit_and_file_loggers_agree_byte_for_byte() {
+    // Batch boundaries are invisible on the wire: the same sequential
+    // history produces bit-identical log files whether each commit's frame
+    // is written straight through a FileLogger or staged in the
+    // GroupCommitLog's shared buffer and hardened in batches.
+    for kind in ALL_KINDS {
+        let seed = seeds()[0];
+        let file_path = scratch_log(&format!("parity-file-{}", kind.label().replace('/', "_")));
+        let gc_path = scratch_log(&format!("parity-gc-{}", kind.label().replace('/', "_")));
+        let file_logger = Arc::new(FileLogger::create(&file_path).expect("create log file"));
+        let gc_logger = Arc::new(GroupCommitLog::create(&gc_path).expect("create gc log"));
+
+        let history = generate_history(seed, PARAMS);
+        for run in 0..2 {
+            let logger: Arc<dyn RedoLogger> = if run == 0 {
+                file_logger.clone()
+            } else {
+                gc_logger.clone()
+            };
+            let engine = EngineBox::new(kind, logger);
+            let tables = engine.create_tables();
+            engine.populate(&tables);
+            engine.run_sequential(&tables, &history);
+        }
+        file_logger.flush().expect("flush file log");
+        gc_logger.flush().expect("flush group-commit log");
+
+        let file_bytes = std::fs::read(&file_path).expect("read file log");
+        let gc_bytes = std::fs::read(&gc_path).expect("read gc log");
+        let _ = std::fs::remove_file(&file_path);
+        let _ = std::fs::remove_file(&gc_path);
+        assert_eq!(
+            file_bytes,
+            gc_bytes,
+            "[{} seed={seed:#x}] group-commit batching changed the wire bytes",
+            kind.label()
+        );
+    }
+}
+
+#[test]
+fn sync_commits_survive_a_crash_that_drops_only_unflushed_async_tails() {
+    // The durability contract, end to end: a Sync commit's record is on
+    // disk the moment commit() returns, so a crash immediately afterwards
+    // (simulated by reading the file *without* any final flush) can lose at
+    // most the Async commits that followed the last hardened batch.
+    let path = scratch_log("sync-survives");
+    let logger = Arc::new(GroupCommitLog::create(&path).expect("create gc log"));
+    let engine = MvEngine::with_logger(
+        MvConfig::optimistic().with_deadlock_detector(false),
+        logger.clone(),
+    );
+    let tables = create_diff_tables(&engine, TABLES, 128);
+    populate(&engine, &tables, INITIAL_ROWS);
+
+    // One Sync transaction among Async neighbours.
+    let mut txn = engine.begin(IsolationLevel::Serializable);
+    assert!(txn
+        .update(
+            tables[0],
+            support::PRIMARY,
+            0,
+            rowbuf::keyed_row(0, support::FILLER, 7)
+        )
+        .unwrap());
+    txn.commit().expect("async commit");
+    let mut txn = engine.begin(IsolationLevel::Serializable);
+    txn.set_durability(Durability::Sync);
+    assert!(txn
+        .update(
+            tables[0],
+            support::PRIMARY,
+            1,
+            rowbuf::keyed_row(1, support::FILLER, 8)
+        )
+        .unwrap());
+    txn.commit().expect("sync commit");
+    let mut txn = engine.begin(IsolationLevel::Serializable);
+    assert!(txn
+        .update(
+            tables[0],
+            support::PRIMARY,
+            2,
+            rowbuf::keyed_row(2, support::FILLER, 9)
+        )
+        .unwrap());
+    txn.commit().expect("trailing async commit");
+
+    // "Crash": read whatever is durable right now — no flush, no drop.
+    let bytes = std::fs::read(&path).expect("read log file");
+    let outcome = read_log_bytes(&bytes).expect("durable prefix decodes");
+    let recovered = log_oracle(&outcome.records, &tables);
+    assert_eq!(
+        recovered[0].get(&1),
+        Some(&8),
+        "the Sync commit must already be durable (got {:?})",
+        recovered[0]
+    );
+    assert_eq!(
+        recovered[0].get(&0),
+        Some(&7),
+        "every commit ordered before the Sync one shares its flush"
+    );
+    assert_eq!(
+        recovered[0].get(&2),
+        Some(&1),
+        "the trailing Async commit is still buffered — lost by this crash, so \
+         key 2 recovers to its populated value"
+    );
+    drop(engine);
+    drop(logger);
+    let _ = std::fs::remove_file(&path);
 }
