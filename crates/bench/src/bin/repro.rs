@@ -5,6 +5,7 @@
 //!
 //! experiments: fig4 fig5 table3 fig6 fig7 fig8 fig9 table4 ablation perf all
 //!              perf-read perf-write   (the two perf halves individually)
+//!              perf-range   (ordered-index range scans: skip list vs 1V)
 //!              perf-commit  (commit durability: group commit vs per-txn flush)
 //!              recover   (crash/replay durability smoke — not part of `all`)
 //!
@@ -31,7 +32,7 @@ fn usage() -> ! {
         "usage: repro [--quick] [--rows N] [--hot-rows N] [--mpl N] [--threads a,b,c] \
          [--duration-ms MS] [--subscribers N] [--json PATH] \
          <fig4|fig5|table3|fig6|fig7|fig8|fig9|table4|ablation|perf|perf-read|perf-write\
-         |perf-commit|recover|all>..."
+         |perf-range|perf-commit|recover|all>..."
     );
     std::process::exit(2);
 }
@@ -156,6 +157,7 @@ fn main() {
             ),
             "perf-read" => emit(&mut produced, vec![experiments::readpath_perf(&cfg)]),
             "perf-write" => emit(&mut produced, vec![experiments::writepath_perf(&cfg)]),
+            "perf-range" => emit(&mut produced, vec![experiments::rangescan_perf(&cfg)]),
             "perf-commit" => emit(&mut produced, vec![experiments::commitpath_perf(&cfg)]),
             "recover" => recover_smoke(&cfg),
             "ablation" => emit(
@@ -217,6 +219,7 @@ fn recover_smoke(cfg: &ExpConfig) {
             key: KeySpec::BytesAt { offset: 8, len: 1 },
             buckets: 64,
             unique: false,
+            ordered: false,
         })
     }
 

@@ -636,6 +636,116 @@ pub fn readpath_perf(cfg: &ExpConfig) -> SeriesTable {
     table
 }
 
+/// **Range-scan microbenchmark** — the ordered-index companion of
+/// [`readpath_perf`] (`BENCH_rangescan.json`). Single-threaded ns/op of
+/// inclusive range scans over a skip-list-ordered primary-key index on a
+/// warmed engine:
+///
+/// * MV/O short (8-key) and long (64-key) range scans through the visitor
+///   API (`scan_range_with`, allocation-free steady state below
+///   serializable) plus the materializing `scan_range` for contrast;
+/// * whole serializable range-scan transactions on both MV schemes — MV/O
+///   pays commit-time §4.3.2 revalidation of the scanned range, MV/L pays
+///   range-lock registration and release;
+/// * the 1V comparison: the single-version engine has no ordered structure,
+///   so a range scan shared-locks the whole index and filters every row —
+///   the baseline the skip list exists to beat (its iteration count is
+///   scaled down so the O(rows) walks keep the experiment bounded).
+pub fn rangescan_perf(cfg: &ExpConfig) -> SeriesTable {
+    use mmdb_common::engine::EngineTxn as _;
+    use mmdb_common::isolation::ConcurrencyMode;
+    use mmdb_common::row::rowbuf;
+
+    use crate::readpath::{
+        warmed_ordered_mv_engine, warmed_ordered_sv_engine, KEY_STRIDE, ORDERED_INDEX,
+    };
+
+    let rows = cfg.rows.clamp(8_192, 262_144);
+    let scan_iters = (cfg.duration.as_millis() as u64 * 40).clamp(4_000, 80_000);
+    // Serializable transactions carry per-txn registration/validation work on
+    // top of the scan; 1V walks the whole index per scan.
+    let txn_iters = scan_iters / 4;
+    let sv_iters = scan_iters.min((50_000_000 / rows).max(100));
+
+    let mut table = SeriesTable {
+        title: format!("Range scans: ns/op on a warmed ordered index ({rows} rows, single thread)"),
+        x_label: "operation".into(),
+        xs: vec!["ns/op".into()],
+        rows: Vec::new(),
+        unit: "nanoseconds per operation".into(),
+    };
+
+    let (engine, t) = warmed_ordered_mv_engine(ConcurrencyMode::Optimistic, rows);
+    let mut txn = engine.begin(IsolationLevel::ReadCommitted);
+    let scan_span = |txn: &mut mmdb_core::MvTransaction, key: &mut u64, span: u64| {
+        *key = (key.wrapping_add(KEY_STRIDE)) % (rows - span);
+        let mut sum = 0u64;
+        txn.scan_range_with(t, ORDERED_INDEX, *key, *key + span - 1, &mut |row| {
+            sum += rowbuf::key_of(row)
+        })
+        .expect("scan_range_with");
+        std::hint::black_box(sum);
+    };
+    let mut key = 0u64;
+    let short_vis = ns_per_op(scan_iters, || scan_span(&mut txn, &mut key, 8));
+    let mut key = 1u64;
+    let long_vis = ns_per_op(scan_iters / 4, || scan_span(&mut txn, &mut key, 64));
+    let mut key = 2u64;
+    let short_mat = ns_per_op(scan_iters, || {
+        key = (key.wrapping_add(KEY_STRIDE)) % (rows - 8);
+        std::hint::black_box(
+            txn.scan_range(t, ORDERED_INDEX, key, key + 7)
+                .expect("scan_range")
+                .len(),
+        );
+    });
+    txn.abort();
+
+    let mv_ser_txn = |mode: ConcurrencyMode| {
+        let (engine, t) = warmed_ordered_mv_engine(mode, rows);
+        let mut key = 0u64;
+        ns_per_op(txn_iters, || {
+            key = (key.wrapping_add(KEY_STRIDE)) % (rows - 8);
+            let mut txn = engine.begin(IsolationLevel::Serializable);
+            let mut sum = 0u64;
+            txn.scan_range_with(t, ORDERED_INDEX, key, key + 7, &mut |row| {
+                sum += rowbuf::key_of(row)
+            })
+            .expect("scan_range_with");
+            std::hint::black_box(sum);
+            txn.commit().expect("commit");
+        })
+    };
+    let mvo_ser = mv_ser_txn(ConcurrencyMode::Optimistic);
+    let mvl_ser = mv_ser_txn(ConcurrencyMode::Pessimistic);
+
+    let (sv, t1) = warmed_ordered_sv_engine(rows, cfg.lock_timeout);
+    let mut txn = sv.begin(IsolationLevel::ReadCommitted);
+    let mut key = 0u64;
+    let sv_scan = ns_per_op(sv_iters, || {
+        key = (key.wrapping_add(KEY_STRIDE)) % (rows - 8);
+        let mut sum = 0u64;
+        txn.scan_range_with(t1, ORDERED_INDEX, key, key + 7, &mut |row| {
+            sum += rowbuf::key_of(row)
+        })
+        .expect("scan_range_with");
+        std::hint::black_box(sum);
+    });
+    txn.abort();
+
+    for (label, value) in [
+        ("MV/O range x8 (visitor `scan_range_with`, RC)", short_vis),
+        ("MV/O range x64 (visitor `scan_range_with`, RC)", long_vis),
+        ("MV/O range x8 (materializing `scan_range`, RC)", short_mat),
+        ("MV/O ser range txn x8 (scan+commit revalidate)", mvo_ser),
+        ("MV/L ser range txn x8 (range lock + release)", mvl_ser),
+        ("1V range x8 (full-index lock + filter walk, RC)", sv_scan),
+    ] {
+        table.rows.push((label.to_string(), vec![value]));
+    }
+    table
+}
+
 /// **Write-path microbenchmark** — the companion of [`readpath_perf`]
 /// (`BENCH_writepath.json`). Single-threaded ns per *whole warmed write
 /// transaction* on a populated engine:
@@ -846,6 +956,7 @@ pub fn run_all(cfg: &ExpConfig) -> Vec<SeriesTable> {
     out.push(ablation_validation_cost(cfg));
     out.push(ablation_gc(cfg));
     out.push(readpath_perf(cfg));
+    out.push(rangescan_perf(cfg));
     out.push(writepath_perf(cfg));
     out.push(commitpath_perf(cfg));
     out
@@ -938,6 +1049,30 @@ mod tests {
             .value("TxnTable lookup (`get_in`, guard borrow)", 0)
             .unwrap();
         assert!(borrow < arc * 10.0, "get_in {borrow} vs get {arc}");
+    }
+
+    #[test]
+    fn rangescan_perf_reports_every_series() {
+        let t = rangescan_perf(&tiny());
+        assert_eq!(t.xs, vec!["ns/op".to_string()]);
+        assert_eq!(t.rows.len(), 6);
+        for (label, series) in &t.rows {
+            assert_eq!(series.len(), 1);
+            assert!(
+                series[0].is_finite() && series[0] > 0.0,
+                "{label}: ns/op must be positive: {t:?}"
+            );
+        }
+        // Sanity, not a perf assertion: a 64-key scan does more work than an
+        // 8-key scan, but never hundreds of times more (it would mean the
+        // skip-list cursor restarted from the head per visited key).
+        let short = t
+            .value("MV/O range x8 (visitor `scan_range_with`, RC)", 0)
+            .unwrap();
+        let long = t
+            .value("MV/O range x64 (visitor `scan_range_with`, RC)", 0)
+            .unwrap();
+        assert!(long < short * 100.0, "x64 {long} vs x8 {short}");
     }
 
     #[test]

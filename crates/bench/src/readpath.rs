@@ -51,6 +51,45 @@ pub fn warmed_sv_engine(rows: u64, lock_timeout: Duration) -> (SvEngine, TableId
     (engine, table)
 }
 
+/// Index id of the ordered primary-key index in the `*_ordered_*` fixtures
+/// (0 is the hash primary, 1 the grouped secondary).
+pub const ORDERED_INDEX: mmdb_common::ids::IndexId = mmdb_common::ids::IndexId(2);
+
+/// The grouped spec plus an ordered index over the primary key — the
+/// range-scan fixture (`repro perf-range`, `BENCH_rangescan.json`).
+pub fn ordered_grouped_spec(rows: u64) -> mmdb_common::row::TableSpec {
+    grouped_spec(rows).with_index(mmdb_common::row::IndexSpec::ordered_u64("pk_ordered", 0))
+}
+
+/// An MV engine of either scheme populated with `rows` grouped rows on the
+/// ordered-indexed spec.
+pub fn warmed_ordered_mv_engine(mode: ConcurrencyMode, rows: u64) -> (MvEngine, TableId) {
+    let engine = match mode {
+        ConcurrencyMode::Optimistic => MvEngine::optimistic(MvConfig::default()),
+        ConcurrencyMode::Pessimistic => MvEngine::pessimistic(MvConfig::default()),
+    };
+    let table = engine
+        .create_table(ordered_grouped_spec(rows))
+        .expect("create table");
+    engine
+        .populate(table, (0..rows).map(grouped_row))
+        .expect("populate");
+    (engine, table)
+}
+
+/// A 1V engine populated with `rows` grouped rows on the ordered-indexed
+/// spec.
+pub fn warmed_ordered_sv_engine(rows: u64, lock_timeout: Duration) -> (SvEngine, TableId) {
+    let engine = SvEngine::new(SvConfig::default().with_lock_timeout(lock_timeout));
+    let table = engine
+        .create_table(ordered_grouped_spec(rows))
+        .expect("create table");
+    engine
+        .populate(table, (0..rows).map(grouped_row))
+        .expect("populate");
+    (engine, table)
+}
+
 /// A transaction table holding [`TXN_TABLE_ENTRIES`] registered handles
 /// (ids `1..=TXN_TABLE_ENTRIES`) — the §2.5 visibility-lookup fixture.
 pub fn registered_txn_table() -> TxnTable {

@@ -106,6 +106,41 @@ pub trait EngineTxn: Send {
         Ok(rows.len())
     }
 
+    /// Range scan through an *ordered* index: returns every visible row whose
+    /// index key falls in the inclusive range `[lo, hi]`, in ascending key
+    /// order. Hash indexes cannot serve range predicates; scanning one (or an
+    /// engine without ordered-index support) fails with
+    /// [`MmdbError::IndexNotOrdered`](crate::error::MmdbError::IndexNotOrdered).
+    fn scan_range(&mut self, table: TableId, index: IndexId, lo: Key, hi: Key) -> Result<Vec<Row>> {
+        let mut rows = Vec::new();
+        self.scan_range_with(table, index, lo, hi, &mut |row| {
+            rows.push(Row::copy_from_slice(row))
+        })?;
+        Ok(rows)
+    }
+
+    /// Visitor-style range scan: invoke `visit` on every visible row whose
+    /// index key falls in `[lo, hi]`, in ascending key order, without
+    /// materializing a `Vec`. Returns the number of rows visited.
+    ///
+    /// This is the primitive the engines override ([`EngineTxn::scan_range`]
+    /// materializes through it). The default rejects the scan with
+    /// [`MmdbError::IndexNotOrdered`](crate::error::MmdbError::IndexNotOrdered):
+    /// an engine that has not wired up an ordered index has nothing to range
+    /// over. The [`EngineTxn::read_with`] reentrancy rule applies — the
+    /// visitor must not call back into the engine.
+    fn scan_range_with(
+        &mut self,
+        table: TableId,
+        index: IndexId,
+        lo: Key,
+        hi: Key,
+        visit: &mut dyn FnMut(&Row),
+    ) -> Result<usize> {
+        let _ = (lo, hi, visit);
+        Err(crate::error::MmdbError::IndexNotOrdered(table, index))
+    }
+
     /// Replace the visible row with key `key` (located through `index`) by
     /// `new_row`. Returns `Ok(false)` if no visible row matched.
     fn update(&mut self, table: TableId, index: IndexId, key: Key, new_row: Row) -> Result<bool>;
@@ -282,6 +317,42 @@ mod tests {
                 .ok_or(MmdbError::TableNotFound(table))?;
             Ok(data.get(&(index.0, key)).cloned().unwrap_or_default())
         }
+        fn scan_range_with(
+            &mut self,
+            table: TableId,
+            index: IndexId,
+            lo: Key,
+            hi: Key,
+            visit: &mut dyn FnMut(&Row),
+        ) -> Result<usize> {
+            let g = self.inner.lock().unwrap();
+            let (spec, data) = g
+                .tables
+                .get(table.0 as usize)
+                .ok_or(MmdbError::TableNotFound(table))?;
+            let ordered = spec
+                .indexes
+                .get(index.0 as usize)
+                .ok_or(MmdbError::IndexNotFound(table, index))?
+                .ordered;
+            if !ordered {
+                return Err(MmdbError::IndexNotOrdered(table, index));
+            }
+            let mut hits: Vec<(u64, &Vec<Row>)> = data
+                .iter()
+                .filter(|((slot, key), _)| *slot == index.0 && lo <= *key && *key <= hi)
+                .map(|((_, key), rows)| (*key, rows))
+                .collect();
+            hits.sort_unstable_by_key(|(key, _)| *key);
+            let mut n = 0;
+            for (_, rows) in hits {
+                for row in rows {
+                    visit(row);
+                    n += 1;
+                }
+            }
+            Ok(n)
+        }
         fn update(
             &mut self,
             table: TableId,
@@ -333,6 +404,7 @@ mod tests {
             key: KeySpec::BytesAt { offset: 8, len: 1 },
             buckets: 16,
             unique: false,
+            ordered: false,
         });
         let t = engine.create_table(spec).unwrap();
 
@@ -373,6 +445,7 @@ mod tests {
             key: KeySpec::BytesAt { offset: 8, len: 1 },
             buckets: 16,
             unique: false,
+            ordered: false,
         });
         let t = engine.create_table(spec).unwrap();
         let mut txn = engine.begin(IsolationLevel::ReadCommitted);
@@ -401,6 +474,40 @@ mod tests {
         keys.sort_unstable();
         assert_eq!(n, 2);
         assert_eq!(keys, vec![1, 2]);
+        txn.commit().unwrap();
+    }
+
+    #[test]
+    fn range_scans_need_an_ordered_index() {
+        let engine = TrivialEngine::new();
+        let spec = TableSpec::keyed_u64("t", 16)
+            .with_index(crate::row::IndexSpec::ordered_u64("pk_ordered", 0));
+        let t = engine.create_table(spec).unwrap();
+        let mut txn = engine.begin(IsolationLevel::ReadCommitted);
+        for k in [5u64, 1, 9, 3, 7] {
+            txn.insert(t, rowbuf::keyed_row(k, 16, k as u8)).unwrap();
+        }
+
+        // Range over the ordered index comes back in ascending key order.
+        let rows = txn.scan_range(t, IndexId(1), 3, 8).unwrap();
+        let keys: Vec<u64> = rows.iter().map(|r| rowbuf::key_of(r)).collect();
+        assert_eq!(keys, vec![3, 5, 7]);
+
+        // Visitor form counts what it visits.
+        let mut seen = Vec::new();
+        let n = txn
+            .scan_range_with(t, IndexId(1), 0, u64::MAX, &mut |row| {
+                seen.push(rowbuf::key_of(row))
+            })
+            .unwrap();
+        assert_eq!(n, 5);
+        assert_eq!(seen, vec![1, 3, 5, 7, 9]);
+
+        // A hash index refuses range predicates.
+        assert!(matches!(
+            txn.scan_range(t, IndexId(0), 0, 10),
+            Err(MmdbError::IndexNotOrdered(_, _))
+        ));
         txn.commit().unwrap();
     }
 

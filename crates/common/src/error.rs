@@ -58,6 +58,9 @@ pub enum MmdbError {
     TableNotFound(TableId),
     /// The requested index does not exist on the table.
     IndexNotFound(TableId, IndexId),
+    /// A range predicate was applied to an index that is not ordered (hash
+    /// indexes only support equality probes).
+    IndexNotOrdered(TableId, IndexId),
     /// An insert would create a duplicate in a unique index.
     DuplicateKey {
         /// Table that rejected the insert.
@@ -124,6 +127,7 @@ impl MmdbError {
             MmdbError::LockTimeout { .. } => "lock_timeout",
             MmdbError::TableNotFound(_) => "table_not_found",
             MmdbError::IndexNotFound(_, _) => "index_not_found",
+            MmdbError::IndexNotOrdered(_, _) => "index_not_ordered",
             MmdbError::DuplicateKey { .. } => "duplicate_key",
             MmdbError::RowTooShort { .. } => "row_too_short",
             MmdbError::TransactionClosed => "transaction_closed",
@@ -164,6 +168,10 @@ impl fmt::Display for MmdbError {
             MmdbError::LockTimeout { table } => write!(f, "lock wait timed out on table {table:?}"),
             MmdbError::TableNotFound(t) => write!(f, "table {t:?} not found"),
             MmdbError::IndexNotFound(t, i) => write!(f, "index {i:?} not found on table {t:?}"),
+            MmdbError::IndexNotOrdered(t, i) => write!(
+                f,
+                "index {i:?} of table {t:?} is not ordered: range scans need an ordered index"
+            ),
             MmdbError::DuplicateKey { table, index } => write!(
                 f,
                 "duplicate key in unique index {index:?} of table {table:?}"

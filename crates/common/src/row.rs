@@ -84,10 +84,16 @@ pub struct IndexSpec {
     /// How the index key is derived from a row.
     pub key: KeySpec,
     /// Number of hash buckets. The paper sizes tables so there are no
-    /// collisions; callers typically pass ~the expected row count.
+    /// collisions; callers typically pass ~the expected row count. Ignored by
+    /// ordered indexes (a skip list has no buckets).
     pub buckets: usize,
     /// Whether the index enforces uniqueness on insert.
     pub unique: bool,
+    /// Whether the index keeps its keys ordered (a lock-free skip list in the
+    /// MV engines), making it eligible for range scans ([`SearchPred::Range`]).
+    /// Ordered indexes only make sense for [`KeySpec::U64At`] / `U32At` keys;
+    /// a `BytesAt` key is hashed, so its order is meaningless.
+    pub ordered: bool,
 }
 
 impl IndexSpec {
@@ -98,6 +104,7 @@ impl IndexSpec {
             key: KeySpec::U64At(offset),
             buckets,
             unique: true,
+            ordered: false,
         }
     }
 
@@ -108,6 +115,51 @@ impl IndexSpec {
             key: KeySpec::U64At(offset),
             buckets,
             unique: false,
+            ordered: false,
+        }
+    }
+
+    /// Convenience constructor for an ordered (range-scannable) non-unique
+    /// index on a `u64` field.
+    pub fn ordered_u64(name: impl Into<String>, offset: usize) -> Self {
+        IndexSpec {
+            name: name.into(),
+            key: KeySpec::U64At(offset),
+            buckets: 0,
+            unique: false,
+            ordered: true,
+        }
+    }
+}
+
+/// A search predicate over one index: the argument of a scan.
+///
+/// Equality probes work on every index; range predicates require an
+/// [`ordered`](IndexSpec::ordered) index. Phantom protection is taken at the
+/// granularity of the predicate (§4.3 generalized): an optimistic
+/// serializable transaction re-runs the predicate at commit, a pessimistic
+/// one locks it (hash bucket for `Eq`, key range for `Range`) so inserters of
+/// matching keys must wait behind the scanner.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SearchPred {
+    /// Exactly this key.
+    Eq(Key),
+    /// Every key in the **inclusive** interval `[lo, hi]`.
+    Range {
+        /// Lower bound (inclusive).
+        lo: Key,
+        /// Upper bound (inclusive).
+        hi: Key,
+    },
+}
+
+impl SearchPred {
+    /// Does `key` satisfy the predicate?
+    #[inline]
+    pub fn matches(&self, key: Key) -> bool {
+        match *self {
+            SearchPred::Eq(k) => key == k,
+            SearchPred::Range { lo, hi } => lo <= key && key <= hi,
         }
     }
 }
@@ -294,6 +346,30 @@ mod tests {
             }
         ));
         assert_eq!(KeySpec::U64At(16).min_row_len(), 24);
+    }
+
+    #[test]
+    fn search_pred_matching() {
+        assert!(SearchPred::Eq(5).matches(5));
+        assert!(!SearchPred::Eq(5).matches(6));
+        let r = SearchPred::Range { lo: 3, hi: 7 };
+        assert!(!r.matches(2));
+        assert!(r.matches(3), "lower bound is inclusive");
+        assert!(r.matches(5));
+        assert!(r.matches(7), "upper bound is inclusive");
+        assert!(!r.matches(8));
+        let point = SearchPred::Range { lo: 4, hi: 4 };
+        assert!(point.matches(4));
+        assert!(!point.matches(5));
+    }
+
+    #[test]
+    fn ordered_index_constructor() {
+        let idx = IndexSpec::ordered_u64("by_key", 0);
+        assert!(idx.ordered);
+        assert!(!idx.unique);
+        assert_eq!(idx.key, KeySpec::U64At(0));
+        assert!(!IndexSpec::unique_u64("pk", 0, 8).ordered);
     }
 
     #[test]

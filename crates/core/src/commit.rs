@@ -30,6 +30,7 @@ use mmdb_common::durability::Durability;
 use mmdb_common::error::{MmdbError, Result};
 use mmdb_common::ids::{IndexId, Timestamp};
 use mmdb_common::isolation::ConcurrencyMode;
+use mmdb_common::row::SearchPred;
 use mmdb_common::stats::EngineStats;
 use mmdb_common::word::{BeginWord, EndWord};
 use mmdb_common::INFINITY_TS;
@@ -46,9 +47,9 @@ impl MvTransaction {
     // Lock release and the pre-precommit wait
     // ------------------------------------------------------------------
 
-    /// Release all read locks and bucket locks held by this transaction.
-    /// Drains by popping so the vectors keep their capacity for the next
-    /// transaction that recycles these buffers.
+    /// Release all read locks, bucket locks and range locks held by this
+    /// transaction. Drains by popping so the vectors keep their capacity for
+    /// the next transaction that recycles these buffers.
     pub(crate) fn release_locks(&mut self) {
         while let Some(ptr) = self.read_locks.pop() {
             self.release_read_lock(ptr);
@@ -58,6 +59,13 @@ impl MvTransaction {
             if let Ok(table) = self.inner.store.table_in(lock.table, &guard) {
                 if let Ok(locks) = table.bucket_locks(lock.index) {
                     locks.unlock(lock.bucket, self.handle.id());
+                }
+            }
+        }
+        while let Some(lock) = self.range_locks.pop() {
+            if let Ok(table) = self.inner.store.table_in(lock.table, &guard) {
+                if let Ok(locks) = table.range_locks(lock.index) {
+                    locks.unlock(lock.lo, lock.hi, self.handle.id());
                 }
             }
         }
@@ -151,7 +159,14 @@ impl MvTransaction {
                 let guard = crossbeam::epoch::pin();
                 let table = self.inner.store.table_in(scan.table, &guard)?;
                 candidates.clear();
-                candidates.extend(table.candidate_ptrs(scan.index, scan.key, &guard)?);
+                match scan.pred {
+                    SearchPred::Eq(key) => {
+                        candidates.extend(table.candidate_ptrs(scan.index, key, &guard)?)
+                    }
+                    SearchPred::Range { lo, hi } => {
+                        candidates.extend(table.range_candidate_ptrs(scan.index, lo, hi, &guard)?)
+                    }
+                }
                 for ptr in candidates.iter() {
                     let version = ptr.get();
                     // Our own inserts/updates are not phantoms.

@@ -43,6 +43,8 @@ pub mod commit;
 pub mod config;
 pub mod deadlock;
 pub mod engine;
+#[cfg(test)]
+mod phantom_regression;
 pub mod txn;
 pub mod visibility;
 

@@ -24,7 +24,7 @@ use mmdb_common::engine::EngineTxn;
 use mmdb_common::error::{MmdbError, Result};
 use mmdb_common::ids::{IndexId, Key, TableId, Timestamp, TxnId};
 use mmdb_common::isolation::{ConcurrencyMode, IsolationLevel};
-use mmdb_common::row::{KeyScratch, Row};
+use mmdb_common::row::{KeyScratch, Row, SearchPred};
 use mmdb_common::stats::EngineStats;
 use mmdb_common::word::{BeginWord, EndWord, LockWord};
 
@@ -43,13 +43,14 @@ pub(crate) struct ReadEntry {
 }
 
 /// A recorded index scan, sufficient to repeat it during validation
-/// (§3.1 "Start scan": index plus search predicate — here an equality
-/// predicate on the index key).
+/// (§3.1 "Start scan": index plus search predicate — an equality predicate
+/// on a hash or ordered index, or an inclusive range predicate on an
+/// ordered index).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) struct ScanEntry {
     pub table: TableId,
     pub index: IndexId,
-    pub key: Key,
+    pub pred: SearchPred,
 }
 
 /// A recorded write: the old version (update/delete) and/or the new version
@@ -71,6 +72,16 @@ pub(crate) struct BucketLockRef {
     pub table: TableId,
     pub index: IndexId,
     pub bucket: usize,
+}
+
+/// A range lock held by a serializable pessimistic transaction on an
+/// ordered index (the predicate-granularity sibling of [`BucketLockRef`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct RangeLockRef {
+    pub table: TableId,
+    pub index: IndexId,
+    pub lo: Key,
+    pub hi: Key,
 }
 
 /// Reusable per-transaction staging buffers (§2.5's "read path nearly free of
@@ -108,6 +119,7 @@ pub(crate) struct TxnBuffers {
     pub(crate) write_set: Vec<WriteEntry>,
     pub(crate) read_locks: Vec<VersionPtr>,
     pub(crate) bucket_locks: Vec<BucketLockRef>,
+    pub(crate) range_locks: Vec<RangeLockRef>,
     pub(crate) scratch: TxnScratch,
 }
 
@@ -120,6 +132,7 @@ impl TxnBuffers {
         self.write_set.clear();
         self.read_locks.clear();
         self.bucket_locks.clear();
+        self.range_locks.clear();
         self.scratch.candidates.clear();
         self.scratch.keys.clear();
         self.scratch.log_buf.clear();
@@ -142,6 +155,9 @@ pub struct MvTransaction {
     pub(crate) read_locks: Vec<VersionPtr>,
     /// Buckets locked by this (serializable pessimistic) transaction.
     pub(crate) bucket_locks: Vec<BucketLockRef>,
+    /// Ordered-index ranges locked by this (serializable pessimistic)
+    /// transaction.
+    pub(crate) range_locks: Vec<RangeLockRef>,
     /// Set when an operation failed in a way that forces an abort
     /// (first-writer-wins conflicts, failed dependencies, ...). `commit`
     /// refuses to proceed once set.
@@ -170,6 +186,7 @@ impl MvTransaction {
             write_set: bufs.write_set,
             read_locks: bufs.read_locks,
             bucket_locks: bufs.bucket_locks,
+            range_locks: bufs.range_locks,
             must_abort: None,
             finished: false,
             scratch: bufs.scratch,
@@ -186,6 +203,7 @@ impl MvTransaction {
             write_set: std::mem::take(&mut self.write_set),
             read_locks: std::mem::take(&mut self.read_locks),
             bucket_locks: std::mem::take(&mut self.bucket_locks),
+            range_locks: std::mem::take(&mut self.range_locks),
             scratch: std::mem::take(&mut self.scratch),
         };
         bufs.clear();
@@ -597,17 +615,33 @@ impl MvTransaction {
         Ok(())
     }
 
-    /// Honor bucket locks when adding a new version to the indexes (§4.2.2):
-    /// for every locked bucket the new version lands in, wait for every
-    /// lock-holding (serializable) transaction.
-    pub(crate) fn honor_bucket_locks(&mut self, table: &Table, keys: &[Key]) -> Result<()> {
+    /// Honor scan locks when adding a new version to the indexes (§4.2.2,
+    /// generalized to predicate granularity): for every locked hash bucket
+    /// the new version lands in, and for every locked ordered-index range
+    /// containing one of its keys, wait for every lock-holding
+    /// (serializable) transaction.
+    ///
+    /// Must be called **after** the version is linked (see
+    /// [`Self::add_new_version`]): checking first and linking second leaves a
+    /// window in which a scanner can lock the bucket/range and finish its
+    /// chain walk without either side noticing the other.
+    pub(crate) fn honor_scan_locks(&mut self, table: &Table, keys: &[Key]) -> Result<()> {
         for (slot, key) in keys.iter().enumerate() {
             let index = IndexId(slot as u32);
-            let locks = table.bucket_locks(index)?;
-            let bucket = table.bucket_of(index, *key)?;
-            if locks.is_locked(bucket) {
-                for holder in locks.holders(bucket) {
-                    self.wait_for_holder(holder)?;
+            if table.is_ordered(index)? {
+                let locks = table.range_locks(index)?;
+                if locks.is_locked() {
+                    for holder in locks.holders_of(*key) {
+                        self.wait_for_holder(holder)?;
+                    }
+                }
+            } else {
+                let locks = table.bucket_locks(index)?;
+                let bucket = table.bucket_of(index, *key)?;
+                if locks.is_locked(bucket) {
+                    for holder in locks.holders(bucket) {
+                        self.wait_for_holder(holder)?;
+                    }
                 }
             }
         }
@@ -615,8 +649,16 @@ impl MvTransaction {
     }
 
     /// Register a serializable scan for later validation (optimistic) or take
-    /// the bucket lock (pessimistic).
-    pub(crate) fn register_scan(&mut self, table: &Table, index: IndexId, key: Key) -> Result<()> {
+    /// the bucket/range lock (pessimistic). Equality probes of a hash index
+    /// lock the bucket the key hashes to (§4.1.2); equality probes of an
+    /// ordered index lock the degenerate range `[key, key]`; range scans
+    /// lock the scanned predicate `[lo, hi]` itself.
+    pub(crate) fn register_scan(
+        &mut self,
+        table: &Table,
+        index: IndexId,
+        pred: SearchPred,
+    ) -> Result<()> {
         if !self.handle.isolation().requires_phantom_protection() {
             return Ok(());
         }
@@ -625,24 +667,57 @@ impl MvTransaction {
                 let entry = ScanEntry {
                     table: table.id(),
                     index,
-                    key,
+                    pred,
                 };
                 if !self.scan_set.contains(&entry) {
                     self.scan_set.push(entry);
                 }
             }
             ConcurrencyMode::Pessimistic => {
-                let bucket = table.bucket_of(index, key)?;
-                if table.bucket_locks(index)?.lock(bucket, self.me()) {
-                    self.bucket_locks.push(BucketLockRef {
+                let (lo, hi) = match pred {
+                    SearchPred::Eq(key) if !table.is_ordered(index)? => {
+                        let bucket = table.bucket_of(index, key)?;
+                        if table.bucket_locks(index)?.lock(bucket, self.me()) {
+                            self.bucket_locks.push(BucketLockRef {
+                                table: table.id(),
+                                index,
+                                bucket,
+                            });
+                        }
+                        return Ok(());
+                    }
+                    SearchPred::Eq(key) => (key, key),
+                    SearchPred::Range { lo, hi } => (lo, hi),
+                };
+                if table.range_locks(index)?.lock(lo, hi, self.me()) {
+                    self.range_locks.push(RangeLockRef {
                         table: table.id(),
                         index,
-                        bucket,
+                        lo,
+                        hi,
                     });
                 }
             }
         }
         Ok(())
+    }
+
+    /// §4.3 store→load fence, scan side. A serializable pessimistic scan
+    /// publishes its bucket/range lock and then reads the index chains; a
+    /// writer links its new version and then reads the lock tables. Each
+    /// side's store must be globally ordered before its subsequent load —
+    /// otherwise both can miss the other (the store-buffer litmus), and the
+    /// writer may precommit with an *earlier* end timestamp than a scanner
+    /// that never saw its version: a phantom. Pairs with the fence in
+    /// [`Self::add_new_version`]; skipped when no lock was published, so the
+    /// hot read path below serializable never pays the full barrier.
+    #[inline]
+    fn scan_lock_fence(&self) {
+        if self.handle.mode() == ConcurrencyMode::Pessimistic
+            && self.handle.isolation().requires_phantom_protection()
+        {
+            std::sync::atomic::fence(std::sync::atomic::Ordering::SeqCst);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -674,7 +749,8 @@ impl MvTransaction {
         // slice, borrowed under our guard (no `RwLock`, no `Arc` clone).
         let table = self.inner.store.table_in(table_id, &guard)?;
         let rt = self.read_time();
-        self.register_scan(table, index, key)?;
+        self.register_scan(table, index, SearchPred::Eq(key))?;
+        self.scan_lock_fence();
 
         // Stage candidates in the transaction-owned buffer so no iterator
         // borrow of the table is held while taking dependencies (which needs
@@ -760,6 +836,47 @@ impl MvTransaction {
         Ok(visited)
     }
 
+    /// Core of every range scan: find the versions visible at the read time
+    /// whose `index` key falls in the inclusive range `[lo, hi]`, in
+    /// ascending key order, and hand each one's payload to `visit` by
+    /// reference. Requires an ordered index
+    /// ([`MmdbError::IndexNotOrdered`] otherwise). Same staging protocol and
+    /// the same per-candidate §4.3.1 phantom machinery as
+    /// [`Self::scan_visible_with`]; only the registered predicate (a range,
+    /// not a key) and the candidate source (skip list, not bucket chain)
+    /// differ.
+    fn scan_range_visible_with(
+        &mut self,
+        table_id: TableId,
+        index: IndexId,
+        lo: Key,
+        hi: Key,
+        visit: &mut dyn FnMut(&Row),
+    ) -> Result<usize> {
+        self.ensure_open()?;
+        let guard = epoch::pin();
+        let table = self.inner.store.table_in(table_id, &guard)?;
+        if !table.is_ordered(index)? {
+            return Err(MmdbError::IndexNotOrdered(table_id, index));
+        }
+        let rt = self.read_time();
+        self.register_scan(table, index, SearchPred::Range { lo, hi })?;
+        self.scan_lock_fence();
+
+        let mut candidates = std::mem::take(&mut self.scratch.candidates);
+        candidates.clear();
+        let result = (|| {
+            candidates.extend(table.range_candidate_ptrs(index, lo, hi, &guard)?);
+            self.visit_candidates(&candidates, rt, false, &guard, visit)
+        })();
+        // Restore the buffer *empty*: the staged VersionPtrs were only valid
+        // under the epoch guard above, and a retained pointer would be a
+        // dangling foot-gun for any future reader (capacity is what we keep).
+        candidates.clear();
+        self.scratch.candidates = candidates;
+        result
+    }
+
     /// Locate the version this transaction should update or delete: the
     /// visible version with the given key. Pessimistic transactions (and
     /// read-committed optimistic ones) see the latest committed version,
@@ -837,7 +954,8 @@ impl MvTransaction {
             if registered || !iso.requires_phantom_protection() {
                 return Ok(None);
             }
-            self.register_scan(table, index, key)?;
+            self.register_scan(table, index, SearchPred::Eq(key))?;
+            self.scan_lock_fence();
             registered = true;
         }
     }
@@ -855,18 +973,37 @@ impl MvTransaction {
         old: Option<VersionPtr>,
         delete_key: Option<Key>,
     ) -> Result<VersionPtr> {
-        // Respect bucket locks before the version becomes reachable.
-        self.honor_bucket_locks(table, keys)?;
         let owned = table.make_version_with(self.me(), row, keys)?;
         let guard = epoch::pin();
         let ptr = table.link_version(owned, &guard);
         EngineStats::bump(&self.stats().versions_created);
+        // Record the write *before* honoring scan locks: if the wait below
+        // fails, abort processing must find the linked version to retire it.
         self.write_set.push(WriteEntry {
             table: table.id(),
             old,
             new: Some(ptr),
             delete_key,
         });
+        // Store→load fence, writer side (pairs with `scan_lock_fence`): the
+        // link stores above must be globally visible before the lock-table
+        // loads below, or a concurrent serializable scanner and this writer
+        // can both miss each other (store-buffer litmus).
+        std::sync::atomic::fence(std::sync::atomic::Ordering::SeqCst);
+        #[cfg(test)]
+        race_hooks::fire_link_honor_gap();
+        // Respect scan locks only now that the version is reachable. The
+        // reverse order (check locks, then link) left a window in which a
+        // serializable scanner could lock the bucket/range *and* complete its
+        // chain walk entirely between our check and our link: the scanner's
+        // §4.3.1 wait-for could not fire (our version was not yet linked),
+        // our check saw no lock — so nothing stopped us drawing an earlier
+        // end timestamp than the scanner and committing a phantom its repeat
+        // of the scan would have seen. With link-first, a scanner either
+        // walks the chain before our link (then we see its lock here and
+        // wait) or after (then it sees our version and imposes the wait-for
+        // itself); either way we precommit after it.
+        self.honor_scan_locks(table, keys)?;
         Ok(ptr)
     }
 
@@ -1098,6 +1235,17 @@ impl EngineTxn for MvTransaction {
         self.scan_visible_with(table, index, key, false, visit)
     }
 
+    fn scan_range_with(
+        &mut self,
+        table: TableId,
+        index: IndexId,
+        lo: Key,
+        hi: Key,
+        visit: &mut dyn FnMut(&Row),
+    ) -> Result<usize> {
+        self.scan_range_visible_with(table, index, lo, hi, visit)
+    }
+
     fn update(
         &mut self,
         table_id: TableId,
@@ -1193,5 +1341,44 @@ impl std::fmt::Debug for MvTransaction {
             .field("reads", &self.read_set.len())
             .field("writes", &self.write_set.len())
             .finish()
+    }
+}
+
+/// Deterministic-interleaving hooks for the phantom-race regression tests.
+///
+/// The window the §4.3 bugfix closes is a handful of instructions wide; on
+/// this project's single-core CI runner no stochastic schedule ever lands a
+/// preemption inside it (measured: thousands of seeded runs without one
+/// hit). The regression tests instead *construct* the interleaving: the
+/// inserter thread installs a thread-local callback that fires between
+/// `link_version` and `honor_scan_locks`, parks there on a rendezvous
+/// channel, and lets the test run a complete serializable scan inside the
+/// exact window the old code left unprotected. Thread-local on purpose —
+/// tests in the same process that never install a hook are unaffected.
+#[cfg(test)]
+pub(crate) mod race_hooks {
+    use std::cell::RefCell;
+
+    thread_local! {
+        static LINK_HONOR_GAP: RefCell<Option<Box<dyn FnMut()>>> = const { RefCell::new(None) };
+    }
+
+    /// Install `hook` on the current thread; it fires on every
+    /// `add_new_version` this thread performs until cleared.
+    pub(crate) fn set_link_honor_gap(hook: Box<dyn FnMut()>) {
+        LINK_HONOR_GAP.with(|h| *h.borrow_mut() = Some(hook));
+    }
+
+    /// Remove the current thread's hook.
+    pub(crate) fn clear_link_honor_gap() {
+        LINK_HONOR_GAP.with(|h| *h.borrow_mut() = None);
+    }
+
+    pub(crate) fn fire_link_honor_gap() {
+        LINK_HONOR_GAP.with(|h| {
+            if let Some(hook) = h.borrow_mut().as_mut() {
+                hook();
+            }
+        });
     }
 }

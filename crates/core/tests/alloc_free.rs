@@ -42,7 +42,7 @@ use std::sync::Mutex;
 use mmdb_common::engine::{Engine, EngineTxn};
 use mmdb_common::ids::IndexId;
 use mmdb_common::isolation::IsolationLevel;
-use mmdb_common::row::rowbuf;
+use mmdb_common::row::{rowbuf, IndexSpec};
 use mmdb_core::{MvConfig, MvEngine};
 
 /// Serializes the tests in this binary (see the module docs).
@@ -391,6 +391,143 @@ fn warmed_mv_insert_delete_txns_allocate_nothing() {
                 "warmed insert+delete transactions at {isolation:?} on {mode:?} must not allocate"
             );
         }
+    }
+}
+
+/// The ordered index must not tax the equality hot paths: with an ordered
+/// index wired into the table, warmed point reads, short secondary scans
+/// **and whole update transactions** stay allocation-free on both MV
+/// schemes. Every write now additionally relinks its version into the skip
+/// list, but updates of existing keys reuse the key's skip-list node — the
+/// intrusive version chain absorbs the new version without touching the
+/// allocator.
+///
+/// The documented contrast (measured, not assumed):
+///
+/// * warmed **range scans** through `scan_range_with` are allocation-free
+///   below serializable too — candidates stream straight off the skip list
+///   into the transaction's reused scratch buffer;
+/// * an insert of a **novel key** allocates by design: the skip-list key
+///   node (and its tower) has no pool to come from. Key nodes are retired
+///   only by GC after the last version dies, so steady-state churn over a
+///   stable key population reuses them; only key-space growth pays.
+#[test]
+fn ordered_index_keeps_equality_paths_allocation_free() {
+    let _serial = serial();
+    let ordered_spec = || grouped_spec(ROWS).with_index(IndexSpec::ordered_u64("pk_ordered", 0));
+    const ORDERED: IndexId = IndexId(2);
+
+    for mode in [ConcurrencyMode::Optimistic, ConcurrencyMode::Pessimistic] {
+        let mut config = match mode {
+            ConcurrencyMode::Optimistic => MvConfig::optimistic(),
+            ConcurrencyMode::Pessimistic => MvConfig::pessimistic(),
+        };
+        config.deadlock_detector = false;
+        config.gc_every_n_commits = 0;
+        let engine = MvEngine::with_logger(
+            config,
+            std::sync::Arc::new(mmdb_storage::log::NullLogger::new()),
+        );
+        let table = engine.create_table(ordered_spec()).unwrap();
+        engine.populate(table, (0..ROWS).map(grouped_row)).unwrap();
+
+        let isolation = IsolationLevel::SnapshotIsolation;
+
+        // Equality reads and short hash scans: identical criterion to the
+        // hash-only fixture, now with the ordered index present.
+        let mut txn = engine.begin(isolation);
+        let mut checksum = 0u64;
+        txn.read_with(table, IndexId(0), 1, &mut |row| {
+            checksum += rowbuf::key_of(row)
+        })
+        .unwrap();
+        txn.scan_key_with(table, IndexId(1), 1, &mut |row| {
+            checksum += rowbuf::key_of(row)
+        })
+        .unwrap();
+        txn.scan_range_with(table, ORDERED, 1, 1 + GROUP_SIZE, &mut |row| {
+            checksum += rowbuf::key_of(row)
+        })
+        .unwrap();
+        let read_allocs = count_allocations(|| {
+            for i in 0..1_000u64 {
+                let key = (i * 31) % ROWS;
+                txn.read_with(table, IndexId(0), key, &mut |row| {
+                    checksum += rowbuf::key_of(row);
+                })
+                .unwrap();
+                let group = (i * 7) % (ROWS / GROUP_SIZE);
+                txn.scan_key_with(table, IndexId(1), group, &mut |row| {
+                    checksum += rowbuf::key_of(row);
+                })
+                .unwrap();
+            }
+        });
+        assert_eq!(
+            read_allocs, 0,
+            "equality reads/scans on an ordered-indexed table must not allocate \
+             on {mode:?} (checksum {checksum})"
+        );
+
+        // Warmed range scans below serializable: also allocation-free.
+        let mut visited = 0u64;
+        let range_allocs = count_allocations(|| {
+            for i in 0..1_000u64 {
+                let lo = (i * 13) % ROWS;
+                let hi = lo + GROUP_SIZE;
+                visited += txn
+                    .scan_range_with(table, ORDERED, lo, hi, &mut |row| {
+                        checksum += rowbuf::key_of(row);
+                    })
+                    .unwrap() as u64;
+            }
+        });
+        assert!(visited > 0, "range scans must visit rows");
+        assert_eq!(
+            range_allocs, 0,
+            "warmed range scans on {mode:?} must stream off the skip list \
+             without allocating (checksum {checksum})"
+        );
+        txn.commit().unwrap();
+
+        // Whole update transactions: warm, drain into the pool, measure.
+        for i in 0..WARM_TXNS {
+            let key = (i * 31) % ROWS;
+            let mut txn = engine.begin(isolation);
+            assert!(txn
+                .update(table, IndexId(0), key, grouped_row(key))
+                .unwrap());
+            txn.commit().unwrap();
+        }
+        drain_into_pool(&engine, table, MEASURED_TXNS as usize + 1);
+        let keys: Vec<u64> = (0..MEASURED_TXNS).map(|i| (i * 37) % ROWS).collect();
+        let rows: Vec<Row> = keys.iter().map(|&k| grouped_row(k)).collect();
+        let write_allocs = count_allocations(|| {
+            for (i, &key) in keys.iter().enumerate() {
+                let mut txn = engine.begin(isolation);
+                assert!(txn.update(table, IndexId(0), key, rows[i].clone()).unwrap());
+                txn.commit().unwrap();
+            }
+        });
+        assert_eq!(
+            write_allocs, 0,
+            "warmed update transactions on an ordered-indexed table must not \
+             allocate on {mode:?}"
+        );
+
+        // The contrast: inserting a novel key grows the skip list and must
+        // allocate its key node — there is no pool for new key space.
+        let novel = grouped_row(ROWS + 1);
+        let novel_allocs = count_allocations(|| {
+            let mut txn = engine.begin(isolation);
+            txn.insert(table, novel.clone()).unwrap();
+            txn.commit().unwrap();
+        });
+        assert!(
+            novel_allocs > 0,
+            "a novel-key insert into an ordered index allocates its skip-list \
+             node; zero would mean this documentation is stale"
+        );
     }
 }
 

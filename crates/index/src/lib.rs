@@ -22,12 +22,22 @@
 //! * [`BucketLockTable`] — the serializable-scan bucket locks of §4.1.2:
 //!   a lock count per bucket (fast "is it locked?" checks) plus a lock list
 //!   stored in a sharded side table keyed by bucket number.
+//! * [`OrderedIndex`] — a lock-free skip list over the same intrusive
+//!   version chains, serving the inclusive range predicates hash indexes
+//!   cannot.
+//! * [`RangeLockTable`] — §4.1.2's bucket locks generalized to ordered-index
+//!   range predicates, so MV/L serializable range scans get the same
+//!   wait-for-based phantom protection.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod bucket_lock;
 pub mod chain;
+pub mod ordered;
+pub mod range_lock;
 
 pub use bucket_lock::BucketLockTable;
 pub use chain::{BucketIter, ChainNode, HashIndex};
+pub use ordered::{OrderedIndex, RangeIter};
+pub use range_lock::RangeLockTable;

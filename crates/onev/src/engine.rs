@@ -441,6 +441,48 @@ impl SvTransaction {
         }
         Ok(visited)
     }
+
+    /// Shared core of every range scan: shared-lock *every* bucket of the
+    /// scanned ordered index (ascending, matching the canonical order
+    /// writers use), visit the matching rows in ascending key order, release
+    /// the locks immediately under cursor stability.
+    ///
+    /// A range predicate can match keys in any bucket, and writers acquire
+    /// an exclusive lock on the scanned index's bucket for every row they
+    /// touch — so holding shared locks on all of its buckets keeps the whole
+    /// predicate stable until commit, which is 1V's phantom protection for
+    /// ranges (ordered indexes declare a single physical bucket, so this is
+    /// one lock in practice; the paper's point that single-version locking
+    /// pays for serializability with lost concurrency shows up here as
+    /// "range scans lock the entire index").
+    fn scan_range_core(
+        &mut self,
+        table_id: TableId,
+        index: IndexId,
+        lo: Key,
+        hi: Key,
+        visit: &mut dyn FnMut(&Row),
+    ) -> Result<usize> {
+        self.ensure_open()?;
+        let table = self.table(table_id)?;
+        if !table.is_ordered(index)? {
+            return Err(MmdbError::IndexNotOrdered(table_id, index));
+        }
+        let buckets = table.bucket_count(index)?;
+        let mut grants = Vec::with_capacity(buckets);
+        for bucket in 0..buckets {
+            grants.push(self.lock(&table, index, bucket, LockMode::Shared)?);
+        }
+        let visited = table.visit_range(index, lo, hi, visit)?;
+        if !self.hold_read_locks() {
+            for (bucket, grant) in grants.into_iter().enumerate() {
+                if grant == LockGrant::Acquired {
+                    self.unlock_now(&table, index, bucket)?;
+                }
+            }
+        }
+        Ok(visited)
+    }
 }
 
 impl EngineTxn for SvTransaction {
@@ -531,6 +573,17 @@ impl EngineTxn for SvTransaction {
         visit: &mut dyn FnMut(&Row),
     ) -> Result<usize> {
         self.scan_key_core(table, index, key, visit)
+    }
+
+    fn scan_range_with(
+        &mut self,
+        table: TableId,
+        index: IndexId,
+        lo: Key,
+        hi: Key,
+        visit: &mut dyn FnMut(&Row),
+    ) -> Result<usize> {
+        self.scan_range_core(table, index, lo, hi, visit)
     }
 
     fn update(

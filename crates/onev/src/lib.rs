@@ -293,6 +293,78 @@ mod tests {
         check.commit().unwrap();
     }
 
+    fn ordered_engine() -> (SvEngine, mmdb_common::ids::TableId) {
+        let engine =
+            SvEngine::new(SvConfig::default().with_lock_timeout(Duration::from_millis(100)));
+        let t = engine
+            .create_table(
+                TableSpec::keyed_u64("t", 256)
+                    .with_index(mmdb_common::row::IndexSpec::ordered_u64("by_key", 0)),
+            )
+            .unwrap();
+        engine
+            .populate(t, (0..100u64).map(|k| rowbuf::keyed_row(k, 16, 1)))
+            .unwrap();
+        (engine, t)
+    }
+
+    #[test]
+    fn range_scan_returns_keys_in_ascending_order() {
+        let (engine, t) = ordered_engine();
+        let mut txn = engine.begin(IsolationLevel::ReadCommitted);
+        let rows = txn.scan_range(t, IndexId(1), 10, 20).unwrap();
+        let keys: Vec<u64> = rows.iter().map(|r| rowbuf::key_of(r)).collect();
+        assert_eq!(keys, (10..=20).collect::<Vec<u64>>());
+        txn.commit().unwrap();
+    }
+
+    #[test]
+    fn range_scan_on_hash_index_is_rejected() {
+        let (engine, t) = ordered_engine();
+        let mut txn = engine.begin(IsolationLevel::ReadCommitted);
+        assert!(matches!(
+            txn.scan_range(t, IndexId(0), 10, 20).unwrap_err(),
+            MmdbError::IndexNotOrdered(..)
+        ));
+        txn.abort();
+    }
+
+    #[test]
+    fn serializable_range_scan_blocks_inserts_into_the_range() {
+        let (engine, t) = ordered_engine();
+        let mut scanner = engine.begin(IsolationLevel::Serializable);
+        let rows = scanner.scan_range(t, IndexId(1), 200, 300).unwrap();
+        assert!(rows.is_empty());
+
+        // The scanner holds shared locks over the whole ordered index; an
+        // insert that would land inside the scanned range must wait (here:
+        // time out against the 100ms lock timeout).
+        let engine2 = engine.clone();
+        let inserter = std::thread::spawn(move || {
+            let mut ins = engine2.begin(IsolationLevel::ReadCommitted);
+            let r = ins.insert(t, rowbuf::keyed_row(250, 16, 1));
+            ins.abort();
+            r
+        });
+        let result = inserter.join().unwrap();
+        assert!(
+            matches!(result, Err(MmdbError::LockTimeout { .. })),
+            "{result:?}"
+        );
+
+        // Repeating the scan still finds nothing: no phantom.
+        assert!(scanner
+            .scan_range(t, IndexId(1), 200, 300)
+            .unwrap()
+            .is_empty());
+        scanner.commit().unwrap();
+
+        // With the scanner gone the insert succeeds.
+        let mut ins = engine.begin(IsolationLevel::ReadCommitted);
+        ins.insert(t, rowbuf::keyed_row(250, 16, 1)).unwrap();
+        ins.commit().unwrap();
+    }
+
     #[test]
     fn drop_without_commit_aborts() {
         let (engine, t) = engine();

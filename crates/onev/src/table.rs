@@ -125,6 +125,29 @@ impl SvTable {
             .unique)
     }
 
+    /// Whether `index` was declared ordered (range-scannable).
+    pub fn is_ordered(&self, index: IndexId) -> Result<bool> {
+        Ok(self
+            .spec
+            .indexes
+            .get(index.0 as usize)
+            .ok_or(MmdbError::IndexNotFound(self.id, index))?
+            .ordered)
+    }
+
+    /// Number of physical buckets of `index` (ordered indexes declare
+    /// `buckets = 0` in the spec and get exactly one).
+    pub fn bucket_count(&self, index: IndexId) -> Result<usize> {
+        match index.0 as usize {
+            0 => Ok(self.primary.len()),
+            i => Ok(self
+                .secondaries
+                .get(i - 1)
+                .ok_or(MmdbError::IndexNotFound(self.id, index))?
+                .len()),
+        }
+    }
+
     /// Bucket `key` hashes to under `index`.
     pub fn bucket_of_key(&self, index: IndexId, key: Key) -> Result<usize> {
         let buckets = match index.0 as usize {
@@ -224,6 +247,68 @@ impl SvTable {
             for row in rows.iter() {
                 if self.key_of(IndexId(0), row)? == pk {
                     // The secondary entry may be momentarily stale; re-check.
+                    if self.key_of(index, row)? == key {
+                        visit(row);
+                        visited += 1;
+                    }
+                    break;
+                }
+            }
+        }
+        Ok(visited)
+    }
+
+    /// Visit every row whose key under `index` falls in the inclusive range
+    /// `[lo, hi]`, in ascending key order. Requires an ordered index
+    /// ([`MmdbError::IndexNotOrdered`] otherwise). The single-version store
+    /// has no ordered physical structure — an ordered index here is a single
+    /// unordered bucket — so the scan stages the matching `(key, pk)` pairs,
+    /// sorts them, and visits each row under its primary-bucket latch (the
+    /// same latch protocol as [`SvTable::visit_lookup`]; the staging `Vec`
+    /// is part of the documented 1V allocation contrast).
+    pub fn visit_range(
+        &self,
+        index: IndexId,
+        lo: Key,
+        hi: Key,
+        visit: &mut dyn FnMut(&Row),
+    ) -> Result<usize> {
+        if !self.is_ordered(index)? {
+            return Err(MmdbError::IndexNotOrdered(self.id, index));
+        }
+        let mut pairs: Vec<(Key, Key)> = Vec::new();
+        if index.0 == 0 {
+            for bucket in &self.primary {
+                for row in bucket.read().iter() {
+                    let k = self.key_of(index, row)?;
+                    if lo <= k && k <= hi {
+                        pairs.push((k, k));
+                    }
+                }
+            }
+        } else {
+            let sec = self
+                .secondaries
+                .get(index.0 as usize - 1)
+                .ok_or(MmdbError::IndexNotFound(self.id, index))?;
+            for bucket in sec {
+                pairs.extend(
+                    bucket
+                        .read()
+                        .iter()
+                        .filter(|(k, _)| lo <= *k && *k <= hi)
+                        .copied(),
+                );
+            }
+        }
+        pairs.sort_unstable();
+        let mut visited = 0;
+        for (key, pk) in pairs {
+            let bucket = self.bucket_of_key(IndexId(0), pk)?;
+            let rows = self.primary[bucket].read();
+            for row in rows.iter() {
+                if self.key_of(IndexId(0), row)? == pk {
+                    // The staged entry may be momentarily stale; re-check.
                     if self.key_of(index, row)? == key {
                         visit(row);
                         visited += 1;
@@ -351,6 +436,7 @@ mod tests {
             key: KeySpec::BytesAt { offset: 8, len: 1 },
             buckets: 16,
             unique: false,
+            ordered: false,
         })
     }
 

@@ -12,7 +12,9 @@ use mmdb_common::error::{MmdbError, Result};
 use mmdb_common::ids::{IndexId, Key, TableId};
 use mmdb_common::row::{KeyScratch, Row, TableSpec};
 
-use mmdb_index::{BucketLockTable, HashIndex};
+use mmdb_index::chain::BucketIter;
+use mmdb_index::ordered::RangeIter;
+use mmdb_index::{BucketLockTable, HashIndex, OrderedIndex, RangeLockTable};
 
 use crate::version::Version;
 
@@ -65,13 +67,138 @@ impl VersionPtr {
 /// GC passes).
 const VERSION_POOL_CAP: usize = 8_192;
 
-/// A table: spec + one latch-free hash index and one bucket-lock table per
-/// declared index.
+/// One index of a table: latch-free hash (equality probes) or latch-free
+/// skip list (equality and range probes). Both thread the same intrusive
+/// per-slot next-pointer of the shared version allocations, so a version is
+/// linked into every index of its table at once.
+pub enum TableIndex {
+    /// A hash index (the paper's only kind, §2.1).
+    Hash(HashIndex<Version>),
+    /// An ordered index (skip list) serving inclusive range predicates.
+    Ordered(OrderedIndex<Version>),
+}
+
+impl TableIndex {
+    /// The intrusive next-pointer slot this index threads through.
+    #[inline]
+    pub fn slot(&self) -> usize {
+        match self {
+            TableIndex::Hash(h) => h.slot(),
+            TableIndex::Ordered(o) => o.slot(),
+        }
+    }
+
+    /// Whether this index supports range predicates.
+    #[inline]
+    pub fn is_ordered(&self) -> bool {
+        matches!(self, TableIndex::Ordered(_))
+    }
+
+    fn insert<'g>(&self, node: Shared<'g, Version>, guard: &'g Guard) {
+        match self {
+            TableIndex::Hash(h) => h.insert(node, guard),
+            TableIndex::Ordered(o) => o.insert(node, guard),
+        }
+    }
+
+    fn unlink<'g>(&self, target: Shared<'g, Version>, guard: &'g Guard) -> bool {
+        match self {
+            TableIndex::Hash(h) => h.unlink(target, guard),
+            TableIndex::Ordered(o) => o.unlink(target, guard),
+        }
+    }
+
+    fn iter_key<'g>(&self, key: Key, guard: &'g Guard) -> KeyIter<'g> {
+        match self {
+            TableIndex::Hash(h) => KeyIter::Hash(h.iter_key(key, guard)),
+            TableIndex::Ordered(o) => KeyIter::Ordered(o.iter_key(key, guard)),
+        }
+    }
+
+    fn iter_all<'a, 'g: 'a>(&'a self, guard: &'g Guard) -> ScanIter<'a, 'g> {
+        match self {
+            TableIndex::Hash(h) => ScanIter::Hash {
+                index: h,
+                next_bucket: 1,
+                inner: h.iter_bucket(0, guard),
+                guard,
+            },
+            TableIndex::Ordered(o) => ScanIter::Ordered(o.iter_all(guard)),
+        }
+    }
+
+    fn drain_exclusive<'g>(&self, guard: &'g Guard) -> Vec<Shared<'g, Version>> {
+        match self {
+            TableIndex::Hash(h) => h.drain_exclusive(guard),
+            TableIndex::Ordered(o) => o.drain_exclusive(guard),
+        }
+    }
+}
+
+/// Iterator over one index key's candidate versions (either index kind).
+enum KeyIter<'g> {
+    Hash(BucketIter<'g, Version>),
+    Ordered(RangeIter<'g, Version>),
+}
+
+impl<'g> Iterator for KeyIter<'g> {
+    type Item = Shared<'g, Version>;
+
+    #[inline]
+    fn next(&mut self) -> Option<Self::Item> {
+        match self {
+            KeyIter::Hash(it) => it.next(),
+            KeyIter::Ordered(it) => it.next(),
+        }
+    }
+}
+
+/// Iterator over every version of an index (either kind).
+enum ScanIter<'a, 'g> {
+    Hash {
+        index: &'a HashIndex<Version>,
+        next_bucket: usize,
+        inner: BucketIter<'g, Version>,
+        guard: &'g Guard,
+    },
+    Ordered(RangeIter<'g, Version>),
+}
+
+impl<'a, 'g> Iterator for ScanIter<'a, 'g> {
+    type Item = Shared<'g, Version>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self {
+            ScanIter::Hash {
+                index,
+                next_bucket,
+                inner,
+                guard,
+            } => loop {
+                if let Some(item) = inner.next() {
+                    return Some(item);
+                }
+                if *next_bucket >= index.bucket_count() {
+                    return None;
+                }
+                *inner = index.iter_bucket(*next_bucket, guard);
+                *next_bucket += 1;
+            },
+            ScanIter::Ordered(it) => it.next(),
+        }
+    }
+}
+
+/// A table: spec + one latch-free index (hash or ordered), one bucket-lock
+/// table and one range-lock table per declared index.
 pub struct Table {
     id: TableId,
     spec: TableSpec,
-    indexes: Vec<HashIndex<Version>>,
+    indexes: Vec<TableIndex>,
     bucket_locks: Vec<BucketLockTable>,
+    /// Range locks, meaningful only for ordered indexes (hash slots keep an
+    /// empty placeholder so the vectors stay slot-aligned).
+    range_locks: Vec<RangeLockTable>,
     /// Serializes garbage-collection unlinks on this table (see the
     /// concurrency contract of [`HashIndex::unlink`]).
     gc_lock: Mutex<()>,
@@ -105,18 +232,26 @@ impl Table {
             .indexes
             .iter()
             .enumerate()
-            .map(|(slot, idx)| HashIndex::new(slot, idx.buckets.max(1)))
+            .map(|(slot, idx)| {
+                if idx.ordered {
+                    TableIndex::Ordered(OrderedIndex::new(slot))
+                } else {
+                    TableIndex::Hash(HashIndex::new(slot, idx.buckets.max(1)))
+                }
+            })
             .collect();
         let bucket_locks = spec
             .indexes
             .iter()
-            .map(|idx| BucketLockTable::new(idx.buckets.max(1)))
+            .map(|idx| BucketLockTable::new(if idx.ordered { 1 } else { idx.buckets.max(1) }))
             .collect();
+        let range_locks = spec.indexes.iter().map(|_| RangeLockTable::new()).collect();
         Ok(Table {
             id,
             spec,
             indexes,
             bucket_locks,
+            range_locks,
             gc_lock: Mutex::new(()),
             pool: Mutex::new(Vec::new()),
         })
@@ -141,15 +276,41 @@ impl Table {
     }
 
     /// Resolve an index id, or error.
-    fn index(&self, index: IndexId) -> Result<&HashIndex<Version>> {
+    fn index(&self, index: IndexId) -> Result<&TableIndex> {
         self.indexes
             .get(index.0 as usize)
             .ok_or(MmdbError::IndexNotFound(self.id, index))
     }
 
-    /// The bucket-lock table of an index (pessimistic phantom protection).
+    /// Whether an index is ordered (serves range predicates).
+    pub fn is_ordered(&self, index: IndexId) -> Result<bool> {
+        Ok(self.index(index)?.is_ordered())
+    }
+
+    /// The bucket-lock table of a *hash* index (pessimistic phantom
+    /// protection at bucket granularity, §4.1.2). Ordered indexes have no
+    /// buckets; their scans are protected by [`Table::range_locks`] instead,
+    /// and asking for their bucket locks is an engine bug.
     pub fn bucket_locks(&self, index: IndexId) -> Result<&BucketLockTable> {
+        if self.index(index)?.is_ordered() {
+            return Err(MmdbError::Internal(
+                "bucket locks requested for an ordered index (use range locks)",
+            ));
+        }
         self.bucket_locks
+            .get(index.0 as usize)
+            .ok_or(MmdbError::IndexNotFound(self.id, index))
+    }
+
+    /// The range-lock table of an *ordered* index (pessimistic phantom
+    /// protection at predicate granularity). Errors with
+    /// [`MmdbError::IndexNotOrdered`] for hash indexes, whose scans lock
+    /// buckets instead.
+    pub fn range_locks(&self, index: IndexId) -> Result<&RangeLockTable> {
+        if !self.index(index)?.is_ordered() {
+            return Err(MmdbError::IndexNotOrdered(self.id, index));
+        }
+        self.range_locks
             .get(index.0 as usize)
             .ok_or(MmdbError::IndexNotFound(self.id, index))
     }
@@ -192,9 +353,15 @@ impl Table {
             .unique)
     }
 
-    /// Bucket that `key` hashes to in `index`.
+    /// Bucket that `key` hashes to in `index` (hash indexes only: an ordered
+    /// index has no buckets, and asking is an engine bug).
     pub fn bucket_of(&self, index: IndexId, key: Key) -> Result<usize> {
-        Ok(self.index(index)?.bucket_of_key(key))
+        match self.index(index)? {
+            TableIndex::Hash(h) => Ok(h.bucket_of_key(key)),
+            TableIndex::Ordered(_) => Err(MmdbError::Internal(
+                "bucket_of requested for an ordered index",
+            )),
+        }
     }
 
     /// Obtain a version for `row` whose index keys the caller has already
@@ -302,6 +469,27 @@ impl Table {
             .filter(move |v| v.index_key(slot) == key))
     }
 
+    /// Iterate over every version whose key under `index` lies in the
+    /// inclusive range `[lo, hi]`, as stable [`VersionPtr`]s in ascending key
+    /// order. Requires an ordered index; hash indexes cannot serve range
+    /// predicates.
+    ///
+    /// As with [`Table::candidates`], the caller still checks visibility per
+    /// version; unlike a hash bucket there are no collision false-positives
+    /// to filter out.
+    pub fn range_candidate_ptrs<'a, 'g: 'a>(
+        &'a self,
+        index: IndexId,
+        lo: Key,
+        hi: Key,
+        guard: &'g Guard,
+    ) -> Result<impl Iterator<Item = VersionPtr> + 'a> {
+        match self.index(index)? {
+            TableIndex::Ordered(o) => Ok(o.iter_range(lo, hi, guard).map(VersionPtr::from_shared)),
+            TableIndex::Hash(_) => Err(MmdbError::IndexNotOrdered(self.id, index)),
+        }
+    }
+
     /// Like [`Table::candidates`], but yield stable [`VersionPtr`]s directly
     /// under the caller's epoch guard. This is the hot-path variant: callers
     /// that stage candidates in a reusable buffer (see `TxnScratch` in
@@ -401,6 +589,7 @@ mod tests {
             key: KeySpec::BytesAt { offset: 8, len: 1 },
             buckets: 16,
             unique: false,
+            ordered: false,
         })
     }
 
@@ -498,6 +687,82 @@ mod tests {
         );
         // The unlinked allocation still has to be freed exactly once.
         unsafe { guard.defer_destroy(ptr.as_shared(&guard)) };
+    }
+
+    fn ordered_spec() -> TableSpec {
+        TableSpec::keyed_u64("ordered_accounts", 64)
+            .with_index(IndexSpec::ordered_u64("pk_ordered", 0))
+    }
+
+    #[test]
+    fn ordered_index_serves_ranges_and_equality() {
+        let table = Table::new(TableId(0), ordered_spec()).unwrap();
+        let guard = epoch::pin();
+        for k in [40u64, 10, 30, 50, 20] {
+            let v = table
+                .make_committed_version(Timestamp(1), rowbuf::keyed_row(k, 16, 0))
+                .unwrap();
+            table.link_version(v, &guard);
+        }
+        assert!(!table.is_ordered(IndexId(0)).unwrap());
+        assert!(table.is_ordered(IndexId(1)).unwrap());
+
+        // Range probes come back in ascending key order, inclusive bounds.
+        let keys: Vec<u64> = table
+            .range_candidate_ptrs(IndexId(1), 20, 40, &guard)
+            .unwrap()
+            .map(|p| rowbuf::key_of(p.get().data()))
+            .collect();
+        assert_eq!(keys, vec![20, 30, 40]);
+
+        // Equality probes work through the same dispatch.
+        assert_eq!(table.candidates(IndexId(1), 30, &guard).unwrap().count(), 1);
+        // Full scans via the ordered index see everything, sorted.
+        let all: Vec<u64> = table
+            .scan_versions(IndexId(1), &guard)
+            .unwrap()
+            .map(|v| rowbuf::key_of(v.data()))
+            .collect();
+        assert_eq!(all, vec![10, 20, 30, 40, 50]);
+
+        // Hash indexes refuse range predicates; ordered indexes have no
+        // buckets or bucket locks, but do have range locks.
+        assert!(matches!(
+            table.range_candidate_ptrs(IndexId(0), 0, 9, &guard),
+            Err(MmdbError::IndexNotOrdered(_, _))
+        ));
+        assert!(table.bucket_of(IndexId(1), 7).is_err());
+        assert!(table.bucket_locks(IndexId(1)).is_err());
+        assert!(matches!(
+            table.range_locks(IndexId(0)),
+            Err(MmdbError::IndexNotOrdered(_, _))
+        ));
+        assert!(table.range_locks(IndexId(1)).is_ok());
+    }
+
+    #[test]
+    fn ordered_index_unlink_through_gc_path() {
+        let table = Table::new(TableId(0), ordered_spec()).unwrap();
+        let guard = epoch::pin();
+        let mut ptrs = Vec::new();
+        for k in 0..6u64 {
+            let v = table
+                .make_committed_version(Timestamp(1), rowbuf::keyed_row(k, 16, 0))
+                .unwrap();
+            ptrs.push(table.link_version(v, &guard));
+        }
+        {
+            let _g = table.gc_guard();
+            assert!(table.unlink_version(ptrs[3].as_shared(&guard), &guard));
+        }
+        let keys: Vec<u64> = table
+            .range_candidate_ptrs(IndexId(1), 0, 10, &guard)
+            .unwrap()
+            .map(|p| rowbuf::key_of(p.get().data()))
+            .collect();
+        assert_eq!(keys, vec![0, 1, 2, 4, 5]);
+        assert_eq!(table.candidates(IndexId(0), 3, &guard).unwrap().count(), 0);
+        unsafe { guard.defer_destroy(ptrs[3].as_shared(&guard)) };
     }
 
     #[test]

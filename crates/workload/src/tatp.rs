@@ -231,6 +231,7 @@ impl Tatp {
                     },
                     buckets: n.max(16),
                     unique: true,
+                    ordered: false,
                 },
             ],
         })?;

@@ -120,7 +120,7 @@ pub mod epoch {
             if ptr.is_null() {
                 return;
             }
-            let raw = SendPtr(ptr.raw);
+            let raw = SendPtr(ptr.as_raw() as *mut T);
             // SAFETY: forwarded caller contract; the closure drops the boxed
             // allocation exactly once.
             unsafe {
@@ -362,6 +362,12 @@ pub mod epoch {
     }
 
     /// A pointer valid while the guard it was loaded under is pinned.
+    ///
+    /// Like real `crossbeam-epoch`, the low bits left free by `T`'s alignment
+    /// can carry a *tag* ([`Shared::tag`] / [`Shared::with_tag`]): the tag
+    /// travels through [`Atomic`] loads, stores and CASes unchanged (the CAS
+    /// compares the full tagged word, so a tag flip invalidates stale
+    /// untagged expectations), while every dereferencing accessor strips it.
     pub struct Shared<'g, T> {
         raw: *mut T,
         _marker: PhantomData<&'g T>,
@@ -376,6 +382,19 @@ pub mod epoch {
     impl<T> Copy for Shared<'_, T> {}
 
     impl<'g, T> Shared<'g, T> {
+        /// Bit mask of the pointer bits available for tagging (the low bits a
+        /// `T`-aligned address always has clear).
+        #[inline]
+        fn tag_mask() -> usize {
+            align_of::<T>() - 1
+        }
+
+        /// The address without its tag bits.
+        #[inline]
+        fn untagged_raw(&self) -> *mut T {
+            (self.raw as usize & !Self::tag_mask()) as *mut T
+        }
+
         /// The null pointer.
         pub fn null() -> Shared<'g, T> {
             Shared {
@@ -384,14 +403,27 @@ pub mod epoch {
             }
         }
 
-        /// Is this the null pointer?
+        /// Is this the null pointer (ignoring the tag)?
         pub fn is_null(&self) -> bool {
-            self.raw.is_null()
+            self.untagged_raw().is_null()
         }
 
-        /// The raw address.
+        /// The raw address (tag stripped).
         pub fn as_raw(&self) -> *const T {
-            self.raw
+            self.untagged_raw()
+        }
+
+        /// The tag stored in the pointer's low bits.
+        pub fn tag(&self) -> usize {
+            self.raw as usize & Self::tag_mask()
+        }
+
+        /// The same pointer carrying `tag` (masked to the available low bits).
+        pub fn with_tag(&self, tag: usize) -> Shared<'g, T> {
+            Shared {
+                raw: (self.untagged_raw() as usize | (tag & Self::tag_mask())) as *mut T,
+                _marker: PhantomData,
+            }
         }
 
         /// Dereference.
@@ -401,7 +433,7 @@ pub mod epoch {
         /// guaranteed when it was loaded under the (still pinned) guard and
         /// deferred destructions follow the unlink-before-defer contract.
         pub unsafe fn deref(&self) -> &'g T {
-            unsafe { &*self.raw }
+            unsafe { &*self.untagged_raw() }
         }
 
         /// Dereference, returning `None` for null.
@@ -409,7 +441,7 @@ pub mod epoch {
         /// # Safety
         /// Same contract as [`Shared::deref`].
         pub unsafe fn as_ref(&self) -> Option<&'g T> {
-            unsafe { self.raw.as_ref() }
+            unsafe { self.untagged_raw().as_ref() }
         }
 
         /// Reclaim exclusive ownership of the allocation.
@@ -419,7 +451,7 @@ pub mod epoch {
         /// pointer must have originated from [`Owned::into_shared`].
         pub unsafe fn into_owned(self) -> Owned<T> {
             Owned {
-                inner: unsafe { Box::from_raw(self.raw) },
+                inner: unsafe { Box::from_raw(self.untagged_raw()) },
             }
         }
     }
@@ -588,6 +620,41 @@ mod tests {
             std::thread::yield_now();
         }
         assert_eq!(RAN.load(Ordering::SeqCst), 22);
+    }
+
+    #[test]
+    fn tags_travel_through_cas_but_not_deref() {
+        let a: Atomic<u64> = Atomic::null();
+        let guard = epoch::pin();
+        let s = Owned::new(5u64).into_shared(&guard);
+        assert_eq!(s.tag(), 0);
+        let tagged = s.with_tag(1);
+        assert_eq!(tagged.tag(), 1);
+        assert_eq!(tagged.as_raw(), s.as_raw(), "as_raw strips the tag");
+        assert_eq!(unsafe { *tagged.deref() }, 5, "deref strips the tag");
+        assert!(!tagged.is_null());
+
+        // CAS distinguishes tag values: an expectation with the wrong tag
+        // fails even though the address matches.
+        a.store(tagged, Ordering::Release);
+        let null = epoch::Shared::null();
+        assert!(a
+            .compare_exchange(s, null, Ordering::AcqRel, Ordering::Acquire, &guard)
+            .is_err());
+        let observed = a.load(Ordering::Acquire, &guard);
+        assert_eq!(observed.tag(), 1);
+        assert!(a
+            .compare_exchange(observed, null, Ordering::AcqRel, Ordering::Acquire, &guard)
+            .is_ok());
+        unsafe { guard.defer_destroy(tagged) };
+    }
+
+    #[test]
+    fn tagged_null_is_still_null() {
+        let n: epoch::Shared<'_, u64> = epoch::Shared::null().with_tag(1);
+        assert!(n.is_null());
+        assert_eq!(n.tag(), 1);
+        assert!(unsafe { n.as_ref() }.is_none());
     }
 
     #[test]

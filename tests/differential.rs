@@ -360,23 +360,24 @@ fn histories_use_every_op_kind_and_every_table() {
     // reads, scans, inserts, updates, read-modify-writes and deletes, spread
     // over every table slot.
     let scripts = generate_history(42, SEQUENTIAL_PARAMS);
-    let mut kinds = [false; 6];
+    let mut kinds = [false; 7];
     let mut tables_seen = [false; TABLES];
     for script in &scripts {
         for op in &script.ops {
             let (kind, t) = match *op {
                 support::Op::Read(t, _) => (0, t),
                 support::Op::ScanFill(t, _) => (1, t),
-                support::Op::Insert(t, _, _) => (2, t),
-                support::Op::Update(t, _, _) => (3, t),
-                support::Op::Bump(t, _, _) => (4, t),
-                support::Op::Delete(t, _) => (5, t),
+                support::Op::RangeScan(t, _, _) => (2, t),
+                support::Op::Insert(t, _, _) => (3, t),
+                support::Op::Update(t, _, _) => (4, t),
+                support::Op::Bump(t, _, _) => (5, t),
+                support::Op::Delete(t, _) => (6, t),
             };
             kinds[kind] = true;
             tables_seen[t] = true;
         }
     }
-    assert_eq!(kinds, [true; 6], "some op kind is never generated");
+    assert_eq!(kinds, [true; 7], "some op kind is never generated");
     assert_eq!(
         tables_seen, [true; TABLES],
         "some table slot is never touched"

@@ -1,0 +1,149 @@
+//! Stochastic stress for the MV/L serializable phantom window.
+//!
+//! The deterministic regression tests in `mmdb-core` pin the exact
+//! link→honor interleaving with an internal rendezvous hook. This suite is
+//! the complementary black-box check: it races a real inserter against a
+//! real serializable scanner over and over through the public API only, and
+//! asserts the §4.3 commit-ordering invariant every time.
+//!
+//! The invariant: a serializable scanner whose scan *missed* a row must
+//! precommit **before** that row's inserter — otherwise commit-timestamp
+//! order is not a valid serialization order (the scan, replayed at the
+//! scanner's commit point, would see the phantom). Visibility itself cannot
+//! catch the bug (reads are as of the scanner's begin timestamp either way);
+//! only the commit-timestamp comparison can, which is exactly what the
+//! differential suite's serializability checker tripped over — rarely — on
+//! multicore hardware before the fix.
+//!
+//! Iterations default to a quick smoke budget; CI sets
+//! `MMDB_PHANTOM_STRESS_ITERS=300` (same pattern as `MMDB_GC_STRESS_MS`) to
+//! loop it properly in the stress job. Even iterations race a range scan on
+//! the ordered index (range-lock path), odd iterations an equality probe of
+//! the missing key (bucket-lock path).
+
+use std::sync::Barrier;
+
+use mmdb::prelude::*;
+
+const TABLE_BUCKETS: usize = 64;
+const INSERT_KEY: u64 = 25;
+
+fn stress_iters() -> usize {
+    match std::env::var("MMDB_PHANTOM_STRESS_ITERS") {
+        Ok(v) => v
+            .trim()
+            .parse()
+            .expect("MMDB_PHANTOM_STRESS_ITERS must be a usize"),
+        Err(_) => 25,
+    }
+}
+
+/// One racing round: committed keys {10, 20, 30}, an inserter adding 25,
+/// and a serializable scanner looking for it (and not finding it, or
+/// finding it — both are fine, as long as the commit order agrees).
+fn race_once(iteration: usize) {
+    let range_shape = iteration.is_multiple_of(2);
+    let engine = MvEngine::pessimistic(MvConfig::default());
+    let spec =
+        TableSpec::keyed_u64("t", TABLE_BUCKETS).with_index(IndexSpec::ordered_u64("by_key", 0));
+    let table = engine.create_table(spec).expect("create table");
+    engine
+        .populate(
+            table,
+            [10u64, 20, 30].map(|k| rowbuf::keyed_row(k, 16, k as u8)),
+        )
+        .expect("populate");
+
+    let start = Barrier::new(2);
+    let (scan_outcome, insert_outcome) = std::thread::scope(|scope| {
+        let scanner = scope.spawn(|| {
+            start.wait();
+            let mut txn = engine.begin(IsolationLevel::Serializable);
+            let scan = |txn: &mut _| -> Result<Vec<u64>> {
+                if range_shape {
+                    let mut keys = Vec::new();
+                    EngineTxn::scan_range_with(txn, table, IndexId(1), 15, 35, &mut |r| {
+                        keys.push(rowbuf::key_of(r))
+                    })?;
+                    keys.sort_unstable();
+                    Ok(keys)
+                } else {
+                    Ok(match EngineTxn::read(txn, table, IndexId(0), INSERT_KEY)? {
+                        Some(row) => vec![rowbuf::key_of(&row)],
+                        None => Vec::new(),
+                    })
+                }
+            };
+            let first = match scan(&mut txn) {
+                Ok(keys) => keys,
+                Err(e) => {
+                    txn.abort();
+                    return Err(e);
+                }
+            };
+            let repeat = match scan(&mut txn) {
+                Ok(keys) => keys,
+                Err(e) => {
+                    txn.abort();
+                    return Err(e);
+                }
+            };
+            assert_eq!(
+                first, repeat,
+                "[iter {iteration}] serializable scan stopped being repeatable"
+            );
+            let end = txn.commit()?;
+            Ok((first, end.raw()))
+        });
+        let inserter = scope.spawn(|| {
+            start.wait();
+            let mut txn = engine.begin(IsolationLevel::ReadCommitted);
+            match txn.insert(table, rowbuf::keyed_row(INSERT_KEY, 16, 99)) {
+                Ok(()) => txn.commit().map(|ts| ts.raw()),
+                Err(e) => {
+                    txn.abort();
+                    Err(e)
+                }
+            }
+        });
+        (scanner.join().unwrap(), inserter.join().unwrap())
+    });
+
+    // Timeouts/refusals under contention abort a side cleanly; the invariant
+    // only binds when both transactions committed.
+    let (seen, scanner_end) = match scan_outcome {
+        Ok(outcome) => outcome,
+        Err(_) => return,
+    };
+    let inserter_end = match insert_outcome {
+        Ok(ts) => ts,
+        Err(_) => {
+            assert!(
+                !seen.contains(&INSERT_KEY),
+                "[iter {iteration}] scanner saw a row whose inserter never committed"
+            );
+            return;
+        }
+    };
+    if seen.contains(&INSERT_KEY) {
+        assert!(
+            scanner_end > inserter_end,
+            "[iter {iteration}] scanner saw key {INSERT_KEY} but precommitted before its \
+             inserter ({scanner_end} vs {inserter_end})"
+        );
+    } else {
+        assert!(
+            scanner_end < inserter_end,
+            "[iter {iteration}] phantom: serializable scanner missed key {INSERT_KEY} yet \
+             precommitted after its inserter ({scanner_end} vs {inserter_end}) — \
+             commit-timestamp order is not a serialization order"
+        );
+    }
+}
+
+#[test]
+fn mvl_serializable_scans_never_admit_phantoms_under_stress() {
+    for iteration in 0..stress_iters() {
+        race_once(iteration);
+    }
+}

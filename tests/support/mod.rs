@@ -5,8 +5,8 @@
 //!
 //! * a **seeded workload generator** ([`generate_history`]) producing
 //!   randomized multi-table transaction scripts (insert / read / update /
-//!   read-modify-write / delete / secondary-index scan, commit or abort)
-//!   that replay identically from a fixed seed;
+//!   read-modify-write / delete / secondary-index scan / ordered range scan,
+//!   commit or abort) that replay identically from a fixed seed;
 //! * a **sequential executor** ([`run_sequential`]) that applies a history to
 //!   any [`Engine`] one transaction at a time and records every observation;
 //! * a **model oracle** ([`Oracle`]) — plain `BTreeMap`s with the same
@@ -44,18 +44,24 @@ pub const FILLER: usize = 16;
 pub const PRIMARY: IndexId = IndexId(0);
 /// Secondary (non-unique, hashed fill byte) index.
 pub const SECONDARY: IndexId = IndexId(1);
+/// Ordered index over the primary key (offset 0) — the range-scan path.
+pub const ORDERED: IndexId = IndexId(2);
 
-/// Table spec used by all differential tests: unique primary key plus a
-/// non-unique secondary index over the fill byte, so scans exercise
+/// Table spec used by all differential tests: unique primary key, a
+/// non-unique secondary index over the fill byte (so scans exercise
 /// multi-index maintenance — and updates that change the fill byte move rows
-/// between secondary-index buckets.
+/// between secondary-index buckets), and an ordered index over the primary
+/// key so range scans run against the same rows the point operations mutate.
 pub fn diff_table_spec(name: &str, buckets: usize) -> TableSpec {
-    TableSpec::keyed_u64(name, buckets).with_index(IndexSpec {
-        name: format!("{name}_by_fill"),
-        key: KeySpec::BytesAt { offset: 8, len: 1 },
-        buckets: buckets / 4 + 1,
-        unique: false,
-    })
+    TableSpec::keyed_u64(name, buckets)
+        .with_index(IndexSpec {
+            name: format!("{name}_by_fill"),
+            key: KeySpec::BytesAt { offset: 8, len: 1 },
+            buckets: buckets / 4 + 1,
+            unique: false,
+            ordered: false,
+        })
+        .with_index(IndexSpec::ordered_u64(format!("{name}_pk_ordered"), 0))
 }
 
 /// Create `tables` differential tables on `engine` (slot i ↔ the i-th id).
@@ -83,6 +89,8 @@ pub enum Op {
     Read(usize, u64),
     /// Equality scan of the secondary index for this fill byte.
     ScanFill(usize, u8),
+    /// Range scan `[lo, hi]` (inclusive) of the ordered primary-key index.
+    RangeScan(usize, u64, u64),
     /// Insert `key` with this fill byte (skipped if the key exists).
     Insert(usize, u64, u8),
     /// Update `key` to this fill byte (no-op if the key is absent). Always
@@ -141,9 +149,17 @@ pub fn generate_history(seed: u64, params: HistoryParams) -> Vec<TxnScript> {
             let ops = (0..op_count)
                 .map(|_| {
                     let t = rng.gen_range(0..params.tables);
-                    match rng.gen_range(0..11u32) {
+                    match rng.gen_range(0..13u32) {
                         0..=2 => Op::Read(t, rng.gen_range(0..params.key_space)),
                         3 => Op::ScanFill(t, rng.gen_range(1..=FILL_ALPHABET)),
+                        10..=11 => {
+                            // Inclusive [lo, hi] windows: short and long, some
+                            // straddling the insert-only upper half of the key
+                            // space, some entirely empty.
+                            let lo = rng.gen_range(0..params.key_space * 2);
+                            let hi = lo + rng.gen_range(0..=params.key_space / 2);
+                            Op::RangeScan(t, lo, hi)
+                        }
                         4..=5 => Op::Insert(
                             t,
                             rng.gen_range(0..params.key_space * 2),
@@ -181,6 +197,9 @@ pub enum Observation {
     Read(usize, u64, Option<u8>),
     /// `ScanFill(t, fill)` saw exactly these primary keys (sorted).
     Scan(usize, u8, Vec<u64>),
+    /// `RangeScan(t, lo, hi)` saw exactly these `(key, fill)` pairs (sorted
+    /// by key).
+    Range(usize, u64, u64, Vec<(u64, u8)>),
     /// `Insert(t, key, fill)` took effect (`false`: key already present).
     Insert(usize, u64, u8, bool),
     /// `Update(t, key, fill)` took effect (`false`: key absent).
@@ -235,6 +254,15 @@ impl Oracle {
                     .iter()
                     .filter(|&(_, &v)| v == f)
                     .map(|(&k, _)| k)
+                    .collect(),
+            ),
+            Op::RangeScan(t, lo, hi) => Observation::Range(
+                t,
+                lo,
+                hi,
+                self.state[t]
+                    .range(lo..=hi)
+                    .map(|(&k, &v)| (k, v))
                     .collect(),
             ),
             Op::Insert(t, k, f) => {
@@ -309,6 +337,21 @@ impl Oracle {
                             *seen,
                             model,
                             "{}: committed txn scanned table {t} fill {f} and saw keys \
+                             {seen:?}, but the commit-timestamp-order replay has {model:?}",
+                            ctx()
+                        );
+                    }
+                }
+                Observation::Range(t, lo, hi, seen) => {
+                    if check_reads {
+                        let model: Vec<(u64, u8)> = self.state[*t]
+                            .range(*lo..=*hi)
+                            .map(|(&k, &v)| (k, v))
+                            .collect();
+                        assert_eq!(
+                            *seen,
+                            model,
+                            "{}: committed txn range-scanned table {t} [{lo}, {hi}] and saw \
                              {seen:?}, but the commit-timestamp-order replay has {model:?}",
                             ctx()
                         );
@@ -430,6 +473,14 @@ fn execute_op<T: EngineTxn>(txn: &mut T, tables: &[TableId], op: Op) -> Result<O
             })?;
             keys.sort_unstable();
             Observation::Scan(t, f, keys)
+        }
+        Op::RangeScan(t, lo, hi) => {
+            let mut pairs: Vec<(u64, u8)> = Vec::new();
+            txn.scan_range_with(tables[t], ORDERED, lo, hi, &mut |r| {
+                pairs.push((rowbuf::key_of(r), rowbuf::fill_of(r)))
+            })?;
+            pairs.sort_unstable();
+            Observation::Range(t, lo, hi, pairs)
         }
         Op::Insert(t, k, f) => {
             // Duplicate inserts are a scripted possibility; probe first so a
@@ -565,6 +616,19 @@ where
                  primary dump"
             );
         }
+        // The ordered index over the full key range must agree with the
+        // primary dump exactly — keys, fills, and ascending order.
+        let mut ranged: Vec<(u64, u8)> = Vec::new();
+        txn.scan_range_with(table, ORDERED, 0, u64::MAX, &mut |r| {
+            ranged.push((rowbuf::key_of(r), rowbuf::fill_of(r)))
+        })
+        .expect("ordered range scan");
+        ranged.sort_unstable();
+        let expected: Vec<(u64, u8)> = state.iter().map(|(&k, &v)| (k, v)).collect();
+        assert_eq!(
+            ranged, expected,
+            "[{label}] table {t}: ordered index disagrees with the primary dump"
+        );
         for (&k, &fill) in state {
             let seen = txn
                 .read(table, PRIMARY, k)
