@@ -945,6 +945,162 @@ pub fn commitpath_perf(cfg: &ExpConfig) -> SeriesTable {
     table
 }
 
+/// **Recovery benchmark** — checkpoint + tail replay vs full log replay
+/// (`BENCH_recovery.json`). The point of the checkpoint subsystem is to
+/// bound restart time: without one, recovery replays the whole redo
+/// history; with one, it bulk-loads the last image and replays only the
+/// tail above the checkpoint LSN. This experiment runs one deterministic
+/// update-heavy history twice — once into a store that never checkpoints
+/// and once into a store that checkpoints every 1/12th of the final log
+/// (so the log is ≥ 10× the checkpoint interval) — then times recovery of
+/// each directory into a fresh engine and cross-checks that both recovered
+/// states agree.
+pub fn recovery_perf(cfg: &ExpConfig) -> SeriesTable {
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    use mmdb_common::durability::CheckpointPolicy;
+    use mmdb_common::engine::EngineTxn as _;
+    use mmdb_common::ids::IndexId;
+    use mmdb_common::row::{rowbuf, TableSpec};
+    use mmdb_storage::checkpoint::CheckpointStore;
+    use mmdb_storage::log::{NullLogger, RedoLogger as _};
+
+    const FILLER: usize = 16;
+    let rows = cfg.rows.clamp(2_000, 20_000);
+    let updates = (cfg.duration.as_millis() as u64 * 200).clamp(10_000, 400_000);
+    let lcg = |x: u64| {
+        x.wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407)
+    };
+    let spec = || TableSpec::keyed_u64("recovery", rows as usize);
+    let dir_for = |tag: &str| {
+        let dir =
+            std::env::temp_dir().join(format!("mmdb-bench-recovery-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    };
+
+    // The same seeded history into a checkpoint store; `checkpoint_every`
+    // None = never checkpoint (the full-replay baseline). Returns the number
+    // of checkpoints taken and the total bytes appended to the log stream.
+    let run = |dir: &std::path::Path, checkpoint_every: Option<u64>| -> (usize, u64) {
+        let store = CheckpointStore::create(dir).expect("create checkpoint store");
+        let engine = mmdb_core::MvEngine::with_logger(
+            mmdb_core::MvConfig::optimistic().with_deadlock_detector(false),
+            store.logger().clone(),
+        );
+        let table = engine.create_table(spec()).expect("create table");
+        let mut setup = engine.begin(IsolationLevel::ReadCommitted);
+        for k in 0..rows {
+            setup
+                .insert(table, rowbuf::keyed_row(k, FILLER, 1))
+                .expect("populate");
+        }
+        setup.commit().expect("populate commit");
+        let policy = checkpoint_every.map(CheckpointPolicy::every_log_bytes);
+        let mut checkpoints = 0usize;
+        let mut x = 0x5EEDu64;
+        for _ in 0..updates {
+            x = lcg(x);
+            let k = (x >> 33) % rows;
+            let fill = (x % 7 + 1) as u8;
+            let mut txn = engine.begin(IsolationLevel::SnapshotIsolation);
+            assert!(txn
+                .update(table, IndexId(0), k, rowbuf::keyed_row(k, FILLER, fill))
+                .expect("update"));
+            txn.commit().expect("commit");
+            if let Some(policy) = &policy {
+                if store.checkpoint_due(policy) {
+                    engine.checkpoint(&store).expect("checkpoint");
+                    checkpoints += 1;
+                }
+            }
+        }
+        store.logger().flush().expect("flush");
+        (checkpoints, store.logger().appended_lsn().0)
+    };
+
+    // Timed recovery of a store directory into a fresh engine. Returns
+    // (elapsed ms, records replayed, bytes read, recovered-state dump).
+    let recover = |dir: &std::path::Path| -> (f64, usize, u64, Vec<(u64, u8)>) {
+        let plan = CheckpointStore::plan(dir).expect("recovery plan");
+        let engine = mmdb_core::MvEngine::with_logger(
+            mmdb_core::MvConfig::optimistic().with_deadlock_detector(false),
+            Arc::new(NullLogger::new()),
+        );
+        let table = engine.create_table(spec()).expect("create table");
+        let start = Instant::now();
+        let report = engine.recover_from_checkpoint(&plan).expect("recover");
+        let ms = start.elapsed().as_secs_f64() * 1000.0;
+        let image_bytes = plan
+            .checkpoint
+            .as_ref()
+            .map(|c| std::fs::metadata(&c.path).expect("image metadata").len())
+            .unwrap_or(0);
+        let bytes_read = image_bytes + (report.valid_bytes - plan.log_tail_offset());
+        let mut txn = engine.begin(IsolationLevel::ReadCommitted);
+        let mut state = Vec::with_capacity(rows as usize);
+        for k in 0..rows {
+            if let Some(row) = txn.read(table, IndexId(0), k).expect("read") {
+                state.push((k, rowbuf::fill_of(&row)));
+            }
+        }
+        txn.commit().expect("verify commit");
+        (ms, report.records_applied, bytes_read, state)
+    };
+
+    let full_dir = dir_for("full");
+    let (_, total_bytes) = run(&full_dir, None);
+    let interval = (total_bytes / 12).max(1);
+    let ckpt_dir = dir_for("ckpt");
+    let (checkpoints, _) = run(&ckpt_dir, Some(interval));
+
+    let (full_ms, full_records, full_bytes, full_state) = recover(&full_dir);
+    let (ckpt_ms, ckpt_records, ckpt_bytes, ckpt_state) = recover(&ckpt_dir);
+    assert_eq!(
+        full_state, ckpt_state,
+        "full replay and checkpoint + tail must recover the same state"
+    );
+    let _ = std::fs::remove_dir_all(&full_dir);
+    let _ = std::fs::remove_dir_all(&ckpt_dir);
+
+    let mib = |b: u64| b as f64 / (1024.0 * 1024.0);
+    let ratio = |a: f64, b: f64| if b > 0.0 { a / b } else { f64::NAN };
+    SeriesTable {
+        title: format!(
+            "Recovery: full log replay vs checkpoint + tail ({rows} rows, {updates} update \
+             txns, {checkpoints} checkpoints, interval {} KiB)",
+            interval / 1024
+        ),
+        x_label: "metric".into(),
+        xs: vec![
+            "recovery ms".into(),
+            "MiB read".into(),
+            "records replayed".into(),
+        ],
+        rows: vec![
+            (
+                "Full log replay (no checkpoint)".to_string(),
+                vec![full_ms, mib(full_bytes), full_records as f64],
+            ),
+            (
+                "Checkpoint + tail replay".to_string(),
+                vec![ckpt_ms, mib(ckpt_bytes), ckpt_records as f64],
+            ),
+            (
+                "Speedup (full / checkpoint+tail)".to_string(),
+                vec![
+                    ratio(full_ms, ckpt_ms),
+                    ratio(mib(full_bytes), mib(ckpt_bytes)),
+                    ratio(full_records as f64, ckpt_records as f64),
+                ],
+            ),
+        ],
+        unit: "milliseconds / MiB / record counts (the speedup row is a ratio)".into(),
+    }
+}
+
 /// Run every experiment and return the rendered tables in paper order, with
 /// the read- and write-path microbenchmarks appended.
 pub fn run_all(cfg: &ExpConfig) -> Vec<SeriesTable> {
@@ -959,6 +1115,7 @@ pub fn run_all(cfg: &ExpConfig) -> Vec<SeriesTable> {
     out.push(rangescan_perf(cfg));
     out.push(writepath_perf(cfg));
     out.push(commitpath_perf(cfg));
+    out.push(recovery_perf(cfg));
     out
 }
 
@@ -1120,6 +1277,37 @@ mod tests {
         assert!(
             async_gc * 10.0 > sync_per_txn,
             "async {async_gc} vs per-txn-flush sync {sync_per_txn}"
+        );
+    }
+
+    #[test]
+    fn recovery_perf_reports_every_series() {
+        let t = recovery_perf(&tiny());
+        assert_eq!(t.rows.len(), 3);
+        assert_eq!(t.xs.len(), 3);
+        for (label, series) in &t.rows {
+            assert_eq!(series.len(), 3);
+            for v in series {
+                assert!(
+                    v.is_finite() && *v > 0.0,
+                    "{label}: every metric must be positive: {t:?}"
+                );
+            }
+        }
+        // Deterministic, not timing-dependent: the checkpointed store reads
+        // strictly fewer bytes and replays strictly fewer records than the
+        // full-replay baseline (same history, log >= 10x the interval).
+        let full_mib = t.value("Full log replay (no checkpoint)", 1).unwrap();
+        let ckpt_mib = t.value("Checkpoint + tail replay", 1).unwrap();
+        assert!(
+            ckpt_mib < full_mib,
+            "ckpt {ckpt_mib} MiB vs full {full_mib} MiB"
+        );
+        let full_rec = t.value("Full log replay (no checkpoint)", 2).unwrap();
+        let ckpt_rec = t.value("Checkpoint + tail replay", 2).unwrap();
+        assert!(
+            ckpt_rec < full_rec,
+            "ckpt {ckpt_rec} records vs full {full_rec}"
         );
     }
 

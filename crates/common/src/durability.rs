@@ -39,6 +39,39 @@ impl Durability {
     }
 }
 
+/// When the engine should take a checkpoint (and truncate the redo log to
+/// the checkpoint LSN). The policy itself is passive — the engines expose a
+/// `checkpoint()` entry point and consult the policy via
+/// [`CheckpointPolicy::due`]; whoever drives maintenance (a server loop, a
+/// bench harness, an operator) decides when to ask.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Checkpoint once the redo log has grown this many bytes past the last
+    /// checkpoint's LSN. `None` means manual-only: checkpoints happen only
+    /// when `checkpoint()` is called explicitly.
+    pub log_bytes: Option<u64>,
+}
+
+impl CheckpointPolicy {
+    /// Manual-only checkpointing (the default): [`CheckpointPolicy::due`]
+    /// never fires on its own.
+    pub const MANUAL: CheckpointPolicy = CheckpointPolicy { log_bytes: None };
+
+    /// Checkpoint every `bytes` of redo-log growth.
+    pub fn every_log_bytes(bytes: u64) -> CheckpointPolicy {
+        CheckpointPolicy {
+            log_bytes: Some(bytes),
+        }
+    }
+
+    /// Is a checkpoint due, given how many log bytes have accumulated since
+    /// the last checkpoint LSN?
+    pub fn due(&self, log_bytes_since_checkpoint: u64) -> bool {
+        self.log_bytes
+            .is_some_and(|trigger| log_bytes_since_checkpoint >= trigger)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -46,6 +79,20 @@ mod tests {
     #[test]
     fn default_is_paper_faithful_async() {
         assert_eq!(Durability::default(), Durability::Async);
+    }
+
+    #[test]
+    fn manual_policy_is_never_due() {
+        assert!(!CheckpointPolicy::MANUAL.due(u64::MAX));
+        assert_eq!(CheckpointPolicy::default(), CheckpointPolicy::MANUAL);
+    }
+
+    #[test]
+    fn log_bytes_policy_fires_at_the_threshold() {
+        let policy = CheckpointPolicy::every_log_bytes(1024);
+        assert!(!policy.due(1023));
+        assert!(policy.due(1024));
+        assert!(policy.due(u64::MAX));
     }
 
     #[test]

@@ -87,6 +87,14 @@ pub enum MmdbError {
         /// What was wrong with it.
         reason: &'static str,
     },
+    /// A checkpoint file or its manifest failed validation (magic mismatch,
+    /// missing trailer, malformed body). Distinct from [`MmdbError::LogCorrupt`]
+    /// only in what it names: a checkpoint that cannot be trusted must never
+    /// be loaded, because a half-loaded checkpoint silently loses rows.
+    CheckpointInvalid {
+        /// What was wrong with it.
+        reason: &'static str,
+    },
     /// An I/O error while writing or reading the redo log. Carries the
     /// stringified `std::io::Error` (which is neither `Clone` nor `Eq`).
     LogIo(String),
@@ -132,6 +140,7 @@ impl MmdbError {
             MmdbError::RowTooShort { .. } => "row_too_short",
             MmdbError::TransactionClosed => "transaction_closed",
             MmdbError::LogCorrupt { .. } => "log_corrupt",
+            MmdbError::CheckpointInvalid { .. } => "checkpoint_invalid",
             MmdbError::LogIo(_) => "log_io",
             MmdbError::Internal(_) => "internal",
         }
@@ -183,6 +192,9 @@ impl fmt::Display for MmdbError {
             MmdbError::TransactionClosed => write!(f, "transaction already committed or aborted"),
             MmdbError::LogCorrupt { offset, reason } => {
                 write!(f, "redo log corrupt at byte offset {offset}: {reason}")
+            }
+            MmdbError::CheckpointInvalid { reason } => {
+                write!(f, "invalid checkpoint: {reason}")
             }
             MmdbError::LogIo(msg) => write!(f, "redo log I/O error: {msg}"),
             MmdbError::Internal(msg) => write!(f, "internal error: {msg}"),

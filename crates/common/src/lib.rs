@@ -45,7 +45,7 @@ pub mod stats;
 pub mod word;
 
 pub use clock::GlobalClock;
-pub use durability::Durability;
+pub use durability::{CheckpointPolicy, Durability};
 pub use engine::{Engine, EngineTxn};
 pub use error::{MmdbError, Result};
 pub use ids::{IndexId, Key, TableId, Timestamp, TxnId, INFINITY_TS, MAX_TXN_ID};

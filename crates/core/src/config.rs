@@ -2,7 +2,7 @@
 
 use std::time::Duration;
 
-use mmdb_common::durability::Durability;
+use mmdb_common::durability::{CheckpointPolicy, Durability};
 use mmdb_common::isolation::ConcurrencyMode;
 
 /// Configuration of the multiversion engine.
@@ -36,6 +36,13 @@ pub struct MvConfig {
     /// log I/O). Individual transactions override it via
     /// [`MvTransaction::set_durability`](crate::txn::MvTransaction::set_durability).
     pub durability: Durability,
+    /// When checkpoints should be taken (the policy is consulted by whoever
+    /// drives maintenance through
+    /// `CheckpointStore::checkpoint_due`; the default is
+    /// manual-only). The engine itself never checkpoints spontaneously —
+    /// [`MvEngine::checkpoint`](crate::engine::MvEngine::checkpoint) is an
+    /// explicit entry point.
+    pub checkpoint: CheckpointPolicy,
 }
 
 impl Default for MvConfig {
@@ -48,6 +55,7 @@ impl Default for MvConfig {
             deadlock_interval: Duration::from_millis(5),
             deadlock_detector: true,
             durability: Durability::Async,
+            checkpoint: CheckpointPolicy::MANUAL,
         }
     }
 }
@@ -92,6 +100,12 @@ impl MvConfig {
         self.durability = durability;
         self
     }
+
+    /// Builder-style override of the checkpoint policy.
+    pub fn with_checkpoint(mut self, policy: CheckpointPolicy) -> Self {
+        self.checkpoint = policy;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -107,6 +121,8 @@ mod tests {
         assert!(c.deadlock_detector);
         // Paper-faithful: transactions never wait for log I/O by default.
         assert_eq!(c.durability, Durability::Async);
+        // Checkpoints are explicit unless a policy is configured.
+        assert_eq!(c.checkpoint, CheckpointPolicy::MANUAL);
     }
 
     #[test]
@@ -115,11 +131,13 @@ mod tests {
             .with_wait_timeout(Duration::from_millis(50))
             .with_gc_every(1)
             .with_deadlock_detector(false)
-            .with_durability(Durability::Sync);
+            .with_durability(Durability::Sync)
+            .with_checkpoint(CheckpointPolicy::every_log_bytes(1 << 20));
         assert_eq!(c.default_mode, ConcurrencyMode::Pessimistic);
         assert_eq!(c.wait_timeout, Duration::from_millis(50));
         assert_eq!(c.gc_every_n_commits, 1);
         assert!(!c.deadlock_detector);
         assert_eq!(c.durability, Durability::Sync);
+        assert!(c.checkpoint.due(1 << 20));
     }
 }

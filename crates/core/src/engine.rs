@@ -284,6 +284,125 @@ impl MvEngine {
         Ok(applied)
     }
 
+    /// Take a checkpoint into `store` and truncate the redo log below it.
+    ///
+    /// The engine must have been created with `store`'s group-commit log as
+    /// its redo logger ([`MvEngine::with_logger`] of
+    /// `CheckpointStore::logger`), so the checkpoint LSN and the engine's
+    /// commit frames live on the same stream.
+    ///
+    /// The image is a snapshot-isolation read of every table and **never
+    /// blocks writers**: the walk is an ordinary registered transaction, so
+    /// concurrent commits proceed (multiversioning gives the reader its own
+    /// stable view) and the GC watermark keeps the snapshot's versions
+    /// alive. Consistency with the log comes from ordering: the checkpoint
+    /// LSN is captured *before* the snapshot timestamp is drawn, and every
+    /// commit draws its end timestamp *before* appending its frame, so
+    /// every frame wholly below the LSN commits inside the snapshot.
+    /// Recovery replays the tail above the LSN, skipping records at or
+    /// below the snapshot timestamp.
+    pub fn checkpoint(
+        &self,
+        store: &mmdb_storage::checkpoint::CheckpointStore,
+    ) -> Result<mmdb_storage::checkpoint::CheckpointRef> {
+        use mmdb_common::engine::EngineTxn as _;
+        use mmdb_common::ids::IndexId;
+
+        // Order matters (see above): log high-water mark first, snapshot
+        // timestamp second.
+        let ckpt_lsn = store.logger().appended_lsn();
+        let txn = self.begin_with(
+            ConcurrencyMode::Optimistic,
+            IsolationLevel::SnapshotIsolation,
+        );
+        let read_ts = txn.begin_ts();
+        let me = txn.me();
+        let mut writer = store.begin_checkpoint(ckpt_lsn, read_ts)?;
+        let mvstore = &self.inner.store;
+        for idx in 0..mvstore.table_count() {
+            let table_id = TableId(idx as u32);
+            // One epoch pin per table: long enough to keep lookups cheap,
+            // short enough not to stall epoch advancement for the whole
+            // walk.
+            let guard = crossbeam::epoch::pin();
+            let table = mvstore.table_in(table_id, &guard)?;
+            for version in table.scan_versions(IndexId(0), &guard)? {
+                loop {
+                    let vis = crate::visibility::check_visibility(
+                        version,
+                        read_ts,
+                        me,
+                        mvstore.txns(),
+                        &guard,
+                    );
+                    if vis.dependency.is_some() {
+                        // The owning transaction is mid-commit; its fate is
+                        // decided within a few instructions. A checkpoint
+                        // has no abort path to cascade, so wait it out
+                        // instead of taking a commit dependency.
+                        std::thread::yield_now();
+                        continue;
+                    }
+                    if vis.visible {
+                        writer.write_row(table_id, version.data())?;
+                    }
+                    break;
+                }
+            }
+        }
+        // The walk is read-only; committing just deregisters the snapshot
+        // (releasing the GC watermark).
+        txn.commit()?;
+        let installed = store.install_checkpoint(writer.finish()?)?;
+        store.truncate_log()?;
+        Ok(installed)
+    }
+
+    /// Recover this (freshly created, tables re-created) engine from a
+    /// [`RecoveryPlan`](mmdb_storage::checkpoint::RecoveryPlan): bulk-load
+    /// the checkpoint image (if any), then replay the log tail above the
+    /// checkpoint LSN, skipping records already inside the image
+    /// (`end_ts <= read_ts`). Replay runs with redo logging suppressed so
+    /// an engine attached to the very log being replayed does not
+    /// re-append every tail record.
+    ///
+    /// The report's `valid_bytes` is the *physical* clean prefix of the
+    /// live log segment — exactly what
+    /// `CheckpointStore::open` takes to resume appending.
+    pub fn recover_from_checkpoint(
+        &self,
+        plan: &mmdb_storage::checkpoint::RecoveryPlan,
+    ) -> Result<mmdb_storage::log::RecoveryReport> {
+        let mut image_ts = mmdb_common::ids::Timestamp(0);
+        if let Some(ckpt) = &plan.checkpoint {
+            let contents = mmdb_storage::checkpoint::read_checkpoint(&ckpt.path)?;
+            image_ts = contents.read_ts;
+            let mut by_table: std::collections::BTreeMap<TableId, Vec<Row>> =
+                std::collections::BTreeMap::new();
+            for (table, row) in contents.rows {
+                by_table.entry(table).or_default().push(row);
+            }
+            for (table, rows) in by_table {
+                self.populate(table, rows)?;
+            }
+        }
+        let outcome =
+            mmdb_storage::log::read_log_file_from(&plan.log_path, plan.log_tail_offset())?;
+        let records: Vec<_> = outcome
+            .records
+            .into_iter()
+            .filter(|r| r.end_ts > image_ts)
+            .collect();
+        self.inner.store.set_log_suppressed(true);
+        let replayed = self.replay_log(records);
+        self.inner.store.set_log_suppressed(false);
+        Ok(mmdb_storage::log::RecoveryReport {
+            records_applied: replayed?,
+            valid_bytes: outcome.valid_bytes,
+            torn_bytes: outcome.torn_bytes,
+        })
+    }
+
     /// Recover from the framed bytes of a redo log: decode every complete
     /// record — tolerating a torn tail left by a crash mid-append — and
     /// replay them through [`MvEngine::replay_log`]. Tables must have been

@@ -16,12 +16,12 @@
 //!   offer; it is treated as RepeatableRead (this limitation is exactly what
 //!   motivates the multiversion schemes).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use mmdb_common::clock::GlobalClock;
-use mmdb_common::durability::Durability;
+use mmdb_common::durability::{CheckpointPolicy, Durability};
 use mmdb_common::engine::{Engine, EngineTxn};
 use mmdb_common::error::{MmdbError, Result};
 use mmdb_common::ids::{IndexId, Key, TableId, Timestamp, TxnId};
@@ -45,6 +45,10 @@ pub struct SvConfig {
     /// for log I/O, matching the paper's setup). Individual transactions
     /// override it via [`SvTransaction::set_durability`].
     pub durability: Durability,
+    /// When checkpoints should be taken (consulted by whoever drives
+    /// maintenance through `CheckpointStore::checkpoint_due`; the default is
+    /// manual-only). [`SvEngine::checkpoint`] is an explicit entry point.
+    pub checkpoint: CheckpointPolicy,
 }
 
 impl Default for SvConfig {
@@ -52,6 +56,7 @@ impl Default for SvConfig {
         SvConfig {
             lock_timeout: Duration::from_millis(500),
             durability: Durability::Async,
+            checkpoint: CheckpointPolicy::MANUAL,
         }
     }
 }
@@ -68,6 +73,12 @@ impl SvConfig {
         self.durability = durability;
         self
     }
+
+    /// Builder-style override of the checkpoint policy.
+    pub fn with_checkpoint(mut self, policy: CheckpointPolicy) -> Self {
+        self.checkpoint = policy;
+        self
+    }
 }
 
 struct SvInner {
@@ -80,6 +91,10 @@ struct SvInner {
     stats: EngineStats,
     config: SvConfig,
     next_txn: AtomicU64,
+    /// When set, committing transactions skip the redo-log append (recovery
+    /// replay only — replaying a tail into an engine attached to that same
+    /// log must not re-append every record).
+    log_suppressed: AtomicBool,
 }
 
 /// The single-version locking engine ("1V").
@@ -104,6 +119,7 @@ impl SvEngine {
                 stats: EngineStats::new(),
                 config,
                 next_txn: AtomicU64::new(1),
+                log_suppressed: AtomicBool::new(false),
             }),
         }
     }
@@ -174,6 +190,149 @@ impl SvEngine {
             applied += 1;
         }
         Ok(applied)
+    }
+
+    /// Suppress (or re-enable) redo logging. Recovery replay wraps its
+    /// transactions in a suppressed window; see
+    /// [`SvEngine::recover_from_checkpoint`].
+    pub fn set_log_suppressed(&self, suppressed: bool) {
+        self.inner
+            .log_suppressed
+            .store(suppressed, Ordering::Relaxed);
+    }
+
+    /// Take a checkpoint into `store` and truncate the redo log below it.
+    ///
+    /// The engine must route its redo stream through `store`'s group-commit
+    /// log ([`SvEngine::with_logger`] of `CheckpointStore::logger`).
+    ///
+    /// Unlike the multiversion engines, the single-version walk **blocks
+    /// writers**: with one version per row the only consistent image is the
+    /// current one, so the walk takes a shared lock on every primary bucket
+    /// of every table (canonical order; lock timeouts break deadlocks with
+    /// concurrent writers, surfacing as a retryable
+    /// [`MmdbError::LockTimeout`]). This is the paper's single-version
+    /// trade-off showing up in checkpointing, deliberately preserved as the
+    /// 1V contrast. The ordering contract is the same as MV's: the
+    /// checkpoint LSN is captured before the locks are acquired and the
+    /// snapshot timestamp is drawn after, so every frame below the LSN —
+    /// and every commit at `end_ts` below the timestamp — is inside the
+    /// image.
+    pub fn checkpoint(
+        &self,
+        store: &mmdb_storage::checkpoint::CheckpointStore,
+    ) -> Result<mmdb_storage::checkpoint::CheckpointRef> {
+        let ckpt_lsn = store.logger().appended_lsn();
+        // The walk needs a lock owner of its own.
+        let me = TxnId(self.inner.next_txn.fetch_add(1, Ordering::Relaxed));
+        let mut held: Vec<(TableId, usize)> = Vec::new();
+        let result = self.checkpoint_walk(store, ckpt_lsn, me, &mut held);
+        for &(table_id, bucket) in &held {
+            if let Ok(table) = self.table(table_id) {
+                if let Ok(locks) = table.lock_table(IndexId(0)) {
+                    locks.lock_for(bucket).release(me);
+                }
+            }
+        }
+        let installed = store.install_checkpoint(result?)?;
+        store.truncate_log()?;
+        Ok(installed)
+    }
+
+    /// Lock-acquire + walk phase of [`SvEngine::checkpoint`]; every lock
+    /// taken is pushed onto `held` so the caller releases them on every
+    /// path (success, lock timeout, I/O error).
+    fn checkpoint_walk(
+        &self,
+        store: &mmdb_storage::checkpoint::CheckpointStore,
+        ckpt_lsn: mmdb_storage::log::Lsn,
+        me: TxnId,
+        held: &mut Vec<(TableId, usize)>,
+    ) -> Result<mmdb_storage::checkpoint::FinishedCheckpoint> {
+        for idx in 0..self.inner.tables.len() {
+            let table_id = TableId(idx as u32);
+            let table = self.table(table_id)?;
+            let locks = table.lock_table(IndexId(0))?;
+            for bucket in 0..table.bucket_count(IndexId(0))? {
+                match locks.lock_for(bucket).acquire(
+                    me,
+                    LockMode::Shared,
+                    self.inner.config.lock_timeout,
+                ) {
+                    Some(_) => held.push((table_id, bucket)),
+                    None => {
+                        EngineStats::bump(&self.inner.stats.deadlock_aborts);
+                        return Err(MmdbError::LockTimeout { table: table_id });
+                    }
+                }
+            }
+        }
+        // All writers are drained (strict 2PL: anyone mid-commit still held
+        // exclusive primary locks); the timestamp drawn now bounds every
+        // commit in the image.
+        let read_ts = self.inner.clock.next_timestamp();
+        let mut writer = store.begin_checkpoint(ckpt_lsn, read_ts)?;
+        for idx in 0..self.inner.tables.len() {
+            let table_id = TableId(idx as u32);
+            let table = self.table(table_id)?;
+            let mut write_err: Option<MmdbError> = None;
+            table.visit_all(&mut |row| {
+                if write_err.is_none() {
+                    if let Err(e) = writer.write_row(table_id, row) {
+                        write_err = Some(e);
+                    }
+                }
+            });
+            if let Some(e) = write_err {
+                return Err(e);
+            }
+        }
+        writer.finish()
+    }
+
+    /// Recover this (freshly created, tables re-created) engine from a
+    /// [`RecoveryPlan`](mmdb_storage::checkpoint::RecoveryPlan): bulk-load
+    /// the checkpoint image (if any), then replay the log tail above the
+    /// checkpoint LSN, skipping records already inside the image
+    /// (`end_ts <= read_ts`). Replay runs with redo logging suppressed so
+    /// an engine attached to the very log being replayed does not
+    /// re-append every tail record.
+    ///
+    /// The report's `valid_bytes` is the *physical* clean prefix of the
+    /// live log segment — what `CheckpointStore::open` takes to resume
+    /// appending.
+    pub fn recover_from_checkpoint(
+        &self,
+        plan: &mmdb_storage::checkpoint::RecoveryPlan,
+    ) -> Result<mmdb_storage::log::RecoveryReport> {
+        let mut image_ts = Timestamp(0);
+        if let Some(ckpt) = &plan.checkpoint {
+            let contents = mmdb_storage::checkpoint::read_checkpoint(&ckpt.path)?;
+            image_ts = contents.read_ts;
+            let mut by_table: std::collections::BTreeMap<TableId, Vec<Row>> =
+                std::collections::BTreeMap::new();
+            for (table, row) in contents.rows {
+                by_table.entry(table).or_default().push(row);
+            }
+            for (table, rows) in by_table {
+                self.populate(table, rows)?;
+            }
+        }
+        let outcome =
+            mmdb_storage::log::read_log_file_from(&plan.log_path, plan.log_tail_offset())?;
+        let records: Vec<_> = outcome
+            .records
+            .into_iter()
+            .filter(|r| r.end_ts > image_ts)
+            .collect();
+        self.set_log_suppressed(true);
+        let replayed = self.replay_log(records);
+        self.set_log_suppressed(false);
+        Ok(mmdb_storage::log::RecoveryReport {
+            records_applied: replayed?,
+            valid_bytes: outcome.valid_bytes,
+            torn_bytes: outcome.torn_bytes,
+        })
     }
 
     /// Recover from the framed bytes of a redo log, tolerating a torn tail
@@ -671,7 +830,7 @@ impl EngineTxn for SvTransaction {
             return Err(MmdbError::Aborted);
         }
         let ts = self.inner.clock.next_timestamp();
-        if !self.log_ops.is_empty() {
+        if !self.log_ops.is_empty() && !self.inner.log_suppressed.load(Ordering::Relaxed) {
             let record = LogRecord {
                 end_ts: ts,
                 ops: std::mem::take(&mut self.log_ops),

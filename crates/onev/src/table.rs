@@ -413,6 +413,24 @@ impl SvTable {
     pub fn row_count(&self) -> usize {
         self.primary.iter().map(|b| b.read().len()).sum()
     }
+
+    /// Visit every row in the table, primary-bucket order. Only physically
+    /// consistent (each bucket's latch is held across its rows); callers
+    /// wanting a transactionally stable full scan must hold shared locks on
+    /// every primary bucket first — which is what the checkpoint walk does,
+    /// and exactly the "readers block writers" cost the paper charges to
+    /// single-version locking.
+    pub fn visit_all(&self, visit: &mut dyn FnMut(&Row)) -> usize {
+        let mut visited = 0;
+        for bucket in &self.primary {
+            let rows = bucket.read();
+            for row in rows.iter() {
+                visited += 1;
+                visit(row);
+            }
+        }
+        visited
+    }
 }
 
 impl std::fmt::Debug for SvTable {

@@ -1,0 +1,1027 @@
+//! Checkpointing and redo-log truncation.
+//!
+//! Without checkpoints the redo log grows without bound and recovery time is
+//! proportional to the whole history. This module bounds both: a *checkpoint*
+//! is a consistent snapshot-isolation image of every table serialized to a
+//! file, and once it is durably installed the log prefix below the
+//! checkpoint's LSN is dead weight — recovery becomes *load checkpoint +
+//! replay tail* (paper §3.3: "periodically, the system checkpoints the
+//! database so the log can be truncated").
+//!
+//! ## Directory layout
+//!
+//! A [`CheckpointStore`] owns one directory:
+//!
+//! ```text
+//! <dir>/MANIFEST       append-only, framed; the recovery root
+//! <dir>/wal-<g>.log    the redo log segment of generation <g>
+//! <dir>/ckpt-<g>.db    the checkpoint installed at generation <g>
+//! <dir>/ckpt.tmp       a checkpoint being written (never read by recovery)
+//! ```
+//!
+//! Every file uses the redo log's wire discipline (length prefix with XOR
+//! self-check, body, trailing checksum — see [`crate::log`]), so a torn tail
+//! is always distinguishable from corruption.
+//!
+//! ## The manifest
+//!
+//! The `MANIFEST` is an append-only sequence of framed entries; the **last
+//! complete entry wins**. Each entry names the live log segment (and the
+//! logical LSN of its byte 0) plus, optionally, the installed checkpoint
+//! (its file, LSN, and snapshot read timestamp). An entry is only ever
+//! appended *after* every file it references is durable, so the last
+//! complete entry always describes files that exist with valid contents; a
+//! crash mid-append leaves a torn tail that recovery skips, falling back to
+//! the previous entry.
+//!
+//! ## The checkpoint protocol
+//!
+//! 1. **Write** — [`CheckpointStore::begin_checkpoint`] opens `ckpt.tmp`;
+//!    the caller streams every visible row through
+//!    [`CheckpointWriter::write_row`] and calls [`CheckpointWriter::finish`],
+//!    which appends a trailer frame (row count) and fsyncs. A crash here
+//!    leaves only a dead tmp file.
+//! 2. **Install** — [`CheckpointStore::install_checkpoint`] renames the tmp
+//!    file to `ckpt-<g>.db`, fsyncs the directory, then appends (and fsyncs)
+//!    a manifest entry pointing at it. A crash before the entry is complete
+//!    recovers from the previous manifest entry.
+//! 3. **Truncate** — [`CheckpointStore::truncate_log`] rotates the
+//!    [`GroupCommitLog`] onto `wal-<g>.log` keeping only bytes at LSNs `>=`
+//!    the checkpoint LSN; the manifest entry naming the new segment is
+//!    appended *inside* the rotation's publish window (under the flush lock,
+//!    before any new batch can harden into the new segment), so a crash at
+//!    any byte of the truncation recovers from the old segment. Only after
+//!    the entry is durable is the old segment deleted.
+//!
+//! Each step is individually crash-atomic, which is why they are exposed as
+//! separate operations: the recovery crash tests drive byte-level crash
+//! states between and inside each one.
+//!
+//! ## Consistency contract
+//!
+//! The writer records the pair `(ckpt_lsn, read_ts)` chosen by the caller.
+//! The engines capture `ckpt_lsn = appended_lsn()` **before** drawing the
+//! snapshot timestamp `read_ts`; since both engines draw a commit's end
+//! timestamp before appending its frame, every frame wholly below `ckpt_lsn`
+//! commits at `end_ts < read_ts` and is therefore inside the snapshot.
+//! Recovery loads the checkpoint rows, then replays the log tail from
+//! `ckpt_lsn`, skipping records with `end_ts <= read_ts` (already in the
+//! image). Rows are serialized as ordinary redo `Write` ops at
+//! `end_ts = read_ts`, so the checkpoint is literally a compacted,
+//! reordered prefix of the log.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use mmdb_common::durability::CheckpointPolicy;
+use mmdb_common::error::{MmdbError, Result};
+use mmdb_common::ids::{TableId, Timestamp};
+use mmdb_common::row::Row;
+
+use crate::group_commit::{sync_parent_dir, GroupCommitLog};
+use crate::log::{decode_body, encode_frame_into, frame_body_into, FrameStream, LogOpRef, Lsn};
+
+/// Magic bytes opening a checkpoint file's header frame.
+const CKPT_MAGIC: &[u8; 8] = b"MMDBCKP1";
+/// Magic bytes of the trailer frame that marks a checkpoint complete.
+const CKPT_TRAILER: &[u8; 8] = b"MMDBCKPE";
+/// Checkpoint format version (inside the header frame).
+const CKPT_VERSION: u32 = 1;
+/// The manifest file name inside a checkpoint directory.
+const MANIFEST: &str = "MANIFEST";
+/// Row frames are flushed once the pending batch reaches this many bytes.
+const ROW_BATCH_TARGET: usize = 64 * 1024;
+/// Chunk size for streaming checkpoint/manifest reads.
+const CKPT_CHUNK: usize = 64 * 1024;
+
+fn io_err(e: std::io::Error) -> MmdbError {
+    MmdbError::LogIo(e.to_string())
+}
+
+fn invalid(reason: &'static str) -> MmdbError {
+    MmdbError::CheckpointInvalid { reason }
+}
+
+// ---------------------------------------------------------------------------
+// Manifest entries
+// ---------------------------------------------------------------------------
+
+/// One manifest entry: the state of the directory at a generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ManifestEntry {
+    /// Monotone generation counter; bumped by install and truncate.
+    generation: u64,
+    /// File name (within the directory) of the live log segment.
+    log_name: String,
+    /// Logical LSN of the log segment's byte 0.
+    log_base: Lsn,
+    /// The installed checkpoint, if any.
+    checkpoint: Option<CheckpointMeta>,
+}
+
+/// The checkpoint portion of a manifest entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct CheckpointMeta {
+    /// File name (within the directory) of the checkpoint.
+    name: String,
+    /// Log LSN the checkpoint covers: every record below it is in the image.
+    lsn: Lsn,
+    /// Snapshot read timestamp of the image.
+    read_ts: Timestamp,
+}
+
+impl ManifestEntry {
+    fn encode_into(&self, body: &mut Vec<u8>) {
+        body.extend_from_slice(&self.generation.to_le_bytes());
+        body.extend_from_slice(&self.log_base.0.to_le_bytes());
+        body.extend_from_slice(&(self.log_name.len() as u32).to_le_bytes());
+        body.extend_from_slice(self.log_name.as_bytes());
+        match &self.checkpoint {
+            None => body.push(0),
+            Some(meta) => {
+                body.push(1);
+                body.extend_from_slice(&meta.lsn.0.to_le_bytes());
+                body.extend_from_slice(&meta.read_ts.raw().to_le_bytes());
+                body.extend_from_slice(&(meta.name.len() as u32).to_le_bytes());
+                body.extend_from_slice(meta.name.as_bytes());
+            }
+        }
+    }
+
+    /// Decode an entry body. The frame checksum already passed, so any
+    /// structural mismatch here means the manifest was written by something
+    /// else (or a format bug), not a crash — [`MmdbError::CheckpointInvalid`].
+    fn decode(body: &[u8]) -> Result<ManifestEntry> {
+        let mut pos = 0usize;
+        let mut take = |n: usize| -> Result<&[u8]> {
+            let slice = body
+                .get(pos..pos + n)
+                .ok_or(invalid("manifest entry body too short"))?;
+            pos += n;
+            Ok(slice)
+        };
+        let generation = u64::from_le_bytes(take(8)?.try_into().expect("8 bytes"));
+        let log_base = Lsn(u64::from_le_bytes(take(8)?.try_into().expect("8 bytes")));
+        let name_len = u32::from_le_bytes(take(4)?.try_into().expect("4 bytes")) as usize;
+        let log_name = String::from_utf8(take(name_len)?.to_vec())
+            .map_err(|_| invalid("manifest log name is not UTF-8"))?;
+        let checkpoint = match take(1)?[0] {
+            0 => None,
+            1 => {
+                let lsn = Lsn(u64::from_le_bytes(take(8)?.try_into().expect("8 bytes")));
+                let read_ts = Timestamp(u64::from_le_bytes(take(8)?.try_into().expect("8 bytes")));
+                let name_len = u32::from_le_bytes(take(4)?.try_into().expect("4 bytes")) as usize;
+                let name = String::from_utf8(take(name_len)?.to_vec())
+                    .map_err(|_| invalid("manifest checkpoint name is not UTF-8"))?;
+                Some(CheckpointMeta { name, lsn, read_ts })
+            }
+            _ => return Err(invalid("manifest entry has an unknown checkpoint tag")),
+        };
+        if pos != body.len() {
+            return Err(invalid("manifest entry has trailing bytes"));
+        }
+        Ok(ManifestEntry {
+            generation,
+            log_name,
+            log_base,
+            checkpoint,
+        })
+    }
+}
+
+/// Frame an entry and append it durably (write + fsync).
+fn append_manifest_entry(file: &mut File, entry: &ManifestEntry) -> Result<()> {
+    let mut body = Vec::with_capacity(64);
+    entry.encode_into(&mut body);
+    let mut frame = Vec::with_capacity(body.len() + 16);
+    frame_body_into(&mut frame, &body);
+    file.write_all(&frame).map_err(io_err)?;
+    file.sync_all().map_err(io_err)?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Recovery plan
+// ---------------------------------------------------------------------------
+
+/// A reference to an installed checkpoint, resolved to a full path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointRef {
+    /// Path of the checkpoint file.
+    pub path: PathBuf,
+    /// Log LSN the checkpoint covers.
+    pub lsn: Lsn,
+    /// Snapshot read timestamp of the image.
+    pub read_ts: Timestamp,
+}
+
+/// What recovery should do, decoded from the manifest's last complete entry.
+///
+/// Produced by [`CheckpointStore::plan`] without touching the log or the
+/// checkpoint file, so callers can sequence their own recovery: read the
+/// checkpoint (if any), stream the log tail from
+/// [`RecoveryPlan::log_tail_offset`], then reopen the store with
+/// [`CheckpointStore::open`] passing the physical prefix the tail read
+/// validated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryPlan {
+    /// Generation of the winning manifest entry.
+    pub generation: u64,
+    /// The installed checkpoint to load first, if any.
+    pub checkpoint: Option<CheckpointRef>,
+    /// Path of the live log segment.
+    pub log_path: PathBuf,
+    /// Logical LSN of the log segment's byte 0.
+    pub log_base: Lsn,
+    /// Valid prefix of the manifest itself (a crash mid-append leaves a torn
+    /// tail that [`CheckpointStore::open`] cuts before appending again).
+    pub manifest_valid_bytes: u64,
+}
+
+impl RecoveryPlan {
+    /// Physical file offset in the log segment where tail replay starts:
+    /// the checkpoint LSN translated into the segment, or 0 without one.
+    pub fn log_tail_offset(&self) -> u64 {
+        match &self.checkpoint {
+            Some(ckpt) => ckpt.lsn.0.saturating_sub(self.log_base.0),
+            None => 0,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint writer / reader
+// ---------------------------------------------------------------------------
+
+/// Streams a checkpoint image into `ckpt.tmp`.
+///
+/// Rows are buffered and emitted as ordinary redo-log `Write` frames (at
+/// `end_ts = read_ts`, batched to `ROW_BATCH_TARGET` bytes per frame), framed
+/// between a header and a trailer. Obtain one from
+/// [`CheckpointStore::begin_checkpoint`], feed every visible row through
+/// [`write_row`](Self::write_row), then [`finish`](Self::finish).
+pub struct CheckpointWriter {
+    file: File,
+    tmp_path: PathBuf,
+    lsn: Lsn,
+    read_ts: Timestamp,
+    rows: u64,
+    batch: Vec<(TableId, Row)>,
+    batch_bytes: usize,
+    frame: Vec<u8>,
+}
+
+/// A finished (written + fsynced) checkpoint still under its temporary
+/// name. Pass to [`CheckpointStore::install_checkpoint`] to make it the
+/// recovery source.
+pub struct FinishedCheckpoint {
+    tmp_path: PathBuf,
+    lsn: Lsn,
+    read_ts: Timestamp,
+    /// Number of rows in the image.
+    pub rows: u64,
+    /// Size of the checkpoint file in bytes.
+    pub bytes: u64,
+}
+
+impl CheckpointWriter {
+    fn create(tmp_path: PathBuf, lsn: Lsn, read_ts: Timestamp) -> Result<CheckpointWriter> {
+        let mut file = File::create(&tmp_path).map_err(io_err)?;
+        let mut header = Vec::with_capacity(28);
+        header.extend_from_slice(CKPT_MAGIC);
+        header.extend_from_slice(&CKPT_VERSION.to_le_bytes());
+        header.extend_from_slice(&lsn.0.to_le_bytes());
+        header.extend_from_slice(&read_ts.raw().to_le_bytes());
+        let mut frame = Vec::with_capacity(header.len() + 16);
+        frame_body_into(&mut frame, &header);
+        file.write_all(&frame).map_err(io_err)?;
+        Ok(CheckpointWriter {
+            file,
+            tmp_path,
+            lsn,
+            read_ts,
+            rows: 0,
+            batch: Vec::new(),
+            batch_bytes: 0,
+            frame,
+        })
+    }
+
+    /// The snapshot read timestamp this image is being taken at.
+    pub fn read_ts(&self) -> Timestamp {
+        self.read_ts
+    }
+
+    /// The log LSN this image covers.
+    pub fn lsn(&self) -> Lsn {
+        self.lsn
+    }
+
+    /// Add one visible row to the image. Rows may arrive in any order; the
+    /// image carries no ordering guarantees beyond "one op per live row".
+    pub fn write_row(&mut self, table: TableId, row: &[u8]) -> Result<()> {
+        self.batch.push((table, Row::copy_from_slice(row)));
+        self.batch_bytes += row.len() + 9;
+        self.rows += 1;
+        if self.batch_bytes >= ROW_BATCH_TARGET {
+            self.flush_batch()?;
+        }
+        Ok(())
+    }
+
+    fn flush_batch(&mut self) -> Result<()> {
+        if self.batch.is_empty() {
+            return Ok(());
+        }
+        self.frame.clear();
+        encode_frame_into(
+            &mut self.frame,
+            self.read_ts,
+            self.batch
+                .iter()
+                .map(|(table, row)| LogOpRef::Write { table: *table, row }),
+        );
+        self.file.write_all(&self.frame).map_err(io_err)?;
+        self.batch.clear();
+        self.batch_bytes = 0;
+        Ok(())
+    }
+
+    /// Flush the last batch, append the trailer frame (which is what marks
+    /// the image complete — a checkpoint without it is treated as torn and
+    /// never loaded) and fsync.
+    pub fn finish(mut self) -> Result<FinishedCheckpoint> {
+        self.flush_batch()?;
+        let mut trailer = Vec::with_capacity(16);
+        trailer.extend_from_slice(CKPT_TRAILER);
+        trailer.extend_from_slice(&self.rows.to_le_bytes());
+        self.frame.clear();
+        frame_body_into(&mut self.frame, &trailer);
+        self.file.write_all(&self.frame).map_err(io_err)?;
+        self.file.sync_all().map_err(io_err)?;
+        let bytes = self.file.stream_position().map_err(io_err)?;
+        Ok(FinishedCheckpoint {
+            tmp_path: self.tmp_path,
+            lsn: self.lsn,
+            read_ts: self.read_ts,
+            rows: self.rows,
+            bytes,
+        })
+    }
+}
+
+/// A fully validated checkpoint image, loaded into memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointContents {
+    /// Log LSN the image covers.
+    pub lsn: Lsn,
+    /// Snapshot read timestamp of the image.
+    pub read_ts: Timestamp,
+    /// Every row in the image, in file order.
+    pub rows: Vec<(TableId, Row)>,
+}
+
+/// Read and validate a checkpoint file.
+///
+/// Validation is strict because a checkpoint is only ever read after the
+/// manifest durably named it, at which point it must be perfect: header
+/// magic/version, every row frame's checksum, the trailer's row count, and
+/// the absence of trailing bytes are all checked. Any shortfall —
+/// including a torn tail, which in a log would be tolerated — is
+/// [`MmdbError::CheckpointInvalid`]: loading half a checkpoint would
+/// silently lose rows.
+pub fn read_checkpoint(path: impl AsRef<Path>) -> Result<CheckpointContents> {
+    let file = File::open(path.as_ref()).map_err(io_err)?;
+    let mut frames = FrameStream::new(file, CKPT_CHUNK, 0);
+    let header = match frames.next_body()? {
+        Some((_, body)) => body,
+        None => return Err(invalid("checkpoint file has no header frame")),
+    };
+    if header.len() != 28 || &header[..8] != CKPT_MAGIC {
+        return Err(invalid("checkpoint header magic mismatch"));
+    }
+    let version = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
+    if version != CKPT_VERSION {
+        return Err(invalid("unsupported checkpoint version"));
+    }
+    let lsn = Lsn(u64::from_le_bytes(
+        header[12..20].try_into().expect("8 bytes"),
+    ));
+    let read_ts = Timestamp(u64::from_le_bytes(
+        header[20..28].try_into().expect("8 bytes"),
+    ));
+    let mut rows: Vec<(TableId, Row)> = Vec::new();
+    let mut trailer_rows: Option<u64> = None;
+    while let Some((offset, body)) = frames.next_body()? {
+        if trailer_rows.is_some() {
+            return Err(invalid("checkpoint has frames after its trailer"));
+        }
+        if body.len() == 16 && &body[..8] == CKPT_TRAILER {
+            trailer_rows = Some(u64::from_le_bytes(body[8..16].try_into().expect("8 bytes")));
+            continue;
+        }
+        let record = decode_body(body, offset)?;
+        if record.end_ts != read_ts {
+            return Err(invalid("checkpoint row frame at a foreign timestamp"));
+        }
+        for op in record.ops {
+            match op {
+                crate::log::LogOp::Write { table, row } => rows.push((table, row)),
+                crate::log::LogOp::Delete { .. } => {
+                    return Err(invalid("checkpoint contains a delete op"));
+                }
+            }
+        }
+    }
+    let trailer_rows = trailer_rows.ok_or(invalid("checkpoint is missing its trailer frame"))?;
+    if frames.torn_bytes() > 0 {
+        return Err(invalid("checkpoint has bytes after its trailer frame"));
+    }
+    if trailer_rows != rows.len() as u64 {
+        return Err(invalid("checkpoint trailer row count mismatch"));
+    }
+    Ok(CheckpointContents { lsn, read_ts, rows })
+}
+
+// ---------------------------------------------------------------------------
+// The store
+// ---------------------------------------------------------------------------
+
+/// Mutable manifest state: the append handle plus the entry currently in
+/// force. Lock ordering: this mutex is taken **before** the logger's flush
+/// lock (via [`GroupCommitLog::rotate_to`]'s publish callback); nothing
+/// takes them in the other order.
+struct ManifestState {
+    file: File,
+    current: ManifestEntry,
+}
+
+/// A checkpoint directory: the group-commit redo log, the manifest, and the
+/// checkpoint lifecycle (write → install → truncate).
+///
+/// One store per database instance; the engines hold it alongside their
+/// in-memory state and route their redo stream through
+/// [`CheckpointStore::logger`].
+pub struct CheckpointStore {
+    dir: PathBuf,
+    logger: Arc<GroupCommitLog>,
+    manifest: Mutex<ManifestState>,
+}
+
+impl CheckpointStore {
+    /// Create a fresh checkpoint directory: generation 0, an empty
+    /// `wal-0.log`, no checkpoint. The log flushes via the inline-leader
+    /// path only (no background tick).
+    pub fn create(dir: impl AsRef<Path>) -> Result<CheckpointStore> {
+        Self::create_inner(dir.as_ref(), None)
+    }
+
+    /// [`create`](Self::create) with a background group-commit flush tick.
+    pub fn create_with_tick(dir: impl AsRef<Path>, tick: Duration) -> Result<CheckpointStore> {
+        Self::create_inner(dir.as_ref(), Some(tick))
+    }
+
+    fn create_inner(dir: &Path, tick: Option<Duration>) -> Result<CheckpointStore> {
+        fs::create_dir_all(dir).map_err(io_err)?;
+        let entry = ManifestEntry {
+            generation: 0,
+            log_name: "wal-0.log".to_string(),
+            log_base: Lsn::ZERO,
+            checkpoint: None,
+        };
+        let log_path = dir.join(&entry.log_name);
+        let logger = match tick {
+            Some(tick) => GroupCommitLog::with_tick(&log_path, tick),
+            None => GroupCommitLog::create(&log_path),
+        }
+        .map_err(io_err)?;
+        let manifest_path = dir.join(MANIFEST);
+        let mut file = File::create(&manifest_path).map_err(io_err)?;
+        append_manifest_entry(&mut file, &entry)?;
+        sync_parent_dir(&manifest_path);
+        Ok(CheckpointStore {
+            dir: dir.to_path_buf(),
+            logger: Arc::new(logger),
+            manifest: Mutex::new(ManifestState {
+                file,
+                current: entry,
+            }),
+        })
+    }
+
+    /// Decode the manifest's last complete entry into a [`RecoveryPlan`].
+    ///
+    /// Read-only: touches neither the log nor the checkpoint file, so it is
+    /// safe to call on a directory that is about to be recovered (or merely
+    /// inspected). A torn manifest tail falls back to the previous entry;
+    /// corruption inside the valid region, or a manifest with no complete
+    /// entry at all, is an error.
+    pub fn plan(dir: impl AsRef<Path>) -> Result<RecoveryPlan> {
+        let dir = dir.as_ref();
+        let file = File::open(dir.join(MANIFEST)).map_err(io_err)?;
+        let mut frames = FrameStream::new(file, CKPT_CHUNK, 0);
+        let mut last: Option<ManifestEntry> = None;
+        while let Some((_, body)) = frames.next_body()? {
+            last = Some(ManifestEntry::decode(body)?);
+        }
+        let entry = last.ok_or(invalid("manifest has no complete entry"))?;
+        Ok(RecoveryPlan {
+            generation: entry.generation,
+            checkpoint: entry.checkpoint.as_ref().map(|meta| CheckpointRef {
+                path: dir.join(&meta.name),
+                lsn: meta.lsn,
+                read_ts: meta.read_ts,
+            }),
+            log_path: dir.join(&entry.log_name),
+            log_base: entry.log_base,
+            manifest_valid_bytes: frames.consumed(),
+        })
+    }
+
+    /// Reopen a directory after recovery.
+    ///
+    /// `valid_bytes` is the *physical* prefix of the live log segment that
+    /// recovery decoded cleanly (the `valid_bytes` of the tail read); the
+    /// segment is cut back to it and appends resume at
+    /// `log_base + valid_bytes`. The manifest's own torn tail (if a crash
+    /// interrupted an entry append) is cut the same way before the file is
+    /// reused for appends. A stale `ckpt.tmp` from an interrupted write is
+    /// deleted.
+    pub fn open(
+        dir: impl AsRef<Path>,
+        plan: &RecoveryPlan,
+        valid_bytes: u64,
+    ) -> Result<CheckpointStore> {
+        Self::open_inner(dir.as_ref(), plan, valid_bytes, None)
+    }
+
+    /// [`open`](Self::open) with a background group-commit flush tick.
+    pub fn open_with_tick(
+        dir: impl AsRef<Path>,
+        plan: &RecoveryPlan,
+        valid_bytes: u64,
+        tick: Duration,
+    ) -> Result<CheckpointStore> {
+        Self::open_inner(dir.as_ref(), plan, valid_bytes, Some(tick))
+    }
+
+    fn open_inner(
+        dir: &Path,
+        plan: &RecoveryPlan,
+        valid_bytes: u64,
+        tick: Option<Duration>,
+    ) -> Result<CheckpointStore> {
+        let logger = match tick {
+            Some(tick) => GroupCommitLog::open_append_with_tick(
+                &plan.log_path,
+                plan.log_base,
+                valid_bytes,
+                tick,
+            ),
+            None => GroupCommitLog::open_append(&plan.log_path, plan.log_base, valid_bytes),
+        }
+        .map_err(io_err)?;
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(dir.join(MANIFEST))
+            .map_err(io_err)?;
+        file.set_len(plan.manifest_valid_bytes).map_err(io_err)?;
+        file.sync_all().map_err(io_err)?;
+        file.seek(SeekFrom::End(0)).map_err(io_err)?;
+        let _ = fs::remove_file(dir.join("ckpt.tmp"));
+        let log_name = file_name(&plan.log_path)?;
+        let checkpoint = match &plan.checkpoint {
+            None => None,
+            Some(ckpt) => Some(CheckpointMeta {
+                name: file_name(&ckpt.path)?,
+                lsn: ckpt.lsn,
+                read_ts: ckpt.read_ts,
+            }),
+        };
+        Ok(CheckpointStore {
+            dir: dir.to_path_buf(),
+            logger: Arc::new(logger),
+            manifest: Mutex::new(ManifestState {
+                file,
+                current: ManifestEntry {
+                    generation: plan.generation,
+                    log_name,
+                    log_base: plan.log_base,
+                    checkpoint,
+                },
+            }),
+        })
+    }
+
+    /// The directory this store owns.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The group-commit redo log; engines route their commit frames here.
+    pub fn logger(&self) -> &Arc<GroupCommitLog> {
+        &self.logger
+    }
+
+    /// Generation of the manifest entry currently in force.
+    pub fn generation(&self) -> u64 {
+        self.manifest.lock().current.generation
+    }
+
+    /// The installed checkpoint currently in force, if any.
+    pub fn last_checkpoint(&self) -> Option<CheckpointRef> {
+        let m = self.manifest.lock();
+        m.current.checkpoint.as_ref().map(|meta| CheckpointRef {
+            path: self.dir.join(&meta.name),
+            lsn: meta.lsn,
+            read_ts: meta.read_ts,
+        })
+    }
+
+    /// Redo-log bytes appended since the last installed checkpoint's LSN
+    /// (since the beginning of time without one).
+    pub fn log_bytes_since_checkpoint(&self) -> u64 {
+        let since = {
+            let m = self.manifest.lock();
+            m.current
+                .checkpoint
+                .as_ref()
+                .map(|meta| meta.lsn.0)
+                .unwrap_or(0)
+        };
+        self.logger.appended_lsn().0.saturating_sub(since)
+    }
+
+    /// Should a checkpoint be taken now, per `policy`?
+    pub fn checkpoint_due(&self, policy: &CheckpointPolicy) -> bool {
+        policy.due(self.log_bytes_since_checkpoint())
+    }
+
+    /// Open `ckpt.tmp` for a new image covering log LSN `lsn` at snapshot
+    /// timestamp `read_ts`. At most one checkpoint writer should exist at a
+    /// time (they share the tmp name); the engines serialize checkpoints.
+    pub fn begin_checkpoint(&self, lsn: Lsn, read_ts: Timestamp) -> Result<CheckpointWriter> {
+        CheckpointWriter::create(self.dir.join("ckpt.tmp"), lsn, read_ts)
+    }
+
+    /// Make a finished image the recovery source: rename it to
+    /// `ckpt-<g>.db`, fsync the directory, append (and fsync) a manifest
+    /// entry naming it. The log is untouched — call
+    /// [`truncate_log`](Self::truncate_log) next to reclaim its prefix. The
+    /// previously installed checkpoint file (if any) is deleted once the new
+    /// entry is durable.
+    pub fn install_checkpoint(&self, finished: FinishedCheckpoint) -> Result<CheckpointRef> {
+        let mut m = self.manifest.lock();
+        let generation = m.current.generation + 1;
+        let name = format!("ckpt-{generation}.db");
+        let path = self.dir.join(&name);
+        fs::rename(&finished.tmp_path, &path).map_err(io_err)?;
+        sync_parent_dir(&path);
+        let entry = ManifestEntry {
+            generation,
+            log_name: m.current.log_name.clone(),
+            log_base: m.current.log_base,
+            checkpoint: Some(CheckpointMeta {
+                name,
+                lsn: finished.lsn,
+                read_ts: finished.read_ts,
+            }),
+        };
+        append_manifest_entry(&mut m.file, &entry)?;
+        let old = m.current.checkpoint.take();
+        m.current = entry;
+        drop(m);
+        if let Some(old) = old {
+            let _ = fs::remove_file(self.dir.join(old.name));
+        }
+        Ok(CheckpointRef {
+            path,
+            lsn: finished.lsn,
+            read_ts: finished.read_ts,
+        })
+    }
+
+    /// Truncate the redo log below the installed checkpoint's LSN by
+    /// rotating onto `wal-<g>.log` (see [`GroupCommitLog::rotate_to`]). The
+    /// manifest entry naming the new segment is the rotation's publish
+    /// step — appended under the log's flush lock, before any new batch can
+    /// harden into the new segment — so a crash at any byte recovers from
+    /// the old segment. The old segment is deleted only after the entry is
+    /// durable.
+    pub fn truncate_log(&self) -> Result<()> {
+        let mut m = self.manifest.lock();
+        let ckpt = m
+            .current
+            .checkpoint
+            .clone()
+            .ok_or(invalid("no checkpoint installed to truncate below"))?;
+        let generation = m.current.generation + 1;
+        let log_name = format!("wal-{generation}.log");
+        let new_path = self.dir.join(&log_name);
+        let old_path = self.dir.join(&m.current.log_name);
+        let entry = ManifestEntry {
+            generation,
+            log_name,
+            log_base: ckpt.lsn,
+            checkpoint: Some(ckpt.clone()),
+        };
+        let state = &mut *m;
+        self.logger.rotate_to(&new_path, ckpt.lsn, || {
+            append_manifest_entry(&mut state.file, &entry)
+        })?;
+        m.current = entry;
+        drop(m);
+        let _ = fs::remove_file(old_path);
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for CheckpointStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let m = self.manifest.lock();
+        f.debug_struct("CheckpointStore")
+            .field("dir", &self.dir)
+            .field("generation", &m.current.generation)
+            .field("log", &m.current.log_name)
+            .field("log_base", &m.current.log_base)
+            .field("checkpoint", &m.current.checkpoint)
+            .finish()
+    }
+}
+
+fn file_name(path: &Path) -> Result<String> {
+    path.file_name()
+        .and_then(|name| name.to_str())
+        .map(str::to_string)
+        .ok_or(invalid("manifest path has no valid file name"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::{read_log_file_from, LogOp, LogRecord, RedoLogger};
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("mmdb-checkpoint-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn record(ts: u64, rows: usize) -> LogRecord {
+        LogRecord {
+            end_ts: Timestamp(ts),
+            ops: (0..rows)
+                .map(|i| LogOp::Write {
+                    table: TableId(0),
+                    row: Row::copy_from_slice(&[i as u8; 24]),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn fresh_store_plans_generation_zero() {
+        let dir = scratch_dir("fresh-plan");
+        let store = CheckpointStore::create(&dir).unwrap();
+        assert_eq!(store.generation(), 0);
+        assert!(store.last_checkpoint().is_none());
+        drop(store);
+        let plan = CheckpointStore::plan(&dir).unwrap();
+        assert_eq!(plan.generation, 0);
+        assert_eq!(plan.checkpoint, None);
+        assert_eq!(plan.log_base, Lsn::ZERO);
+        assert_eq!(plan.log_tail_offset(), 0);
+        assert_eq!(plan.log_path, dir.join("wal-0.log"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_write_read_round_trip_across_batches() {
+        let dir = scratch_dir("ckpt-round-trip");
+        let store = CheckpointStore::create(&dir).unwrap();
+        // Enough row bytes to force several ROW_BATCH_TARGET flushes.
+        let mut writer = store.begin_checkpoint(Lsn(123), Timestamp(77)).unwrap();
+        let row_len = 1000;
+        let total = 3 * ROW_BATCH_TARGET / row_len;
+        let mut expected = Vec::new();
+        for i in 0..total {
+            let mut row = vec![0u8; row_len];
+            row[..8].copy_from_slice(&(i as u64).to_le_bytes());
+            let table = TableId((i % 3) as u32);
+            writer.write_row(table, &row).unwrap();
+            expected.push((table, Row::copy_from_slice(&row)));
+        }
+        let finished = writer.finish().unwrap();
+        assert_eq!(finished.rows, total as u64);
+        let contents = read_checkpoint(dir.join("ckpt.tmp")).unwrap();
+        assert_eq!(contents.lsn, Lsn(123));
+        assert_eq!(contents.read_ts, Timestamp(77));
+        assert_eq!(contents.rows, expected);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_checkpoint_round_trips() {
+        let dir = scratch_dir("ckpt-empty");
+        let store = CheckpointStore::create(&dir).unwrap();
+        let writer = store.begin_checkpoint(Lsn(5), Timestamp(9)).unwrap();
+        let finished = writer.finish().unwrap();
+        assert_eq!(finished.rows, 0);
+        let contents = read_checkpoint(dir.join("ckpt.tmp")).unwrap();
+        assert_eq!(contents.rows, Vec::new());
+        assert_eq!(contents.read_ts, Timestamp(9));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_checkpoint_never_reads_as_a_smaller_image() {
+        let dir = scratch_dir("ckpt-truncated");
+        let store = CheckpointStore::create(&dir).unwrap();
+        let mut writer = store.begin_checkpoint(Lsn(1), Timestamp(2)).unwrap();
+        for i in 0..40u64 {
+            writer.write_row(TableId(0), &i.to_le_bytes()).unwrap();
+        }
+        writer.finish().unwrap();
+        let full = fs::read(dir.join("ckpt.tmp")).unwrap();
+        let whole = read_checkpoint(dir.join("ckpt.tmp")).unwrap();
+        assert_eq!(whole.rows.len(), 40);
+        let cut_path = dir.join("ckpt.cut");
+        for cut in 0..full.len() {
+            fs::write(&cut_path, &full[..cut]).unwrap();
+            let err = read_checkpoint(&cut_path).expect_err("prefix must not validate");
+            assert!(
+                matches!(
+                    err,
+                    MmdbError::CheckpointInvalid { .. } | MmdbError::LogCorrupt { .. }
+                ),
+                "cut at {cut}: unexpected error {err:?}"
+            );
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn install_and_truncate_advance_the_manifest() {
+        let dir = scratch_dir("install-truncate");
+        let store = CheckpointStore::create(&dir).unwrap();
+        let logger = Arc::clone(store.logger());
+        // Ten committed records; checkpoint after the first six.
+        for ts in 1..=6u64 {
+            logger.append(record(ts, 2));
+        }
+        logger.flush().unwrap();
+        let ckpt_lsn = logger.appended_lsn();
+        let read_ts = Timestamp(6);
+        let mut writer = store.begin_checkpoint(ckpt_lsn, read_ts).unwrap();
+        for i in 0..12u64 {
+            writer.write_row(TableId(0), &[i as u8; 24]).unwrap();
+        }
+        let installed = store.install_checkpoint(writer.finish().unwrap()).unwrap();
+        assert_eq!(store.generation(), 1);
+        assert_eq!(installed.path, dir.join("ckpt-1.db"));
+        assert!(dir.join("ckpt-1.db").exists());
+        assert!(!dir.join("ckpt.tmp").exists());
+
+        for ts in 7..=10u64 {
+            logger.append(record(ts, 2));
+        }
+        store.truncate_log().unwrap();
+        assert_eq!(store.generation(), 2);
+        assert!(dir.join("wal-2.log").exists());
+        assert!(!dir.join("wal-0.log").exists());
+        assert_eq!(logger.base_lsn(), ckpt_lsn);
+
+        // One more commit lands in the new segment.
+        logger.append(record(11, 1));
+        logger.flush().unwrap();
+        drop(store);
+
+        let plan = CheckpointStore::plan(&dir).unwrap();
+        assert_eq!(plan.generation, 2);
+        assert_eq!(plan.log_path, dir.join("wal-2.log"));
+        assert_eq!(plan.log_base, ckpt_lsn);
+        let ckpt = plan.checkpoint.clone().expect("checkpoint installed");
+        assert_eq!(ckpt.lsn, ckpt_lsn);
+        assert_eq!(ckpt.read_ts, read_ts);
+        let contents = read_checkpoint(&ckpt.path).unwrap();
+        assert_eq!(contents.rows.len(), 12);
+        // The tail holds exactly the post-checkpoint records.
+        let tail = read_log_file_from(&plan.log_path, plan.log_tail_offset()).unwrap();
+        let tail_ts: Vec<u64> = tail.records.iter().map(|r| r.end_ts.raw()).collect();
+        assert_eq!(tail_ts, vec![7, 8, 9, 10, 11]);
+        assert_eq!(tail.torn_bytes, 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_manifest_tail_falls_back_to_the_previous_entry() {
+        let dir = scratch_dir("manifest-torn");
+        let store = CheckpointStore::create(&dir).unwrap();
+        let logger = Arc::clone(store.logger());
+        logger.append(record(1, 1));
+        logger.flush().unwrap();
+        let writer = store
+            .begin_checkpoint(logger.appended_lsn(), Timestamp(1))
+            .unwrap();
+        store.install_checkpoint(writer.finish().unwrap()).unwrap();
+        drop(store);
+        let manifest_path = dir.join(MANIFEST);
+        let full = fs::read(&manifest_path).unwrap();
+        let gen0 = CheckpointStore::plan(&dir).map(|p| p.generation).unwrap();
+        assert_eq!(gen0, 1);
+        // Find the first entry's frame length so cuts land inside entry 2.
+        let plan_at = |bytes: &[u8]| -> Result<RecoveryPlan> {
+            fs::write(&manifest_path, bytes).unwrap();
+            CheckpointStore::plan(&dir)
+        };
+        let first_len = {
+            let body_len = u32::from_le_bytes(full[0..4].try_into().unwrap()) as usize;
+            8 + body_len + 8
+        };
+        for cut in first_len..=full.len() {
+            let plan = plan_at(&full[..cut]).unwrap();
+            if cut == full.len() {
+                assert_eq!(plan.generation, 1);
+            } else {
+                assert_eq!(plan.generation, 0, "cut at {cut}");
+                assert_eq!(plan.manifest_valid_bytes, first_len as u64);
+            }
+        }
+        // Cuts inside the first entry leave no complete entry at all.
+        for cut in 0..first_len {
+            let err = plan_at(&full[..cut]).expect_err("no complete entry");
+            assert!(matches!(err, MmdbError::CheckpointInvalid { .. }));
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_cuts_the_torn_manifest_tail_and_resumes() {
+        let dir = scratch_dir("open-resume");
+        let store = CheckpointStore::create(&dir).unwrap();
+        let logger = Arc::clone(store.logger());
+        logger.append(record(1, 1));
+        logger.flush().unwrap();
+        let writer = store
+            .begin_checkpoint(logger.appended_lsn(), Timestamp(1))
+            .unwrap();
+        store.install_checkpoint(writer.finish().unwrap()).unwrap();
+        drop(store);
+        // Simulate a crash mid-append of a third manifest entry.
+        let manifest_path = dir.join(MANIFEST);
+        let mut bytes = fs::read(&manifest_path).unwrap();
+        let valid = bytes.len() as u64;
+        bytes.extend_from_slice(&[0x17; 5]);
+        fs::write(&manifest_path, &bytes).unwrap();
+
+        let plan = CheckpointStore::plan(&dir).unwrap();
+        assert_eq!(plan.manifest_valid_bytes, valid);
+        // `valid_bytes` is a physical file offset — exactly what `open`
+        // wants for the cut.
+        let tail = read_log_file_from(&plan.log_path, plan.log_tail_offset()).unwrap();
+        let store = CheckpointStore::open(&dir, &plan, tail.valid_bytes).unwrap();
+        assert_eq!(store.generation(), 1);
+        // A new install appends cleanly after the cut tail.
+        let logger = Arc::clone(store.logger());
+        logger.append(record(2, 1));
+        logger.flush().unwrap();
+        let writer = store
+            .begin_checkpoint(logger.appended_lsn(), Timestamp(2))
+            .unwrap();
+        store.install_checkpoint(writer.finish().unwrap()).unwrap();
+        store.truncate_log().unwrap();
+        drop(store);
+        let plan = CheckpointStore::plan(&dir).unwrap();
+        assert_eq!(plan.generation, 3);
+        assert_eq!(plan.checkpoint.as_ref().unwrap().read_ts, Timestamp(2));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_due_tracks_log_growth() {
+        let dir = scratch_dir("due");
+        let store = CheckpointStore::create(&dir).unwrap();
+        let logger = Arc::clone(store.logger());
+        assert!(!store.checkpoint_due(&CheckpointPolicy::MANUAL));
+        let policy = CheckpointPolicy::every_log_bytes(64);
+        assert!(!store.checkpoint_due(&policy));
+        while store.log_bytes_since_checkpoint() < 64 {
+            logger.append(record(1, 1));
+        }
+        assert!(store.checkpoint_due(&policy));
+        logger.flush().unwrap();
+        let writer = store
+            .begin_checkpoint(logger.appended_lsn(), Timestamp(1))
+            .unwrap();
+        store.install_checkpoint(writer.finish().unwrap()).unwrap();
+        assert!(!store.checkpoint_due(&policy));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

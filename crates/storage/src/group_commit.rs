@@ -46,8 +46,8 @@
 //! [`flush`]: crate::log::RedoLogger::flush
 
 use std::fs::File;
-use std::io::Write;
-use std::path::Path;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -55,7 +55,7 @@ use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 
-use mmdb_common::error::Result;
+use mmdb_common::error::{MmdbError, Result};
 
 use crate::log::{encode_record, LogRecord, Lsn, RedoLogger, StickyError};
 
@@ -83,6 +83,9 @@ struct AppendState {
 /// or an explicit `flush()`) hardens at a time, in stream order.
 struct FlushState {
     file: File,
+    /// Where `file` lives — needed to reopen it for reading when a
+    /// checkpoint truncation copies the tail into a fresh segment.
+    path: PathBuf,
     /// Batches are swapped in here, written, cleared — capacity recycles
     /// between the two buffers, so neither side allocates after warmup.
     scratch: Vec<u8>,
@@ -102,6 +105,11 @@ struct Shared {
     /// Bytes confirmed on durable storage (monotone; published under
     /// `state`).
     durable: AtomicU64,
+    /// Logical LSN of the current file's byte 0. Zero for a freshly created
+    /// log; advanced by [`GroupCommitLog::rotate_to`] when a checkpoint
+    /// truncates the stream — LSN tickets stay monotone across truncations,
+    /// only the physical file shrinks. Written under the flush mutex.
+    base: AtomicU64,
     /// First I/O error, sticky for the lifetime of the log.
     error: StickyError,
     /// Frames appended (one per committed transaction).
@@ -131,7 +139,9 @@ impl Shared {
         // rollback was reported. Only the wakeup below survives, so waiters
         // observe the error instead of sleeping out their safety timeout.
         if self.error.is_set() {
-            let _ = flush.file.set_len(self.durable.load(Ordering::Acquire));
+            let _ = flush
+                .file
+                .set_len(self.physical(self.durable.load(Ordering::Acquire)));
             drop(self.state.lock());
             self.durable_cv.notify_all();
             return self.error.check();
@@ -159,7 +169,9 @@ impl Shared {
                 // written (even fully, with only the sync failing) and must
                 // not outlive a crash, or recovery would replay Sync
                 // transactions that were reported rolled back.
-                let _ = flush.file.set_len(self.durable.load(Ordering::Acquire));
+                let _ = flush
+                    .file
+                    .set_len(self.physical(self.durable.load(Ordering::Acquire)));
             } else {
                 flush.batches += 1;
             }
@@ -183,6 +195,11 @@ impl Shared {
                 Err(err)
             }
         }
+    }
+
+    /// Translate a logical LSN into a byte offset within the current file.
+    fn physical(&self, lsn: u64) -> u64 {
+        lsn.saturating_sub(self.base.load(Ordering::Acquire))
     }
 }
 
@@ -236,19 +253,75 @@ impl GroupCommitLog {
     }
 
     fn new(path: impl AsRef<Path>, tick: Option<Duration>) -> std::io::Result<GroupCommitLog> {
-        let file = File::create(path)?;
+        let file = File::create(&path)?;
+        Self::from_file(file, path.as_ref().to_path_buf(), Lsn::ZERO, 0, tick)
+    }
+
+    /// Reopen an existing log file for appending after recovery.
+    ///
+    /// `base` is the logical LSN of the file's byte 0 (zero unless a prior
+    /// checkpoint truncation rotated the stream — the manifest records it)
+    /// and `valid_bytes` is the *physical* prefix recovery decoded cleanly:
+    /// the file is first cut back to that offset (burying a torn tail
+    /// mid-stream would corrupt every later record) and the cut is synced.
+    /// The appended/durable watermarks resume at `base + valid_bytes`, so
+    /// LSN tickets stay monotone across the restart.
+    pub fn open_append(
+        path: impl AsRef<Path>,
+        base: Lsn,
+        valid_bytes: u64,
+    ) -> std::io::Result<GroupCommitLog> {
+        Self::reopen(path, base, valid_bytes, None)
+    }
+
+    /// [`open_append`](Self::open_append) with a background flusher tick.
+    pub fn open_append_with_tick(
+        path: impl AsRef<Path>,
+        base: Lsn,
+        valid_bytes: u64,
+        tick: Duration,
+    ) -> std::io::Result<GroupCommitLog> {
+        Self::reopen(path, base, valid_bytes, Some(tick))
+    }
+
+    fn reopen(
+        path: impl AsRef<Path>,
+        base: Lsn,
+        valid_bytes: u64,
+        tick: Option<Duration>,
+    ) -> std::io::Result<GroupCommitLog> {
+        let mut file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(&path)?;
+        file.set_len(valid_bytes)?;
+        file.sync_all()?;
+        file.seek(SeekFrom::Start(valid_bytes))?;
+        Self::from_file(file, path.as_ref().to_path_buf(), base, valid_bytes, tick)
+    }
+
+    fn from_file(
+        file: File,
+        path: PathBuf,
+        base: Lsn,
+        valid_bytes: u64,
+        tick: Option<Duration>,
+    ) -> std::io::Result<GroupCommitLog> {
+        let end = base.0 + valid_bytes;
         let shared = Arc::new(Shared {
             state: Mutex::new(AppendState {
                 buf: Vec::with_capacity(BUFFER_CAPACITY),
-                appended: 0,
+                appended: end,
             }),
             durable_cv: Condvar::new(),
             flush: Mutex::new(FlushState {
                 file,
+                path,
                 scratch: Vec::with_capacity(BUFFER_CAPACITY),
                 batches: 0,
             }),
-            durable: AtomicU64::new(0),
+            durable: AtomicU64::new(end),
+            base: AtomicU64::new(base.0),
             error: StickyError::default(),
             records: AtomicU64::new(0),
             stop: AtomicBool::new(false),
@@ -298,6 +371,103 @@ impl GroupCommitLog {
     /// to prove batches really spanned multiple transactions.
     pub fn batches_hardened(&self) -> u64 {
         self.shared.flush.lock().batches
+    }
+
+    /// Logical LSN of the current file's byte 0 (zero until a truncation
+    /// rotates the stream).
+    pub fn base_lsn(&self) -> Lsn {
+        Lsn(self.shared.base.load(Ordering::Acquire))
+    }
+
+    /// Truncate the log's prefix below `keep_from` by rotating onto a fresh
+    /// segment file: the durable tail (bytes at LSNs `keep_from..durable`)
+    /// is copied into `new_path`, synced, then — still before any new batch
+    /// can harden — `publish` runs (the checkpoint manifest append that
+    /// makes the new segment the recovery source) and the log switches its
+    /// file handle and base LSN to the new segment. The old file is left in
+    /// place for the caller to delete once `publish` succeeded.
+    ///
+    /// Crash-safety hinges on holding the flush mutex across the whole
+    /// sequence: no committer's bytes can become durable in the new segment
+    /// until the manifest durably points at it, so a crash at any byte in
+    /// here recovers from the old segment, which still holds everything that
+    /// was ever confirmed durable. If `publish` fails the rotation is
+    /// abandoned (the old file stays active, the new segment is deleted) and
+    /// the error is returned.
+    ///
+    /// LSN tickets are unaffected: `appended`/`durable` are logical offsets
+    /// and keep counting monotonically; only the base moves.
+    pub fn rotate_to(
+        &self,
+        new_path: impl AsRef<Path>,
+        keep_from: Lsn,
+        publish: impl FnOnce() -> Result<()>,
+    ) -> Result<()> {
+        let new_path = new_path.as_ref();
+        let shared = &*self.shared;
+        let mut flush = shared.flush.lock();
+        // Harden whatever is buffered so the old file holds every appended
+        // byte — the tail copy below must not race the append buffer.
+        shared.harden_locked(&mut flush)?;
+        let base = shared.base.load(Ordering::Acquire);
+        let durable = shared.durable.load(Ordering::Acquire);
+        if keep_from.0 < base || keep_from.0 > durable {
+            return Err(MmdbError::LogIo(format!(
+                "rotate_to: keep_from {} outside the current segment [{base}, {durable}]",
+                keep_from.0
+            )));
+        }
+        let io = |e: std::io::Error| MmdbError::LogIo(e.to_string());
+        let result = (|| {
+            // Copy the tail through a reopened read handle (the write handle
+            // sits at the append cursor and must not move).
+            let mut src = File::open(&flush.path).map_err(io)?;
+            src.seek(SeekFrom::Start(keep_from.0 - base)).map_err(io)?;
+            let mut dst = File::create(new_path).map_err(io)?;
+            let mut remaining = durable - keep_from.0;
+            let mut chunk = vec![0u8; (BUFFER_CAPACITY).min(1 << 16)];
+            while remaining > 0 {
+                let want = chunk.len().min(remaining as usize);
+                let n = src.read(&mut chunk[..want]).map_err(io)?;
+                if n == 0 {
+                    return Err(MmdbError::LogIo(
+                        "rotate_to: old segment shorter than the durable watermark".into(),
+                    ));
+                }
+                dst.write_all(&chunk[..n]).map_err(io)?;
+                remaining -= n as u64;
+            }
+            dst.sync_all().map_err(io)?;
+            sync_parent_dir(new_path);
+            // The commit point: once the manifest durably names the new
+            // segment, recovery reads it; until then it reads the old one.
+            publish()?;
+            Ok(dst)
+        })();
+        match result {
+            Ok(dst) => {
+                flush.file = dst;
+                flush.path = new_path.to_path_buf();
+                shared.base.store(keep_from.0, Ordering::Release);
+                Ok(())
+            }
+            Err(err) => {
+                let _ = std::fs::remove_file(new_path);
+                Err(err)
+            }
+        }
+    }
+}
+
+/// Best-effort fsync of a file's parent directory, so a freshly created
+/// segment's directory entry survives a machine crash. Errors are ignored:
+/// directory syncs are unsupported on some filesystems and the copied data
+/// itself is already synced.
+pub(crate) fn sync_parent_dir(path: &Path) {
+    if let Some(parent) = path.parent() {
+        if let Ok(dir) = File::open(parent) {
+            let _ = dir.sync_all();
+        }
     }
 }
 
@@ -669,6 +839,94 @@ mod tests {
             vec![record(1, 1)],
             "no bytes may reach the file after the tear"
         );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn open_append_cuts_the_torn_tail_and_resumes_lsns() {
+        let path = scratch("reopen");
+        let end;
+        {
+            let log = GroupCommitLog::create(&path).unwrap();
+            log.append(record(1, 1));
+            log.append(record(2, 2));
+            log.flush().unwrap();
+            end = log.appended_lsn();
+        }
+        // Crash: a partial frame at the tail.
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 3]).unwrap();
+        let recovered = read_log_file(&path).unwrap();
+        assert_eq!(recovered.records, vec![record(1, 1)]);
+        {
+            let log = GroupCommitLog::open_append(&path, Lsn::ZERO, recovered.valid_bytes).unwrap();
+            assert_eq!(log.appended_lsn(), Lsn(recovered.valid_bytes));
+            assert_eq!(log.durable_lsn(), Lsn(recovered.valid_bytes));
+            assert!(log.appended_lsn() < end, "the torn record is gone");
+            let lsn = log.append_frame_ticketed(&encode_record(&record(3, 3)));
+            log.wait_durable(lsn).unwrap();
+        }
+        let outcome = read_log_file(&path).unwrap();
+        assert!(outcome.is_clean());
+        assert_eq!(outcome.records, vec![record(1, 1), record(3, 3)]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rotate_to_truncates_the_prefix_and_keeps_lsns_monotone() {
+        let path = scratch("rotate-old");
+        let new_path = scratch("rotate-new");
+        let log = GroupCommitLog::create(&path).unwrap();
+        let a = log.append_frame_ticketed(&encode_record(&record(1, 0)));
+        log.flush().unwrap();
+        let b = log.append_frame_ticketed(&encode_record(&record(2, 1)));
+        // Record 2 is only buffered; rotation must harden it first, then
+        // carry it (the tail above the keep point) into the new segment.
+        log.rotate_to(&new_path, a, || Ok(())).unwrap();
+        assert_eq!(log.base_lsn(), a);
+        assert_eq!(log.durable_lsn(), b);
+        assert_eq!(
+            read_log_file(&new_path).unwrap().records,
+            vec![record(2, 1)]
+        );
+        // Appends continue into the new segment with monotone tickets.
+        let c = log.append_frame_ticketed(&encode_record(&record(3, 2)));
+        assert!(c > b);
+        log.wait_durable(c).unwrap();
+        assert_eq!(
+            std::fs::metadata(&new_path).unwrap().len(),
+            c.0 - a.0,
+            "physical length is the logical length minus the base"
+        );
+        let outcome = read_log_file(&new_path).unwrap();
+        assert_eq!(outcome.records, vec![record(2, 1), record(3, 2)]);
+        // The old segment is the caller's to delete, untouched since.
+        assert_eq!(read_log_file(&path).unwrap().records.len(), 2);
+        drop(log);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&new_path);
+    }
+
+    #[test]
+    fn rotate_to_publish_failure_keeps_the_old_segment_active() {
+        let path = scratch("rotate-fail-old");
+        let new_path = scratch("rotate-fail-new");
+        let log = GroupCommitLog::create(&path).unwrap();
+        let a = log.append_frame_ticketed(&encode_record(&record(1, 0)));
+        log.flush().unwrap();
+        let err = log
+            .rotate_to(&new_path, a, || {
+                Err(MmdbError::LogIo("manifest append failed".into()))
+            })
+            .unwrap_err();
+        assert!(matches!(err, MmdbError::LogIo(_)));
+        assert_eq!(log.base_lsn(), Lsn::ZERO, "rotation abandoned");
+        assert!(!new_path.exists(), "half-built segment must be removed");
+        // The log keeps serving on the old file.
+        let b = log.append_frame_ticketed(&encode_record(&record(2, 1)));
+        log.wait_durable(b).unwrap();
+        assert_eq!(read_log_file(&path).unwrap().records.len(), 2);
+        drop(log);
         let _ = std::fs::remove_file(&path);
     }
 

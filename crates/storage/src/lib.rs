@@ -23,12 +23,17 @@
 //! * [`group_commit`] — the shared-buffer batched log writer
 //!   ([`GroupCommitLog`]): one `write`+sync per batch, per-transaction
 //!   durability tickets, background-tick or leader-elected flushing.
+//! * [`checkpoint`] — checkpointing and log truncation
+//!   ([`CheckpointStore`]): consistent snapshot images, the torn-tolerant
+//!   `MANIFEST`, and crash-atomic write → install → truncate, turning
+//!   recovery into load-checkpoint + replay-tail.
 //! * [`store`] — [`MvStore`], the bundle shared by all transactions.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod catalog;
+pub mod checkpoint;
 pub mod gc;
 pub mod group_commit;
 pub mod log;
@@ -37,6 +42,10 @@ pub mod table;
 pub mod txn_table;
 pub mod version;
 
+pub use checkpoint::{
+    read_checkpoint, CheckpointContents, CheckpointRef, CheckpointStore, CheckpointWriter,
+    FinishedCheckpoint, RecoveryPlan,
+};
 pub use gc::{GcItem, GcQueue};
 pub use group_commit::GroupCommitLog;
 pub use log::{FileLogger, LogOp, LogRecord, Lsn, MemoryLogger, NullLogger, RedoLogger};

@@ -38,7 +38,7 @@
 //! [`MmdbError::LogCorrupt`]).
 
 use std::fs::File;
-use std::io::Write;
+use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
 use parking_lot::Mutex;
@@ -184,7 +184,7 @@ const LEN_CHECK_XOR: u32 = 0x5EC0_3D1E;
 
 /// Decode one record body (the part covered by the checksum). `offset` is
 /// the frame's byte offset in the log, used for error reporting only.
-fn decode_body(body: &[u8], offset: u64) -> Result<LogRecord> {
+pub(crate) fn decode_body(body: &[u8], offset: u64) -> Result<LogRecord> {
     let corrupt = |reason: &'static str| MmdbError::LogCorrupt { offset, reason };
     let mut pos = 0usize;
     let mut take = |n: usize| -> Result<&[u8]> {
@@ -340,10 +340,185 @@ pub fn read_log_bytes(buf: &[u8]) -> Result<LogReadOutcome> {
     })
 }
 
+/// Chunk size of the streaming log reader: how many bytes each `read(2)`
+/// pulls from the file. Recovery memory is bounded by one chunk plus the
+/// largest single frame, not the log size.
+const READ_CHUNK: usize = 64 * 1024;
+
 /// Decode every complete record from the log file at `path`.
+///
+/// Frames are streamed through a fixed-size chunk buffer (`READ_CHUNK`);
+/// the buffer only grows past that when a single frame is larger than a
+/// chunk. The outcome is byte-for-byte identical to reading the whole file
+/// and calling [`read_log_bytes`] — same records, same `valid_bytes` /
+/// `torn_bytes`, same corruption offsets — without ever holding the log's
+/// raw bytes in memory at once.
 pub fn read_log_file(path: impl AsRef<Path>) -> Result<LogReadOutcome> {
-    let bytes = std::fs::read(path).map_err(|e| MmdbError::LogIo(e.to_string()))?;
-    read_log_bytes(&bytes)
+    read_log_file_from(path, 0)
+}
+
+/// Decode every complete record from the log file at `path`, starting at
+/// byte offset `start` (which must be a frame boundary — in practice a
+/// checkpoint LSN translated to a physical offset, or 0).
+///
+/// Offsets in the outcome and in any [`MmdbError::LogCorrupt`] are absolute
+/// file offsets: `valid_bytes` counts from byte 0, so `start` bytes of
+/// skipped prefix are included in it.
+pub fn read_log_file_from(path: impl AsRef<Path>, start: u64) -> Result<LogReadOutcome> {
+    let io = |e: std::io::Error| MmdbError::LogIo(e.to_string());
+    let mut file = File::open(path).map_err(io)?;
+    if start > 0 {
+        file.seek(SeekFrom::Start(start)).map_err(io)?;
+    }
+    read_log_stream(file, READ_CHUNK, start)
+}
+
+/// Streaming raw-frame reader: pulls `chunk`-sized reads from an [`Read`]
+/// source and yields the body of each complete frame, mirroring
+/// [`LogReader::next_record`]'s torn/corrupt discipline exactly. Shared by
+/// the log read side (bodies decode as [`LogRecord`]s) and the checkpoint
+/// subsystem (bodies are checkpoint header/row/trailer and manifest
+/// entries — same wire discipline, different body schema).
+pub(crate) struct FrameStream<R: Read> {
+    reader: R,
+    chunk: usize,
+    /// `buf[start..]` is the undecoded window.
+    buf: Vec<u8>,
+    start: usize,
+    /// Absolute offset of `buf[start]` (the cleanly consumed prefix).
+    consumed: u64,
+    eof: bool,
+    /// Bytes of an incomplete trailing frame, set once the stream ends torn.
+    torn_bytes: u64,
+}
+
+impl<R: Read> FrameStream<R> {
+    /// Stream frames from `reader`, whose first byte sits at absolute offset
+    /// `base` (for error reporting and byte accounting).
+    pub(crate) fn new(reader: R, chunk: usize, base: u64) -> FrameStream<R> {
+        FrameStream {
+            reader,
+            chunk,
+            buf: Vec::with_capacity(chunk),
+            start: 0,
+            consumed: base,
+            eof: false,
+            torn_bytes: 0,
+        }
+    }
+
+    /// Absolute offset of the cleanly consumed prefix.
+    pub(crate) fn consumed(&self) -> u64 {
+        self.consumed
+    }
+
+    /// Bytes of an incomplete trailing frame (0 while frames remain or the
+    /// stream ended exactly on a boundary).
+    pub(crate) fn torn_bytes(&self) -> u64 {
+        self.torn_bytes
+    }
+
+    /// Top the window up to `need` bytes (compacting the consumed prefix
+    /// first, so the buffer stays one chunk long in steady state and only
+    /// grows when a single frame exceeds it).
+    fn fill_to(&mut self, need: usize) -> std::io::Result<()> {
+        while !self.eof && self.buf.len() - self.start < need {
+            if self.start > 0 {
+                self.buf.drain(..self.start);
+                self.start = 0;
+            }
+            let old = self.buf.len();
+            self.buf.resize(old + self.chunk.max(need - old), 0);
+            match self.reader.read(&mut self.buf[old..]) {
+                Ok(0) => {
+                    self.buf.truncate(old);
+                    self.eof = true;
+                }
+                Ok(n) => self.buf.truncate(old + n),
+                Err(e) => {
+                    self.buf.truncate(old);
+                    return Err(e);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The next complete frame's `(absolute offset, body)`. `Ok(None)` is a
+    /// clean end or a torn tail — check [`torn_bytes`](Self::torn_bytes).
+    pub(crate) fn next_body(&mut self) -> Result<Option<(u64, &[u8])>> {
+        let io = |e: std::io::Error| MmdbError::LogIo(e.to_string());
+        self.fill_to(8).map_err(io)?;
+        let avail = self.buf.len() - self.start;
+        if avail < 8 {
+            // Clean end (nothing left) or a tail too short for a header.
+            self.torn_bytes = avail as u64;
+            return Ok(None);
+        }
+        let header = &self.buf[self.start..self.start + 8];
+        let body_len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
+        let len_check = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+        if body_len ^ LEN_CHECK_XOR != len_check {
+            return Err(MmdbError::LogCorrupt {
+                offset: self.consumed,
+                reason: "length prefix fails its self-check",
+            });
+        }
+        let frame_len = 8 + body_len as usize + 8;
+        self.fill_to(frame_len).map_err(io)?;
+        let avail = self.buf.len() - self.start;
+        if avail < frame_len {
+            // Torn tail: the header promises more bytes than remain.
+            self.torn_bytes = avail as u64;
+            return Ok(None);
+        }
+        let body_at = self.start + 8;
+        let stored = u64::from_le_bytes(
+            self.buf[body_at + body_len as usize..self.start + frame_len]
+                .try_into()
+                .expect("8 bytes"),
+        );
+        let body = &self.buf[body_at..body_at + body_len as usize];
+        if hash_bytes(body) != stored {
+            return Err(MmdbError::LogCorrupt {
+                offset: self.consumed,
+                reason: "checksum mismatch",
+            });
+        }
+        let offset = self.consumed;
+        self.start += frame_len;
+        self.consumed += frame_len as u64;
+        // Re-borrow after the bookkeeping so the borrow checker is happy.
+        let body = &self.buf[body_at..body_at + body_len as usize];
+        Ok(Some((offset, body)))
+    }
+}
+
+/// Frame an opaque body with the log's wire discipline (length prefix with
+/// XOR self-check, body, trailing checksum). The inverse of what
+/// [`FrameStream::next_body`] verifies; used by the checkpoint subsystem for
+/// its header/trailer/manifest frames.
+pub(crate) fn frame_body_into(buf: &mut Vec<u8>, body: &[u8]) {
+    let len = body.len() as u32;
+    buf.extend_from_slice(&len.to_le_bytes());
+    buf.extend_from_slice(&(len ^ LEN_CHECK_XOR).to_le_bytes());
+    buf.extend_from_slice(body);
+    buf.extend_from_slice(&hash_bytes(body).to_le_bytes());
+}
+
+/// Core of the streaming read: a [`FrameStream`] whose bodies decode as
+/// [`LogRecord`]s. `base` is the absolute offset of the reader's first byte.
+fn read_log_stream(reader: impl Read, chunk: usize, base: u64) -> Result<LogReadOutcome> {
+    let mut frames = FrameStream::new(reader, chunk, base);
+    let mut records = Vec::new();
+    while let Some((offset, body)) = frames.next_body()? {
+        records.push(decode_body(body, offset)?);
+    }
+    Ok(LogReadOutcome {
+        records,
+        valid_bytes: frames.consumed(),
+        torn_bytes: frames.torn_bytes(),
+    })
 }
 
 /// A durability ticket: the logical byte offset (within one logger's stream)
@@ -490,9 +665,13 @@ impl MemoryLogger {
         Self::default()
     }
 
-    /// Snapshot of all records appended so far.
-    pub fn records(&self) -> Vec<LogRecord> {
-        self.records.lock().clone()
+    /// Run `f` over a borrow of every record appended so far, in append
+    /// order, without cloning. This replaces the old `records()` accessor,
+    /// which cloned every record (rows included) on each call — the recovery
+    /// tests call this in loops, so the clones were O(history²) in aggregate.
+    /// Callers that need owned records clone exactly what they keep.
+    pub fn with_records<R>(&self, f: impl FnOnce(&[LogRecord]) -> R) -> R {
+        f(&self.records.lock())
     }
 
     /// Total bytes that would have been written.
@@ -631,6 +810,34 @@ impl FileLogger {
             count: std::sync::atomic::AtomicU64::new(0),
         })
     }
+
+    /// Reopen an existing log file for appending after recovery.
+    ///
+    /// `valid_bytes` is what recovery reported
+    /// ([`LogReadOutcome::valid_bytes`]): the file is first cut back to that
+    /// offset — naively appending after a torn tail would bury the partial
+    /// frame mid-stream and corrupt every later record — and the cut is
+    /// synced before any new append can land. New frames continue the same
+    /// stream, so a second recovery reads old and new records alike.
+    pub fn open_append(path: impl AsRef<Path>, valid_bytes: u64) -> std::io::Result<FileLogger> {
+        let mut file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)?;
+        file.set_len(valid_bytes)?;
+        file.sync_all()?;
+        file.seek(SeekFrom::Start(valid_bytes))?;
+        Ok(FileLogger {
+            inner: Mutex::new(FileBuf {
+                file,
+                buf: Vec::with_capacity(FILE_LOGGER_SPILL),
+                confirmed: valid_bytes,
+                written: valid_bytes,
+            }),
+            error: StickyError::default(),
+            count: std::sync::atomic::AtomicU64::new(0),
+        })
+    }
 }
 
 impl RedoLogger for FileLogger {
@@ -726,11 +933,12 @@ mod tests {
         let log = MemoryLogger::new();
         log.append(record(10, 2));
         log.append(record(12, 1));
-        let records = log.records();
-        assert_eq!(records.len(), 2);
-        assert_eq!(records[0].end_ts, Timestamp(10));
-        assert_eq!(records[1].end_ts, Timestamp(12));
-        assert_eq!(records[0].ops.len(), 2);
+        log.with_records(|records| {
+            assert_eq!(records.len(), 2);
+            assert_eq!(records[0].end_ts, Timestamp(10));
+            assert_eq!(records[1].end_ts, Timestamp(12));
+            assert_eq!(records[0].ops.len(), 2);
+        });
         assert_eq!(log.records_written(), 2);
         // 24-byte rows + 8 bytes metadata each + 8 per record.
         assert_eq!(log.byte_size(), (2 * 32 + 8) + (32 + 8));
@@ -897,7 +1105,7 @@ mod tests {
         let log = MemoryLogger::new();
         let rec = mixed_record(42);
         log.append_frame(&encode_record(&rec));
-        assert_eq!(log.records(), vec![rec]);
+        log.with_records(|records| assert_eq!(records, std::slice::from_ref(&rec)));
         assert_eq!(log.records_written(), 1);
     }
 
@@ -985,6 +1193,129 @@ mod tests {
         let outcome = read_log_file(&path).unwrap();
         assert!(outcome.is_clean());
         assert_eq!(outcome.records, vec![record(1, 2)]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Satellite regression: the streaming reader must agree byte-for-byte
+    /// with the in-memory decoder, for every truncation point, with a chunk
+    /// size small enough that every frame straddles chunk boundaries.
+    #[test]
+    fn streaming_reader_matches_in_memory_reader_at_every_cut() {
+        let records = vec![record(7, 3), mixed_record(9), record(11, 2), record(13, 0)];
+        let mut bytes = Vec::new();
+        for r in &records {
+            bytes.extend_from_slice(&encode_record(r));
+        }
+        // Chunk sizes chosen to hit: header split across chunks (7), body
+        // split (16), frame boundary == chunk boundary sometimes (32), and a
+        // chunk larger than the whole log (1 MiB).
+        for chunk in [7usize, 16, 32, READ_CHUNK] {
+            for cut in 0..=bytes.len() {
+                let expect = read_log_bytes(&bytes[..cut]).unwrap();
+                let got = read_log_stream(&bytes[..cut], chunk, 0).unwrap_or_else(|e| {
+                    panic!("chunk {chunk} cut {cut}: stream errored where slice read did not: {e}")
+                });
+                assert_eq!(got, expect, "chunk {chunk} cut {cut}");
+            }
+        }
+    }
+
+    /// The required shape from the issue: a multi-chunk log whose *last*
+    /// frame straddles a chunk boundary must decode completely.
+    #[test]
+    fn last_frame_straddling_a_chunk_boundary_decodes_completely() {
+        let chunk = 64usize;
+        let mut bytes = Vec::new();
+        let mut records = Vec::new();
+        // Fill several whole chunks, then place a final frame that starts
+        // before a chunk boundary and ends after it.
+        let mut ts = 1u64;
+        while bytes.len() < 3 * chunk {
+            let r = record(ts, 1);
+            ts += 1;
+            bytes.extend_from_slice(&encode_record(&r));
+            records.push(r);
+        }
+        let last = record(ts, 2);
+        let frame = encode_record(&last);
+        assert!(
+            bytes.len() % chunk != 0 || frame.len() > chunk,
+            "test setup must make the last frame straddle a boundary"
+        );
+        bytes.extend_from_slice(&frame);
+        records.push(last);
+        let outcome = read_log_stream(&bytes[..], chunk, 0).unwrap();
+        assert!(outcome.is_clean());
+        assert_eq!(outcome.records, records);
+        assert_eq!(outcome.valid_bytes, bytes.len() as u64);
+    }
+
+    /// Streaming corruption reporting is offset-identical to the in-memory
+    /// reader, even when the corrupt frame sits past several chunks.
+    #[test]
+    fn streaming_reader_reports_corruption_at_the_same_offset() {
+        let records = vec![record(7, 2), record(9, 1), mixed_record(11)];
+        let mut bytes = Vec::new();
+        for r in &records {
+            bytes.extend_from_slice(&encode_record(r));
+        }
+        let second_frame_at = encode_record(&records[0]).len();
+        let mut flipped = bytes.clone();
+        flipped[second_frame_at + 20] ^= 0xFF; // body byte of frame 1
+        let expect = read_log_bytes(&flipped).unwrap_err();
+        let got = read_log_stream(&flipped[..], 16, 0).unwrap_err();
+        assert_eq!(format!("{got:?}"), format!("{expect:?}"));
+    }
+
+    /// `read_log_file_from` resumes at a frame boundary and reports absolute
+    /// offsets, which is what checkpoint tail replay relies on.
+    #[test]
+    fn read_log_file_from_resumes_mid_file() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("mmdb-log-from-test-{}.bin", std::process::id()));
+        let records = vec![record(7, 2), mixed_record(9), record(11, 1)];
+        let mut bytes = Vec::new();
+        let mut boundaries = vec![0u64];
+        for r in &records {
+            bytes.extend_from_slice(&encode_record(r));
+            boundaries.push(bytes.len() as u64);
+        }
+        std::fs::write(&path, &bytes).unwrap();
+        for (skip, start) in boundaries.iter().enumerate() {
+            let outcome = read_log_file_from(&path, *start).unwrap();
+            assert_eq!(outcome.records, records[skip..]);
+            assert_eq!(outcome.valid_bytes, bytes.len() as u64);
+            assert!(outcome.is_clean());
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Satellite regression: `open_append` cuts the torn tail first, so
+    /// continuing the log after a crash never buries garbage mid-stream.
+    #[test]
+    fn open_append_truncates_the_torn_tail_and_continues_the_stream() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("mmdb-log-reopen-test-{}.bin", std::process::id()));
+        {
+            let log = FileLogger::create(&path).unwrap();
+            log.append(record(1, 2));
+            log.append(record(2, 1));
+            log.flush().unwrap();
+        }
+        // Crash: a partial frame at the tail.
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 5]).unwrap();
+        let recovered = read_log_file(&path).unwrap();
+        assert_eq!(recovered.records, vec![record(1, 2)]);
+        assert!(!recovered.is_clean());
+        {
+            let log = FileLogger::open_append(&path, recovered.valid_bytes).unwrap();
+            log.append(record(3, 1));
+            log.flush().unwrap();
+        }
+        let outcome = read_log_file(&path).unwrap();
+        assert!(outcome.is_clean());
+        assert_eq!(outcome.records, vec![record(1, 2), record(3, 1)]);
         let _ = std::fs::remove_file(&path);
     }
 

@@ -277,15 +277,15 @@ fn redo_log_records_every_commit_in_timestamp_order() {
         }
     });
 
-    let records = logger.records();
     let commits = engine.stats().snapshot().commits;
+    let mut timestamps: Vec<u64> =
+        logger.with_records(|records| records.iter().map(|r| r.end_ts.raw()).collect());
     assert_eq!(
-        records.len() as u64,
+        timestamps.len() as u64,
         commits,
         "every committed writer must be logged exactly once"
     );
     // Log records carry strictly increasing (unique) end timestamps.
-    let mut timestamps: Vec<u64> = records.iter().map(|r| r.end_ts.raw()).collect();
     let n = timestamps.len();
     timestamps.sort_unstable();
     timestamps.dedup();
@@ -294,11 +294,13 @@ fn redo_log_records_every_commit_in_timestamp_order() {
     let mut txn = engine.begin(IsolationLevel::ReadCommitted);
     txn.delete(table, IndexId(0), 3).unwrap();
     txn.commit().unwrap();
-    let last = logger.records().pop().unwrap();
-    assert!(matches!(
-        last.ops[0],
-        mmdb_storage::LogOp::Delete { key: 3, .. }
-    ));
+    logger.with_records(|records| {
+        let last = records.last().unwrap();
+        assert!(matches!(
+            last.ops[0],
+            mmdb_storage::LogOp::Delete { key: 3, .. }
+        ));
+    });
 }
 
 #[test]

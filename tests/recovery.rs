@@ -26,16 +26,21 @@
 mod support;
 
 use std::collections::BTreeMap;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::Duration;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use mmdb::prelude::*;
+use mmdb_storage::checkpoint::{
+    read_checkpoint, CheckpointContents, CheckpointRef, CheckpointStore, RecoveryPlan,
+};
 use mmdb_storage::group_commit::GroupCommitLog;
 use mmdb_storage::log::{
-    read_log_bytes, FileLogger, LogOp, LogRecord, MemoryLogger, RecoveryReport, RedoLogger,
+    read_log_bytes, read_log_file_from, FileLogger, LogOp, LogRecord, MemoryLogger, RecoveryReport,
+    RedoLogger,
 };
 use support::{
     assert_indexes_consistent, create_diff_tables, dump, generate_history, populate,
@@ -152,6 +157,20 @@ impl EngineBox {
         match self {
             EngineBox::Mv(e) => assert_indexes_consistent(label, e, tables, DUMP_BOUND),
             EngineBox::Sv(e) => assert_indexes_consistent(label, e, tables, DUMP_BOUND),
+        }
+    }
+
+    fn checkpoint(&self, store: &CheckpointStore) -> Result<CheckpointRef> {
+        match self {
+            EngineBox::Mv(e) => e.checkpoint(store),
+            EngineBox::Sv(e) => e.checkpoint(store),
+        }
+    }
+
+    fn recover_from_checkpoint(&self, plan: &RecoveryPlan) -> Result<RecoveryReport> {
+        match self {
+            EngineBox::Mv(e) => e.recover_from_checkpoint(plan),
+            EngineBox::Sv(e) => e.recover_from_checkpoint(plan),
         }
     }
 }
@@ -551,14 +570,16 @@ fn file_and_memory_loggers_agree_byte_for_byte() {
                 "[{} seed={seed:#x}] file and memory logs diverge byte-for-byte",
                 kind.label()
             );
-            assert_eq!(
-                read_log_bytes(&file_bytes)
-                    .expect("file log decodes")
-                    .records,
-                memory_logger.records(),
-                "[{} seed={seed:#x}] decoded file records diverge from memory records",
-                kind.label()
-            );
+            memory_logger.with_records(|records| {
+                assert_eq!(
+                    read_log_bytes(&file_bytes)
+                        .expect("file log decodes")
+                        .records,
+                    records,
+                    "[{} seed={seed:#x}] decoded file records diverge from memory records",
+                    kind.label()
+                );
+            });
         }
     }
 }
@@ -775,4 +796,606 @@ fn sync_commits_survive_a_crash_that_drops_only_unflushed_async_tails() {
     drop(engine);
     drop(logger);
     let _ = std::fs::remove_file(&path);
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint + log-truncation crash tests
+//
+// The checkpoint subsystem (`mmdb_storage::checkpoint`) turns the unbounded
+// redo log into a bounded one: an image of every table at a snapshot
+// timestamp, a manifest naming it, and a truncated log tail above the
+// checkpoint LSN. These tests pin its two contracts:
+//
+//  * **tail crashes** — after a checkpoint, a crash at *any* byte of the
+//    live segment recovers to image + the surviving tail's committed prefix;
+//  * **protocol crashes** — a crash at any byte *inside* the
+//    write → install → truncate protocol itself is invisible: the protocol
+//    is a pure representation change, so every synthesized crash state must
+//    recover to exactly the same committed state.
+// ---------------------------------------------------------------------------
+
+/// Fresh scratch directory for a [`CheckpointStore`].
+fn scratch_store_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mmdb-ckpt-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// An in-memory image of a store directory: (file name, file bytes), sorted.
+type DirState = Vec<(String, Vec<u8>)>;
+
+/// Read every file of a store directory into memory, sorted by name.
+fn dir_snapshot(dir: &Path) -> DirState {
+    let mut files: DirState = std::fs::read_dir(dir)
+        .expect("read store dir")
+        .map(|entry| {
+            let entry = entry.expect("dir entry");
+            let name = entry.file_name().into_string().expect("utf-8 file name");
+            let bytes = std::fs::read(entry.path()).expect("read store file");
+            (name, bytes)
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+/// Materialize a synthesized crash state: `dir` ends up containing exactly
+/// `files` and nothing else.
+fn write_dir_state(dir: &Path, files: &[(String, Vec<u8>)]) {
+    let _ = std::fs::remove_dir_all(dir);
+    std::fs::create_dir_all(dir).expect("create crash dir");
+    for (name, bytes) in files {
+        std::fs::write(dir.join(name), bytes).expect("write crash file");
+    }
+}
+
+fn file_of<'a>(files: &'a [(String, Vec<u8>)], name: &str) -> &'a [u8] {
+    &files
+        .iter()
+        .find(|(n, _)| n == name)
+        .unwrap_or_else(|| panic!("{name} missing from directory snapshot"))
+        .1
+}
+
+/// Decode a checkpoint image into per-table state maps (same shape as
+/// [`log_oracle`]'s output).
+fn image_state(contents: &CheckpointContents, tables: &[TableId]) -> Vec<BTreeMap<u64, u8>> {
+    let mut state = vec![BTreeMap::new(); tables.len()];
+    for (table, row) in &contents.rows {
+        let slot = tables
+            .iter()
+            .position(|t| t == table)
+            .expect("imaged table exists");
+        state[slot].insert(rowbuf::key_of(row), rowbuf::fill_of(row));
+    }
+    state
+}
+
+/// Apply a surviving log tail on top of a checkpoint image, skipping the
+/// records already inside the image (`end_ts <= image_ts`) — exactly the
+/// filter recovery applies.
+fn apply_tail(
+    state: &mut [BTreeMap<u64, u8>],
+    records: &[LogRecord],
+    image_ts: Timestamp,
+    tables: &[TableId],
+) {
+    let mut sorted: Vec<&LogRecord> = records.iter().filter(|r| r.end_ts > image_ts).collect();
+    sorted.sort_by_key(|r| r.end_ts);
+    for record in sorted {
+        for op in &record.ops {
+            match op {
+                LogOp::Write { table, row } => {
+                    let slot = tables
+                        .iter()
+                        .position(|t| t == table)
+                        .expect("logged table");
+                    state[slot].insert(rowbuf::key_of(row), rowbuf::fill_of(row));
+                }
+                LogOp::Delete { table, key } => {
+                    let slot = tables
+                        .iter()
+                        .position(|t| t == table)
+                        .expect("logged table");
+                    state[slot].remove(key);
+                }
+            }
+        }
+    }
+}
+
+/// Take a checkpoint, retrying the retryable failures a concurrent workload
+/// can cause (the 1V walk's shared bucket locks time out under write
+/// contention; the MV walk never blocks writers and needs no retries).
+fn checkpoint_with_retry(engine: &EngineBox, store: &CheckpointStore) -> CheckpointRef {
+    let mut attempts = 0;
+    loop {
+        match engine.checkpoint(store) {
+            Ok(installed) => return installed,
+            Err(e) if e.is_retryable() && attempts < 100 => {
+                attempts += 1;
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            Err(e) => panic!("checkpoint failed: {e}"),
+        }
+    }
+}
+
+/// Split a seeded history across the worker threads.
+fn worker_parts(seed: u64) -> Vec<Vec<support::TxnScript>> {
+    let total = HistoryParams {
+        txns: PARAMS.txns * WORKERS,
+        ..PARAMS
+    };
+    let mut parts: Vec<Vec<support::TxnScript>> = (0..WORKERS).map(|_| Vec::new()).collect();
+    for (i, script) in generate_history(seed, total).into_iter().enumerate() {
+        parts[i % WORKERS].push(script);
+    }
+    parts
+}
+
+#[test]
+fn checkpoint_concurrent_with_writers_then_tail_crash_recovers() {
+    for kind in ALL_KINDS {
+        for seed in seeds() {
+            let tag = format!("tail-{}-{seed:x}", kind.label().replace('/', "_"));
+            let dir = scratch_store_dir(&tag);
+            let crash_dir = scratch_store_dir(&format!("{tag}-crash"));
+            let store =
+                CheckpointStore::create_with_tick(&dir, Duration::from_micros(BATCH_TICK_US))
+                    .expect("create checkpoint store");
+            let engine = EngineBox::new(kind, store.logger().clone());
+            let tables = engine.create_tables();
+            engine.populate(&tables);
+
+            // Phase 1: a concurrent prefix the checkpoint will capture.
+            engine.run_concurrent(&tables, worker_parts(seed));
+
+            // Phase 2 races the checkpoint. The MV walk is an ordinary
+            // snapshot reader and must not block the writers; whatever the
+            // interleaving, the installed image plus the surviving tail must
+            // replay to a consistent committed state.
+            let parts2 = worker_parts(seed ^ 0x00C4_97A1);
+            std::thread::scope(|scope| {
+                let engine_ref = &engine;
+                let tables_ref = &tables;
+                scope.spawn(move || engine_ref.run_concurrent(tables_ref, parts2));
+                checkpoint_with_retry(&engine, &store);
+            });
+            store.logger().flush().expect("flush tail");
+            let final_state = engine.dump(&tables);
+            drop(engine);
+            drop(store);
+
+            let plan = CheckpointStore::plan(&dir).expect("plan after checkpoint");
+            let ckpt = plan.checkpoint.clone().expect("checkpoint installed");
+            let contents = read_checkpoint(&ckpt.path).expect("installed image reads back");
+            assert_eq!(contents.read_ts, ckpt.read_ts);
+            assert_eq!(
+                plan.log_base, ckpt.lsn,
+                "truncation rebases the live segment at the checkpoint LSN"
+            );
+            assert_eq!(plan.log_tail_offset(), 0);
+
+            // No crash at all: image + full tail must equal the live state.
+            // This pins the image itself — a row missing from (or extra in)
+            // the snapshot would surface as a divergence here.
+            let target = EngineBox::new(kind, Arc::new(mmdb_storage::log::NullLogger::new()));
+            let t2 = target.create_tables();
+            target
+                .recover_from_checkpoint(&plan)
+                .expect("full recovery");
+            assert_eq!(
+                target.dump(&t2),
+                final_state,
+                "[{} seed={seed:#x}] checkpoint + full tail diverges from the live state",
+                kind.label()
+            );
+            target.assert_indexes_consistent(
+                &format!("{} seed={seed:#x} ckpt full-tail", kind.label()),
+                &t2,
+            );
+
+            // Crash at arbitrary byte offsets of the live tail segment.
+            let live = dir_snapshot(&dir);
+            let wal_name = plan
+                .log_path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .expect("wal file name")
+                .to_string();
+            let wal_bytes = file_of(&live, &wal_name).to_vec();
+            for offset in crash_offsets(seed ^ 0xCC99_0001, wal_bytes.len()) {
+                let mut files = live.clone();
+                for (name, bytes) in &mut files {
+                    if *name == wal_name {
+                        bytes.truncate(offset);
+                    }
+                }
+                write_dir_state(&crash_dir, &files);
+                let plan_c = CheckpointStore::plan(&crash_dir).expect("plan survives a torn tail");
+                let outcome = read_log_bytes(&wal_bytes[..offset]).unwrap_or_else(|e| {
+                    panic!(
+                        "[{} seed={seed:#x} crash_offset={offset}] a torn tail must never \
+                         read as corruption: {e}",
+                        kind.label()
+                    )
+                });
+                let mut expected = image_state(&contents, &tables);
+                apply_tail(&mut expected, &outcome.records, contents.read_ts, &tables);
+
+                let target = EngineBox::new(kind, Arc::new(mmdb_storage::log::NullLogger::new()));
+                let t = target.create_tables();
+                let log_name = format!("checkpoint-tail-seed-{seed:#x}.log.bin");
+                with_repro_artifacts(
+                    &format!(
+                        "suite=checkpoint-tail engine={} seed={seed:#x} crash_offset={offset}",
+                        kind.label()
+                    ),
+                    &[(&log_name, &wal_bytes)],
+                    || {
+                        let report = target.recover_from_checkpoint(&plan_c).unwrap_or_else(|e| {
+                            panic!(
+                                "[{} seed={seed:#x} crash_offset={offset}] recovery failed: {e}",
+                                kind.label()
+                            )
+                        });
+                        assert_eq!(
+                            report.records_applied,
+                            outcome
+                                .records
+                                .iter()
+                                .filter(|r| r.end_ts > contents.read_ts)
+                                .count(),
+                            "replay applies exactly the tail records above the image timestamp"
+                        );
+                        assert_eq!(
+                            report.valid_bytes + report.torn_bytes,
+                            offset as u64,
+                            "every crash byte is either replayed or torn"
+                        );
+                        let label = format!(
+                            "{} seed={seed:#x} ckpt-tail crash_offset={offset}",
+                            kind.label()
+                        );
+                        assert_eq!(
+                            target.dump(&t),
+                            expected,
+                            "[{label}] recovered state diverges from image + surviving tail"
+                        );
+                        target.assert_indexes_consistent(&label, &t);
+                    },
+                );
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+            let _ = std::fs::remove_dir_all(&crash_dir);
+        }
+    }
+}
+
+#[test]
+fn crash_anywhere_inside_the_checkpoint_protocol_preserves_committed_state() {
+    // Between the moment a checkpoint starts and the moment the old segment
+    // is deleted, the committed state never changes (the workload is
+    // quiesced here) — so *every* intermediate crash state must recover to
+    // exactly the same maps. The states are synthesized from directory
+    // snapshots taken before and after the protocol, cut at randomized byte
+    // offsets inside each artifact the protocol writes:
+    //
+    //   1. `ckpt.tmp` streaming          (any prefix of the image bytes)
+    //   2. rename, manifest not appended
+    //   3. the install manifest entry    (any prefix of its frame)
+    //   4. the rotated segment copy      (any prefix of the new wal)
+    //   5. the truncation publish entry  (any prefix of its frame)
+    //   6. old segment not yet deleted, and the completed protocol
+    for kind in ALL_KINDS {
+        let seed = seeds()[0];
+        let tag = format!("proto-{}", kind.label().replace('/', "_"));
+        let dir = scratch_store_dir(&tag);
+        let crash_dir = scratch_store_dir(&format!("{tag}-crash"));
+        let store = CheckpointStore::create(&dir).expect("create checkpoint store");
+        let engine = EngineBox::new(kind, store.logger().clone());
+        let tables = engine.create_tables();
+        engine.populate(&tables);
+        let history = generate_history(seed, PARAMS);
+        engine.run_sequential(&tables, &history);
+        store.logger().flush().expect("flush");
+        let committed = engine.dump(&tables);
+        let before = dir_snapshot(&dir);
+        engine.checkpoint(&store).expect("quiesced checkpoint");
+        let after = dir_snapshot(&dir);
+        drop(engine);
+        drop(store);
+
+        let ckpt_bytes = file_of(&after, "ckpt-1.db").to_vec();
+        let wal_new = file_of(&after, "wal-2.log").to_vec();
+        let wal_old = file_of(&before, "wal-0.log").to_vec();
+        let manifest_a = file_of(&before, "MANIFEST").to_vec();
+        let manifest_b = file_of(&after, "MANIFEST").to_vec();
+        assert_eq!(
+            &manifest_b[..manifest_a.len()],
+            &manifest_a[..],
+            "the manifest is append-only"
+        );
+        let delta = &manifest_b[manifest_a.len()..];
+        let frame_len =
+            |bytes: &[u8]| 16 + u32::from_le_bytes(bytes[..4].try_into().unwrap()) as usize;
+        let install_len = frame_len(delta);
+        assert!(
+            install_len < delta.len(),
+            "a checkpoint appends two manifest entries (install + truncation publish)"
+        );
+        assert_eq!(
+            install_len + frame_len(&delta[install_len..]),
+            delta.len(),
+            "the two entries account for the whole manifest delta"
+        );
+        let manifest_installed: Vec<u8> =
+            [manifest_a.clone(), delta[..install_len].to_vec()].concat();
+
+        // Overlay `extra` files onto a base snapshot (replacing same names).
+        let with = |base: &[(String, Vec<u8>)], extra: Vec<(&str, Vec<u8>)>| {
+            let mut files: DirState = base.to_vec();
+            for (name, bytes) in extra {
+                match files.iter_mut().find(|(n, _)| n == name) {
+                    Some(slot) => slot.1 = bytes,
+                    None => files.push((name.to_string(), bytes)),
+                }
+            }
+            files
+        };
+
+        let mut states: Vec<(String, DirState)> = Vec::new();
+        for cut in crash_offsets(seed ^ 0x0001, ckpt_bytes.len()) {
+            states.push((
+                format!("tmp-cut-{cut}"),
+                with(&before, vec![("ckpt.tmp", ckpt_bytes[..cut].to_vec())]),
+            ));
+        }
+        states.push((
+            "renamed-unpublished".to_string(),
+            with(&before, vec![("ckpt-1.db", ckpt_bytes.clone())]),
+        ));
+        for cut in crash_offsets(seed ^ 0x0002, install_len) {
+            let mut manifest = manifest_a.clone();
+            manifest.extend_from_slice(&delta[..cut]);
+            states.push((
+                format!("install-cut-{cut}"),
+                with(
+                    &before,
+                    vec![("ckpt-1.db", ckpt_bytes.clone()), ("MANIFEST", manifest)],
+                ),
+            ));
+        }
+        for cut in crash_offsets(seed ^ 0x0003, wal_new.len()) {
+            states.push((
+                format!("rotate-cut-{cut}"),
+                with(
+                    &before,
+                    vec![
+                        ("ckpt-1.db", ckpt_bytes.clone()),
+                        ("MANIFEST", manifest_installed.clone()),
+                        ("wal-2.log", wal_new[..cut].to_vec()),
+                    ],
+                ),
+            ));
+        }
+        for cut in crash_offsets(seed ^ 0x0004, delta.len() - install_len) {
+            let mut manifest = manifest_a.clone();
+            manifest.extend_from_slice(&delta[..install_len + cut]);
+            states.push((
+                format!("publish-cut-{cut}"),
+                with(
+                    &before,
+                    vec![
+                        ("ckpt-1.db", ckpt_bytes.clone()),
+                        ("MANIFEST", manifest),
+                        ("wal-2.log", wal_new.clone()),
+                    ],
+                ),
+            ));
+        }
+        states.push((
+            "undeleted-old-wal".to_string(),
+            with(&after, vec![("wal-0.log", wal_old)]),
+        ));
+        states.push(("completed".to_string(), after.clone()));
+
+        for (label, files) in &states {
+            write_dir_state(&crash_dir, files);
+            let full_label = format!("{} protocol-crash {label}", kind.label());
+            let plan = CheckpointStore::plan(&crash_dir)
+                .unwrap_or_else(|e| panic!("[{full_label}] recovery planning failed: {e}"));
+            let target = EngineBox::new(kind, Arc::new(mmdb_storage::log::NullLogger::new()));
+            let t = target.create_tables();
+            target
+                .recover_from_checkpoint(&plan)
+                .unwrap_or_else(|e| panic!("[{full_label}] recovery failed: {e}"));
+            assert_eq!(
+                target.dump(&t),
+                committed,
+                "[{full_label}] the protocol is a pure representation change — crashing \
+                 inside it must not move the recovered state"
+            );
+            target.assert_indexes_consistent(&full_label, &t);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&crash_dir);
+    }
+}
+
+#[test]
+fn crash_recover_continue_recover_round_trip_through_the_store() {
+    // Satellite contract for `open_append`: crash with a torn tail, reopen
+    // the store at the recovered valid prefix, keep committing on the same
+    // segment, checkpoint, commit more — then a clean restart must land
+    // exactly on the final state.
+    for kind in ALL_KINDS {
+        let seed = seeds()[0] ^ 0x0F0F;
+        let tag = format!("roundtrip-{}", kind.label().replace('/', "_"));
+        let dir = scratch_store_dir(&tag);
+        let tick = Duration::from_micros(BATCH_TICK_US);
+
+        // Life 1: run, flush, then "crash" mid-append.
+        let store = CheckpointStore::create_with_tick(&dir, tick).expect("create store");
+        let engine = EngineBox::new(kind, store.logger().clone());
+        let tables = engine.create_tables();
+        engine.populate(&tables);
+        engine.run_sequential(&tables, &generate_history(seed, PARAMS));
+        store.logger().flush().expect("flush life 1");
+        drop(engine);
+        drop(store);
+
+        let plan = CheckpointStore::plan(&dir).expect("plan life 2");
+        assert!(plan.checkpoint.is_none(), "no checkpoint taken yet");
+        let full = std::fs::read(&plan.log_path).expect("read wal");
+        let torn_at = full.len() - 3; // inside the final frame's hash
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(&plan.log_path)
+            .expect("open wal")
+            .set_len(torn_at as u64)
+            .expect("tear the tail");
+        let outcome = read_log_bytes(&full[..torn_at]).expect("torn tail decodes");
+        assert!(outcome.torn_bytes > 0, "the cut must actually tear a frame");
+
+        // Life 2: open resumes appending at the valid prefix; recovery
+        // replays exactly that prefix.
+        let probe = read_log_file_from(&plan.log_path, plan.log_tail_offset())
+            .expect("probe the valid prefix");
+        assert_eq!(probe.valid_bytes, outcome.valid_bytes);
+        let store2 =
+            CheckpointStore::open_with_tick(&dir, &plan, probe.valid_bytes, tick).expect("open");
+        let engine2 = EngineBox::new(kind, store2.logger().clone());
+        let t2 = engine2.create_tables();
+        assert_eq!(t2, tables, "reopened engine re-creates the same table ids");
+        let report = engine2
+            .recover_from_checkpoint(&plan)
+            .expect("recover life 2");
+        assert_eq!(report.records_applied, outcome.records.len());
+        assert_eq!(report.torn_bytes, 0, "open already cut the torn tail");
+        assert_eq!(report.valid_bytes, probe.valid_bytes);
+        assert_eq!(engine2.dump(&t2), log_oracle(&outcome.records, &tables));
+
+        // Continue: more committed work, a checkpoint, more work.
+        engine2.run_sequential(&t2, &generate_history(seed ^ 0xAAAA, PARAMS));
+        engine2
+            .checkpoint(&store2)
+            .expect("checkpoint on the reopened store");
+        assert_eq!(
+            store2.generation(),
+            2,
+            "install + truncate each advance a generation"
+        );
+        engine2.run_sequential(&t2, &generate_history(seed ^ 0xBBBB, PARAMS));
+        store2.logger().flush().expect("flush life 2");
+        let final_state = engine2.dump(&t2);
+        drop(engine2);
+        drop(store2);
+
+        // Life 3: a clean restart lands exactly on life 2's final state,
+        // and truncation reclaimed the old segment and the tmp image.
+        let names: Vec<String> = dir_snapshot(&dir).into_iter().map(|(n, _)| n).collect();
+        assert_eq!(
+            names,
+            vec![
+                "MANIFEST".to_string(),
+                "ckpt-1.db".to_string(),
+                "wal-2.log".to_string()
+            ],
+            "[{}] truncation reclaims the old segment and the tmp image",
+            kind.label()
+        );
+        let plan3 = CheckpointStore::plan(&dir).expect("plan life 3");
+        let ckpt = plan3.checkpoint.as_ref().expect("checkpoint installed");
+        assert_eq!(plan3.log_base, ckpt.lsn);
+        let target = EngineBox::new(kind, Arc::new(mmdb_storage::log::NullLogger::new()));
+        let t3 = target.create_tables();
+        target
+            .recover_from_checkpoint(&plan3)
+            .expect("recover life 3");
+        let label = format!("{} round-trip life 3", kind.label());
+        assert_eq!(
+            target.dump(&t3),
+            final_state,
+            "[{label}] restart diverges from the pre-crash state"
+        );
+        target.assert_indexes_consistent(&label, &t3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn mid_run_crash_snapshots_recover_at_least_the_durable_watermark() {
+    // Write-path fault injection: capture "crash images" of the live log
+    // file while the group-commit flusher is mid-run — partial flushes and
+    // all. Every image must decode as a committed prefix (never corruption),
+    // that prefix must extend at least to the durable watermark read before
+    // the capture, and recovery from it must rebuild a consistent database.
+    for kind in ALL_KINDS {
+        let seed = seeds()[0] ^ 0x5EED;
+        let path = scratch_log(&format!("faultinj-{}", kind.label().replace('/', "_")));
+        let logger = Arc::new(
+            GroupCommitLog::with_tick(&path, Duration::from_micros(BATCH_TICK_US))
+                .expect("create gc log"),
+        );
+        let engine = EngineBox::new(kind, logger.clone());
+        let tables = engine.create_tables();
+        engine.populate(&tables);
+
+        let parts = worker_parts(seed);
+        let mut snapshots: Vec<(u64, Vec<u8>)> = Vec::new();
+        std::thread::scope(|scope| {
+            let engine_ref = &engine;
+            let tables_ref = &tables;
+            let handle = scope.spawn(move || engine_ref.run_concurrent(tables_ref, parts));
+            while !handle.is_finished() {
+                let durable_before = logger.durable_lsn().0;
+                let bytes = std::fs::read(&path).expect("read live log");
+                snapshots.push((durable_before, bytes));
+                std::thread::sleep(Duration::from_micros(BATCH_TICK_US / 4));
+            }
+        });
+        logger.flush().expect("final flush");
+        let final_bytes = std::fs::read(&path).expect("read flushed log");
+        snapshots.push((logger.durable_lsn().0, final_bytes));
+        assert!(
+            snapshots.len() >= 2,
+            "[{}] the run should yield at least one mid-run capture",
+            kind.label()
+        );
+
+        for (i, (durable_before, bytes)) in snapshots.iter().enumerate() {
+            let outcome = read_log_bytes(bytes).unwrap_or_else(|e| {
+                panic!(
+                    "[{} snapshot={i}] a partial flush must read as a torn tail, \
+                     never corruption: {e}",
+                    kind.label()
+                )
+            });
+            assert!(
+                outcome.valid_bytes >= *durable_before,
+                "[{} snapshot={i}] the durable watermark ({durable_before}) must already \
+                 be clean on disk (valid prefix: {})",
+                kind.label(),
+                outcome.valid_bytes
+            );
+            let target = EngineBox::new(kind, Arc::new(mmdb_storage::log::NullLogger::new()));
+            let t = target.create_tables();
+            let report = target
+                .recover_bytes(bytes)
+                .unwrap_or_else(|e| panic!("[{} snapshot={i}] recovery failed: {e}", kind.label()));
+            assert_eq!(report.records_applied, outcome.records.len());
+            let label = format!("{} fault-injection snapshot {i}", kind.label());
+            assert_eq!(
+                target.dump(&t),
+                log_oracle(&outcome.records, &tables),
+                "[{label}] recovered state diverges from the captured committed prefix"
+            );
+            target.assert_indexes_consistent(&label, &t);
+        }
+        drop(engine);
+        drop(logger);
+        let _ = std::fs::remove_file(&path);
+    }
 }
