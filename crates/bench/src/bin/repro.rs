@@ -8,6 +8,8 @@
 //!              perf-range   (ordered-index range scans: skip list vs 1V)
 //!              perf-commit  (commit durability: group commit vs per-txn flush)
 //!              perf-recovery  (restart: checkpoint + tail vs full log replay)
+//!              perf-adaptive  (MV/O vs MV/L vs adaptive MV/A along the
+//!                              fig4→fig5 contention axis)
 //!              recover   (crash/replay durability smoke — not part of `all`)
 //!
 //! options:
@@ -33,7 +35,7 @@ fn usage() -> ! {
         "usage: repro [--quick] [--rows N] [--hot-rows N] [--mpl N] [--threads a,b,c] \
          [--duration-ms MS] [--subscribers N] [--json PATH] \
          <fig4|fig5|table3|fig6|fig7|fig8|fig9|table4|ablation|perf|perf-read|perf-write\
-         |perf-range|perf-commit|perf-recovery|recover|all>..."
+         |perf-range|perf-commit|perf-recovery|perf-adaptive|recover|all>..."
     );
     std::process::exit(2);
 }
@@ -161,6 +163,7 @@ fn main() {
             "perf-range" => emit(&mut produced, vec![experiments::rangescan_perf(&cfg)]),
             "perf-commit" => emit(&mut produced, vec![experiments::commitpath_perf(&cfg)]),
             "perf-recovery" => emit(&mut produced, vec![experiments::recovery_perf(&cfg)]),
+            "perf-adaptive" => emit(&mut produced, vec![experiments::adaptive_perf(&cfg)]),
             "recover" => recover_smoke(&cfg),
             "ablation" => emit(
                 &mut produced,

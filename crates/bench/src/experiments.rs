@@ -465,6 +465,7 @@ pub fn ablation_validation_cost(cfg: &ExpConfig) -> SeriesTable {
                 reads,
                 writes: 2,
                 isolation: iso,
+                ..Default::default()
             };
             let tps = Scheme::MvO.with_engine(cfg.lock_timeout, |factory| {
                 dispatch_engine!(factory, |engine| {
@@ -1101,6 +1102,111 @@ pub fn recovery_perf(cfg: &ExpConfig) -> SeriesTable {
     }
 }
 
+/// **Adaptive-CC experiment** — the Figure 4 → Figure 5 contention axis,
+/// made continuous (`BENCH_adaptive.json`). The paper picks a scheme up
+/// front and shows each one losing somewhere; this experiment sweeps the
+/// fraction of traffic aimed at a small hotspot and runs the two static MV
+/// schemes against the adaptive mode (`MV/A`), which starts optimistic and
+/// switches per transaction once its contention monitor's decayed
+/// conflict-rate score crosses the hysteresis thresholds. Serializable
+/// isolation, where the schemes genuinely diverge: MV/O pays validation
+/// aborts on a hot read-write set, MV/L pays read locks and waits. The
+/// companion abort-rate series show the mechanism: adaptive tracks MV/O's
+/// near-zero abort rate at the uniform end and MV/L's wait-based profile at
+/// the hotspot end.
+pub fn adaptive_perf(cfg: &ExpConfig) -> SeriesTable {
+    let fractions = [0.0, 0.25, 0.5, 0.75, 0.9];
+    let hot_keys = cfg.hot_rows.clamp(8, 100);
+    let mut table = SeriesTable {
+        title: format!(
+            "Adaptive CC: throughput along the fig4→fig5 contention axis \
+             ({} rows, {hot_keys}-key hotspot, serializable, MPL {})",
+            cfg.rows, cfg.mpl
+        ),
+        x_label: "hotspot access fraction".into(),
+        xs: fractions.iter().map(|f| format!("{f:.2}")).collect(),
+        rows: Vec::new(),
+        unit: "committed transactions / second (and abort rate per scheme)".into(),
+    };
+    let schemes = [Scheme::MvO, Scheme::MvL, Scheme::Adaptive];
+    const REPS: usize = 13;
+    let mut series = vec![Vec::with_capacity(fractions.len()); schemes.len()];
+    let mut aborts = vec![Vec::with_capacity(fractions.len()); schemes.len()];
+    // All three schemes are MvEngine variants, so one x-point holds all
+    // three engines at once and interleaves their measurement intervals
+    // round-robin: background interference (another tenant on the host, a
+    // slow scheduling phase) then hits every scheme about equally instead
+    // of biasing whichever sweep it coincided with. The per-scheme result
+    // is the median interval — robust against the outliers such phases
+    // still produce.
+    for &fraction in &fractions {
+        let workload = Homogeneous {
+            rows: cfg.rows,
+            isolation: IsolationLevel::Serializable,
+            hot_keys,
+            hot_fraction: fraction,
+            ..Default::default()
+        };
+        let engines: Vec<mmdb_core::MvEngine> = schemes
+            .iter()
+            .map(|s| {
+                let config = mmdb_core::MvConfig::default().with_wait_timeout(cfg.lock_timeout);
+                match s {
+                    Scheme::MvO => mmdb_core::MvEngine::optimistic(config),
+                    Scheme::MvL => mmdb_core::MvEngine::pessimistic(config),
+                    Scheme::Adaptive => mmdb_core::MvEngine::adaptive(config),
+                    Scheme::OneV => unreachable!("1V is not part of the adaptive sweep"),
+                }
+            })
+            .collect();
+        let tables: Vec<_> = engines
+            .iter()
+            .map(|e| workload.setup(e).expect("setup adaptive workload"))
+            .collect();
+        // One unmeasured interval per engine faults in the fresh table and
+        // (for MV/A) lets the contention EWMA reach steady state.
+        for (engine, &t) in engines.iter().zip(&tables) {
+            run_for(engine, cfg.mpl, cfg.duration / 4, |e, rng, _| {
+                workload.run_one(e, t, rng)
+            });
+        }
+        let mut samples = vec![Vec::with_capacity(REPS); schemes.len()];
+        for _ in 0..REPS {
+            for (s, (engine, &t)) in engines.iter().zip(&tables).enumerate() {
+                let report = run_for(engine, cfg.mpl, cfg.duration, |e, rng, _| {
+                    workload.run_one(e, t, rng)
+                });
+                samples[s].push((report.tps(), report.abort_rate()));
+                // Drain garbage between intervals so version-chain growth
+                // over the engine's lifetime doesn't skew later intervals.
+                while engine.collect_garbage() > 0 {}
+            }
+        }
+        for (s, mut reps) in samples.into_iter().enumerate() {
+            // Upper quartile, not median: throughput noise on a shared host
+            // is one-sided (interference only ever slows an interval down),
+            // so a high quantile estimates the undisturbed rate while still
+            // discarding the implausibly lucky top interval.
+            reps.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let (tps, abort_rate) = reps[(reps.len() * 3) / 4];
+            series[s].push(tps);
+            aborts[s].push(abort_rate);
+        }
+    }
+    for (s, scheme) in schemes.iter().enumerate() {
+        table
+            .rows
+            .push((scheme.label().to_string(), std::mem::take(&mut series[s])));
+    }
+    for (s, scheme) in schemes.iter().enumerate() {
+        table.rows.push((
+            format!("{} abort rate", scheme.label()),
+            std::mem::take(&mut aborts[s]),
+        ));
+    }
+    table
+}
+
 /// Run every experiment and return the rendered tables in paper order, with
 /// the read- and write-path microbenchmarks appended.
 pub fn run_all(cfg: &ExpConfig) -> Vec<SeriesTable> {
@@ -1116,6 +1222,7 @@ pub fn run_all(cfg: &ExpConfig) -> Vec<SeriesTable> {
     out.push(writepath_perf(cfg));
     out.push(commitpath_perf(cfg));
     out.push(recovery_perf(cfg));
+    out.push(adaptive_perf(cfg));
     out
 }
 
@@ -1138,8 +1245,8 @@ mod tests {
     #[test]
     fn fig4_produces_throughput_and_abort_series() {
         let table = fig4(&tiny());
-        // Three throughput series plus three abort-rate companions.
-        assert_eq!(table.rows.len(), 6);
+        // Four throughput series plus four abort-rate companions.
+        assert_eq!(table.rows.len(), 8);
         assert_eq!(table.xs.len(), 2);
         for (label, series) in &table.rows {
             if label.ends_with("abort rate") {
@@ -1156,6 +1263,7 @@ mod tests {
         }
         let md = table.to_markdown();
         assert!(md.contains("| 1V |") && md.contains("| MV/O |") && md.contains("| MV/L |"));
+        assert!(md.contains("| MV/A |"));
         assert!(md.contains("| MV/O abort rate |"));
     }
 
@@ -1168,7 +1276,7 @@ mod tests {
         }
         assert!(t.value("MV/O", 0).unwrap() > 0.0);
         // Abort-rate columns are fractions.
-        for scheme in ["1V", "MV/O", "MV/L"] {
+        for scheme in ["1V", "MV/O", "MV/L", "MV/A"] {
             for col in [1, 4, 7] {
                 let v = t.value(scheme, col).unwrap();
                 assert!((0.0..=1.0).contains(&v), "{scheme} col {col}: {v}");
@@ -1179,8 +1287,8 @@ mod tests {
     #[test]
     fn long_reader_experiment_reports_both_series() {
         let (f8, f9) = fig8_and_fig9(&tiny());
-        assert_eq!(f8.rows.len(), 3);
-        assert_eq!(f9.rows.len(), 3);
+        assert_eq!(f8.rows.len(), 4);
+        assert_eq!(f9.rows.len(), 4);
         // With zero long readers there is no long-read throughput.
         for (_, series) in &f9.rows {
             assert_eq!(series[0], 0.0);
@@ -1312,9 +1420,33 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_perf_reports_all_three_mv_series() {
+        let t = adaptive_perf(&tiny());
+        // MV/O, MV/L, MV/A throughput plus their abort-rate companions.
+        assert_eq!(t.rows.len(), 6);
+        assert_eq!(t.xs.len(), 5);
+        for (label, series) in &t.rows {
+            assert_eq!(series.len(), 5);
+            if label.ends_with("abort rate") {
+                assert!(
+                    series.iter().all(|&v| (0.0..=1.0).contains(&v)),
+                    "abort rates are fractions: {t:?}"
+                );
+            } else {
+                assert!(
+                    series.iter().all(|&v| v > 0.0),
+                    "every scheme commits something at every point: {t:?}"
+                );
+            }
+        }
+        assert!(t.value("MV/A", 0).is_some());
+        assert!(t.value("MV/A abort rate", 4).is_some());
+    }
+
+    #[test]
     fn table4_runs_tatp_on_all_schemes() {
         let t = table4(&tiny());
-        assert_eq!(t.rows.len(), 3);
+        assert_eq!(t.rows.len(), 4);
         for (_, series) in &t.rows {
             assert!(series[0] > 0.0, "TATP throughput must be positive: {t:?}");
             assert!(series[1] < 0.5, "TATP abort rate should be small: {t:?}");

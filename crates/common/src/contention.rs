@@ -1,0 +1,338 @@
+//! Windowed contention telemetry with an EWMA'd score and hysteresis.
+//!
+//! The paper's evaluation (Figs. 4–7, Table 3) shows that neither CC scheme
+//! wins everywhere: optimistic MV/O dominates at low contention, pessimistic
+//! MV/L wins on write-heavy hotspots, and the crossover moves with the
+//! workload. A [`ContentionMonitor`] gives an engine the live signal it needs
+//! to pick a scheme *per transaction*: every finished transaction reports
+//! whether it ended in a contention-class abort (write-write conflict,
+//! validation failure, phantom, deadlock victim, lock wait refused, cascaded
+//! commit-dependency abort), and the monitor maintains a decayed
+//! conflict-rate estimate per table plus a global aggregate.
+//!
+//! Design constraints (the same ones `EngineStats` lives under):
+//!
+//! * **Relaxed atomics only.** The monitor is telemetry, not
+//!   synchronization; a lost update or a racy window fold skews the estimate
+//!   by a transaction or two and nothing else.
+//! * **Zero allocations on the hot path.** Slots are a fixed-size inline
+//!   array; recording and reading the score never allocates, so the
+//!   `alloc_free` suite keeps pinning 0 with adaptive mode enabled.
+//! * **Event-count windows, not wall-clock.** A window closes after
+//!   `window` finished transactions touch a slot; the window's conflict rate
+//!   is folded into a fixed-point EWMA (`score ← (3·score + rate) / 4`).
+//!   Windows therefore advance exactly as fast as traffic does, idle periods
+//!   cost nothing, and tests are deterministic.
+//! * **Hysteresis.** A slot switches to pessimistic when the score crosses
+//!   `enter` and only returns to optimistic once it falls below the (lower)
+//!   `exit` threshold, so the chosen mode cannot thrash at the crossover.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::ids::TableId;
+use crate::isolation::ConcurrencyMode;
+
+/// Fixed-point scale for scores and thresholds (`1.0` ⇒ `SCALE`).
+const SCALE: u64 = 1 << 16;
+
+/// Number of per-table slots. Tables hash into slots by id; collisions
+/// merely merge two tables' telemetry, which is safe (the policy degrades
+/// toward the global signal) and keeps the structure allocation-free.
+const SLOTS: usize = 16;
+
+/// Default events per window before the conflict rate is folded.
+pub const DEFAULT_WINDOW: u64 = 256;
+/// Default enter threshold: go pessimistic at a ~10% decayed conflict rate.
+pub const DEFAULT_ENTER: f64 = 0.10;
+/// Default exit threshold: return to optimistic below a ~3% decayed rate.
+pub const DEFAULT_EXIT: f64 = 0.03;
+
+/// One telemetry cell: a window in progress plus the decayed summary of all
+/// previous windows.
+#[derive(Debug, Default)]
+struct Slot {
+    /// Finished transactions observed in the current window.
+    events: AtomicU64,
+    /// Contention-class aborts observed in the current window.
+    conflicts: AtomicU64,
+    /// Fixed-point EWMA of the per-window conflict rate.
+    score: AtomicU64,
+    /// Hysteresis latch: 1 while the slot recommends the pessimistic scheme.
+    pessimistic: AtomicU64,
+}
+
+/// Live contention telemetry: per-table windowed conflict counters folded
+/// into a decayed score, with a hysteresis-latched mode recommendation.
+///
+/// Engines call [`record`](ContentionMonitor::record) once per finished
+/// transaction and [`recommend`](ContentionMonitor::recommend) (or
+/// [`is_pessimistic`](ContentionMonitor::is_pessimistic)) at `begin` time.
+/// Everything is relaxed-atomic and allocation-free.
+#[derive(Debug)]
+pub struct ContentionMonitor {
+    /// Per-table cells, indexed by `TableId` modulo [`SLOTS`].
+    slots: [Slot; SLOTS],
+    /// Aggregate cell fed by every finished transaction.
+    global: Slot,
+    /// Events per window before a fold.
+    window: AtomicU64,
+    /// Fixed-point score at or above which a slot latches pessimistic.
+    enter: AtomicU64,
+    /// Fixed-point score at or below which a latched slot releases.
+    exit: AtomicU64,
+}
+
+impl Default for ContentionMonitor {
+    fn default() -> Self {
+        ContentionMonitor {
+            slots: Default::default(),
+            global: Slot::default(),
+            window: AtomicU64::new(DEFAULT_WINDOW),
+            enter: AtomicU64::new(to_fixed(DEFAULT_ENTER)),
+            exit: AtomicU64::new(to_fixed(DEFAULT_EXIT)),
+        }
+    }
+}
+
+fn to_fixed(rate: f64) -> u64 {
+    (rate.clamp(0.0, 1.0) * SCALE as f64) as u64
+}
+
+fn to_rate(fixed: u64) -> f64 {
+    fixed as f64 / SCALE as f64
+}
+
+impl ContentionMonitor {
+    /// Create a monitor with the default window and thresholds.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the window size (finished transactions per fold) and the
+    /// hysteresis thresholds (conflict rates in `[0, 1]`; `enter` should be
+    /// above `exit`). Intended to be called once at engine construction;
+    /// calling it mid-run merely retunes subsequent folds.
+    pub fn configure(&self, window: u64, enter: f64, exit: f64) {
+        self.window.store(window.max(1), Ordering::Relaxed);
+        self.enter.store(to_fixed(enter), Ordering::Relaxed);
+        self.exit
+            .store(to_fixed(exit.min(enter)), Ordering::Relaxed);
+    }
+
+    fn slot_of(&self, table: TableId) -> &Slot {
+        &self.slots[table.0 as usize % SLOTS]
+    }
+
+    /// Record one finished transaction that touched `tables`, ending either
+    /// cleanly (`conflict == false`) or in a contention-class abort. The
+    /// global cell always sees the event; each touched table's cell sees it
+    /// once. Allocation-free; relaxed atomics only.
+    pub fn record(&self, tables: &[TableId], conflict: bool) {
+        self.slot_record(&self.global, conflict);
+        for &table in tables {
+            self.slot_record(self.slot_of(table), conflict);
+        }
+    }
+
+    fn slot_record(&self, slot: &Slot, conflict: bool) {
+        if conflict {
+            slot.conflicts.fetch_add(1, Ordering::Relaxed);
+        }
+        let events = slot.events.fetch_add(1, Ordering::Relaxed) + 1;
+        let window = self.window.load(Ordering::Relaxed);
+        if events < window {
+            return;
+        }
+        // One recorder wins the fold; losers simply keep counting into the
+        // next window. Both counters reset racily — this is telemetry, and a
+        // straggler's event landing in the wrong window shifts the estimate
+        // by at most 1/window.
+        if slot
+            .events
+            .compare_exchange(events, 0, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+        {
+            return;
+        }
+        let conflicts = slot.conflicts.swap(0, Ordering::Relaxed).min(events);
+        let rate = conflicts * SCALE / events;
+        let old = slot.score.load(Ordering::Relaxed);
+        let new = (3 * old + rate) / 4;
+        slot.score.store(new, Ordering::Relaxed);
+        let latched = slot.pessimistic.load(Ordering::Relaxed) != 0;
+        if latched {
+            if new <= self.exit.load(Ordering::Relaxed) {
+                slot.pessimistic.store(0, Ordering::Relaxed);
+            }
+        } else if new >= self.enter.load(Ordering::Relaxed) {
+            slot.pessimistic.store(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Is the global aggregate currently latched pessimistic?
+    pub fn is_pessimistic(&self) -> bool {
+        self.global.pessimistic.load(Ordering::Relaxed) != 0
+    }
+
+    /// Recommended scheme for a transaction of known shape. Read-only
+    /// transactions always get the optimistic scheme — they never conflict on
+    /// writes, and under MV/O a read-only transaction validates (or, at lower
+    /// isolation, skips validation) without ever blocking writers (§3.4).
+    /// Update transactions go pessimistic if the global cell — or the cell of
+    /// any table they declare — is latched.
+    pub fn recommend(&self, read_only: bool, tables: &[TableId]) -> ConcurrencyMode {
+        if read_only {
+            return ConcurrencyMode::Optimistic;
+        }
+        if self.is_pessimistic()
+            || tables
+                .iter()
+                .any(|&t| self.slot_of(t).pessimistic.load(Ordering::Relaxed) != 0)
+        {
+            ConcurrencyMode::Pessimistic
+        } else {
+            ConcurrencyMode::Optimistic
+        }
+    }
+
+    /// Decayed conflict-rate estimate in `[0, 1]` for one table's cell.
+    pub fn score_of(&self, table: TableId) -> f64 {
+        to_rate(self.slot_of(table).score.load(Ordering::Relaxed))
+    }
+
+    /// Decayed conflict-rate estimate in `[0, 1]` for the global cell.
+    pub fn global_score(&self) -> f64 {
+        to_rate(self.global.score.load(Ordering::Relaxed))
+    }
+
+    /// Events recorded in the global cell's current (unfolded) window.
+    pub fn pending_events(&self) -> u64 {
+        self.global.events.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: TableId = TableId(3);
+
+    fn monitor(window: u64, enter: f64, exit: f64) -> ContentionMonitor {
+        let m = ContentionMonitor::new();
+        m.configure(window, enter, exit);
+        m
+    }
+
+    /// Push exactly one window of events with the given number of conflicts.
+    fn push_window(m: &ContentionMonitor, window: u64, conflicts: u64) {
+        for i in 0..window {
+            m.record(&[T], i < conflicts);
+        }
+    }
+
+    #[test]
+    fn clean_windows_leave_score_at_zero() {
+        let m = monitor(8, 0.5, 0.1);
+        for _ in 0..10 {
+            push_window(&m, 8, 0);
+        }
+        assert_eq!(m.global_score(), 0.0);
+        assert_eq!(m.score_of(T), 0.0);
+        assert!(!m.is_pessimistic());
+    }
+
+    #[test]
+    fn window_rollover_resets_the_event_count() {
+        let m = monitor(8, 0.5, 0.1);
+        push_window(&m, 8, 0);
+        assert_eq!(m.pending_events(), 0);
+        m.record(&[T], false);
+        assert_eq!(m.pending_events(), 1);
+    }
+
+    #[test]
+    fn ewma_rises_under_conflict_and_decays_when_it_stops() {
+        let m = monitor(8, 0.9, 0.01);
+        // All-conflict windows: score climbs toward 1.0 but never jumps there
+        // in one step (EWMA weight 1/4).
+        push_window(&m, 8, 8);
+        let after_one = m.global_score();
+        assert!(after_one > 0.2 && after_one < 0.3, "{after_one}");
+        for _ in 0..20 {
+            push_window(&m, 8, 8);
+        }
+        let peak = m.global_score();
+        assert!(peak > 0.95, "{peak}");
+        // Clean windows: geometric decay back toward zero.
+        push_window(&m, 8, 0);
+        let decayed = m.global_score();
+        assert!(decayed < peak && (decayed - peak * 0.75).abs() < 0.02);
+        for _ in 0..30 {
+            push_window(&m, 8, 0);
+        }
+        assert!(m.global_score() < 0.001);
+    }
+
+    #[test]
+    fn hysteresis_latches_between_enter_and_exit() {
+        let m = monitor(8, 0.5, 0.1);
+        // Drive the score above enter.
+        while m.global_score() < 0.5 {
+            push_window(&m, 8, 8);
+        }
+        assert!(m.is_pessimistic());
+        // Decay into the hysteresis band: still latched.
+        while m.global_score() > 0.2 {
+            push_window(&m, 8, 0);
+        }
+        assert!(m.global_score() > 0.1, "decayed past the band");
+        assert!(m.is_pessimistic(), "released inside the hysteresis band");
+        // Decay below exit: released.
+        while m.global_score() > 0.1 {
+            push_window(&m, 8, 0);
+        }
+        assert!(!m.is_pessimistic());
+    }
+
+    #[test]
+    fn synthetic_hotspot_flips_the_recommendation_and_back() {
+        let m = monitor(16, 0.3, 0.05);
+        let cold = TableId(7);
+        assert_eq!(
+            m.recommend(false, &[T]),
+            ConcurrencyMode::Optimistic,
+            "fresh monitor must start optimistic"
+        );
+        // Hotspot: half of every window on table T aborts on conflicts.
+        for _ in 0..8 {
+            push_window(&m, 16, 8);
+        }
+        assert_eq!(m.recommend(false, &[T]), ConcurrencyMode::Pessimistic);
+        // The global cell saw the same traffic, so even undeclared shapes go
+        // pessimistic while the hotspot is live.
+        assert_eq!(m.recommend(false, &[]), ConcurrencyMode::Pessimistic);
+        // Read-only transactions stay optimistic regardless.
+        assert_eq!(m.recommend(true, &[T]), ConcurrencyMode::Optimistic);
+        // Hotspot drains: clean traffic decays the score below exit and the
+        // recommendation flips back.
+        for _ in 0..40 {
+            push_window(&m, 16, 0);
+        }
+        assert_eq!(m.recommend(false, &[T]), ConcurrencyMode::Optimistic);
+        assert_eq!(m.recommend(false, &[]), ConcurrencyMode::Optimistic);
+        // A never-touched table's cell was cold throughout.
+        assert_eq!(m.score_of(cold), 0.0);
+    }
+
+    #[test]
+    fn configure_clamps_exit_to_enter() {
+        let m = monitor(4, 0.2, 0.9);
+        // exit was clamped to enter, so a score below enter releases.
+        push_window(&m, 4, 4);
+        assert!(m.is_pessimistic());
+        for _ in 0..20 {
+            push_window(&m, 4, 0);
+        }
+        assert!(!m.is_pessimistic());
+    }
+}

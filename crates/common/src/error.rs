@@ -121,6 +121,16 @@ impl MmdbError {
         )
     }
 
+    /// True when the error is a *contention-class* abort — the transaction
+    /// lost a data race with another transaction (conflict, validation or
+    /// phantom failure, deadlock, refused or timed-out wait, cascaded
+    /// commit-dependency abort). These feed the adaptive policy's
+    /// [`ContentionMonitor`](crate::contention::ContentionMonitor); a
+    /// voluntary [`MmdbError::Aborted`] or a usage error does not.
+    pub fn is_contention(&self) -> bool {
+        self.is_retryable() && !matches!(self, MmdbError::Aborted)
+    }
+
     /// Short machine-friendly label for statistics buckets.
     pub fn kind(&self) -> &'static str {
         match self {

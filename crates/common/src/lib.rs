@@ -29,11 +29,15 @@
 //! * [`hash`] — the multiplicative hash used to map keys to buckets.
 //! * [`stats`] — lightweight atomic counters used by engines to report
 //!   aborts, validation failures, waits, and garbage-collection activity.
+//! * [`contention`] — windowed conflict telemetry (EWMA'd score with
+//!   hysteresis) that adaptive engines consult to pick a concurrency mode
+//!   per transaction.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod clock;
+pub mod contention;
 pub mod durability;
 pub mod engine;
 pub mod error;
@@ -45,6 +49,7 @@ pub mod stats;
 pub mod word;
 
 pub use clock::GlobalClock;
+pub use contention::ContentionMonitor;
 pub use durability::{CheckpointPolicy, Durability};
 pub use engine::{Engine, EngineTxn};
 pub use error::{MmdbError, Result};

@@ -5,6 +5,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::contention::ContentionMonitor;
+
 /// Monotone event counters for one engine instance.
 ///
 /// All counters use relaxed atomics: they are statistics, not
@@ -42,6 +44,11 @@ pub struct EngineStats {
     pub log_records: AtomicU64,
     /// Redo log bytes written.
     pub log_bytes: AtomicU64,
+    /// Windowed contention telemetry (per-table + global EWMA'd conflict
+    /// scores with hysteresis). Not part of [`StatsSnapshot`] — it is a
+    /// decayed live signal, not a monotone counter; adaptive engines consult
+    /// it at `begin` time.
+    pub contention: ContentionMonitor,
 }
 
 /// A point-in-time copy of [`EngineStats`].

@@ -305,6 +305,7 @@ impl MvTransaction {
         // Step 6: the transaction is committed.
         self.handle.set_state(TxnState::Committed);
         EngineStats::bump(&self.stats().commits);
+        self.stats().contention.record(&self.touched, false);
 
         // Step 7: postprocessing — propagate the end timestamp, retire old
         // versions, resolve dependents, leave the transaction table.
@@ -395,12 +396,18 @@ impl MvTransaction {
     // Abort
     // ------------------------------------------------------------------
 
-    /// User- or drop-initiated abort.
+    /// User- or drop-initiated abort. A transaction already doomed by a
+    /// failed operation reports that failure (the usual driver pattern is
+    /// "op returned a conflict → abort()"), so contention telemetry sees the
+    /// conflict rather than a voluntary abort.
     pub(crate) fn do_user_abort(&mut self) {
         if self.finished {
             return;
         }
-        self.finish_abort(&MmdbError::Aborted);
+        match self.must_abort.take() {
+            Some(err) => self.finish_abort(&err),
+            None => self.finish_abort(&MmdbError::Aborted),
+        }
     }
 
     /// Common abort path: undo version changes, release locks and
@@ -411,6 +418,9 @@ impl MvTransaction {
         }
         self.handle.set_state(TxnState::Aborted);
         EngineStats::bump(&self.stats().aborts);
+        self.stats()
+            .contention
+            .record(&self.touched, reason.is_contention());
         if matches!(reason, MmdbError::CommitDependencyFailed) {
             EngineStats::bump(&self.stats().cascaded_aborts);
         }

@@ -16,7 +16,7 @@ use mmdb_storage::log::RedoLogger;
 use mmdb_storage::store::MvStore;
 use mmdb_storage::txn_table::TxnHandle;
 
-use crate::config::MvConfig;
+use crate::config::{CcPolicy, MvConfig};
 use crate::deadlock;
 use crate::txn::{MvTransaction, TxnBuffers};
 
@@ -109,23 +109,31 @@ impl MvInner {
     }
 }
 
-/// The multiversion engine ("MV/O" or "MV/L" depending on the default mode,
-/// with per-transaction overrides).
+/// The multiversion engine ("MV/O", "MV/L" or adaptive "MV/A" depending on
+/// the configured [`CcPolicy`], with per-transaction overrides).
 ///
 /// Cloning is cheap (an `Arc` clone) and all clones share the same database.
 #[derive(Clone)]
 pub struct MvEngine {
     inner: Arc<MvInner>,
     /// Join handle of the deadlock detector (shared; joined on last drop).
-    detector: Option<Arc<DetectorHandle>>,
+    detector: Option<Arc<ServiceHandle>>,
+    /// Join handle of the automatic checkpoint tick (shared; joined on last
+    /// drop). Only present for engines created via
+    /// [`MvEngine::with_checkpoint_store`] under a non-manual
+    /// [`CheckpointPolicy`](mmdb_common::durability::CheckpointPolicy).
+    checkpointer: Option<Arc<ServiceHandle>>,
 }
 
-struct DetectorHandle {
+/// Join-on-last-drop handle for a background service thread (the deadlock
+/// detector, the checkpoint tick). All services share `MvInner::stop`, so
+/// dropping the last engine clone stops every service before joining.
+struct ServiceHandle {
     inner: Weak<MvInner>,
     thread: parking_lot::Mutex<Option<JoinHandle<()>>>,
 }
 
-impl Drop for DetectorHandle {
+impl Drop for ServiceHandle {
     fn drop(&mut self) {
         if let Some(inner) = self.inner.upgrade() {
             inner.stop.store(true, Ordering::Release);
@@ -144,13 +152,22 @@ impl MvEngine {
 
     /// Create an engine whose default transactions run optimistically (MV/O).
     pub fn optimistic(mut config: MvConfig) -> MvEngine {
-        config.default_mode = ConcurrencyMode::Optimistic;
+        config.cc = CcPolicy::Static(ConcurrencyMode::Optimistic);
         Self::new(config)
     }
 
     /// Create an engine whose default transactions run pessimistically (MV/L).
     pub fn pessimistic(mut config: MvConfig) -> MvEngine {
-        config.default_mode = ConcurrencyMode::Pessimistic;
+        config.cc = CcPolicy::Static(ConcurrencyMode::Pessimistic);
+        Self::new(config)
+    }
+
+    /// Create an engine that picks each default transaction's scheme from
+    /// live contention telemetry (MV/A, [`CcPolicy::ADAPTIVE`]).
+    pub fn adaptive(mut config: MvConfig) -> MvEngine {
+        if config.cc.static_mode().is_some() {
+            config.cc = CcPolicy::ADAPTIVE;
+        }
         Self::new(config)
     }
 
@@ -164,6 +181,18 @@ impl MvEngine {
             handles: parking_lot::Mutex::new(Vec::new()),
             buffers: parking_lot::Mutex::new(Vec::new()),
         });
+        if let CcPolicy::Adaptive {
+            window,
+            enter,
+            exit,
+        } = config.cc
+        {
+            inner
+                .store
+                .stats()
+                .contention
+                .configure(window, enter, exit);
+        }
         let detector = if config.deadlock_detector {
             let weak = Arc::downgrade(&inner);
             let interval = config.deadlock_interval;
@@ -181,14 +210,71 @@ impl MvEngine {
                     }
                 })
                 .expect("spawn deadlock detector");
-            Some(Arc::new(DetectorHandle {
+            Some(Arc::new(ServiceHandle {
                 inner: Arc::downgrade(&inner),
                 thread: parking_lot::Mutex::new(Some(thread)),
             }))
         } else {
             None
         };
-        MvEngine { inner, detector }
+        MvEngine {
+            inner,
+            detector,
+            checkpointer: None,
+        }
+    }
+
+    /// Create an engine whose redo records go to `store`'s group-commit log
+    /// and whose [`CheckpointPolicy`](mmdb_common::durability::CheckpointPolicy)
+    /// (from `config.checkpoint`) actually drives checkpoints: a background
+    /// tick consults [`CheckpointStore::checkpoint_due`] and runs
+    /// [`MvEngine::checkpoint`] — snapshot image, install, log truncation —
+    /// automatically once the configured log growth accrues. Under
+    /// [`CheckpointPolicy::MANUAL`](mmdb_common::durability::CheckpointPolicy::MANUAL)
+    /// no tick is spawned and `checkpoint()` remains an explicit call.
+    ///
+    /// [`CheckpointStore::checkpoint_due`]: mmdb_storage::checkpoint::CheckpointStore::checkpoint_due
+    pub fn with_checkpoint_store(
+        config: MvConfig,
+        store: Arc<mmdb_storage::checkpoint::CheckpointStore>,
+    ) -> MvEngine {
+        let logger: Arc<dyn RedoLogger> = Arc::clone(store.logger()) as _;
+        let mut engine = Self::with_logger(config, logger);
+        let policy = engine.inner.config.checkpoint;
+        if policy == mmdb_common::durability::CheckpointPolicy::MANUAL {
+            return engine;
+        }
+        let weak = Arc::downgrade(&engine.inner);
+        // The tick only *checks* a counter (cheap relaxed read through the
+        // group-commit log); actual checkpoints are rare, so a short period
+        // keeps the log bound tight without measurable overhead.
+        let interval = std::time::Duration::from_millis(10);
+        let thread = std::thread::Builder::new()
+            .name("mmdb-checkpointer".into())
+            .spawn(move || loop {
+                std::thread::sleep(interval);
+                let Some(inner) = weak.upgrade() else { break };
+                if inner.stop.load(Ordering::Acquire) {
+                    break;
+                }
+                if store.checkpoint_due(&policy) {
+                    let engine = MvEngine {
+                        inner,
+                        detector: None,
+                        checkpointer: None,
+                    };
+                    // A failed automatic checkpoint (e.g. disk error) is not
+                    // fatal to the engine: the log keeps growing and the
+                    // next tick retries.
+                    let _ = engine.checkpoint(&store);
+                }
+            })
+            .expect("spawn checkpointer");
+        engine.checkpointer = Some(Arc::new(ServiceHandle {
+            inner: Arc::downgrade(&engine.inner),
+            thread: parking_lot::Mutex::new(Some(thread)),
+        }));
+        engine
     }
 
     /// The engine configuration.
@@ -218,6 +304,31 @@ impl MvEngine {
         store.txns().register(Arc::clone(&handle));
         drop(pending);
         MvTransaction::new(Arc::clone(&self.inner), handle, self.inner.take_buffers())
+    }
+
+    /// Begin a transaction whose concurrency mode is chosen by the engine's
+    /// [`CcPolicy`], refined by a declared transaction shape: read-only
+    /// transactions always run optimistically (they cannot lose a write
+    /// conflict, and MV/O never makes readers block writers — §3.4), and an
+    /// update transaction consults the contention cells of the tables it
+    /// declares in addition to the global signal. Under a static policy the
+    /// hints are ignored and the fixed mode applies.
+    pub fn begin_hinted(
+        &self,
+        read_only: bool,
+        tables: &[TableId],
+        isolation: IsolationLevel,
+    ) -> MvTransaction {
+        let mode = match self.inner.config.cc {
+            CcPolicy::Static(mode) => mode,
+            CcPolicy::Adaptive { .. } => self
+                .inner
+                .store
+                .stats()
+                .contention
+                .recommend(read_only, tables),
+        };
+        self.begin_with(mode, isolation)
     }
 
     /// Bulk-load committed rows outside of any transaction (initial database
@@ -437,7 +548,7 @@ impl Engine for MvEngine {
     }
 
     fn begin(&self, isolation: IsolationLevel) -> MvTransaction {
-        self.begin_with(self.inner.config.default_mode, isolation)
+        self.begin_hinted(false, &[], isolation)
     }
 
     fn stats(&self) -> &EngineStats {
@@ -445,9 +556,10 @@ impl Engine for MvEngine {
     }
 
     fn label(&self) -> &'static str {
-        match self.inner.config.default_mode {
-            ConcurrencyMode::Optimistic => "MV/O",
-            ConcurrencyMode::Pessimistic => "MV/L",
+        match self.inner.config.cc {
+            CcPolicy::Static(ConcurrencyMode::Optimistic) => "MV/O",
+            CcPolicy::Static(ConcurrencyMode::Pessimistic) => "MV/L",
+            CcPolicy::Adaptive { .. } => "MV/A",
         }
     }
 
@@ -459,9 +571,10 @@ impl Engine for MvEngine {
 impl std::fmt::Debug for MvEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("MvEngine")
-            .field("mode", &self.inner.config.default_mode)
+            .field("cc", &self.inner.config.cc)
             .field("store", &self.inner.store)
             .field("detector", &self.detector.is_some())
+            .field("checkpointer", &self.checkpointer.is_some())
             .finish()
     }
 }

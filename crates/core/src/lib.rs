@@ -48,7 +48,7 @@ mod phantom_regression;
 pub mod txn;
 pub mod visibility;
 
-pub use config::MvConfig;
+pub use config::{CcPolicy, MvConfig};
 pub use engine::MvEngine;
 pub use txn::MvTransaction;
 pub use visibility::{check_updatable, check_visibility, Updatability, Visibility};
@@ -396,6 +396,67 @@ mod tests {
         );
         check.commit().unwrap();
         assert!(engine.stats().snapshot().aborts >= 1);
+    }
+
+    #[test]
+    fn adaptive_engine_flips_to_pessimistic_under_conflicts_and_back() {
+        let config = MvConfig::default().with_cc(crate::config::CcPolicy::Adaptive {
+            window: 8,
+            enter: 0.2,
+            exit: 0.05,
+        });
+        let engine = MvEngine::new(config);
+        let t = engine.create_table(TableSpec::keyed_u64("t", 256)).unwrap();
+        engine
+            .populate(t, (0..8u64).map(|k| rowbuf::keyed_row(k, 16, 1)))
+            .unwrap();
+        assert_eq!(engine.label(), "MV/A");
+        let probe = engine.begin(IsolationLevel::ReadCommitted);
+        assert_eq!(probe.mode(), ConcurrencyMode::Optimistic);
+        probe.abort();
+
+        // Synthetic hotspot: every round a winner commits and a loser takes
+        // a first-writer-wins conflict on key 0 (~50% conflict rate).
+        for round in 0..64u8 {
+            let mut w1 =
+                engine.begin_with(ConcurrencyMode::Optimistic, IsolationLevel::ReadCommitted);
+            let mut w2 =
+                engine.begin_with(ConcurrencyMode::Optimistic, IsolationLevel::ReadCommitted);
+            w1.update(t, IndexId(0), 0, rowbuf::keyed_row(0, 16, round))
+                .unwrap();
+            assert!(w2
+                .update(t, IndexId(0), 0, rowbuf::keyed_row(0, 16, round))
+                .is_err());
+            w2.abort();
+            w1.commit().unwrap();
+        }
+        let hot = engine.begin(IsolationLevel::ReadCommitted);
+        assert_eq!(
+            hot.mode(),
+            ConcurrencyMode::Pessimistic,
+            "hotspot must flip default transactions to MV/L"
+        );
+        hot.abort();
+        // Read-only transactions stay optimistic even during the hotspot.
+        let ro = engine.begin_hinted(true, &[], IsolationLevel::Serializable);
+        assert_eq!(ro.mode(), ConcurrencyMode::Optimistic);
+        ro.abort();
+
+        // Hotspot drains: conflict-free traffic decays the score below exit.
+        for i in 0..400u64 {
+            let mut txn =
+                engine.begin_with(ConcurrencyMode::Optimistic, IsolationLevel::ReadCommitted);
+            txn.update(t, IndexId(0), i % 8, rowbuf::keyed_row(i % 8, 16, 1))
+                .unwrap();
+            txn.commit().unwrap();
+        }
+        let cooled = engine.begin(IsolationLevel::ReadCommitted);
+        assert_eq!(
+            cooled.mode(),
+            ConcurrencyMode::Optimistic,
+            "drained hotspot must flip default transactions back to MV/O"
+        );
+        cooled.abort();
     }
 
     #[test]

@@ -120,6 +120,7 @@ pub(crate) struct TxnBuffers {
     pub(crate) read_locks: Vec<VersionPtr>,
     pub(crate) bucket_locks: Vec<BucketLockRef>,
     pub(crate) range_locks: Vec<RangeLockRef>,
+    pub(crate) touched: Vec<TableId>,
     pub(crate) scratch: TxnScratch,
 }
 
@@ -133,6 +134,7 @@ impl TxnBuffers {
         self.read_locks.clear();
         self.bucket_locks.clear();
         self.range_locks.clear();
+        self.touched.clear();
         self.scratch.candidates.clear();
         self.scratch.keys.clear();
         self.scratch.log_buf.clear();
@@ -158,6 +160,10 @@ pub struct MvTransaction {
     /// Ordered-index ranges locked by this (serializable pessimistic)
     /// transaction.
     pub(crate) range_locks: Vec<RangeLockRef>,
+    /// Distinct tables this transaction has touched, for contention
+    /// telemetry at commit/abort. A handful of entries at most, so a linear
+    /// `contains` beats any set; capacity is recycled with the buffers.
+    pub(crate) touched: Vec<TableId>,
     /// Set when an operation failed in a way that forces an abort
     /// (first-writer-wins conflicts, failed dependencies, ...). `commit`
     /// refuses to proceed once set.
@@ -187,6 +193,7 @@ impl MvTransaction {
             read_locks: bufs.read_locks,
             bucket_locks: bufs.bucket_locks,
             range_locks: bufs.range_locks,
+            touched: bufs.touched,
             must_abort: None,
             finished: false,
             scratch: bufs.scratch,
@@ -204,6 +211,7 @@ impl MvTransaction {
             read_locks: std::mem::take(&mut self.read_locks),
             bucket_locks: std::mem::take(&mut self.bucket_locks),
             range_locks: std::mem::take(&mut self.range_locks),
+            touched: std::mem::take(&mut self.touched),
             scratch: std::mem::take(&mut self.scratch),
         };
         bufs.clear();
@@ -247,6 +255,15 @@ impl MvTransaction {
     #[inline]
     pub(crate) fn stats(&self) -> &EngineStats {
         self.inner.store.stats()
+    }
+
+    /// Remember that an operation touched `table`, so commit/abort can feed
+    /// the right contention-monitor cells.
+    #[inline]
+    pub(crate) fn note_table(&mut self, table: TableId) {
+        if !self.touched.contains(&table) {
+            self.touched.push(table);
+        }
     }
 
     /// The logical read time (§2.5, §3.4, §4.3.1): read-committed reads "now"
@@ -744,6 +761,7 @@ impl MvTransaction {
         visit: &mut dyn FnMut(&Row),
     ) -> Result<usize> {
         self.ensure_open()?;
+        self.note_table(table_id);
         let guard = epoch::pin();
         // Lock-free table resolution: a load of the epoch-published catalog
         // slice, borrowed under our guard (no `RwLock`, no `Arc` clone).
@@ -854,6 +872,7 @@ impl MvTransaction {
         visit: &mut dyn FnMut(&Row),
     ) -> Result<usize> {
         self.ensure_open()?;
+        self.note_table(table_id);
         let guard = epoch::pin();
         let table = self.inner.store.table_in(table_id, &guard)?;
         if !table.is_ordered(index)? {
@@ -1185,6 +1204,7 @@ impl EngineTxn for MvTransaction {
 
     fn insert(&mut self, table_id: TableId, row: Row) -> Result<()> {
         self.ensure_open()?;
+        self.note_table(table_id);
         let guard = epoch::pin();
         let table = self.inner.store.table_in(table_id, &guard)?;
         // Extract the index keys once into the reusable scratch; taken out
@@ -1254,6 +1274,7 @@ impl EngineTxn for MvTransaction {
         new_row: Row,
     ) -> Result<bool> {
         self.ensure_open()?;
+        self.note_table(table_id);
         let guard = epoch::pin();
         let table = self.inner.store.table_in(table_id, &guard)?;
         let Some(old_ptr) = self.find_update_target(table, index, key)? else {
@@ -1286,6 +1307,7 @@ impl EngineTxn for MvTransaction {
 
     fn delete(&mut self, table_id: TableId, index: IndexId, key: Key) -> Result<bool> {
         self.ensure_open()?;
+        self.note_table(table_id);
         let guard = epoch::pin();
         let table = self.inner.store.table_in(table_id, &guard)?;
         let Some(old_ptr) = self.find_update_target(table, index, key)? else {

@@ -531,6 +531,99 @@ fn ordered_index_keeps_equality_paths_allocation_free() {
     }
 }
 
+/// The adaptive-policy acceptance criterion: consulting the contention
+/// monitor at `begin()` and recording outcomes at commit are relaxed atomic
+/// reads and writes on fixed slots — switching the engine to
+/// `CcPolicy::Adaptive` must not put a single allocation back on the hot
+/// paths. Warmed point reads, short scans and whole update transactions all
+/// stay at zero.
+#[test]
+fn adaptive_policy_keeps_hot_paths_allocation_free() {
+    let _serial = serial();
+    use mmdb_core::CcPolicy;
+    let config = MvConfig {
+        cc: CcPolicy::ADAPTIVE,
+        deadlock_detector: false,
+        gc_every_n_commits: 0,
+        ..MvConfig::default()
+    };
+    let engine = MvEngine::with_logger(
+        config,
+        std::sync::Arc::new(mmdb_storage::log::NullLogger::new()),
+    );
+    let table = engine.create_table(grouped_spec(ROWS)).unwrap();
+    engine.populate(table, (0..ROWS).map(grouped_row)).unwrap();
+    let isolation = IsolationLevel::SnapshotIsolation;
+
+    // Read path: warm one transaction, then measure fresh per-op work —
+    // including the policy consultation in `begin()` — across many txns.
+    let mut checksum = 0u64;
+    {
+        let mut txn = engine.begin(isolation);
+        txn.read_with(table, IndexId(0), 1, &mut |row| {
+            checksum += rowbuf::key_of(row)
+        })
+        .unwrap();
+        txn.scan_key_with(table, IndexId(1), 1, &mut |row| {
+            checksum += rowbuf::key_of(row)
+        })
+        .unwrap();
+        txn.commit().unwrap();
+    }
+    // A couple more whole transactions so every engine pool (handles,
+    // buffer sets, txn-table slots) is warm before counting.
+    for _ in 0..8 {
+        let mut txn = engine.begin(isolation);
+        txn.read_with(table, IndexId(0), 2, &mut |row| {
+            checksum += rowbuf::key_of(row)
+        })
+        .unwrap();
+        txn.commit().unwrap();
+    }
+    let read_allocs = count_allocations(|| {
+        for i in 0..200u64 {
+            let key = (i * 31) % ROWS;
+            let mut txn = engine.begin(isolation);
+            txn.read_with(table, IndexId(0), key, &mut |row| {
+                checksum += rowbuf::key_of(row);
+            })
+            .unwrap();
+            txn.commit().unwrap();
+        }
+    });
+    assert_eq!(
+        read_allocs, 0,
+        "warmed read transactions under CcPolicy::Adaptive must not allocate \
+         (checksum {checksum})"
+    );
+
+    // Write path: same criterion as the static-mode fixture — the adaptive
+    // begin() consultation, the touched-table note and the commit-side
+    // telemetry record must all ride on recycled capacity.
+    for i in 0..WARM_TXNS {
+        let key = (i * 31) % ROWS;
+        let mut txn = engine.begin(isolation);
+        assert!(txn
+            .update(table, IndexId(0), key, grouped_row(key))
+            .unwrap());
+        txn.commit().unwrap();
+    }
+    drain_into_pool(&engine, table, MEASURED_TXNS as usize + 1);
+    let keys: Vec<u64> = (0..MEASURED_TXNS).map(|i| (i * 37) % ROWS).collect();
+    let rows: Vec<Row> = keys.iter().map(|&k| grouped_row(k)).collect();
+    let write_allocs = count_allocations(|| {
+        for (i, &key) in keys.iter().enumerate() {
+            let mut txn = engine.begin(isolation);
+            assert!(txn.update(table, IndexId(0), key, rows[i].clone()).unwrap());
+            txn.commit().unwrap();
+        }
+    });
+    assert_eq!(
+        write_allocs, 0,
+        "warmed update transactions under CcPolicy::Adaptive must not allocate"
+    );
+}
+
 /// The documented 1V contrast, write-path edition: the single-version
 /// engine's update transaction materializes lookups, undo images and log
 /// ops — it allocates by design, exactly the overhead the MV write path

@@ -64,6 +64,6 @@ pub mod prelude {
         ConcurrencyMode, Durability, IndexId, IndexSpec, IsolationLevel, Key, KeySpec, MmdbError,
         Result, Row, TableId, TableSpec, Timestamp, TxnId,
     };
-    pub use mmdb_core::{MvConfig, MvEngine};
+    pub use mmdb_core::{CcPolicy, MvConfig, MvEngine};
     pub use mmdb_onev::{SvConfig, SvEngine};
 }

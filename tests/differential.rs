@@ -27,7 +27,8 @@ use std::collections::BTreeMap;
 use mmdb::prelude::*;
 use support::{
     check_serial_equivalence, create_diff_tables, dump, generate_history, populate, run_concurrent,
-    run_sequential, with_repro_artifacts, HistoryParams, Oracle, TxnRecord,
+    run_concurrent_mixed, run_sequential, run_sequential_mixed, with_repro_artifacts,
+    HistoryParams, ModeChoice, Oracle, TxnRecord,
 };
 
 const TABLES: usize = 2;
@@ -311,6 +312,90 @@ fn concurrent_read_committed_write_effects_serialize() {
                 false,
             );
         }
+    }
+}
+
+/// An engine under `CcPolicy::Adaptive`, so the `ModeChoice::EngineDefault`
+/// third of a mixed run takes the telemetry-driven path while the other two
+/// thirds force MV/O and MV/L around it.
+fn fresh_adaptive() -> (MvEngine, Vec<TableId>) {
+    let engine = MvEngine::adaptive(MvConfig::default());
+    let tables = create_diff_tables(&engine, TABLES, 128);
+    populate(&engine, &tables, INITIAL_ROWS);
+    (engine, tables)
+}
+
+/// Rounds of the mixed-mode sweeps. Thirty distinct (history, mode
+/// assignment) pairs per shape, every one of which must come out green.
+const MIXED_ROUNDS: u64 = 30;
+
+#[test]
+fn mixed_mode_sequential_histories_agree_with_the_oracle() {
+    // Per-transaction mode flipping (forced MV/O / forced MV/L / adaptive
+    // default) must be invisible to sequential semantics: every observation
+    // and the final state still match the single-threaded oracle exactly,
+    // at every isolation level, 30/30 rounds.
+    for round in 0..MIXED_ROUNDS {
+        let seed = 0x5E9_0000 ^ round;
+        let scripts = generate_history(seed, SEQUENTIAL_PARAMS);
+        let (expected_obs, expected_state) = oracle_run(&scripts);
+        for isolation in IsolationLevel::ALL {
+            let (engine, tables) = fresh_adaptive();
+            let records = run_sequential_mixed(&engine, &tables, isolation, &scripts, seed);
+            for (i, record) in records.iter().enumerate() {
+                assert_eq!(
+                    record.observations,
+                    expected_obs[i],
+                    "[round={round} seed={seed} iso={isolation:?}] txn {i} \
+                     ({:?}) diverged from the oracle",
+                    ModeChoice::draw(seed, i as u64)
+                );
+            }
+            assert_eq!(
+                dump(&engine, &tables, DUMP_BOUND),
+                expected_state,
+                "[round={round} seed={seed} iso={isolation:?}] mixed-mode final \
+                 state diverged from the oracle"
+            );
+        }
+    }
+}
+
+#[test]
+fn mixed_mode_concurrent_runs_are_serializable_by_commit_ts() {
+    // The §4.5 coexistence claim under adversarial checking: forced-MV/O,
+    // forced-MV/L and adaptive-default transactions race in the same run,
+    // and whatever subset commits must still be equivalent to the serial
+    // execution in commit-timestamp order — reads included — 30/30 rounds.
+    for round in 0..MIXED_ROUNDS {
+        let seed = 0xC0EF_u64 << 16 | round;
+        let (engine, tables) = fresh_adaptive();
+        let history = concurrent_history(seed);
+        let history_debug = format!("{history:#?}");
+        let records = run_concurrent_mixed(
+            &engine,
+            &tables,
+            IsolationLevel::Serializable,
+            history,
+            seed,
+        );
+        let final_state = dump(&engine, &tables, DUMP_BOUND);
+        let artifact_name = format!("differential-mixed-seed-{seed:#x}.history.txt");
+        with_repro_artifacts(
+            &format!("suite=differential engine=mixed-mode seed={seed:#x} round={round}"),
+            &[(&artifact_name, history_debug.as_bytes())],
+            || {
+                check_serial_equivalence(
+                    "mixed-mode ser",
+                    seed,
+                    TABLES,
+                    INITIAL_ROWS,
+                    &records,
+                    &final_state,
+                    true,
+                )
+            },
+        );
     }
 }
 

@@ -34,6 +34,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use mmdb::prelude::*;
+use mmdb_common::durability::CheckpointPolicy;
 use mmdb_storage::checkpoint::{
     read_checkpoint, CheckpointContents, CheckpointRef, CheckpointStore, RecoveryPlan,
 };
@@ -1323,6 +1324,86 @@ fn crash_recover_continue_recover_round_trip_through_the_store() {
         target.assert_indexes_consistent(&label, &t3);
         let _ = std::fs::remove_dir_all(&dir);
     }
+}
+
+#[test]
+fn checkpoint_policy_drives_automatic_log_truncation() {
+    // The checkpoint policy is wired, not advisory: an engine built with
+    // `with_checkpoint_store` under `CheckpointPolicy::every_log_bytes`
+    // checkpoints *itself* — a background tick consults `checkpoint_due`
+    // and runs the snapshot + install + truncate protocol once the live
+    // segment outgrows the budget. This test never calls `checkpoint()`:
+    // a long committed write run alone must produce an installed image and
+    // a truncated (rebased) log, and a restart must land on the final state.
+    const BUDGET: u64 = 64 * 1024;
+    let dir = scratch_store_dir("auto-policy");
+    let store = Arc::new(
+        CheckpointStore::create_with_tick(&dir, Duration::from_micros(BATCH_TICK_US))
+            .expect("create checkpoint store"),
+    );
+    let engine = MvEngine::with_checkpoint_store(
+        MvConfig::optimistic()
+            .with_deadlock_detector(false)
+            .with_checkpoint(CheckpointPolicy::every_log_bytes(BUDGET)),
+        store.clone(),
+    );
+    let tables = create_diff_tables(&engine, TABLES, 128);
+    populate(&engine, &tables, INITIAL_ROWS);
+    assert_eq!(store.generation(), 0, "no checkpoint before any log growth");
+
+    // Keep committing until the tick has demonstrably checkpointed at least
+    // once (install + truncate each advance a generation). Bounded by wall
+    // clock so a wiring regression fails loudly instead of hanging.
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    let mut round = 0u64;
+    while store.generation() < 2 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "no automatic checkpoint after {round} rounds: the policy tick \
+             never fired (generation={}, log bytes since checkpoint={})",
+            store.generation(),
+            store.log_bytes_since_checkpoint()
+        );
+        let history = generate_history(seeds()[0] ^ round, PARAMS);
+        let _: Vec<TxnRecord> =
+            run_sequential(&engine, &tables, IsolationLevel::Serializable, &history);
+        round += 1;
+    }
+    // Let the writes outlive the checkpoint so the recovered state proves
+    // image + tail compose, not just the image alone.
+    let history = generate_history(seeds()[0] ^ 0xF1A7, PARAMS);
+    let _: Vec<TxnRecord> =
+        run_sequential(&engine, &tables, IsolationLevel::Serializable, &history);
+    store.logger().flush().expect("flush tail");
+    let final_state = dump(&engine, &tables, DUMP_BOUND);
+    drop(engine); // joins the checkpointer tick before the store is read
+    drop(store);
+
+    let names: Vec<String> = dir_snapshot(&dir).into_iter().map(|(n, _)| n).collect();
+    assert!(
+        !names.contains(&"wal-0.log".to_string()),
+        "automatic truncation must reclaim the original segment, got {names:?}"
+    );
+    let plan = CheckpointStore::plan(&dir).expect("plan after automatic checkpoint");
+    let ckpt = plan.checkpoint.as_ref().expect("an image was installed");
+    assert_eq!(plan.log_base, ckpt.lsn, "the live segment was rebased");
+
+    let target = MvEngine::with_logger(
+        MvConfig::optimistic().with_deadlock_detector(false),
+        Arc::new(mmdb_storage::log::NullLogger::new()),
+    );
+    let t = create_diff_tables(&target, TABLES, 128);
+    target
+        .recover_from_checkpoint(&plan)
+        .expect("restart from the automatic checkpoint");
+    assert_eq!(
+        dump(&target, &t, DUMP_BOUND),
+        final_state,
+        "restart from the automatically taken checkpoint diverges from the \
+         live engine's final state"
+    );
+    assert_indexes_consistent("auto-checkpoint restart", &target, &t, DUMP_BOUND);
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

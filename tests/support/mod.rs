@@ -565,6 +565,146 @@ where
         .collect()
 }
 
+/// Per-transaction concurrency-mode choice used by the mixed-mode
+/// differential runs (§4.5: optimistic and pessimistic transactions may run
+/// concurrently against the same database).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModeChoice {
+    /// `begin_with(Optimistic)` — forced MV/O regardless of engine policy.
+    ForcedOptimistic,
+    /// `begin_with(Pessimistic)` — forced MV/L regardless of engine policy.
+    ForcedPessimistic,
+    /// Plain `begin()` — whatever the engine's `CcPolicy` recommends (the
+    /// adaptive path when the engine under test is `MvEngine::adaptive`).
+    EngineDefault,
+}
+
+impl ModeChoice {
+    /// Deterministic per-transaction draw: a seed plus the transaction's
+    /// global index always map to the same choice, so mixed-mode failures
+    /// replay exactly like every other differential failure.
+    pub fn draw(seed: u64, index: u64) -> ModeChoice {
+        // SplitMix64 finalizer — a full-avalanche hash, so consecutive
+        // indices flip modes incoherently rather than in runs.
+        let mut x = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^= x >> 31;
+        match x % 3 {
+            0 => ModeChoice::ForcedOptimistic,
+            1 => ModeChoice::ForcedPessimistic,
+            _ => ModeChoice::EngineDefault,
+        }
+    }
+
+    /// Begin a transaction on `engine` under this choice.
+    pub fn begin(self, engine: &MvEngine, isolation: IsolationLevel) -> mmdb::core::MvTransaction {
+        match self {
+            ModeChoice::ForcedOptimistic => {
+                engine.begin_with(ConcurrencyMode::Optimistic, isolation)
+            }
+            ModeChoice::ForcedPessimistic => {
+                engine.begin_with(ConcurrencyMode::Pessimistic, isolation)
+            }
+            ModeChoice::EngineDefault => engine.begin(isolation),
+        }
+    }
+}
+
+/// Mixed-mode twin of [`run_sequential`]: each transaction's concurrency
+/// mode is drawn deterministically from `mode_seed` and its index.
+pub fn run_sequential_mixed(
+    engine: &MvEngine,
+    tables: &[TableId],
+    isolation: IsolationLevel,
+    scripts: &[TxnScript],
+    mode_seed: u64,
+) -> Vec<TxnRecord> {
+    scripts
+        .iter()
+        .enumerate()
+        .map(|(i, script)| {
+            let choice = ModeChoice::draw(mode_seed, i as u64);
+            let mut txn = choice.begin(engine, isolation);
+            let observations: Vec<Observation> = script
+                .ops
+                .iter()
+                .map(|&op| {
+                    execute_op(&mut txn, tables, op).unwrap_or_else(|e| {
+                        panic!("sequential mixed op {op:?} ({choice:?}) failed: {e:?}")
+                    })
+                })
+                .collect();
+            let commit_ts = if script.commit {
+                Some(
+                    txn.commit()
+                        .expect("sequential mixed commit cannot conflict")
+                        .raw(),
+                )
+            } else {
+                txn.abort();
+                None
+            };
+            TxnRecord {
+                commit_ts,
+                observations,
+            }
+        })
+        .collect()
+}
+
+/// Mixed-mode twin of [`run_concurrent`]: worker `w`'s transaction `i` runs
+/// under `ModeChoice::draw(mode_seed ^ w, i)`, so optimistic, pessimistic
+/// and policy-chosen transactions race against the same tables within one
+/// run — the §4.5 coexistence claim under differential checking.
+pub fn run_concurrent_mixed(
+    engine: &MvEngine,
+    tables: &[TableId],
+    isolation: IsolationLevel,
+    scripts: Vec<Vec<TxnScript>>,
+    mode_seed: u64,
+) -> Vec<TxnRecord> {
+    let records: Mutex<Vec<TxnRecord>> = Mutex::new(Vec::new());
+    let records_ref = &records;
+    std::thread::scope(|scope| {
+        for (worker, worker_scripts) in scripts.into_iter().enumerate() {
+            scope.spawn(move || {
+                let mut local = Vec::new();
+                for (i, script) in worker_scripts.iter().enumerate() {
+                    let choice = ModeChoice::draw(mode_seed ^ worker as u64, i as u64);
+                    let mut txn = choice.begin(engine, isolation);
+                    let mut observations = Vec::with_capacity(script.ops.len());
+                    let mut conflicted = false;
+                    for &op in &script.ops {
+                        match execute_op(&mut txn, tables, op) {
+                            Ok(obs) => observations.push(obs),
+                            Err(_) => {
+                                conflicted = true;
+                                break;
+                            }
+                        }
+                    }
+                    let commit_ts = if conflicted || !script.commit {
+                        txn.abort();
+                        None
+                    } else {
+                        txn.commit().ok().map(|ts| ts.raw())
+                    };
+                    local.push(TxnRecord {
+                        commit_ts,
+                        observations,
+                    });
+                    if i % 8 == 7 {
+                        engine.maintenance();
+                    }
+                }
+                records_ref.lock().unwrap().extend(local);
+            });
+        }
+    });
+    records.into_inner().unwrap()
+}
+
 /// Read the full visible state of every table (keys `0..bound`), slot by
 /// slot.
 pub fn dump<E>(engine: &E, tables: &[TableId], bound: u64) -> Vec<BTreeMap<u64, u8>>
