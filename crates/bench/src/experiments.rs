@@ -946,16 +946,28 @@ pub fn commitpath_perf(cfg: &ExpConfig) -> SeriesTable {
     table
 }
 
-/// **Recovery benchmark** — checkpoint + tail replay vs full log replay
-/// (`BENCH_recovery.json`). The point of the checkpoint subsystem is to
-/// bound restart time: without one, recovery replays the whole redo
-/// history; with one, it bulk-loads the last image and replays only the
-/// tail above the checkpoint LSN. This experiment runs one deterministic
-/// update-heavy history twice — once into a store that never checkpoints
-/// and once into a store that checkpoints every 1/12th of the final log
-/// (so the log is ≥ 10× the checkpoint interval) — then times recovery of
-/// each directory into a fresh engine and cross-checks that both recovered
-/// states agree.
+/// **Recovery benchmark** — checkpoint + tail replay vs full log replay,
+/// and delta chains vs full images (`BENCH_recovery.json`). The point of
+/// the checkpoint subsystem is to bound restart time: without one,
+/// recovery replays the whole redo history; with one, it bulk-loads the
+/// last image and replays only the tail above the checkpoint LSN. This
+/// experiment runs one deterministic update-heavy history twice — once
+/// into a store that never checkpoints and once into a store that
+/// checkpoints every 1/12th of the final log (so the log is ≥ 10× the
+/// checkpoint interval) — then times recovery of each directory into a
+/// fresh engine and cross-checks that both recovered states agree.
+///
+/// A second A/B targets the *writing* side: a hot-set history (all updates
+/// confined to 5% of the rows, the regime delta checkpoints exist for)
+/// runs once under full images and once under a delta chain
+/// (`CheckpointPolicy::delta`, chain bound 16). Steady-state checkpoint
+/// bytes must drop at least 5× (asserted — this is the CI smoke guard
+/// against checkpoint-write regressions) and recovery from
+/// base + deltas + tail is timed against the full-image directory; both
+/// land in the committed JSON. Recovery itself runs the partitioned
+/// loader, so the delta rows also measure chain-apply + parallel-replay
+/// cost. Timings here are single-process wall clock — see EXPERIMENTS.md
+/// for the single-core caveat.
 pub fn recovery_perf(cfg: &ExpConfig) -> SeriesTable {
     use std::sync::Arc;
     use std::time::Instant;
@@ -982,10 +994,15 @@ pub fn recovery_perf(cfg: &ExpConfig) -> SeriesTable {
         dir
     };
 
-    // The same seeded history into a checkpoint store; `checkpoint_every`
-    // None = never checkpoint (the full-replay baseline). Returns the number
-    // of checkpoints taken and the total bytes appended to the log stream.
-    let run = |dir: &std::path::Path, checkpoint_every: Option<u64>| -> (usize, u64) {
+    // The same seeded history into a checkpoint store; `policy` None = never
+    // checkpoint (the full-replay baseline), and `hot` confines updates to
+    // the first `hot` keys (the delta-checkpoint regime). Returns the number
+    // of checkpoints taken, the total bytes appended to the log stream and
+    // the total checkpoint-image bytes written.
+    let run = |dir: &std::path::Path,
+               policy: Option<CheckpointPolicy>,
+               hot: Option<u64>|
+     -> (usize, u64, u64) {
         let store = CheckpointStore::create(dir).expect("create checkpoint store");
         let engine = mmdb_core::MvEngine::with_logger(
             mmdb_core::MvConfig::optimistic().with_deadlock_detector(false),
@@ -999,12 +1016,12 @@ pub fn recovery_perf(cfg: &ExpConfig) -> SeriesTable {
                 .expect("populate");
         }
         setup.commit().expect("populate commit");
-        let policy = checkpoint_every.map(CheckpointPolicy::every_log_bytes);
+        let span = hot.unwrap_or(rows).max(1);
         let mut checkpoints = 0usize;
         let mut x = 0x5EEDu64;
         for _ in 0..updates {
             x = lcg(x);
-            let k = (x >> 33) % rows;
+            let k = (x >> 33) % span;
             let fill = (x % 7 + 1) as u8;
             let mut txn = engine.begin(IsolationLevel::SnapshotIsolation);
             assert!(txn
@@ -1013,13 +1030,17 @@ pub fn recovery_perf(cfg: &ExpConfig) -> SeriesTable {
             txn.commit().expect("commit");
             if let Some(policy) = &policy {
                 if store.checkpoint_due(policy) {
-                    engine.checkpoint(&store).expect("checkpoint");
+                    engine.checkpoint_auto(&store, policy).expect("checkpoint");
                     checkpoints += 1;
                 }
             }
         }
         store.logger().flush().expect("flush");
-        (checkpoints, store.logger().appended_lsn().0)
+        (
+            checkpoints,
+            store.logger().appended_lsn().0,
+            store.checkpoint_bytes_written(),
+        )
     };
 
     // Timed recovery of a store directory into a fresh engine. Returns
@@ -1034,11 +1055,11 @@ pub fn recovery_perf(cfg: &ExpConfig) -> SeriesTable {
         let start = Instant::now();
         let report = engine.recover_from_checkpoint(&plan).expect("recover");
         let ms = start.elapsed().as_secs_f64() * 1000.0;
-        let image_bytes = plan
-            .checkpoint
-            .as_ref()
+        let image_bytes: u64 = plan
+            .chain
+            .iter()
             .map(|c| std::fs::metadata(&c.path).expect("image metadata").len())
-            .unwrap_or(0);
+            .sum();
         let bytes_read = image_bytes + (report.valid_bytes - plan.log_tail_offset());
         let mut txn = engine.begin(IsolationLevel::ReadCommitted);
         let mut state = Vec::with_capacity(rows as usize);
@@ -1050,12 +1071,25 @@ pub fn recovery_perf(cfg: &ExpConfig) -> SeriesTable {
         txn.commit().expect("verify commit");
         (ms, report.records_applied, bytes_read, state)
     };
+    // Timings on shared hardware are noisy; everything but the elapsed time
+    // is deterministic, so take the fastest of three recoveries.
+    let recover = |dir: &std::path::Path| -> (f64, usize, u64, Vec<(u64, u8)>) {
+        let (mut best_ms, records, bytes, state) = recover(dir);
+        for _ in 0..2 {
+            best_ms = best_ms.min(recover(dir).0);
+        }
+        (best_ms, records, bytes, state)
+    };
 
     let full_dir = dir_for("full");
-    let (_, total_bytes) = run(&full_dir, None);
+    let (_, total_bytes, _) = run(&full_dir, None, None);
     let interval = (total_bytes / 12).max(1);
     let ckpt_dir = dir_for("ckpt");
-    let (checkpoints, _) = run(&ckpt_dir, Some(interval));
+    let (checkpoints, _, ckpt_written) = run(
+        &ckpt_dir,
+        Some(CheckpointPolicy::every_log_bytes(interval)),
+        None,
+    );
 
     let (full_ms, full_records, full_bytes, full_state) = recover(&full_dir);
     let (ckpt_ms, ckpt_records, ckpt_bytes, ckpt_state) = recover(&ckpt_dir);
@@ -1066,12 +1100,49 @@ pub fn recovery_perf(cfg: &ExpConfig) -> SeriesTable {
     let _ = std::fs::remove_dir_all(&full_dir);
     let _ = std::fs::remove_dir_all(&ckpt_dir);
 
+    // Delta A/B: the same hot-set history (≤ 5 % of the rows ever touched
+    // after load) once under full images and once under a delta chain. The
+    // log streams are byte-identical, so one interval drives both runs to
+    // the same checkpoint cadence; only the image format differs.
+    let hot = (rows / 20).max(1);
+    let hot_full_dir = dir_for("hot-full");
+    let (hot_checkpoints, _, hot_full_written) = run(
+        &hot_full_dir,
+        Some(CheckpointPolicy::every_log_bytes(interval)),
+        Some(hot),
+    );
+    let delta_dir = dir_for("hot-delta");
+    let (_, _, delta_written) = run(
+        &delta_dir,
+        Some(CheckpointPolicy::delta(interval, 16)),
+        Some(hot),
+    );
+    let delta_chain = CheckpointStore::plan(&delta_dir)
+        .expect("delta recovery plan")
+        .chain
+        .len();
+
+    let (hot_full_ms, hot_full_records, hot_full_bytes, hot_full_state) = recover(&hot_full_dir);
+    let (delta_ms, delta_records, delta_bytes, delta_state) = recover(&delta_dir);
+    assert_eq!(
+        hot_full_state, delta_state,
+        "full images and delta chain must recover the same state"
+    );
+    assert!(
+        hot_checkpoints == 0 || delta_written * 5 <= hot_full_written,
+        "delta checkpoints must write ≥ 5x fewer bytes than full images on a hot-set \
+         workload (delta {delta_written} B vs full {hot_full_written} B)"
+    );
+    let _ = std::fs::remove_dir_all(&hot_full_dir);
+    let _ = std::fs::remove_dir_all(&delta_dir);
+
     let mib = |b: u64| b as f64 / (1024.0 * 1024.0);
     let ratio = |a: f64, b: f64| if b > 0.0 { a / b } else { f64::NAN };
     SeriesTable {
         title: format!(
-            "Recovery: full log replay vs checkpoint + tail ({rows} rows, {updates} update \
-             txns, {checkpoints} checkpoints, interval {} KiB)",
+            "Recovery: full log replay vs checkpoint + tail, full images vs delta chain \
+             ({rows} rows, {updates} update txns, {checkpoints} checkpoints, interval {} KiB, \
+             hot set {hot} rows, final chain {delta_chain} images)",
             interval / 1024
         ),
         x_label: "metric".into(),
@@ -1079,15 +1150,21 @@ pub fn recovery_perf(cfg: &ExpConfig) -> SeriesTable {
             "recovery ms".into(),
             "MiB read".into(),
             "records replayed".into(),
+            "ckpt MiB written".into(),
         ],
         rows: vec![
             (
                 "Full log replay (no checkpoint)".to_string(),
-                vec![full_ms, mib(full_bytes), full_records as f64],
+                vec![full_ms, mib(full_bytes), full_records as f64, 0.0],
             ),
             (
                 "Checkpoint + tail replay".to_string(),
-                vec![ckpt_ms, mib(ckpt_bytes), ckpt_records as f64],
+                vec![
+                    ckpt_ms,
+                    mib(ckpt_bytes),
+                    ckpt_records as f64,
+                    mib(ckpt_written),
+                ],
             ),
             (
                 "Speedup (full / checkpoint+tail)".to_string(),
@@ -1095,10 +1172,38 @@ pub fn recovery_perf(cfg: &ExpConfig) -> SeriesTable {
                     ratio(full_ms, ckpt_ms),
                     ratio(mib(full_bytes), mib(ckpt_bytes)),
                     ratio(full_records as f64, ckpt_records as f64),
+                    0.0,
+                ],
+            ),
+            (
+                "Hot set, full images".to_string(),
+                vec![
+                    hot_full_ms,
+                    mib(hot_full_bytes),
+                    hot_full_records as f64,
+                    mib(hot_full_written),
+                ],
+            ),
+            (
+                "Hot set, delta chain".to_string(),
+                vec![
+                    delta_ms,
+                    mib(delta_bytes),
+                    delta_records as f64,
+                    mib(delta_written),
+                ],
+            ),
+            (
+                "Delta savings (full / delta)".to_string(),
+                vec![
+                    ratio(hot_full_ms, delta_ms),
+                    ratio(mib(hot_full_bytes), mib(delta_bytes)),
+                    ratio(hot_full_records as f64, delta_records as f64),
+                    ratio(mib(hot_full_written), mib(delta_written)),
                 ],
             ),
         ],
-        unit: "milliseconds / MiB / record counts (the speedup row is a ratio)".into(),
+        unit: "milliseconds / MiB / record counts (ratio rows are ratios)".into(),
     }
 }
 
@@ -1391,14 +1496,14 @@ mod tests {
     #[test]
     fn recovery_perf_reports_every_series() {
         let t = recovery_perf(&tiny());
-        assert_eq!(t.rows.len(), 3);
-        assert_eq!(t.xs.len(), 3);
+        assert_eq!(t.rows.len(), 6);
+        assert_eq!(t.xs.len(), 4);
         for (label, series) in &t.rows {
-            assert_eq!(series.len(), 3);
+            assert_eq!(series.len(), 4);
             for v in series {
                 assert!(
-                    v.is_finite() && *v > 0.0,
-                    "{label}: every metric must be positive: {t:?}"
+                    v.is_finite() && *v >= 0.0,
+                    "{label}: every metric must be finite and non-negative: {t:?}"
                 );
             }
         }
@@ -1416,6 +1521,14 @@ mod tests {
         assert!(
             ckpt_rec < full_rec,
             "ckpt {ckpt_rec} records vs full {full_rec}"
+        );
+        // The headline delta claim (the >= 5x floor is asserted inside the
+        // experiment itself); here just pin that the savings row is a real
+        // ratio above 1.
+        let savings = t.value("Delta savings (full / delta)", 3).unwrap();
+        assert!(
+            savings >= 5.0,
+            "delta chain must write >= 5x fewer checkpoint bytes: {savings}"
         );
     }
 

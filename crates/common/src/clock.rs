@@ -77,6 +77,16 @@ impl GlobalClock {
         Timestamp(self.ts.load(Ordering::SeqCst))
     }
 
+    /// Advance the timestamp counter so every future draw is strictly later
+    /// than `ts`. Used after recovery: checkpoint images and replayed log
+    /// records carry timestamps from the previous process lifetime, and the
+    /// delta-checkpoint machinery compares them against freshly drawn
+    /// snapshot timestamps (per-table dirty watermarks, delta parent
+    /// snapshots), so the new clock must not restart below them.
+    pub fn advance_past(&self, ts: Timestamp) {
+        self.ts.fetch_max(ts.raw() + 1, Ordering::SeqCst);
+    }
+
     /// Allocate a fresh transaction ID.
     ///
     /// # Panics
@@ -114,6 +124,16 @@ mod tests {
         let drawn = clock.next_timestamp();
         assert!(drawn >= t0);
         assert!(clock.now() > drawn);
+    }
+
+    #[test]
+    fn advance_past_makes_future_draws_later() {
+        let clock = GlobalClock::new();
+        clock.advance_past(Timestamp(500));
+        assert!(clock.next_timestamp() > Timestamp(500));
+        // Never moves backwards.
+        clock.advance_past(Timestamp(3));
+        assert!(clock.next_timestamp() > Timestamp(500));
     }
 
     #[test]

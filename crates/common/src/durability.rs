@@ -44,23 +44,52 @@ impl Durability {
 /// `checkpoint()` entry point and consult the policy via
 /// [`CheckpointPolicy::due`]; whoever drives maintenance (a server loop, a
 /// bench harness, an operator) decides when to ask.
-#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct CheckpointPolicy {
     /// Checkpoint once the redo log has grown this many bytes past the last
     /// checkpoint's LSN. `None` means manual-only: checkpoints happen only
     /// when `checkpoint()` is called explicitly.
     pub log_bytes: Option<u64>,
+    /// Maximum length of the checkpoint chain (base image + delta images).
+    /// `1` means every checkpoint rewrites a full base image (the classic
+    /// behavior). A value `k > 1` lets the engine write *delta* checkpoints
+    /// — only rows and deletions since the previous chain element — until
+    /// the chain holds `k` files, at which point the next checkpoint
+    /// compacts back to a fresh base.
+    pub max_chain: u32,
+}
+
+impl Default for CheckpointPolicy {
+    fn default() -> CheckpointPolicy {
+        CheckpointPolicy::MANUAL
+    }
 }
 
 impl CheckpointPolicy {
     /// Manual-only checkpointing (the default): [`CheckpointPolicy::due`]
-    /// never fires on its own.
-    pub const MANUAL: CheckpointPolicy = CheckpointPolicy { log_bytes: None };
+    /// never fires on its own, and every explicit checkpoint is a full base
+    /// image.
+    pub const MANUAL: CheckpointPolicy = CheckpointPolicy {
+        log_bytes: None,
+        max_chain: 1,
+    };
 
-    /// Checkpoint every `bytes` of redo-log growth.
+    /// Checkpoint every `bytes` of redo-log growth, always writing a full
+    /// base image.
     pub fn every_log_bytes(bytes: u64) -> CheckpointPolicy {
         CheckpointPolicy {
             log_bytes: Some(bytes),
+            max_chain: 1,
+        }
+    }
+
+    /// Checkpoint every `bytes` of redo-log growth, writing deltas until
+    /// the chain holds `max_chain` files (then compacting to a fresh base).
+    /// `max_chain <= 1` degenerates to [`every_log_bytes`](Self::every_log_bytes).
+    pub fn delta(bytes: u64, max_chain: u32) -> CheckpointPolicy {
+        CheckpointPolicy {
+            log_bytes: Some(bytes),
+            max_chain: max_chain.max(1),
         }
     }
 
@@ -93,6 +122,15 @@ mod tests {
         assert!(!policy.due(1023));
         assert!(policy.due(1024));
         assert!(policy.due(u64::MAX));
+    }
+
+    #[test]
+    fn delta_policy_clamps_the_chain_bound() {
+        assert_eq!(CheckpointPolicy::delta(64, 0).max_chain, 1);
+        assert_eq!(CheckpointPolicy::delta(64, 4).max_chain, 4);
+        assert_eq!(CheckpointPolicy::every_log_bytes(64).max_chain, 1);
+        assert_eq!(CheckpointPolicy::MANUAL.max_chain, 1);
+        assert!(CheckpointPolicy::delta(64, 4).due(64));
     }
 
     #[test]

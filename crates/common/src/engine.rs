@@ -171,6 +171,25 @@ pub trait Engine: Send + Sync + 'static {
     /// Begin a transaction at the given isolation level.
     fn begin(&self, isolation: IsolationLevel) -> Self::Txn;
 
+    /// Begin a transaction, declaring its shape up front: whether it is
+    /// read-only and which tables it will touch.
+    ///
+    /// Engines with a contention-adaptive concurrency-control policy use the
+    /// declaration to pick a mode from the *declared tables'* contention
+    /// signals instead of the global one — without it, one hot table flips
+    /// every table's traffic to the pessimistic scheme. Engines with a
+    /// single scheme (and the default implementation) ignore the hints, so
+    /// workload drivers can declare their footprint unconditionally.
+    fn begin_hinted(
+        &self,
+        read_only: bool,
+        tables: &[TableId],
+        isolation: IsolationLevel,
+    ) -> Self::Txn {
+        let _ = (read_only, tables);
+        self.begin(isolation)
+    }
+
     /// Event counters for this engine.
     fn stats(&self) -> &EngineStats;
 

@@ -302,7 +302,23 @@ impl MvTransaction {
             }
         }
 
-        // Step 6: the transaction is committed.
+        // Step 6: the transaction is committed. Raise the per-table dirty
+        // watermarks *before* publishing `Committed`: a delta checkpointer
+        // that quiesces in-flight precommits (everything with an end
+        // timestamp at or below its snapshot) and then reads the watermarks
+        // is guaranteed to observe this bump, so `dirty_ts < parent_ts`
+        // soundly proves the table has no committed change in the delta
+        // window.
+        {
+            let guard = crossbeam::epoch::pin();
+            for entry in &self.write_set {
+                if entry.new.is_some() || entry.delete_key.is_some() {
+                    if let Ok(table) = self.inner.store.table_in(entry.table, &guard) {
+                        table.note_write(end_ts);
+                    }
+                }
+            }
+        }
         self.handle.set_state(TxnState::Committed);
         EngineStats::bump(&self.stats().commits);
         self.stats().contention.record(&self.touched, false);

@@ -14,7 +14,7 @@ use mmdb_common::stats::EngineStats;
 
 use mmdb_storage::log::RedoLogger;
 use mmdb_storage::store::MvStore;
-use mmdb_storage::txn_table::TxnHandle;
+use mmdb_storage::txn_table::{TxnHandle, TxnState};
 
 use crate::config::{CcPolicy, MvConfig};
 use crate::deadlock;
@@ -228,8 +228,10 @@ impl MvEngine {
     /// and whose [`CheckpointPolicy`](mmdb_common::durability::CheckpointPolicy)
     /// (from `config.checkpoint`) actually drives checkpoints: a background
     /// tick consults [`CheckpointStore::checkpoint_due`] and runs
-    /// [`MvEngine::checkpoint`] — snapshot image, install, log truncation —
-    /// automatically once the configured log growth accrues. Under
+    /// [`MvEngine::checkpoint_auto`] — delta images while the chain has
+    /// room under `policy.max_chain`, a full base image (compaction)
+    /// otherwise — automatically once the configured log growth accrues.
+    /// Under
     /// [`CheckpointPolicy::MANUAL`](mmdb_common::durability::CheckpointPolicy::MANUAL)
     /// no tick is spawned and `checkpoint()` remains an explicit call.
     ///
@@ -266,7 +268,7 @@ impl MvEngine {
                     // A failed automatic checkpoint (e.g. disk error) is not
                     // fatal to the engine: the log keeps growing and the
                     // next tick retries.
-                    let _ = engine.checkpoint(&store);
+                    let _ = engine.checkpoint_auto(&store, &policy);
                 }
             })
             .expect("spawn checkpointer");
@@ -469,13 +471,244 @@ impl MvEngine {
         Ok(installed)
     }
 
+    /// Take a *delta* checkpoint into `store`: an image holding only the
+    /// rows and deletions whose commit timestamps moved past the previous
+    /// chain element's snapshot, appended to the chain instead of rewriting
+    /// the full database. Requires an installed chain
+    /// ([`MvEngine::checkpoint`] first).
+    ///
+    /// Like the base walk this never blocks writers. Three mechanisms make
+    /// the *incremental* part sound; `P` is the parent snapshot and `R` the
+    /// delta's own snapshot timestamp:
+    ///
+    /// * **Dirty watermarks.** Every committing transaction raises each
+    ///   written table's watermark to its end timestamp *before* publishing
+    ///   `Committed`, so after quiescing (below) a table whose watermark is
+    ///   still below `P` provably saw no commit in `(P, R]` and contributes
+    ///   zero bytes.
+    /// * **Precommit quiescing.** After drawing `R` the walk waits for every
+    ///   registered transaction whose end timestamp is (or may still land)
+    ///   at or below `R` to finish postprocessing. Anything that draws its
+    ///   end timestamp afterwards necessarily lands above `R` (the clock is
+    ///   monotone) and belongs to the log tail, not this delta. Quiescing
+    ///   also means every version the walk meets has its final begin/end
+    ///   words published, so "did it change after `P`?" is a plain
+    ///   timestamp comparison.
+    /// * **Tombstones from two sources.** A row deleted in `(P, R]` has no
+    ///   visible version to write, so the walk harvests dead versions whose
+    ///   end timestamp falls in the window — kept reachable by registering
+    ///   a GC pin at `P` for the walk's duration — and unions them with the
+    ///   `Delete` ops scanned from the log prefix below the captured LSN
+    ///   (which covers versions already reclaimed before the pin existed:
+    ///   a commit appends its frame before its garbage is enqueued, so any
+    ///   such version's frame sits wholly below the LSN). Tombstones for
+    ///   keys the delta also writes are dropped.
+    pub fn checkpoint_delta(
+        &self,
+        store: &mmdb_storage::checkpoint::CheckpointStore,
+    ) -> Result<mmdb_storage::checkpoint::CheckpointRef> {
+        use mmdb_common::engine::EngineTxn as _;
+        use mmdb_common::ids::IndexId;
+        use mmdb_common::word::{BeginWord, EndWord};
+
+        let parent =
+            store
+                .last_checkpoint()
+                .ok_or(mmdb_common::error::MmdbError::CheckpointInvalid {
+                    reason: "no checkpoint installed to delta against",
+                })?;
+        let parent_ts = parent.read_ts;
+        let mvstore = &self.inner.store;
+
+        // GC pin at the parent snapshot: keeps versions that died after `P`
+        // linked until the walk has harvested their tombstones. Registered
+        // like any transaction (under the pending-begin guard) and removed
+        // on every exit path by the drop guard.
+        struct GcPin<'a> {
+            txns: &'a mmdb_storage::txn_table::TxnTable,
+            id: mmdb_common::ids::TxnId,
+        }
+        impl Drop for GcPin<'_> {
+            fn drop(&mut self) {
+                self.txns.remove(self.id);
+            }
+        }
+        let _pin = {
+            let txns = mvstore.txns();
+            let pending = txns.pending_begin();
+            let id = mvstore.clock().next_txn_id();
+            txns.register(TxnHandle::new(
+                id,
+                parent_ts,
+                ConcurrencyMode::Optimistic,
+                IsolationLevel::SnapshotIsolation,
+            ));
+            drop(pending);
+            GcPin { txns, id }
+        };
+
+        // Same ordering contract as the base walk: LSN first, snapshot
+        // timestamp second.
+        let ckpt_lsn = store.logger().appended_lsn();
+        let txn = self.begin_with(
+            ConcurrencyMode::Optimistic,
+            IsolationLevel::SnapshotIsolation,
+        );
+        let read_ts = txn.begin_ts();
+        let me = txn.me();
+        self.quiesce_precommits(read_ts);
+        let mut writer = store.begin_delta(ckpt_lsn, read_ts)?;
+
+        let mut written: std::collections::HashSet<(TableId, u64)> =
+            std::collections::HashSet::new();
+        let mut tombstones: Vec<(TableId, u64)> = Vec::new();
+        for idx in 0..mvstore.table_count() {
+            let table_id = TableId(idx as u32);
+            let guard = crossbeam::epoch::pin();
+            let table = mvstore.table_in(table_id, &guard)?;
+            // Strictly below `P` means no commit touched the table in the
+            // window (the watermark was raised before any such commit
+            // published, and quiescing ordered those raises before this
+            // read): the whole table contributes nothing.
+            if table.dirty_ts() < parent_ts {
+                continue;
+            }
+            for version in table.scan_versions(IndexId(0), &guard)? {
+                loop {
+                    let vis = crate::visibility::check_visibility(
+                        version,
+                        read_ts,
+                        me,
+                        mvstore.txns(),
+                        &guard,
+                    );
+                    if vis.dependency.is_some() {
+                        std::thread::yield_now();
+                        continue;
+                    }
+                    if vis.visible {
+                        // Committed at or below `P` ⇒ already in the parent
+                        // image. An unpublished begin word can only belong
+                        // to a post-`R` writer's in-flight version (which is
+                        // never visible at `R`), but stay conservative: a
+                        // duplicate row costs bytes, not correctness.
+                        let include = match version.begin_word() {
+                            BeginWord::Timestamp(begin) => begin > parent_ts,
+                            _ => true,
+                        };
+                        if include {
+                            writer.write_row(table_id, version.data())?;
+                            written.insert((table_id, version.index_key(0)));
+                        }
+                    } else if let EndWord::Timestamp(end) = version.end_word() {
+                        // A version that died inside the window and was not
+                        // superseded by a visible successor marks a delete;
+                        // supersessions are deduplicated against `written`
+                        // below.
+                        if end > parent_ts && end <= read_ts {
+                            tombstones.push((table_id, version.index_key(0)));
+                        }
+                    }
+                    break;
+                }
+            }
+        }
+        txn.commit()?;
+
+        // Second tombstone source: `Delete` ops in the log prefix below the
+        // captured LSN whose commits postdate `P` (their dead versions may
+        // have been reclaimed before the GC pin registered). Flush first so
+        // the prefix is readable from the file.
+        store.logger().flush()?;
+        let limit = ckpt_lsn.0.saturating_sub(store.logger().base_lsn().0);
+        if limit > 0 {
+            let prefix = mmdb_storage::log::read_log_prefix(store.log_path(), limit)?;
+            for record in prefix.records {
+                if record.end_ts <= parent_ts {
+                    continue;
+                }
+                for op in record.ops {
+                    if let mmdb_storage::log::LogOp::Delete { table, key } = op {
+                        tombstones.push((table, key));
+                    }
+                }
+            }
+        }
+        let mut emitted: std::collections::HashSet<(TableId, u64)> =
+            std::collections::HashSet::new();
+        for (table, key) in tombstones {
+            if !written.contains(&(table, key)) && emitted.insert((table, key)) {
+                writer.write_delete(table, key)?;
+            }
+        }
+
+        let installed = store.install_delta(writer.finish()?)?;
+        store.truncate_log()?;
+        Ok(installed)
+    }
+
+    /// Take whichever checkpoint `policy` calls for next: a delta while the
+    /// chain is still below `policy.max_chain` files, a full base image
+    /// otherwise (the first checkpoint, deltas disabled, or a compaction
+    /// once the chain is full). This is what the automatic tick spawned by
+    /// [`MvEngine::with_checkpoint_store`] runs.
+    pub fn checkpoint_auto(
+        &self,
+        store: &mmdb_storage::checkpoint::CheckpointStore,
+        policy: &mmdb_common::durability::CheckpointPolicy,
+    ) -> Result<mmdb_storage::checkpoint::CheckpointRef> {
+        if store.delta_due(policy) {
+            self.checkpoint_delta(store)
+        } else {
+            self.checkpoint(store)
+        }
+    }
+
+    /// Wait until every registered transaction that holds — or may still
+    /// claim — an end timestamp at or below `read_ts` has finished
+    /// postprocessing (reached `Terminated`).
+    ///
+    /// `read_ts` must already be drawn: a transaction observed without an
+    /// end timestamp can only draw one *after* this point, and the monotone
+    /// clock puts that draw above `read_ts`. The shard sweep misses only
+    /// transactions registering concurrently, whose end timestamps are
+    /// likewise above `read_ts`. Waits are short (a precommit's fate
+    /// resolves within its validation + log append) and resolve among the
+    /// waited-on transactions themselves, never on this thread.
+    fn quiesce_precommits(&self, read_ts: mmdb_common::ids::Timestamp) {
+        use mmdb_storage::txn_table::EndTs;
+        for handle in self.inner.store.txns().snapshot() {
+            loop {
+                match handle.end_ts_state() {
+                    // Any future end timestamp postdates `read_ts`.
+                    EndTs::None => break,
+                    EndTs::At(end) if end > read_ts => break,
+                    // Pending, or committed/aborting inside the window:
+                    // wait for postprocessing to publish its words.
+                    _ => {
+                        if handle.state() == TxnState::Terminated {
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+    }
+
     /// Recover this (freshly created, tables re-created) engine from a
     /// [`RecoveryPlan`](mmdb_storage::checkpoint::RecoveryPlan): bulk-load
-    /// the checkpoint image (if any), then replay the log tail above the
-    /// checkpoint LSN, skipping records already inside the image
-    /// (`end_ts <= read_ts`). Replay runs with redo logging suppressed so
-    /// an engine attached to the very log being replayed does not
-    /// re-append every tail record.
+    /// the checkpoint chain (base image plus deltas, if any), then replay
+    /// the log tail above the last chain element's LSN, skipping records
+    /// already inside the chain (`end_ts <= read_ts`).
+    ///
+    /// The load is partitioned: tables are sharded across a worker pool
+    /// (`MMDB_RECOVERY_WORKERS`, defaulting to the machine's parallelism
+    /// capped at 8) and every op — chain rows, chain tombstones, tail
+    /// writes and deletes — is collapsed into one `populate` per table.
+    /// The result is identical for any worker count. `populate` bypasses
+    /// the redo logger, so replaying a log the engine is attached to never
+    /// re-appends the tail.
     ///
     /// The report's `valid_bytes` is the *physical* clean prefix of the
     /// live log segment — exactly what
@@ -484,33 +717,31 @@ impl MvEngine {
         &self,
         plan: &mmdb_storage::checkpoint::RecoveryPlan,
     ) -> Result<mmdb_storage::log::RecoveryReport> {
-        let mut image_ts = mmdb_common::ids::Timestamp(0);
-        if let Some(ckpt) = &plan.checkpoint {
-            let contents = mmdb_storage::checkpoint::read_checkpoint(&ckpt.path)?;
-            image_ts = contents.read_ts;
-            let mut by_table: std::collections::BTreeMap<TableId, Vec<Row>> =
-                std::collections::BTreeMap::new();
-            for (table, row) in contents.rows {
-                by_table.entry(table).or_default().push(row);
-            }
-            for (table, rows) in by_table {
-                self.populate(table, rows)?;
-            }
-        }
-        let outcome =
-            mmdb_storage::log::read_log_file_from(&plan.log_path, plan.log_tail_offset())?;
-        let records: Vec<_> = outcome
-            .records
-            .into_iter()
-            .filter(|r| r.end_ts > image_ts)
-            .collect();
-        self.inner.store.set_log_suppressed(true);
-        let replayed = self.replay_log(records);
-        self.inner.store.set_log_suppressed(false);
+        self.recover_from_checkpoint_with(plan, mmdb_storage::recovery::default_workers())
+    }
+
+    /// [`MvEngine::recover_from_checkpoint`] with an explicit worker count
+    /// (tests pin determinism by comparing worker counts; 1 degenerates to
+    /// the serial load).
+    pub fn recover_from_checkpoint_with(
+        &self,
+        plan: &mmdb_storage::checkpoint::RecoveryPlan,
+        workers: usize,
+    ) -> Result<mmdb_storage::log::RecoveryReport> {
+        use mmdb_common::ids::IndexId;
+
+        let mvstore = &self.inner.store;
+        let key_of = |table: TableId, row: &Row| mvstore.table(table)?.key_of(IndexId(0), row);
+        let apply = |table: TableId, rows: Vec<Row>| self.populate(table, rows).map(|_| ());
+        let image = mmdb_storage::recovery::recover_partitioned(plan, workers, &key_of, &apply)?;
+        // The recovered timestamps came from the previous process's clock;
+        // everything this engine draws from now on (snapshots, commit
+        // timestamps, delta-checkpoint windows) must postdate them.
+        mvstore.clock().advance_past(image.max_end_ts);
         Ok(mmdb_storage::log::RecoveryReport {
-            records_applied: replayed?,
-            valid_bytes: outcome.valid_bytes,
-            torn_bytes: outcome.torn_bytes,
+            records_applied: image.tail_records,
+            valid_bytes: image.valid_bytes,
+            torn_bytes: image.torn_bytes,
         })
     }
 
@@ -549,6 +780,15 @@ impl Engine for MvEngine {
 
     fn begin(&self, isolation: IsolationLevel) -> MvTransaction {
         self.begin_hinted(false, &[], isolation)
+    }
+
+    fn begin_hinted(
+        &self,
+        read_only: bool,
+        tables: &[TableId],
+        isolation: IsolationLevel,
+    ) -> MvTransaction {
+        MvEngine::begin_hinted(self, read_only, tables, isolation)
     }
 
     fn stats(&self) -> &EngineStats {

@@ -213,42 +213,129 @@ impl SvEngine {
     /// concurrent writers, surfacing as a retryable
     /// [`MmdbError::LockTimeout`]). This is the paper's single-version
     /// trade-off showing up in checkpointing, deliberately preserved as the
-    /// 1V contrast. The ordering contract is the same as MV's: the
-    /// checkpoint LSN is captured before the locks are acquired and the
-    /// snapshot timestamp is drawn after, so every frame below the LSN —
-    /// and every commit at `end_ts` below the timestamp — is inside the
-    /// image.
+    /// 1V contrast. The ordering contract is *stronger* than MV's: the
+    /// checkpoint LSN and the snapshot timestamp are both captured while
+    /// every primary bucket is locked — writers are fully drained (a
+    /// committer holds its exclusive locks across frame append), so the
+    /// frames below the LSN are exactly the commits below the timestamp.
     pub fn checkpoint(
         &self,
         store: &mmdb_storage::checkpoint::CheckpointStore,
     ) -> Result<mmdb_storage::checkpoint::CheckpointRef> {
-        let ckpt_lsn = store.logger().appended_lsn();
         // The walk needs a lock owner of its own.
         let me = TxnId(self.inner.next_txn.fetch_add(1, Ordering::Relaxed));
         let mut held: Vec<(TableId, usize)> = Vec::new();
-        let result = self.checkpoint_walk(store, ckpt_lsn, me, &mut held);
-        for &(table_id, bucket) in &held {
-            if let Ok(table) = self.table(table_id) {
-                if let Ok(locks) = table.lock_table(IndexId(0)) {
-                    locks.lock_for(bucket).release(me);
-                }
-            }
-        }
+        let result = self.checkpoint_walk(store, me, &mut held);
+        self.release_held(me, &held);
         let installed = store.install_checkpoint(result?)?;
         store.truncate_log()?;
         Ok(installed)
     }
 
-    /// Lock-acquire + walk phase of [`SvEngine::checkpoint`]; every lock
-    /// taken is pushed onto `held` so the caller releases them on every
-    /// path (success, lock timeout, I/O error).
-    fn checkpoint_walk(
+    /// Take a *delta* checkpoint into `store`: an image holding only what
+    /// changed since the previous chain element, appended to the chain
+    /// instead of rewriting every table. Requires an installed chain
+    /// ([`SvEngine::checkpoint`] first).
+    ///
+    /// Where the base image must hold its locks for the whole table walk,
+    /// the delta only needs them for an instant: with every primary bucket
+    /// locked it captures the log high-water mark and a timestamp, then
+    /// releases — the log prefix below that LSN is immutable, and the delta
+    /// is computed *from the log* by collapsing the window's `Write` /
+    /// `Delete` ops per primary key (latest end timestamp wins). Writers
+    /// are blocked only for the capture, turning the 1V checkpoint stall
+    /// from O(database) into O(lock count).
+    pub fn checkpoint_delta(
         &self,
         store: &mmdb_storage::checkpoint::CheckpointStore,
-        ckpt_lsn: mmdb_storage::log::Lsn,
-        me: TxnId,
-        held: &mut Vec<(TableId, usize)>,
-    ) -> Result<mmdb_storage::checkpoint::FinishedCheckpoint> {
+    ) -> Result<mmdb_storage::checkpoint::CheckpointRef> {
+        use std::collections::btree_map::Entry;
+
+        let parent = store
+            .last_checkpoint()
+            .ok_or(MmdbError::CheckpointInvalid {
+                reason: "no checkpoint installed to delta against",
+            })?;
+        let parent_ts = parent.read_ts;
+        let me = TxnId(self.inner.next_txn.fetch_add(1, Ordering::Relaxed));
+        let mut held: Vec<(TableId, usize)> = Vec::new();
+        let barrier = self.acquire_all_primary(me, &mut held).map(|()| {
+            (
+                store.logger().appended_lsn(),
+                self.inner.clock.next_timestamp(),
+            )
+        });
+        self.release_held(me, &held);
+        let (ckpt_lsn, read_ts) = barrier?;
+
+        // Writers have resumed; everything below `ckpt_lsn` is immutable.
+        // Flush so the prefix is readable from the file, then collapse the
+        // window `(parent_ts, read_ts]` newest-wins per primary key. Frames
+        // below the *parent's* LSN were captured under the same barrier, so
+        // `end_ts > parent_ts` alone selects the window exactly.
+        store.logger().flush()?;
+        let limit = ckpt_lsn.0.saturating_sub(store.logger().base_lsn().0);
+        let mut latest: std::collections::BTreeMap<(TableId, Key), (Timestamp, Option<Row>)> =
+            std::collections::BTreeMap::new();
+        if limit > 0 {
+            let prefix = mmdb_storage::log::read_log_prefix(store.log_path(), limit)?;
+            for record in prefix.records {
+                if record.end_ts <= parent_ts {
+                    continue;
+                }
+                for op in record.ops {
+                    let (table, key, value) = match op {
+                        LogOp::Write { table, row } => {
+                            let key = self.table(table)?.key_of(IndexId(0), &row)?;
+                            (table, key, Some(row))
+                        }
+                        LogOp::Delete { table, key } => (table, key, None),
+                    };
+                    match latest.entry((table, key)) {
+                        Entry::Vacant(slot) => {
+                            slot.insert((record.end_ts, value));
+                        }
+                        Entry::Occupied(mut slot) => {
+                            if record.end_ts >= slot.get().0 {
+                                slot.insert((record.end_ts, value));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let mut writer = store.begin_delta(ckpt_lsn, read_ts)?;
+        for ((table, key), (_, value)) in latest {
+            match value {
+                Some(row) => writer.write_row(table, &row)?,
+                None => writer.write_delete(table, key)?,
+            }
+        }
+        let installed = store.install_delta(writer.finish()?)?;
+        store.truncate_log()?;
+        Ok(installed)
+    }
+
+    /// Take whichever checkpoint `policy` calls for next: a delta while the
+    /// chain is below `policy.max_chain` files, a full base image otherwise
+    /// (the first checkpoint, deltas disabled, or a compaction once the
+    /// chain is full).
+    pub fn checkpoint_auto(
+        &self,
+        store: &mmdb_storage::checkpoint::CheckpointStore,
+        policy: &CheckpointPolicy,
+    ) -> Result<mmdb_storage::checkpoint::CheckpointRef> {
+        if store.delta_due(policy) {
+            self.checkpoint_delta(store)
+        } else {
+            self.checkpoint(store)
+        }
+    }
+
+    /// Shared-lock every primary bucket of every table in canonical order;
+    /// every lock taken is pushed onto `held` so the caller releases them
+    /// on every path (success, lock timeout, I/O error).
+    fn acquire_all_primary(&self, me: TxnId, held: &mut Vec<(TableId, usize)>) -> Result<()> {
         for idx in 0..self.inner.tables.len() {
             let table_id = TableId(idx as u32);
             let table = self.table(table_id)?;
@@ -267,9 +354,32 @@ impl SvEngine {
                 }
             }
         }
+        Ok(())
+    }
+
+    /// Release the locks `acquire_all_primary` recorded.
+    fn release_held(&self, me: TxnId, held: &[(TableId, usize)]) {
+        for &(table_id, bucket) in held {
+            if let Ok(table) = self.table(table_id) {
+                if let Ok(locks) = table.lock_table(IndexId(0)) {
+                    locks.lock_for(bucket).release(me);
+                }
+            }
+        }
+    }
+
+    /// Lock-acquire + walk phase of [`SvEngine::checkpoint`].
+    fn checkpoint_walk(
+        &self,
+        store: &mmdb_storage::checkpoint::CheckpointStore,
+        me: TxnId,
+        held: &mut Vec<(TableId, usize)>,
+    ) -> Result<mmdb_storage::checkpoint::FinishedCheckpoint> {
+        self.acquire_all_primary(me, held)?;
         // All writers are drained (strict 2PL: anyone mid-commit still held
-        // exclusive primary locks); the timestamp drawn now bounds every
-        // commit in the image.
+        // exclusive primary locks across its log append); the LSN and
+        // timestamp captured now bound each other exactly.
+        let ckpt_lsn = store.logger().appended_lsn();
         let read_ts = self.inner.clock.next_timestamp();
         let mut writer = store.begin_checkpoint(ckpt_lsn, read_ts)?;
         for idx in 0..self.inner.tables.len() {
@@ -292,11 +402,15 @@ impl SvEngine {
 
     /// Recover this (freshly created, tables re-created) engine from a
     /// [`RecoveryPlan`](mmdb_storage::checkpoint::RecoveryPlan): bulk-load
-    /// the checkpoint image (if any), then replay the log tail above the
-    /// checkpoint LSN, skipping records already inside the image
-    /// (`end_ts <= read_ts`). Replay runs with redo logging suppressed so
-    /// an engine attached to the very log being replayed does not
-    /// re-append every tail record.
+    /// the checkpoint chain (base image plus deltas, if any), then replay
+    /// the log tail above the last chain element's LSN, skipping records
+    /// already inside the chain (`end_ts <= read_ts`).
+    ///
+    /// The load is partitioned across a worker pool sharded by table
+    /// (`MMDB_RECOVERY_WORKERS`, defaulting to the machine's parallelism
+    /// capped at 8); chain rows, chain tombstones and tail ops collapse
+    /// into one `populate` per table, identical for any worker count and
+    /// bypassing the redo logger entirely.
     ///
     /// The report's `valid_bytes` is the *physical* clean prefix of the
     /// live log segment — what `CheckpointStore::open` takes to resume
@@ -305,33 +419,27 @@ impl SvEngine {
         &self,
         plan: &mmdb_storage::checkpoint::RecoveryPlan,
     ) -> Result<mmdb_storage::log::RecoveryReport> {
-        let mut image_ts = Timestamp(0);
-        if let Some(ckpt) = &plan.checkpoint {
-            let contents = mmdb_storage::checkpoint::read_checkpoint(&ckpt.path)?;
-            image_ts = contents.read_ts;
-            let mut by_table: std::collections::BTreeMap<TableId, Vec<Row>> =
-                std::collections::BTreeMap::new();
-            for (table, row) in contents.rows {
-                by_table.entry(table).or_default().push(row);
-            }
-            for (table, rows) in by_table {
-                self.populate(table, rows)?;
-            }
-        }
-        let outcome =
-            mmdb_storage::log::read_log_file_from(&plan.log_path, plan.log_tail_offset())?;
-        let records: Vec<_> = outcome
-            .records
-            .into_iter()
-            .filter(|r| r.end_ts > image_ts)
-            .collect();
-        self.set_log_suppressed(true);
-        let replayed = self.replay_log(records);
-        self.set_log_suppressed(false);
+        self.recover_from_checkpoint_with(plan, mmdb_storage::recovery::default_workers())
+    }
+
+    /// [`SvEngine::recover_from_checkpoint`] with an explicit worker count
+    /// (1 degenerates to the serial load).
+    pub fn recover_from_checkpoint_with(
+        &self,
+        plan: &mmdb_storage::checkpoint::RecoveryPlan,
+        workers: usize,
+    ) -> Result<mmdb_storage::log::RecoveryReport> {
+        let key_of = |table: TableId, row: &Row| self.table(table)?.key_of(IndexId(0), row);
+        let apply = |table: TableId, rows: Vec<Row>| self.populate(table, rows).map(|_| ());
+        let image = mmdb_storage::recovery::recover_partitioned(plan, workers, &key_of, &apply)?;
+        // Recovered timestamps came from the previous process's clock; the
+        // delta-checkpoint window comparisons need every future draw to
+        // postdate them.
+        self.inner.clock.advance_past(image.max_end_ts);
         Ok(mmdb_storage::log::RecoveryReport {
-            records_applied: replayed?,
-            valid_bytes: outcome.valid_bytes,
-            torn_bytes: outcome.torn_bytes,
+            records_applied: image.tail_records,
+            valid_bytes: image.valid_bytes,
+            torn_bytes: image.torn_bytes,
         })
     }
 

@@ -15,8 +15,10 @@
 //! ```text
 //! <dir>/MANIFEST       append-only, framed; the recovery root
 //! <dir>/wal-<g>.log    the redo log segment of generation <g>
-//! <dir>/ckpt-<g>.db    the checkpoint installed at generation <g>
-//! <dir>/ckpt.tmp       a checkpoint being written (never read by recovery)
+//! <dir>/ckpt-<g>.db    the base checkpoint image installed at generation <g>
+//! <dir>/delta-<g>.db   a delta image installed at generation <g>
+//! <dir>/ckpt.tmp       a base image being written (never read by recovery)
+//! <dir>/delta.tmp      a delta image being written (never read by recovery)
 //! ```
 //!
 //! Every file uses the redo log's wire discipline (length prefix with XOR
@@ -27,12 +29,27 @@
 //!
 //! The `MANIFEST` is an append-only sequence of framed entries; the **last
 //! complete entry wins**. Each entry names the live log segment (and the
-//! logical LSN of its byte 0) plus, optionally, the installed checkpoint
-//! (its file, LSN, and snapshot read timestamp). An entry is only ever
-//! appended *after* every file it references is durable, so the last
-//! complete entry always describes files that exist with valid contents; a
-//! crash mid-append leaves a torn tail that recovery skips, falling back to
-//! the previous entry.
+//! logical LSN of its byte 0) plus the installed *checkpoint chain*: a base
+//! image followed by zero or more ordered deltas, each with its LSN and
+//! snapshot read timestamp. An entry is only ever appended *after* every
+//! file it references is durable, so the last complete entry always
+//! describes files that exist with valid contents; a crash mid-append
+//! leaves a torn tail that recovery skips, falling back to the previous
+//! entry.
+//!
+//! ## Delta checkpoints
+//!
+//! A *delta* image ([`CheckpointStore::begin_delta`] /
+//! [`CheckpointStore::install_delta`]) holds only the rows whose latest
+//! committed version moved past the previous chain element's snapshot
+//! (`parent_read_ts < begin_ts <= read_ts`) plus the primary keys deleted
+//! in that window — checkpointing pays for what changed, not what exists.
+//! Recovery applies the base, then each delta in chain order (**its deletes
+//! first, then its writes** — a delete+reinsert in one window therefore
+//! resolves to the reinserted row), then the log tail above the *last*
+//! chain element. Installing a new *base* resets the chain and deletes the
+//! superseded files (compaction); the chain length is bounded by
+//! `CheckpointPolicy::max_chain`.
 //!
 //! ## The checkpoint protocol
 //!
@@ -90,8 +107,11 @@ use crate::log::{decode_body, encode_frame_into, frame_body_into, FrameStream, L
 const CKPT_MAGIC: &[u8; 8] = b"MMDBCKP1";
 /// Magic bytes of the trailer frame that marks a checkpoint complete.
 const CKPT_TRAILER: &[u8; 8] = b"MMDBCKPE";
-/// Checkpoint format version (inside the header frame).
+/// Base-image format version (28-byte header, no deletes).
 const CKPT_VERSION: u32 = 1;
+/// Delta-image format version (36-byte header carrying the parent snapshot
+/// timestamp; delete ops allowed).
+const CKPT_DELTA_VERSION: u32 = 2;
 /// The manifest file name inside a checkpoint directory.
 const MANIFEST: &str = "MANIFEST";
 /// Row frames are flushed once the pending batch reaches this many bytes.
@@ -120,19 +140,30 @@ struct ManifestEntry {
     log_name: String,
     /// Logical LSN of the log segment's byte 0.
     log_base: Lsn,
-    /// The installed checkpoint, if any.
-    checkpoint: Option<CheckpointMeta>,
+    /// The installed checkpoint chain: base image first, then every delta
+    /// in apply order. Empty before the first checkpoint.
+    chain: Vec<CheckpointMeta>,
 }
 
-/// The checkpoint portion of a manifest entry.
+/// One checkpoint chain element in a manifest entry.
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct CheckpointMeta {
     /// File name (within the directory) of the checkpoint.
     name: String,
-    /// Log LSN the checkpoint covers: every record below it is in the image.
+    /// Log LSN the checkpoint covers: every record below it is in the image
+    /// (together with the chain elements before it).
     lsn: Lsn,
     /// Snapshot read timestamp of the image.
     read_ts: Timestamp,
+}
+
+impl CheckpointMeta {
+    fn encode_into(&self, body: &mut Vec<u8>) {
+        body.extend_from_slice(&self.lsn.0.to_le_bytes());
+        body.extend_from_slice(&self.read_ts.raw().to_le_bytes());
+        body.extend_from_slice(&(self.name.len() as u32).to_le_bytes());
+        body.extend_from_slice(self.name.as_bytes());
+    }
 }
 
 impl ManifestEntry {
@@ -141,14 +172,21 @@ impl ManifestEntry {
         body.extend_from_slice(&self.log_base.0.to_le_bytes());
         body.extend_from_slice(&(self.log_name.len() as u32).to_le_bytes());
         body.extend_from_slice(self.log_name.as_bytes());
-        match &self.checkpoint {
-            None => body.push(0),
-            Some(meta) => {
+        // Checkpoint tag: 0 = none, 1 = single image (the pre-delta wire
+        // format, still emitted for one-element chains so old manifests and
+        // new ones stay byte-compatible in the common case), 2 = chain.
+        match self.chain.as_slice() {
+            [] => body.push(0),
+            [meta] => {
                 body.push(1);
-                body.extend_from_slice(&meta.lsn.0.to_le_bytes());
-                body.extend_from_slice(&meta.read_ts.raw().to_le_bytes());
-                body.extend_from_slice(&(meta.name.len() as u32).to_le_bytes());
-                body.extend_from_slice(meta.name.as_bytes());
+                meta.encode_into(body);
+            }
+            chain => {
+                body.push(2);
+                body.extend_from_slice(&(chain.len() as u32).to_le_bytes());
+                for meta in chain {
+                    meta.encode_into(body);
+                }
             }
         }
     }
@@ -157,40 +195,74 @@ impl ManifestEntry {
     /// structural mismatch here means the manifest was written by something
     /// else (or a format bug), not a crash — [`MmdbError::CheckpointInvalid`].
     fn decode(body: &[u8]) -> Result<ManifestEntry> {
-        let mut pos = 0usize;
-        let mut take = |n: usize| -> Result<&[u8]> {
-            let slice = body
-                .get(pos..pos + n)
-                .ok_or(invalid("manifest entry body too short"))?;
-            pos += n;
-            Ok(slice)
-        };
-        let generation = u64::from_le_bytes(take(8)?.try_into().expect("8 bytes"));
-        let log_base = Lsn(u64::from_le_bytes(take(8)?.try_into().expect("8 bytes")));
-        let name_len = u32::from_le_bytes(take(4)?.try_into().expect("4 bytes")) as usize;
-        let log_name = String::from_utf8(take(name_len)?.to_vec())
-            .map_err(|_| invalid("manifest log name is not UTF-8"))?;
-        let checkpoint = match take(1)?[0] {
-            0 => None,
-            1 => {
-                let lsn = Lsn(u64::from_le_bytes(take(8)?.try_into().expect("8 bytes")));
-                let read_ts = Timestamp(u64::from_le_bytes(take(8)?.try_into().expect("8 bytes")));
-                let name_len = u32::from_le_bytes(take(4)?.try_into().expect("4 bytes")) as usize;
-                let name = String::from_utf8(take(name_len)?.to_vec())
-                    .map_err(|_| invalid("manifest checkpoint name is not UTF-8"))?;
-                Some(CheckpointMeta { name, lsn, read_ts })
+        let mut cursor = Cursor { body, pos: 0 };
+        let generation = cursor.take_u64()?;
+        let log_base = Lsn(cursor.take_u64()?);
+        let log_name = cursor.take_name("manifest log name is not UTF-8")?;
+        let chain = match cursor.take(1)?[0] {
+            0 => Vec::new(),
+            1 => vec![cursor.take_meta()?],
+            2 => {
+                let count = cursor.take_u32()? as usize;
+                if count < 2 {
+                    return Err(invalid("manifest chain tag with fewer than two elements"));
+                }
+                (0..count)
+                    .map(|_| cursor.take_meta())
+                    .collect::<Result<Vec<_>>>()?
             }
             _ => return Err(invalid("manifest entry has an unknown checkpoint tag")),
         };
-        if pos != body.len() {
+        if cursor.pos != body.len() {
             return Err(invalid("manifest entry has trailing bytes"));
         }
         Ok(ManifestEntry {
             generation,
             log_name,
             log_base,
-            checkpoint,
+            chain,
         })
+    }
+}
+
+/// Byte cursor over a manifest entry body.
+struct Cursor<'a> {
+    body: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        let slice = self
+            .body
+            .get(self.pos..self.pos + n)
+            .ok_or(invalid("manifest entry body too short"))?;
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn take_u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn take_u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn take_name(&mut self, err: &'static str) -> Result<String> {
+        let len = self.take_u32()? as usize;
+        String::from_utf8(self.take(len)?.to_vec()).map_err(|_| invalid(err))
+    }
+
+    fn take_meta(&mut self) -> Result<CheckpointMeta> {
+        let lsn = Lsn(self.take_u64()?);
+        let read_ts = Timestamp(self.take_u64()?);
+        let name = self.take_name("manifest checkpoint name is not UTF-8")?;
+        Ok(CheckpointMeta { name, lsn, read_ts })
     }
 }
 
@@ -223,17 +295,18 @@ pub struct CheckpointRef {
 /// What recovery should do, decoded from the manifest's last complete entry.
 ///
 /// Produced by [`CheckpointStore::plan`] without touching the log or the
-/// checkpoint file, so callers can sequence their own recovery: read the
-/// checkpoint (if any), stream the log tail from
-/// [`RecoveryPlan::log_tail_offset`], then reopen the store with
-/// [`CheckpointStore::open`] passing the physical prefix the tail read
-/// validated.
+/// checkpoint files, so callers can sequence their own recovery: apply the
+/// [`chain`](RecoveryPlan::chain) (base image first, then every delta in
+/// order), stream the log tail from [`RecoveryPlan::log_tail_offset`], then
+/// reopen the store with [`CheckpointStore::open`] passing the physical
+/// prefix the tail read validated.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RecoveryPlan {
     /// Generation of the winning manifest entry.
     pub generation: u64,
-    /// The installed checkpoint to load first, if any.
-    pub checkpoint: Option<CheckpointRef>,
+    /// The installed checkpoint chain to load first: the base image, then
+    /// every delta in apply order. Empty before the first checkpoint.
+    pub chain: Vec<CheckpointRef>,
     /// Path of the live log segment.
     pub log_path: PathBuf,
     /// Logical LSN of the log segment's byte 0.
@@ -244,10 +317,17 @@ pub struct RecoveryPlan {
 }
 
 impl RecoveryPlan {
+    /// The last chain element — the checkpoint whose LSN and snapshot
+    /// timestamp bound the log tail. `None` before the first checkpoint.
+    pub fn last_checkpoint(&self) -> Option<&CheckpointRef> {
+        self.chain.last()
+    }
+
     /// Physical file offset in the log segment where tail replay starts:
-    /// the checkpoint LSN translated into the segment, or 0 without one.
+    /// the last chain element's LSN translated into the segment, or 0
+    /// without a checkpoint.
     pub fn log_tail_offset(&self) -> u64 {
-        match &self.checkpoint {
+        match self.chain.last() {
             Some(ckpt) => ckpt.lsn.0.saturating_sub(self.log_base.0),
             None => 0,
         }
@@ -258,45 +338,72 @@ impl RecoveryPlan {
 // Checkpoint writer / reader
 // ---------------------------------------------------------------------------
 
-/// Streams a checkpoint image into `ckpt.tmp`.
+/// Streams a checkpoint image into its temporary file (`ckpt.tmp` for a
+/// base, `delta.tmp` for a delta).
 ///
 /// Rows are buffered and emitted as ordinary redo-log `Write` frames (at
-/// `end_ts = read_ts`, batched to `ROW_BATCH_TARGET` bytes per frame), framed
-/// between a header and a trailer. Obtain one from
-/// [`CheckpointStore::begin_checkpoint`], feed every visible row through
-/// [`write_row`](Self::write_row), then [`finish`](Self::finish).
+/// `end_ts = read_ts`, batched to `ROW_BATCH_TARGET` bytes per frame),
+/// framed between a header and a trailer. Delta writers additionally accept
+/// [`write_delete`](Self::write_delete) tombstones, emitted as `Delete`
+/// frames ahead of the trailer. Obtain one from
+/// [`CheckpointStore::begin_checkpoint`] or
+/// [`CheckpointStore::begin_delta`], feed every op through, then
+/// [`finish`](Self::finish).
 pub struct CheckpointWriter {
     file: File,
     tmp_path: PathBuf,
     lsn: Lsn,
     read_ts: Timestamp,
-    rows: u64,
+    /// Snapshot timestamp of the previous chain element (`Some` for a delta
+    /// writer; `None` for a base image, which rejects deletes).
+    parent_read_ts: Option<Timestamp>,
+    ops: u64,
+    deletes: Vec<(TableId, u64)>,
     batch: Vec<(TableId, Row)>,
     batch_bytes: usize,
     frame: Vec<u8>,
 }
 
 /// A finished (written + fsynced) checkpoint still under its temporary
-/// name. Pass to [`CheckpointStore::install_checkpoint`] to make it the
+/// name. Pass to [`CheckpointStore::install_checkpoint`] (base) or
+/// [`CheckpointStore::install_delta`] (delta) to make it part of the
 /// recovery source.
 pub struct FinishedCheckpoint {
     tmp_path: PathBuf,
     lsn: Lsn,
     read_ts: Timestamp,
-    /// Number of rows in the image.
+    parent_read_ts: Option<Timestamp>,
+    /// Number of row (write) ops in the image.
     pub rows: u64,
+    /// Number of delete ops in the image (always 0 for a base).
+    pub deletes: u64,
     /// Size of the checkpoint file in bytes.
     pub bytes: u64,
 }
 
 impl CheckpointWriter {
-    fn create(tmp_path: PathBuf, lsn: Lsn, read_ts: Timestamp) -> Result<CheckpointWriter> {
+    fn create(
+        tmp_path: PathBuf,
+        lsn: Lsn,
+        read_ts: Timestamp,
+        parent_read_ts: Option<Timestamp>,
+    ) -> Result<CheckpointWriter> {
         let mut file = File::create(&tmp_path).map_err(io_err)?;
-        let mut header = Vec::with_capacity(28);
+        let mut header = Vec::with_capacity(36);
         header.extend_from_slice(CKPT_MAGIC);
-        header.extend_from_slice(&CKPT_VERSION.to_le_bytes());
-        header.extend_from_slice(&lsn.0.to_le_bytes());
-        header.extend_from_slice(&read_ts.raw().to_le_bytes());
+        match parent_read_ts {
+            None => {
+                header.extend_from_slice(&CKPT_VERSION.to_le_bytes());
+                header.extend_from_slice(&lsn.0.to_le_bytes());
+                header.extend_from_slice(&read_ts.raw().to_le_bytes());
+            }
+            Some(parent) => {
+                header.extend_from_slice(&CKPT_DELTA_VERSION.to_le_bytes());
+                header.extend_from_slice(&lsn.0.to_le_bytes());
+                header.extend_from_slice(&read_ts.raw().to_le_bytes());
+                header.extend_from_slice(&parent.raw().to_le_bytes());
+            }
+        }
         let mut frame = Vec::with_capacity(header.len() + 16);
         frame_body_into(&mut frame, &header);
         file.write_all(&frame).map_err(io_err)?;
@@ -305,7 +412,9 @@ impl CheckpointWriter {
             tmp_path,
             lsn,
             read_ts,
-            rows: 0,
+            parent_read_ts,
+            ops: 0,
+            deletes: Vec::new(),
             batch: Vec::new(),
             batch_bytes: 0,
             frame,
@@ -322,15 +431,34 @@ impl CheckpointWriter {
         self.lsn
     }
 
+    /// The previous chain element's snapshot timestamp (`Some` iff this is
+    /// a delta writer).
+    pub fn parent_read_ts(&self) -> Option<Timestamp> {
+        self.parent_read_ts
+    }
+
     /// Add one visible row to the image. Rows may arrive in any order; the
     /// image carries no ordering guarantees beyond "one op per live row".
     pub fn write_row(&mut self, table: TableId, row: &[u8]) -> Result<()> {
         self.batch.push((table, Row::copy_from_slice(row)));
         self.batch_bytes += row.len() + 9;
-        self.rows += 1;
+        self.ops += 1;
         if self.batch_bytes >= ROW_BATCH_TARGET {
             self.flush_batch()?;
         }
+        Ok(())
+    }
+
+    /// Add one deleted primary key to the image (delta writers only — a
+    /// base image enumerates live rows and has nothing to delete).
+    /// Recovery applies a delta's deletes before its writes, so a spurious
+    /// tombstone for a key the same delta rewrites is harmless.
+    pub fn write_delete(&mut self, table: TableId, key: u64) -> Result<()> {
+        if self.parent_read_ts.is_none() {
+            return Err(invalid("a base checkpoint image cannot carry deletes"));
+        }
+        self.deletes.push((table, key));
+        self.ops += 1;
         Ok(())
     }
 
@@ -352,14 +480,26 @@ impl CheckpointWriter {
         Ok(())
     }
 
-    /// Flush the last batch, append the trailer frame (which is what marks
-    /// the image complete — a checkpoint without it is treated as torn and
-    /// never loaded) and fsync.
+    /// Flush the last row batch and the buffered deletes, append the
+    /// trailer frame (which is what marks the image complete — a checkpoint
+    /// without it is treated as torn and never loaded) and fsync.
     pub fn finish(mut self) -> Result<FinishedCheckpoint> {
         self.flush_batch()?;
+        let row_ops = self.ops - self.deletes.len() as u64;
+        for chunk in self.deletes.chunks(ROW_BATCH_TARGET / 16) {
+            self.frame.clear();
+            encode_frame_into(
+                &mut self.frame,
+                self.read_ts,
+                chunk
+                    .iter()
+                    .map(|&(table, key)| LogOpRef::Delete { table, key }),
+            );
+            self.file.write_all(&self.frame).map_err(io_err)?;
+        }
         let mut trailer = Vec::with_capacity(16);
         trailer.extend_from_slice(CKPT_TRAILER);
-        trailer.extend_from_slice(&self.rows.to_le_bytes());
+        trailer.extend_from_slice(&self.ops.to_le_bytes());
         self.frame.clear();
         frame_body_into(&mut self.frame, &trailer);
         self.file.write_all(&self.frame).map_err(io_err)?;
@@ -369,7 +509,9 @@ impl CheckpointWriter {
             tmp_path: self.tmp_path,
             lsn: self.lsn,
             read_ts: self.read_ts,
-            rows: self.rows,
+            parent_read_ts: self.parent_read_ts,
+            rows: row_ops,
+            deletes: self.deletes.len() as u64,
             bytes,
         })
     }
@@ -382,19 +524,26 @@ pub struct CheckpointContents {
     pub lsn: Lsn,
     /// Snapshot read timestamp of the image.
     pub read_ts: Timestamp,
+    /// For a delta image, the previous chain element's snapshot timestamp;
+    /// `None` for a base image.
+    pub parent_read_ts: Option<Timestamp>,
     /// Every row in the image, in file order.
     pub rows: Vec<(TableId, Row)>,
+    /// Primary keys deleted since the parent snapshot (delta images only;
+    /// apply these **before** the rows).
+    pub deletes: Vec<(TableId, u64)>,
 }
 
-/// Read and validate a checkpoint file.
+/// Read and validate a checkpoint file (base or delta).
 ///
 /// Validation is strict because a checkpoint is only ever read after the
 /// manifest durably named it, at which point it must be perfect: header
-/// magic/version, every row frame's checksum, the trailer's row count, and
+/// magic/version, every row frame's checksum, the trailer's op count, and
 /// the absence of trailing bytes are all checked. Any shortfall —
 /// including a torn tail, which in a log would be tolerated — is
 /// [`MmdbError::CheckpointInvalid`]: loading half a checkpoint would
-/// silently lose rows.
+/// silently lose rows. Base images (version 1) additionally reject delete
+/// ops — a base enumerates live rows and has nothing to delete.
 pub fn read_checkpoint(path: impl AsRef<Path>) -> Result<CheckpointContents> {
     let file = File::open(path.as_ref()).map_err(io_err)?;
     let mut frames = FrameStream::new(file, CKPT_CHUNK, 0);
@@ -402,13 +551,20 @@ pub fn read_checkpoint(path: impl AsRef<Path>) -> Result<CheckpointContents> {
         Some((_, body)) => body,
         None => return Err(invalid("checkpoint file has no header frame")),
     };
-    if header.len() != 28 || &header[..8] != CKPT_MAGIC {
+    if header.len() < 12 || &header[..8] != CKPT_MAGIC {
         return Err(invalid("checkpoint header magic mismatch"));
     }
     let version = u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"));
-    if version != CKPT_VERSION {
-        return Err(invalid("unsupported checkpoint version"));
-    }
+    let parent_read_ts = match version {
+        CKPT_VERSION if header.len() == 28 => None,
+        CKPT_DELTA_VERSION if header.len() == 36 => Some(Timestamp(u64::from_le_bytes(
+            header[28..36].try_into().expect("8 bytes"),
+        ))),
+        CKPT_VERSION | CKPT_DELTA_VERSION => {
+            return Err(invalid("checkpoint header length mismatch"))
+        }
+        _ => return Err(invalid("unsupported checkpoint version")),
+    };
     let lsn = Lsn(u64::from_le_bytes(
         header[12..20].try_into().expect("8 bytes"),
     ));
@@ -416,13 +572,14 @@ pub fn read_checkpoint(path: impl AsRef<Path>) -> Result<CheckpointContents> {
         header[20..28].try_into().expect("8 bytes"),
     ));
     let mut rows: Vec<(TableId, Row)> = Vec::new();
-    let mut trailer_rows: Option<u64> = None;
+    let mut deletes: Vec<(TableId, u64)> = Vec::new();
+    let mut trailer_ops: Option<u64> = None;
     while let Some((offset, body)) = frames.next_body()? {
-        if trailer_rows.is_some() {
+        if trailer_ops.is_some() {
             return Err(invalid("checkpoint has frames after its trailer"));
         }
         if body.len() == 16 && &body[..8] == CKPT_TRAILER {
-            trailer_rows = Some(u64::from_le_bytes(body[8..16].try_into().expect("8 bytes")));
+            trailer_ops = Some(u64::from_le_bytes(body[8..16].try_into().expect("8 bytes")));
             continue;
         }
         let record = decode_body(body, offset)?;
@@ -432,20 +589,29 @@ pub fn read_checkpoint(path: impl AsRef<Path>) -> Result<CheckpointContents> {
         for op in record.ops {
             match op {
                 crate::log::LogOp::Write { table, row } => rows.push((table, row)),
-                crate::log::LogOp::Delete { .. } => {
-                    return Err(invalid("checkpoint contains a delete op"));
+                crate::log::LogOp::Delete { table, key } => {
+                    if parent_read_ts.is_none() {
+                        return Err(invalid("checkpoint contains a delete op"));
+                    }
+                    deletes.push((table, key));
                 }
             }
         }
     }
-    let trailer_rows = trailer_rows.ok_or(invalid("checkpoint is missing its trailer frame"))?;
+    let trailer_ops = trailer_ops.ok_or(invalid("checkpoint is missing its trailer frame"))?;
     if frames.torn_bytes() > 0 {
         return Err(invalid("checkpoint has bytes after its trailer frame"));
     }
-    if trailer_rows != rows.len() as u64 {
-        return Err(invalid("checkpoint trailer row count mismatch"));
+    if trailer_ops != (rows.len() + deletes.len()) as u64 {
+        return Err(invalid("checkpoint trailer op count mismatch"));
     }
-    Ok(CheckpointContents { lsn, read_ts, rows })
+    Ok(CheckpointContents {
+        lsn,
+        read_ts,
+        parent_read_ts,
+        rows,
+        deletes,
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -471,6 +637,10 @@ pub struct CheckpointStore {
     dir: PathBuf,
     logger: Arc<GroupCommitLog>,
     manifest: Mutex<ManifestState>,
+    /// Cumulative checkpoint-image bytes durably installed through this
+    /// store handle (base + delta). The delta A/B benchmark and the CI
+    /// bytes-written regression guard read this.
+    bytes_written: std::sync::atomic::AtomicU64,
 }
 
 impl CheckpointStore {
@@ -492,7 +662,7 @@ impl CheckpointStore {
             generation: 0,
             log_name: "wal-0.log".to_string(),
             log_base: Lsn::ZERO,
-            checkpoint: None,
+            chain: Vec::new(),
         };
         let log_path = dir.join(&entry.log_name);
         let logger = match tick {
@@ -511,6 +681,7 @@ impl CheckpointStore {
                 file,
                 current: entry,
             }),
+            bytes_written: std::sync::atomic::AtomicU64::new(0),
         })
     }
 
@@ -532,11 +703,15 @@ impl CheckpointStore {
         let entry = last.ok_or(invalid("manifest has no complete entry"))?;
         Ok(RecoveryPlan {
             generation: entry.generation,
-            checkpoint: entry.checkpoint.as_ref().map(|meta| CheckpointRef {
-                path: dir.join(&meta.name),
-                lsn: meta.lsn,
-                read_ts: meta.read_ts,
-            }),
+            chain: entry
+                .chain
+                .iter()
+                .map(|meta| CheckpointRef {
+                    path: dir.join(&meta.name),
+                    lsn: meta.lsn,
+                    read_ts: meta.read_ts,
+                })
+                .collect(),
             log_path: dir.join(&entry.log_name),
             log_base: entry.log_base,
             manifest_valid_bytes: frames.consumed(),
@@ -595,15 +770,35 @@ impl CheckpointStore {
         file.sync_all().map_err(io_err)?;
         file.seek(SeekFrom::End(0)).map_err(io_err)?;
         let _ = fs::remove_file(dir.join("ckpt.tmp"));
+        let _ = fs::remove_file(dir.join("delta.tmp"));
         let log_name = file_name(&plan.log_path)?;
-        let checkpoint = match &plan.checkpoint {
-            None => None,
-            Some(ckpt) => Some(CheckpointMeta {
-                name: file_name(&ckpt.path)?,
-                lsn: ckpt.lsn,
-                read_ts: ckpt.read_ts,
-            }),
-        };
+        let chain = plan
+            .chain
+            .iter()
+            .map(|ckpt| {
+                Ok(CheckpointMeta {
+                    name: file_name(&ckpt.path)?,
+                    lsn: ckpt.lsn,
+                    read_ts: ckpt.read_ts,
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        // Garbage-collect image files the winning manifest entry does not
+        // reference — e.g. the stale deltas of a compaction whose new base
+        // was published but whose file deletes never ran. The manifest, not
+        // the directory listing, is authoritative; unreferenced files are
+        // dead weight.
+        if let Ok(entries) = fs::read_dir(dir) {
+            for dirent in entries.flatten() {
+                let name = dirent.file_name();
+                let Some(name) = name.to_str() else { continue };
+                let is_image = (name.starts_with("ckpt-") || name.starts_with("delta-"))
+                    && name.ends_with(".db");
+                if is_image && !chain.iter().any(|meta| meta.name == name) {
+                    let _ = fs::remove_file(dirent.path());
+                }
+            }
+        }
         Ok(CheckpointStore {
             dir: dir.to_path_buf(),
             logger: Arc::new(logger),
@@ -613,9 +808,10 @@ impl CheckpointStore {
                     generation: plan.generation,
                     log_name,
                     log_base: plan.log_base,
-                    checkpoint,
+                    chain,
                 },
             }),
+            bytes_written: std::sync::atomic::AtomicU64::new(0),
         })
     }
 
@@ -629,19 +825,56 @@ impl CheckpointStore {
         &self.logger
     }
 
+    /// Path of the live log segment `logger()` is appending to. The delta
+    /// checkpointers scan its immutable prefix (bytes below a captured
+    /// checkpoint LSN) after flushing the logger.
+    pub fn log_path(&self) -> PathBuf {
+        let m = self.manifest.lock();
+        self.dir.join(&m.current.log_name)
+    }
+
     /// Generation of the manifest entry currently in force.
     pub fn generation(&self) -> u64 {
         self.manifest.lock().current.generation
     }
 
-    /// The installed checkpoint currently in force, if any.
+    /// The last element of the installed checkpoint chain (the one whose
+    /// LSN bounds the log tail), if any.
     pub fn last_checkpoint(&self) -> Option<CheckpointRef> {
         let m = self.manifest.lock();
-        m.current.checkpoint.as_ref().map(|meta| CheckpointRef {
+        m.current.chain.last().map(|meta| CheckpointRef {
             path: self.dir.join(&meta.name),
             lsn: meta.lsn,
             read_ts: meta.read_ts,
         })
+    }
+
+    /// The installed checkpoint chain currently in force (base first, then
+    /// every delta in apply order).
+    pub fn chain(&self) -> Vec<CheckpointRef> {
+        let m = self.manifest.lock();
+        m.current
+            .chain
+            .iter()
+            .map(|meta| CheckpointRef {
+                path: self.dir.join(&meta.name),
+                lsn: meta.lsn,
+                read_ts: meta.read_ts,
+            })
+            .collect()
+    }
+
+    /// Number of files in the installed checkpoint chain (0 before the
+    /// first checkpoint, 1 after a base, 1+n with n deltas).
+    pub fn chain_len(&self) -> usize {
+        self.manifest.lock().current.chain.len()
+    }
+
+    /// Cumulative checkpoint-image bytes durably installed through this
+    /// store handle (base + delta images; resets with the handle).
+    pub fn checkpoint_bytes_written(&self) -> u64 {
+        self.bytes_written
+            .load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Redo-log bytes appended since the last installed checkpoint's LSN
@@ -649,11 +882,7 @@ impl CheckpointStore {
     pub fn log_bytes_since_checkpoint(&self) -> u64 {
         let since = {
             let m = self.manifest.lock();
-            m.current
-                .checkpoint
-                .as_ref()
-                .map(|meta| meta.lsn.0)
-                .unwrap_or(0)
+            m.current.chain.last().map(|meta| meta.lsn.0).unwrap_or(0)
         };
         self.logger.appended_lsn().0.saturating_sub(since)
     }
@@ -663,20 +892,55 @@ impl CheckpointStore {
         policy.due(self.log_bytes_since_checkpoint())
     }
 
-    /// Open `ckpt.tmp` for a new image covering log LSN `lsn` at snapshot
-    /// timestamp `read_ts`. At most one checkpoint writer should exist at a
-    /// time (they share the tmp name); the engines serialize checkpoints.
-    pub fn begin_checkpoint(&self, lsn: Lsn, read_ts: Timestamp) -> Result<CheckpointWriter> {
-        CheckpointWriter::create(self.dir.join("ckpt.tmp"), lsn, read_ts)
+    /// Per `policy`, should the next checkpoint be a delta (extend the
+    /// chain) rather than a fresh base? True only when deltas are enabled
+    /// (`max_chain > 1`), a base exists to delta against, and the chain has
+    /// room; otherwise the next checkpoint compacts to a base.
+    pub fn delta_due(&self, policy: &CheckpointPolicy) -> bool {
+        if policy.max_chain <= 1 {
+            return false;
+        }
+        let len = self.chain_len();
+        len >= 1 && len < policy.max_chain as usize
     }
 
-    /// Make a finished image the recovery source: rename it to
+    /// Open `ckpt.tmp` for a new base image covering log LSN `lsn` at
+    /// snapshot timestamp `read_ts`. At most one checkpoint writer should
+    /// exist at a time (they share the tmp names); the engines serialize
+    /// checkpoints.
+    pub fn begin_checkpoint(&self, lsn: Lsn, read_ts: Timestamp) -> Result<CheckpointWriter> {
+        CheckpointWriter::create(self.dir.join("ckpt.tmp"), lsn, read_ts, None)
+    }
+
+    /// Open `delta.tmp` for a delta image covering log LSN `lsn` at
+    /// snapshot timestamp `read_ts`, relative to the current chain's last
+    /// element (whose `read_ts` becomes the delta's parent snapshot).
+    /// Requires an installed chain to delta against.
+    pub fn begin_delta(&self, lsn: Lsn, read_ts: Timestamp) -> Result<CheckpointWriter> {
+        let parent = self
+            .last_checkpoint()
+            .ok_or(invalid("no checkpoint installed to delta against"))?;
+        if read_ts < parent.read_ts {
+            return Err(invalid("delta snapshot predates its parent checkpoint"));
+        }
+        CheckpointWriter::create(
+            self.dir.join("delta.tmp"),
+            lsn,
+            read_ts,
+            Some(parent.read_ts),
+        )
+    }
+
+    /// Make a finished base image the recovery source: rename it to
     /// `ckpt-<g>.db`, fsync the directory, append (and fsync) a manifest
-    /// entry naming it. The log is untouched — call
+    /// entry whose chain is just this image. The log is untouched — call
     /// [`truncate_log`](Self::truncate_log) next to reclaim its prefix. The
-    /// previously installed checkpoint file (if any) is deleted once the new
-    /// entry is durable.
+    /// previously installed chain's files (base and any deltas — this is
+    /// how a chain compacts) are deleted once the new entry is durable.
     pub fn install_checkpoint(&self, finished: FinishedCheckpoint) -> Result<CheckpointRef> {
+        if finished.parent_read_ts.is_some() {
+            return Err(invalid("a delta image must be installed via install_delta"));
+        }
         let mut m = self.manifest.lock();
         let generation = m.current.generation + 1;
         let name = format!("ckpt-{generation}.db");
@@ -687,17 +951,19 @@ impl CheckpointStore {
             generation,
             log_name: m.current.log_name.clone(),
             log_base: m.current.log_base,
-            checkpoint: Some(CheckpointMeta {
+            chain: vec![CheckpointMeta {
                 name,
                 lsn: finished.lsn,
                 read_ts: finished.read_ts,
-            }),
+            }],
         };
         append_manifest_entry(&mut m.file, &entry)?;
-        let old = m.current.checkpoint.take();
+        let old_chain = std::mem::take(&mut m.current.chain);
         m.current = entry;
         drop(m);
-        if let Some(old) = old {
+        self.bytes_written
+            .fetch_add(finished.bytes, std::sync::atomic::Ordering::Relaxed);
+        for old in old_chain {
             let _ = fs::remove_file(self.dir.join(old.name));
         }
         Ok(CheckpointRef {
@@ -707,19 +973,71 @@ impl CheckpointStore {
         })
     }
 
-    /// Truncate the redo log below the installed checkpoint's LSN by
-    /// rotating onto `wal-<g>.log` (see [`GroupCommitLog::rotate_to`]). The
-    /// manifest entry naming the new segment is the rotation's publish
-    /// step — appended under the log's flush lock, before any new batch can
-    /// harden into the new segment — so a crash at any byte recovers from
-    /// the old segment. The old segment is deleted only after the entry is
-    /// durable.
+    /// Append a finished delta image to the installed chain: rename it to
+    /// `delta-<g>.db`, fsync the directory, append (and fsync) a manifest
+    /// entry with the extended chain. No file is deleted — the chain's
+    /// earlier elements remain the recovery prefix. The delta's parent
+    /// snapshot must match the current chain tip (checkpoints are
+    /// serialized by the engines, so a mismatch is a protocol bug).
+    pub fn install_delta(&self, finished: FinishedCheckpoint) -> Result<CheckpointRef> {
+        let Some(parent_read_ts) = finished.parent_read_ts else {
+            return Err(invalid(
+                "a base image must be installed via install_checkpoint",
+            ));
+        };
+        let mut m = self.manifest.lock();
+        let tip = m
+            .current
+            .chain
+            .last()
+            .ok_or(invalid("no checkpoint chain to append a delta to"))?;
+        if tip.read_ts != parent_read_ts {
+            return Err(invalid(
+                "delta parent snapshot does not match the chain tip",
+            ));
+        }
+        let generation = m.current.generation + 1;
+        let name = format!("delta-{generation}.db");
+        let path = self.dir.join(&name);
+        fs::rename(&finished.tmp_path, &path).map_err(io_err)?;
+        sync_parent_dir(&path);
+        let mut chain = m.current.chain.clone();
+        chain.push(CheckpointMeta {
+            name,
+            lsn: finished.lsn,
+            read_ts: finished.read_ts,
+        });
+        let entry = ManifestEntry {
+            generation,
+            log_name: m.current.log_name.clone(),
+            log_base: m.current.log_base,
+            chain,
+        };
+        append_manifest_entry(&mut m.file, &entry)?;
+        m.current = entry;
+        drop(m);
+        self.bytes_written
+            .fetch_add(finished.bytes, std::sync::atomic::Ordering::Relaxed);
+        Ok(CheckpointRef {
+            path,
+            lsn: finished.lsn,
+            read_ts: finished.read_ts,
+        })
+    }
+
+    /// Truncate the redo log below the chain tip's LSN by rotating onto
+    /// `wal-<g>.log` (see [`GroupCommitLog::rotate_to`]). The manifest
+    /// entry naming the new segment is the rotation's publish step —
+    /// appended under the log's flush lock, before any new batch can harden
+    /// into the new segment — so a crash at any byte recovers from the old
+    /// segment. The old segment is deleted only after the entry is durable.
     pub fn truncate_log(&self) -> Result<()> {
         let mut m = self.manifest.lock();
-        let ckpt = m
+        let tip = m
             .current
-            .checkpoint
-            .clone()
+            .chain
+            .last()
+            .cloned()
             .ok_or(invalid("no checkpoint installed to truncate below"))?;
         let generation = m.current.generation + 1;
         let log_name = format!("wal-{generation}.log");
@@ -728,11 +1046,11 @@ impl CheckpointStore {
         let entry = ManifestEntry {
             generation,
             log_name,
-            log_base: ckpt.lsn,
-            checkpoint: Some(ckpt.clone()),
+            log_base: tip.lsn,
+            chain: m.current.chain.clone(),
         };
         let state = &mut *m;
-        self.logger.rotate_to(&new_path, ckpt.lsn, || {
+        self.logger.rotate_to(&new_path, tip.lsn, || {
             append_manifest_entry(&mut state.file, &entry)
         })?;
         m.current = entry;
@@ -750,7 +1068,7 @@ impl std::fmt::Debug for CheckpointStore {
             .field("generation", &m.current.generation)
             .field("log", &m.current.log_name)
             .field("log_base", &m.current.log_base)
-            .field("checkpoint", &m.current.checkpoint)
+            .field("chain", &m.current.chain)
             .finish()
     }
 }
@@ -795,7 +1113,8 @@ mod tests {
         drop(store);
         let plan = CheckpointStore::plan(&dir).unwrap();
         assert_eq!(plan.generation, 0);
-        assert_eq!(plan.checkpoint, None);
+        assert_eq!(plan.chain, Vec::new());
+        assert_eq!(plan.last_checkpoint(), None);
         assert_eq!(plan.log_base, Lsn::ZERO);
         assert_eq!(plan.log_tail_offset(), 0);
         assert_eq!(plan.log_path, dir.join("wal-0.log"));
@@ -907,7 +1226,11 @@ mod tests {
         assert_eq!(plan.generation, 2);
         assert_eq!(plan.log_path, dir.join("wal-2.log"));
         assert_eq!(plan.log_base, ckpt_lsn);
-        let ckpt = plan.checkpoint.clone().expect("checkpoint installed");
+        assert_eq!(plan.chain.len(), 1);
+        let ckpt = plan
+            .last_checkpoint()
+            .cloned()
+            .expect("checkpoint installed");
         assert_eq!(ckpt.lsn, ckpt_lsn);
         assert_eq!(ckpt.read_ts, read_ts);
         let contents = read_checkpoint(&ckpt.path).unwrap();
@@ -1000,7 +1323,178 @@ mod tests {
         drop(store);
         let plan = CheckpointStore::plan(&dir).unwrap();
         assert_eq!(plan.generation, 3);
-        assert_eq!(plan.checkpoint.as_ref().unwrap().read_ts, Timestamp(2));
+        assert_eq!(plan.last_checkpoint().unwrap().read_ts, Timestamp(2));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn delta_round_trips_writes_and_deletes() {
+        let dir = scratch_dir("delta-round-trip");
+        let store = CheckpointStore::create(&dir).unwrap();
+        let logger = Arc::clone(store.logger());
+        logger.append(record(1, 1));
+        logger.flush().unwrap();
+        let writer = store
+            .begin_checkpoint(logger.appended_lsn(), Timestamp(1))
+            .unwrap();
+        store.install_checkpoint(writer.finish().unwrap()).unwrap();
+
+        logger.append(record(2, 1));
+        logger.flush().unwrap();
+        let mut writer = store
+            .begin_delta(logger.appended_lsn(), Timestamp(5))
+            .unwrap();
+        assert_eq!(writer.parent_read_ts(), Some(Timestamp(1)));
+        writer.write_row(TableId(0), &[7u8; 24]).unwrap();
+        writer.write_delete(TableId(1), 42).unwrap();
+        writer.write_delete(TableId(0), 9).unwrap();
+        let finished = writer.finish().unwrap();
+        assert_eq!(finished.rows, 1);
+        assert_eq!(finished.deletes, 2);
+        let contents = read_checkpoint(dir.join("delta.tmp")).unwrap();
+        assert_eq!(contents.read_ts, Timestamp(5));
+        assert_eq!(contents.parent_read_ts, Some(Timestamp(1)));
+        assert_eq!(
+            contents.rows,
+            vec![(TableId(0), Row::copy_from_slice(&[7u8; 24]))]
+        );
+        assert_eq!(contents.deletes, vec![(TableId(1), 42), (TableId(0), 9)]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn base_writer_rejects_deletes() {
+        let dir = scratch_dir("base-no-deletes");
+        let store = CheckpointStore::create(&dir).unwrap();
+        let mut writer = store.begin_checkpoint(Lsn(1), Timestamp(1)).unwrap();
+        let err = writer.write_delete(TableId(0), 1).expect_err("must reject");
+        assert!(matches!(err, MmdbError::CheckpointInvalid { .. }));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn delta_requires_an_installed_base() {
+        let dir = scratch_dir("delta-needs-base");
+        let store = CheckpointStore::create(&dir).unwrap();
+        let err = match store.begin_delta(Lsn(1), Timestamp(1)) {
+            Ok(_) => panic!("no base yet"),
+            Err(err) => err,
+        };
+        assert!(matches!(err, MmdbError::CheckpointInvalid { .. }));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn install_delta_extends_the_chain_and_compaction_resets_it() {
+        let dir = scratch_dir("delta-chain");
+        let store = CheckpointStore::create(&dir).unwrap();
+        let logger = Arc::clone(store.logger());
+        logger.append(record(1, 1));
+        logger.flush().unwrap();
+        let writer = store
+            .begin_checkpoint(logger.appended_lsn(), Timestamp(1))
+            .unwrap();
+        store.install_checkpoint(writer.finish().unwrap()).unwrap();
+        let base_bytes = store.checkpoint_bytes_written();
+        assert!(base_bytes > 0);
+
+        // Two deltas extend the chain; the manifest survives reopen.
+        for (ts, expect_len) in [(3u64, 2usize), (6, 3)] {
+            logger.append(record(ts, 1));
+            logger.flush().unwrap();
+            let mut writer = store
+                .begin_delta(logger.appended_lsn(), Timestamp(ts))
+                .unwrap();
+            writer.write_row(TableId(0), &[ts as u8; 16]).unwrap();
+            store.install_delta(writer.finish().unwrap()).unwrap();
+            assert_eq!(store.chain_len(), expect_len);
+        }
+        assert!(store.checkpoint_bytes_written() > base_bytes);
+        assert!(dir.join("ckpt-1.db").exists());
+        assert!(dir.join("delta-2.db").exists());
+        assert!(dir.join("delta-3.db").exists());
+        store.truncate_log().unwrap();
+
+        let plan = CheckpointStore::plan(&dir).unwrap();
+        assert_eq!(plan.chain.len(), 3);
+        assert_eq!(plan.chain[0].path, dir.join("ckpt-1.db"));
+        assert_eq!(plan.chain[1].path, dir.join("delta-2.db"));
+        assert_eq!(plan.chain[2].path, dir.join("delta-3.db"));
+        assert_eq!(plan.last_checkpoint().unwrap().read_ts, Timestamp(6));
+        assert_eq!(plan.log_base, plan.last_checkpoint().unwrap().lsn);
+
+        // Policy: with max_chain 3 the full chain means the next
+        // checkpoint compacts.
+        let policy = CheckpointPolicy::delta(1, 3);
+        assert!(!store.delta_due(&policy));
+        let policy = CheckpointPolicy::delta(1, 4);
+        assert!(store.delta_due(&policy));
+        assert!(!store.delta_due(&CheckpointPolicy::every_log_bytes(1)));
+
+        // Compaction: a fresh base resets the chain and removes the old
+        // chain's files.
+        logger.append(record(7, 1));
+        logger.flush().unwrap();
+        let writer = store
+            .begin_checkpoint(logger.appended_lsn(), Timestamp(7))
+            .unwrap();
+        store.install_checkpoint(writer.finish().unwrap()).unwrap();
+        assert_eq!(store.chain_len(), 1);
+        assert!(!dir.join("ckpt-1.db").exists());
+        assert!(!dir.join("delta-2.db").exists());
+        assert!(!dir.join("delta-3.db").exists());
+        let plan = CheckpointStore::plan(&dir).unwrap();
+        assert_eq!(plan.chain.len(), 1);
+        assert_eq!(plan.last_checkpoint().unwrap().read_ts, Timestamp(7));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn install_routes_enforce_image_kind() {
+        let dir = scratch_dir("install-kind");
+        let store = CheckpointStore::create(&dir).unwrap();
+        let writer = store.begin_checkpoint(Lsn(1), Timestamp(1)).unwrap();
+        let finished = writer.finish().unwrap();
+        let err = store
+            .install_delta(finished)
+            .expect_err("base via install_delta");
+        assert!(matches!(err, MmdbError::CheckpointInvalid { .. }));
+        let writer = store.begin_checkpoint(Lsn(1), Timestamp(1)).unwrap();
+        store.install_checkpoint(writer.finish().unwrap()).unwrap();
+        let writer = store.begin_delta(Lsn(2), Timestamp(2)).unwrap();
+        let finished = writer.finish().unwrap();
+        let err = store
+            .install_checkpoint(finished)
+            .expect_err("delta via install_checkpoint");
+        assert!(matches!(err, MmdbError::CheckpointInvalid { .. }));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_sweeps_unreferenced_image_files() {
+        let dir = scratch_dir("open-sweep");
+        let store = CheckpointStore::create(&dir).unwrap();
+        let logger = Arc::clone(store.logger());
+        logger.append(record(1, 1));
+        logger.flush().unwrap();
+        let writer = store
+            .begin_checkpoint(logger.appended_lsn(), Timestamp(1))
+            .unwrap();
+        store.install_checkpoint(writer.finish().unwrap()).unwrap();
+        drop(store);
+        // A crash mid-compaction can leave stale images and tmp files.
+        fs::write(dir.join("delta-9.db"), b"stale").unwrap();
+        fs::write(dir.join("ckpt.tmp"), b"stale").unwrap();
+        fs::write(dir.join("delta.tmp"), b"stale").unwrap();
+        let plan = CheckpointStore::plan(&dir).unwrap();
+        assert_eq!(plan.chain.len(), 1);
+        let tail = read_log_file_from(&plan.log_path, plan.log_tail_offset()).unwrap();
+        let store = CheckpointStore::open(&dir, &plan, tail.valid_bytes).unwrap();
+        assert_eq!(store.chain_len(), 1);
+        assert!(!dir.join("delta-9.db").exists());
+        assert!(!dir.join("ckpt.tmp").exists());
+        assert!(!dir.join("delta.tmp").exists());
+        assert!(dir.join("ckpt-1.db").exists());
         let _ = fs::remove_dir_all(&dir);
     }
 

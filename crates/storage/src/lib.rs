@@ -27,6 +27,8 @@
 //!   ([`CheckpointStore`]): consistent snapshot images, the torn-tolerant
 //!   `MANIFEST`, and crash-atomic write → install → truncate, turning
 //!   recovery into load-checkpoint + replay-tail.
+//! * [`recovery`] — partitioned parallel recovery: one decode pass over the
+//!   checkpoint chain + log tail, table-sharded apply workers.
 //! * [`store`] — [`MvStore`], the bundle shared by all transactions.
 
 #![warn(missing_docs)]
@@ -37,6 +39,7 @@ pub mod checkpoint;
 pub mod gc;
 pub mod group_commit;
 pub mod log;
+pub mod recovery;
 pub mod store;
 pub mod table;
 pub mod txn_table;
@@ -49,6 +52,7 @@ pub use checkpoint::{
 pub use gc::{GcItem, GcQueue};
 pub use group_commit::GroupCommitLog;
 pub use log::{FileLogger, LogOp, LogRecord, Lsn, MemoryLogger, NullLogger, RedoLogger};
+pub use recovery::{recover_partitioned, RecoveredImage};
 pub use store::MvStore;
 pub use table::{Table, VersionPtr};
 pub use txn_table::{DepRegistration, TxnHandle, TxnState, TxnTable};

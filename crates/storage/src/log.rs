@@ -343,7 +343,7 @@ pub fn read_log_bytes(buf: &[u8]) -> Result<LogReadOutcome> {
 /// Chunk size of the streaming log reader: how many bytes each `read(2)`
 /// pulls from the file. Recovery memory is bounded by one chunk plus the
 /// largest single frame, not the log size.
-const READ_CHUNK: usize = 64 * 1024;
+pub(crate) const READ_CHUNK: usize = 64 * 1024;
 
 /// Decode every complete record from the log file at `path`.
 ///
@@ -371,6 +371,19 @@ pub fn read_log_file_from(path: impl AsRef<Path>, start: u64) -> Result<LogReadO
         file.seek(SeekFrom::Start(start)).map_err(io)?;
     }
     read_log_stream(file, READ_CHUNK, start)
+}
+
+/// Decode the complete records occupying the first `len` bytes of the log
+/// file at `path`, ignoring everything after.
+///
+/// The delta checkpointers use this to scan the immutable log prefix below a
+/// captured checkpoint LSN: `len` is `ckpt_lsn - segment base`, which both
+/// engines guarantee falls on a frame boundary (the LSN was read from the
+/// logger's append counter), so the truncated read never reports torn bytes.
+pub fn read_log_prefix(path: impl AsRef<Path>, len: u64) -> Result<LogReadOutcome> {
+    let io = |e: std::io::Error| MmdbError::LogIo(e.to_string());
+    let file = File::open(path).map_err(io)?;
+    read_log_stream(file.take(len), READ_CHUNK, 0)
 }
 
 /// Streaming raw-frame reader: pulls `chunk`-sized reads from an [`Read`]

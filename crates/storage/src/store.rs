@@ -154,6 +154,9 @@ impl MvStore {
             table.link_version(version, &guard);
             n += 1;
         }
+        if n > 0 {
+            table.note_write(ts);
+        }
         EngineStats::add(&self.stats.versions_created, n as u64);
         Ok(n)
     }

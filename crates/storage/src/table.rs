@@ -5,11 +5,13 @@
 //! table therefore consists only of its index structures; the versions
 //! themselves are heap allocations threaded through every index chain.
 
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+
 use crossbeam::epoch::{Guard, Owned, Shared};
 use parking_lot::Mutex;
 
 use mmdb_common::error::{MmdbError, Result};
-use mmdb_common::ids::{IndexId, Key, TableId};
+use mmdb_common::ids::{IndexId, Key, TableId, Timestamp};
 use mmdb_common::row::{KeyScratch, Row, TableSpec};
 
 use mmdb_index::chain::BucketIter;
@@ -210,6 +212,15 @@ pub struct Table {
     /// owned spares (unlinked, epoch-drained, payload dropped — nobody else
     /// can reach them).
     pool: Mutex<Vec<PooledVersion>>,
+    /// Monotone dirty watermark: the highest commit timestamp that created,
+    /// superseded or deleted a version in this table ([`Table::note_write`],
+    /// fired by the commit pipeline after the end timestamp is drawn and
+    /// before the transaction publishes `Committed`, and by bulk
+    /// population). A *delta* checkpoint at snapshot `R` with parent
+    /// snapshot `P` skips the whole table when `dirty_ts() < P` — see the
+    /// quiescing contract on `MvEngine::checkpoint_delta` for why that read
+    /// is race-free.
+    dirty_ts: AtomicU64,
 }
 
 /// An exclusively owned spare version allocation held by a table's recycle
@@ -254,6 +265,7 @@ impl Table {
             range_locks,
             gc_lock: Mutex::new(()),
             pool: Mutex::new(Vec::new()),
+            dirty_ts: AtomicU64::new(0),
         })
     }
 
@@ -261,6 +273,24 @@ impl Table {
     #[inline]
     pub fn id(&self) -> TableId {
         self.id
+    }
+
+    /// Raise the dirty watermark to `ts` (a committing transaction's end
+    /// timestamp, or a bulk-population timestamp). Monotone; `SeqCst` so the
+    /// checkpointer's quiesce-then-read protocol observes every bump made
+    /// before the writer published its final state.
+    #[inline]
+    pub fn note_write(&self, ts: Timestamp) {
+        if self.dirty_ts.load(AtomicOrdering::SeqCst) < ts.raw() {
+            self.dirty_ts.fetch_max(ts.raw(), AtomicOrdering::SeqCst);
+        }
+    }
+
+    /// The dirty watermark: the highest commit timestamp known to have
+    /// changed this table (0 if never written).
+    #[inline]
+    pub fn dirty_ts(&self) -> Timestamp {
+        Timestamp(self.dirty_ts.load(AtomicOrdering::SeqCst))
     }
 
     /// Table spec (indexes, key extractors).

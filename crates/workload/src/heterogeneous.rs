@@ -115,7 +115,7 @@ impl LongReaderMix {
         table: TableId,
         rng: &mut StdRng,
     ) -> TxnOutcome {
-        let mut txn = engine.begin(self.long_reader_isolation);
+        let mut txn = engine.begin_hinted(true, &[table], self.long_reader_isolation);
         let start = rng.gen_range(0..self.base.rows);
         let mut reads = 0u64;
         let result: mmdb_common::error::Result<()> = (|| {

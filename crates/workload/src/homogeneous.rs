@@ -139,7 +139,7 @@ impl Homogeneous {
         } else {
             TxnKind::Update
         };
-        let mut txn = engine.begin(isolation);
+        let mut txn = engine.begin_hinted(writes == 0, &[table], isolation);
         let mut done_reads = 0u64;
         let mut done_writes = 0u64;
 

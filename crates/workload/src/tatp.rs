@@ -366,7 +366,7 @@ impl Tatp {
         rng: &mut StdRng,
     ) -> Result<(u64, u64)> {
         let s_id = self.random_s_id(rng);
-        let mut txn = engine.begin(self.isolation);
+        let mut txn = engine.begin_hinted(true, &[tables.subscriber], self.isolation);
         // The whole row is "returned to the caller" by inspecting it in
         // place; nothing is materialized (visitor read path).
         let found = run_or_abort(&mut txn, |txn| {
@@ -388,7 +388,11 @@ impl Tatp {
         let s_id = self.random_s_id(rng);
         let sf_type = rng.gen_range(1..=4u8);
         let start_time = [0u8, 8, 16][rng.gen_range(0..3usize)];
-        let mut txn = engine.begin(self.isolation);
+        let mut txn = engine.begin_hinted(
+            true,
+            &[tables.special_facility, tables.call_forwarding],
+            self.isolation,
+        );
         let mut reads = 0u64;
         let mut active = false;
         run_or_abort(&mut txn, |txn| {
@@ -433,7 +437,7 @@ impl Tatp {
     ) -> Result<(u64, u64)> {
         let s_id = self.random_s_id(rng);
         let ai_type = rng.gen_range(1..=4u8);
-        let mut txn = engine.begin(self.isolation);
+        let mut txn = engine.begin_hinted(true, &[tables.access_info], self.isolation);
         let found = run_or_abort(&mut txn, |txn| {
             txn.read_with(
                 tables.access_info,
@@ -459,7 +463,11 @@ impl Tatp {
         let sf_type = rng.gen_range(1..=4u8);
         let bit: u8 = rng.gen_range(0..=1);
         let data_a: u8 = rng.gen();
-        let mut txn = engine.begin(self.isolation);
+        let mut txn = engine.begin_hinted(
+            false,
+            &[tables.subscriber, tables.special_facility],
+            self.isolation,
+        );
         let mut writes = 0u64;
         let mut reads = 0u64;
 
@@ -505,7 +513,7 @@ impl Tatp {
         let new_location: u32 = rng.gen();
         let sub_nbr = Self::sub_nbr_of(s_id);
         let key = mmdb_common::hash::hash_bytes(&sub_nbr);
-        let mut txn = engine.begin(self.isolation);
+        let mut txn = engine.begin_hinted(false, &[tables.subscriber], self.isolation);
         let sub = run_or_abort(&mut txn, |txn| txn.read(tables.subscriber, IndexId(1), key))?;
         let mut writes = 0u64;
         if let Some(row) = sub {
@@ -535,7 +543,15 @@ impl Tatp {
         let sf_type = rng.gen_range(1..=4u8);
         let start_time = [0u8, 8, 16][rng.gen_range(0..3usize)];
         let end_time = start_time + rng.gen_range(1..=8u8);
-        let mut txn = engine.begin(self.isolation);
+        let mut txn = engine.begin_hinted(
+            false,
+            &[
+                tables.subscriber,
+                tables.special_facility,
+                tables.call_forwarding,
+            ],
+            self.isolation,
+        );
         let mut reads = 0u64;
         let mut writes = 0u64;
 
@@ -583,7 +599,11 @@ impl Tatp {
         let s_id = self.random_s_id(rng);
         let sf_type = rng.gen_range(1..=4u8);
         let start_time = [0u8, 8, 16][rng.gen_range(0..3usize)];
-        let mut txn = engine.begin(self.isolation);
+        let mut txn = engine.begin_hinted(
+            false,
+            &[tables.subscriber, tables.call_forwarding],
+            self.isolation,
+        );
         let sub_nbr = Self::sub_nbr_of(s_id);
         let _sub = run_or_abort(&mut txn, |txn| {
             txn.read(

@@ -969,7 +969,10 @@ fn checkpoint_concurrent_with_writers_then_tail_crash_recovers() {
             drop(store);
 
             let plan = CheckpointStore::plan(&dir).expect("plan after checkpoint");
-            let ckpt = plan.checkpoint.clone().expect("checkpoint installed");
+            let ckpt = plan
+                .last_checkpoint()
+                .cloned()
+                .expect("checkpoint installed");
             let contents = read_checkpoint(&ckpt.path).expect("installed image reads back");
             assert_eq!(contents.read_ts, ckpt.read_ts);
             assert_eq!(
@@ -1248,7 +1251,7 @@ fn crash_recover_continue_recover_round_trip_through_the_store() {
         drop(store);
 
         let plan = CheckpointStore::plan(&dir).expect("plan life 2");
-        assert!(plan.checkpoint.is_none(), "no checkpoint taken yet");
+        assert!(plan.chain.is_empty(), "no checkpoint taken yet");
         let full = std::fs::read(&plan.log_path).expect("read wal");
         let torn_at = full.len() - 3; // inside the final frame's hash
         std::fs::OpenOptions::new()
@@ -1308,7 +1311,7 @@ fn crash_recover_continue_recover_round_trip_through_the_store() {
             kind.label()
         );
         let plan3 = CheckpointStore::plan(&dir).expect("plan life 3");
-        let ckpt = plan3.checkpoint.as_ref().expect("checkpoint installed");
+        let ckpt = plan3.last_checkpoint().expect("checkpoint installed");
         assert_eq!(plan3.log_base, ckpt.lsn);
         let target = EngineBox::new(kind, Arc::new(mmdb_storage::log::NullLogger::new()));
         let t3 = target.create_tables();
@@ -1385,7 +1388,7 @@ fn checkpoint_policy_drives_automatic_log_truncation() {
         "automatic truncation must reclaim the original segment, got {names:?}"
     );
     let plan = CheckpointStore::plan(&dir).expect("plan after automatic checkpoint");
-    let ckpt = plan.checkpoint.as_ref().expect("an image was installed");
+    let ckpt = plan.last_checkpoint().expect("an image was installed");
     assert_eq!(plan.log_base, ckpt.lsn, "the live segment was rebased");
 
     let target = MvEngine::with_logger(
@@ -1478,5 +1481,855 @@ fn mid_run_crash_snapshots_recover_at_least_the_durable_watermark() {
         drop(engine);
         drop(logger);
         let _ = std::fs::remove_file(&path);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Delta-chain crash tests
+//
+// Delta checkpoints append to the installed chain instead of rewriting the
+// database: `ckpt-<g>.db` + `delta-<g>.db`... + log tail. The incremental
+// format adds new crash surfaces — a torn delta image, a published base
+// with an unpublished delta, a compaction that crashed with stale chain
+// files still on disk — and every one of them must stay invisible: the
+// chain protocol, like the base protocol, is a pure representation change.
+// ---------------------------------------------------------------------------
+
+impl EngineBox {
+    fn checkpoint_delta(&self, store: &CheckpointStore) -> Result<CheckpointRef> {
+        match self {
+            EngineBox::Mv(e) => e.checkpoint_delta(store),
+            EngineBox::Sv(e) => e.checkpoint_delta(store),
+        }
+    }
+
+    fn checkpoint_auto(
+        &self,
+        store: &CheckpointStore,
+        policy: &CheckpointPolicy,
+    ) -> Result<CheckpointRef> {
+        match self {
+            EngineBox::Mv(e) => e.checkpoint_auto(store, policy),
+            EngineBox::Sv(e) => e.checkpoint_auto(store, policy),
+        }
+    }
+}
+
+/// [`checkpoint_with_retry`] for delta checkpoints (the 1V walk's shared
+/// bucket locks time out under write contention, exactly like the base
+/// walk's).
+fn delta_with_retry(engine: &EngineBox, store: &CheckpointStore) -> CheckpointRef {
+    let mut attempts = 0;
+    loop {
+        match engine.checkpoint_delta(store) {
+            Ok(installed) => return installed,
+            Err(e) if e.is_retryable() && attempts < 100 => {
+                attempts += 1;
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            Err(e) => panic!("delta checkpoint failed: {e}"),
+        }
+    }
+}
+
+/// Collapse a recovery plan's checkpoint chain into per-table state maps —
+/// the image part of the recovery oracle. Within each chain element deletes
+/// apply before rows (a delta never contains both for one key), across
+/// elements later images win. Returns the maps and the chain tip's snapshot
+/// timestamp (the tail-replay filter).
+fn chain_state(plan: &RecoveryPlan, tables: &[TableId]) -> (Vec<BTreeMap<u64, u8>>, Timestamp) {
+    let mut state = vec![BTreeMap::new(); tables.len()];
+    let mut image_ts = Timestamp::ZERO;
+    for link in &plan.chain {
+        let contents = read_checkpoint(&link.path).expect("chain image reads back");
+        assert_eq!(contents.read_ts, link.read_ts, "image agrees with manifest");
+        for (table, key) in &contents.deletes {
+            let slot = tables
+                .iter()
+                .position(|t| t == table)
+                .expect("imaged table exists");
+            state[slot].remove(key);
+        }
+        for (table, row) in &contents.rows {
+            let slot = tables
+                .iter()
+                .position(|t| t == table)
+                .expect("imaged table exists");
+            state[slot].insert(rowbuf::key_of(row), rowbuf::fill_of(row));
+        }
+        image_ts = contents.read_ts;
+    }
+    (state, image_ts)
+}
+
+/// A quiesced window of writes confined to `table`: upserts of keys 0..=3
+/// plus a guaranteed delete of key 5, so the next delta provably needs both
+/// row and tombstone entries (the seeded history may have deleted any of
+/// these keys, hence the upsert/ensure dance).
+fn window_writes<E: Engine>(engine: &E, table: TableId, stamp: u8) {
+    let mut txn = engine.begin(IsolationLevel::Serializable);
+    for k in 0..4u64 {
+        let row = rowbuf::keyed_row(k, support::FILLER, stamp.wrapping_add(k as u8).max(1));
+        if !txn
+            .update(table, support::PRIMARY, k, row.clone())
+            .expect("window update")
+        {
+            txn.insert(table, row).expect("window insert");
+        }
+    }
+    txn.commit().expect("window update commit");
+    // Make sure key 5 exists before deleting it, so the delete always
+    // commits a tombstone the delta must carry.
+    let mut txn = engine.begin(IsolationLevel::Serializable);
+    let exists = txn
+        .read_with(table, support::PRIMARY, 5, &mut |_| {})
+        .expect("window probe");
+    if !exists {
+        txn.insert(table, rowbuf::keyed_row(5, support::FILLER, stamp.max(1)))
+            .expect("window ensure");
+    }
+    txn.commit().expect("window ensure commit");
+    let mut txn = engine.begin(IsolationLevel::Serializable);
+    assert!(txn
+        .delete(table, support::PRIMARY, 5)
+        .expect("window delete"));
+    txn.commit().expect("window delete commit");
+}
+
+#[test]
+fn delta_checkpoints_skip_clean_tables_and_carry_tombstones() {
+    // The incremental contract, engine level: a delta written after a window
+    // that touched only table 0 must contain (a) exactly that window's rows,
+    // (b) a tombstone for the window's delete, and (c) nothing at all for
+    // the untouched table 1 — its dirty watermark never moved, so it
+    // contributes zero bytes. Chain + tail recovery then equals the live
+    // state for all three schemes.
+    for kind in ALL_KINDS {
+        let tag = format!("delta-skip-{}", kind.label().replace('/', "_"));
+        let dir = scratch_store_dir(&tag);
+        let store = CheckpointStore::create(&dir).expect("create checkpoint store");
+        let engine = EngineBox::new(kind, store.logger().clone());
+        let tables = engine.create_tables();
+        engine.populate(&tables);
+        engine.run_sequential(&tables, &generate_history(seeds()[0], PARAMS));
+        engine.checkpoint(&store).expect("base checkpoint");
+
+        match &engine {
+            EngineBox::Mv(e) => window_writes(e, tables[0], 0x40),
+            EngineBox::Sv(e) => window_writes(e, tables[0], 0x40),
+        }
+        let delta = engine.checkpoint_delta(&store).expect("delta checkpoint");
+
+        let contents = read_checkpoint(&delta.path).expect("delta image reads back");
+        let label = kind.label();
+        assert!(
+            contents.parent_read_ts.is_some(),
+            "[{label}] a delta image records its parent snapshot"
+        );
+        let touched: Vec<TableId> = contents
+            .rows
+            .iter()
+            .map(|(t, _)| *t)
+            .chain(contents.deletes.iter().map(|(t, _)| *t))
+            .collect();
+        assert!(
+            touched.iter().all(|t| *t == tables[0]),
+            "[{label}] the untouched table leaked into the delta: {touched:?}"
+        );
+        let mut row_keys: Vec<u64> = contents
+            .rows
+            .iter()
+            .map(|(_, r)| rowbuf::key_of(r))
+            .collect();
+        row_keys.sort_unstable();
+        assert_eq!(
+            row_keys,
+            vec![0, 1, 2, 3],
+            "[{label}] the delta must hold exactly the window's updated rows"
+        );
+        assert_eq!(
+            contents.deletes,
+            vec![(tables[0], 5)],
+            "[{label}] the window's delete must surface as a tombstone"
+        );
+
+        // Tail above the delta, then recover the whole chain.
+        match &engine {
+            EngineBox::Mv(e) => window_writes(e, tables[1], 0x60),
+            EngineBox::Sv(e) => window_writes(e, tables[1], 0x60),
+        }
+        store.logger().flush().expect("flush tail");
+        let final_state = engine.dump(&tables);
+        drop(engine);
+        drop(store);
+
+        let plan = CheckpointStore::plan(&dir).expect("plan after delta");
+        assert_eq!(plan.chain.len(), 2, "[{label}] base + one delta");
+        let target = EngineBox::new(kind, Arc::new(mmdb_storage::log::NullLogger::new()));
+        let t = target.create_tables();
+        target
+            .recover_from_checkpoint(&plan)
+            .expect("chain recovery");
+        assert_eq!(
+            target.dump(&t),
+            final_state,
+            "[{label}] chain + tail recovery diverges from the live state"
+        );
+        target.assert_indexes_consistent(&format!("{label} delta-skip"), &t);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn checkpoint_auto_compacts_a_full_chain() {
+    // `checkpoint_auto` under `CheckpointPolicy::delta(_, 3)`: base, delta,
+    // delta, then — chain full — a compacting base that collapses the chain
+    // back to one file and deletes the old images from disk. Every
+    // intermediate chain must recover to the then-current live state.
+    let policy = CheckpointPolicy::delta(1, 3);
+    for kind in ALL_KINDS {
+        let tag = format!("auto-compact-{}", kind.label().replace('/', "_"));
+        let dir = scratch_store_dir(&tag);
+        let store = CheckpointStore::create(&dir).expect("create checkpoint store");
+        let engine = EngineBox::new(kind, store.logger().clone());
+        let tables = engine.create_tables();
+        engine.populate(&tables);
+
+        let mut expected_lens = [1usize, 2, 3, 1].iter();
+        for round in 0u64..4 {
+            engine.run_sequential(&tables, &generate_history(seeds()[0] ^ round, PARAMS));
+            engine
+                .checkpoint_auto(&store, &policy)
+                .expect("auto checkpoint");
+            let expect = *expected_lens.next().unwrap();
+            assert_eq!(
+                store.chain_len(),
+                expect,
+                "[{} round {round}] chain length after auto checkpoint",
+                kind.label()
+            );
+        }
+        store.logger().flush().expect("flush");
+        let final_state = engine.dump(&tables);
+        drop(engine);
+        drop(store);
+
+        // Compaction reclaimed every delta file.
+        let names: Vec<String> = dir_snapshot(&dir).into_iter().map(|(n, _)| n).collect();
+        assert!(
+            !names.iter().any(|n| n.starts_with("delta-")),
+            "[{}] compaction must delete the old chain's delta files, got {names:?}",
+            kind.label()
+        );
+
+        let plan = CheckpointStore::plan(&dir).expect("plan after compaction");
+        assert_eq!(
+            plan.chain.len(),
+            1,
+            "[{}] compacted to a base",
+            kind.label()
+        );
+        let target = EngineBox::new(kind, Arc::new(mmdb_storage::log::NullLogger::new()));
+        let t = target.create_tables();
+        target
+            .recover_from_checkpoint(&plan)
+            .expect("post-compaction recovery");
+        assert_eq!(
+            target.dump(&t),
+            final_state,
+            "[{}] recovery after compaction diverges from the live state",
+            kind.label()
+        );
+        target.assert_indexes_consistent(&format!("{} auto-compact", kind.label()), &t);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn delta_chain_tail_crash_at_any_offset_recovers() {
+    // The chain twin of the base tail-crash test: base + racing delta + more
+    // concurrent commits, then a crash at arbitrary bytes of the live
+    // segment. Recovery must land on chain-collapse + the surviving tail's
+    // committed prefix (records at or below the chain tip's snapshot are
+    // already inside the delta and must not replay twice).
+    for kind in ALL_KINDS {
+        for seed in seeds() {
+            let tag = format!("delta-tail-{}-{seed:x}", kind.label().replace('/', "_"));
+            let dir = scratch_store_dir(&tag);
+            let crash_dir = scratch_store_dir(&format!("{tag}-crash"));
+            let store =
+                CheckpointStore::create_with_tick(&dir, Duration::from_micros(BATCH_TICK_US))
+                    .expect("create checkpoint store");
+            let engine = EngineBox::new(kind, store.logger().clone());
+            let tables = engine.create_tables();
+            engine.populate(&tables);
+
+            engine.run_concurrent(&tables, worker_parts(seed));
+            checkpoint_with_retry(&engine, &store);
+
+            // The delta races live writers, exactly like the base walk does
+            // in the base tail test.
+            let parts2 = worker_parts(seed ^ 0x00DE_17A1);
+            std::thread::scope(|scope| {
+                let engine_ref = &engine;
+                let tables_ref = &tables;
+                scope.spawn(move || engine_ref.run_concurrent(tables_ref, parts2));
+                delta_with_retry(&engine, &store);
+            });
+            engine.run_concurrent(&tables, worker_parts(seed ^ 0x00DE_17A2));
+            store.logger().flush().expect("flush tail");
+            let final_state = engine.dump(&tables);
+            drop(engine);
+            drop(store);
+
+            let plan = CheckpointStore::plan(&dir).expect("plan after delta");
+            assert_eq!(plan.chain.len(), 2, "base + racing delta");
+            assert_eq!(plan.log_tail_offset(), 0, "truncation rebased the segment");
+            let (image, image_ts) = chain_state(&plan, &tables);
+
+            // No crash: chain + full tail equals the live state.
+            let target = EngineBox::new(kind, Arc::new(mmdb_storage::log::NullLogger::new()));
+            let t = target.create_tables();
+            target
+                .recover_from_checkpoint(&plan)
+                .expect("full chain recovery");
+            assert_eq!(
+                target.dump(&t),
+                final_state,
+                "[{} seed={seed:#x}] chain + full tail diverges from the live state",
+                kind.label()
+            );
+
+            // Crash at arbitrary bytes of the live segment.
+            let live = dir_snapshot(&dir);
+            let wal_name = plan
+                .log_path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .expect("wal file name")
+                .to_string();
+            let wal_bytes = file_of(&live, &wal_name).to_vec();
+            for offset in crash_offsets(seed ^ 0xDE17_0001, wal_bytes.len()) {
+                let mut files = live.clone();
+                for (name, bytes) in &mut files {
+                    if *name == wal_name {
+                        bytes.truncate(offset);
+                    }
+                }
+                write_dir_state(&crash_dir, &files);
+                let plan_c =
+                    CheckpointStore::plan(&crash_dir).expect("plan survives a torn chain tail");
+                let outcome = read_log_bytes(&wal_bytes[..offset])
+                    .expect("truncation reads as a torn tail, never corruption");
+                let mut expected = image.clone();
+                apply_tail(&mut expected, &outcome.records, image_ts, &tables);
+
+                let target = EngineBox::new(kind, Arc::new(mmdb_storage::log::NullLogger::new()));
+                let t = target.create_tables();
+                let report = target.recover_from_checkpoint(&plan_c).unwrap_or_else(|e| {
+                    panic!(
+                        "[{} seed={seed:#x} crash_offset={offset}] chain recovery failed: {e}",
+                        kind.label()
+                    )
+                });
+                assert_eq!(
+                    report.records_applied,
+                    outcome
+                        .records
+                        .iter()
+                        .filter(|r| r.end_ts > image_ts)
+                        .count(),
+                    "replay applies exactly the tail records above the chain tip's snapshot"
+                );
+                let label = format!(
+                    "{} seed={seed:#x} delta-tail crash_offset={offset}",
+                    kind.label()
+                );
+                assert_eq!(
+                    target.dump(&t),
+                    expected,
+                    "[{label}] recovered state diverges from chain + surviving tail"
+                );
+                target.assert_indexes_consistent(&label, &t);
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+            let _ = std::fs::remove_dir_all(&crash_dir);
+        }
+    }
+}
+
+#[test]
+fn crash_anywhere_inside_the_delta_protocol_preserves_committed_state() {
+    // The delta twin of the base-protocol crash test. The workload is
+    // quiesced, so every synthesized intermediate state — a torn `delta.tmp`,
+    // the renamed-but-unpublished delta (recovery must fall back to base +
+    // full tail), a torn install entry, a torn rotated segment, a torn
+    // truncation publish, the undeleted old segment — must recover to the
+    // same committed maps.
+    for kind in ALL_KINDS {
+        let seed = seeds()[0] ^ 0xDE17;
+        let tag = format!("delta-proto-{}", kind.label().replace('/', "_"));
+        let dir = scratch_store_dir(&tag);
+        let crash_dir = scratch_store_dir(&format!("{tag}-crash"));
+        let store = CheckpointStore::create(&dir).expect("create checkpoint store");
+        let engine = EngineBox::new(kind, store.logger().clone());
+        let tables = engine.create_tables();
+        engine.populate(&tables);
+        engine.run_sequential(&tables, &generate_history(seed, PARAMS));
+        engine.checkpoint(&store).expect("quiesced base checkpoint");
+
+        // The delta window: more committed work on both tables.
+        engine.run_sequential(&tables, &generate_history(seed ^ 1, PARAMS));
+        store.logger().flush().expect("flush");
+        let committed = engine.dump(&tables);
+        let before = dir_snapshot(&dir);
+        engine.checkpoint_delta(&store).expect("quiesced delta");
+        let after = dir_snapshot(&dir);
+        drop(engine);
+        drop(store);
+
+        let delta_bytes = file_of(&after, "delta-3.db").to_vec();
+        let wal_new = file_of(&after, "wal-4.log").to_vec();
+        let wal_old = file_of(&before, "wal-2.log").to_vec();
+        let manifest_a = file_of(&before, "MANIFEST").to_vec();
+        let manifest_b = file_of(&after, "MANIFEST").to_vec();
+        assert_eq!(
+            &manifest_b[..manifest_a.len()],
+            &manifest_a[..],
+            "the manifest is append-only"
+        );
+        let entries = &manifest_b[manifest_a.len()..];
+        let frame_len =
+            |bytes: &[u8]| 16 + u32::from_le_bytes(bytes[..4].try_into().unwrap()) as usize;
+        let install_len = frame_len(entries);
+        assert_eq!(
+            install_len + frame_len(&entries[install_len..]),
+            entries.len(),
+            "a delta appends two manifest entries (install + truncation publish)"
+        );
+        let manifest_installed: Vec<u8> =
+            [manifest_a.clone(), entries[..install_len].to_vec()].concat();
+
+        let with = |base: &[(String, Vec<u8>)], extra: Vec<(&str, Vec<u8>)>| {
+            let mut files: DirState = base.to_vec();
+            for (name, bytes) in extra {
+                match files.iter_mut().find(|(n, _)| n == name) {
+                    Some(slot) => slot.1 = bytes,
+                    None => files.push((name.to_string(), bytes)),
+                }
+            }
+            files
+        };
+
+        let mut states: Vec<(String, DirState)> = Vec::new();
+        for cut in crash_offsets(seed ^ 0x0001, delta_bytes.len()) {
+            states.push((
+                format!("tmp-cut-{cut}"),
+                with(&before, vec![("delta.tmp", delta_bytes[..cut].to_vec())]),
+            ));
+        }
+        states.push((
+            "renamed-unpublished".to_string(),
+            with(&before, vec![("delta-3.db", delta_bytes.clone())]),
+        ));
+        for cut in crash_offsets(seed ^ 0x0002, install_len) {
+            let mut manifest = manifest_a.clone();
+            manifest.extend_from_slice(&entries[..cut]);
+            states.push((
+                format!("install-cut-{cut}"),
+                with(
+                    &before,
+                    vec![("delta-3.db", delta_bytes.clone()), ("MANIFEST", manifest)],
+                ),
+            ));
+        }
+        for cut in crash_offsets(seed ^ 0x0003, wal_new.len()) {
+            states.push((
+                format!("rotate-cut-{cut}"),
+                with(
+                    &before,
+                    vec![
+                        ("delta-3.db", delta_bytes.clone()),
+                        ("MANIFEST", manifest_installed.clone()),
+                        ("wal-4.log", wal_new[..cut].to_vec()),
+                    ],
+                ),
+            ));
+        }
+        for cut in crash_offsets(seed ^ 0x0004, entries.len() - install_len) {
+            let mut manifest = manifest_a.clone();
+            manifest.extend_from_slice(&entries[..install_len + cut]);
+            states.push((
+                format!("publish-cut-{cut}"),
+                with(
+                    &before,
+                    vec![
+                        ("delta-3.db", delta_bytes.clone()),
+                        ("MANIFEST", manifest),
+                        ("wal-4.log", wal_new.clone()),
+                    ],
+                ),
+            ));
+        }
+        states.push((
+            "undeleted-old-wal".to_string(),
+            with(&after, vec![("wal-2.log", wal_old)]),
+        ));
+        states.push(("completed".to_string(), after.clone()));
+
+        for (label, files) in &states {
+            write_dir_state(&crash_dir, files);
+            let full_label = format!("{} delta-protocol-crash {label}", kind.label());
+            let plan = CheckpointStore::plan(&crash_dir)
+                .unwrap_or_else(|e| panic!("[{full_label}] recovery planning failed: {e}"));
+            let target = EngineBox::new(kind, Arc::new(mmdb_storage::log::NullLogger::new()));
+            let t = target.create_tables();
+            target
+                .recover_from_checkpoint(&plan)
+                .unwrap_or_else(|e| panic!("[{full_label}] recovery failed: {e}"));
+            assert_eq!(
+                target.dump(&t),
+                committed,
+                "[{full_label}] the delta protocol is a pure representation change — \
+                 crashing inside it must not move the recovered state"
+            );
+            target.assert_indexes_consistent(&full_label, &t);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&crash_dir);
+    }
+}
+
+#[test]
+fn crash_mid_compaction_leaves_stale_chain_files_recovery_ignores() {
+    // A compacting base checkpoint over an existing base+delta chain has one
+    // crash surface the plain protocol lacks: the new base's install entry
+    // is durable but the crash hits before the old chain's files are
+    // unlinked. Recovery must plan from the new single-element chain and
+    // ignore the stale `ckpt-1.db`/`delta-3.db` still sitting in the
+    // directory — plus all the usual torn-artifact states.
+    for kind in ALL_KINDS {
+        let seed = seeds()[0] ^ 0xC0BA;
+        let tag = format!("compact-crash-{}", kind.label().replace('/', "_"));
+        let dir = scratch_store_dir(&tag);
+        let crash_dir = scratch_store_dir(&format!("{tag}-crash"));
+        let store = CheckpointStore::create(&dir).expect("create checkpoint store");
+        let engine = EngineBox::new(kind, store.logger().clone());
+        let tables = engine.create_tables();
+        engine.populate(&tables);
+        engine.run_sequential(&tables, &generate_history(seed, PARAMS));
+        engine.checkpoint(&store).expect("base checkpoint");
+        engine.run_sequential(&tables, &generate_history(seed ^ 1, PARAMS));
+        engine.checkpoint_delta(&store).expect("delta checkpoint");
+
+        // Post-chain window, then the compacting full checkpoint.
+        engine.run_sequential(&tables, &generate_history(seed ^ 2, PARAMS));
+        store.logger().flush().expect("flush");
+        let committed = engine.dump(&tables);
+        let before = dir_snapshot(&dir);
+        engine.checkpoint(&store).expect("compacting checkpoint");
+        let after = dir_snapshot(&dir);
+        drop(engine);
+        drop(store);
+
+        let ckpt_bytes = file_of(&after, "ckpt-5.db").to_vec();
+        let wal_new = file_of(&after, "wal-6.log").to_vec();
+        let manifest_a = file_of(&before, "MANIFEST").to_vec();
+        let manifest_b = file_of(&after, "MANIFEST").to_vec();
+        assert!(
+            !after
+                .iter()
+                .any(|(n, _)| n == "ckpt-1.db" || n == "delta-3.db"),
+            "compaction unlinks the old chain"
+        );
+        assert_eq!(
+            &manifest_b[..manifest_a.len()],
+            &manifest_a[..],
+            "the manifest is append-only"
+        );
+        let entries = &manifest_b[manifest_a.len()..];
+        let frame_len =
+            |bytes: &[u8]| 16 + u32::from_le_bytes(bytes[..4].try_into().unwrap()) as usize;
+        let install_len = frame_len(entries);
+        let manifest_installed: Vec<u8> =
+            [manifest_a.clone(), entries[..install_len].to_vec()].concat();
+
+        let with = |base: &[(String, Vec<u8>)], extra: Vec<(&str, Vec<u8>)>| {
+            let mut files: DirState = base.to_vec();
+            for (name, bytes) in extra {
+                match files.iter_mut().find(|(n, _)| n == name) {
+                    Some(slot) => slot.1 = bytes,
+                    None => files.push((name.to_string(), bytes)),
+                }
+            }
+            files
+        };
+
+        let mut states: Vec<(String, DirState)> = Vec::new();
+        for cut in crash_offsets(seed ^ 0x0001, ckpt_bytes.len()) {
+            states.push((
+                format!("tmp-cut-{cut}"),
+                with(&before, vec![("ckpt.tmp", ckpt_bytes[..cut].to_vec())]),
+            ));
+        }
+        states.push((
+            "renamed-unpublished".to_string(),
+            with(&before, vec![("ckpt-5.db", ckpt_bytes.clone())]),
+        ));
+        for cut in crash_offsets(seed ^ 0x0002, install_len) {
+            let mut manifest = manifest_a.clone();
+            manifest.extend_from_slice(&entries[..cut]);
+            states.push((
+                format!("install-cut-{cut}"),
+                with(
+                    &before,
+                    vec![("ckpt-5.db", ckpt_bytes.clone()), ("MANIFEST", manifest)],
+                ),
+            ));
+        }
+        // The compaction-specific state: install entry durable, stale chain
+        // files not yet unlinked.
+        states.push((
+            "installed-stale-chain".to_string(),
+            with(
+                &before,
+                vec![
+                    ("ckpt-5.db", ckpt_bytes.clone()),
+                    ("MANIFEST", manifest_installed.clone()),
+                ],
+            ),
+        ));
+        for cut in crash_offsets(seed ^ 0x0003, wal_new.len()) {
+            states.push((
+                format!("rotate-cut-{cut}"),
+                with(
+                    &before,
+                    vec![
+                        ("ckpt-5.db", ckpt_bytes.clone()),
+                        ("MANIFEST", manifest_installed.clone()),
+                        ("wal-6.log", wal_new[..cut].to_vec()),
+                    ],
+                ),
+            ));
+        }
+        for cut in crash_offsets(seed ^ 0x0004, entries.len() - install_len) {
+            let mut manifest = manifest_a.clone();
+            manifest.extend_from_slice(&entries[..install_len + cut]);
+            states.push((
+                format!("publish-cut-{cut}"),
+                with(
+                    &before,
+                    vec![
+                        ("ckpt-5.db", ckpt_bytes.clone()),
+                        ("MANIFEST", manifest),
+                        ("wal-6.log", wal_new.clone()),
+                    ],
+                ),
+            ));
+        }
+        states.push(("completed".to_string(), after.clone()));
+
+        for (label, files) in &states {
+            write_dir_state(&crash_dir, files);
+            let full_label = format!("{} compaction-crash {label}", kind.label());
+            let plan = CheckpointStore::plan(&crash_dir)
+                .unwrap_or_else(|e| panic!("[{full_label}] recovery planning failed: {e}"));
+            if label == "installed-stale-chain" {
+                assert_eq!(
+                    plan.chain.len(),
+                    1,
+                    "[{full_label}] the published compaction owns the chain"
+                );
+                assert!(
+                    plan.chain[0].path.ends_with("ckpt-5.db"),
+                    "[{full_label}] the plan must point at the new base, not the stale files"
+                );
+            }
+            let target = EngineBox::new(kind, Arc::new(mmdb_storage::log::NullLogger::new()));
+            let t = target.create_tables();
+            target
+                .recover_from_checkpoint(&plan)
+                .unwrap_or_else(|e| panic!("[{full_label}] recovery failed: {e}"));
+            assert_eq!(
+                target.dump(&t),
+                committed,
+                "[{full_label}] a mid-compaction crash must not move the recovered state"
+            );
+            target.assert_indexes_consistent(&full_label, &t);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&crash_dir);
+    }
+}
+
+/// Capture a crash image of a live store directory. The MANIFEST is read
+/// first: everything it references was durable before the manifest bytes
+/// were, so pairing it with files read afterwards is a valid crash state —
+/// *unless* a concurrent truncation or compaction deleted a referenced file
+/// between the two reads. The caller detects that (the planned file is
+/// missing from the capture) and skips the capture.
+fn capture_store(dir: &Path) -> Option<DirState> {
+    let manifest = std::fs::read(dir.join("MANIFEST")).ok()?;
+    let mut files: DirState = vec![("MANIFEST".to_string(), manifest)];
+    for entry in std::fs::read_dir(dir).ok()? {
+        let entry = entry.ok()?;
+        let name = entry.file_name().into_string().ok()?;
+        if name == "MANIFEST" {
+            continue;
+        }
+        if let Ok(bytes) = std::fs::read(entry.path()) {
+            files.push((name, bytes));
+        }
+    }
+    files.sort();
+    Some(files)
+}
+
+fn auto_with_retry(
+    engine: &EngineBox,
+    store: &CheckpointStore,
+    policy: &CheckpointPolicy,
+) -> CheckpointRef {
+    let mut attempts = 0;
+    loop {
+        match engine.checkpoint_auto(store, policy) {
+            Ok(installed) => return installed,
+            Err(e) if e.is_retryable() && attempts < 100 => {
+                attempts += 1;
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            Err(e) => panic!("auto checkpoint failed: {e}"),
+        }
+    }
+}
+
+#[test]
+fn mid_run_store_crash_images_with_delta_chain_recover_consistently() {
+    // Write-path fault injection against the full store: workers commit
+    // through the group-commit logger while the main thread drives
+    // `checkpoint_auto` under a delta policy and captures crash images of
+    // the whole directory — mid-flush, mid-protocol, mid-chain. Every
+    // coherent capture must plan, and recover to exactly chain-collapse +
+    // the captured tail's committed prefix.
+    for kind in ALL_KINDS {
+        let seed = seeds()[0] ^ 0xD17A;
+        let tag = format!("midrun-delta-{}", kind.label().replace('/', "_"));
+        let dir = scratch_store_dir(&tag);
+        let crash_dir = scratch_store_dir(&format!("{tag}-crash"));
+        let store = CheckpointStore::create_with_tick(&dir, Duration::from_micros(BATCH_TICK_US))
+            .expect("create checkpoint store");
+        let engine = EngineBox::new(kind, store.logger().clone());
+        let tables = engine.create_tables();
+        engine.populate(&tables);
+        let policy = CheckpointPolicy::delta(1, 3);
+
+        let mut captures: Vec<DirState> = Vec::new();
+        let mut max_chain = 0usize;
+        for phase in 0u64..2 {
+            let parts = worker_parts(seed ^ phase);
+            std::thread::scope(|scope| {
+                let engine_ref = &engine;
+                let tables_ref = &tables;
+                let handle = scope.spawn(move || engine_ref.run_concurrent(tables_ref, parts));
+                while !handle.is_finished() {
+                    // Best-effort: under write contention the 1V walk may
+                    // time out; the forced checkpoint below guarantees the
+                    // chain still advances every phase.
+                    let _ = engine.checkpoint_auto(&store, &policy);
+                    if let Some(files) = capture_store(&dir) {
+                        captures.push(files);
+                    }
+                    std::thread::sleep(Duration::from_micros(BATCH_TICK_US / 4));
+                }
+            });
+            auto_with_retry(&engine, &store, &policy);
+            max_chain = max_chain.max(store.chain_len());
+            if let Some(files) = capture_store(&dir) {
+                captures.push(files);
+            }
+        }
+        store.logger().flush().expect("final flush");
+        let final_state = engine.dump(&tables);
+        captures.push(dir_snapshot(&dir));
+        assert!(
+            max_chain >= 2,
+            "[{}] the forced checkpoints must have built a delta chain \
+             (longest chain seen: {max_chain})",
+            kind.label()
+        );
+        drop(engine);
+        drop(store);
+
+        let mut recovered = 0usize;
+        let mut skipped = 0usize;
+        let total = captures.len();
+        for (i, files) in captures.iter().enumerate() {
+            write_dir_state(&crash_dir, files);
+            let plan = match CheckpointStore::plan(&crash_dir) {
+                Ok(plan) => plan,
+                Err(_) => {
+                    skipped += 1;
+                    continue;
+                }
+            };
+            // A referenced file deleted between the manifest read and the
+            // directory listing makes the composite incoherent — skip.
+            let have = |p: &std::path::Path| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| files.iter().any(|(f, _)| f == n))
+            };
+            if !plan.chain.iter().all(|c| have(&c.path)) || !have(&plan.log_path) {
+                skipped += 1;
+                continue;
+            }
+
+            let (mut expected, image_ts) = chain_state(&plan, &tables);
+            let wal_name = plan
+                .log_path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .expect("wal file name")
+                .to_string();
+            let wal_bytes = file_of(files, &wal_name);
+            let offset = (plan.log_tail_offset() as usize).min(wal_bytes.len());
+            let tail = read_log_bytes(&wal_bytes[offset..]).unwrap_or_else(|e| {
+                panic!(
+                    "[{} capture={i}] a live capture must read as a torn tail, \
+                     never corruption: {e}",
+                    kind.label()
+                )
+            });
+            apply_tail(&mut expected, &tail.records, image_ts, &tables);
+
+            let target = EngineBox::new(kind, Arc::new(mmdb_storage::log::NullLogger::new()));
+            let t = target.create_tables();
+            target
+                .recover_from_checkpoint(&plan)
+                .unwrap_or_else(|e| panic!("[{} capture={i}] recovery failed: {e}", kind.label()));
+            let label = format!("{} mid-run store capture {i}", kind.label());
+            assert_eq!(
+                target.dump(&t),
+                expected,
+                "[{label}] recovered state diverges from chain + captured tail"
+            );
+            target.assert_indexes_consistent(&label, &t);
+            if i == total - 1 {
+                assert_eq!(
+                    target.dump(&t),
+                    final_state,
+                    "[{label}] the quiesced final capture must recover the live state"
+                );
+            }
+            recovered += 1;
+        }
+        assert!(
+            recovered >= 3,
+            "[{}] too few coherent captures recovered ({recovered} of {total}, \
+             {skipped} skipped)",
+            kind.label()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&crash_dir);
     }
 }
