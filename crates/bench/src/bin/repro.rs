@@ -10,6 +10,8 @@
 //!              perf-recovery  (restart: checkpoint + tail vs full log replay)
 //!              perf-adaptive  (MV/O vs MV/L vs adaptive MV/A along the
 //!                              fig4→fig5 contention axis)
+//!              perf-smallbank (SmallBank mix per scheme, uniform vs hotspot)
+//!              perf-tpcc      (TPC-C-lite new-order/payment/order-status mix)
 //!              recover   (crash/replay durability smoke — not part of `all`)
 //!
 //! options:
@@ -35,7 +37,8 @@ fn usage() -> ! {
         "usage: repro [--quick] [--rows N] [--hot-rows N] [--mpl N] [--threads a,b,c] \
          [--duration-ms MS] [--subscribers N] [--json PATH] \
          <fig4|fig5|table3|fig6|fig7|fig8|fig9|table4|ablation|perf|perf-read|perf-write\
-         |perf-range|perf-commit|perf-recovery|perf-adaptive|recover|all>..."
+         |perf-range|perf-commit|perf-recovery|perf-adaptive|perf-smallbank|perf-tpcc\
+         |recover|all>..."
     );
     std::process::exit(2);
 }
@@ -164,6 +167,8 @@ fn main() {
             "perf-commit" => emit(&mut produced, vec![experiments::commitpath_perf(&cfg)]),
             "perf-recovery" => emit(&mut produced, vec![experiments::recovery_perf(&cfg)]),
             "perf-adaptive" => emit(&mut produced, vec![experiments::adaptive_perf(&cfg)]),
+            "perf-smallbank" => emit(&mut produced, vec![experiments::smallbank_perf(&cfg)]),
+            "perf-tpcc" => emit(&mut produced, vec![experiments::tpcc_perf(&cfg)]),
             "recover" => recover_smoke(&cfg),
             "ablation" => emit(
                 &mut produced,

@@ -15,7 +15,9 @@ use mmdb_common::isolation::IsolationLevel;
 use mmdb_workload::driver::{run_for, DriverReport, TxnKind};
 use mmdb_workload::heterogeneous::{LongReaderMix, ReadMix};
 use mmdb_workload::homogeneous::Homogeneous;
+use mmdb_workload::smallbank::SmallBank;
 use mmdb_workload::tatp::Tatp;
+use mmdb_workload::tpcc_lite::TpccLite;
 
 use crate::dispatch_engine;
 use crate::scheme::Scheme;
@@ -164,6 +166,30 @@ fn run_long_readers_on<E: Engine>(
     let table = mix.base.setup(engine).expect("setup long-reader mix");
     run_for(engine, threads, duration, |e, rng, worker| {
         mix.run_one(e, table, rng, worker)
+    })
+}
+
+fn run_smallbank_on<E: Engine>(
+    engine: &E,
+    sb: &SmallBank,
+    threads: usize,
+    duration: Duration,
+) -> DriverReport {
+    let tables = sb.setup(engine).expect("setup SmallBank");
+    run_for(engine, threads, duration, |e, rng, _| {
+        sb.run_one(e, tables, rng)
+    })
+}
+
+fn run_tpcc_on<E: Engine>(
+    engine: &E,
+    tpcc: &TpccLite,
+    threads: usize,
+    duration: Duration,
+) -> DriverReport {
+    let tables = tpcc.setup(engine).expect("setup TPC-C-lite");
+    run_for(engine, threads, duration, |e, rng, _| {
+        tpcc.run_one(e, tables, rng)
     })
 }
 
@@ -436,6 +462,104 @@ pub fn table4(cfg: &ExpConfig) -> SeriesTable {
         table.rows.push((
             scheme.label().to_string(),
             vec![report.tps(), report.abort_rate()],
+        ));
+    }
+    table
+}
+
+/// **SmallBank benchmark** — the banking workload as a perf client
+/// (`BENCH_smallbank.json`). All four schemes at the fixed MPL under the
+/// six-transaction SmallBank mix at snapshot isolation, once with uniform
+/// account selection and once with the hotspot knob turned up (most traffic
+/// aimed at a small set of hot customers — the regime where the schemes'
+/// conflict handling diverges). Abort-rate companions explain the
+/// throughput gaps.
+pub fn smallbank_perf(cfg: &ExpConfig) -> SeriesTable {
+    let accounts = cfg.rows.clamp(1_000, 100_000);
+    let hot_accounts = cfg.hot_rows.clamp(10, accounts / 2);
+    let bank = |hot_fraction: f64| SmallBank {
+        accounts,
+        initial_balance: 10_000,
+        hot_accounts,
+        hot_fraction,
+        isolation: IsolationLevel::SnapshotIsolation,
+    };
+    let variants = [("uniform", bank(0.0)), ("hotspot", bank(0.9))];
+    let mut table = SeriesTable {
+        title: format!(
+            "SmallBank: throughput per scheme, uniform vs {hot_accounts}-account hotspot \
+             ({accounts} accounts, snapshot isolation, MPL {})",
+            cfg.mpl
+        ),
+        x_label: "scheme".into(),
+        xs: variants
+            .iter()
+            .flat_map(|(name, _)| [format!("{name} tx/s"), format!("{name} abort rate")])
+            .collect(),
+        rows: Vec::new(),
+        unit: "committed SmallBank transactions / second (and abort rate)".into(),
+    };
+    for scheme in Scheme::ALL {
+        let mut cells = Vec::with_capacity(table.xs.len());
+        for (_, sb) in &variants {
+            let report = scheme.with_engine(cfg.lock_timeout, |factory| {
+                dispatch_engine!(factory, |engine| run_smallbank_on(
+                    engine,
+                    sb,
+                    cfg.mpl,
+                    cfg.duration
+                ))
+            });
+            cells.push(report.tps());
+            cells.push(report.abort_rate());
+        }
+        table.rows.push((scheme.label().to_string(), cells));
+    }
+    table
+}
+
+/// **TPC-C-lite benchmark** — the order-entry workload as a perf client
+/// (`BENCH_tpcc.json`). All four schemes at the fixed MPL under the
+/// new-order / payment / order-status mix at snapshot isolation. New-order
+/// exercises the single-writer district counter (a natural hotspot) plus
+/// ordered-index inserts; order-status range-scans the order and order-line
+/// tables through the ordered secondary index. The new-order column is the
+/// classic TPC-C headline rate.
+pub fn tpcc_perf(cfg: &ExpConfig) -> SeriesTable {
+    let tpcc = TpccLite {
+        warehouses: 2,
+        districts_per_wh: 4,
+        customers_per_district: (cfg.rows / 64).clamp(64, 4_096),
+        initial_orders: 3,
+        isolation: IsolationLevel::SnapshotIsolation,
+    };
+    let mut table = SeriesTable {
+        title: format!(
+            "TPC-C-lite: throughput per scheme ({} warehouses x {} districts, \
+             {} customers/district, snapshot isolation, MPL {})",
+            tpcc.warehouses, tpcc.districts_per_wh, tpcc.customers_per_district, cfg.mpl
+        ),
+        x_label: "scheme".into(),
+        xs: vec!["tx/s".into(), "new-order tx/s".into(), "abort rate".into()],
+        rows: Vec::new(),
+        unit: "committed TPC-C-lite transactions / second (and abort rate)".into(),
+    };
+    for scheme in Scheme::ALL {
+        let report = scheme.with_engine(cfg.lock_timeout, |factory| {
+            dispatch_engine!(factory, |engine| run_tpcc_on(
+                engine,
+                &tpcc,
+                cfg.mpl,
+                cfg.duration
+            ))
+        });
+        table.rows.push((
+            scheme.label().to_string(),
+            vec![
+                report.tps(),
+                report.tps_of(TxnKind::TpccNewOrder),
+                report.abort_rate(),
+            ],
         ));
     }
     table
@@ -1320,6 +1444,8 @@ pub fn run_all(cfg: &ExpConfig) -> Vec<SeriesTable> {
     out.push(f8);
     out.push(f9);
     out.push(table4(cfg));
+    out.push(smallbank_perf(cfg));
+    out.push(tpcc_perf(cfg));
     out.push(ablation_validation_cost(cfg));
     out.push(ablation_gc(cfg));
     out.push(readpath_perf(cfg));
@@ -1554,6 +1680,49 @@ mod tests {
         }
         assert!(t.value("MV/A", 0).is_some());
         assert!(t.value("MV/A abort rate", 4).is_some());
+    }
+
+    #[test]
+    fn smallbank_perf_reports_all_schemes_and_both_variants() {
+        let t = smallbank_perf(&tiny());
+        assert_eq!(t.rows.len(), 4);
+        assert_eq!(
+            t.xs,
+            vec![
+                "uniform tx/s".to_string(),
+                "uniform abort rate".to_string(),
+                "hotspot tx/s".to_string(),
+                "hotspot abort rate".to_string(),
+            ]
+        );
+        for scheme in ["1V", "MV/L", "MV/O", "MV/A"] {
+            for (col, is_rate) in [(0, false), (1, true), (2, false), (3, true)] {
+                let v = t.value(scheme, col).unwrap();
+                if is_rate {
+                    assert!((0.0..=1.0).contains(&v), "{scheme} col {col}: {v}");
+                } else {
+                    assert!(v > 0.0, "{scheme} must commit SmallBank txns: {t:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tpcc_perf_reports_all_schemes() {
+        let t = tpcc_perf(&tiny());
+        assert_eq!(t.rows.len(), 4);
+        assert_eq!(t.xs.len(), 3);
+        for scheme in ["1V", "MV/L", "MV/O", "MV/A"] {
+            let total = t.value(scheme, 0).unwrap();
+            let new_order = t.value(scheme, 1).unwrap();
+            let abort_rate = t.value(scheme, 2).unwrap();
+            assert!(total > 0.0, "{scheme} must commit TPC-C-lite txns: {t:?}");
+            assert!(
+                new_order > 0.0 && new_order <= total,
+                "{scheme}: new-order rate {new_order} must be a positive part of {total}"
+            );
+            assert!((0.0..=1.0).contains(&abort_rate), "{scheme}: {abort_rate}");
+        }
     }
 
     #[test]

@@ -28,16 +28,28 @@ pub enum TxnKind {
     LongRead,
     /// A TATP transaction (any of the seven types).
     Tatp,
+    /// A SmallBank transaction (any of the six types).
+    SmallBank,
+    /// A TPC-C-lite new-order transaction.
+    TpccNewOrder,
+    /// A TPC-C-lite payment transaction.
+    TpccPayment,
+    /// A TPC-C-lite order-status transaction.
+    TpccOrderStatus,
 }
 
 impl TxnKind {
-    const COUNT: usize = 4;
+    const COUNT: usize = 8;
     fn index(self) -> usize {
         match self {
             TxnKind::Update => 0,
             TxnKind::ReadOnly => 1,
             TxnKind::LongRead => 2,
             TxnKind::Tatp => 3,
+            TxnKind::SmallBank => 4,
+            TxnKind::TpccNewOrder => 5,
+            TxnKind::TpccPayment => 6,
+            TxnKind::TpccOrderStatus => 7,
         }
     }
 }

@@ -8,6 +8,10 @@
 //! * [`heterogeneous`] — the read-only mixes of §5.2: short read-only
 //!   transactions (Figures 6–7) and long reporting readers (Figures 8–9).
 //! * [`tatp`] — the TATP telecom benchmark of §5.3 (Table 4).
+//! * [`smallbank`] — the SmallBank banking mix: write-heavy, anomaly-prone
+//!   (write skew under snapshot isolation), with a hotspot contention knob.
+//! * [`tpcc_lite`] — a TPC-C subset (new-order / payment / order-status) with
+//!   multi-row transactions and ordered-index range reads.
 //! * [`driver`] — a fixed-duration, fixed-multiprogramming-level driver that
 //!   runs any of the above against any [`Engine`](mmdb_common::engine::Engine)
 //!   implementation and reports committed-transaction throughput, abort rates
@@ -19,9 +23,13 @@
 pub mod driver;
 pub mod heterogeneous;
 pub mod homogeneous;
+pub mod smallbank;
 pub mod tatp;
+pub mod tpcc_lite;
 
 pub use driver::{run_for, DriverReport, TxnKind, TxnOutcome};
 pub use heterogeneous::{LongReaderMix, ReadMix};
 pub use homogeneous::Homogeneous;
+pub use smallbank::{SmallBank, SmallBankTables};
 pub use tatp::{Tatp, TatpTables};
+pub use tpcc_lite::{TpccLite, TpccTables};

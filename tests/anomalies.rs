@@ -8,6 +8,11 @@
 //! | non-repeatable read   | repeatable read and up                     |
 //! | phantom               | serializable                                |
 //! | write skew             | serializable (not snapshot isolation)      |
+//!
+//! The generic write-skew shape is additionally pinned on the SmallBank
+//! workload (write-check vs transact-saving, the Alomari formulation) for
+//! every MV engine — MV/O, MV/L and MV/A — with a deterministic
+//! interleaving; see `smallbank_write_skew_admitted_at_si_rejected_at_serializable`.
 
 use mmdb::prelude::*;
 
@@ -284,6 +289,156 @@ fn write_skew_prevented_at_serializable_but_allowed_under_si() {
                 "snapshot isolation permits write skew (both commit)"
             );
         });
+    }
+}
+
+/// Read one SmallBank balance inside an open transaction, panicking on a
+/// missing row (the fixture always creates the account).
+fn sb_balance<T: EngineTxn>(txn: &mut T, table: TableId, customer: u64) -> i64 {
+    mmdb_workload::smallbank::balance_of(
+        &txn.read(table, IndexId(0), customer)
+            .expect("balance read must not fail")
+            .expect("account row must exist"),
+    )
+}
+
+/// The deterministic SmallBank write-skew interleaving: transaction `a` is a
+/// write-check (reads both balances, debits checking), transaction `b` is a
+/// transact-saving withdrawal (reads both balances, debits savings), both
+/// against the same customer. Returns whether each transaction committed.
+///
+/// If a write blocks and times out (MV/L serializable read locks), that
+/// transaction aborts immediately so the other can proceed — the pessimistic
+/// engine resolves the skew by killing one participant rather than failing
+/// commit-time validation.
+fn smallbank_write_skew_pair(
+    engine: &MvEngine,
+    tables: mmdb_workload::SmallBankTables,
+    iso: IsolationLevel,
+) -> (bool, bool) {
+    use mmdb_workload::smallbank::account_row;
+    const CUST: u64 = 0;
+    const AMOUNT: i64 = 100;
+    let hint = [tables.checking, tables.savings];
+    let mut a = Some(engine.begin_hinted(false, &hint, iso));
+    let mut b = Some(engine.begin_hinted(false, &hint, iso));
+
+    // Both transactions read both balances against the same snapshot.
+    let (a_c, a_s) = {
+        let t = a.as_mut().unwrap();
+        (
+            sb_balance(t, tables.checking, CUST),
+            sb_balance(t, tables.savings, CUST),
+        )
+    };
+    let (b_c, b_s) = {
+        let t = b.as_mut().unwrap();
+        (
+            sb_balance(t, tables.checking, CUST),
+            sb_balance(t, tables.savings, CUST),
+        )
+    };
+
+    // a = write_check(AMOUNT): the combined balance covers the check against
+    // a's snapshot, so no overdraft penalty is charged.
+    let debit = if a_c + a_s < AMOUNT {
+        AMOUNT + 1
+    } else {
+        AMOUNT
+    };
+    let a_wrote = a
+        .as_mut()
+        .unwrap()
+        .update(
+            tables.checking,
+            IndexId(0),
+            CUST,
+            account_row(CUST, a_c - debit),
+        )
+        .is_ok();
+    if !a_wrote {
+        // Release a's locks so b's write can proceed (MV/L serializable).
+        a.take().unwrap().abort();
+    }
+
+    // b = transact_saving(-AMOUNT): the guard passes against b's snapshot.
+    assert!(b_c + b_s - AMOUNT >= 0, "withdrawal guard must pass");
+    let b_wrote = b
+        .as_mut()
+        .unwrap()
+        .update(
+            tables.savings,
+            IndexId(0),
+            CUST,
+            account_row(CUST, b_s - AMOUNT),
+        )
+        .is_ok();
+    if !b_wrote {
+        b.take().unwrap().abort();
+    }
+
+    let a_ok = a.is_some_and(|t| t.commit().is_ok());
+    let b_ok = b.is_some_and(|t| t.commit().is_ok());
+    (a_ok, b_ok)
+}
+
+#[test]
+fn smallbank_write_skew_admitted_at_si_rejected_at_serializable() {
+    // The Alomari SmallBank anomaly: write-check and transact-saving both
+    // read the customer's combined balance (100) and each debits a *different*
+    // account by 100. Every serial order either charges the overdraft penalty
+    // (write-check second) or rejects the withdrawal (transact-saving second);
+    // only the write-skew interleaving ends with both debits applied, no
+    // penalty, and a combined balance of -100.
+    fn short_wait() -> MvConfig {
+        MvConfig::default().with_wait_timeout(std::time::Duration::from_millis(50))
+    }
+    type EngineCtor = fn() -> MvEngine;
+    let engines: [(&str, EngineCtor); 3] = [
+        ("MV/O", || MvEngine::optimistic(short_wait())),
+        ("MV/L", || MvEngine::pessimistic(short_wait())),
+        ("MV/A", || MvEngine::adaptive(short_wait())),
+    ];
+    for (name, fresh) in engines {
+        let fixture = |iso| {
+            let sb = mmdb_workload::SmallBank {
+                accounts: 4,
+                initial_balance: 50,
+                hot_accounts: 1,
+                hot_fraction: 0.0,
+                isolation: iso,
+            };
+            let engine = fresh();
+            let tables = sb.setup(&engine).expect("setup must succeed");
+            (sb, engine, tables)
+        };
+
+        // Serializable: at most one participant may commit, on every engine.
+        let (_, engine, tables) = fixture(IsolationLevel::Serializable);
+        let (a_ok, b_ok) = smallbank_write_skew_pair(&engine, tables, IsolationLevel::Serializable);
+        assert!(
+            !(a_ok && b_ok),
+            "{name}: serializable admitted SmallBank write skew"
+        );
+
+        // Snapshot isolation: both commit, and the final state is one no
+        // serial order can produce — both accounts debited with no penalty.
+        let (sb, engine, tables) = fixture(IsolationLevel::SnapshotIsolation);
+        let (a_ok, b_ok) =
+            smallbank_write_skew_pair(&engine, tables, IsolationLevel::SnapshotIsolation);
+        assert!(
+            a_ok && b_ok,
+            "{name}: snapshot isolation must admit SmallBank write skew \
+             (a_ok={a_ok} b_ok={b_ok})"
+        );
+        let balances = mmdb_workload::smallbank::all_balances(&engine, tables, sb.accounts)
+            .expect("reading final balances must succeed");
+        assert_eq!(
+            balances[0],
+            (-50, -50),
+            "{name}: the write-skew run must leave customer 0 at -50/-50 \
+             (both debits applied, no overdraft penalty)"
+        );
     }
 }
 

@@ -223,7 +223,7 @@ fn check_concurrent_serializable<E: Engine>(
         label.replace(['/', ' '], "_")
     );
     with_repro_artifacts(
-        &format!("suite=differential engine={label} seed={seed:#x}"),
+        &format!("suite=differential workload=generic engine={label} seed={seed:#x}"),
         &[(&artifact_name, history_debug.as_bytes())],
         || {
             check_serial_equivalence(
@@ -382,7 +382,10 @@ fn mixed_mode_concurrent_runs_are_serializable_by_commit_ts() {
         let final_state = dump(&engine, &tables, DUMP_BOUND);
         let artifact_name = format!("differential-mixed-seed-{seed:#x}.history.txt");
         with_repro_artifacts(
-            &format!("suite=differential engine=mixed-mode seed={seed:#x} round={round}"),
+            &format!(
+                "suite=differential workload=generic engine=mixed-mode \
+                 seed={seed:#x} round={round}"
+            ),
             &[(&artifact_name, history_debug.as_bytes())],
             || {
                 check_serial_equivalence(

@@ -317,7 +317,7 @@ fn crash_at_any_offset_recovers_the_committed_prefix() {
                 let log_name = format!("recovery-seed-{seed:#x}.log.bin");
                 with_repro_artifacts(
                     &format!(
-                        "suite=recovery engine={} seed={seed:#x} crash_offset={offset}",
+                        "suite=recovery workload=generic engine={} seed={seed:#x} crash_offset={offset}",
                         kind.label()
                     ),
                     &[
@@ -521,7 +521,7 @@ fn repro_artifacts_are_saved_on_failure() {
     // failing check must still save its artifacts and re-raise the panic.
     let result = std::panic::catch_unwind(|| {
         with_repro_artifacts(
-            "suite=selftest seed=0x0 crash_offset=0",
+            "suite=selftest workload=selftest seed=0x0 crash_offset=0",
             &[("selftest.artifact.txt", b"payload".as_slice())],
             || panic!("intentional"),
         )
@@ -644,7 +644,7 @@ fn group_commit_crash_mid_batch_recovers_the_committed_prefix() {
                 let log_name = format!("recovery-groupcommit-seed-{seed:#x}.log.bin");
                 with_repro_artifacts(
                     &format!(
-                        "suite=recovery-groupcommit engine={} seed={seed:#x} \
+                        "suite=recovery-groupcommit workload=generic engine={} seed={seed:#x} \
                          crash_offset={offset} batch_tick_us={BATCH_TICK_US}",
                         kind.label()
                     ),
@@ -677,6 +677,228 @@ fn group_commit_crash_mid_batch_recovers_the_committed_prefix() {
                              the surviving batches describe"
                         );
                         target.assert_indexes_consistent(&label, &tables);
+                    },
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn smallbank_group_commit_crash_recovers_conserved_balances() {
+    // Write-path fault injection for the SmallBank harness client: crash
+    // mid-batch during a *concurrent* SmallBank run whose mix is restricted
+    // to total-preserving transactions (balance, amalgamate, send-payment —
+    // every committed delta is zero), so every committed prefix that contains
+    // the full setup conserves the bank's total exactly. The log is written
+    // through the group-commit batch buffer; the setup tail is hardened first
+    // and crash offsets are cut at or after it. Each truncation must read as
+    // a torn tail, recover into a fresh engine, match the
+    // end-timestamp-order replay of the surviving after-images, and hold
+    // `total == initial` on the recovered state.
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    use mmdb_workload::smallbank::{self, SbTxnKind, SmallBank};
+
+    macro_rules! on_engine {
+        ($b:expr, |$e:ident| $body:expr) => {
+            match $b {
+                EngineBox::Mv($e) => $body,
+                EngineBox::Sv($e) => $body,
+            }
+        };
+    }
+
+    const SB_WORKERS: usize = 3;
+    const SB_TXNS_PER_WORKER: u64 = 16;
+
+    for kind in ALL_KINDS {
+        for seed in seeds() {
+            let sb = SmallBank {
+                accounts: 16,
+                initial_balance: 1_000,
+                hot_accounts: 4,
+                hot_fraction: 0.5,
+                isolation: IsolationLevel::SnapshotIsolation,
+            };
+            let path = scratch_log(&format!(
+                "sb-gc-{}-{seed:x}",
+                kind.label().replace('/', "_")
+            ));
+            let logger = Arc::new(
+                GroupCommitLog::with_tick(&path, Duration::from_micros(BATCH_TICK_US))
+                    .expect("create group-commit log"),
+            );
+            let engine = EngineBox::new(kind, logger.clone());
+            let tables = on_engine!(&engine, |e| sb.setup(e)).expect("setup must succeed");
+            // Harden the setup tail: conservation is only meaningful once
+            // every account row survives the crash, so offsets below are cut
+            // at or after this length.
+            logger.flush().expect("flush setup");
+            let setup_len = std::fs::metadata(&path).expect("stat log").len() as usize;
+
+            let committed = AtomicU64::new(0);
+            std::thread::scope(|scope| {
+                for worker in 0..SB_WORKERS {
+                    let sb = &sb;
+                    let engine = &engine;
+                    let committed = &committed;
+                    scope.spawn(move || {
+                        let mut rng = StdRng::seed_from_u64(
+                            seed ^ (worker as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                        );
+                        for _ in 0..SB_TXNS_PER_WORKER {
+                            let mut params = sb.draw(&mut rng);
+                            // Remap the delta-carrying kinds onto delta-zero
+                            // ones so any committed prefix conserves.
+                            params.kind = match params.kind {
+                                SbTxnKind::DepositChecking => SbTxnKind::Amalgamate,
+                                SbTxnKind::TransactSaving | SbTxnKind::WriteCheck => {
+                                    SbTxnKind::SendPayment
+                                }
+                                zero_delta => zero_delta,
+                            };
+                            params.amount = params.amount.abs();
+                            if on_engine!(engine, |e| sb.exec(e, tables, &params)).is_ok() {
+                                committed.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    });
+                }
+            });
+            logger.flush().expect("flush log");
+            let bytes = std::fs::read(&path).expect("read log file");
+            let _ = std::fs::remove_file(&path);
+            drop(engine);
+
+            let committed = committed.into_inner();
+            let attempted = SB_WORKERS as u64 * SB_TXNS_PER_WORKER;
+            assert!(
+                committed * 4 >= attempted,
+                "[{} seed={seed:#x}] degenerate run: only {committed} of \
+                 {attempted} SmallBank transactions committed",
+                kind.label()
+            );
+            assert!(
+                logger.batches_hardened() < logger.records_written(),
+                "[{} seed={seed:#x}] batches ({}) must coalesce multiple records ({})",
+                kind.label(),
+                logger.batches_hardened(),
+                logger.records_written()
+            );
+
+            // SmallBank-aware log oracle: upsert after-images in
+            // end-timestamp order, keyed by (savings?, customer).
+            let sb_oracle = |records: &[LogRecord]| -> BTreeMap<(bool, u64), i64> {
+                let mut sorted: Vec<&LogRecord> = records.iter().collect();
+                sorted.sort_by_key(|r| r.end_ts);
+                let mut state = BTreeMap::new();
+                for record in sorted {
+                    for op in &record.ops {
+                        match op {
+                            LogOp::Write { table, row } => {
+                                let savings = *table == tables.savings;
+                                assert!(
+                                    savings || *table == tables.checking,
+                                    "SmallBank logs only its two tables"
+                                );
+                                state.insert(
+                                    (savings, rowbuf::key_of(row)),
+                                    smallbank::balance_of(row),
+                                );
+                            }
+                            LogOp::Delete { .. } => {
+                                panic!("SmallBank never deletes rows")
+                            }
+                        }
+                    }
+                }
+                state
+            };
+
+            let mut offsets: Vec<usize> = crash_offsets(seed ^ 0x5BA7_C000, bytes.len())
+                .into_iter()
+                .filter(|&o| o >= setup_len)
+                .collect();
+            offsets.push(setup_len);
+            offsets.sort_unstable();
+            offsets.dedup();
+            assert!(!offsets.is_empty(), "at least the setup boundary is cut");
+
+            for offset in offsets {
+                let truncated = &bytes[..offset];
+                let outcome = read_log_bytes(truncated).unwrap_or_else(|e| {
+                    panic!(
+                        "[{} seed={seed:#x} crash_offset={offset}] a crash mid-batch must \
+                         read as a torn tail, never corruption: {e}",
+                        kind.label()
+                    )
+                });
+                let expected = sb_oracle(&outcome.records);
+
+                let target = EngineBox::new(kind, Arc::new(mmdb_storage::log::NullLogger::new()));
+                let target_tables =
+                    on_engine!(&target, |e| sb.create_tables(e)).expect("re-create tables");
+                assert_eq!(
+                    (target_tables.checking, target_tables.savings),
+                    (tables.checking, tables.savings),
+                    "recovery target must re-create tables with the same ids"
+                );
+
+                let log_name = format!("recovery-smallbank-seed-{seed:#x}.log.bin");
+                with_repro_artifacts(
+                    &format!(
+                        "suite=recovery-groupcommit-smallbank workload=smallbank engine={} \
+                         seed={seed:#x} crash_offset={offset} batch_tick_us={BATCH_TICK_US}",
+                        kind.label()
+                    ),
+                    &[(&log_name, &bytes)],
+                    || {
+                        let report = target.recover_bytes(truncated).unwrap_or_else(|e| {
+                            panic!(
+                                "[{} seed={seed:#x} crash_offset={offset}] recovery failed: {e}",
+                                kind.label()
+                            )
+                        });
+                        assert_eq!(report.records_applied, outcome.records.len());
+                        assert_eq!(
+                            report.valid_bytes + report.torn_bytes,
+                            offset as u64,
+                            "every crash byte is either replayed or torn"
+                        );
+
+                        let balances = on_engine!(&target, |e| smallbank::all_balances(
+                            e,
+                            target_tables,
+                            sb.accounts
+                        ))
+                        .expect("read recovered balances");
+                        let label = format!(
+                            "{} seed={seed:#x} crash_offset={offset} (smallbank group commit)",
+                            kind.label()
+                        );
+                        for (customer, &(checking, savings)) in balances.iter().enumerate() {
+                            let customer = customer as u64;
+                            assert_eq!(
+                                checking,
+                                expected[&(false, customer)],
+                                "[{label}] recovered checking balance of customer {customer} \
+                                 diverges from the surviving log prefix"
+                            );
+                            assert_eq!(
+                                savings,
+                                expected[&(true, customer)],
+                                "[{label}] recovered savings balance of customer {customer} \
+                                 diverges from the surviving log prefix"
+                            );
+                        }
+                        let total: i64 = balances.iter().map(|&(c, s)| c + s).sum();
+                        assert_eq!(
+                            total,
+                            sb.initial_total(),
+                            "[{label}] the conserving mix must leave the recovered total \
+                             at the initial total for every committed prefix"
+                        );
                     },
                 );
             }
@@ -1033,7 +1255,7 @@ fn checkpoint_concurrent_with_writers_then_tail_crash_recovers() {
                 let log_name = format!("checkpoint-tail-seed-{seed:#x}.log.bin");
                 with_repro_artifacts(
                     &format!(
-                        "suite=checkpoint-tail engine={} seed={seed:#x} crash_offset={offset}",
+                        "suite=checkpoint-tail workload=generic engine={} seed={seed:#x} crash_offset={offset}",
                         kind.label()
                     ),
                     &[(&log_name, &wal_bytes)],

@@ -1,0 +1,275 @@
+//! Workload-level invariant oracles for the differential harness.
+//!
+//! The generic harness ([`super::generate_history`] + [`super::Oracle`])
+//! checks interface-level semantics of synthetic histories. The oracles here
+//! check *application-level* invariants of the canonical workloads — the
+//! properties a real user of the engine would lose money over:
+//!
+//! * **SmallBank balance conservation** — the bank's total holdings equal the
+//!   initial total plus the sum of every committed transaction's declared
+//!   delta, and the final per-account state equals the commit-timestamp-order
+//!   replay of all committed after-images.
+//! * **TPC-C-lite district-counter monotonicity** — every district's
+//!   `next_o_id` advanced by exactly its number of committed new-orders, the
+//!   order stream is dense, and every order's `o_ol_cnt` matches the order
+//!   lines found through the ordered index.
+//! * **TPC-C-lite YTD conservation** — committed payment amounts equal the
+//!   warehouse and customer year-to-date totals.
+//!
+//! Isolation caveat: the conservation checks compare read-modify-write
+//! results against per-transaction deltas, so they are exact only at levels
+//! that prevent lost updates (repeatable read, snapshot isolation,
+//! serializable — see `tests/anomalies.rs` for the anomaly table). At read
+//! committed a concurrent writer may overwrite a stale RMW, so only the
+//! structural invariants (replay equality, counters, order/line consistency)
+//! are asserted there. [`prevents_lost_updates`] encodes the split.
+
+use std::collections::BTreeMap;
+
+use mmdb::prelude::*;
+use mmdb_workload::smallbank::{self, SbExec, SmallBank, SmallBankTables};
+use mmdb_workload::tpcc_lite::{self, TpccDetail, TpccLite, TpccTables};
+
+/// Whether `iso` prevents lost updates, making strict conservation checkable
+/// under concurrency. (Single-threaded runs conserve at every level.)
+pub fn prevents_lost_updates(iso: IsolationLevel) -> bool {
+    !matches!(iso, IsolationLevel::ReadCommitted)
+}
+
+/// Check one SmallBank run: replay every committed transaction's after-images
+/// in commit-timestamp order and require the engine's final state to match
+/// exactly (all isolation levels), then require balance conservation
+/// (`final total == initial + Σ delta`) where `iso` rules out lost updates
+/// — or unconditionally for single-threaded runs (`sequential = true`).
+pub fn check_smallbank<E: Engine>(
+    label: &str,
+    engine: &E,
+    sb: &SmallBank,
+    tables: SmallBankTables,
+    iso: IsolationLevel,
+    sequential: bool,
+    committed: &[SbExec],
+) {
+    let mut sorted: Vec<&SbExec> = committed.iter().collect();
+    sorted.sort_by_key(|e| e.commit_ts);
+    for pair in sorted.windows(2) {
+        assert!(
+            pair[0].commit_ts < pair[1].commit_ts,
+            "[{label}] duplicate commit timestamp {:?}",
+            pair[0].commit_ts
+        );
+    }
+
+    // (1) Write effects must serialize by commit timestamp: the final
+    // per-account state is the last committed after-image of each row.
+    let mut model: BTreeMap<(bool, u64), i64> = BTreeMap::new();
+    for customer in 0..sb.accounts {
+        model.insert((false, customer), sb.initial_balance);
+        model.insert((true, customer), sb.initial_balance);
+    }
+    for exec in &sorted {
+        for write in &exec.writes {
+            model.insert((write.savings, write.account), write.new_balance);
+        }
+    }
+    let actual = smallbank::all_balances(engine, tables, sb.accounts)
+        .unwrap_or_else(|e| panic!("[{label}] reading final balances failed: {e}"));
+    for (customer, &(checking, savings)) in actual.iter().enumerate() {
+        let customer = customer as u64;
+        assert_eq!(
+            checking,
+            model[&(false, customer)],
+            "[{label}] checking balance of customer {customer} diverges from \
+             the commit-order replay of {} committed transactions",
+            sorted.len()
+        );
+        assert_eq!(
+            savings,
+            model[&(true, customer)],
+            "[{label}] savings balance of customer {customer} diverges from \
+             the commit-order replay",
+        );
+    }
+
+    // (2) Balance conservation wherever lost updates are impossible.
+    if sequential || prevents_lost_updates(iso) {
+        let total: i64 = actual.iter().map(|&(c, s)| c + s).sum();
+        let delta: i64 = sorted.iter().map(|e| e.delta).sum();
+        assert_eq!(
+            total,
+            sb.initial_total() + delta,
+            "[{label}] balance conservation violated: initial {} + committed \
+             deltas {delta} != final total {total}",
+            sb.initial_total()
+        );
+    }
+}
+
+/// Running totals of the committed TPC-C-lite transactions of one run.
+#[derive(Debug, Default, Clone)]
+pub struct TpccTally {
+    /// Committed new-orders per district primary key.
+    pub new_orders: BTreeMap<u64, u64>,
+    /// Committed payment totals per warehouse id.
+    pub wh_payments: BTreeMap<u64, i64>,
+    /// Committed payment `(total, count)` per customer primary key.
+    pub customer_payments: BTreeMap<u64, (i64, u64)>,
+}
+
+impl TpccTally {
+    /// Fold one committed transaction's detail into the tally. Order-status
+    /// consistency flags are asserted on the spot — a visible order whose
+    /// lines are missing is a broken snapshot at any isolation level.
+    pub fn record(&mut self, label: &str, detail: &TpccDetail) {
+        match *detail {
+            TpccDetail::NewOrder { district, .. } => {
+                *self.new_orders.entry(district).or_insert(0) += 1;
+            }
+            TpccDetail::Payment {
+                warehouse,
+                customer,
+                amount,
+            } => {
+                *self.wh_payments.entry(warehouse).or_insert(0) += amount;
+                let entry = self.customer_payments.entry(customer).or_insert((0, 0));
+                entry.0 += amount;
+                entry.1 += 1;
+            }
+            TpccDetail::OrderStatus {
+                lines_consistent, ..
+            } => {
+                assert!(
+                    lines_consistent,
+                    "[{label}] order-status saw an order whose o_ol_cnt does \
+                     not match its visible order lines"
+                );
+            }
+        }
+    }
+}
+
+/// Check one TPC-C-lite run against the tally of its committed transactions.
+///
+/// District-counter monotonicity, order-stream density and order/order-line
+/// consistency hold at **every** isolation level (the counter is
+/// single-writer and colliding allocations die on the order table's unique
+/// primary key). YTD conservation is checked where `iso` rules out lost
+/// updates, or unconditionally for single-threaded runs.
+pub fn check_tpcc<E: Engine>(
+    label: &str,
+    engine: &E,
+    tpcc: &TpccLite,
+    tables: TpccTables,
+    iso: IsolationLevel,
+    sequential: bool,
+    tally: &TpccTally,
+) {
+    let mut txn = engine.begin(IsolationLevel::SnapshotIsolation);
+
+    for dk in tpcc.district_pks() {
+        let d_row = txn
+            .read(tables.district, IndexId(0), dk)
+            .unwrap_or_else(|e| panic!("[{label}] district read failed: {e}"))
+            .unwrap_or_else(|| panic!("[{label}] district {dk} missing"));
+        let next = tpcc_lite::next_o_id_of(&d_row);
+        let expected = tpcc.initial_orders + tally.new_orders.get(&dk).copied().unwrap_or(0);
+        assert_eq!(
+            next, expected,
+            "[{label}] district {dk} counter advanced {next} but \
+             {expected} new-orders committed (counter monotonicity)"
+        );
+        if next == 0 {
+            continue;
+        }
+        let orders = txn
+            .scan_range(
+                tables.order,
+                IndexId(1),
+                tpcc_lite::o_pk(dk, 0),
+                tpcc_lite::o_pk(dk, next - 1),
+            )
+            .unwrap_or_else(|e| panic!("[{label}] order range scan failed: {e}"));
+        assert_eq!(
+            orders.len() as u64,
+            next,
+            "[{label}] district {dk} order stream is not dense: counter {next}"
+        );
+        for (i, order) in orders.iter().enumerate() {
+            let ok = tpcc_lite::order_pk_of(order);
+            assert_eq!(
+                ok,
+                tpcc_lite::o_pk(dk, i as u64),
+                "[{label}] district {dk} order stream has a gap at {i}"
+            );
+            let declared = tpcc_lite::order_ol_cnt_of(order);
+            let lines = txn
+                .scan_range(
+                    tables.order_line,
+                    IndexId(1),
+                    tpcc_lite::ol_pk(ok, 0),
+                    tpcc_lite::ol_pk(ok, tpcc_lite::MAX_OL - 1),
+                )
+                .unwrap_or_else(|e| panic!("[{label}] order-line scan failed: {e}"));
+            assert_eq!(
+                lines.len() as u64,
+                declared,
+                "[{label}] order {ok} declares {declared} lines but \
+                 {} are visible (order/order-line consistency)",
+                lines.len()
+            );
+        }
+    }
+
+    if sequential || prevents_lost_updates(iso) {
+        let mut wh_total = 0i64;
+        for w in 0..tpcc.warehouses {
+            let w_row = txn
+                .read(tables.warehouse, IndexId(0), w)
+                .unwrap_or_else(|e| panic!("[{label}] warehouse read failed: {e}"))
+                .unwrap_or_else(|| panic!("[{label}] warehouse {w} missing"));
+            let ytd = tpcc_lite::warehouse_ytd_of(&w_row);
+            let expected = tally.wh_payments.get(&w).copied().unwrap_or(0);
+            assert_eq!(
+                ytd, expected,
+                "[{label}] warehouse {w} YTD {ytd} != committed payments \
+                 {expected} (YTD conservation)"
+            );
+            wh_total += ytd;
+        }
+        let mut customer_total = 0i64;
+        for dk in tpcc.district_pks() {
+            for c in 0..tpcc.customers_per_district {
+                let ck = tpcc_lite::c_pk(dk, c);
+                let c_row = txn
+                    .read(tables.customer, IndexId(0), ck)
+                    .unwrap_or_else(|e| panic!("[{label}] customer read failed: {e}"))
+                    .unwrap_or_else(|| panic!("[{label}] customer {ck} missing"));
+                let (expected_amount, expected_cnt) =
+                    tally.customer_payments.get(&ck).copied().unwrap_or((0, 0));
+                assert_eq!(
+                    tpcc_lite::customer_ytd_of(&c_row),
+                    expected_amount,
+                    "[{label}] customer {ck} YTD diverges from committed payments"
+                );
+                assert_eq!(
+                    tpcc_lite::customer_cnt_of(&c_row),
+                    expected_cnt,
+                    "[{label}] customer {ck} payment count diverges"
+                );
+                assert_eq!(
+                    tpcc_lite::customer_balance_of(&c_row),
+                    1_000 - expected_amount,
+                    "[{label}] customer {ck} balance diverges from its payments"
+                );
+                customer_total += tpcc_lite::customer_ytd_of(&c_row);
+            }
+        }
+        assert_eq!(
+            wh_total, customer_total,
+            "[{label}] warehouse YTD total and customer YTD total disagree"
+        );
+    }
+
+    txn.commit()
+        .unwrap_or_else(|e| panic!("[{label}] invariant-check txn failed to commit: {e}"));
+}

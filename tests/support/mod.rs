@@ -29,6 +29,8 @@
 //! seed in the panic message, so every failure reproduces deterministically.
 #![allow(dead_code)] // shared by several test binaries, each using a subset
 
+pub mod invariants;
+
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 
@@ -888,6 +890,11 @@ pub fn check_serial_equivalence(
 /// artifact under `target/test-artifacts/`, and resume the panic. CI uploads
 /// that directory on failure, so the exact history and log bytes that broke
 /// the suite travel with the red build.
+///
+/// Now that several workloads share the harness, `repro` must include a
+/// `workload=<name>` component (e.g. `workload=generic`, `workload=smallbank`,
+/// `workload=tpcc-lite`) so multi-workload failures stay grep-able per
+/// scenario.
 pub fn with_repro_artifacts<R>(
     repro: &str,
     artifacts: &[(&str, &[u8])],
